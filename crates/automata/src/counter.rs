@@ -1,0 +1,189 @@
+//! The infinite-state counter automaton for the Dyck language (Fig. 14).
+//!
+//! The automaton's states are natural numbers — the count of unmatched
+//! open parentheses — plus a `fail` sink; state `0` is initial and
+//! accepting. [`CounterMachine`] runs the genuinely infinite-state machine
+//! (the counter is an unbounded `usize`); [`dyck_automaton`] materializes
+//! the *length-truncated* finite slice as a [`Dfa`] so that all of the
+//! DFA trace machinery (trace grammars, `parseD`, Theorem 4.9 parsers)
+//! applies: on inputs of length ≤ `max_depth` the truncation is invisible,
+//! since the counter can never exceed the number of characters read
+//! (DESIGN.md §2).
+
+use lambek_core::alphabet::{Alphabet, GString};
+
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+
+/// The infinite-state deterministic machine of Fig. 14.
+#[derive(Debug, Clone)]
+pub struct CounterMachine {
+    alphabet: Alphabet,
+    open: lambek_core::alphabet::Symbol,
+    close: lambek_core::alphabet::Symbol,
+}
+
+/// A state of the counter machine: a count or the failure sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterState {
+    /// `n` unmatched open parentheses so far.
+    Count(usize),
+    /// A close parenthesis was seen with count 0; the run can never
+    /// recover.
+    Fail,
+}
+
+impl CounterMachine {
+    /// The machine over the `{(, )}` alphabet.
+    pub fn new() -> CounterMachine {
+        let alphabet = Alphabet::parens();
+        let open = alphabet.symbol("(").expect("open paren");
+        let close = alphabet.symbol(")").expect("close paren");
+        CounterMachine {
+            alphabet,
+            open,
+            close,
+        }
+    }
+
+    /// The machine's alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// One transition step.
+    pub fn step(&self, state: CounterState, sym: lambek_core::alphabet::Symbol) -> CounterState {
+        match state {
+            CounterState::Fail => CounterState::Fail,
+            CounterState::Count(n) => {
+                if sym == self.open {
+                    CounterState::Count(n + 1)
+                } else if sym == self.close {
+                    match n {
+                        0 => CounterState::Fail,
+                        _ => CounterState::Count(n - 1),
+                    }
+                } else {
+                    CounterState::Fail
+                }
+            }
+        }
+    }
+
+    /// Runs the machine; returns the full state sequence.
+    pub fn run(&self, w: &GString) -> Vec<CounterState> {
+        let mut states = Vec::with_capacity(w.len() + 1);
+        let mut s = CounterState::Count(0);
+        states.push(s);
+        for sym in w.iter() {
+            s = self.step(s, sym);
+            states.push(s);
+        }
+        states
+    }
+
+    /// Whether `w` is a balanced-parenthesis string.
+    pub fn accepts(&self, w: &GString) -> bool {
+        matches!(
+            self.run(w).last(),
+            Some(CounterState::Count(0))
+        )
+    }
+
+    /// The maximum counter value reached while reading `w` (0 if the run
+    /// fails immediately).
+    pub fn max_depth(&self, w: &GString) -> usize {
+        self.run(w)
+            .iter()
+            .filter_map(|s| match s {
+                CounterState::Count(n) => Some(*n),
+                CounterState::Fail => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Default for CounterMachine {
+    fn default() -> CounterMachine {
+        CounterMachine::new()
+    }
+}
+
+/// The length-truncated finite slice of Fig. 14's automaton as a DFA over
+/// `{(, )}`: states `0..=max_depth` are the counter values, state
+/// `max_depth + 1` is `fail`. Exact for every string of length ≤
+/// `max_depth`.
+pub fn dyck_automaton(max_depth: usize) -> Dfa {
+    let alphabet = Alphabet::parens();
+    let open = alphabet.symbol("(").expect("open paren").index();
+    let fail: StateId = max_depth + 1;
+    let num_states = max_depth + 2;
+    let mut delta = Vec::with_capacity(num_states);
+    for n in 0..=max_depth {
+        let mut row = vec![fail; alphabet.len()];
+        row[open] = if n < max_depth { n + 1 } else { fail };
+        row[1 - open] = if n > 0 { n - 1 } else { fail };
+        delta.push(row);
+    }
+    delta.push(vec![fail; alphabet.len()]); // fail loops
+    let mut accepting = vec![false; num_states];
+    accepting[0] = true;
+    Dfa::new(alphabet, 0, accepting, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::dfa_trace_parser;
+    use lambek_core::theory::unambiguous::all_strings;
+
+    #[test]
+    fn machine_accepts_balanced_strings() {
+        let m = CounterMachine::new();
+        let s = m.alphabet().clone();
+        for yes in ["", "()", "(())", "()()", "(()())()"] {
+            assert!(m.accepts(&s.parse_str(yes).unwrap()), "{yes}");
+        }
+        for no in ["(", ")", ")(", "(()", "())"] {
+            assert!(!m.accepts(&s.parse_str(no).unwrap()), "{no}");
+        }
+    }
+
+    #[test]
+    fn truncated_dfa_agrees_with_machine_up_to_bound() {
+        let m = CounterMachine::new();
+        let dfa = dyck_automaton(6);
+        let s = m.alphabet().clone();
+        for w in all_strings(&s, 6) {
+            assert_eq!(dfa.accepts(&w), m.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn fail_state_is_absorbing() {
+        let m = CounterMachine::new();
+        let s = m.alphabet().clone();
+        let w = s.parse_str(")(((").unwrap();
+        assert!(matches!(m.run(&w).last(), Some(CounterState::Fail)));
+    }
+
+    #[test]
+    fn dyck_trace_parser_via_theorem_4_9() {
+        // Fig. 14 + Theorem 4.9: the counter automaton yields a verified
+        // parser for (truncated) Dyck traces.
+        let dfa = dyck_automaton(4);
+        let p = dfa_trace_parser(&dfa, dfa.init());
+        p.audit_disjointness(4).unwrap();
+        p.audit_against_recognizer(4).unwrap();
+    }
+
+    #[test]
+    fn max_depth_matches_nesting() {
+        let m = CounterMachine::new();
+        let s = m.alphabet().clone();
+        assert_eq!(m.max_depth(&s.parse_str("((()))").unwrap()), 3);
+        assert_eq!(m.max_depth(&s.parse_str("()()").unwrap()), 1);
+        assert_eq!(m.max_depth(&GString::new()), 0);
+    }
+}

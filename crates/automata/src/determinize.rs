@@ -1,0 +1,288 @@
+//! Rabin–Scott determinization (Construction 4.10).
+//!
+//! The states of the determinized automaton are the ε-closed subsets of
+//! NFA states reachable from the ε-closure of the initial state. The
+//! construction provides a *weak* equivalence between the accepting
+//! traces of the NFA and of the DFA — weak and not strong, because
+//! determinization collapses ambiguity (§4.1).
+//!
+//! * `NtoD` maps an accepting NFA trace to the unique accepting DFA trace
+//!   over the same string (determinism makes it unique, so running the
+//!   DFA on the yield *is* the map).
+//! * `DtoN` needs a *choice function*: an accepting DFA trace only proves
+//!   the existence of an accepting NFA path. Following the paper, we pick
+//!   the least trace under an ordering on states, transitions and
+//!   ε-transitions: working backwards, at each step the smallest labeled
+//!   transition compatible with the remaining path is chosen, connected
+//!   by lexicographically-least shortest ε-paths.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use lambek_core::alphabet::GString;
+use lambek_core::theory::equivalence::WeakEquiv;
+use lambek_core::transform::{TransformError, Transformer};
+
+use crate::dfa::{parse_dfa, Dfa};
+use crate::nfa::{Nfa, NfaTrace, StateId};
+
+/// The result of determinizing an NFA: the DFA plus the subset each DFA
+/// state denotes.
+#[derive(Debug, Clone)]
+pub struct Determinized {
+    /// The subset-construction DFA.
+    pub dfa: Dfa,
+    /// `subsets[d]` is the ε-closed set of NFA states that DFA state `d`
+    /// stands for. The empty set is the (non-accepting) sink.
+    pub subsets: Vec<BTreeSet<StateId>>,
+}
+
+/// Runs the subset construction with ε-closures (Construction 4.10).
+pub fn determinize(nfa: &Nfa) -> Determinized {
+    let alphabet = nfa.alphabet().clone();
+    let start = nfa.eps_closure(&BTreeSet::from([nfa.init()]));
+    let mut subsets: Vec<BTreeSet<StateId>> = vec![start.clone()];
+    let mut index: HashMap<BTreeSet<StateId>, StateId> = HashMap::from([(start, 0)]);
+    let mut delta: Vec<Vec<StateId>> = Vec::new();
+    let mut queue: VecDeque<StateId> = VecDeque::from([0]);
+    while let Some(d) = queue.pop_front() {
+        let mut row = Vec::with_capacity(alphabet.len());
+        for c in alphabet.symbols() {
+            let next = nfa.step(&subsets[d], c);
+            let id = match index.get(&next) {
+                Some(&id) => id,
+                None => {
+                    let id = subsets.len();
+                    index.insert(next.clone(), id);
+                    subsets.push(next);
+                    queue.push_back(id);
+                    id
+                }
+            };
+            row.push(id);
+        }
+        delta.push(row);
+        debug_assert_eq!(delta.len() - 1, d, "rows are filled in BFS order");
+    }
+    let accepting: Vec<bool> = subsets
+        .iter()
+        .map(|set| set.iter().any(|&s| nfa.is_accepting(s)))
+        .collect();
+    Determinized {
+        dfa: Dfa::new(alphabet, 0, accepting, delta),
+        subsets,
+    }
+}
+
+/// Shortest ε-path from `from` to `to` as a list of ε-transition indices,
+/// BFS preferring smaller transition indices (the paper's ordering-based
+/// disambiguation). Returns `None` if unreachable.
+fn eps_path(nfa: &Nfa, from: StateId, to: StateId) -> Option<Vec<usize>> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    let mut parent: HashMap<StateId, (StateId, usize)> = HashMap::new();
+    let mut queue = VecDeque::from([from]);
+    while let Some(s) = queue.pop_front() {
+        for (i, e) in nfa.eps_transitions().iter().enumerate() {
+            if e.src == s && e.dst != from && !parent.contains_key(&e.dst) {
+                parent.insert(e.dst, (s, i));
+                if e.dst == to {
+                    let mut path = Vec::new();
+                    let mut cur = to;
+                    while cur != from {
+                        let (prev, eid) = parent[&cur];
+                        path.push(eid);
+                        cur = prev;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(e.dst);
+            }
+        }
+    }
+    None
+}
+
+/// The choice function behind `DtoN`: from an accepted string, rebuild the
+/// least accepting NFA trace from `nfa.init()`.
+///
+/// # Panics
+///
+/// Panics if the NFA does not accept `w` (callers guarantee acceptance —
+/// the DFA trace is accepting and the construction is language-preserving).
+pub fn least_accepting_trace(nfa: &Nfa, w: &GString) -> NfaTrace {
+    // Forward subset run (without building the whole DFA).
+    let mut subsets = Vec::with_capacity(w.len() + 1);
+    subsets.push(nfa.eps_closure(&BTreeSet::from([nfa.init()])));
+    for sym in w.iter() {
+        let next = nfa.step(subsets.last().expect("non-empty"), sym);
+        subsets.push(next);
+    }
+    // Choose the smallest accepting final state.
+    let last = subsets.last().expect("non-empty");
+    let mut current = *last
+        .iter()
+        .find(|&&s| nfa.is_accepting(s))
+        .expect("NFA must accept w");
+    let mut trace = NfaTrace::Stop;
+    // Walk backwards, choosing the least compatible transition each step.
+    for (i, sym) in w.iter().enumerate().rev() {
+        let source_set = &subsets[i];
+        let mut chosen: Option<(usize, Vec<usize>)> = None;
+        for (tid, t) in nfa.transitions().iter().enumerate() {
+            if t.label == sym && source_set.contains(&t.src) {
+                if let Some(path) = eps_path(nfa, t.dst, current) {
+                    chosen = Some((tid, path));
+                    break; // transitions scanned in index order: least wins
+                }
+            }
+        }
+        let (tid, path) = chosen.expect("subset construction guarantees a predecessor");
+        // Assemble: labeled step, then ε-steps to `current`, then `trace`.
+        let mut suffix = trace;
+        for &eid in path.iter().rev() {
+            suffix = NfaTrace::eps_step(eid, suffix);
+        }
+        trace = NfaTrace::step(tid, suffix);
+        current = nfa.transitions()[tid].src;
+    }
+    // Finally an ε-path from the true initial state to `current`.
+    let path = eps_path(nfa, nfa.init(), current).expect("current ∈ eclose(init)");
+    for &eid in path.iter().rev() {
+        trace = NfaTrace::eps_step(eid, trace);
+    }
+    trace
+}
+
+/// The weak equivalence `ParseN ≈ ParseD` of Construction 4.10, as a pair
+/// of transformers between the accepting-trace grammars.
+pub fn trace_weak_equiv(nfa: &Nfa, det: &Determinized) -> WeakEquiv {
+    let ntg = nfa.trace_grammar();
+    let dtg = det.dfa.trace_grammar();
+    let parse_n = ntg.trace(nfa.init());
+    let parse_d = dtg.trace(det.dfa.init(), true);
+
+    let dfa_f = det.dfa.clone();
+    let dtg_f = dtg.clone();
+    let fwd = Transformer::from_fn("NtoD", parse_n.clone(), parse_d.clone(), move |t| {
+        let w = t.flatten();
+        let (b, tree) = parse_dfa(&dfa_f, &dtg_f, dfa_f.init(), &w);
+        if !b {
+            return Err(TransformError::Custom(format!(
+                "determinization lost the string {w}"
+            )));
+        }
+        Ok(tree)
+    });
+
+    let nfa_b = nfa.clone();
+    let bwd = Transformer::from_fn("DtoN", parse_d, parse_n, move |t| {
+        let w = t.flatten();
+        let trace = least_accepting_trace(&nfa_b, &w);
+        Ok(trace.to_parse_tree(&nfa_b, &ntg, nfa_b.init()))
+    });
+    WeakEquiv::new(fwd, bwd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::fig5_nfa;
+    use lambek_core::grammar::parse_tree::validate;
+    use lambek_core::theory::unambiguous::all_strings;
+
+    #[test]
+    fn determinize_preserves_language() {
+        let (nfa, _) = fig5_nfa();
+        let det = determinize(&nfa);
+        let s = nfa.alphabet().clone();
+        for w in all_strings(&s, 5) {
+            assert_eq!(nfa.accepts(&w), det.dfa.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn initial_subset_is_eps_closed_init() {
+        let (nfa, _) = fig5_nfa();
+        let det = determinize(&nfa);
+        assert_eq!(det.subsets[0], BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn least_trace_is_valid_and_yields_w() {
+        let (nfa, _) = fig5_nfa();
+        let s = nfa.alphabet().clone();
+        for w in ["b", "ab", "aab", "c"] {
+            let w = s.parse_str(w).unwrap();
+            let trace = least_accepting_trace(&nfa, &w);
+            assert!(trace.is_valid_from(&nfa, nfa.init()), "{w}");
+            assert_eq!(trace.yield_string(&nfa), w, "{w}");
+        }
+    }
+
+    #[test]
+    fn construction_4_10_weak_equivalence() {
+        let (nfa, _) = fig5_nfa();
+        let det = determinize(&nfa);
+        let eq = trace_weak_equiv(&nfa, &det);
+        let s = nfa.alphabet().clone();
+        let ntg = nfa.trace_grammar();
+        let dtg = det.dfa.trace_grammar();
+        for w in all_strings(&s, 4) {
+            if !nfa.accepts(&w) {
+                continue;
+            }
+            // fwd on the least NFA trace.
+            let trace = least_accepting_trace(&nfa, &w);
+            let nt = trace.to_parse_tree(&nfa, &ntg, nfa.init());
+            let dt = eq.fwd.apply_checked(&nt).unwrap();
+            validate(&dt, &dtg.trace(det.dfa.init(), true), &w).unwrap();
+            // bwd back.
+            let nt2 = eq.bwd.apply_checked(&dt).unwrap();
+            validate(&nt2, &ntg.trace(nfa.init()), &w).unwrap();
+            // DtoN ∘ NtoD is the identity on least traces (the choice
+            // function picks the least trace).
+            assert_eq!(nt2, nt, "{w}");
+        }
+    }
+
+    #[test]
+    fn ambiguous_nfa_determinizes_to_unambiguous_dfa() {
+        use lambek_core::alphabet::Alphabet;
+        let sigma = Alphabet::abc();
+        let a = sigma.symbol("a").unwrap();
+        let mut nfa = Nfa::new(sigma.clone(), 3, 0);
+        nfa.set_accepting(1, true);
+        nfa.set_accepting(2, true);
+        nfa.add_transition(0, a, 1);
+        nfa.add_transition(0, a, 2);
+        let det = determinize(&nfa);
+        let w = sigma.parse_str("a").unwrap();
+        assert!(det.dfa.accepts(&w));
+        // Both NFA traces map to the same DFA trace; DtoN picks the least.
+        let trace = least_accepting_trace(&nfa, &w);
+        assert_eq!(trace, NfaTrace::step(0, NfaTrace::Stop));
+    }
+
+    #[test]
+    fn eps_chains_are_followed() {
+        use lambek_core::alphabet::Alphabet;
+        let sigma = Alphabet::abc();
+        let a = sigma.symbol("a").unwrap();
+        // 0 -ε-> 1 -ε-> 2 -a-> 3(acc)
+        let mut nfa = Nfa::new(sigma.clone(), 4, 0);
+        nfa.set_accepting(3, true);
+        let e01 = nfa.add_eps(0, 1);
+        let e12 = nfa.add_eps(1, 2);
+        let t = nfa.add_transition(2, a, 3);
+        let w = sigma.parse_str("a").unwrap();
+        let trace = least_accepting_trace(&nfa, &w);
+        assert_eq!(
+            trace,
+            NfaTrace::eps_step(e01, NfaTrace::eps_step(e12, NfaTrace::step(t, NfaTrace::Stop)))
+        );
+        let det = determinize(&nfa);
+        assert!(det.dfa.accepts(&w));
+    }
+}

@@ -1,0 +1,331 @@
+//! Deterministic finite automata and their Bool-indexed traces (Fig. 11).
+//!
+//! A [`Dfa`] has a *total* transition function `δ : states × Σ → states`.
+//! Its trace type `TraceD : (s : states) (b : Bool) → L` is indexed both
+//! by the start state and by whether the trace is *accepting* — the key
+//! trick of §4.1: the rejecting traces `TraceD s false` are exactly the
+//! negative grammar a verified parser needs, with disjointness from the
+//! accepting traces falling out of determinism (Theorem 4.9).
+
+use lambek_core::alphabet::{Alphabet, GString, Symbol};
+use lambek_core::grammar::expr::{chr, eps, mu, plus, tensor, var, Grammar, MuSystem};
+use lambek_core::grammar::parse_tree::ParseTree;
+
+use crate::nfa::StateId;
+
+/// A deterministic finite automaton with a total transition function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    alphabet: Alphabet,
+    init: StateId,
+    accepting: Vec<bool>,
+    /// `delta[s][c.index()]` is the successor of `s` on symbol `c`.
+    delta: Vec<Vec<StateId>>,
+}
+
+impl Dfa {
+    /// Creates a DFA from its transition table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty or ragged, a row's width differs from
+    /// the alphabet size, any target is out of range, or `init` is out of
+    /// range.
+    pub fn new(
+        alphabet: Alphabet,
+        init: StateId,
+        accepting: Vec<bool>,
+        delta: Vec<Vec<StateId>>,
+    ) -> Dfa {
+        let n = delta.len();
+        assert!(n > 0, "a DFA needs at least one state");
+        assert_eq!(accepting.len(), n, "one accepting flag per state");
+        assert!(init < n, "initial state out of range");
+        for row in &delta {
+            assert_eq!(row.len(), alphabet.len(), "one successor per symbol");
+            for &t in row {
+                assert!(t < n, "transition target out of range");
+            }
+        }
+        Dfa {
+            alphabet,
+            init,
+            accepting,
+            delta,
+        }
+    }
+
+    /// The input alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// The initial state.
+    pub fn init(&self) -> StateId {
+        self.init
+    }
+
+    /// Whether `state` accepts.
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting[state]
+    }
+
+    /// The transition function `δ(state, sym)`.
+    pub fn delta(&self, state: StateId, sym: Symbol) -> StateId {
+        self.delta[state][sym.index()]
+    }
+
+    /// Runs the DFA from `start`, returning the full state sequence
+    /// (length `|w| + 1`).
+    pub fn run_from(&self, start: StateId, w: &GString) -> Vec<StateId> {
+        let mut states = Vec::with_capacity(w.len() + 1);
+        let mut s = start;
+        states.push(s);
+        for sym in w.iter() {
+            s = self.delta(s, sym);
+            states.push(s);
+        }
+        states
+    }
+
+    /// Whether the DFA accepts `w` from the initial state.
+    pub fn accepts(&self, w: &GString) -> bool {
+        self.accepts_from(self.init, w)
+    }
+
+    /// Whether the DFA accepts `w` from `start`.
+    pub fn accepts_from(&self, start: StateId, w: &GString) -> bool {
+        let states = self.run_from(start, w);
+        self.accepting[*states.last().expect("non-empty run")]
+    }
+
+    /// The Bool-indexed trace type `TraceD` of Fig. 11 as a `μ` system.
+    /// Definition `2·s + b` is `TraceD s b`:
+    ///
+    /// ```text
+    /// TraceD s b = (ε if isAcc(s) == b)
+    ///            ⊕ ⊕_{c ∈ Σ} 'c' ⊗ TraceD (δ(s,c)) b
+    /// ```
+    ///
+    /// The `nil` summand (when present) has index 0 and the `cons`
+    /// summand for symbol `c` has index `nil_offset + c.index()`.
+    pub fn trace_grammar(&self) -> DfaTraceGrammar {
+        let n = self.num_states();
+        let mut defs = Vec::with_capacity(2 * n);
+        let mut names = Vec::with_capacity(2 * n);
+        for s in 0..n {
+            for b in [false, true] {
+                let mut summands: Vec<Grammar> = Vec::new();
+                if self.accepting[s] == b {
+                    summands.push(eps());
+                }
+                for c in self.alphabet.symbols() {
+                    let dst = self.delta(s, c);
+                    summands.push(tensor(chr(c), var(Self::def_index(dst, b))));
+                }
+                defs.push(plus(summands));
+                names.push(format!("TraceD({s},{b})"));
+            }
+        }
+        DfaTraceGrammar {
+            system: MuSystem::new(defs, names),
+            alphabet: self.alphabet.clone(),
+        }
+    }
+
+    /// Index of the definition `TraceD s b` inside [`Dfa::trace_grammar`].
+    pub fn def_index(s: StateId, b: bool) -> usize {
+        2 * s + usize::from(b)
+    }
+}
+
+/// The trace type of a DFA, with helpers tied to the layout convention of
+/// [`Dfa::trace_grammar`].
+#[derive(Debug, Clone)]
+pub struct DfaTraceGrammar {
+    /// One definition per `(state, bool)` pair; see [`Dfa::def_index`].
+    pub system: std::rc::Rc<MuSystem>,
+    alphabet: Alphabet,
+}
+
+impl DfaTraceGrammar {
+    /// The grammar `TraceD s b`.
+    pub fn trace(&self, s: StateId, b: bool) -> Grammar {
+        mu(self.system.clone(), Dfa::def_index(s, b))
+    }
+
+    /// The summand index of the `cons` constructor for symbol `c` in
+    /// definition `TraceD s b` of `dfa`.
+    pub fn cons_index(&self, dfa: &Dfa, s: StateId, b: bool, c: Symbol) -> usize {
+        let nil_offset = usize::from(dfa.is_accepting(s) == b);
+        nil_offset + c.index()
+    }
+
+    /// The alphabet the traces range over.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+}
+
+/// `parseD` (Fig. 12): runs the DFA on `w` from `start` and materializes
+/// the unique trace — returning the accept bit `b` and the parse tree of
+/// `TraceD start b`.
+pub fn parse_dfa(dfa: &Dfa, tg: &DfaTraceGrammar, start: StateId, w: &GString) -> (bool, ParseTree) {
+    let states = dfa.run_from(start, w);
+    let b = dfa.is_accepting(*states.last().expect("non-empty run"));
+    // Build from the back: nil at the final state, cons at each step.
+    let final_state = *states.last().expect("non-empty run");
+    debug_assert_eq!(dfa.is_accepting(final_state), b);
+    let mut tree = ParseTree::roll(ParseTree::inj(0, ParseTree::Unit));
+    for (i, sym) in w.iter().enumerate().rev() {
+        let s = states[i];
+        let idx = tg.cons_index(dfa, s, b, sym);
+        tree = ParseTree::roll(ParseTree::inj(
+            idx,
+            ParseTree::pair(ParseTree::Char(sym), tree),
+        ));
+    }
+    (b, tree)
+}
+
+/// `printD` (Fig. 12): structural recursion over a `TraceD s b` parse
+/// tree, reading back the string. Unlike
+/// [`flatten`](lambek_core::grammar::parse_tree::ParseTree::flatten), this
+/// walks the trace constructors as the paper's `printD` does (and panics
+/// on non-trace trees).
+///
+/// # Panics
+///
+/// Panics if the tree is not a `TraceD` parse for `dfa` from `(start, b)`.
+pub fn print_dfa(dfa: &Dfa, tg: &DfaTraceGrammar, start: StateId, b: bool, tree: &ParseTree) -> GString {
+    let mut w = GString::new();
+    let mut s = start;
+    let mut cur = tree;
+    loop {
+        let (index, inner) = match cur {
+            ParseTree::Roll(inner) => match &**inner {
+                ParseTree::Inj { index, tree } => (*index, tree),
+                other => panic!("trace must be roll(σ …), got {other}"),
+            },
+            other => panic!("trace must be roll(…), got {other}"),
+        };
+        let nil_offset = usize::from(dfa.is_accepting(s) == b);
+        if nil_offset == 1 && index == 0 {
+            assert_eq!(**inner, ParseTree::Unit, "nil carries a unit");
+            return w;
+        }
+        let c = Symbol::from_index(index - nil_offset);
+        match &**inner {
+            ParseTree::Pair(ch, rest) => {
+                assert_eq!(**ch, ParseTree::Char(c), "cons head is the symbol");
+                w.push(c);
+                s = dfa.delta(s, c);
+                cur = rest;
+            }
+            other => panic!("cons must carry a pair, got {other}"),
+        }
+        let _ = tg;
+    }
+}
+
+/// Builds a DFA for the paper's running example `('a'* ⊗ 'b') ⊕ 'c'`
+/// (the determinization of Fig. 5's NFA, hand-rolled): states
+/// `0 = {0,1}` (init), `1 = {1}`, `2 = {2}` (accept), `3 = ∅` (sink).
+pub fn fig5_dfa() -> Dfa {
+    let sigma = Alphabet::abc();
+    // symbols a=0, b=1, c=2.
+    let delta = vec![
+        vec![1, 2, 2], // 0: a->1, b->2, c->2
+        vec![1, 2, 3], // 1: a->1, b->2, c->sink
+        vec![3, 3, 3], // 2: accept, any -> sink
+        vec![3, 3, 3], // 3: sink
+    ];
+    Dfa::new(sigma, 0, vec![false, false, true, false], delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambek_core::grammar::compile::CompiledGrammar;
+    use lambek_core::grammar::expr::alt;
+    use lambek_core::grammar::parse_tree::validate;
+    use lambek_core::theory::unambiguous::{all_strings, check_unambiguous};
+
+    #[test]
+    fn fig5_dfa_language() {
+        let dfa = fig5_dfa();
+        let s = dfa.alphabet().clone();
+        for yes in ["b", "ab", "aab", "c"] {
+            assert!(dfa.accepts(&s.parse_str(yes).unwrap()), "{yes}");
+        }
+        for no in ["", "a", "ba", "cc", "cb"] {
+            assert!(!dfa.accepts(&s.parse_str(no).unwrap()), "{no}");
+        }
+    }
+
+    #[test]
+    fn parse_print_retraction() {
+        // Theorem 4.9's retraction: printD (parseD w) == w.
+        let dfa = fig5_dfa();
+        let tg = dfa.trace_grammar();
+        let s = dfa.alphabet().clone();
+        for w in all_strings(&s, 5) {
+            let (b, tree) = parse_dfa(&dfa, &tg, dfa.init(), &w);
+            assert_eq!(b, dfa.accepts(&w), "{w}");
+            validate(&tree, &tg.trace(dfa.init(), b), &w).unwrap();
+            assert_eq!(print_dfa(&dfa, &tg, dfa.init(), b, &tree), w, "{w}");
+        }
+    }
+
+    #[test]
+    fn trace_types_are_unambiguous() {
+        // §4.1: ⊕_b TraceD s b is a retract of String, hence unambiguous.
+        let dfa = fig5_dfa();
+        let tg = dfa.trace_grammar();
+        let s = dfa.alphabet().clone();
+        for state in 0..dfa.num_states() {
+            let sum = alt(tg.trace(state, true), tg.trace(state, false));
+            check_unambiguous(&sum, &s, 3).unwrap();
+        }
+    }
+
+    #[test]
+    fn accepting_trace_language_is_dfa_language() {
+        let dfa = fig5_dfa();
+        let tg = dfa.trace_grammar();
+        let s = dfa.alphabet().clone();
+        let cg_true = CompiledGrammar::new(&tg.trace(dfa.init(), true));
+        let cg_false = CompiledGrammar::new(&tg.trace(dfa.init(), false));
+        for w in all_strings(&s, 4) {
+            assert_eq!(cg_true.recognizes(&w), dfa.accepts(&w), "{w}");
+            assert_eq!(cg_false.recognizes(&w), !dfa.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn every_string_has_exactly_one_trace_overall() {
+        // Determinism: each w inhabits exactly one of the two trace types,
+        // with exactly one parse.
+        let dfa = fig5_dfa();
+        let tg = dfa.trace_grammar();
+        let s = dfa.alphabet().clone();
+        let sum = alt(tg.trace(dfa.init(), true), tg.trace(dfa.init(), false));
+        let cg = CompiledGrammar::new(&sum);
+        for w in all_strings(&s, 4) {
+            let amb = cg.count_parses(&w, 4);
+            assert_eq!(amb.count, 1, "{w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one successor per symbol")]
+    fn ragged_delta_rejected() {
+        let sigma = Alphabet::abc();
+        Dfa::new(sigma, 0, vec![false], vec![vec![0, 0]]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Random and adversarial automaton generators for tests and benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lambek_core::alphabet::{Alphabet, GString, Symbol};
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+
+/// A random DFA with `num_states` states over `alphabet`, each state
+/// accepting with probability 1/2, transitions uniform.
+pub fn random_dfa(alphabet: &Alphabet, num_states: usize, seed: u64) -> Dfa {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let accepting = (0..num_states).map(|_| rng.gen_bool(0.5)).collect();
+    let delta = (0..num_states)
+        .map(|_| {
+            (0..alphabet.len())
+                .map(|_| rng.gen_range(0..num_states))
+                .collect()
+        })
+        .collect();
+    Dfa::new(alphabet.clone(), 0, accepting, delta)
+}
+
+/// A random NFA: `num_states` states, about `density` labeled transitions
+/// per state and a sprinkling of ε-transitions.
+pub fn random_nfa(alphabet: &Alphabet, num_states: usize, density: f64, seed: u64) -> Nfa {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nfa = Nfa::new(alphabet.clone(), num_states, 0);
+    for s in 0..num_states {
+        nfa.set_accepting(s, rng.gen_bool(0.3));
+        let fanout = (density.max(0.0) * 2.0 * rng.gen::<f64>()).round() as usize;
+        for _ in 0..fanout.max(1) {
+            let label = Symbol::from_index(rng.gen_range(0..alphabet.len()));
+            let dst = rng.gen_range(0..num_states);
+            nfa.add_transition(s, label, dst);
+        }
+        if rng.gen_bool(0.25) {
+            let dst = rng.gen_range(0..num_states);
+            if dst != s {
+                nfa.add_eps(s, dst);
+            }
+        }
+    }
+    // Guarantee at least one accepting state so traces exist.
+    if (0..num_states).all(|s| !nfa.is_accepting(s)) {
+        nfa.set_accepting(num_states - 1, true);
+    }
+    nfa
+}
+
+/// The classic exponential-blowup family: an NFA for `(a|b)* a (a|b)^k`
+/// whose minimal DFA needs `2^(k+1)` states (Construction 4.10's
+/// worst-case shape).
+pub fn blowup_nfa(k: usize) -> Nfa {
+    let sigma = Alphabet::from_chars("ab");
+    let a = sigma.symbol("a").expect("a");
+    let b = sigma.symbol("b").expect("b");
+    // States: 0 (loop) then 1..=k+1 suffix chain; k+1 accepting.
+    let mut nfa = Nfa::new(sigma, k + 2, 0);
+    nfa.add_transition(0, a, 0);
+    nfa.add_transition(0, b, 0);
+    nfa.add_transition(0, a, 1);
+    for i in 1..=k {
+        nfa.add_transition(i, a, i + 1);
+        nfa.add_transition(i, b, i + 1);
+    }
+    nfa.set_accepting(k + 1, true);
+    nfa
+}
+
+/// A random string of exactly `len` symbols.
+pub fn random_string(alphabet: &Alphabet, len: usize, seed: u64) -> GString {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| Symbol::from_index(rng.gen_range(0..alphabet.len())))
+        .collect()
+}
+
+/// A random balanced-parenthesis string with `pairs` pairs (uniform over
+/// push/pop choices subject to validity).
+pub fn random_dyck(pairs: usize, seed: u64) -> GString {
+    let sigma = Alphabet::parens();
+    let open = sigma.symbol("(").expect("(");
+    let close = sigma.symbol(")").expect(")");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = GString::new();
+    let (mut opened, mut closed) = (0usize, 0usize);
+    while closed < pairs {
+        let can_open = opened < pairs;
+        let can_close = closed < opened;
+        let do_open = match (can_open, can_close) {
+            (true, true) => rng.gen_bool(0.5),
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => unreachable!("closed < pairs implies a move exists"),
+        };
+        if do_open {
+            w.push(open);
+            opened += 1;
+        } else {
+            w.push(close);
+            closed += 1;
+        }
+    }
+    w
+}
+
+/// A random arithmetic token string that the Fig. 15 machine accepts:
+/// a well-formed right-associated expression with `atoms` atoms and
+/// random parenthesization up to `depth`.
+pub fn random_arith(atoms: usize, depth: usize, seed: u64) -> GString {
+    let t = crate::lookahead::ArithTokens::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = GString::new();
+    emit_expr(&t, &mut rng, &mut w, atoms.max(1), depth);
+    w
+}
+
+fn emit_expr(
+    t: &crate::lookahead::ArithTokens,
+    rng: &mut StdRng,
+    w: &mut GString,
+    atoms: usize,
+    depth: usize,
+) {
+    if atoms <= 1 {
+        emit_atom(t, rng, w, depth);
+    } else {
+        emit_atom(t, rng, w, depth);
+        w.push(t.add);
+        emit_expr(t, rng, w, atoms - 1, depth);
+    }
+}
+
+fn emit_atom(
+    t: &crate::lookahead::ArithTokens,
+    rng: &mut StdRng,
+    w: &mut GString,
+    depth: usize,
+) {
+    if depth > 0 && rng.gen_bool(0.4) {
+        w.push(t.lp);
+        let inner_atoms = rng.gen_range(1..=2);
+        emit_expr(t, rng, w, inner_atoms, depth - 1);
+        w.push(t.rp);
+    } else {
+        w.push(t.num);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::CounterMachine;
+    use crate::determinize::determinize;
+    use crate::lookahead::{simulate, ArithTokens};
+    use crate::minimize::minimize;
+
+    #[test]
+    fn blowup_family_has_exponential_dfa() {
+        for k in 1..5 {
+            let nfa = blowup_nfa(k);
+            let det = determinize(&nfa);
+            let min = minimize(&det.dfa);
+            assert!(
+                min.num_states() >= 1 << (k + 1),
+                "k={k}: {} states",
+                min.num_states()
+            );
+        }
+    }
+
+    #[test]
+    fn random_dfa_and_nfa_are_well_formed() {
+        let sigma = Alphabet::abc();
+        let dfa = random_dfa(&sigma, 6, 1);
+        assert_eq!(dfa.num_states(), 6);
+        let nfa = random_nfa(&sigma, 6, 1.5, 2);
+        assert!(nfa.transitions().len() >= 6);
+        // Determinization of a random NFA must preserve the language.
+        let det = determinize(&nfa);
+        for seed in 0..20 {
+            let w = random_string(&sigma, (seed % 6) as usize, seed);
+            assert_eq!(nfa.accepts(&w), det.dfa.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn random_dyck_is_balanced() {
+        let m = CounterMachine::new();
+        for seed in 0..10 {
+            let w = random_dyck(8, seed);
+            assert_eq!(w.len(), 16);
+            assert!(m.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn random_arith_is_accepted() {
+        let t = ArithTokens::new();
+        for seed in 0..10 {
+            let w = random_arith(4, 3, seed);
+            assert!(simulate(&t, &w), "{w}");
+        }
+    }
+}

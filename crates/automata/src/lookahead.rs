@@ -1,0 +1,512 @@
+//! The one-token-lookahead automaton for arithmetic expressions (Fig. 15).
+//!
+//! Four state kinds, each carrying a natural-number paren count `n` and a
+//! success bit `b`:
+//!
+//! * `O` ("opening") expects `(` (push) or `NUM`;
+//! * `D` ("done opening") *looks ahead*: a `)` next routes to `C`,
+//!   anything else to `A` — the place where Axiom 3.1 (distributivity)
+//!   is needed to turn lookahead information into a sum;
+//! * `C` ("closing") consumes `)` and pops;
+//! * `A` ("adding") accepts at count 0, or consumes `+` and returns to `O`.
+//!
+//! The trace type is an indexed inductive linear type over
+//! `(kind, n, b)`; as with Fig. 14 we materialize the length-truncated
+//! slice (counts `0..=max`), which is exact for inputs of length ≤ `max`.
+//!
+//! Two small corrections relative to the paper's Fig. 15, documented in
+//! DESIGN.md §7 and EXPERIMENTS.md:
+//!
+//! * `NotStartsWithLP` (used by `O.unexpected`) excludes `NUM` — `NUM` is
+//!   a *good* first token for `O` (the `num` constructor), and including
+//!   it (as the paper's footnote 3 does) would make `⊕_b O n b`
+//!   ambiguous;
+//! * `closeBad` is `')' ⊗ ⊤` rather than bare `')'`, so that failing
+//!   traces cover the entire remaining input (traces are linear: they
+//!   must consume the whole string).
+
+use std::rc::Rc;
+
+use lambek_core::alphabet::{Alphabet, GString, Symbol};
+use lambek_core::grammar::expr::{
+    and, chr, eps, mu, plus, tensor, top, var, Grammar, MuSystem,
+};
+use lambek_core::grammar::parse_tree::ParseTree;
+use lambek_core::grammar::string_type::string_grammar;
+use lambek_core::theory::parser::VerifiedParser;
+use lambek_core::transform::{TransformError, Transformer};
+
+/// The four state kinds of Fig. 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateKind {
+    /// Opening: expects `(` or `NUM`.
+    O,
+    /// Done opening: looks one token ahead.
+    D,
+    /// Closing: expects `)`.
+    C,
+    /// Adding: accepts (at count 0) or expects `+`.
+    A,
+}
+
+impl StateKind {
+    fn index(self) -> usize {
+        match self {
+            StateKind::O => 0,
+            StateKind::D => 1,
+            StateKind::C => 2,
+            StateKind::A => 3,
+        }
+    }
+}
+
+/// The tokens of the arithmetic alphabet, resolved once.
+#[derive(Debug, Clone)]
+pub struct ArithTokens {
+    /// The alphabet `{(, ), +, NUM}`.
+    pub alphabet: Alphabet,
+    /// `(`.
+    pub lp: Symbol,
+    /// `)`.
+    pub rp: Symbol,
+    /// `+`.
+    pub add: Symbol,
+    /// `NUM`.
+    pub num: Symbol,
+}
+
+impl ArithTokens {
+    /// Resolves the standard arithmetic alphabet.
+    pub fn new() -> ArithTokens {
+        let alphabet = Alphabet::arith();
+        ArithTokens {
+            lp: alphabet.symbol("(").expect("("),
+            rp: alphabet.symbol(")").expect(")"),
+            add: alphabet.symbol("+").expect("+"),
+            num: alphabet.symbol("NUM").expect("NUM"),
+            alphabet,
+        }
+    }
+}
+
+impl Default for ArithTokens {
+    fn default() -> ArithTokens {
+        ArithTokens::new()
+    }
+}
+
+/// The truncated trace grammar of the lookahead automaton, with the
+/// summand-layout conventions needed to build trace parse trees.
+#[derive(Debug, Clone)]
+pub struct LookaheadGrammar {
+    /// One definition per `(kind, n, b)` with `n ≤ max`.
+    pub system: Rc<MuSystem>,
+    /// The truncation bound on the paren count.
+    pub max: usize,
+    /// Token table.
+    pub tokens: ArithTokens,
+}
+
+/// `NotStartsWithLP` (corrected): `I ⊕ ((')' ⊕ '+') ⊗ ⊤)` — remainders on
+/// which `O` must fail.
+pub fn not_starts_with_lp(t: &ArithTokens) -> Grammar {
+    plus(vec![
+        eps(),
+        tensor(plus(vec![chr(t.rp), chr(t.add)]), top()),
+    ])
+}
+
+/// `NotStartsWithRP`: `I ⊕ (('(' ⊕ '+' ⊕ 'NUM') ⊗ ⊤)` — remainders that
+/// do not begin with a close paren (footnote 3 of the paper).
+pub fn not_starts_with_rp(t: &ArithTokens) -> Grammar {
+    plus(vec![
+        eps(),
+        tensor(plus(vec![chr(t.lp), chr(t.add), chr(t.num)]), top()),
+    ])
+}
+
+impl LookaheadGrammar {
+    /// Builds the truncated trace grammar with counts `0..=max`.
+    pub fn new(max: usize) -> LookaheadGrammar {
+        let t = ArithTokens::new();
+        let num_defs = 4 * (max + 1) * 2;
+        let mut defs: Vec<Grammar> = Vec::with_capacity(num_defs);
+        let mut names: Vec<String> = Vec::with_capacity(num_defs);
+        for kind in [StateKind::O, StateKind::D, StateKind::C, StateKind::A] {
+            for n in 0..=max {
+                for b in [false, true] {
+                    defs.push(Self::def_body(&t, max, kind, n, b));
+                    names.push(format!("{kind:?}({n},{b})"));
+                }
+            }
+        }
+        LookaheadGrammar {
+            system: MuSystem::new(defs, names),
+            max,
+            tokens: t,
+        }
+    }
+
+    /// Index of definition `(kind, n, b)`.
+    pub fn def_index(max: usize, kind: StateKind, n: usize, b: bool) -> usize {
+        (kind.index() * (max + 1) + n) * 2 + usize::from(b)
+    }
+
+    fn v(max: usize, kind: StateKind, n: usize, b: bool) -> Grammar {
+        var(Self::def_index(max, kind, n, b))
+    }
+
+    fn def_body(t: &ArithTokens, max: usize, kind: StateKind, n: usize, b: bool) -> Grammar {
+        let mut summands: Vec<Grammar> = Vec::new();
+        match kind {
+            StateKind::O => {
+                if n < max {
+                    summands.push(tensor(chr(t.lp), Self::v(max, StateKind::O, n + 1, b)));
+                }
+                summands.push(tensor(chr(t.num), Self::v(max, StateKind::D, n, b)));
+                if !b {
+                    summands.push(not_starts_with_lp(t));
+                }
+            }
+            StateKind::D => {
+                summands.push(and(
+                    tensor(chr(t.rp), top()),
+                    Self::v(max, StateKind::C, n, b),
+                ));
+                summands.push(and(not_starts_with_rp(t), Self::v(max, StateKind::A, n, b)));
+            }
+            StateKind::C => {
+                if n >= 1 {
+                    summands.push(tensor(chr(t.rp), Self::v(max, StateKind::D, n - 1, b)));
+                } else if !b {
+                    // closeBad, widened to cover the rest of the input.
+                    summands.push(tensor(chr(t.rp), top()));
+                }
+                if !b {
+                    summands.push(not_starts_with_rp(t));
+                }
+            }
+            StateKind::A => {
+                if (n == 0) == b && (b || n > 0) {
+                    // doneGood : A 0 true; doneBad : A (n+1) false.
+                    summands.push(eps());
+                }
+                summands.push(tensor(chr(t.add), Self::v(max, StateKind::O, n, b)));
+                if !b {
+                    summands.push(tensor(
+                        plus(vec![chr(t.lp), chr(t.rp), chr(t.num)]),
+                        top(),
+                    ));
+                }
+            }
+        }
+        plus(summands)
+    }
+
+    /// The grammar of traces from `(kind, n, b)`.
+    pub fn state(&self, kind: StateKind, n: usize, b: bool) -> Grammar {
+        mu(
+            self.system.clone(),
+            Self::def_index(self.max, kind, n, b),
+        )
+    }
+}
+
+/// Pure acceptance run of the (untruncated) machine from `O 0`.
+pub fn simulate(t: &ArithTokens, w: &GString) -> bool {
+    sim(t, w, StateKind::O, 0, 0)
+}
+
+fn sim(t: &ArithTokens, w: &GString, kind: StateKind, n: usize, pos: usize) -> bool {
+    let tok = (pos < w.len()).then(|| w[pos]);
+    match kind {
+        StateKind::O => match tok {
+            Some(c) if c == t.lp => sim(t, w, StateKind::O, n + 1, pos + 1),
+            Some(c) if c == t.num => sim(t, w, StateKind::D, n, pos + 1),
+            _ => false,
+        },
+        StateKind::D => match tok {
+            Some(c) if c == t.rp => sim(t, w, StateKind::C, n, pos),
+            _ => sim(t, w, StateKind::A, n, pos),
+        },
+        StateKind::C => match tok {
+            Some(c) if c == t.rp && n >= 1 => sim(t, w, StateKind::D, n - 1, pos + 1),
+            _ => false,
+        },
+        StateKind::A => match tok {
+            None => n == 0,
+            Some(c) if c == t.add => sim(t, w, StateKind::O, n, pos + 1),
+            _ => false,
+        },
+    }
+}
+
+/// Builds the trace parse tree for `w` from `O 0 b` (where `b` is the
+/// machine's verdict). Requires `w.len() <= lg.max`.
+///
+/// # Panics
+///
+/// Panics if `w` is longer than the truncation bound.
+pub fn parse_lookahead(lg: &LookaheadGrammar, w: &GString) -> (bool, ParseTree) {
+    assert!(
+        w.len() <= lg.max,
+        "input of length {} exceeds truncation bound {}",
+        w.len(),
+        lg.max
+    );
+    let b = simulate(&lg.tokens, w);
+    let tree = build(lg, w, StateKind::O, 0, 0, b);
+    (b, tree)
+}
+
+/// The suffix `w[pos..]` as a `⊤` parse.
+fn rest_top(w: &GString, pos: usize) -> ParseTree {
+    ParseTree::Top(w.substring(pos, w.len()))
+}
+
+/// Parse of `NotStartsWith…` at `w[pos..]`: `σ0 ()` for ε, otherwise
+/// `σ1 (σ_tag tok, ⊤)` where `tag` indexes the token list.
+fn not_starts_parse(w: &GString, pos: usize, token_order: &[Symbol]) -> ParseTree {
+    if pos >= w.len() {
+        ParseTree::inj(0, ParseTree::Unit)
+    } else {
+        let tok = w[pos];
+        let tag = token_order
+            .iter()
+            .position(|&s| s == tok)
+            .expect("token must be one of the excluded starters");
+        ParseTree::inj(
+            1,
+            ParseTree::pair(
+                ParseTree::inj(tag, ParseTree::Char(tok)),
+                rest_top(w, pos + 1),
+            ),
+        )
+    }
+}
+
+fn build(
+    lg: &LookaheadGrammar,
+    w: &GString,
+    kind: StateKind,
+    n: usize,
+    pos: usize,
+    b: bool,
+) -> ParseTree {
+    let t = &lg.tokens;
+    let max = lg.max;
+    let tok = (pos < w.len()).then(|| w[pos]);
+    let tree = match kind {
+        StateKind::O => {
+            let has_left = n < max;
+            match tok {
+                Some(c) if c == t.lp => {
+                    assert!(has_left, "count exceeded truncation bound");
+                    ParseTree::inj(
+                        0,
+                        ParseTree::pair(
+                            ParseTree::Char(c),
+                            build(lg, w, StateKind::O, n + 1, pos + 1, b),
+                        ),
+                    )
+                }
+                Some(c) if c == t.num => ParseTree::inj(
+                    usize::from(has_left),
+                    ParseTree::pair(
+                        ParseTree::Char(c),
+                        build(lg, w, StateKind::D, n, pos + 1, b),
+                    ),
+                ),
+                _ => {
+                    debug_assert!(!b, "O must fail on {tok:?}");
+                    ParseTree::inj(
+                        usize::from(has_left) + 1,
+                        not_starts_parse(w, pos, &[t.rp, t.add]),
+                    )
+                }
+            }
+        }
+        StateKind::D => match tok {
+            Some(c) if c == t.rp => ParseTree::inj(
+                0,
+                ParseTree::Tuple(vec![
+                    ParseTree::pair(ParseTree::Char(c), rest_top(w, pos + 1)),
+                    build(lg, w, StateKind::C, n, pos, b),
+                ]),
+            ),
+            _ => ParseTree::inj(
+                1,
+                ParseTree::Tuple(vec![
+                    not_starts_parse(w, pos, &[t.lp, t.add, t.num]),
+                    build(lg, w, StateKind::A, n, pos, b),
+                ]),
+            ),
+        },
+        StateKind::C => match tok {
+            Some(c) if c == t.rp && n >= 1 => ParseTree::inj(
+                0,
+                ParseTree::pair(
+                    ParseTree::Char(c),
+                    build(lg, w, StateKind::D, n - 1, pos + 1, b),
+                ),
+            ),
+            Some(c) if c == t.rp => {
+                debug_assert!(!b);
+                // closeBad: ')' ⊗ ⊤.
+                ParseTree::inj(
+                    0,
+                    ParseTree::pair(ParseTree::Char(c), rest_top(w, pos + 1)),
+                )
+            }
+            _ => {
+                debug_assert!(!b);
+                let idx = usize::from(n >= 1 || !b); // after closeGood/closeBad
+                ParseTree::inj(idx, not_starts_parse(w, pos, &[t.lp, t.add, t.num]))
+            }
+        },
+        StateKind::A => {
+            let has_done = (n == 0) == b && (b || n > 0);
+            match tok {
+                None => {
+                    debug_assert!(has_done, "A at ε must have a done constructor");
+                    ParseTree::inj(0, ParseTree::Unit)
+                }
+                Some(c) if c == t.add => ParseTree::inj(
+                    usize::from(has_done),
+                    ParseTree::pair(
+                        ParseTree::Char(c),
+                        build(lg, w, StateKind::O, n, pos + 1, b),
+                    ),
+                ),
+                Some(c) => {
+                    debug_assert!(!b);
+                    let tag = [t.lp, t.rp, t.num]
+                        .iter()
+                        .position(|&s| s == c)
+                        .expect("unexpected token must be (, ) or NUM");
+                    ParseTree::inj(
+                        usize::from(has_done) + 1,
+                        ParseTree::pair(
+                            ParseTree::inj(tag, ParseTree::Char(c)),
+                            rest_top(w, pos + 1),
+                        ),
+                    )
+                }
+            }
+        }
+    };
+    ParseTree::roll(tree)
+}
+
+/// The verified parser of Theorem 4.14's substrate: grammar `O 0 true`,
+/// negative grammar `O 0 false`, run function the lookahead machine.
+/// Valid for inputs of length ≤ `max`.
+pub fn lookahead_parser(max: usize) -> VerifiedParser {
+    let lg = LookaheadGrammar::new(max);
+    let target = lg.state(StateKind::O, 0, true);
+    let negative = lg.state(StateKind::O, 0, false);
+    let dom = string_grammar(&lg.tokens.alphabet);
+    let cod = lambek_core::grammar::expr::alt(target.clone(), negative.clone());
+    let alphabet = lg.tokens.alphabet.clone();
+    let run = Transformer::from_fn("lookahead-parse", dom, cod, move |t| {
+        let w = t.flatten();
+        if w.len() > lg.max {
+            return Err(TransformError::Custom(format!(
+                "input of length {} exceeds truncation bound {}",
+                w.len(),
+                lg.max
+            )));
+        }
+        let (b, tree) = parse_lookahead(&lg, &w);
+        Ok(ParseTree::inj(usize::from(!b), tree))
+    });
+    VerifiedParser::new(alphabet, target, negative, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambek_core::grammar::compile::CompiledGrammar;
+    use lambek_core::grammar::expr::alt;
+    use lambek_core::grammar::parse_tree::validate;
+    use lambek_core::theory::unambiguous::{all_strings, check_unambiguous};
+
+    fn parse_tokens(t: &ArithTokens, s: &str) -> GString {
+        // Single-char rendering: n = NUM for compactness in tests.
+        s.chars()
+            .map(|c| match c {
+                '(' => t.lp,
+                ')' => t.rp,
+                '+' => t.add,
+                'n' => t.num,
+                other => panic!("bad test token {other}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn machine_accepts_expressions() {
+        let t = ArithTokens::new();
+        for yes in ["n", "n+n", "(n)", "(n+n)+n", "((n))", "n+(n+n)"] {
+            assert!(simulate(&t, &parse_tokens(&t, yes)), "{yes}");
+        }
+        for no in ["", "+", "n+", "()", "(n", "n)", "nn", "n++n", "(n+)"] {
+            assert!(!simulate(&t, &parse_tokens(&t, no)), "{no}");
+        }
+    }
+
+    #[test]
+    fn traces_validate_and_yield_input() {
+        let lg = LookaheadGrammar::new(8);
+        let t = lg.tokens.clone();
+        for s in ["n", "n+n", "(n)", "(n+n)+n", "", "+", "())", "(n+)n"] {
+            let w = parse_tokens(&t, s);
+            let (b, tree) = parse_lookahead(&lg, &w);
+            assert_eq!(b, simulate(&t, &w), "{s}");
+            validate(&tree, &lg.state(StateKind::O, 0, b), &w)
+                .unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn trace_language_matches_machine() {
+        let lg = LookaheadGrammar::new(4);
+        let t = lg.tokens.clone();
+        let cg_true = CompiledGrammar::new(&lg.state(StateKind::O, 0, true));
+        let cg_false = CompiledGrammar::new(&lg.state(StateKind::O, 0, false));
+        for w in all_strings(&t.alphabet, 4) {
+            let b = simulate(&t, &w);
+            assert_eq!(cg_true.recognizes(&w), b, "{w}");
+            assert_eq!(cg_false.recognizes(&w), !b, "{w}");
+        }
+    }
+
+    #[test]
+    fn o_sum_is_unambiguous() {
+        // ⊕_b O 0 b is unambiguous (the corrected partition; see module
+        // docs) — the property Lemma 4.7 needs to conclude disjointness.
+        let lg = LookaheadGrammar::new(3);
+        let sum = alt(
+            lg.state(StateKind::O, 0, true),
+            lg.state(StateKind::O, 0, false),
+        );
+        check_unambiguous(&sum, &lg.tokens.alphabet, 3).unwrap();
+    }
+
+    #[test]
+    fn theorem_4_14_parser_audits() {
+        let p = lookahead_parser(3);
+        p.audit_disjointness(3).unwrap();
+        p.audit_against_recognizer(3).unwrap();
+    }
+
+    #[test]
+    fn deep_nesting_within_bound() {
+        let lg = LookaheadGrammar::new(12);
+        let t = lg.tokens.clone();
+        let w = parse_tokens(&t, "((((n))))");
+        let (b, tree) = parse_lookahead(&lg, &w);
+        assert!(b);
+        validate(&tree, &lg.state(StateKind::O, 0, true), &w).unwrap();
+    }
+}

@@ -1,0 +1,157 @@
+//! DFA minimization by partition refinement (Moore's algorithm).
+//!
+//! An extension beyond the paper used by the experiment harness: minimizing
+//! the determinized automaton before building its trace parser shrinks the
+//! trace grammar, and comparing minimized sizes gives the canonical-form
+//! check used by the DFA-equivalence tests.
+
+use std::collections::HashMap;
+
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+
+/// Removes states unreachable from the initial state.
+pub fn trim(dfa: &Dfa) -> Dfa {
+    let alphabet = dfa.alphabet().clone();
+    let mut reached: Vec<bool> = vec![false; dfa.num_states()];
+    let mut stack = vec![dfa.init()];
+    reached[dfa.init()] = true;
+    while let Some(s) = stack.pop() {
+        for c in alphabet.symbols() {
+            let t = dfa.delta(s, c);
+            if !reached[t] {
+                reached[t] = true;
+                stack.push(t);
+            }
+        }
+    }
+    let mut remap: Vec<Option<StateId>> = vec![None; dfa.num_states()];
+    let mut next = 0;
+    for (s, &r) in reached.iter().enumerate() {
+        if r {
+            remap[s] = Some(next);
+            next += 1;
+        }
+    }
+    let mut accepting = Vec::with_capacity(next);
+    let mut delta = Vec::with_capacity(next);
+    for s in 0..dfa.num_states() {
+        if remap[s].is_none() {
+            continue;
+        }
+        accepting.push(dfa.is_accepting(s));
+        delta.push(
+            alphabet
+                .symbols()
+                .map(|c| remap[dfa.delta(s, c)].expect("successor of reachable is reachable"))
+                .collect(),
+        );
+    }
+    Dfa::new(
+        alphabet,
+        remap[dfa.init()].expect("init is reachable"),
+        accepting,
+        delta,
+    )
+}
+
+/// Minimizes a DFA: trims unreachable states, then merges
+/// behaviour-equivalent states by iterated partition refinement.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let dfa = trim(dfa);
+    let alphabet = dfa.alphabet().clone();
+    let n = dfa.num_states();
+    // Initial partition: accepting vs rejecting.
+    let mut class: Vec<usize> = (0..n).map(|s| usize::from(dfa.is_accepting(s))).collect();
+    loop {
+        // Signature of a state: (class, classes of successors).
+        let mut sig_index: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+        let mut next_class = vec![0; n];
+        for s in 0..n {
+            let sig = (
+                class[s],
+                alphabet
+                    .symbols()
+                    .map(|c| class[dfa.delta(s, c)])
+                    .collect::<Vec<_>>(),
+            );
+            let fresh = sig_index.len();
+            next_class[s] = *sig_index.entry(sig).or_insert(fresh);
+        }
+        if next_class == class {
+            break;
+        }
+        class = next_class;
+    }
+    let num_classes = class.iter().max().map_or(0, |&m| m + 1);
+    // One representative per class.
+    let mut rep: Vec<Option<StateId>> = vec![None; num_classes];
+    for s in 0..n {
+        rep[class[s]].get_or_insert(s);
+    }
+    let accepting: Vec<bool> = rep
+        .iter()
+        .map(|r| dfa.is_accepting(r.expect("every class has a member")))
+        .collect();
+    let delta: Vec<Vec<StateId>> = rep
+        .iter()
+        .map(|r| {
+            let s = r.expect("every class has a member");
+            alphabet
+                .symbols()
+                .map(|c| class[dfa.delta(s, c)])
+                .collect()
+        })
+        .collect();
+    Dfa::new(alphabet, class[dfa.init()], accepting, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::fig5_dfa;
+    use crate::equiv::equivalent;
+    use lambek_core::alphabet::Alphabet;
+    use lambek_core::theory::unambiguous::all_strings;
+
+    #[test]
+    fn minimize_preserves_language() {
+        let dfa = fig5_dfa();
+        let min = minimize(&dfa);
+        let s = dfa.alphabet().clone();
+        for w in all_strings(&s, 5) {
+            assert_eq!(dfa.accepts(&w), min.accepts(&w), "{w}");
+        }
+        assert!(min.num_states() <= dfa.num_states());
+    }
+
+    #[test]
+    fn redundant_states_are_merged() {
+        // Two interchangeable accepting states.
+        let sigma = Alphabet::from_chars("a");
+        let a_row = |t: StateId| vec![t];
+        let dfa = Dfa::new(
+            sigma,
+            0,
+            vec![false, true, true],
+            vec![a_row(1), a_row(2), a_row(1)],
+        );
+        let min = minimize(&dfa);
+        assert_eq!(min.num_states(), 2);
+        assert!(equivalent(&dfa, &min).is_none());
+    }
+
+    #[test]
+    fn trim_drops_unreachable() {
+        let sigma = Alphabet::from_chars("a");
+        // State 2 unreachable.
+        let dfa = Dfa::new(
+            sigma,
+            0,
+            vec![false, true, true],
+            vec![vec![1], vec![0], vec![2]],
+        );
+        let t = trim(&dfa);
+        assert_eq!(t.num_states(), 2);
+    }
+}

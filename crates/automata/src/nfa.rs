@@ -1,0 +1,544 @@
+//! Non-deterministic finite automata and their traces (Fig. 5, Fig. 11).
+//!
+//! An [`Nfa`] has character-labeled transitions and ε-transitions. Its
+//! *trace type* `TraceN : (s : states) → L` is the indexed inductive
+//! linear type of Fig. 11: a `TraceN s` parse of `w` is a path through the
+//! automaton from `s` that consumes exactly `w` and ends at an accepting
+//! state. [`Nfa::trace_grammar`] builds that type as a
+//! [`MuSystem`] — one definition per
+//! state — and [`NfaTrace`] is the native Rust value form with
+//! conversions to and from parse trees.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use lambek_core::alphabet::{Alphabet, GString, Symbol};
+use lambek_core::grammar::expr::{chr, eps, mu, plus, tensor, var, Grammar, MuSystem};
+use lambek_core::grammar::parse_tree::ParseTree;
+
+/// Index of an automaton state.
+pub type StateId = usize;
+
+/// A character-labeled transition `src --label--> dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Transition {
+    /// Source state.
+    pub src: StateId,
+    /// The consumed symbol.
+    pub label: Symbol,
+    /// Destination state.
+    pub dst: StateId,
+}
+
+/// An ε-transition `src --ε--> dst` (consumes nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EpsTransition {
+    /// Source state.
+    pub src: StateId,
+    /// Destination state.
+    pub dst: StateId,
+}
+
+/// A non-deterministic finite automaton over an [`Alphabet`].
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    alphabet: Alphabet,
+    num_states: usize,
+    init: StateId,
+    accepting: Vec<bool>,
+    transitions: Vec<Transition>,
+    eps_transitions: Vec<EpsTransition>,
+}
+
+impl Nfa {
+    /// Creates an NFA with `num_states` states (initially none accepting,
+    /// no transitions) and the given initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init >= num_states` or `num_states == 0`.
+    pub fn new(alphabet: Alphabet, num_states: usize, init: StateId) -> Nfa {
+        assert!(num_states > 0, "an NFA needs at least one state");
+        assert!(init < num_states, "initial state out of range");
+        Nfa {
+            alphabet,
+            num_states,
+            init,
+            accepting: vec![false; num_states],
+            transitions: Vec::new(),
+            eps_transitions: Vec::new(),
+        }
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        self.num_states += 1;
+        self.accepting.push(false);
+        self.num_states - 1
+    }
+
+    /// Marks a state accepting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn set_accepting(&mut self, state: StateId, accepting: bool) {
+        self.accepting[state] = accepting;
+    }
+
+    /// Adds a labeled transition and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of range.
+    pub fn add_transition(&mut self, src: StateId, label: Symbol, dst: StateId) -> usize {
+        assert!(src < self.num_states && dst < self.num_states);
+        self.transitions.push(Transition { src, label, dst });
+        self.transitions.len() - 1
+    }
+
+    /// Adds an ε-transition and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of range.
+    pub fn add_eps(&mut self, src: StateId, dst: StateId) -> usize {
+        assert!(src < self.num_states && dst < self.num_states);
+        self.eps_transitions.push(EpsTransition { src, dst });
+        self.eps_transitions.len() - 1
+    }
+
+    /// The input alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The initial state.
+    pub fn init(&self) -> StateId {
+        self.init
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting[state]
+    }
+
+    /// All labeled transitions, in insertion order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// All ε-transitions, in insertion order.
+    pub fn eps_transitions(&self) -> &[EpsTransition] {
+        &self.eps_transitions
+    }
+
+    /// The ε-closure of a set of states: everything reachable through
+    /// ε-transitions (including the set itself).
+    pub fn eps_closure(&self, states: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+        let mut closure = states.clone();
+        let mut stack: Vec<StateId> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for e in &self.eps_transitions {
+                if e.src == s && closure.insert(e.dst) {
+                    stack.push(e.dst);
+                }
+            }
+        }
+        closure
+    }
+
+    /// One subset-construction step: states reachable from `states` by
+    /// consuming `sym`, ε-closed.
+    pub fn step(&self, states: &BTreeSet<StateId>, sym: Symbol) -> BTreeSet<StateId> {
+        let moved: BTreeSet<StateId> = self
+            .transitions
+            .iter()
+            .filter(|t| t.label == sym && states.contains(&t.src))
+            .map(|t| t.dst)
+            .collect();
+        self.eps_closure(&moved)
+    }
+
+    /// Whether the NFA accepts `w` from its initial state (subset
+    /// simulation).
+    pub fn accepts(&self, w: &GString) -> bool {
+        self.accepts_from(self.init, w)
+    }
+
+    /// Whether the NFA accepts `w` starting from `state`.
+    pub fn accepts_from(&self, state: StateId, w: &GString) -> bool {
+        let mut current = self.eps_closure(&BTreeSet::from([state]));
+        for sym in w.iter() {
+            current = self.step(&current, sym);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|&s| self.accepting[s])
+    }
+
+    /// The layout of the trace grammar: for each state, how its summands
+    /// are ordered. Needed to map between [`NfaTrace`] values and parse
+    /// trees of [`Nfa::trace_grammar`].
+    pub fn trace_layout(&self) -> TraceLayout {
+        let mut per_state = Vec::with_capacity(self.num_states);
+        for s in 0..self.num_states {
+            let nil = if self.accepting[s] { Some(0) } else { None };
+            let mut next = nil.map_or(0, |_| 1);
+            let mut cons = Vec::new();
+            for (i, t) in self.transitions.iter().enumerate() {
+                if t.src == s {
+                    cons.push((i, next));
+                    next += 1;
+                }
+            }
+            let mut eps_cons = Vec::new();
+            for (i, e) in self.eps_transitions.iter().enumerate() {
+                if e.src == s {
+                    eps_cons.push((i, next));
+                    next += 1;
+                }
+            }
+            per_state.push(StateLayout {
+                nil,
+                cons,
+                eps_cons,
+            });
+        }
+        TraceLayout { per_state }
+    }
+
+    /// The indexed inductive trace type `TraceN` of Fig. 11 as a system of
+    /// mutually recursive grammars, one definition per state:
+    ///
+    /// ```text
+    /// Trace s = (ε if s accepting)
+    ///         ⊕ ⊕_{t : s --c--> s'} 'c' ⊗ Trace s'
+    ///         ⊕ ⊕_{e : s --ε--> s'} Trace s'
+    /// ```
+    pub fn trace_grammar(&self) -> TraceGrammar {
+        let layout = self.trace_layout();
+        let mut defs = Vec::with_capacity(self.num_states);
+        let mut names = Vec::with_capacity(self.num_states);
+        for s in 0..self.num_states {
+            let l = &layout.per_state[s];
+            let mut summands: Vec<Grammar> = Vec::new();
+            if l.nil.is_some() {
+                summands.push(eps());
+            }
+            for &(t, _) in &l.cons {
+                let tr = self.transitions[t];
+                summands.push(tensor(chr(tr.label), var(tr.dst)));
+            }
+            for &(e, _) in &l.eps_cons {
+                summands.push(var(self.eps_transitions[e].dst));
+            }
+            defs.push(plus(summands));
+            names.push(format!("Trace{s}"));
+        }
+        TraceGrammar {
+            system: MuSystem::new(defs, names),
+            layout,
+        }
+    }
+}
+
+/// Per-state summand ordering of the trace grammar.
+#[derive(Debug, Clone)]
+pub struct StateLayout {
+    /// Summand index of the `nil`/`stop` constructor, if the state accepts.
+    pub nil: Option<usize>,
+    /// `(transition id, summand index)` for each outgoing labeled
+    /// transition.
+    pub cons: Vec<(usize, usize)>,
+    /// `(ε-transition id, summand index)` for each outgoing ε-transition.
+    pub eps_cons: Vec<(usize, usize)>,
+}
+
+/// Layout of all states' trace summands.
+#[derive(Debug, Clone)]
+pub struct TraceLayout {
+    /// Indexed by state.
+    pub per_state: Vec<StateLayout>,
+}
+
+/// The trace type of an NFA: the `μ` system plus the summand layout.
+#[derive(Debug, Clone)]
+pub struct TraceGrammar {
+    /// One definition per state.
+    pub system: std::rc::Rc<MuSystem>,
+    /// How constructors map to summand indices.
+    pub layout: TraceLayout,
+}
+
+impl TraceGrammar {
+    /// The grammar `TraceN s` of traces starting at `s`.
+    pub fn trace(&self, s: StateId) -> Grammar {
+        mu(self.system.clone(), s)
+    }
+}
+
+/// An accepting trace through an NFA, as native data (Fig. 5's values).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NfaTrace {
+    /// `stop`: the current state is accepting; the trace ends.
+    Stop,
+    /// `cons`: follow labeled transition `transition`, then continue.
+    Step {
+        /// Index into [`Nfa::transitions`].
+        transition: usize,
+        /// The rest of the trace, from the transition's destination.
+        rest: Box<NfaTrace>,
+    },
+    /// `εcons`: follow ε-transition `eps`, then continue.
+    EpsStep {
+        /// Index into [`Nfa::eps_transitions`].
+        eps: usize,
+        /// The rest of the trace.
+        rest: Box<NfaTrace>,
+    },
+}
+
+impl NfaTrace {
+    /// Convenience constructor for [`NfaTrace::Step`].
+    pub fn step(transition: usize, rest: NfaTrace) -> NfaTrace {
+        NfaTrace::Step {
+            transition,
+            rest: Box::new(rest),
+        }
+    }
+
+    /// Convenience constructor for [`NfaTrace::EpsStep`].
+    pub fn eps_step(eps: usize, rest: NfaTrace) -> NfaTrace {
+        NfaTrace::EpsStep {
+            eps,
+            rest: Box::new(rest),
+        }
+    }
+
+    /// The string consumed by the trace.
+    pub fn yield_string(&self, nfa: &Nfa) -> GString {
+        let mut w = GString::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                NfaTrace::Stop => return w,
+                NfaTrace::Step { transition, rest } => {
+                    w.push(nfa.transitions()[*transition].label);
+                    cur = rest;
+                }
+                NfaTrace::EpsStep { rest, .. } => cur = rest,
+            }
+        }
+    }
+
+    /// Checks that the trace is a well-formed accepting path from `state`.
+    pub fn is_valid_from(&self, nfa: &Nfa, state: StateId) -> bool {
+        match self {
+            NfaTrace::Stop => nfa.is_accepting(state),
+            NfaTrace::Step { transition, rest } => {
+                let t = nfa.transitions()[*transition];
+                t.src == state && rest.is_valid_from(nfa, t.dst)
+            }
+            NfaTrace::EpsStep { eps, rest } => {
+                let e = nfa.eps_transitions()[*eps];
+                e.src == state && rest.is_valid_from(nfa, e.dst)
+            }
+        }
+    }
+
+    /// Converts the trace to a parse tree of `trace_grammar.trace(state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not valid from `state`.
+    pub fn to_parse_tree(&self, nfa: &Nfa, tg: &TraceGrammar, state: StateId) -> ParseTree {
+        let layout = &tg.layout.per_state[state];
+        match self {
+            NfaTrace::Stop => {
+                let idx = layout.nil.expect("Stop at a non-accepting state");
+                ParseTree::roll(ParseTree::inj(idx, ParseTree::Unit))
+            }
+            NfaTrace::Step { transition, rest } => {
+                let t = nfa.transitions()[*transition];
+                assert_eq!(t.src, state, "trace does not start at {state}");
+                let (_, idx) = *layout
+                    .cons
+                    .iter()
+                    .find(|(tid, _)| tid == transition)
+                    .expect("transition not outgoing from state");
+                let rest_tree = rest.to_parse_tree(nfa, tg, t.dst);
+                ParseTree::roll(ParseTree::inj(
+                    idx,
+                    ParseTree::pair(ParseTree::Char(t.label), rest_tree),
+                ))
+            }
+            NfaTrace::EpsStep { eps, rest } => {
+                let e = nfa.eps_transitions()[*eps];
+                assert_eq!(e.src, state, "trace does not start at {state}");
+                let (_, idx) = *layout
+                    .eps_cons
+                    .iter()
+                    .find(|(eid, _)| eid == eps)
+                    .expect("ε-transition not outgoing from state");
+                ParseTree::roll(ParseTree::inj(idx, rest.to_parse_tree(nfa, tg, e.dst)))
+            }
+        }
+    }
+
+    /// Reads a trace back from a parse tree of `trace_grammar.trace(state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is not a valid trace parse.
+    pub fn from_parse_tree(
+        tree: &ParseTree,
+        nfa: &Nfa,
+        tg: &TraceGrammar,
+        state: StateId,
+    ) -> NfaTrace {
+        let layout = &tg.layout.per_state[state];
+        let (index, inner) = match tree {
+            ParseTree::Roll(inner) => match &**inner {
+                ParseTree::Inj { index, tree } => (*index, tree),
+                other => panic!("trace tree must be roll(σ …), got {other}"),
+            },
+            other => panic!("trace tree must be roll(…), got {other}"),
+        };
+        if layout.nil == Some(index) {
+            return NfaTrace::Stop;
+        }
+        if let Some(&(tid, _)) = layout.cons.iter().find(|(_, i)| *i == index) {
+            let dst = nfa.transitions()[tid].dst;
+            match &**inner {
+                ParseTree::Pair(_, rest) => {
+                    NfaTrace::step(tid, NfaTrace::from_parse_tree(rest, nfa, tg, dst))
+                }
+                other => panic!("cons summand must be a pair, got {other}"),
+            }
+        } else if let Some(&(eid, _)) = layout.eps_cons.iter().find(|(_, i)| *i == index) {
+            let dst = nfa.eps_transitions()[eid].dst;
+            NfaTrace::eps_step(eid, NfaTrace::from_parse_tree(inner, nfa, tg, dst))
+        } else {
+            panic!("summand {index} not in layout of state {state}")
+        }
+    }
+}
+
+impl fmt::Display for NfaTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NfaTrace::Stop => write!(f, "stop"),
+            NfaTrace::Step { transition, rest } => write!(f, "t{transition}·{rest}"),
+            NfaTrace::EpsStep { eps, rest } => write!(f, "ε{eps}·{rest}"),
+        }
+    }
+}
+
+/// Builds the paper's Fig. 5 NFA for `('a'* ⊗ 'b') ⊕ 'c'` over `{a,b,c}`:
+/// states 0 (init), 1, 2 (accepting); `1 --a--> 1`, `1 --b--> 2`,
+/// `0 --c--> 2`, `0 --ε--> 1`. Returns the NFA and the transition ids
+/// `(t_1to1, t_1to2, t_0to2, e_0to1)`.
+pub fn fig5_nfa() -> (Nfa, [usize; 4]) {
+    let sigma = Alphabet::abc();
+    let (a, b, c) = (
+        sigma.symbol("a").unwrap(),
+        sigma.symbol("b").unwrap(),
+        sigma.symbol("c").unwrap(),
+    );
+    let mut nfa = Nfa::new(sigma, 3, 0);
+    nfa.set_accepting(2, true);
+    let t11 = nfa.add_transition(1, a, 1);
+    let t12 = nfa.add_transition(1, b, 2);
+    let t02 = nfa.add_transition(0, c, 2);
+    let e01 = nfa.add_eps(0, 1);
+    (nfa, [t11, t12, t02, e01])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambek_core::grammar::compile::CompiledGrammar;
+    use lambek_core::grammar::parse_tree::validate;
+    use lambek_core::theory::unambiguous::all_strings;
+
+    #[test]
+    fn fig5_nfa_accepts_the_right_language() {
+        let (nfa, _) = fig5_nfa();
+        let s = nfa.alphabet().clone();
+        for yes in ["b", "ab", "aab", "c"] {
+            assert!(nfa.accepts(&s.parse_str(yes).unwrap()), "{yes}");
+        }
+        for no in ["", "a", "ba", "cc", "bc"] {
+            assert!(!nfa.accepts(&s.parse_str(no).unwrap()), "{no}");
+        }
+    }
+
+    #[test]
+    fn fig5_trace_term_k() {
+        // k (a , b) = 0to1 (1to1 a (1to2 b stop)) — Fig. 5's term for "ab".
+        let (nfa, [t11, t12, _, e01]) = fig5_nfa();
+        let trace = NfaTrace::eps_step(
+            e01,
+            NfaTrace::step(t11, NfaTrace::step(t12, NfaTrace::Stop)),
+        );
+        assert!(trace.is_valid_from(&nfa, 0));
+        let s = nfa.alphabet().clone();
+        assert_eq!(trace.yield_string(&nfa), s.parse_str("ab").unwrap());
+        // And as a parse tree of the trace grammar.
+        let tg = nfa.trace_grammar();
+        let tree = trace.to_parse_tree(&nfa, &tg, 0);
+        validate(&tree, &tg.trace(0), &s.parse_str("ab").unwrap()).unwrap();
+        // Roundtrip.
+        assert_eq!(NfaTrace::from_parse_tree(&tree, &nfa, &tg, 0), trace);
+    }
+
+    #[test]
+    fn trace_grammar_language_matches_acceptance() {
+        let (nfa, _) = fig5_nfa();
+        let s = nfa.alphabet().clone();
+        let tg = nfa.trace_grammar();
+        let cg = CompiledGrammar::new(&tg.trace(nfa.init()));
+        for w in all_strings(&s, 4) {
+            assert_eq!(cg.recognizes(&w), nfa.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn eps_closure_and_step() {
+        let (nfa, _) = fig5_nfa();
+        let closure = nfa.eps_closure(&BTreeSet::from([0]));
+        assert_eq!(closure, BTreeSet::from([0, 1]));
+        let a = nfa.alphabet().symbol("a").unwrap();
+        assert_eq!(nfa.step(&closure, a), BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn trace_validity_rejects_wrong_start() {
+        let (nfa, [t11, ..]) = fig5_nfa();
+        let trace = NfaTrace::step(t11, NfaTrace::Stop);
+        assert!(!trace.is_valid_from(&nfa, 0)); // t11 starts at 1, not 0
+        assert!(!trace.is_valid_from(&nfa, 1)); // stop at 1: not accepting
+    }
+
+    #[test]
+    fn ambiguous_nfa_has_multiple_traces() {
+        // Two parallel paths for "a": trace grammar has 2 parses.
+        let sigma = Alphabet::abc();
+        let a = sigma.symbol("a").unwrap();
+        let mut nfa = Nfa::new(sigma.clone(), 2, 0);
+        nfa.set_accepting(1, true);
+        nfa.add_transition(0, a, 1);
+        nfa.add_transition(0, a, 1);
+        let tg = nfa.trace_grammar();
+        let cg = CompiledGrammar::new(&tg.trace(0));
+        let amb = cg.count_parses(&sigma.parse_str("a").unwrap(), 8);
+        assert_eq!(amb.count, 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Boolean operations on DFAs: complement, intersection, union.
+//!
+//! These give the standard constructions behind Definition 4.5's
+//! *disjointness*: the complement automaton recognizes exactly the
+//! negative language (so `TraceD(·, false)` of a DFA *is* the complement's
+//! accepting-trace grammar), and the intersection DFA decides whether two
+//! regular grammars share a string — an executable disjointness oracle
+//! for the regular fragment, used by the test suite as an independent
+//! cross-check of `check_disjoint`.
+
+use lambek_core::alphabet::Alphabet;
+
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+
+/// The complement DFA: accepts exactly the strings `dfa` rejects.
+pub fn complement(dfa: &Dfa) -> Dfa {
+    let alphabet = dfa.alphabet().clone();
+    let accepting = (0..dfa.num_states()).map(|s| !dfa.is_accepting(s)).collect();
+    let delta = (0..dfa.num_states())
+        .map(|s| alphabet.symbols().map(|c| dfa.delta(s, c)).collect())
+        .collect();
+    Dfa::new(alphabet, dfa.init(), accepting, delta)
+}
+
+/// How to combine acceptance bits in a product automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoolOp {
+    /// Accept when both accept.
+    And,
+    /// Accept when either accepts.
+    Or,
+    /// Accept when exactly one accepts (symmetric difference —
+    /// the language-equivalence test's acceptance condition).
+    Xor,
+}
+
+/// The product DFA of `a` and `b` under `op`.
+///
+/// # Panics
+///
+/// Panics if the alphabets differ.
+pub fn product(a: &Dfa, b: &Dfa, op: BoolOp) -> Dfa {
+    assert_eq!(a.alphabet(), b.alphabet(), "alphabets must agree");
+    let alphabet: Alphabet = a.alphabet().clone();
+    let (na, nb) = (a.num_states(), b.num_states());
+    let id = |sa: StateId, sb: StateId| sa * nb + sb;
+    let mut accepting = Vec::with_capacity(na * nb);
+    let mut delta = Vec::with_capacity(na * nb);
+    for sa in 0..na {
+        for sb in 0..nb {
+            let (ba, bb) = (a.is_accepting(sa), b.is_accepting(sb));
+            accepting.push(match op {
+                BoolOp::And => ba && bb,
+                BoolOp::Or => ba || bb,
+                BoolOp::Xor => ba != bb,
+            });
+            delta.push(
+                alphabet
+                    .symbols()
+                    .map(|c| id(a.delta(sa, c), b.delta(sb, c)))
+                    .collect(),
+            );
+        }
+    }
+    Dfa::new(alphabet, id(a.init(), b.init()), accepting, delta)
+}
+
+/// Intersection: accepts strings in both languages.
+pub fn intersection(a: &Dfa, b: &Dfa) -> Dfa {
+    product(a, b, BoolOp::And)
+}
+
+/// Union: accepts strings in either language.
+pub fn union(a: &Dfa, b: &Dfa) -> Dfa {
+    product(a, b, BoolOp::Or)
+}
+
+/// Whether the DFA's language is empty (no accepting state reachable).
+pub fn is_empty(dfa: &Dfa) -> bool {
+    let mut reached = vec![false; dfa.num_states()];
+    let mut stack = vec![dfa.init()];
+    reached[dfa.init()] = true;
+    while let Some(s) = stack.pop() {
+        if dfa.is_accepting(s) {
+            return false;
+        }
+        for c in dfa.alphabet().symbols() {
+            let t = dfa.delta(s, c);
+            if !reached[t] {
+                reached[t] = true;
+                stack.push(t);
+            }
+        }
+    }
+    true
+}
+
+/// An exact disjointness oracle for regular grammars (Definition 4.5):
+/// `true` iff no string is accepted by both automata.
+pub fn disjoint(a: &Dfa, b: &Dfa) -> bool {
+    is_empty(&intersection(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::fig5_dfa;
+    use crate::equiv::equivalent;
+    use lambek_core::theory::unambiguous::all_strings;
+
+    #[test]
+    fn complement_flips_membership() {
+        let dfa = fig5_dfa();
+        let comp = complement(&dfa);
+        let s = dfa.alphabet().clone();
+        for w in all_strings(&s, 4) {
+            assert_eq!(dfa.accepts(&w), !comp.accepts(&w), "{w}");
+        }
+        // Complement is an involution up to equivalence.
+        assert_eq!(equivalent(&dfa, &complement(&comp)), None);
+    }
+
+    #[test]
+    fn product_operations() {
+        let dfa = fig5_dfa();
+        let comp = complement(&dfa);
+        let s = dfa.alphabet().clone();
+        let inter = intersection(&dfa, &comp);
+        let uni = union(&dfa, &comp);
+        for w in all_strings(&s, 4) {
+            assert!(!inter.accepts(&w), "L ∩ L^c = ∅");
+            assert!(uni.accepts(&w), "L ∪ L^c = Σ*");
+        }
+    }
+
+    #[test]
+    fn disjointness_oracle() {
+        // A's accepting traces and its complement's are disjoint — the
+        // exact regular-language form of Theorem 4.9's side condition.
+        let dfa = fig5_dfa();
+        let comp = complement(&dfa);
+        assert!(disjoint(&dfa, &comp));
+        assert!(!disjoint(&dfa, &dfa) || is_empty(&dfa));
+    }
+
+    #[test]
+    fn oracle_agrees_with_semantic_disjointness() {
+        use lambek_core::theory::unambiguous::check_disjoint;
+        let dfa = fig5_dfa();
+        let comp = complement(&dfa);
+        let tg = dfa.trace_grammar();
+        let ctg = comp.trace_grammar();
+        // The grammars of accepting traces of D and of its complement are
+        // disjoint both by the oracle and by exhaustive checking.
+        assert!(disjoint(&dfa, &comp));
+        check_disjoint(
+            &tg.trace(dfa.init(), true),
+            &ctg.trace(comp.init(), true),
+            dfa.alphabet(),
+            4,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        let dfa = fig5_dfa();
+        assert!(!is_empty(&dfa));
+        let nothing = intersection(&dfa, &complement(&dfa));
+        assert!(is_empty(&nothing));
+    }
+}

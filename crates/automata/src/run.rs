@@ -1,0 +1,67 @@
+//! Verified parsers from deterministic automata (Theorem 4.9).
+//!
+//! For a DFA, the accepting traces `TraceD s true` and rejecting traces
+//! `TraceD s false` are disjoint (determinism + Lemma 4.7), and `parseD`
+//! (Fig. 12) is total — so packaging them as a
+//! [`VerifiedParser`] gives a
+//! parser that is sound (accepted trees parse the real input) *and*
+//! complete (rejections carry a rejecting trace of the same input).
+
+use lambek_core::grammar::expr::alt;
+use lambek_core::grammar::parse_tree::ParseTree;
+use lambek_core::grammar::string_type::string_grammar;
+use lambek_core::theory::parser::VerifiedParser;
+use lambek_core::transform::Transformer;
+
+use crate::dfa::{parse_dfa, Dfa};
+use crate::nfa::StateId;
+
+/// Builds the verified parser of Theorem 4.9 for the accepting traces of
+/// `dfa` from `start`: grammar `TraceD start true`, negative grammar
+/// `TraceD start false`, run function `parseD`.
+pub fn dfa_trace_parser(dfa: &Dfa, start: StateId) -> VerifiedParser {
+    let tg = dfa.trace_grammar();
+    let target = tg.trace(start, true);
+    let negative = tg.trace(start, false);
+    let dom = string_grammar(dfa.alphabet());
+    let cod = alt(target.clone(), negative.clone());
+    let dfa_cl = dfa.clone();
+    let run = Transformer::from_fn("parseD", dom, cod, move |t| {
+        let w = t.flatten();
+        let (b, tree) = parse_dfa(&dfa_cl, &tg, start, &w);
+        Ok(ParseTree::inj(usize::from(!b), tree))
+    });
+    VerifiedParser::new(dfa.alphabet().clone(), target, negative, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::fig5_dfa;
+    use lambek_core::theory::parser::ParseOutcome;
+
+    #[test]
+    fn theorem_4_9_dfa_parser_is_sound_and_complete() {
+        let dfa = fig5_dfa();
+        let p = dfa_trace_parser(&dfa, dfa.init());
+        p.audit_disjointness(4).unwrap();
+        p.audit_against_recognizer(4).unwrap();
+    }
+
+    #[test]
+    fn accepted_trees_parse_the_input() {
+        let dfa = fig5_dfa();
+        let s = dfa.alphabet().clone();
+        let p = dfa_trace_parser(&dfa, dfa.init());
+        let w = s.parse_str("aab").unwrap();
+        match p.parse(&w).unwrap() {
+            ParseOutcome::Accept(t) => assert_eq!(t.flatten(), w),
+            ParseOutcome::Reject(_) => panic!("aab should be accepted"),
+        }
+        let w = s.parse_str("ca").unwrap();
+        match p.parse(&w).unwrap() {
+            ParseOutcome::Reject(t) => assert_eq!(t.flatten(), w),
+            ParseOutcome::Accept(_) => panic!("ca should be rejected"),
+        }
+    }
+}

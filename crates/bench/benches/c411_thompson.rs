@@ -1,0 +1,40 @@
+//! C4.11 — Thompson's construction: time and NFA size versus regex size.
+//!
+//! Expected shape: both linear in the regex size (the construction adds
+//! at most two states and four ε-transitions per node).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lambek_core::alphabet::Alphabet;
+use regex_grammars::gen::random_regex;
+use regex_grammars::thompson::thompson;
+
+fn bench(c: &mut Criterion) {
+    let sigma = Alphabet::abc();
+
+    println!("thompson NFA size vs regex size:");
+    for size in [8usize, 16, 32, 64, 128] {
+        let re = random_regex(&sigma, size, 11);
+        let th = thompson(&sigma, &re);
+        println!(
+            "  size={:>4} → {:>4} states, {:>4} ε-transitions (bound 2·size + 2 = {})",
+            re.size(),
+            th.nfa().num_states(),
+            th.nfa().eps_transitions().len(),
+            2 * re.size() + 2
+        );
+    }
+
+    let mut group = c.benchmark_group("c411_thompson");
+    group.sample_size(30);
+    for size in [8usize, 32, 128, 512] {
+        let re = random_regex(&sigma, size, 11);
+        group.bench_with_input(BenchmarkId::new("construct", size), &re, |b, re| {
+            b.iter(|| thompson(&sigma, re))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

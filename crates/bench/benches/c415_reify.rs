@@ -1,0 +1,55 @@
+//! C4.15 — Turing reification: building `Reify(aⁿbⁿcⁿ)` up to a length
+//! bound, and membership through the reified grammar versus running the
+//! machine directly.
+//!
+//! Expected shape: construction cost is dominated by enumerating all
+//! `|Σ|^ℓ` strings (exponential in the bound — the price of truncating an
+//! infinite sum); membership through the machine is quadratic in the
+//! input (marker passes), through the compiled reified grammar it
+//! reflects chart recognition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lambek_core::grammar::compile::CompiledGrammar;
+use lambek_turing::machine::anbncn_machine;
+use lambek_turing::reify::reify_machine;
+
+const FUEL: usize = 100_000;
+
+fn bench(c: &mut Criterion) {
+    let tm = anbncn_machine();
+    let sigma = tm.input_alphabet().clone();
+
+    let mut group = c.benchmark_group("c415_reify");
+    group.sample_size(10);
+    for max_len in [3usize, 6, 9] {
+        group.bench_with_input(
+            BenchmarkId::new("construct", max_len),
+            &max_len,
+            |b, &ml| b.iter(|| reify_machine(&tm, FUEL, ml)),
+        );
+    }
+
+    let reified = reify_machine(&tm, FUEL, 9);
+    let cg = CompiledGrammar::new(&reified.grammar);
+    for n in [1usize, 2, 3] {
+        let w = sigma
+            .parse_str(&format!(
+                "{}{}{}",
+                "a".repeat(n),
+                "b".repeat(n),
+                "c".repeat(n)
+            ))
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("machine_accepts", 3 * n), &w, |b, w| {
+            b.iter(|| tm.accepts(w, FUEL))
+        });
+        group.bench_with_input(BenchmarkId::new("grammar_recognizes", 3 * n), &w, |b, w| {
+            b.iter(|| cg.recognizes(w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

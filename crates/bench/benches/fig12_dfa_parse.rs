@@ -1,0 +1,33 @@
+//! F12/T4.9 — `parseD`/`printD` over growing inputs on a random DFA.
+//!
+//! Expected shape: both are linear in the input length; `printD` is a
+//! cheap forward walk of the trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lambek_core::alphabet::Alphabet;
+use lambek_automata::dfa::{parse_dfa, print_dfa};
+use lambek_automata::gen::{random_dfa, random_string};
+
+fn bench(c: &mut Criterion) {
+    let sigma = Alphabet::abc();
+    let dfa = random_dfa(&sigma, 8, 7);
+    let tg = dfa.trace_grammar();
+
+    let mut group = c.benchmark_group("fig12_parseD");
+    group.sample_size(20);
+    for n in [16usize, 64, 256, 1024] {
+        let w = random_string(&sigma, n, n as u64);
+        group.bench_with_input(BenchmarkId::new("parseD", n), &w, |b, w| {
+            b.iter(|| parse_dfa(&dfa, &tg, dfa.init(), w))
+        });
+        let (bit, trace) = parse_dfa(&dfa, &tg, dfa.init(), &w);
+        group.bench_with_input(BenchmarkId::new("printD", n), &trace, |b, t| {
+            b.iter(|| print_dfa(&dfa, &tg, dfa.init(), bit, t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

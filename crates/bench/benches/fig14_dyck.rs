@@ -1,0 +1,65 @@
+//! F13/F14/T4.13 — parsing the Dyck language four ways over growing
+//! balanced inputs:
+//!
+//! * `counter_machine` — Fig. 14's automaton, recognition only;
+//! * `verified_parse`  — the Theorem 4.13 parser (trace + Dyck tree);
+//! * `recursive_descent` — direct unique-derivation construction;
+//! * `earley` — the general CFG baseline.
+//!
+//! Expected shape: machine/descent linear, verified parse linear with a
+//! constant factor, Earley super-linear (its item sets grow with
+//! nesting) — the automaton-based pipeline wins, as the paper's design
+//! intends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lambek_automata::counter::CounterMachine;
+use lambek_automata::gen::random_dyck;
+use lambek_cfg::dyck::{dyck_parser, parse_dyck_string, Parens};
+use lambek_cfg::earley::earley_recognize;
+use lambek_cfg::grammar::{Cfg, GSym, Production};
+
+fn dyck_cfg(p: &Parens) -> Cfg {
+    Cfg::new(
+        p.alphabet.clone(),
+        vec!["S".to_owned()],
+        vec![vec![
+            Production { rhs: vec![] },
+            Production {
+                rhs: vec![GSym::T(p.open), GSym::N(0), GSym::T(p.close), GSym::N(0)],
+            },
+        ]],
+        0,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let p = Parens::new();
+    let machine = CounterMachine::new();
+    let cfg = dyck_cfg(&p);
+
+    let mut group = c.benchmark_group("fig14_dyck");
+    group.sample_size(15);
+    for pairs in [8usize, 32, 128] {
+        let w = random_dyck(pairs, pairs as u64);
+        let parser = dyck_parser(w.len());
+        group.bench_with_input(BenchmarkId::new("counter_machine", pairs), &w, |b, w| {
+            b.iter(|| machine.accepts(w))
+        });
+        group.bench_with_input(BenchmarkId::new("verified_parse", pairs), &w, |b, w| {
+            b.iter(|| parser.parse(w).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("recursive_descent", pairs),
+            &w,
+            |b, w| b.iter(|| parse_dyck_string(&p, w).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("earley", pairs), &w, |b, w| {
+            b.iter(|| earley_recognize(&cfg, w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

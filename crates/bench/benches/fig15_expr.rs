@@ -1,0 +1,64 @@
+//! F15/T4.14 — parsing arithmetic expressions with the lookahead
+//! automaton versus the Earley baseline, over growing expressions.
+//!
+//! Expected shape: the LL(1) machine and the verified parser are linear;
+//! Earley is super-linear. The verified parser's constant factor is the
+//! price of building the trace plus the `Exp` tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lambek_automata::gen::random_arith;
+use lambek_automata::lookahead::{simulate, ArithTokens};
+use lambek_cfg::earley::earley_recognize;
+use lambek_cfg::expr::{exp_parser, parse_exp_string};
+use lambek_cfg::grammar::{Cfg, GSym, Production};
+
+fn exp_cfg(t: &ArithTokens) -> Cfg {
+    Cfg::new(
+        t.alphabet.clone(),
+        vec!["Exp".to_owned(), "Atom".to_owned()],
+        vec![
+            vec![
+                Production { rhs: vec![GSym::N(1)] },
+                Production {
+                    rhs: vec![GSym::N(1), GSym::T(t.add), GSym::N(0)],
+                },
+            ],
+            vec![
+                Production { rhs: vec![GSym::T(t.num)] },
+                Production {
+                    rhs: vec![GSym::T(t.lp), GSym::N(0), GSym::T(t.rp)],
+                },
+            ],
+        ],
+        0,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let t = ArithTokens::new();
+    let cfg = exp_cfg(&t);
+
+    let mut group = c.benchmark_group("fig15_expr");
+    group.sample_size(15);
+    for atoms in [8usize, 32, 128] {
+        let w = random_arith(atoms, 3, atoms as u64);
+        let parser = exp_parser(w.len());
+        group.bench_with_input(BenchmarkId::new("lookahead_machine", atoms), &w, |b, w| {
+            b.iter(|| simulate(&t, w))
+        });
+        group.bench_with_input(BenchmarkId::new("ll1_tree", atoms), &w, |b, w| {
+            b.iter(|| parse_exp_string(&t, w).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("verified_parse", atoms), &w, |b, w| {
+            b.iter(|| parser.parse(w).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("earley", atoms), &w, |b, w| {
+            b.iter(|| earley_recognize(&cfg, w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! # lambek-bench — the experiment harness
+//!
+//! Criterion benchmarks regenerating every figure and construction of the
+//! paper's evaluation narrative; see DESIGN.md §5 for the experiment
+//! index and EXPERIMENTS.md for paper-vs-measured records. Run with
+//! `cargo bench`.

@@ -1,0 +1,242 @@
+//! The Dyck grammar and its verified parser (Fig. 13, Fig. 14, Thm 4.13).
+//!
+//! `data Dyck : L where nil : Dyck ; bal : '(' ⊸ Dyck ⊸ ')' ⊸ Dyck ⊸ Dyck`
+//!
+//! Theorem 4.13 shows `Dyck` strongly equivalent to the accepting traces
+//! `ParseM` of the counter automaton of Fig. 14, giving a verified Dyck
+//! parser. We realize both directions:
+//!
+//! * `Dyck ⊸ ParseM` — run the (deterministic) automaton on the yield;
+//! * `ParseM ⊸ Dyck` — a recursive-descent reconstruction of the unique
+//!   balanced-parenthesis derivation.
+//!
+//! As with all ℕ-indexed automata the trace grammar is length-truncated
+//! (exact for inputs of length ≤ the bound).
+
+use std::rc::Rc;
+
+use lambek_core::alphabet::{Alphabet, GString, Symbol};
+use lambek_core::grammar::expr::{alt, chr, eps, mu, seq, var, Grammar, MuSystem};
+use lambek_core::grammar::parse_tree::ParseTree;
+use lambek_core::theory::equivalence::{StrongEquiv, WeakEquiv};
+use lambek_core::theory::parser::{extend_parser, VerifiedParser};
+use lambek_core::transform::{TransformError, Transformer};
+use lambek_automata::counter::dyck_automaton;
+use lambek_automata::dfa::parse_dfa;
+use lambek_automata::run::dfa_trace_parser;
+
+/// The parenthesis symbols, resolved once.
+#[derive(Debug, Clone)]
+pub struct Parens {
+    /// The `{(, )}` alphabet.
+    pub alphabet: Alphabet,
+    /// `(`.
+    pub open: Symbol,
+    /// `)`.
+    pub close: Symbol,
+}
+
+impl Parens {
+    /// Resolves the standard parenthesis alphabet.
+    pub fn new() -> Parens {
+        let alphabet = Alphabet::parens();
+        Parens {
+            open: alphabet.symbol("(").expect("("),
+            close: alphabet.symbol(")").expect(")"),
+            alphabet,
+        }
+    }
+}
+
+impl Default for Parens {
+    fn default() -> Parens {
+        Parens::new()
+    }
+}
+
+/// The Dyck grammar of Fig. 13 as a `μ` type:
+/// `Dyck = I ⊕ ('(' ⊗ Dyck ⊗ ')' ⊗ Dyck)` — summand 0 is `nil`,
+/// summand 1 is `bal`.
+pub fn dyck_system(p: &Parens) -> Rc<MuSystem> {
+    let bal = seq([chr(p.open), var(0), chr(p.close), var(0)]);
+    MuSystem::new(vec![alt(eps(), bal)], vec!["Dyck".to_owned()])
+}
+
+/// The Dyck grammar as a closed linear type.
+pub fn dyck_grammar(p: &Parens) -> Grammar {
+    mu(dyck_system(p), 0)
+}
+
+/// The `nil` parse tree.
+pub fn nil() -> ParseTree {
+    ParseTree::roll(ParseTree::inj(0, ParseTree::Unit))
+}
+
+/// The `bal` parse tree `bal ( inner ) rest`.
+pub fn bal(p: &Parens, inner: ParseTree, rest: ParseTree) -> ParseTree {
+    ParseTree::roll(ParseTree::inj(
+        1,
+        ParseTree::pair(
+            ParseTree::Char(p.open),
+            ParseTree::pair(
+                inner,
+                ParseTree::pair(ParseTree::Char(p.close), rest),
+            ),
+        ),
+    ))
+}
+
+/// Recursive-descent construction of the unique Dyck parse of `w`, or
+/// `None` if `w` is unbalanced. This is the `ParseM ⊸ Dyck` direction of
+/// Theorem 4.13, phrased on the underlying string (the trace and its
+/// string are interconvertible by `parseD`/`printD`).
+pub fn parse_dyck_string(p: &Parens, w: &GString) -> Option<ParseTree> {
+    let (tree, rest) = parse_prefix(p, w, 0)?;
+    (rest == w.len()).then_some(tree)
+}
+
+/// Parses the longest balanced prefix of `w[pos..]`; returns the tree and
+/// the position after it.
+fn parse_prefix(p: &Parens, w: &GString, pos: usize) -> Option<(ParseTree, usize)> {
+    if pos < w.len() && w[pos] == p.open {
+        let (inner, after_inner) = parse_prefix(p, w, pos + 1)?;
+        if after_inner >= w.len() || w[after_inner] != p.close {
+            return None;
+        }
+        let (rest, end) = parse_prefix(p, w, after_inner + 1)?;
+        Some((bal(p, inner, rest), end))
+    } else {
+        // nil: the empty balanced prefix.
+        Some((nil(), pos))
+    }
+}
+
+/// The strong equivalence `Dyck ≅ ParseM` of Theorem 4.13, with the
+/// counter automaton truncated at `max_depth`.
+pub fn dyck_trace_equiv(p: &Parens, max_depth: usize) -> StrongEquiv {
+    let dfa = dyck_automaton(max_depth);
+    let tg = dfa.trace_grammar();
+    let dyck = dyck_grammar(p);
+    let parse_m = tg.trace(dfa.init(), true);
+
+    let dfa_f = dfa.clone();
+    let tg_f = tg.clone();
+    let fwd = Transformer::from_fn("Dyck→ParseM", dyck.clone(), parse_m.clone(), move |t| {
+        let w = t.flatten();
+        let (b, tree) = parse_dfa(&dfa_f, &tg_f, dfa_f.init(), &w);
+        if b {
+            Ok(tree)
+        } else {
+            Err(TransformError::Custom(format!(
+                "a Dyck parse flattened to the unbalanced string {w}"
+            )))
+        }
+    });
+
+    let p_b = p.clone();
+    let bwd = Transformer::from_fn("ParseM→Dyck", parse_m, dyck, move |t| {
+        let w = t.flatten();
+        parse_dyck_string(&p_b, &w).ok_or_else(|| {
+            TransformError::Custom(format!("an accepting trace over unbalanced {w}"))
+        })
+    });
+
+    StrongEquiv::new(WeakEquiv::new(fwd, bwd))
+}
+
+/// The verified Dyck parser of Theorem 4.13: the Theorem 4.9 parser for
+/// the counter automaton's traces, extended along `ParseM ≈ Dyck`
+/// (Lemma 4.8). Valid for inputs of length ≤ `max_depth`.
+pub fn dyck_parser(max_depth: usize) -> VerifiedParser {
+    let p = Parens::new();
+    let dfa = dyck_automaton(max_depth);
+    let base = dfa_trace_parser(&dfa, dfa.init());
+    let eq = dyck_trace_equiv(&p, max_depth);
+    // ParseM ≈ Dyck is the reverse of the stored direction.
+    let parse_m_to_dyck = WeakEquiv::new(eq.weak().bwd.clone(), eq.weak().fwd.clone());
+    extend_parser(&base, &parse_m_to_dyck).expect("grammars line up by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambek_core::grammar::compile::CompiledGrammar;
+    use lambek_core::grammar::parse_tree::validate;
+    use lambek_core::theory::parser::ParseOutcome;
+    use lambek_core::theory::unambiguous::{all_strings, check_unambiguous};
+
+    #[test]
+    fn dyck_grammar_language() {
+        let p = Parens::new();
+        let cg = CompiledGrammar::new(&dyck_grammar(&p));
+        for yes in ["", "()", "()()", "(())", "(()())()"] {
+            assert!(cg.recognizes(&p.alphabet.parse_str(yes).unwrap()), "{yes}");
+        }
+        for no in ["(", ")", ")(", "(()", "())"] {
+            assert!(!cg.recognizes(&p.alphabet.parse_str(no).unwrap()), "{no}");
+        }
+    }
+
+    #[test]
+    fn dyck_grammar_is_unambiguous() {
+        let p = Parens::new();
+        check_unambiguous(&dyck_grammar(&p), &p.alphabet, 6).unwrap();
+    }
+
+    #[test]
+    fn recursive_descent_matches_enumeration() {
+        let p = Parens::new();
+        let g = dyck_grammar(&p);
+        let cg = CompiledGrammar::new(&g);
+        for w in all_strings(&p.alphabet, 6) {
+            let descended = parse_dyck_string(&p, &w);
+            let forest = cg.parses(&w, 4);
+            match descended {
+                Some(t) => {
+                    validate(&t, &g, &w).unwrap();
+                    assert_eq!(forest.trees, vec![t], "{w}");
+                }
+                None => assert!(forest.is_empty(), "{w}"),
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_4_13_strong_equivalence() {
+        let p = Parens::new();
+        let eq = dyck_trace_equiv(&p, 6);
+        let strings = all_strings(&p.alphabet, 6);
+        eq.check_on(&strings, 8).unwrap();
+        eq.check_counts_on(&strings, 8).unwrap();
+    }
+
+    #[test]
+    fn theorem_4_13_verified_parser() {
+        let parser = dyck_parser(5);
+        parser.audit_disjointness(5).unwrap();
+        parser.audit_against_recognizer(5).unwrap();
+        let p = Parens::new();
+        let w = p.alphabet.parse_str("(())").unwrap();
+        match parser.parse(&w).unwrap() {
+            ParseOutcome::Accept(t) => {
+                assert_eq!(t.flatten(), w);
+                validate(&t, &dyck_grammar(&p), &w).unwrap();
+            }
+            ParseOutcome::Reject(_) => panic!("(()) is balanced"),
+        }
+        let w = p.alphabet.parse_str("())(").unwrap();
+        assert!(!parser.parse(&w).unwrap().is_accept());
+    }
+
+    #[test]
+    fn deep_nesting_parses() {
+        let p = Parens::new();
+        let depth = 12;
+        let w = p
+            .alphabet
+            .parse_str(&format!("{}{}", "(".repeat(depth), ")".repeat(depth)))
+            .unwrap();
+        let t = parse_dyck_string(&p, &w).unwrap();
+        assert_eq!(t.flatten(), w);
+    }
+}

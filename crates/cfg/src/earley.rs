@@ -1,0 +1,309 @@
+//! Earley parsing: the classical CFG baseline.
+//!
+//! The paper's CFG parsers go through deterministic automata; this module
+//! is the general-purpose comparator the benchmarks measure them against.
+//! Recognition is textbook Earley (predict/scan/complete); tree extraction
+//! rebuilds a derivation from the table of completed nonterminal spans,
+//! producing parse trees in the same shape as
+//! [`Cfg::to_lambek`](crate::grammar::Cfg::to_lambek) so they validate
+//! against the μ-regular grammar directly.
+
+use std::collections::HashSet;
+
+use lambek_core::alphabet::GString;
+use lambek_core::grammar::parse_tree::ParseTree;
+
+use crate::grammar::{Cfg, GSym};
+
+/// An Earley item: position `dot` in alternative `alt` of nonterminal
+/// `nt`, started at input position `origin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Item {
+    nt: usize,
+    alt: usize,
+    dot: usize,
+    origin: usize,
+}
+
+/// The Earley chart: completed spans per nonterminal.
+#[derive(Debug)]
+pub struct EarleyChart {
+    n: usize,
+    /// `completed[(nt, i, j)]` ⇔ nonterminal `nt` derives `w[i..j]`.
+    completed: HashSet<(usize, usize, usize)>,
+}
+
+impl EarleyChart {
+    /// Whether nonterminal `nt` derives the span `w[i..j]`.
+    pub fn derives(&self, nt: usize, i: usize, j: usize) -> bool {
+        self.completed.contains(&(nt, i, j))
+    }
+
+    /// Input length the chart was built for.
+    pub fn input_len(&self) -> usize {
+        self.n
+    }
+}
+
+/// Runs Earley recognition, returning the chart of completed spans.
+pub fn earley_chart(cfg: &Cfg, w: &GString) -> EarleyChart {
+    let n = w.len();
+    let mut sets: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
+    let mut completed: HashSet<(usize, usize, usize)> = HashSet::new();
+
+    let start_items: Vec<Item> = (0..cfg.alternatives(cfg.start()).len())
+        .map(|alt| Item {
+            nt: cfg.start(),
+            alt,
+            dot: 0,
+            origin: 0,
+        })
+        .collect();
+    for it in start_items {
+        sets[0].insert(it);
+    }
+
+    for pos in 0..=n {
+        let mut worklist: Vec<Item> = sets[pos].iter().copied().collect();
+        while let Some(item) = worklist.pop() {
+            let rhs = &cfg.alternatives(item.nt)[item.alt].rhs;
+            if item.dot == rhs.len() {
+                // Complete.
+                completed.insert((item.nt, item.origin, pos));
+                let parents: Vec<Item> = sets[item.origin]
+                    .iter()
+                    .filter(|p| {
+                        let prhs = &cfg.alternatives(p.nt)[p.alt].rhs;
+                        p.dot < prhs.len() && prhs[p.dot] == GSym::N(item.nt)
+                    })
+                    .copied()
+                    .collect();
+                for p in parents {
+                    let advanced = Item {
+                        dot: p.dot + 1,
+                        ..p
+                    };
+                    if sets[pos].insert(advanced) {
+                        worklist.push(advanced);
+                    }
+                }
+            } else {
+                match rhs[item.dot] {
+                    GSym::T(c) => {
+                        // Scan.
+                        if pos < n && w[pos] == c {
+                            let advanced = Item {
+                                dot: item.dot + 1,
+                                ..item
+                            };
+                            sets[pos + 1].insert(advanced);
+                        }
+                    }
+                    GSym::N(m) => {
+                        // Predict.
+                        for alt in 0..cfg.alternatives(m).len() {
+                            let predicted = Item {
+                                nt: m,
+                                alt,
+                                dot: 0,
+                                origin: pos,
+                            };
+                            if sets[pos].insert(predicted) {
+                                worklist.push(predicted);
+                            }
+                        }
+                        // Nullable completion (Aycock–Horspool style): if m
+                        // already completed ε at pos, advance immediately.
+                        if completed.contains(&(m, pos, pos)) {
+                            let advanced = Item {
+                                dot: item.dot + 1,
+                                ..item
+                            };
+                            if sets[pos].insert(advanced) {
+                                worklist.push(advanced);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    EarleyChart { n, completed }
+}
+
+/// Whether the CFG derives `w` from its start symbol.
+pub fn earley_recognize(cfg: &Cfg, w: &GString) -> bool {
+    earley_chart(cfg, w).derives(cfg.start(), 0, w.len())
+}
+
+/// Extracts one derivation tree for `w` (the first found, scanning
+/// alternatives in order), as a parse tree of `cfg.to_lambek()`. Returns
+/// `None` if the string is not derivable.
+pub fn earley_parse(cfg: &Cfg, w: &GString) -> Option<ParseTree> {
+    let chart = earley_chart(cfg, w);
+    if !chart.derives(cfg.start(), 0, w.len()) {
+        return None;
+    }
+    let mut guard = HashSet::new();
+    build_nt(cfg, w, &chart, cfg.start(), 0, w.len(), &mut guard)
+}
+
+fn build_nt(
+    cfg: &Cfg,
+    w: &GString,
+    chart: &EarleyChart,
+    nt: usize,
+    i: usize,
+    j: usize,
+    guard: &mut HashSet<(usize, usize, usize)>,
+) -> Option<ParseTree> {
+    if !chart.derives(nt, i, j) || !guard.insert((nt, i, j)) {
+        // Not derivable, or a unit/ε cycle: fail this path (another
+        // alternative will be tried by the caller).
+        return None;
+    }
+    let mut result = None;
+    for (alt, prod) in cfg.alternatives(nt).iter().enumerate() {
+        if let Some(children) = build_seq(cfg, w, chart, &prod.rhs, i, j, guard) {
+            result = Some(cfg.derivation(nt, alt, children));
+            break;
+        }
+    }
+    guard.remove(&(nt, i, j));
+    result
+}
+
+fn build_seq(
+    cfg: &Cfg,
+    w: &GString,
+    chart: &EarleyChart,
+    rhs: &[GSym],
+    i: usize,
+    j: usize,
+    guard: &mut HashSet<(usize, usize, usize)>,
+) -> Option<Vec<ParseTree>> {
+    match rhs.split_first() {
+        None => (i == j).then(Vec::new),
+        Some((first, rest)) => {
+            match first {
+                GSym::T(c) => {
+                    if i < j && w[i] == *c {
+                        let mut children = build_seq(cfg, w, chart, rest, i + 1, j, guard)?;
+                        children.insert(0, ParseTree::Char(*c));
+                        Some(children)
+                    } else {
+                        None
+                    }
+                }
+                GSym::N(m) => {
+                    for k in i..=j {
+                        if !chart.derives(*m, i, k) {
+                            continue;
+                        }
+                        if let Some(head) = build_nt(cfg, w, chart, *m, i, k, guard) {
+                            if let Some(mut children) =
+                                build_seq(cfg, w, chart, rest, k, j, guard)
+                            {
+                                children.insert(0, head);
+                                return Some(children);
+                            }
+                        }
+                    }
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{anbn, Production};
+    use lambek_core::alphabet::Alphabet;
+    use lambek_core::grammar::compile::CompiledGrammar;
+    use lambek_core::grammar::parse_tree::validate;
+    use lambek_core::theory::unambiguous::all_strings;
+
+    #[test]
+    fn earley_agrees_with_denotational_recognizer_on_anbn() {
+        let s = Alphabet::abc();
+        let (a, b) = (s.symbol("a").unwrap(), s.symbol("b").unwrap());
+        let cfg = anbn(&s, a, b);
+        let cg = CompiledGrammar::new(&cfg.to_lambek());
+        for w in all_strings(&s, 5) {
+            assert_eq!(earley_recognize(&cfg, &w), cg.recognizes(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn earley_trees_validate_against_the_lambek_grammar() {
+        let s = Alphabet::abc();
+        let (a, b) = (s.symbol("a").unwrap(), s.symbol("b").unwrap());
+        let cfg = anbn(&s, a, b);
+        let g = cfg.to_lambek();
+        for n in 0..4 {
+            let w = s
+                .parse_str(&format!("{}{}", "a".repeat(n), "b".repeat(n)))
+                .unwrap();
+            let t = earley_parse(&cfg, &w).unwrap();
+            validate(&t, &g, &w).unwrap();
+        }
+        assert!(earley_parse(&cfg, &s.parse_str("ab" /* ok */).unwrap()).is_some());
+        assert!(earley_parse(&cfg, &s.parse_str("ba").unwrap()).is_none());
+    }
+
+    #[test]
+    fn left_recursive_grammar_works() {
+        // E ::= E a | a — left recursion, Earley handles it fine.
+        let s = Alphabet::abc();
+        let a = s.symbol("a").unwrap();
+        let cfg = Cfg::new(
+            s.clone(),
+            vec!["E".to_owned()],
+            vec![vec![
+                Production {
+                    rhs: vec![GSym::N(0), GSym::T(a)],
+                },
+                Production {
+                    rhs: vec![GSym::T(a)],
+                },
+            ]],
+            0,
+        );
+        for n in 1..6 {
+            let w = s.parse_str(&"a".repeat(n)).unwrap();
+            assert!(earley_recognize(&cfg, &w), "a^{n}");
+            let t = earley_parse(&cfg, &w).unwrap();
+            validate(&t, &cfg.to_lambek(), &w).unwrap();
+        }
+        assert!(!earley_recognize(&cfg, &GString::new()));
+    }
+
+    #[test]
+    fn nullable_chains_are_handled() {
+        // S ::= A A ; A ::= ε | a.
+        let s = Alphabet::abc();
+        let a = s.symbol("a").unwrap();
+        let cfg = Cfg::new(
+            s.clone(),
+            vec!["S".to_owned(), "A".to_owned()],
+            vec![
+                vec![Production {
+                    rhs: vec![GSym::N(1), GSym::N(1)],
+                }],
+                vec![
+                    Production { rhs: vec![] },
+                    Production {
+                        rhs: vec![GSym::T(a)],
+                    },
+                ],
+            ],
+            0,
+        );
+        for (w, expect) in [("", true), ("a", true), ("aa", true), ("aaa", false)] {
+            let w = s.parse_str(w).unwrap();
+            assert_eq!(earley_recognize(&cfg, &w), expect, "{w}");
+        }
+    }
+}

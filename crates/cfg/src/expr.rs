@@ -1,0 +1,285 @@
+//! The arithmetic expression grammar and its verified parser
+//! (Fig. 15, Theorem 4.14).
+//!
+//! ```text
+//! data Exp  : L where done : Atom ⊸ Exp
+//!                     add  : Atom ⊸ '+' ⊸ Exp ⊸ Exp
+//! data Atom : L where num    : 'NUM' ⊸ Atom
+//!                     parens : '(' ⊸ Exp ⊸ ')' ⊸ Atom
+//! ```
+//!
+//! The grammar is right-associative (by its syntactic structure) and
+//! LL(1). Theorem 4.14 shows it weakly equivalent to the accepting traces
+//! `O 0 true` of the lookahead automaton; combining with the automaton's
+//! Theorem 4.9-style parser gives a verified expression parser producing
+//! `Exp` parse trees.
+
+use std::rc::Rc;
+
+use lambek_core::alphabet::GString;
+use lambek_core::grammar::expr::{chr, mu, plus, seq, var, Grammar, MuSystem};
+use lambek_core::grammar::parse_tree::ParseTree;
+use lambek_core::theory::equivalence::WeakEquiv;
+use lambek_core::theory::parser::{extend_parser, VerifiedParser};
+use lambek_core::transform::{TransformError, Transformer};
+use lambek_automata::lookahead::{
+    lookahead_parser, parse_lookahead, simulate, ArithTokens, LookaheadGrammar, StateKind,
+};
+
+/// Indices of the two mutually recursive definitions.
+const EXP: usize = 0;
+/// Index of the `Atom` definition.
+const ATOM: usize = 1;
+
+/// The mutually recursive `Exp`/`Atom` system of Fig. 15.
+///
+/// Definition 0 is `Exp` (summand 0 = `done`, 1 = `add`), definition 1 is
+/// `Atom` (summand 0 = `num`, 1 = `parens`).
+pub fn exp_system(t: &ArithTokens) -> Rc<MuSystem> {
+    let exp = plus(vec![
+        var(ATOM),                                        // done
+        seq([var(ATOM), chr(t.add), var(EXP)]),           // add
+    ]);
+    let atom = plus(vec![
+        chr(t.num),                                       // num
+        seq([chr(t.lp), var(EXP), chr(t.rp)]),            // parens
+    ]);
+    MuSystem::new(vec![exp, atom], vec!["Exp".to_owned(), "Atom".to_owned()])
+}
+
+/// The `Exp` grammar as a closed linear type.
+pub fn exp_grammar(t: &ArithTokens) -> Grammar {
+    mu(exp_system(t), EXP)
+}
+
+/// The `Atom` grammar as a closed linear type.
+pub fn atom_grammar(t: &ArithTokens) -> Grammar {
+    mu(exp_system(t), ATOM)
+}
+
+/// LL(1) recursive-descent parser for `Exp`, producing the unique parse
+/// tree, or `None` if the token string is not an expression. This is the
+/// `O 0 true ⊸ Exp` direction of Theorem 4.14 phrased on strings.
+pub fn parse_exp_string(t: &ArithTokens, w: &GString) -> Option<ParseTree> {
+    let (tree, rest) = parse_exp(t, w, 0)?;
+    (rest == w.len()).then_some(tree)
+}
+
+fn parse_exp(t: &ArithTokens, w: &GString, pos: usize) -> Option<(ParseTree, usize)> {
+    let (atom, after_atom) = parse_atom(t, w, pos)?;
+    // One token of lookahead: '+' continues with `add`, else `done`.
+    if after_atom < w.len() && w[after_atom] == t.add {
+        let (rest, end) = parse_exp(t, w, after_atom + 1)?;
+        Some((
+            ParseTree::roll(ParseTree::inj(
+                1,
+                ParseTree::pair(atom, ParseTree::pair(ParseTree::Char(t.add), rest)),
+            )),
+            end,
+        ))
+    } else {
+        Some((ParseTree::roll(ParseTree::inj(0, atom)), after_atom))
+    }
+}
+
+fn parse_atom(t: &ArithTokens, w: &GString, pos: usize) -> Option<(ParseTree, usize)> {
+    if pos >= w.len() {
+        return None;
+    }
+    let tok = w[pos];
+    if tok == t.num {
+        Some((
+            ParseTree::roll(ParseTree::inj(0, ParseTree::Char(tok))),
+            pos + 1,
+        ))
+    } else if tok == t.lp {
+        let (inner, after_inner) = parse_exp(t, w, pos + 1)?;
+        if after_inner >= w.len() || w[after_inner] != t.rp {
+            return None;
+        }
+        Some((
+            ParseTree::roll(ParseTree::inj(
+                1,
+                ParseTree::pair(
+                    ParseTree::Char(t.lp),
+                    ParseTree::pair(inner, ParseTree::Char(t.rp)),
+                ),
+            )),
+            after_inner + 1,
+        ))
+    } else {
+        None
+    }
+}
+
+/// The weak equivalence `Exp ≈ O 0 true` of Theorem 4.14, with the
+/// lookahead automaton truncated at `max`.
+pub fn exp_trace_equiv(max: usize) -> WeakEquiv {
+    let lg = LookaheadGrammar::new(max);
+    let t = lg.tokens.clone();
+    let exp = exp_grammar(&t);
+    let o_true = lg.state(StateKind::O, 0, true);
+
+    let lg_f = LookaheadGrammar::new(max);
+    let fwd = Transformer::from_fn("Exp→O", exp.clone(), o_true.clone(), move |tree| {
+        let w = tree.flatten();
+        if w.len() > lg_f.max {
+            return Err(TransformError::Custom(format!(
+                "input of length {} exceeds truncation bound {}",
+                w.len(),
+                lg_f.max
+            )));
+        }
+        let (b, trace) = parse_lookahead(&lg_f, &w);
+        if b {
+            Ok(trace)
+        } else {
+            Err(TransformError::Custom(format!(
+                "an Exp parse flattened to the non-expression {w}"
+            )))
+        }
+    });
+
+    let t_b = t.clone();
+    let bwd = Transformer::from_fn("O→Exp", o_true, exp, move |tree| {
+        let w = tree.flatten();
+        parse_exp_string(&t_b, &w).ok_or_else(|| {
+            TransformError::Custom(format!("an accepting trace over the non-expression {w}"))
+        })
+    });
+
+    WeakEquiv::new(fwd, bwd)
+}
+
+/// The verified expression parser of Theorem 4.14: the lookahead
+/// automaton's trace parser extended along `O 0 true ≈ Exp` (Lemma 4.8).
+/// Valid for inputs of length ≤ `max`.
+pub fn exp_parser(max: usize) -> VerifiedParser {
+    let base = lookahead_parser(max);
+    let eq = exp_trace_equiv(max);
+    let o_to_exp = WeakEquiv::new(eq.bwd.clone(), eq.fwd.clone());
+    extend_parser(&base, &o_to_exp).expect("grammars line up by construction")
+}
+
+/// Convenience: whether `w` is a well-formed expression (machine run, no
+/// tree building, no truncation bound).
+pub fn is_expression(t: &ArithTokens, w: &GString) -> bool {
+    simulate(t, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambek_core::grammar::compile::CompiledGrammar;
+    use lambek_core::grammar::parse_tree::validate;
+    use lambek_core::theory::parser::ParseOutcome;
+    use lambek_core::theory::unambiguous::{all_strings, check_unambiguous};
+
+    fn toks(t: &ArithTokens, s: &str) -> GString {
+        s.chars()
+            .map(|c| match c {
+                '(' => t.lp,
+                ')' => t.rp,
+                '+' => t.add,
+                'n' => t.num,
+                other => panic!("bad token {other}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exp_grammar_language() {
+        let t = ArithTokens::new();
+        let cg = CompiledGrammar::new(&exp_grammar(&t));
+        for yes in ["n", "n+n", "(n)", "(n+n)+n", "n+(n)"] {
+            assert!(cg.recognizes(&toks(&t, yes)), "{yes}");
+        }
+        for no in ["", "+", "n+", "()", "nn", "(n", "n)"] {
+            assert!(!cg.recognizes(&toks(&t, no)), "{no}");
+        }
+    }
+
+    #[test]
+    fn exp_grammar_is_unambiguous() {
+        let t = ArithTokens::new();
+        check_unambiguous(&exp_grammar(&t), &t.alphabet, 4).unwrap();
+    }
+
+    #[test]
+    fn ll1_parser_matches_enumeration() {
+        let t = ArithTokens::new();
+        let g = exp_grammar(&t);
+        let cg = CompiledGrammar::new(&g);
+        for w in all_strings(&t.alphabet, 4) {
+            let descended = parse_exp_string(&t, &w);
+            let forest = cg.parses(&w, 4);
+            match descended {
+                Some(tree) => {
+                    validate(&tree, &g, &w).unwrap();
+                    assert_eq!(forest.trees, vec![tree], "{w}");
+                }
+                None => assert!(forest.is_empty(), "{w}"),
+            }
+        }
+    }
+
+    #[test]
+    fn grammar_encodes_right_associativity() {
+        // n+n+n parses as n+(n+n): the top node is `add` whose Exp child
+        // is again `add`.
+        let t = ArithTokens::new();
+        let tree = parse_exp_string(&t, &toks(&t, "n+n+n")).unwrap();
+        match &tree {
+            ParseTree::Roll(inner) => match &**inner {
+                ParseTree::Inj { index: 1, tree } => match &**tree {
+                    ParseTree::Pair(_, plus_rest) => match &**plus_rest {
+                        ParseTree::Pair(_, rest) => {
+                            assert!(matches!(
+                                &**rest,
+                                ParseTree::Roll(r) if matches!(&**r, ParseTree::Inj { index: 1, .. })
+                            ));
+                        }
+                        other => panic!("unexpected {other}"),
+                    },
+                    other => panic!("unexpected {other}"),
+                },
+                other => panic!("top must be add, got {other}"),
+            },
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn theorem_4_14_weak_equivalence() {
+        let eq = exp_trace_equiv(4);
+        let t = ArithTokens::new();
+        // Both composites are the identity on the unambiguous grammars —
+        // the equivalence is in fact strong on this fragment.
+        lambek_core::theory::equivalence::check_retract_on(&eq, &all_strings(&t.alphabet, 3), 4)
+            .unwrap();
+        lambek_core::theory::equivalence::check_retract_on(
+            &eq.reverse(),
+            &all_strings(&t.alphabet, 3),
+            4,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn theorem_4_14_verified_parser() {
+        let parser = exp_parser(3);
+        parser.audit_disjointness(3).unwrap();
+        parser.audit_against_recognizer(3).unwrap();
+        let t = ArithTokens::new();
+        let parser = exp_parser(8);
+        let w = toks(&t, "(n+n)+n");
+        match parser.parse(&w).unwrap() {
+            ParseOutcome::Accept(tree) => {
+                assert_eq!(tree.flatten(), w);
+                validate(&tree, &exp_grammar(&t), &w).unwrap();
+            }
+            ParseOutcome::Reject(_) => panic!("(n+n)+n is an expression"),
+        }
+        assert!(!parser.parse(&toks(&t, "n+)")).unwrap().is_accept());
+    }
+}

@@ -1,0 +1,23 @@
+//! # lambek-cfg — context-free grammars as inductive linear types
+//!
+//! The context-free layer of the Dependent Lambek Calculus reproduction
+//! (§4.2 of the paper):
+//!
+//! * [`grammar`] — CFGs and their μ-regular encoding into linear types;
+//! * [`earley`] — the Earley baseline parser (recognition + derivation
+//!   trees in the μ-regular shape);
+//! * [`dyck`] — the Dyck grammar (Fig. 13), its strong equivalence with
+//!   the counter automaton's traces, and the verified Dyck parser
+//!   (Theorem 4.13);
+//! * [`expr`] — the arithmetic `Exp`/`Atom` grammar, its weak equivalence
+//!   with the lookahead automaton's traces, and the verified expression
+//!   parser (Theorem 4.14).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dyck;
+pub mod earley;
+pub mod expr;
+pub mod grammar;
+pub mod semantics;

@@ -1,0 +1,153 @@
+//! Semantic actions over the CFG parsers (§6.2 of the paper).
+//!
+//! Verified parsing produces concrete syntax trees; in practice a parser
+//! emits *semantic* values. The paper types this as `↑(A ⊸ ⊕_{_:X} ⊤)`;
+//! here we instantiate it twice:
+//!
+//! * [`exp_sum_action`] — evaluates an `Exp` parse to a number (every
+//!   `NUM` counts 1, `+` adds) — composing the verified parser with this
+//!   action gives a verified calculator;
+//! * [`dyck_depth_action`] — computes the maximum nesting depth of a
+//!   Dyck parse.
+
+use lambek_automata::lookahead::ArithTokens;
+use lambek_core::grammar::parse_tree::ParseTree;
+use lambek_core::theory::semantic_action::{ActionError, SemanticAction};
+
+use crate::dyck::{dyck_grammar, Parens};
+use crate::expr::exp_grammar;
+
+/// Evaluates an `Exp` parse: each `NUM` token is worth 1 and `+` adds —
+/// the simplest non-trivial semantics over Fig. 15's grammar.
+pub fn exp_sum_action(t: &ArithTokens) -> SemanticAction<u64> {
+    SemanticAction::new("exp-sum", exp_grammar(t), eval_exp)
+}
+
+fn eval_exp(tree: &ParseTree) -> Result<u64, ActionError> {
+    // Exp = done(Atom) ⊕ add(Atom, '+', Exp).
+    match tree {
+        ParseTree::Roll(inner) => match &**inner {
+            ParseTree::Inj { index: 0, tree } => eval_atom(tree),
+            ParseTree::Inj { index: 1, tree } => match &**tree {
+                ParseTree::Pair(atom, rest) => match &**rest {
+                    ParseTree::Pair(_plus, exp) => Ok(eval_atom(atom)? + eval_exp(exp)?),
+                    other => Err(ActionError::Failed(format!("bad add node {other}"))),
+                },
+                other => Err(ActionError::Failed(format!("bad add node {other}"))),
+            },
+            other => Err(ActionError::Failed(format!("bad Exp node {other}"))),
+        },
+        other => Err(ActionError::Failed(format!("bad Exp node {other}"))),
+    }
+}
+
+fn eval_atom(tree: &ParseTree) -> Result<u64, ActionError> {
+    // Atom = num('NUM') ⊕ parens('(', Exp, ')').
+    match tree {
+        ParseTree::Roll(inner) => match &**inner {
+            ParseTree::Inj { index: 0, .. } => Ok(1),
+            ParseTree::Inj { index: 1, tree } => match &**tree {
+                ParseTree::Pair(_lp, rest) => match &**rest {
+                    ParseTree::Pair(exp, _rp) => eval_exp(exp),
+                    other => Err(ActionError::Failed(format!("bad parens node {other}"))),
+                },
+                other => Err(ActionError::Failed(format!("bad parens node {other}"))),
+            },
+            other => Err(ActionError::Failed(format!("bad Atom node {other}"))),
+        },
+        other => Err(ActionError::Failed(format!("bad Atom node {other}"))),
+    }
+}
+
+/// Computes the maximum nesting depth of a Dyck parse.
+pub fn dyck_depth_action(p: &Parens) -> SemanticAction<usize> {
+    SemanticAction::new("dyck-depth", dyck_grammar(p), dyck_depth)
+}
+
+fn dyck_depth(tree: &ParseTree) -> Result<usize, ActionError> {
+    // Dyck = nil ⊕ bal('(', Dyck, ')', Dyck).
+    match tree {
+        ParseTree::Roll(inner) => match &**inner {
+            ParseTree::Inj { index: 0, .. } => Ok(0),
+            ParseTree::Inj { index: 1, tree } => match &**tree {
+                ParseTree::Pair(_open, rest) => match &**rest {
+                    ParseTree::Pair(inner_dyck, rest2) => match &**rest2 {
+                        ParseTree::Pair(_close, rest_dyck) => Ok(std::cmp::max(
+                            1 + dyck_depth(inner_dyck)?,
+                            dyck_depth(rest_dyck)?,
+                        )),
+                        other => Err(ActionError::Failed(format!("bad bal node {other}"))),
+                    },
+                    other => Err(ActionError::Failed(format!("bad bal node {other}"))),
+                },
+                other => Err(ActionError::Failed(format!("bad bal node {other}"))),
+            },
+            other => Err(ActionError::Failed(format!("bad Dyck node {other}"))),
+        },
+        other => Err(ActionError::Failed(format!("bad Dyck node {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dyck::parse_dyck_string;
+    use crate::expr::parse_exp_string;
+    use lambek_automata::counter::CounterMachine;
+    use lambek_core::alphabet::GString;
+
+    fn toks(t: &ArithTokens, s: &str) -> GString {
+        s.chars()
+            .map(|c| match c {
+                '(' => t.lp,
+                ')' => t.rp,
+                '+' => t.add,
+                'n' => t.num,
+                other => panic!("bad token {other}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exp_sum_counts_nums() {
+        let t = ArithTokens::new();
+        let action = exp_sum_action(&t);
+        for (src, expected) in [
+            ("n", 1),
+            ("n+n", 2),
+            ("n+n+n", 3),
+            ("(n+n)+n", 3),
+            ("((n))", 1),
+            ("n+(n+(n+n))", 4),
+        ] {
+            let tree = parse_exp_string(&t, &toks(&t, src)).unwrap();
+            assert_eq!(action.run(&tree).unwrap(), expected, "{src}");
+        }
+    }
+
+    #[test]
+    fn dyck_depth_matches_machine() {
+        let p = Parens::new();
+        let m = CounterMachine::new();
+        let action = dyck_depth_action(&p);
+        for src in ["", "()", "(())", "()()", "(()())()", "((()))"] {
+            let w = p.alphabet.parse_str(src).unwrap();
+            let tree = parse_dyck_string(&p, &w).unwrap();
+            assert_eq!(action.run(&tree).unwrap(), m.max_depth(&w), "{src}");
+        }
+    }
+
+    #[test]
+    fn verified_parser_plus_action_is_a_verified_calculator() {
+        // Compose the Theorem 4.14 parser with the semantic action: the
+        // paper's end-to-end "parsing component of a verified system".
+        let t = ArithTokens::new();
+        let parser = crate::expr::exp_parser(16);
+        let action = exp_sum_action(&t);
+        let w = toks(&t, "(n+n)+(n+n)");
+        let tree = parser.parse(&w).unwrap().accepted().unwrap().clone();
+        let (value, consumed) = action.run_with_yield(&tree).unwrap();
+        assert_eq!(value, 4);
+        assert_eq!(consumed, w);
+    }
+}

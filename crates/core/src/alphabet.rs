@@ -1,0 +1,356 @@
+//! Alphabets, symbols and grammar strings.
+//!
+//! Dependent Lambek Calculus is parameterized by a fixed finite alphabet
+//! `Σ` (§3.4 of the paper). An [`Alphabet`] assigns a display name to each
+//! [`Symbol`]; symbols are small integer indices so strings are compact and
+//! cheap to compare. Names need not be single characters — the arithmetic
+//! example of the paper uses the token `NUM` as one symbol.
+//!
+//! # Examples
+//!
+//! ```
+//! use lambek_core::alphabet::Alphabet;
+//!
+//! let sigma = Alphabet::from_chars("abc");
+//! let a = sigma.symbol("a").unwrap();
+//! let w = sigma.parse_str("ab").unwrap();
+//! assert_eq!(w.len(), 2);
+//! assert_eq!(w[0], a);
+//! assert_eq!(sigma.display(&w), "ab");
+//! ```
+
+use std::fmt;
+use std::ops::Index;
+use std::sync::Arc;
+
+/// A character of the alphabet: an index into an [`Alphabet`].
+///
+/// Symbols are meaningful only relative to the alphabet that created them;
+/// mixing symbols across alphabets is a logic error (it is not memory-unsafe,
+/// but grammar membership answers will be garbage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u16);
+
+impl Symbol {
+    /// The raw index of this symbol within its alphabet.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a symbol from a raw index.
+    ///
+    /// Prefer [`Alphabet::symbol`]; this constructor exists for generators
+    /// and tests that iterate over symbol indices.
+    pub fn from_index(index: usize) -> Symbol {
+        Symbol(index as u16)
+    }
+}
+
+/// A finite alphabet `Σ`: an ordered list of named symbols.
+///
+/// Cloning an `Alphabet` is cheap (the name table is shared).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Arc<Vec<String>>,
+}
+
+impl Alphabet {
+    /// Creates an alphabet from a list of symbol names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty, contains duplicates, or has more than
+    /// `u16::MAX` entries.
+    pub fn new<S: AsRef<str>>(names: &[S]) -> Alphabet {
+        assert!(!names.is_empty(), "alphabet must be non-empty");
+        assert!(names.len() <= u16::MAX as usize, "alphabet too large");
+        let names: Vec<String> = names.iter().map(|s| s.as_ref().to_owned()).collect();
+        for (i, n) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(n),
+                "duplicate symbol name {n:?} in alphabet"
+            );
+        }
+        Alphabet {
+            names: Arc::new(names),
+        }
+    }
+
+    /// Creates an alphabet with one symbol per character of `chars`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chars` is empty or contains a repeated character.
+    pub fn from_chars(chars: &str) -> Alphabet {
+        let names: Vec<String> = chars.chars().map(|c| c.to_string()).collect();
+        Alphabet::new(&names)
+    }
+
+    /// The paper's running three-character alphabet `{a, b, c}` (§2).
+    pub fn abc() -> Alphabet {
+        Alphabet::from_chars("abc")
+    }
+
+    /// The alphabet `{(, )}` of the Dyck grammar (Fig. 13).
+    pub fn parens() -> Alphabet {
+        Alphabet::from_chars("()")
+    }
+
+    /// The alphabet `{(, ), +, NUM}` of the arithmetic example (Fig. 15).
+    pub fn arith() -> Alphabet {
+        Alphabet::new(&["(", ")", "+", "NUM"])
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the alphabet has no symbols. Alphabets are constructed
+    /// non-empty, so this is always `false`; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<Symbol> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(Symbol::from_index)
+    }
+
+    /// The display name of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` is out of range for this alphabet.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Iterates over all symbols in index order.
+    pub fn symbols(&self) -> impl ExactSizeIterator<Item = Symbol> + '_ {
+        (0..self.len()).map(Symbol::from_index)
+    }
+
+    /// Parses a string character-by-character. Every character must be a
+    /// (single-character) symbol name. Returns `None` on the first unknown
+    /// character.
+    pub fn parse_str(&self, s: &str) -> Option<GString> {
+        s.chars()
+            .map(|c| self.symbol(&c.to_string()))
+            .collect::<Option<Vec<_>>>()
+            .map(GString::from_symbols)
+    }
+
+    /// Renders a grammar string using this alphabet's symbol names.
+    pub fn display(&self, w: &GString) -> String {
+        w.iter().map(|s| self.name(s)).collect()
+    }
+}
+
+/// A string over an alphabet: the resource consumed by parsing.
+///
+/// `GString` is an ordered sequence of [`Symbol`]s. The non-commutative
+/// linear context `⌈w⌉` of the paper has one variable per element of the
+/// string; [`GString`] is the runtime counterpart.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GString(Vec<Symbol>);
+
+impl GString {
+    /// The empty string `ε`.
+    pub fn new() -> GString {
+        GString(Vec::new())
+    }
+
+    /// Wraps a symbol vector.
+    pub fn from_symbols(symbols: Vec<Symbol>) -> GString {
+        GString(symbols)
+    }
+
+    /// A one-symbol string.
+    pub fn singleton(sym: Symbol) -> GString {
+        GString(vec![sym])
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for the empty string `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// View as a symbol slice.
+    pub fn as_slice(&self) -> &[Symbol] {
+        &self.0
+    }
+
+    /// Iterate over the symbols.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = Symbol> + ExactSizeIterator + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Appends a symbol in place.
+    pub fn push(&mut self, sym: Symbol) {
+        self.0.push(sym);
+    }
+
+    /// Concatenation `w ++ v` (the tensor on strings).
+    pub fn concat(&self, other: &GString) -> GString {
+        let mut out = self.0.clone();
+        out.extend_from_slice(&other.0);
+        GString(out)
+    }
+
+    /// Splits into prefix of length `mid` and the remaining suffix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid > self.len()`.
+    pub fn split_at(&self, mid: usize) -> (GString, GString) {
+        let (l, r) = self.0.split_at(mid);
+        (GString(l.to_vec()), GString(r.to_vec()))
+    }
+
+    /// The substring `w[start..end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn substring(&self, start: usize, end: usize) -> GString {
+        GString(self.0[start..end].to_vec())
+    }
+}
+
+impl Index<usize> for GString {
+    type Output = Symbol;
+
+    fn index(&self, index: usize) -> &Symbol {
+        &self.0[index]
+    }
+}
+
+impl FromIterator<Symbol> for GString {
+    fn from_iter<I: IntoIterator<Item = Symbol>>(iter: I) -> GString {
+        GString(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Symbol> for GString {
+    fn extend<I: IntoIterator<Item = Symbol>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl IntoIterator for GString {
+    type Item = Symbol;
+    type IntoIter = std::vec::IntoIter<Symbol>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a GString {
+    type Item = &'a Symbol;
+    type IntoIter = std::slice::Iter<'a, Symbol>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl From<Vec<Symbol>> for GString {
+    fn from(v: Vec<Symbol>) -> GString {
+        GString(v)
+    }
+}
+
+impl fmt::Display for GString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", s.index())?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_lookup_roundtrip() {
+        let sigma = Alphabet::abc();
+        assert_eq!(sigma.len(), 3);
+        for sym in sigma.symbols() {
+            assert_eq!(sigma.symbol(sigma.name(sym)), Some(sym));
+        }
+        assert_eq!(sigma.symbol("z"), None);
+    }
+
+    #[test]
+    fn multi_char_symbol_names() {
+        let sigma = Alphabet::arith();
+        let num = sigma.symbol("NUM").unwrap();
+        assert_eq!(sigma.name(num), "NUM");
+        assert_eq!(num.index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate symbol name")]
+    fn duplicate_names_rejected() {
+        Alphabet::new(&["a", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_alphabet_rejected() {
+        Alphabet::new::<&str>(&[]);
+    }
+
+    #[test]
+    fn parse_str_and_display() {
+        let sigma = Alphabet::abc();
+        let w = sigma.parse_str("abca").unwrap();
+        assert_eq!(w.len(), 4);
+        assert_eq!(sigma.display(&w), "abca");
+        assert!(sigma.parse_str("abz").is_none());
+    }
+
+    #[test]
+    fn gstring_concat_split() {
+        let sigma = Alphabet::abc();
+        let w = sigma.parse_str("ab").unwrap();
+        let v = sigma.parse_str("ca").unwrap();
+        let wv = w.concat(&v);
+        assert_eq!(sigma.display(&wv), "abca");
+        let (l, r) = wv.split_at(2);
+        assert_eq!(l, w);
+        assert_eq!(r, v);
+    }
+
+    #[test]
+    fn gstring_collect_and_index() {
+        let sigma = Alphabet::abc();
+        let w: GString = sigma.symbols().collect();
+        assert_eq!(sigma.display(&w), "abc");
+        assert_eq!(w[1], sigma.symbol("b").unwrap());
+        let sub = w.substring(1, 3);
+        assert_eq!(sigma.display(&sub), "bc");
+    }
+
+    #[test]
+    fn gstring_display_is_nonempty_even_for_epsilon() {
+        let w = GString::new();
+        assert_eq!(format!("{w}"), "⟨⟩");
+    }
+}

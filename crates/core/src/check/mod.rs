@@ -1,0 +1,1039 @@
+//! The ordered-linear type checker (Fig. 9).
+//!
+//! LambekD's typing discipline is what makes parsers correct by
+//! construction, and it hinges on the *absence* of the structural rules:
+//!
+//! * **no weakening** — a context variable (an input character) cannot go
+//!   unused;
+//! * **no contraction** — a variable cannot be consumed twice;
+//! * **no exchange** — variables must be consumed in context order.
+//!
+//! The checker threads the exact ordered context through each rule.
+//! Context splits (for `⊗`, application, and the `Δ₁, Δ₂, Δ₃` pattern
+//! rules) are reconstructed deterministically from the free variables of
+//! the subterms: a subterm's free variables must occupy a *contiguous*
+//! slice of the context in order, exactly as the paper's rules demand.
+//! Violations are reported as the specific structural rule the term
+//! tried to use.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::syntax::nonlinear::{infer_nl, NlCtx, NlError, NlTerm};
+use crate::syntax::terms::{FoldClause, LinTerm};
+use crate::syntax::types::{lin_type_equal, subst_lin_type, LinType, Signature};
+
+/// An ordered linear context `Δ`.
+pub type LinCtx = Vec<(String, LinType)>;
+
+/// A borrowed view of an ordered linear context.
+pub type CtxSlice<'c> = &'c [(String, LinType)];
+
+/// Which structural rule a rejected term tried to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructuralRule {
+    /// A variable was dropped.
+    Weakening,
+    /// A variable was used more than once.
+    Contraction,
+    /// Variables were used out of order.
+    Exchange,
+}
+
+impl fmt::Display for StructuralRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructuralRule::Weakening => write!(f, "weakening"),
+            StructuralRule::Contraction => write!(f, "contraction"),
+            StructuralRule::Exchange => write!(f, "exchange"),
+        }
+    }
+}
+
+/// Type-checking errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeError {
+    /// The term needs a structural rule the calculus does not have.
+    Structural {
+        /// The rule.
+        rule: StructuralRule,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A plain type mismatch.
+    Mismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+        /// The offending term.
+        term: String,
+    },
+    /// An unbound linear variable.
+    Unbound(String),
+    /// An unknown global, data family or constructor.
+    Unknown(String),
+    /// This term form cannot have its type inferred; annotate or check.
+    NeedsAnnotation(String),
+    /// An error in the non-linear layer.
+    Nl(NlError),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Structural { rule, detail } => {
+                write!(f, "term requires {rule}, which LambekD forbids: {detail}")
+            }
+            TypeError::Mismatch {
+                expected,
+                found,
+                term,
+            } => write!(f, "expected {expected}, found {found} in {term}"),
+            TypeError::Unbound(x) => write!(f, "unbound linear variable {x}"),
+            TypeError::Unknown(x) => write!(f, "unknown name {x}"),
+            TypeError::NeedsAnnotation(t) => write!(f, "cannot infer type of {t}"),
+            TypeError::Nl(e) => write!(f, "{e}"),
+            TypeError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl From<NlError> for TypeError {
+    fn from(e: NlError) -> TypeError {
+        TypeError::Nl(e)
+    }
+}
+
+/// Free linear variables of a term (bound-variable aware).
+fn free_vars(term: &LinTerm, bound: &mut Vec<String>, out: &mut HashSet<String>) {
+    match term {
+        LinTerm::Var(x) => {
+            if !bound.contains(x) {
+                out.insert(x.clone());
+            }
+        }
+        LinTerm::Global(_) | LinTerm::UnitIntro => {}
+        LinTerm::LetUnit { scrutinee, body } => {
+            free_vars(scrutinee, bound, out);
+            free_vars(body, bound, out);
+        }
+        LinTerm::Pair(l, r) => {
+            free_vars(l, bound, out);
+            free_vars(r, bound, out);
+        }
+        LinTerm::LetPair {
+            scrutinee,
+            left,
+            right,
+            body,
+        } => {
+            free_vars(scrutinee, bound, out);
+            bound.push(left.clone());
+            bound.push(right.clone());
+            free_vars(body, bound, out);
+            bound.pop();
+            bound.pop();
+        }
+        LinTerm::Lam { var, body, .. } | LinTerm::LamL { var, body, .. } => {
+            bound.push(var.clone());
+            free_vars(body, bound, out);
+            bound.pop();
+        }
+        LinTerm::App(f, x) => {
+            free_vars(f, bound, out);
+            free_vars(x, bound, out);
+        }
+        LinTerm::AppL { arg, fun } => {
+            free_vars(arg, bound, out);
+            free_vars(fun, bound, out);
+        }
+        LinTerm::Inj { body, .. } | LinTerm::BigInj { body, .. } => free_vars(body, bound, out),
+        LinTerm::Case {
+            scrutinee,
+            branches,
+        } => {
+            free_vars(scrutinee, bound, out);
+            for (v, b) in branches {
+                bound.push(v.clone());
+                free_vars(b, bound, out);
+                bound.pop();
+            }
+        }
+        LinTerm::LetBigInj {
+            scrutinee,
+            var,
+            body,
+            ..
+        } => {
+            free_vars(scrutinee, bound, out);
+            bound.push(var.clone());
+            free_vars(body, bound, out);
+            bound.pop();
+        }
+        LinTerm::BigLam { body, .. } => free_vars(body, bound, out),
+        LinTerm::BigProj { scrutinee, .. } => free_vars(scrutinee, bound, out),
+        LinTerm::Tuple(ts) => {
+            for t in ts {
+                free_vars(t, bound, out);
+            }
+        }
+        LinTerm::Proj { scrutinee, .. } => free_vars(scrutinee, bound, out),
+        LinTerm::Ctor { lin_args, .. } => {
+            for a in lin_args {
+                free_vars(a, bound, out);
+            }
+        }
+        LinTerm::Fold { scrutinee, .. } => free_vars(scrutinee, bound, out),
+        LinTerm::EqIntro(t) | LinTerm::EqProj(t) => free_vars(t, bound, out),
+    }
+}
+
+fn free_set(term: &LinTerm) -> HashSet<String> {
+    let mut out = HashSet::new();
+    free_vars(term, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Rejects a pair of subterms that share a free variable — the
+/// contraction violation, reported as such.
+fn disjoint(l: &LinTerm, r: &LinTerm) -> Result<(), TypeError> {
+    let fl = free_set(l);
+    let fr = free_set(r);
+    if let Some(x) = fl.intersection(&fr).next() {
+        return Err(TypeError::Structural {
+            rule: StructuralRule::Contraction,
+            detail: format!("{x} is consumed by both {l} and {r}"),
+        });
+    }
+    Ok(())
+}
+
+/// The checker, parameterized by a signature of data declarations and
+/// global definitions.
+#[derive(Debug)]
+pub struct Checker<'a> {
+    sig: &'a Signature,
+}
+
+impl<'a> Checker<'a> {
+    /// Creates a checker over a signature.
+    pub fn new(sig: &'a Signature) -> Checker<'a> {
+        Checker { sig }
+    }
+
+    /// Splits `ctx` for a subterm that must consume a contiguous *prefix*
+    /// (the left side of `⊗`-style splits).
+    fn split_prefix<'c>(
+        &self,
+        ctx: CtxSlice<'c>,
+        sub: &LinTerm,
+    ) -> Result<(CtxSlice<'c>, CtxSlice<'c>), TypeError> {
+        let used = free_set(sub);
+        let mut k = 0;
+        while k < ctx.len() && used.contains(&ctx[k].0) {
+            k += 1;
+        }
+        // No later context entry may be used by the prefix subterm.
+        if let Some((name, _)) = ctx[k..].iter().find(|(n, _)| used.contains(n)) {
+            return Err(TypeError::Structural {
+                rule: StructuralRule::Exchange,
+                detail: format!(
+                    "{sub} consumes {name} out of order (context is non-commutative)"
+                ),
+            });
+        }
+        Ok(ctx.split_at(k))
+    }
+
+    /// Finds the contiguous segment of `ctx` consumed by `sub` (for the
+    /// `Δ₁, Δ₂, Δ₃` pattern-match rules). Returns `(Δ₁, Δ₂, Δ₃)`.
+    fn split_segment<'c>(
+        &self,
+        ctx: CtxSlice<'c>,
+        sub: &LinTerm,
+    ) -> Result<(CtxSlice<'c>, CtxSlice<'c>, CtxSlice<'c>), TypeError> {
+        let used = free_set(sub);
+        if used.is_empty() {
+            // A resource-free scrutinee: the segment is empty; place it at
+            // the left edge (any placement checks equivalently).
+            return Ok((&ctx[..0], &ctx[..0], ctx));
+        }
+        let start = ctx
+            .iter()
+            .position(|(n, _)| used.contains(n))
+            .ok_or_else(|| TypeError::Other(format!("scrutinee {sub} uses no context variable")))?;
+        let mut end = start;
+        while end < ctx.len() && used.contains(&ctx[end].0) {
+            end += 1;
+        }
+        if let Some((name, _)) = ctx[end..].iter().find(|(n, _)| used.contains(n)) {
+            return Err(TypeError::Structural {
+                rule: StructuralRule::Exchange,
+                detail: format!("{sub} consumes a non-contiguous segment (gap before {name})"),
+            });
+        }
+        Ok((&ctx[..start], &ctx[start..end], &ctx[end..]))
+    }
+
+    /// Diagnoses why a leaf-level usage failed, in terms of the missing
+    /// structural rule.
+    fn structural_diagnosis(&self, ctx: &[(String, LinType)], term: &LinTerm) -> TypeError {
+        let used = free_set(term);
+        let ctx_names: Vec<&String> = ctx.iter().map(|(n, _)| n).collect();
+        let unused: Vec<&String> = ctx_names
+            .iter()
+            .filter(|n| !used.contains(**n))
+            .copied()
+            .collect();
+        if !unused.is_empty() {
+            return TypeError::Structural {
+                rule: StructuralRule::Weakening,
+                detail: format!("{term} leaves {} unused", unused[0]),
+            };
+        }
+        TypeError::Structural {
+            rule: StructuralRule::Exchange,
+            detail: format!("{term} does not consume the context in order"),
+        }
+    }
+
+    /// Infers the type of `term` in `Γ = nl` and ordered `Δ = lin`
+    /// (`Γ; Δ ⊢ term : ?`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] — with the offending structural rule named
+    /// where applicable.
+    pub fn infer(
+        &self,
+        nl: &NlCtx,
+        lin: &[(String, LinType)],
+        term: &LinTerm,
+    ) -> Result<LinType, TypeError> {
+        match term {
+            LinTerm::Var(x) => match lin {
+                [(name, ty)] if name == x => Ok(ty.clone()),
+                [] => Err(TypeError::Unbound(x.clone())),
+                _ => {
+                    if lin.iter().any(|(n, _)| n == x) {
+                        Err(self.structural_diagnosis(lin, term))
+                    } else {
+                        Err(TypeError::Unbound(x.clone()))
+                    }
+                }
+            },
+            LinTerm::Global(g) => {
+                if !lin.is_empty() {
+                    return Err(self.structural_diagnosis(lin, term));
+                }
+                self.sig
+                    .def(g)
+                    .map(|d| d.ty.clone())
+                    .ok_or_else(|| TypeError::Unknown(g.clone()))
+            }
+            LinTerm::UnitIntro => {
+                if lin.is_empty() {
+                    Ok(LinType::Unit)
+                } else {
+                    Err(self.structural_diagnosis(lin, term))
+                }
+            }
+            LinTerm::LetUnit { scrutinee, body } => {
+                let (d1, d2, d3) = self.split_segment(lin, scrutinee)?;
+                let st = self.infer(nl, d2, scrutinee)?;
+                if !lin_type_equal(&st, &LinType::Unit) {
+                    return Err(self.mismatch(&LinType::Unit, &st, scrutinee));
+                }
+                let mut ctx = d1.to_vec();
+                ctx.extend_from_slice(d3);
+                self.infer(nl, &ctx, body)
+            }
+            LinTerm::Pair(l, r) => {
+                disjoint(l, r)?;
+                let (dl, dr) = self.split_prefix(lin, l)?;
+                let lt = self.infer(nl, dl, l)?;
+                let rt = self.infer(nl, dr, r)?;
+                Ok(LinType::tensor(lt, rt))
+            }
+            LinTerm::LetPair {
+                scrutinee,
+                left,
+                right,
+                body,
+            } => {
+                let (d1, d2, d3) = self.split_segment(lin, scrutinee)?;
+                let st = self.infer(nl, d2, scrutinee)?;
+                let (a, b) = match st {
+                    LinType::Tensor(a, b) => ((*a).clone(), (*b).clone()),
+                    other => {
+                        return Err(self.mismatch_str("a ⊗ type", &other, scrutinee));
+                    }
+                };
+                let mut ctx = d1.to_vec();
+                ctx.push((left.clone(), a));
+                ctx.push((right.clone(), b));
+                ctx.extend_from_slice(d3);
+                self.infer(nl, &ctx, body)
+            }
+            LinTerm::Lam { var, dom, body } => {
+                let mut ctx = lin.to_vec();
+                ctx.push((var.clone(), (**dom).clone()));
+                let cod = self.infer(nl, &ctx, body)?;
+                Ok(LinType::LFun(dom.clone(), Rc::new(cod)))
+            }
+            LinTerm::App(f, x) => {
+                disjoint(f, x)?;
+                let (df, dx) = self.split_prefix(lin, f)?;
+                match self.infer(nl, df, f)? {
+                    LinType::LFun(a, b) => {
+                        self.check(nl, dx, x, &a)?;
+                        Ok((*b).clone())
+                    }
+                    other => Err(self.mismatch_str("a ⊸ type", &other, f)),
+                }
+            }
+            LinTerm::LamL { var, dom, body } => {
+                let mut ctx = vec![(var.clone(), (**dom).clone())];
+                ctx.extend_from_slice(lin);
+                let cod = self.infer(nl, &ctx, body)?;
+                Ok(LinType::RFun(dom.clone(), Rc::new(cod)))
+            }
+            LinTerm::AppL { arg, fun } => {
+                disjoint(arg, fun)?;
+                let (da, df) = self.split_prefix(lin, arg)?;
+                match self.infer(nl, df, fun)? {
+                    LinType::RFun(a, b) => {
+                        self.check(nl, da, arg, &a)?;
+                        Ok((*b).clone())
+                    }
+                    other => Err(self.mismatch_str("a ⟜ type", &other, fun)),
+                }
+            }
+            LinTerm::Inj { .. } | LinTerm::BigInj { .. } | LinTerm::BigLam { .. }
+            | LinTerm::EqIntro(_) => Err(TypeError::NeedsAnnotation(format!("{term}"))),
+            LinTerm::Case {
+                scrutinee,
+                branches,
+            } => {
+                let (d1, d2, d3) = self.split_segment(lin, scrutinee)?;
+                let ts = match self.infer(nl, d2, scrutinee)? {
+                    LinType::Plus(ts) => ts,
+                    other => return Err(self.mismatch_str("a ⊕ type", &other, scrutinee)),
+                };
+                if ts.len() != branches.len() {
+                    return Err(TypeError::Other(format!(
+                        "case has {} branches for a {}-ary sum",
+                        branches.len(),
+                        ts.len()
+                    )));
+                }
+                let mut result: Option<LinType> = None;
+                for ((v, b), t) in branches.iter().zip(&ts) {
+                    let mut ctx = d1.to_vec();
+                    ctx.push((v.clone(), t.clone()));
+                    ctx.extend_from_slice(d3);
+                    let bt = self.infer(nl, &ctx, b)?;
+                    match &result {
+                        None => result = Some(bt),
+                        Some(r) => {
+                            if !lin_type_equal(r, &bt) {
+                                return Err(self.mismatch(r, &bt, b));
+                            }
+                        }
+                    }
+                }
+                result.ok_or_else(|| TypeError::NeedsAnnotation("empty case".to_owned()))
+            }
+            LinTerm::LetBigInj {
+                scrutinee,
+                nl_var,
+                var,
+                body,
+            } => {
+                let (d1, d2, d3) = self.split_segment(lin, scrutinee)?;
+                let (ix, iv, ib) = match self.infer(nl, d2, scrutinee)? {
+                    LinType::BigPlus { var, index, body } => (index, var, body),
+                    other => return Err(self.mismatch_str("an indexed ⊕", &other, scrutinee)),
+                };
+                let mut nl2 = nl.clone();
+                nl2.insert(nl_var.clone(), (*ix).clone());
+                let payload = subst_lin_type(&ib, &iv, &NlTerm::var(nl_var));
+                let mut ctx = d1.to_vec();
+                ctx.push((var.clone(), payload));
+                ctx.extend_from_slice(d3);
+                self.infer(&nl2, &ctx, body)
+            }
+            LinTerm::BigProj { scrutinee, index } => {
+                match self.infer(nl, lin, scrutinee)? {
+                    LinType::BigWith {
+                        var,
+                        index: ix,
+                        body,
+                    } => {
+                        let it = infer_nl(nl, index)?;
+                        if it != *ix {
+                            return Err(TypeError::Nl(NlError::Mismatch(format!(
+                                "projection index has type {it}, expected {ix}"
+                            ))));
+                        }
+                        Ok(subst_lin_type(&body, &var, index))
+                    }
+                    other => Err(self.mismatch_str("an indexed &", &other, scrutinee)),
+                }
+            }
+            LinTerm::Tuple(ts) => {
+                let mut out = Vec::with_capacity(ts.len());
+                for t in ts {
+                    out.push(self.infer(nl, lin, t)?);
+                }
+                Ok(LinType::With(out))
+            }
+            LinTerm::Proj { scrutinee, index } => match self.infer(nl, lin, scrutinee)? {
+                LinType::With(ts) => ts
+                    .get(*index)
+                    .cloned()
+                    .ok_or_else(|| TypeError::Other(format!("projection {index} out of range"))),
+                other => Err(self.mismatch_str("a finite &", &other, scrutinee)),
+            },
+            LinTerm::Ctor {
+                data,
+                ctor,
+                nl_args,
+                lin_args,
+            } => {
+                let decl = self
+                    .sig
+                    .data(data)
+                    .ok_or_else(|| TypeError::Unknown(data.clone()))?;
+                let cdecl = decl
+                    .ctors
+                    .iter()
+                    .find(|c| &c.name == ctor)
+                    .ok_or_else(|| TypeError::Unknown(format!("{data}.{ctor}")))?;
+                if nl_args.len() != cdecl.nl_args.len() || lin_args.len() != cdecl.lin_args.len() {
+                    return Err(TypeError::Other(format!(
+                        "{ctor}: wrong number of arguments"
+                    )));
+                }
+                // Check non-linear arguments and build the substitution.
+                let mut subst: Vec<(String, NlTerm)> = Vec::new();
+                for (arg, (name, ty)) in nl_args.iter().zip(&cdecl.nl_args) {
+                    let got = infer_nl(nl, arg)?;
+                    if &got != ty {
+                        return Err(TypeError::Nl(NlError::Mismatch(format!(
+                            "{ctor}: index argument {arg} has type {got}, expected {ty}"
+                        ))));
+                    }
+                    subst.push((name.clone(), arg.clone()));
+                }
+                let apply = |ty: &LinType| {
+                    subst
+                        .iter()
+                        .fold(ty.clone(), |t, (v, m)| subst_lin_type(&t, v, m))
+                };
+                // Check linear arguments left-to-right with prefix splits.
+                for (i, a) in lin_args.iter().enumerate() {
+                    for b in &lin_args[i + 1..] {
+                        disjoint(a, b)?;
+                    }
+                }
+                let mut rest = lin;
+                for (arg, ty) in lin_args.iter().zip(&cdecl.lin_args) {
+                    let (seg, r) = self.split_prefix(rest, arg)?;
+                    self.check(nl, seg, arg, &apply(ty))?;
+                    rest = r;
+                }
+                if !rest.is_empty() {
+                    return Err(self.structural_diagnosis(lin, term));
+                }
+                let args = cdecl
+                    .result_indices
+                    .iter()
+                    .map(|ix| {
+                        subst
+                            .iter()
+                            .fold(ix.clone(), |t, (v, m)| {
+                                crate::syntax::nonlinear::subst_nl(&t, v, m)
+                            })
+                    })
+                    .collect();
+                Ok(LinType::Data {
+                    name: data.clone(),
+                    args,
+                })
+            }
+            LinTerm::Fold {
+                data,
+                motive,
+                clauses,
+                scrutinee,
+            } => {
+                let decl = self
+                    .sig
+                    .data(data)
+                    .ok_or_else(|| TypeError::Unknown(data.clone()))?;
+                if clauses.len() != decl.ctors.len() {
+                    return Err(TypeError::Other(format!(
+                        "fold over {data} needs {} clauses, got {}",
+                        decl.ctors.len(),
+                        clauses.len()
+                    )));
+                }
+                let motive_at = |indices: &[NlTerm]| -> LinType {
+                    decl.index_telescope
+                        .iter()
+                        .zip(indices)
+                        .fold((**motive).clone(), |t, ((v, _), m)| {
+                            subst_lin_type(&t, v, m)
+                        })
+                };
+                for (clause, cdecl) in clauses.iter().zip(&decl.ctors) {
+                    self.check_fold_clause(nl, data, clause, cdecl, &motive_at)?;
+                }
+                let sty = self.infer(nl, lin, scrutinee)?;
+                match sty {
+                    LinType::Data { name, args } if &name == data => Ok(motive_at(&args)),
+                    other => Err(self.mismatch_str(&format!("{data} …"), &other, scrutinee)),
+                }
+            }
+            LinTerm::EqProj(e) => match self.infer(nl, lin, e)? {
+                LinType::Equalizer { base, .. } => Ok((*base).clone()),
+                other => Err(self.mismatch_str("an equalizer", &other, e)),
+            },
+        }
+    }
+
+    fn check_fold_clause(
+        &self,
+        nl: &NlCtx,
+        data: &str,
+        clause: &FoldClause,
+        cdecl: &crate::syntax::types::CtorDecl,
+        motive_at: &dyn Fn(&[NlTerm]) -> LinType,
+    ) -> Result<(), TypeError> {
+        if clause.nl_vars.len() != cdecl.nl_args.len()
+            || clause.lin_vars.len() != cdecl.lin_args.len()
+        {
+            return Err(TypeError::Other(format!(
+                "fold clause for {} binds the wrong number of variables",
+                cdecl.name
+            )));
+        }
+        let mut nl2 = nl.clone();
+        let mut subst: Vec<(String, NlTerm)> = Vec::new();
+        for (v, (decl_name, ty)) in clause.nl_vars.iter().zip(&cdecl.nl_args) {
+            nl2.insert(v.clone(), ty.clone());
+            subst.push((decl_name.clone(), NlTerm::var(v)));
+        }
+        let apply = |ty: &LinType| {
+            subst
+                .iter()
+                .fold(ty.clone(), |t, (v, m)| subst_lin_type(&t, v, m))
+        };
+        let mut ctx: LinCtx = Vec::new();
+        for (v, arg_ty) in clause.lin_vars.iter().zip(&cdecl.lin_args) {
+            // Recursive positions arrive at the motive type (Fig. 10's
+            // `el(F)(A)`); we support top-level self references.
+            let bound_ty = match arg_ty {
+                LinType::Data { name, args } if name == data => {
+                    let idx: Vec<NlTerm> = args
+                        .iter()
+                        .map(|a| {
+                            subst.iter().fold(a.clone(), |t, (v, m)| {
+                                crate::syntax::nonlinear::subst_nl(&t, v, m)
+                            })
+                        })
+                        .collect();
+                    motive_at(&idx)
+                }
+                other => apply(other),
+            };
+            ctx.push((v.clone(), bound_ty));
+        }
+        let expected = {
+            let idx: Vec<NlTerm> = cdecl
+                .result_indices
+                .iter()
+                .map(|a| {
+                    subst.iter().fold(a.clone(), |t, (v, m)| {
+                        crate::syntax::nonlinear::subst_nl(&t, v, m)
+                    })
+                })
+                .collect();
+            motive_at(&idx)
+        };
+        self.check(&nl2, &ctx, &clause.body, &expected)
+    }
+
+    /// Checks `term` against an expected type (`Γ; Δ ⊢ term ⇐ A`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Checker::infer`].
+    pub fn check(
+        &self,
+        nl: &NlCtx,
+        lin: &[(String, LinType)],
+        term: &LinTerm,
+        expected: &LinType,
+    ) -> Result<(), TypeError> {
+        match (term, expected) {
+            (LinTerm::Inj { index, arity, body }, LinType::Plus(ts)) => {
+                if ts.len() != *arity {
+                    return Err(TypeError::Other(format!(
+                        "σ annotated with arity {arity} against a {}-ary sum",
+                        ts.len()
+                    )));
+                }
+                let t = ts.get(*index).ok_or_else(|| {
+                    TypeError::Other(format!("σ{index} out of range for {expected}"))
+                })?;
+                self.check(nl, lin, body, t)
+            }
+            (LinTerm::BigInj { index, body }, LinType::BigPlus { var, index: ix, body: b }) => {
+                let it = infer_nl(nl, index)?;
+                if it != **ix {
+                    return Err(TypeError::Nl(NlError::Mismatch(format!(
+                        "σ index has type {it}, expected {ix}"
+                    ))));
+                }
+                let t = subst_lin_type(b, var, index);
+                self.check(nl, lin, body, &t)
+            }
+            (LinTerm::BigLam { var, body }, LinType::BigWith { var: v, index, body: b }) => {
+                let mut nl2 = nl.clone();
+                nl2.insert(var.clone(), (**index).clone());
+                let t = subst_lin_type(b, v, &NlTerm::var(var));
+                self.check(&nl2, lin, body, &t)
+            }
+            (LinTerm::Tuple(ts), LinType::With(tys)) => {
+                if ts.len() != tys.len() {
+                    return Err(TypeError::Other(format!(
+                        "tuple arity {} against {}-ary &",
+                        ts.len(),
+                        tys.len()
+                    )));
+                }
+                for (t, ty) in ts.iter().zip(tys) {
+                    self.check(nl, lin, t, ty)?;
+                }
+                Ok(())
+            }
+            (LinTerm::EqIntro(e), LinType::Equalizer { base, .. }) => {
+                // The equation `f e ≡ g e` is a semantic side condition,
+                // verified by the evaluator (DESIGN.md §7).
+                self.check(nl, lin, e, base)
+            }
+            (LinTerm::Lam { var, dom, body }, LinType::LFun(a, b)) => {
+                if !lin_type_equal(dom, a) {
+                    return Err(self.mismatch(a, dom, term));
+                }
+                let mut ctx = lin.to_vec();
+                ctx.push((var.clone(), (**a).clone()));
+                self.check(nl, &ctx, body, b)
+            }
+            (LinTerm::LetUnit { scrutinee, body }, _) => {
+                let (d1, d2, d3) = self.split_segment(lin, scrutinee)?;
+                let st = self.infer(nl, d2, scrutinee)?;
+                if !lin_type_equal(&st, &LinType::Unit) {
+                    return Err(self.mismatch(&LinType::Unit, &st, scrutinee));
+                }
+                let mut ctx = d1.to_vec();
+                ctx.extend_from_slice(d3);
+                self.check(nl, &ctx, body, expected)
+            }
+            (
+                LinTerm::LetPair {
+                    scrutinee,
+                    left,
+                    right,
+                    body,
+                },
+                _,
+            ) => {
+                let (d1, d2, d3) = self.split_segment(lin, scrutinee)?;
+                let st = self.infer(nl, d2, scrutinee)?;
+                let (a, b) = match st {
+                    LinType::Tensor(a, b) => ((*a).clone(), (*b).clone()),
+                    other => return Err(self.mismatch_str("a ⊗ type", &other, scrutinee)),
+                };
+                let mut ctx = d1.to_vec();
+                ctx.push((left.clone(), a));
+                ctx.push((right.clone(), b));
+                ctx.extend_from_slice(d3);
+                self.check(nl, &ctx, body, expected)
+            }
+            (
+                LinTerm::LetBigInj {
+                    scrutinee,
+                    nl_var,
+                    var,
+                    body,
+                },
+                _,
+            ) => {
+                let (d1, d2, d3) = self.split_segment(lin, scrutinee)?;
+                let (ix, iv, ib) = match self.infer(nl, d2, scrutinee)? {
+                    LinType::BigPlus { var, index, body } => (index, var, body),
+                    other => return Err(self.mismatch_str("an indexed ⊕", &other, scrutinee)),
+                };
+                let mut nl2 = nl.clone();
+                nl2.insert(nl_var.clone(), (*ix).clone());
+                let payload = subst_lin_type(&ib, &iv, &NlTerm::var(nl_var));
+                let mut ctx = d1.to_vec();
+                ctx.push((var.clone(), payload));
+                ctx.extend_from_slice(d3);
+                self.check(&nl2, &ctx, body, expected)
+            }
+            (LinTerm::Case { scrutinee, branches }, _) => {
+                let (d1, d2, d3) = self.split_segment(lin, scrutinee)?;
+                let ts = match self.infer(nl, d2, scrutinee)? {
+                    LinType::Plus(ts) => ts,
+                    other => return Err(self.mismatch_str("a ⊕ type", &other, scrutinee)),
+                };
+                if ts.len() != branches.len() {
+                    return Err(TypeError::Other(format!(
+                        "case has {} branches for a {}-ary sum",
+                        branches.len(),
+                        ts.len()
+                    )));
+                }
+                for ((v, b), t) in branches.iter().zip(&ts) {
+                    let mut ctx = d1.to_vec();
+                    ctx.push((v.clone(), t.clone()));
+                    ctx.extend_from_slice(d3);
+                    self.check(nl, &ctx, b, expected)?;
+                }
+                Ok(())
+            }
+            _ => {
+                let got = self.infer(nl, lin, term)?;
+                if lin_type_equal(&got, expected) {
+                    Ok(())
+                } else {
+                    Err(self.mismatch(expected, &got, term))
+                }
+            }
+        }
+    }
+
+    fn mismatch(&self, expected: &LinType, found: &LinType, term: &LinTerm) -> TypeError {
+        TypeError::Mismatch {
+            expected: format!("{expected}"),
+            found: format!("{found}"),
+            term: format!("{term}"),
+        }
+    }
+
+    fn mismatch_str(&self, expected: &str, found: &LinType, term: &LinTerm) -> TypeError {
+        TypeError::Mismatch {
+            expected: expected.to_owned(),
+            found: format!("{found}"),
+            term: format!("{term}"),
+        }
+    }
+}
+
+/// Type-checks every global definition in a signature.
+///
+/// # Errors
+///
+/// Returns the first definition that fails, with its error.
+pub fn check_signature(sig: &Signature) -> Result<(), (String, TypeError)> {
+    let checker = Checker::new(sig);
+    for def in sig.defs() {
+        checker
+            .check(&NlCtx::new(), &[], &def.body, &def.ty)
+            .map_err(|e| (def.name.clone(), e))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn chr(name: &str) -> LinType {
+        LinType::Char(Alphabet::abc().symbol(name).unwrap())
+    }
+
+    fn ab_ctx() -> LinCtx {
+        vec![("a".to_owned(), chr("a")), ("b".to_owned(), chr("b"))]
+    }
+
+    fn empty_sig() -> Signature {
+        Signature::new()
+    }
+
+    #[test]
+    fn fig1_typing_derivation() {
+        // a : 'a', b : 'b' ⊢ σ0 (a, b) : ('a' ⊗ 'b') ⊕ 'c'.
+        let sig = empty_sig();
+        let ck = Checker::new(&sig);
+        let goal = LinType::alt(LinType::tensor(chr("a"), chr("b")), chr("c"));
+        let term = LinTerm::inj(0, 2, LinTerm::pair(LinTerm::var("a"), LinTerm::var("b")));
+        ck.check(&NlCtx::new(), &ab_ctx(), &term, &goal).unwrap();
+    }
+
+    #[test]
+    fn weakening_is_rejected() {
+        // a : 'a', b : 'b' ⊬ a : 'a' — b is dropped (§2).
+        let sig = empty_sig();
+        let ck = Checker::new(&sig);
+        let err = ck.infer(&NlCtx::new(), &ab_ctx(), &LinTerm::var("a")).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TypeError::Structural {
+                    rule: StructuralRule::Weakening,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn contraction_is_rejected() {
+        // a : 'a', b : 'b' ⊬ (a, a) : 'a' ⊗ 'a' (§2).
+        let sig = empty_sig();
+        let ck = Checker::new(&sig);
+        let term = LinTerm::pair(LinTerm::var("a"), LinTerm::var("a"));
+        let err = ck.infer(&NlCtx::new(), &ab_ctx(), &term).unwrap_err();
+        // The duplicate use surfaces as a structural violation (the
+        // second `a` is out of reach after the first consumed it).
+        assert!(matches!(err, TypeError::Structural { .. }), "{err}");
+    }
+
+    #[test]
+    fn exchange_is_rejected() {
+        // a : 'a', b : 'b' ⊬ (b, a) : 'b' ⊗ 'a' (§2).
+        let sig = empty_sig();
+        let ck = Checker::new(&sig);
+        let term = LinTerm::pair(LinTerm::var("b"), LinTerm::var("a"));
+        let err = ck.infer(&NlCtx::new(), &ab_ctx(), &term).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TypeError::Structural {
+                    rule: StructuralRule::Exchange,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lambda_binds_on_the_right() {
+        // ⊢ λ⊸ a. λ⊸ b. (a, b) : 'a' ⊸ 'b' ⊸ ('a' ⊗ 'b').
+        let sig = empty_sig();
+        let ck = Checker::new(&sig);
+        let term = LinTerm::lam(
+            "a",
+            chr("a"),
+            LinTerm::lam("b", chr("b"), LinTerm::pair(LinTerm::var("a"), LinTerm::var("b"))),
+        );
+        let ty = ck.infer(&NlCtx::new(), &[], &term).unwrap();
+        assert!(lin_type_equal(
+            &ty,
+            &LinType::lfun(chr("a"), LinType::lfun(chr("b"), LinType::tensor(chr("a"), chr("b"))))
+        ));
+        // But swapping the pair needs exchange: rejected.
+        let bad = LinTerm::lam(
+            "a",
+            chr("a"),
+            LinTerm::lam("b", chr("b"), LinTerm::pair(LinTerm::var("b"), LinTerm::var("a"))),
+        );
+        assert!(ck.infer(&NlCtx::new(), &[], &bad).is_err());
+    }
+
+    #[test]
+    fn left_lambda_binds_on_the_left() {
+        // λ⟜ binds at the left end: λ⟜ a. (a, b) works in ctx b : 'b'.
+        let sig = empty_sig();
+        let ck = Checker::new(&sig);
+        let ctx = vec![("b".to_owned(), chr("b"))];
+        let term = LinTerm::LamL {
+            var: "a".to_owned(),
+            dom: Rc::new(chr("a")),
+            body: Rc::new(LinTerm::pair(LinTerm::var("a"), LinTerm::var("b"))),
+        };
+        let ty = ck.infer(&NlCtx::new(), &ctx, &term).unwrap();
+        assert!(matches!(ty, LinType::RFun(..)));
+    }
+
+    #[test]
+    fn let_pair_splits_in_the_middle() {
+        // c : 'c', p : 'a' ⊗ 'b' ⊢ let (a,b) = p in ((c, a), b).
+        let sig = empty_sig();
+        let ck = Checker::new(&sig);
+        let ctx = vec![
+            ("c".to_owned(), chr("c")),
+            ("p".to_owned(), LinType::tensor(chr("a"), chr("b"))),
+        ];
+        let term = LinTerm::let_pair(
+            LinTerm::var("p"),
+            "a",
+            "b",
+            LinTerm::pair(
+                LinTerm::pair(LinTerm::var("c"), LinTerm::var("a")),
+                LinTerm::var("b"),
+            ),
+        );
+        let ty = ck.infer(&NlCtx::new(), &ctx, &term).unwrap();
+        assert!(lin_type_equal(
+            &ty,
+            &LinType::tensor(LinType::tensor(chr("c"), chr("a")), chr("b"))
+        ));
+    }
+
+    #[test]
+    fn application_splits_function_left() {
+        // f : 'a' ⊸ 'b', a : 'a' ⊢ f a : 'b'… via lambda redex.
+        let sig = empty_sig();
+        let ck = Checker::new(&sig);
+        let ctx = vec![("a".to_owned(), chr("a"))];
+        let term = LinTerm::app(
+            LinTerm::lam("x", chr("a"), LinTerm::var("x")),
+            LinTerm::var("a"),
+        );
+        let ty = ck.infer(&NlCtx::new(), &ctx, &term).unwrap();
+        assert!(lin_type_equal(&ty, &chr("a")));
+    }
+
+    #[test]
+    fn case_branches_share_the_outer_context() {
+        // s : 'a' ⊕ 'b' ⊢ case s of inl x ⇒ σ0 x | inr y ⇒ σ1 y : same sum.
+        let sig = empty_sig();
+        let ck = Checker::new(&sig);
+        let sum = LinType::alt(chr("a"), chr("b"));
+        let ctx = vec![("s".to_owned(), sum.clone())];
+        let term = LinTerm::Case {
+            scrutinee: Rc::new(LinTerm::var("s")),
+            branches: vec![
+                ("x".to_owned(), LinTerm::inj(0, 2, LinTerm::var("x"))),
+                ("y".to_owned(), LinTerm::inj(1, 2, LinTerm::var("y"))),
+            ],
+        };
+        ck.check(&NlCtx::new(), &ctx, &term, &sum).unwrap();
+    }
+
+    #[test]
+    fn tuple_components_share_resources() {
+        // a : 'a' ⊢ ⟨a, a⟩ : 'a' & 'a' — & shares, ⊗ splits.
+        let sig = empty_sig();
+        let ck = Checker::new(&sig);
+        let ctx = vec![("a".to_owned(), chr("a"))];
+        let term = LinTerm::Tuple(vec![LinTerm::var("a"), LinTerm::var("a")]);
+        let ty = ck.infer(&NlCtx::new(), &ctx, &term).unwrap();
+        assert!(lin_type_equal(&ty, &LinType::With(vec![chr("a"), chr("a")])));
+    }
+}

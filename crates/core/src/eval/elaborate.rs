@@ -1,0 +1,481 @@
+//! Elaboration: syntax-level linear types → denotational grammars.
+//!
+//! Connects the deep syntax to the model of §5: a (positive) [`LinType`]
+//! elaborates to a [`Grammar`], with every reachable *instance* of an
+//! indexed inductive family (a `(family, index values)` pair) becoming one
+//! definition of a single shared [`MuSystem`] — exactly the paper's view
+//! of an indexed inductive type as a family of mutually recursive types
+//! (§2, §3.3). Infinite index types (`Nat`) are enumerated up to a bound,
+//! per the truncation policy of DESIGN.md §2.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::grammar::expr::{
+    self, Grammar, GrammarExpr, MuSystem,
+};
+use crate::syntax::nonlinear::{enumerate_type, eval_nl, NlEnv, NlError, Value};
+use crate::syntax::types::{CtorDecl, LinType, Signature};
+
+/// Elaboration errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElabError {
+    /// `⊸`/`⟜` have no enumerable denotation.
+    NonPositive(String),
+    /// An index type could not be enumerated (function type).
+    NotEnumerable(String),
+    /// Unknown data family.
+    UnknownData(String),
+    /// Non-linear evaluation failed.
+    Nl(NlError),
+    /// Equalizers denote filtered parse sets; handled at the theory
+    /// level, not as grammar expressions.
+    Equalizer,
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElabError::NonPositive(t) => {
+                write!(f, "{t} is a function type; only positive types elaborate")
+            }
+            ElabError::NotEnumerable(t) => write!(f, "index type {t} is not enumerable"),
+            ElabError::UnknownData(d) => write!(f, "unknown data family {d}"),
+            ElabError::Nl(e) => write!(f, "{e}"),
+            ElabError::Equalizer => write!(
+                f,
+                "equalizer types elaborate at the theory level, not as grammars"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+impl From<NlError> for ElabError {
+    fn from(e: NlError) -> ElabError {
+        ElabError::Nl(e)
+    }
+}
+
+/// A data instance key: family name plus concrete index values.
+pub type InstanceKey = (String, Vec<Value>);
+
+/// The summand layout of one data instance: which `(constructor,
+/// non-linear argument values)` each `⊕` summand stands for.
+#[derive(Debug, Clone)]
+pub struct InstanceLayout {
+    /// In summand order: `(ctor index, values of its nl_args)`.
+    pub summands: Vec<(usize, Vec<Value>)>,
+}
+
+/// The elaborator: builds one shared `μ` system for all data instances
+/// reachable from the types it is asked about.
+#[derive(Debug)]
+pub struct Elaborator<'a> {
+    sig: &'a Signature,
+    nat_bound: u64,
+    /// Instance → definition index (assigned on first visit).
+    instances: HashMap<InstanceKey, usize>,
+    /// Definition bodies (filled after discovery), names, layouts.
+    defs: Vec<Option<Grammar>>,
+    names: Vec<String>,
+    layouts: Vec<InstanceLayout>,
+    /// The finished system, built on demand.
+    system: Option<Rc<MuSystem>>,
+}
+
+impl<'a> Elaborator<'a> {
+    /// Creates an elaborator; `nat_bound` truncates `Nat`-indexed
+    /// families and `Nat`-indexed `⊕`/`&`.
+    pub fn new(sig: &'a Signature, nat_bound: u64) -> Elaborator<'a> {
+        Elaborator {
+            sig,
+            nat_bound,
+            instances: HashMap::new(),
+            defs: Vec::new(),
+            names: Vec::new(),
+            layouts: Vec::new(),
+            system: None,
+        }
+    }
+
+    /// Elaborates a type to a grammar, in the given non-linear
+    /// environment (free index variables must be bound there).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ElabError`] for non-positive types and enumeration
+    /// failures.
+    pub fn elaborate(&mut self, env: &NlEnv, ty: &LinType) -> Result<Grammar, ElabError> {
+        // Phase 1: build with Var references into the shared system.
+        let open = self.elab_open(env, ty)?;
+        // Phase 2: close the system and replace top-level Vars by μ refs.
+        let system = self.finish_system();
+        Ok(close(&open, &system))
+    }
+
+    /// The summand layout of a data instance (after elaborating something
+    /// that mentions it).
+    pub fn layout(&self, key: &InstanceKey) -> Option<&InstanceLayout> {
+        self.instances.get(key).map(|&i| &self.layouts[i])
+    }
+
+    /// Definition index of an instance, if visited.
+    pub fn instance_index(&self, key: &InstanceKey) -> Option<usize> {
+        self.instances.get(key).copied()
+    }
+
+    fn finish_system(&mut self) -> Rc<MuSystem> {
+        let stale = self
+            .system
+            .as_ref()
+            .is_none_or(|s| s.len() != self.defs.len());
+        if stale && !self.defs.is_empty() {
+            let defs: Vec<Grammar> = self
+                .defs
+                .iter()
+                .map(|d| d.clone().expect("all visited instances have bodies"))
+                .collect();
+            self.system = Some(MuSystem::new(defs, self.names.clone()));
+        }
+        self.system
+            .clone()
+            .unwrap_or_else(|| MuSystem::new(vec![expr::bot()], vec!["unused".to_owned()]))
+    }
+
+    fn elab_open(&mut self, env: &NlEnv, ty: &LinType) -> Result<Grammar, ElabError> {
+        match ty {
+            LinType::Char(c) => Ok(expr::chr(*c)),
+            LinType::Unit => Ok(expr::eps()),
+            LinType::Zero => Ok(expr::bot()),
+            LinType::Top => Ok(expr::top()),
+            LinType::Tensor(a, b) => Ok(expr::tensor(
+                self.elab_open(env, a)?,
+                self.elab_open(env, b)?,
+            )),
+            LinType::LFun(..) | LinType::RFun(..) => {
+                Err(ElabError::NonPositive(format!("{ty}")))
+            }
+            LinType::Plus(ts) => Ok(expr::plus(
+                ts.iter()
+                    .map(|t| self.elab_open(env, t))
+                    .collect::<Result<_, _>>()?,
+            )),
+            LinType::With(ts) => Ok(expr::with(
+                ts.iter()
+                    .map(|t| self.elab_open(env, t))
+                    .collect::<Result<_, _>>()?,
+            )),
+            LinType::BigPlus { var, index, body } => {
+                let values = enumerate_type(index, self.nat_bound)
+                    .ok_or_else(|| ElabError::NotEnumerable(format!("{index}")))?;
+                let mut summands = Vec::with_capacity(values.len());
+                for v in values {
+                    let mut env2 = env.clone();
+                    env2.insert(var.clone(), v);
+                    summands.push(self.elab_open(&env2, body)?);
+                }
+                Ok(expr::plus(summands))
+            }
+            LinType::BigWith { var, index, body } => {
+                let values = enumerate_type(index, self.nat_bound)
+                    .ok_or_else(|| ElabError::NotEnumerable(format!("{index}")))?;
+                let mut comps = Vec::with_capacity(values.len());
+                for v in values {
+                    let mut env2 = env.clone();
+                    env2.insert(var.clone(), v);
+                    comps.push(self.elab_open(&env2, body)?);
+                }
+                Ok(expr::with(comps))
+            }
+            LinType::Data { name, args } => {
+                let values = args
+                    .iter()
+                    .map(|a| eval_nl(env, a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let idx = self.visit_instance(name, values)?;
+                Ok(expr::var(idx))
+            }
+            LinType::Equalizer { .. } => Err(ElabError::Equalizer),
+        }
+    }
+
+    fn visit_instance(&mut self, name: &str, values: Vec<Value>) -> Result<usize, ElabError> {
+        let key = (name.to_owned(), values.clone());
+        if let Some(&idx) = self.instances.get(&key) {
+            return Ok(idx);
+        }
+        let decl = self
+            .sig
+            .data(name)
+            .ok_or_else(|| ElabError::UnknownData(name.to_owned()))?
+            .clone();
+        let idx = self.defs.len();
+        self.instances.insert(key, idx);
+        self.defs.push(None);
+        self.names.push(format!(
+            "{name}({})",
+            values
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        self.layouts.push(InstanceLayout {
+            summands: Vec::new(),
+        });
+        // Build the body: one summand per (ctor, nl_args values) whose
+        // result indices evaluate to this instance's values.
+        let mut summands = Vec::new();
+        let mut layout = Vec::new();
+        for (ci, ctor) in decl.ctors.iter().enumerate() {
+            for nl_values in self.enumerate_ctor_args(ctor)? {
+                let mut env = NlEnv::new();
+                for ((arg_name, _), v) in ctor.nl_args.iter().zip(&nl_values) {
+                    env.insert(arg_name.clone(), v.clone());
+                }
+                let result: Vec<Value> = ctor
+                    .result_indices
+                    .iter()
+                    .map(|ix| eval_nl(&env, ix))
+                    .collect::<Result<_, _>>()?;
+                if result != values {
+                    continue;
+                }
+                let args: Vec<Grammar> = ctor
+                    .lin_args
+                    .iter()
+                    .map(|t| self.elab_open(&env, t))
+                    .collect::<Result<_, _>>()?;
+                summands.push(expr::seq(args));
+                layout.push((ci, nl_values.clone()));
+            }
+        }
+        self.defs[idx] = Some(expr::plus(summands));
+        self.layouts[idx] = InstanceLayout { summands: layout };
+        Ok(idx)
+    }
+
+    fn enumerate_ctor_args(&self, ctor: &CtorDecl) -> Result<Vec<Vec<Value>>, ElabError> {
+        ctor_arg_combos(ctor, self.nat_bound)
+    }
+}
+
+/// All assignments of values to a constructor's non-linear arguments
+/// (cartesian product of the enumerated argument types).
+pub fn ctor_arg_combos(ctor: &CtorDecl, nat_bound: u64) -> Result<Vec<Vec<Value>>, ElabError> {
+    let mut combos: Vec<Vec<Value>> = vec![Vec::new()];
+    for (_, ty) in &ctor.nl_args {
+        let values = enumerate_type(ty, nat_bound)
+            .ok_or_else(|| ElabError::NotEnumerable(format!("{ty}")))?;
+        let mut next = Vec::new();
+        for combo in &combos {
+            for v in &values {
+                let mut c = combo.clone();
+                c.push(v.clone());
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    Ok(combos)
+}
+
+/// Computes the summand layout of one data instance without building the
+/// grammar: in summand order, which `(ctor index, nl-arg values)` target
+/// the given index values.
+///
+/// # Errors
+///
+/// Returns an [`ElabError`] for unknown families or non-enumerable
+/// argument types.
+pub fn instance_layout(
+    sig: &Signature,
+    data: &str,
+    values: &[Value],
+    nat_bound: u64,
+) -> Result<InstanceLayout, ElabError> {
+    let decl = sig
+        .data(data)
+        .ok_or_else(|| ElabError::UnknownData(data.to_owned()))?;
+    let mut summands = Vec::new();
+    for (ci, ctor) in decl.ctors.iter().enumerate() {
+        for nl_values in ctor_arg_combos(ctor, nat_bound)? {
+            let mut env = NlEnv::new();
+            for ((arg_name, _), v) in ctor.nl_args.iter().zip(&nl_values) {
+                env.insert(arg_name.clone(), v.clone());
+            }
+            let result: Vec<Value> = ctor
+                .result_indices
+                .iter()
+                .map(|ix| eval_nl(&env, ix))
+                .collect::<Result<_, _>>()?;
+            if result == values {
+                summands.push((ci, nl_values));
+            }
+        }
+    }
+    Ok(InstanceLayout { summands })
+}
+
+/// Replaces free `Var(i)` references (instance indices) by `μ` entries of
+/// the finished system.
+fn close(g: &Grammar, system: &Rc<MuSystem>) -> Grammar {
+    match &**g {
+        GrammarExpr::Var(i) => expr::mu(system.clone(), *i),
+        GrammarExpr::Tensor(l, r) => expr::tensor(close(l, system), close(r, system)),
+        GrammarExpr::Plus(gs) => expr::plus(gs.iter().map(|g| close(g, system)).collect()),
+        GrammarExpr::With(gs) => expr::with(gs.iter().map(|g| close(g, system)).collect()),
+        GrammarExpr::Char(_)
+        | GrammarExpr::Eps
+        | GrammarExpr::Bot
+        | GrammarExpr::Top
+        | GrammarExpr::Mu { .. } => g.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::grammar::compile::CompiledGrammar;
+    use crate::syntax::nonlinear::{NlTerm, NlType};
+    use crate::syntax::types::DataDecl;
+
+    fn chr_t(name: &str) -> LinType {
+        LinType::Char(Alphabet::abc().symbol(name).unwrap())
+    }
+
+    fn star_sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.declare_data(DataDecl {
+            name: "Star".to_owned(),
+            index_telescope: vec![],
+            ctors: vec![
+                CtorDecl {
+                    name: "nil".to_owned(),
+                    nl_args: vec![],
+                    lin_args: vec![],
+                    result_indices: vec![],
+                },
+                CtorDecl {
+                    name: "cons".to_owned(),
+                    nl_args: vec![],
+                    lin_args: vec![chr_t("a"), LinType::data("Star")],
+                    result_indices: vec![],
+                },
+            ],
+        })
+        .unwrap();
+        sig
+    }
+
+    #[test]
+    fn fig2_star_elaborates_to_kleene_star() {
+        let sig = star_sig();
+        let mut el = Elaborator::new(&sig, 8);
+        let g = el.elaborate(&NlEnv::new(), &LinType::data("Star")).unwrap();
+        let cg = CompiledGrammar::new(&g);
+        let s = Alphabet::abc();
+        for n in 0..5 {
+            assert!(cg.recognizes(&s.parse_str(&"a".repeat(n)).unwrap()), "a^{n}");
+        }
+        assert!(!cg.recognizes(&s.parse_str("ab").unwrap()));
+    }
+
+    #[test]
+    fn fig5_trace_family_elaborates() {
+        // The Fig. 5 NFA trace type as a data declaration over Fin 3.
+        let s = Alphabet::abc();
+        let (a, b, c) = (
+            s.symbol("a").unwrap(),
+            s.symbol("b").unwrap(),
+            s.symbol("c").unwrap(),
+        );
+        let fin = |v: usize| NlTerm::FinLit { value: v, modulus: 3 };
+        let tr = |v: usize| LinType::Data {
+            name: "Trace".to_owned(),
+            args: vec![fin(v)],
+        };
+        let mut sig = Signature::new();
+        sig.declare_data(DataDecl {
+            name: "Trace".to_owned(),
+            index_telescope: vec![("s".to_owned(), NlType::Fin(3))],
+            ctors: vec![
+                CtorDecl {
+                    name: "stop".to_owned(),
+                    nl_args: vec![],
+                    lin_args: vec![],
+                    result_indices: vec![fin(2)],
+                },
+                CtorDecl {
+                    name: "1to1".to_owned(),
+                    nl_args: vec![],
+                    lin_args: vec![LinType::Char(a), tr(1)],
+                    result_indices: vec![fin(1)],
+                },
+                CtorDecl {
+                    name: "1to2".to_owned(),
+                    nl_args: vec![],
+                    lin_args: vec![LinType::Char(b), tr(2)],
+                    result_indices: vec![fin(1)],
+                },
+                CtorDecl {
+                    name: "0to2".to_owned(),
+                    nl_args: vec![],
+                    lin_args: vec![LinType::Char(c), tr(2)],
+                    result_indices: vec![fin(0)],
+                },
+                CtorDecl {
+                    name: "0to1".to_owned(),
+                    nl_args: vec![],
+                    lin_args: vec![tr(1)],
+                    result_indices: vec![fin(0)],
+                },
+            ],
+        })
+        .unwrap();
+        let mut el = Elaborator::new(&sig, 4);
+        let g = el.elaborate(&NlEnv::new(), &tr(0)).unwrap();
+        let cg = CompiledGrammar::new(&g);
+        // Language of Trace 0 = ('a'* 'b') | 'c' — Fig. 5's regex.
+        for yes in ["b", "ab", "aab", "c"] {
+            assert!(cg.recognizes(&s.parse_str(yes).unwrap()), "{yes}");
+        }
+        for no in ["", "a", "ba", "cc"] {
+            assert!(!cg.recognizes(&s.parse_str(no).unwrap()), "{no}");
+        }
+    }
+
+    #[test]
+    fn big_plus_enumerates_bool() {
+        // ⊕[b : Bool] (if b then 'a' else 'b') … via Data-free body:
+        // use With/Plus of chars through substitution-free bodies.
+        let sig = Signature::new();
+        let mut el = Elaborator::new(&sig, 4);
+        // ⊕[x : Fin 2] 'a' — two copies of 'a' (deliberately ambiguous).
+        let ty = LinType::BigPlus {
+            var: "x".to_owned(),
+            index: Rc::new(NlType::Fin(2)),
+            body: Rc::new(chr_t("a")),
+        };
+        let g = el.elaborate(&NlEnv::new(), &ty).unwrap();
+        let cg = CompiledGrammar::new(&g);
+        let s = Alphabet::abc();
+        let amb = cg.count_parses(&s.parse_str("a").unwrap(), 8);
+        assert_eq!(amb.count, 2);
+    }
+
+    #[test]
+    fn functions_do_not_elaborate() {
+        let sig = Signature::new();
+        let mut el = Elaborator::new(&sig, 4);
+        let ty = LinType::lfun(chr_t("a"), chr_t("b"));
+        assert!(matches!(
+            el.elaborate(&NlEnv::new(), &ty),
+            Err(ElabError::NonPositive(_))
+        ));
+    }
+}

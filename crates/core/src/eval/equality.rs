@@ -1,0 +1,780 @@
+//! The equational theory: β-reduction on linear terms (Fig. 22).
+//!
+//! LambekD's definitional equality includes βη laws for every connective.
+//! This module implements capture-avoiding-enough substitution and a
+//! normalizer that applies the β rules of Fig. 22 exhaustively; the test
+//! suite checks each printed β law on concrete derivations, and the η
+//! laws are checked *semantically* (pointwise on parses) by the
+//! integration tests, matching their meaning in the model (Appendix B).
+
+use std::rc::Rc;
+
+use crate::syntax::terms::{FoldClause, LinTerm};
+
+/// Substitutes `replacement` for the linear variable `var`.
+///
+/// Examples in this crate use globally fresh bound names, so shadowing
+/// checks suffice (no renaming is performed).
+pub fn subst_lin(term: &LinTerm, var: &str, replacement: &LinTerm) -> LinTerm {
+    let s = |t: &LinTerm| subst_lin(t, var, replacement);
+    let sr = |t: &Rc<LinTerm>| Rc::new(subst_lin(t, var, replacement));
+    match term {
+        LinTerm::Var(x) => {
+            if x == var {
+                replacement.clone()
+            } else {
+                term.clone()
+            }
+        }
+        LinTerm::Global(_) | LinTerm::UnitIntro => term.clone(),
+        LinTerm::LetUnit { scrutinee, body } => LinTerm::LetUnit {
+            scrutinee: sr(scrutinee),
+            body: sr(body),
+        },
+        LinTerm::Pair(l, r) => LinTerm::Pair(sr(l), sr(r)),
+        LinTerm::LetPair {
+            scrutinee,
+            left,
+            right,
+            body,
+        } => LinTerm::LetPair {
+            scrutinee: sr(scrutinee),
+            left: left.clone(),
+            right: right.clone(),
+            body: if left == var || right == var {
+                body.clone()
+            } else {
+                sr(body)
+            },
+        },
+        LinTerm::Lam { var: v, dom, body } => LinTerm::Lam {
+            var: v.clone(),
+            dom: dom.clone(),
+            body: if v == var { body.clone() } else { sr(body) },
+        },
+        LinTerm::App(f, x) => LinTerm::App(sr(f), sr(x)),
+        LinTerm::LamL { var: v, dom, body } => LinTerm::LamL {
+            var: v.clone(),
+            dom: dom.clone(),
+            body: if v == var { body.clone() } else { sr(body) },
+        },
+        LinTerm::AppL { arg, fun } => LinTerm::AppL {
+            arg: sr(arg),
+            fun: sr(fun),
+        },
+        LinTerm::Inj { index, arity, body } => LinTerm::Inj {
+            index: *index,
+            arity: *arity,
+            body: sr(body),
+        },
+        LinTerm::Case {
+            scrutinee,
+            branches,
+        } => LinTerm::Case {
+            scrutinee: sr(scrutinee),
+            branches: branches
+                .iter()
+                .map(|(v, b)| (v.clone(), if v == var { b.clone() } else { s(b) }))
+                .collect(),
+        },
+        LinTerm::BigInj { index, body } => LinTerm::BigInj {
+            index: index.clone(),
+            body: sr(body),
+        },
+        LinTerm::LetBigInj {
+            scrutinee,
+            nl_var,
+            var: v,
+            body,
+        } => LinTerm::LetBigInj {
+            scrutinee: sr(scrutinee),
+            nl_var: nl_var.clone(),
+            var: v.clone(),
+            body: if v == var { body.clone() } else { sr(body) },
+        },
+        LinTerm::BigLam { var: v, body } => LinTerm::BigLam {
+            var: v.clone(),
+            body: sr(body),
+        },
+        LinTerm::BigProj { scrutinee, index } => LinTerm::BigProj {
+            scrutinee: sr(scrutinee),
+            index: index.clone(),
+        },
+        LinTerm::Tuple(ts) => LinTerm::Tuple(ts.iter().map(s).collect()),
+        LinTerm::Proj { scrutinee, index } => LinTerm::Proj {
+            scrutinee: sr(scrutinee),
+            index: *index,
+        },
+        LinTerm::Ctor {
+            data,
+            ctor,
+            nl_args,
+            lin_args,
+        } => LinTerm::Ctor {
+            data: data.clone(),
+            ctor: ctor.clone(),
+            nl_args: nl_args.clone(),
+            lin_args: lin_args.iter().map(s).collect(),
+        },
+        LinTerm::Fold {
+            data,
+            motive,
+            clauses,
+            scrutinee,
+        } => LinTerm::Fold {
+            data: data.clone(),
+            motive: motive.clone(),
+            clauses: clauses
+                .iter()
+                .map(|c| FoldClause {
+                    nl_vars: c.nl_vars.clone(),
+                    lin_vars: c.lin_vars.clone(),
+                    body: if c.lin_vars.iter().any(|v| v == var) {
+                        c.body.clone()
+                    } else {
+                        Rc::new(subst_lin(&c.body, var, replacement))
+                    },
+                })
+                .collect(),
+            scrutinee: sr(scrutinee),
+        },
+        LinTerm::EqIntro(t) => LinTerm::EqIntro(sr(t)),
+        LinTerm::EqProj(t) => LinTerm::EqProj(sr(t)),
+    }
+}
+
+/// One β step at the root, if any (the redexes of Fig. 22).
+fn step_root(term: &LinTerm) -> Option<LinTerm> {
+    match term {
+        // (λ⊸ a. e) e'  ≡  e{e'/a}
+        LinTerm::App(f, x) => match &**f {
+            LinTerm::Lam { var, body, .. } => Some(subst_lin(body, var, x)),
+            _ => None,
+        },
+        // (λ⟜ a. e) ⟜ e'  ≡  e{e'/a}
+        LinTerm::AppL { arg, fun } => match &**fun {
+            LinTerm::LamL { var, body, .. } => Some(subst_lin(body, var, arg)),
+            _ => None,
+        },
+        // let () = () in e  ≡  e
+        LinTerm::LetUnit { scrutinee, body } => match &**scrutinee {
+            LinTerm::UnitIntro => Some((**body).clone()),
+            _ => None,
+        },
+        // let (a,b) = (e,e') in e''  ≡  e''{e/a, e'/b}
+        LinTerm::LetPair {
+            scrutinee,
+            left,
+            right,
+            body,
+        } => match &**scrutinee {
+            LinTerm::Pair(l, r) => Some(subst_lin(&subst_lin(body, left, l), right, r)),
+            _ => None,
+        },
+        // case (σi e) of …  ≡  branch_i{e/v}
+        LinTerm::Case {
+            scrutinee,
+            branches,
+        } => match &**scrutinee {
+            LinTerm::Inj { index, body, .. } => branches
+                .get(*index)
+                .map(|(v, b)| subst_lin(b, v, body)),
+            _ => None,
+        },
+        // let σ x a = σ M e in e'  ≡  e'{M/x, e/a}
+        LinTerm::LetBigInj {
+            scrutinee,
+            nl_var,
+            var,
+            body,
+        } => match &**scrutinee {
+            LinTerm::BigInj { index, body: payload } => {
+                let with_payload = subst_lin(body, var, payload);
+                Some(subst_nl_in_lin(&with_payload, nl_var, index))
+            }
+            _ => None,
+        },
+        // (λ& x. e).π M  ≡  e{M/x}   and   ⟨…⟩.π i  ≡  component i
+        LinTerm::BigProj { scrutinee, index } => match &**scrutinee {
+            LinTerm::BigLam { var, body } => Some(subst_nl_in_lin(body, var, index)),
+            _ => None,
+        },
+        LinTerm::Proj { scrutinee, index } => match &**scrutinee {
+            LinTerm::Tuple(ts) => ts.get(*index).cloned(),
+            _ => None,
+        },
+        // ⟨e⟩.π ≡ e
+        LinTerm::EqProj(inner) => match &**inner {
+            LinTerm::EqIntro(e) => Some((**e).clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Substitutes a non-linear term into the index positions of a linear
+/// term.
+pub fn subst_nl_in_lin(
+    term: &LinTerm,
+    var: &str,
+    replacement: &crate::syntax::nonlinear::NlTerm,
+) -> LinTerm {
+    use crate::syntax::nonlinear::subst_nl;
+    let s = |t: &LinTerm| subst_nl_in_lin(t, var, replacement);
+    let sr = |t: &Rc<LinTerm>| Rc::new(subst_nl_in_lin(t, var, replacement));
+    match term {
+        LinTerm::Var(_) | LinTerm::Global(_) | LinTerm::UnitIntro => term.clone(),
+        LinTerm::LetUnit { scrutinee, body } => LinTerm::LetUnit {
+            scrutinee: sr(scrutinee),
+            body: sr(body),
+        },
+        LinTerm::Pair(l, r) => LinTerm::Pair(sr(l), sr(r)),
+        LinTerm::LetPair {
+            scrutinee,
+            left,
+            right,
+            body,
+        } => LinTerm::LetPair {
+            scrutinee: sr(scrutinee),
+            left: left.clone(),
+            right: right.clone(),
+            body: sr(body),
+        },
+        LinTerm::Lam { var: v, dom, body } => LinTerm::Lam {
+            var: v.clone(),
+            dom: Rc::new(crate::syntax::types::subst_lin_type(dom, var, replacement)),
+            body: sr(body),
+        },
+        LinTerm::App(f, x) => LinTerm::App(sr(f), sr(x)),
+        LinTerm::LamL { var: v, dom, body } => LinTerm::LamL {
+            var: v.clone(),
+            dom: Rc::new(crate::syntax::types::subst_lin_type(dom, var, replacement)),
+            body: sr(body),
+        },
+        LinTerm::AppL { arg, fun } => LinTerm::AppL {
+            arg: sr(arg),
+            fun: sr(fun),
+        },
+        LinTerm::Inj { index, arity, body } => LinTerm::Inj {
+            index: *index,
+            arity: *arity,
+            body: sr(body),
+        },
+        LinTerm::Case {
+            scrutinee,
+            branches,
+        } => LinTerm::Case {
+            scrutinee: sr(scrutinee),
+            branches: branches.iter().map(|(v, b)| (v.clone(), s(b))).collect(),
+        },
+        LinTerm::BigInj { index, body } => LinTerm::BigInj {
+            index: subst_nl(index, var, replacement),
+            body: sr(body),
+        },
+        LinTerm::LetBigInj {
+            scrutinee,
+            nl_var,
+            var: v,
+            body,
+        } => LinTerm::LetBigInj {
+            scrutinee: sr(scrutinee),
+            nl_var: nl_var.clone(),
+            var: v.clone(),
+            body: if nl_var == var { body.clone() } else { sr(body) },
+        },
+        LinTerm::BigLam { var: v, body } => LinTerm::BigLam {
+            var: v.clone(),
+            body: if v == var { body.clone() } else { sr(body) },
+        },
+        LinTerm::BigProj { scrutinee, index } => LinTerm::BigProj {
+            scrutinee: sr(scrutinee),
+            index: subst_nl(index, var, replacement),
+        },
+        LinTerm::Tuple(ts) => LinTerm::Tuple(ts.iter().map(s).collect()),
+        LinTerm::Proj { scrutinee, index } => LinTerm::Proj {
+            scrutinee: sr(scrutinee),
+            index: *index,
+        },
+        LinTerm::Ctor {
+            data,
+            ctor,
+            nl_args,
+            lin_args,
+        } => LinTerm::Ctor {
+            data: data.clone(),
+            ctor: ctor.clone(),
+            nl_args: nl_args
+                .iter()
+                .map(|a| subst_nl(a, var, replacement))
+                .collect(),
+            lin_args: lin_args.iter().map(s).collect(),
+        },
+        LinTerm::Fold {
+            data,
+            motive,
+            clauses,
+            scrutinee,
+        } => LinTerm::Fold {
+            data: data.clone(),
+            motive: Rc::new(crate::syntax::types::subst_lin_type(motive, var, replacement)),
+            clauses: clauses
+                .iter()
+                .map(|c| FoldClause {
+                    nl_vars: c.nl_vars.clone(),
+                    lin_vars: c.lin_vars.clone(),
+                    body: if c.nl_vars.iter().any(|v| v == var) {
+                        c.body.clone()
+                    } else {
+                        Rc::new(subst_nl_in_lin(&c.body, var, replacement))
+                    },
+                })
+                .collect(),
+            scrutinee: sr(scrutinee),
+        },
+        LinTerm::EqIntro(t) => LinTerm::EqIntro(sr(t)),
+        LinTerm::EqProj(t) => LinTerm::EqProj(sr(t)),
+    }
+}
+
+/// β-normalizes a term: applies the Fig. 22 redexes anywhere in the term
+/// until none remain. Terminates on checker-accepted terms (linear terms
+/// duplicate nothing, so reduction strictly shrinks resource usage).
+pub fn beta_normalize(term: &LinTerm) -> LinTerm {
+    let mut current = term.clone();
+    let mut fuel = 100_000;
+    loop {
+        let (next, changed) = step_anywhere(&current);
+        if !changed {
+            return next;
+        }
+        current = next;
+        fuel -= 1;
+        assert!(fuel > 0, "β-normalization diverged (unchecked term?)");
+    }
+}
+
+fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
+    if let Some(next) = step_root(term) {
+        return (next, true);
+    }
+    // Reduce the leftmost-outermost redex in subterms.
+    macro_rules! descend1 {
+        ($wrap:expr, $t:expr) => {{
+            let (t, c) = step_anywhere($t);
+            ($wrap(Rc::new(t)), c)
+        }};
+    }
+    match term {
+        LinTerm::Var(_) | LinTerm::Global(_) | LinTerm::UnitIntro => (term.clone(), false),
+        LinTerm::Pair(l, r) => {
+            let (ln, c) = step_anywhere(l);
+            if c {
+                return (LinTerm::Pair(Rc::new(ln), r.clone()), true);
+            }
+            let (rn, c) = step_anywhere(r);
+            (LinTerm::Pair(l.clone(), Rc::new(rn)), c)
+        }
+        LinTerm::App(f, x) => {
+            let (fn_, c) = step_anywhere(f);
+            if c {
+                return (LinTerm::App(Rc::new(fn_), x.clone()), true);
+            }
+            let (xn, c) = step_anywhere(x);
+            (LinTerm::App(f.clone(), Rc::new(xn)), c)
+        }
+        LinTerm::AppL { arg, fun } => {
+            let (an, c) = step_anywhere(arg);
+            if c {
+                return (
+                    LinTerm::AppL {
+                        arg: Rc::new(an),
+                        fun: fun.clone(),
+                    },
+                    true,
+                );
+            }
+            let (fn_, c) = step_anywhere(fun);
+            (
+                LinTerm::AppL {
+                    arg: arg.clone(),
+                    fun: Rc::new(fn_),
+                },
+                c,
+            )
+        }
+        LinTerm::Lam { var, dom, body } => {
+            let (b, c) = step_anywhere(body);
+            (
+                LinTerm::Lam {
+                    var: var.clone(),
+                    dom: dom.clone(),
+                    body: Rc::new(b),
+                },
+                c,
+            )
+        }
+        LinTerm::LamL { var, dom, body } => {
+            let (b, c) = step_anywhere(body);
+            (
+                LinTerm::LamL {
+                    var: var.clone(),
+                    dom: dom.clone(),
+                    body: Rc::new(b),
+                },
+                c,
+            )
+        }
+        LinTerm::LetUnit { scrutinee, body } => {
+            let (s, c) = step_anywhere(scrutinee);
+            if c {
+                return (
+                    LinTerm::LetUnit {
+                        scrutinee: Rc::new(s),
+                        body: body.clone(),
+                    },
+                    true,
+                );
+            }
+            let (b, c) = step_anywhere(body);
+            (
+                LinTerm::LetUnit {
+                    scrutinee: scrutinee.clone(),
+                    body: Rc::new(b),
+                },
+                c,
+            )
+        }
+        LinTerm::LetPair {
+            scrutinee,
+            left,
+            right,
+            body,
+        } => {
+            let (s, c) = step_anywhere(scrutinee);
+            if c {
+                return (
+                    LinTerm::LetPair {
+                        scrutinee: Rc::new(s),
+                        left: left.clone(),
+                        right: right.clone(),
+                        body: body.clone(),
+                    },
+                    true,
+                );
+            }
+            let (b, c) = step_anywhere(body);
+            (
+                LinTerm::LetPair {
+                    scrutinee: scrutinee.clone(),
+                    left: left.clone(),
+                    right: right.clone(),
+                    body: Rc::new(b),
+                },
+                c,
+            )
+        }
+        LinTerm::Inj { index, arity, body } => {
+            let (b, c) = step_anywhere(body);
+            (LinTerm::inj(*index, *arity, b), c)
+        }
+        LinTerm::Case {
+            scrutinee,
+            branches,
+        } => {
+            let (s, c) = step_anywhere(scrutinee);
+            if c {
+                return (
+                    LinTerm::Case {
+                        scrutinee: Rc::new(s),
+                        branches: branches.clone(),
+                    },
+                    true,
+                );
+            }
+            let mut new_branches = branches.clone();
+            for (i, (v, b)) in branches.iter().enumerate() {
+                let (bn, c) = step_anywhere(b);
+                if c {
+                    new_branches[i] = (v.clone(), bn);
+                    return (
+                        LinTerm::Case {
+                            scrutinee: scrutinee.clone(),
+                            branches: new_branches,
+                        },
+                        true,
+                    );
+                }
+            }
+            (term.clone(), false)
+        }
+        LinTerm::BigInj { index, body } => {
+            let (b, c) = step_anywhere(body);
+            (
+                LinTerm::BigInj {
+                    index: index.clone(),
+                    body: Rc::new(b),
+                },
+                c,
+            )
+        }
+        LinTerm::LetBigInj {
+            scrutinee,
+            nl_var,
+            var,
+            body,
+        } => {
+            let (s, c) = step_anywhere(scrutinee);
+            if c {
+                return (
+                    LinTerm::LetBigInj {
+                        scrutinee: Rc::new(s),
+                        nl_var: nl_var.clone(),
+                        var: var.clone(),
+                        body: body.clone(),
+                    },
+                    true,
+                );
+            }
+            let (b, c) = step_anywhere(body);
+            (
+                LinTerm::LetBigInj {
+                    scrutinee: scrutinee.clone(),
+                    nl_var: nl_var.clone(),
+                    var: var.clone(),
+                    body: Rc::new(b),
+                },
+                c,
+            )
+        }
+        LinTerm::BigLam { var, body } => {
+            let (b, c) = step_anywhere(body);
+            (
+                LinTerm::BigLam {
+                    var: var.clone(),
+                    body: Rc::new(b),
+                },
+                c,
+            )
+        }
+        LinTerm::BigProj { scrutinee, index } => descend1!(
+            |s| LinTerm::BigProj {
+                scrutinee: s,
+                index: index.clone(),
+            },
+            scrutinee
+        ),
+        LinTerm::Tuple(ts) => {
+            let mut new = ts.clone();
+            for (i, t) in ts.iter().enumerate() {
+                let (tn, c) = step_anywhere(t);
+                if c {
+                    new[i] = tn;
+                    return (LinTerm::Tuple(new), true);
+                }
+            }
+            (term.clone(), false)
+        }
+        LinTerm::Proj { scrutinee, index } => descend1!(
+            |s| LinTerm::Proj {
+                scrutinee: s,
+                index: *index,
+            },
+            scrutinee
+        ),
+        LinTerm::Ctor {
+            data,
+            ctor,
+            nl_args,
+            lin_args,
+        } => {
+            let mut new = lin_args.clone();
+            for (i, t) in lin_args.iter().enumerate() {
+                let (tn, c) = step_anywhere(t);
+                if c {
+                    new[i] = tn;
+                    return (
+                        LinTerm::Ctor {
+                            data: data.clone(),
+                            ctor: ctor.clone(),
+                            nl_args: nl_args.clone(),
+                            lin_args: new,
+                        },
+                        true,
+                    );
+                }
+            }
+            (term.clone(), false)
+        }
+        LinTerm::Fold {
+            data,
+            motive,
+            clauses,
+            scrutinee,
+        } => {
+            let (s, c) = step_anywhere(scrutinee);
+            (
+                LinTerm::Fold {
+                    data: data.clone(),
+                    motive: motive.clone(),
+                    clauses: clauses.clone(),
+                    scrutinee: Rc::new(s),
+                },
+                c,
+            )
+        }
+        LinTerm::EqIntro(t) => descend1!(LinTerm::EqIntro, t),
+        LinTerm::EqProj(t) => descend1!(LinTerm::EqProj, t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::syntax::types::LinType;
+
+    fn chr(name: &str) -> LinType {
+        LinType::Char(Alphabet::abc().symbol(name).unwrap())
+    }
+
+    #[test]
+    fn beta_lam() {
+        // (λ⊸ a. a) x ≡ x.
+        let t = LinTerm::app(
+            LinTerm::lam("a", chr("a"), LinTerm::var("a")),
+            LinTerm::var("x"),
+        );
+        assert_eq!(beta_normalize(&t), LinTerm::var("x"));
+    }
+
+    #[test]
+    fn beta_lam_left() {
+        // (λ⟜ a. (a, y)) ⟜ x ≡ (x, y).
+        let t = LinTerm::AppL {
+            arg: Rc::new(LinTerm::var("x")),
+            fun: Rc::new(LinTerm::LamL {
+                var: "a".to_owned(),
+                dom: Rc::new(chr("a")),
+                body: Rc::new(LinTerm::pair(LinTerm::var("a"), LinTerm::var("y"))),
+            }),
+        };
+        assert_eq!(
+            beta_normalize(&t),
+            LinTerm::pair(LinTerm::var("x"), LinTerm::var("y"))
+        );
+    }
+
+    #[test]
+    fn beta_unit_and_pair() {
+        // let () = () in e ≡ e; let (a,b) = (x,y) in (a,b) ≡ (x,y).
+        let t = LinTerm::LetUnit {
+            scrutinee: Rc::new(LinTerm::UnitIntro),
+            body: Rc::new(LinTerm::var("e")),
+        };
+        assert_eq!(beta_normalize(&t), LinTerm::var("e"));
+        let t = LinTerm::let_pair(
+            LinTerm::pair(LinTerm::var("x"), LinTerm::var("y")),
+            "a",
+            "b",
+            LinTerm::pair(LinTerm::var("a"), LinTerm::var("b")),
+        );
+        assert_eq!(
+            beta_normalize(&t),
+            LinTerm::pair(LinTerm::var("x"), LinTerm::var("y"))
+        );
+    }
+
+    #[test]
+    fn beta_case_selects_branch() {
+        let t = LinTerm::Case {
+            scrutinee: Rc::new(LinTerm::inj(1, 2, LinTerm::var("x"))),
+            branches: vec![
+                ("a".to_owned(), LinTerm::var("a")),
+                ("b".to_owned(), LinTerm::pair(LinTerm::var("b"), LinTerm::UnitIntro)),
+            ],
+        };
+        assert_eq!(
+            beta_normalize(&t),
+            LinTerm::pair(LinTerm::var("x"), LinTerm::UnitIntro)
+        );
+    }
+
+    #[test]
+    fn beta_projections() {
+        let t = LinTerm::Proj {
+            scrutinee: Rc::new(LinTerm::Tuple(vec![LinTerm::var("x"), LinTerm::var("y")])),
+            index: 1,
+        };
+        assert_eq!(beta_normalize(&t), LinTerm::var("y"));
+        // (λ& n. σ[n] x).π[3] ≡ σ[3] x.
+        use crate::syntax::nonlinear::NlTerm;
+        let t = LinTerm::BigProj {
+            scrutinee: Rc::new(LinTerm::BigLam {
+                var: "n".to_owned(),
+                body: Rc::new(LinTerm::BigInj {
+                    index: NlTerm::var("n"),
+                    body: Rc::new(LinTerm::var("x")),
+                }),
+            }),
+            index: NlTerm::NatLit(3),
+        };
+        assert_eq!(
+            beta_normalize(&t),
+            LinTerm::BigInj {
+                index: NlTerm::NatLit(3),
+                body: Rc::new(LinTerm::var("x")),
+            }
+        );
+    }
+
+    #[test]
+    fn beta_big_inj_elim() {
+        use crate::syntax::nonlinear::NlTerm;
+        // let σ n a = σ[2] x in σ[n] a ≡ σ[2] x.
+        let t = LinTerm::LetBigInj {
+            scrutinee: Rc::new(LinTerm::BigInj {
+                index: NlTerm::NatLit(2),
+                body: Rc::new(LinTerm::var("x")),
+            }),
+            nl_var: "n".to_owned(),
+            var: "a".to_owned(),
+            body: Rc::new(LinTerm::BigInj {
+                index: NlTerm::var("n"),
+                body: Rc::new(LinTerm::var("a")),
+            }),
+        };
+        assert_eq!(
+            beta_normalize(&t),
+            LinTerm::BigInj {
+                index: NlTerm::NatLit(2),
+                body: Rc::new(LinTerm::var("x")),
+            }
+        );
+    }
+
+    #[test]
+    fn beta_equalizer() {
+        let t = LinTerm::EqProj(Rc::new(LinTerm::EqIntro(Rc::new(LinTerm::var("x")))));
+        assert_eq!(beta_normalize(&t), LinTerm::var("x"));
+    }
+
+    #[test]
+    fn nested_redexes_normalize() {
+        // (λ⊸ a. (λ⊸ b. (a, b)) y) x ≡ (x, y).
+        let t = LinTerm::app(
+            LinTerm::lam(
+                "a",
+                chr("a"),
+                LinTerm::app(
+                    LinTerm::lam("b", chr("b"), LinTerm::pair(LinTerm::var("a"), LinTerm::var("b"))),
+                    LinTerm::var("y"),
+                ),
+            ),
+            LinTerm::var("x"),
+        );
+        assert_eq!(
+            beta_normalize(&t),
+            LinTerm::pair(LinTerm::var("x"), LinTerm::var("y"))
+        );
+    }
+}

@@ -1,0 +1,820 @@
+//! Evaluation: well-typed linear terms as parse transformers (§5.2).
+//!
+//! The evaluator interprets a linear term in an environment binding its
+//! linear variables to *parse values*. Running a closed term of type
+//! `A ⊸ B` on a parse of `A` yields a parse of `B` **over the same
+//! string** — the denotational content of intrinsic verification, which
+//! [`transformer_of`] packages as a checked
+//! [`Transformer`].
+//!
+//! Evaluation values ([`LinValue`]) are structural: data-constructor
+//! values remember their family, constructor and index values, so `fold`
+//! (Fig. 10) evaluates by structural recursion, and conversion to and
+//! from denotational [`ParseTree`]s ([`Evaluator::reify_value`] /
+//! [`Evaluator::internalize`]) goes through the instance layouts of
+//! [`elaborate`].
+
+pub mod elaborate;
+pub mod equality;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::alphabet::GString;
+use crate::grammar::parse_tree::ParseTree;
+use crate::syntax::nonlinear::{eval_nl, NlEnv, NlError, Value};
+use crate::syntax::terms::LinTerm;
+use crate::syntax::types::{LinType, Signature};
+use crate::transform::{TransformError, Transformer};
+
+use elaborate::{instance_layout, ElabError, Elaborator};
+
+/// A runtime linear value.
+#[derive(Debug, Clone)]
+pub enum LinValue {
+    /// Parse of a literal.
+    Char(crate::alphabet::Symbol),
+    /// Parse of `I`.
+    Unit,
+    /// Parse of `⊗`.
+    Pair(Box<LinValue>, Box<LinValue>),
+    /// Parse of a finite `⊕`.
+    Inj {
+        /// Summand index.
+        index: usize,
+        /// Payload.
+        value: Box<LinValue>,
+    },
+    /// Parse of an indexed `⊕`, tagged with the index value.
+    BigInj {
+        /// The non-linear tag.
+        tag: Value,
+        /// Payload.
+        value: Box<LinValue>,
+    },
+    /// Parse of a finite `&`.
+    Tuple(Vec<LinValue>),
+    /// Parse of `⊤`.
+    Top(GString),
+    /// A data-constructor value.
+    Data {
+        /// Family name.
+        data: String,
+        /// The instance's index values.
+        indices: Vec<Value>,
+        /// Constructor position in the declaration.
+        ctor: usize,
+        /// The constructor's non-linear arguments.
+        nl_args: Vec<Value>,
+        /// The constructor's linear arguments.
+        args: Vec<LinValue>,
+    },
+    /// A `λ⊸` closure.
+    Fun {
+        /// Bound variable.
+        var: String,
+        /// Body.
+        body: Rc<LinTerm>,
+        /// Captured environment.
+        env: EvalEnv,
+    },
+    /// A `λ⟜` closure.
+    FunL {
+        /// Bound variable.
+        var: String,
+        /// Body.
+        body: Rc<LinTerm>,
+        /// Captured environment.
+        env: EvalEnv,
+    },
+    /// A `λ&` closure over an index.
+    Fam {
+        /// Bound non-linear variable.
+        var: String,
+        /// Body.
+        body: Rc<LinTerm>,
+        /// Captured environment.
+        env: EvalEnv,
+    },
+}
+
+impl LinValue {
+    /// The yield: the string this value is a parse of. Function values
+    /// control no resources (they are resource-free), yielding `ε`.
+    pub fn flatten(&self) -> GString {
+        let mut out = GString::new();
+        self.flatten_into(&mut out);
+        out
+    }
+
+    fn flatten_into(&self, out: &mut GString) {
+        match self {
+            LinValue::Char(c) => out.push(*c),
+            LinValue::Unit | LinValue::Fun { .. } | LinValue::FunL { .. } | LinValue::Fam { .. } => {}
+            LinValue::Pair(l, r) => {
+                l.flatten_into(out);
+                r.flatten_into(out);
+            }
+            LinValue::Inj { value, .. } | LinValue::BigInj { value, .. } => {
+                value.flatten_into(out)
+            }
+            LinValue::Tuple(vs) => {
+                if let Some(v) = vs.first() {
+                    v.flatten_into(out);
+                }
+            }
+            LinValue::Top(w) => out.extend(w.iter()),
+            LinValue::Data { args, .. } => {
+                for a in args {
+                    a.flatten_into(out);
+                }
+            }
+        }
+    }
+
+    /// Structural equality, with closures never equal (used by the
+    /// equalizer's dynamic check).
+    pub fn structurally_equal(&self, other: &LinValue) -> bool {
+        match (self, other) {
+            (LinValue::Char(a), LinValue::Char(b)) => a == b,
+            (LinValue::Unit, LinValue::Unit) => true,
+            (LinValue::Pair(a1, b1), LinValue::Pair(a2, b2)) => {
+                a1.structurally_equal(a2) && b1.structurally_equal(b2)
+            }
+            (
+                LinValue::Inj { index: i1, value: v1 },
+                LinValue::Inj { index: i2, value: v2 },
+            ) => i1 == i2 && v1.structurally_equal(v2),
+            (
+                LinValue::BigInj { tag: t1, value: v1 },
+                LinValue::BigInj { tag: t2, value: v2 },
+            ) => t1 == t2 && v1.structurally_equal(v2),
+            (LinValue::Tuple(a), LinValue::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.structurally_equal(y))
+            }
+            (LinValue::Top(a), LinValue::Top(b)) => a == b,
+            (
+                LinValue::Data {
+                    data: d1,
+                    indices: i1,
+                    ctor: c1,
+                    nl_args: n1,
+                    args: a1,
+                },
+                LinValue::Data {
+                    data: d2,
+                    indices: i2,
+                    ctor: c2,
+                    nl_args: n2,
+                    args: a2,
+                },
+            ) => {
+                d1 == d2
+                    && i1 == i2
+                    && c1 == c2
+                    && n1 == n2
+                    && a1.len() == a2.len()
+                    && a1.iter().zip(a2).all(|(x, y)| x.structurally_equal(y))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for LinValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinValue::Char(c) => write!(f, "'{}'", c.index()),
+            LinValue::Unit => write!(f, "()"),
+            LinValue::Pair(l, r) => write!(f, "({l}, {r})"),
+            LinValue::Inj { index, value } => write!(f, "σ{index} {value}"),
+            LinValue::BigInj { tag, value } => write!(f, "σ[{tag}] {value}"),
+            LinValue::Tuple(vs) => {
+                write!(f, "⟨")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "⟩")
+            }
+            LinValue::Top(w) => write!(f, "⊤{w}"),
+            LinValue::Data { data, ctor, args, .. } => {
+                write!(f, "{data}#{ctor}")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                Ok(())
+            }
+            LinValue::Fun { var, .. } => write!(f, "λ⊸{var}.…"),
+            LinValue::FunL { var, .. } => write!(f, "λ⟜{var}.…"),
+            LinValue::Fam { var, .. } => write!(f, "λ&{var}.…"),
+        }
+    }
+}
+
+/// The evaluation environment: non-linear values plus linear values.
+#[derive(Debug, Clone, Default)]
+pub struct EvalEnv {
+    /// Non-linear bindings.
+    pub nl: NlEnv,
+    /// Linear bindings (linearity was already enforced by the checker;
+    /// the evaluator just looks names up).
+    pub lin: HashMap<String, LinValue>,
+}
+
+/// Evaluation errors.
+#[derive(Debug, Clone)]
+pub enum EvalError {
+    /// Unbound variable (indicates an unchecked term).
+    Unbound(String),
+    /// A value had the wrong shape (indicates an unchecked term).
+    Shape(String),
+    /// Non-linear evaluation failed.
+    Nl(NlError),
+    /// Elaboration/layout failure.
+    Elab(ElabError),
+    /// The equalizer's semantic side condition failed: `f e ≠ g e`.
+    EqualizerViolated(String),
+    /// Unknown global/data/constructor.
+    Unknown(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(x) => write!(f, "unbound variable {x} at runtime"),
+            EvalError::Shape(m) => write!(f, "value shape error: {m}"),
+            EvalError::Nl(e) => write!(f, "{e}"),
+            EvalError::Elab(e) => write!(f, "{e}"),
+            EvalError::EqualizerViolated(m) => write!(f, "equalizer equation violated: {m}"),
+            EvalError::Unknown(n) => write!(f, "unknown name {n}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<NlError> for EvalError {
+    fn from(e: NlError) -> EvalError {
+        EvalError::Nl(e)
+    }
+}
+
+impl From<ElabError> for EvalError {
+    fn from(e: ElabError) -> EvalError {
+        EvalError::Elab(e)
+    }
+}
+
+/// The evaluator.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    sig: &'a Signature,
+    nat_bound: u64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator; `nat_bound` truncates `Nat` index
+    /// enumerations during reification (see DESIGN.md §2).
+    pub fn new(sig: &'a Signature, nat_bound: u64) -> Evaluator<'a> {
+        Evaluator { sig, nat_bound }
+    }
+
+    /// Evaluates a term in an environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`]; none occur on checker-accepted terms in
+    /// well-typed environments, except
+    /// [`EvalError::EqualizerViolated`], which is the equalizer's
+    /// semantic side-condition check.
+    pub fn eval(&self, env: &EvalEnv, term: &LinTerm) -> Result<LinValue, EvalError> {
+        match term {
+            LinTerm::Var(x) => env
+                .lin
+                .get(x)
+                .cloned()
+                .ok_or_else(|| EvalError::Unbound(x.clone())),
+            LinTerm::Global(g) => {
+                let def = self
+                    .sig
+                    .def(g)
+                    .ok_or_else(|| EvalError::Unknown(g.clone()))?;
+                self.eval(&EvalEnv::default(), &def.body)
+            }
+            LinTerm::UnitIntro => Ok(LinValue::Unit),
+            LinTerm::LetUnit { scrutinee, body } => {
+                match self.eval(env, scrutinee)? {
+                    LinValue::Unit => self.eval(env, body),
+                    other => Err(EvalError::Shape(format!("let () on {other}"))),
+                }
+            }
+            LinTerm::Pair(l, r) => Ok(LinValue::Pair(
+                Box::new(self.eval(env, l)?),
+                Box::new(self.eval(env, r)?),
+            )),
+            LinTerm::LetPair {
+                scrutinee,
+                left,
+                right,
+                body,
+            } => match self.eval(env, scrutinee)? {
+                LinValue::Pair(a, b) => {
+                    let mut env2 = env.clone();
+                    env2.lin.insert(left.clone(), *a);
+                    env2.lin.insert(right.clone(), *b);
+                    self.eval(&env2, body)
+                }
+                other => Err(EvalError::Shape(format!("let (a,b) on {other}"))),
+            },
+            LinTerm::Lam { var, body, .. } => Ok(LinValue::Fun {
+                var: var.clone(),
+                body: body.clone(),
+                env: env.clone(),
+            }),
+            LinTerm::App(f, x) => {
+                let fv = self.eval(env, f)?;
+                let xv = self.eval(env, x)?;
+                self.apply(fv, xv)
+            }
+            LinTerm::LamL { var, body, .. } => Ok(LinValue::FunL {
+                var: var.clone(),
+                body: body.clone(),
+                env: env.clone(),
+            }),
+            LinTerm::AppL { arg, fun } => {
+                let av = self.eval(env, arg)?;
+                match self.eval(env, fun)? {
+                    LinValue::FunL { var, body, env } => {
+                        let mut env2 = env.clone();
+                        env2.lin.insert(var, av);
+                        self.eval(&env2, &body)
+                    }
+                    other => Err(EvalError::Shape(format!("⟜-applying {other}"))),
+                }
+            }
+            LinTerm::Inj { index, body, .. } => Ok(LinValue::Inj {
+                index: *index,
+                value: Box::new(self.eval(env, body)?),
+            }),
+            LinTerm::Case {
+                scrutinee,
+                branches,
+            } => match self.eval(env, scrutinee)? {
+                LinValue::Inj { index, value } => {
+                    let (v, b) = branches
+                        .get(index)
+                        .ok_or_else(|| EvalError::Shape(format!("case σ{index} out of range")))?;
+                    let mut env2 = env.clone();
+                    env2.lin.insert(v.clone(), *value);
+                    self.eval(&env2, b)
+                }
+                other => Err(EvalError::Shape(format!("case on {other}"))),
+            },
+            LinTerm::BigInj { index, body } => Ok(LinValue::BigInj {
+                tag: eval_nl(&env.nl, index)?,
+                value: Box::new(self.eval(env, body)?),
+            }),
+            LinTerm::LetBigInj {
+                scrutinee,
+                nl_var,
+                var,
+                body,
+            } => match self.eval(env, scrutinee)? {
+                LinValue::BigInj { tag, value } => {
+                    let mut env2 = env.clone();
+                    env2.nl.insert(nl_var.clone(), tag);
+                    env2.lin.insert(var.clone(), *value);
+                    self.eval(&env2, body)
+                }
+                other => Err(EvalError::Shape(format!("let σ on {other}"))),
+            },
+            LinTerm::BigLam { var, body } => Ok(LinValue::Fam {
+                var: var.clone(),
+                body: body.clone(),
+                env: env.clone(),
+            }),
+            LinTerm::BigProj { scrutinee, index } => {
+                let idx = eval_nl(&env.nl, index)?;
+                match self.eval(env, scrutinee)? {
+                    LinValue::Fam { var, body, env } => {
+                        let mut env2 = env.clone();
+                        env2.nl.insert(var, idx);
+                        self.eval(&env2, &body)
+                    }
+                    other => Err(EvalError::Shape(format!("π[{idx}] on {other}"))),
+                }
+            }
+            LinTerm::Tuple(ts) => Ok(LinValue::Tuple(
+                ts.iter()
+                    .map(|t| self.eval(env, t))
+                    .collect::<Result<_, _>>()?,
+            )),
+            LinTerm::Proj { scrutinee, index } => match self.eval(env, scrutinee)? {
+                LinValue::Tuple(vs) => vs
+                    .get(*index)
+                    .cloned()
+                    .ok_or_else(|| EvalError::Shape(format!("π{index} out of range"))),
+                other => Err(EvalError::Shape(format!("π{index} on {other}"))),
+            },
+            LinTerm::Ctor {
+                data,
+                ctor,
+                nl_args,
+                lin_args,
+            } => {
+                let decl = self
+                    .sig
+                    .data(data)
+                    .ok_or_else(|| EvalError::Unknown(data.clone()))?;
+                let ci = decl
+                    .ctors
+                    .iter()
+                    .position(|c| &c.name == ctor)
+                    .ok_or_else(|| EvalError::Unknown(format!("{data}.{ctor}")))?;
+                let nl_values: Vec<Value> = nl_args
+                    .iter()
+                    .map(|a| eval_nl(&env.nl, a))
+                    .collect::<Result<_, _>>()?;
+                let mut ctor_env = NlEnv::new();
+                for ((name, _), v) in decl.ctors[ci].nl_args.iter().zip(&nl_values) {
+                    ctor_env.insert(name.clone(), v.clone());
+                }
+                let indices: Vec<Value> = decl.ctors[ci]
+                    .result_indices
+                    .iter()
+                    .map(|ix| eval_nl(&ctor_env, ix))
+                    .collect::<Result<_, _>>()?;
+                let args: Vec<LinValue> = lin_args
+                    .iter()
+                    .map(|a| self.eval(env, a))
+                    .collect::<Result<_, _>>()?;
+                Ok(LinValue::Data {
+                    data: data.clone(),
+                    indices,
+                    ctor: ci,
+                    nl_args: nl_values,
+                    args,
+                })
+            }
+            LinTerm::Fold {
+                data,
+                clauses,
+                scrutinee,
+                ..
+            } => {
+                let sv = self.eval(env, scrutinee)?;
+                self.fold_value(env, data, clauses, sv)
+            }
+            LinTerm::EqIntro(e) => {
+                let v = self.eval(env, e)?;
+                Ok(v)
+            }
+            LinTerm::EqProj(e) => self.eval(env, e),
+        }
+    }
+
+    /// Applies a `λ⊸` closure value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::Shape`] if `f` is not a function value.
+    pub fn apply(&self, f: LinValue, arg: LinValue) -> Result<LinValue, EvalError> {
+        match f {
+            LinValue::Fun { var, body, env } => {
+                let mut env2 = env.clone();
+                env2.lin.insert(var, arg);
+                self.eval(&env2, &body)
+            }
+            other => Err(EvalError::Shape(format!("applying {other}"))),
+        }
+    }
+
+    fn fold_value(
+        &self,
+        env: &EvalEnv,
+        data: &str,
+        clauses: &[crate::syntax::terms::FoldClause],
+        value: LinValue,
+    ) -> Result<LinValue, EvalError> {
+        let (ctor, nl_args, args) = match value {
+            LinValue::Data {
+                data: d,
+                ctor,
+                nl_args,
+                args,
+                ..
+            } if d == data => (ctor, nl_args, args),
+            other => {
+                return Err(EvalError::Shape(format!(
+                    "fold over {data} applied to {other}"
+                )))
+            }
+        };
+        let decl = self
+            .sig
+            .data(data)
+            .ok_or_else(|| EvalError::Unknown(data.to_owned()))?;
+        let cdecl = &decl.ctors[ctor];
+        let clause = clauses
+            .get(ctor)
+            .ok_or_else(|| EvalError::Shape(format!("no clause for constructor {ctor}")))?;
+        let mut env2 = env.clone();
+        for (v, val) in clause.nl_vars.iter().zip(&nl_args) {
+            env2.nl.insert(v.clone(), val.clone());
+        }
+        for ((v, arg), arg_ty) in clause.lin_vars.iter().zip(args).zip(&cdecl.lin_args) {
+            // Ind-β: recursive positions are folded before the clause
+            // body runs (Fig. 10).
+            let bound = match arg_ty {
+                LinType::Data { name, .. } if name == data => {
+                    self.fold_value(env, data, clauses, arg)?
+                }
+                _ => arg,
+            };
+            env2.lin.insert(v.clone(), bound);
+        }
+        self.eval(&env2, &clause.body)
+    }
+
+    /// Converts a runtime value to a denotational parse tree, guided by
+    /// its type.
+    ///
+    /// # Errors
+    ///
+    /// Fails on function values (no tree form) and enumeration failures.
+    pub fn reify_value(&self, value: &LinValue, ty: &LinType) -> Result<ParseTree, EvalError> {
+        match (value, ty) {
+            (LinValue::Char(c), _) => Ok(ParseTree::Char(*c)),
+            (LinValue::Unit, _) => Ok(ParseTree::Unit),
+            (LinValue::Top(w), _) => Ok(ParseTree::Top(w.clone())),
+            (LinValue::Pair(l, r), LinType::Tensor(a, b)) => Ok(ParseTree::pair(
+                self.reify_value(l, a)?,
+                self.reify_value(r, b)?,
+            )),
+            (LinValue::Inj { index, value }, LinType::Plus(ts)) => {
+                let t = ts
+                    .get(*index)
+                    .ok_or_else(|| EvalError::Shape(format!("σ{index} out of range")))?;
+                Ok(ParseTree::inj(*index, self.reify_value(value, t)?))
+            }
+            (LinValue::BigInj { tag, value }, LinType::BigPlus { var, body, .. }) => {
+                let pos = value_position(tag).ok_or_else(|| {
+                    EvalError::Shape(format!("cannot position index value {tag}"))
+                })?;
+                let body_ty = crate::syntax::types::subst_lin_type(
+                    body,
+                    var,
+                    &value_to_term(tag)
+                        .ok_or_else(|| EvalError::Shape(format!("index {tag} has no term form")))?,
+                );
+                Ok(ParseTree::inj(pos, self.reify_value(value, &body_ty)?))
+            }
+            (LinValue::Tuple(vs), LinType::With(ts)) if vs.len() == ts.len() => {
+                let trees = vs
+                    .iter()
+                    .zip(ts)
+                    .map(|(v, t)| self.reify_value(v, t))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ParseTree::Tuple(trees))
+            }
+            (
+                LinValue::Data {
+                    data,
+                    indices,
+                    ctor,
+                    nl_args,
+                    args,
+                },
+                _,
+            ) => {
+                let layout = instance_layout(self.sig, data, indices, self.nat_bound)?;
+                let pos = layout
+                    .summands
+                    .iter()
+                    .position(|(ci, nv)| ci == ctor && nv == nl_args)
+                    .ok_or_else(|| {
+                        EvalError::Shape(format!("constructor {ctor} not in layout of {data}"))
+                    })?;
+                let decl = self
+                    .sig
+                    .data(data)
+                    .ok_or_else(|| EvalError::Unknown(data.clone()))?;
+                let cdecl = &decl.ctors[*ctor];
+                let mut ctor_env = NlEnv::new();
+                for ((name, _), v) in cdecl.nl_args.iter().zip(nl_args) {
+                    ctor_env.insert(name.clone(), v.clone());
+                }
+                let arg_trees = args
+                    .iter()
+                    .zip(&cdecl.lin_args)
+                    .map(|(a, t)| {
+                        // Indices inside arg types are closed under
+                        // ctor_env; reify recursively (type used only for
+                        // routing, Data args route through this arm again).
+                        let _ = &ctor_env;
+                        self.reify_value(a, t)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                // seq-shaped body: 0 args = Unit, last arg bare.
+                let mut iter = arg_trees.into_iter().rev();
+                let body = match iter.next() {
+                    None => ParseTree::Unit,
+                    Some(last) => iter.fold(last, |acc, t| ParseTree::pair(t, acc)),
+                };
+                Ok(ParseTree::roll(ParseTree::inj(pos, body)))
+            }
+            (v, t) => Err(EvalError::Shape(format!("cannot reify {v} at type {t}"))),
+        }
+    }
+
+    /// Converts a denotational parse tree into a runtime value, guided by
+    /// its type (the inverse of [`Evaluator::reify_value`] on positive
+    /// types).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the tree does not match the type.
+    pub fn internalize(&self, tree: &ParseTree, ty: &LinType) -> Result<LinValue, EvalError> {
+        match (tree, ty) {
+            (ParseTree::Char(c), LinType::Char(_)) => Ok(LinValue::Char(*c)),
+            (ParseTree::Unit, LinType::Unit) => Ok(LinValue::Unit),
+            (ParseTree::Top(w), LinType::Top) => Ok(LinValue::Top(w.clone())),
+            (ParseTree::Pair(l, r), LinType::Tensor(a, b)) => Ok(LinValue::Pair(
+                Box::new(self.internalize(l, a)?),
+                Box::new(self.internalize(r, b)?),
+            )),
+            (ParseTree::Inj { index, tree }, LinType::Plus(ts)) => {
+                let t = ts
+                    .get(*index)
+                    .ok_or_else(|| EvalError::Shape(format!("σ{index} out of range")))?;
+                Ok(LinValue::Inj {
+                    index: *index,
+                    value: Box::new(self.internalize(tree, t)?),
+                })
+            }
+            (ParseTree::Tuple(ts), LinType::With(tys)) if ts.len() == tys.len() => {
+                Ok(LinValue::Tuple(
+                    ts.iter()
+                        .zip(tys)
+                        .map(|(t, ty)| self.internalize(t, ty))
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
+            (ParseTree::Roll(inner), LinType::Data { name, args }) => {
+                let indices: Vec<Value> = args
+                    .iter()
+                    .map(|a| eval_nl(&NlEnv::new(), a))
+                    .collect::<Result<_, _>>()?;
+                let layout = instance_layout(self.sig, name, &indices, self.nat_bound)?;
+                let (pos, payload) = match &**inner {
+                    ParseTree::Inj { index, tree } => (*index, tree),
+                    other => {
+                        return Err(EvalError::Shape(format!("data tree must be σ, got {other}")))
+                    }
+                };
+                let (ci, nl_values) = layout
+                    .summands
+                    .get(pos)
+                    .ok_or_else(|| EvalError::Shape(format!("summand {pos} out of range")))?
+                    .clone();
+                let decl = self
+                    .sig
+                    .data(name)
+                    .ok_or_else(|| EvalError::Unknown(name.clone()))?;
+                let cdecl = &decl.ctors[ci];
+                let mut ctor_env = NlEnv::new();
+                for ((n, _), v) in cdecl.nl_args.iter().zip(&nl_values) {
+                    ctor_env.insert(n.clone(), v.clone());
+                }
+                // Split the seq-shaped payload into the declared arity.
+                let parts = split_seq_tree(payload, cdecl.lin_args.len())?;
+                let args = parts
+                    .iter()
+                    .zip(&cdecl.lin_args)
+                    .map(|(p, t)| {
+                        let concrete = close_type(t, &ctor_env);
+                        self.internalize(p, &concrete)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(LinValue::Data {
+                    data: name.clone(),
+                    indices,
+                    ctor: ci,
+                    nl_args: nl_values,
+                    args,
+                })
+            }
+            (t, ty) => Err(EvalError::Shape(format!("cannot internalize {t} at {ty}"))),
+        }
+    }
+}
+
+/// Substitutes concrete values for the free variables of a type's index
+/// expressions (turning an open constructor argument type closed).
+fn close_type(ty: &LinType, env: &NlEnv) -> LinType {
+    env.iter().fold(ty.clone(), |t, (v, val)| {
+        match value_to_term(val) {
+            Some(m) => crate::syntax::types::subst_lin_type(&t, v, &m),
+            None => t,
+        }
+    })
+}
+
+fn split_seq_tree(tree: &ParseTree, arity: usize) -> Result<Vec<&ParseTree>, EvalError> {
+    match arity {
+        0 => {
+            if matches!(tree, ParseTree::Unit) {
+                Ok(Vec::new())
+            } else {
+                Err(EvalError::Shape(format!("expected (), got {tree}")))
+            }
+        }
+        1 => Ok(vec![tree]),
+        _ => match tree {
+            ParseTree::Pair(l, r) => {
+                let mut rest = split_seq_tree(r, arity - 1)?;
+                rest.insert(0, l);
+                Ok(rest)
+            }
+            other => Err(EvalError::Shape(format!("expected a pair, got {other}"))),
+        },
+    }
+}
+
+/// Position of a first-order index value within its type's enumeration.
+fn value_position(v: &Value) -> Option<usize> {
+    match v {
+        Value::Unit => Some(0),
+        Value::Bool(b) => Some(usize::from(*b)),
+        Value::Nat(n) => Some(*n as usize),
+        Value::Fin { value, .. } => Some(*value),
+        Value::Pair(..) | Value::Closure { .. } => None,
+    }
+}
+
+/// The term form of a first-order value (for substitution into types).
+fn value_to_term(v: &Value) -> Option<crate::syntax::nonlinear::NlTerm> {
+    use crate::syntax::nonlinear::NlTerm;
+    match v {
+        Value::Unit => Some(NlTerm::UnitVal),
+        Value::Bool(b) => Some(NlTerm::BoolLit(*b)),
+        Value::Nat(n) => Some(NlTerm::NatLit(*n)),
+        Value::Fin { value, modulus } => Some(NlTerm::FinLit {
+            value: *value,
+            modulus: *modulus,
+        }),
+        Value::Pair(a, b) => Some(NlTerm::Pair(
+            Rc::new(value_to_term(a)?),
+            Rc::new(value_to_term(b)?),
+        )),
+        Value::Closure { .. } => None,
+    }
+}
+
+/// Packages a closed, checker-accepted term of type `dom ⊸ cod` as a
+/// [`Transformer`] over denotational parse trees: the syntax-to-semantics
+/// bridge (§5.3). Every application internalizes the input tree,
+/// evaluates the term, and reifies the result.
+///
+/// # Errors
+///
+/// Returns an [`ElabError`] if the endpoint types do not elaborate.
+pub fn transformer_of(
+    sig: &Signature,
+    name: &str,
+    term: &LinTerm,
+    dom: &LinType,
+    cod: &LinType,
+    nat_bound: u64,
+) -> Result<Transformer, ElabError> {
+    let mut el = Elaborator::new(sig, nat_bound);
+    let dom_g = el.elaborate(&NlEnv::new(), dom)?;
+    let cod_g = el.elaborate(&NlEnv::new(), cod)?;
+    let sig = sig.clone();
+    let term = term.clone();
+    let dom_ty = dom.clone();
+    let cod_ty = cod.clone();
+    Ok(Transformer::from_fn(
+        name.to_owned(),
+        dom_g,
+        cod_g,
+        move |tree| {
+            let ev = Evaluator::new(&sig, nat_bound);
+            let input = ev
+                .internalize(tree, &dom_ty)
+                .map_err(|e| TransformError::Custom(format!("{e}")))?;
+            let fun = ev
+                .eval(&EvalEnv::default(), &term)
+                .map_err(|e| TransformError::Custom(format!("{e}")))?;
+            let out = ev
+                .apply(fun, input)
+                .map_err(|e| TransformError::Custom(format!("{e}")))?;
+            ev.reify_value(&out, &cod_ty)
+                .map_err(|e| TransformError::Custom(format!("{e}")))
+        },
+    ))
+}

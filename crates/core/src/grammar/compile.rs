@@ -1,0 +1,344 @@
+//! Compilation of grammar expressions to a recursive node graph.
+//!
+//! [`GrammarExpr`] trees contain `μ`
+//! systems whose bodies refer back to their definitions. Recognition and
+//! enumeration want a flat, possibly-cyclic graph instead: every distinct
+//! subexpression becomes a [`Node`], recursion variables become edges back
+//! to *definition nodes*, and charts are indexed by `(NodeId, span)`.
+//!
+//! The compiler also runs the two standard Kleene fixed-point analyses:
+//!
+//! * [`CompiledGrammar::nullable`] — whether `ε ∈ L(node)` (exact);
+//! * [`CompiledGrammar::inhabited`] — whether `L(node) ≠ ∅`
+//!   (exact for `⊕`/`⊗`/`μ`; an *over*-approximation at `&` nodes, where
+//!   true emptiness of an intersection of context-free languages is
+//!   undecidable).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::alphabet::Symbol;
+use crate::grammar::expr::{Grammar, GrammarExpr, MuSystem};
+
+/// Index of a node within a [`CompiledGrammar`].
+pub type NodeId = usize;
+
+/// One operator node of the compiled grammar graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Literal `'c'`.
+    Char(Symbol),
+    /// Unit `I`.
+    Eps,
+    /// Empty grammar `0`.
+    Bot,
+    /// Full grammar `⊤`.
+    Top,
+    /// Tensor `A ⊗ B`.
+    Tensor(NodeId, NodeId),
+    /// Indexed disjunction.
+    Plus(Vec<NodeId>),
+    /// Indexed conjunction.
+    With(Vec<NodeId>),
+    /// A `μ` definition (nonterminal). A parse of this node is
+    /// `roll` applied to a parse of `body`.
+    Def {
+        /// The node of the definition body.
+        body: NodeId,
+        /// Display name of the definition.
+        name: String,
+    },
+}
+
+/// A grammar compiled to a flat node graph, ready for chart algorithms.
+#[derive(Debug, Clone)]
+pub struct CompiledGrammar {
+    nodes: Vec<Node>,
+    root: NodeId,
+    nullable: Vec<bool>,
+    inhabited: Vec<bool>,
+}
+
+impl CompiledGrammar {
+    /// Compiles a closed grammar expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grammar contains a free recursion variable.
+    pub fn new(grammar: &Grammar) -> CompiledGrammar {
+        let mut builder = Builder {
+            nodes: Vec::new(),
+            memo: HashMap::new(),
+            systems: HashMap::new(),
+        };
+        let root = builder.compile(grammar, None);
+        let nodes = builder.nodes;
+        let nullable = fixpoint(&nodes, |node, get| match node {
+            Node::Char(_) | Node::Bot => false,
+            Node::Eps | Node::Top => true,
+            Node::Tensor(l, r) => get(*l) && get(*r),
+            Node::Plus(cs) => cs.iter().any(|&c| get(c)),
+            Node::With(cs) => cs.iter().all(|&c| get(c)),
+            Node::Def { body, .. } => get(*body),
+        });
+        let inhabited = fixpoint(&nodes, |node, get| match node {
+            Node::Bot => false,
+            Node::Char(_) | Node::Eps | Node::Top => true,
+            Node::Tensor(l, r) => get(*l) && get(*r),
+            Node::Plus(cs) => cs.iter().any(|&c| get(c)),
+            // Over-approximation: a & is assumed inhabited as soon as all
+            // components are; the components might still share no string.
+            Node::With(cs) => cs.iter().all(|&c| get(c)),
+            Node::Def { body, .. } => get(*body),
+        });
+        CompiledGrammar {
+            nodes,
+            root,
+            nullable,
+            inhabited,
+        }
+    }
+
+    /// The root node (the compiled top-level grammar).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// All nodes, indexed by [`NodeId`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the graph has no nodes (never; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `ε ∈ L(id)`. Exact.
+    pub fn nullable(&self, id: NodeId) -> bool {
+        self.nullable[id]
+    }
+
+    /// Whether `L(id)` might be non-empty. Exact except at `&` nodes,
+    /// where `true` may be reported for an empty intersection.
+    pub fn inhabited(&self, id: NodeId) -> bool {
+        self.inhabited[id]
+    }
+}
+
+/// Least fixed point of a monotone boolean function over the node graph,
+/// starting from all-`false`.
+fn fixpoint(nodes: &[Node], f: impl Fn(&Node, &dyn Fn(NodeId) -> bool) -> bool) -> Vec<bool> {
+    let mut values = vec![false; nodes.len()];
+    loop {
+        let mut changed = false;
+        for (i, node) in nodes.iter().enumerate() {
+            if values[i] {
+                continue;
+            }
+            let get = |j: NodeId| values[j];
+            if f(node, &get) {
+                values[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return values;
+        }
+    }
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    /// (expr address, system address) -> node, to share repeated subtrees.
+    memo: HashMap<(usize, usize), NodeId>,
+    /// system address -> def node ids.
+    systems: HashMap<usize, Vec<NodeId>>,
+}
+
+impl Builder {
+    fn push(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn compile(&mut self, g: &Grammar, system: Option<&Rc<MuSystem>>) -> NodeId {
+        let sys_addr = system.map_or(0, |s| Rc::as_ptr(s) as usize);
+        let key = (Rc::as_ptr(g) as usize, sys_addr);
+        if let Some(&id) = self.memo.get(&key) {
+            return id;
+        }
+        let id = match &**g {
+            GrammarExpr::Char(c) => self.push(Node::Char(*c)),
+            GrammarExpr::Eps => self.push(Node::Eps),
+            GrammarExpr::Bot => self.push(Node::Bot),
+            GrammarExpr::Top => self.push(Node::Top),
+            GrammarExpr::Tensor(l, r) => {
+                let l = self.compile(l, system);
+                let r = self.compile(r, system);
+                self.push(Node::Tensor(l, r))
+            }
+            GrammarExpr::Plus(gs) => {
+                let cs: Vec<NodeId> = gs.iter().map(|g| self.compile(g, system)).collect();
+                self.push(Node::Plus(cs))
+            }
+            GrammarExpr::With(gs) => {
+                let cs: Vec<NodeId> = gs.iter().map(|g| self.compile(g, system)).collect();
+                self.push(Node::With(cs))
+            }
+            GrammarExpr::Var(i) => {
+                let sys = system.expect("free recursion variable in closed grammar");
+                assert!(*i < sys.len(), "free recursion variable in closed grammar");
+                self.system_defs(sys)[*i]
+            }
+            GrammarExpr::Mu { system: sys, entry } => self.system_defs(sys)[*entry],
+        };
+        self.memo.insert(key, id);
+        id
+    }
+
+    /// Returns the def node ids of a system, compiling it on first use.
+    fn system_defs(&mut self, sys: &Rc<MuSystem>) -> Vec<NodeId> {
+        let addr = Rc::as_ptr(sys) as usize;
+        if let Some(ids) = self.systems.get(&addr) {
+            return ids.clone();
+        }
+        // Reserve Def nodes first so bodies can point back at them.
+        let ids: Vec<NodeId> = (0..sys.len())
+            .map(|i| {
+                self.push(Node::Def {
+                    body: usize::MAX, // patched below
+                    name: sys.name(i).to_owned(),
+                })
+            })
+            .collect();
+        self.systems.insert(addr, ids.clone());
+        for (i, def) in sys.iter() {
+            let body = self.compile(def, Some(sys));
+            match &mut self.nodes[ids[i]] {
+                Node::Def { body: slot, .. } => *slot = body,
+                _ => unreachable!("reserved node is a Def"),
+            }
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::grammar::expr::{alt, and, bot, chr, eps, star, tensor, top, var};
+
+    fn abc() -> (Symbol, Symbol, Symbol) {
+        let s = Alphabet::abc();
+        (
+            s.symbol("a").unwrap(),
+            s.symbol("b").unwrap(),
+            s.symbol("c").unwrap(),
+        )
+    }
+
+    #[test]
+    fn compile_shares_identical_subtrees() {
+        let (a, ..) = abc();
+        let ca = chr(a);
+        let g = tensor(ca.clone(), ca);
+        let cg = CompiledGrammar::new(&g);
+        // root Tensor + one shared Char node.
+        assert_eq!(cg.len(), 2);
+    }
+
+    #[test]
+    fn star_compiles_to_cyclic_def() {
+        let (a, ..) = abc();
+        let cg = CompiledGrammar::new(&star(chr(a)));
+        let root = cg.root();
+        match cg.node(root) {
+            Node::Def { body, .. } => {
+                // Body is Plus(Eps, Tensor(Char, Def)) and the Def cycles back.
+                match cg.node(*body) {
+                    Node::Plus(cs) => {
+                        assert_eq!(cs.len(), 2);
+                        match cg.node(cs[1]) {
+                            Node::Tensor(_, r) => assert_eq!(*r, root),
+                            other => panic!("expected Tensor, got {other:?}"),
+                        }
+                    }
+                    other => panic!("expected Plus, got {other:?}"),
+                }
+            }
+            other => panic!("expected Def, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nullable_analysis() {
+        let (a, b, _) = abc();
+        let cg = CompiledGrammar::new(&star(chr(a)));
+        assert!(cg.nullable(cg.root()));
+        let cg = CompiledGrammar::new(&tensor(star(chr(a)), chr(b)));
+        assert!(!cg.nullable(cg.root()));
+        let cg = CompiledGrammar::new(&and(eps(), star(chr(a))));
+        assert!(cg.nullable(cg.root()));
+        let cg = CompiledGrammar::new(&and(eps(), chr(a)));
+        assert!(!cg.nullable(cg.root()));
+    }
+
+    #[test]
+    fn inhabited_analysis() {
+        let (a, ..) = abc();
+        assert!(!CompiledGrammar::new(&bot()).inhabited(0));
+        let cg = CompiledGrammar::new(&tensor(chr(a), bot()));
+        assert!(!cg.inhabited(cg.root()));
+        let cg = CompiledGrammar::new(&alt(bot(), chr(a)));
+        assert!(cg.inhabited(cg.root()));
+        // μX. 'a' ⊗ X has no finite parses: not inhabited.
+        let sys = MuSystem::new(vec![tensor(chr(a), var(0))], vec!["loop".to_owned()]);
+        let cg = CompiledGrammar::new(&crate::grammar::expr::mu(sys, 0));
+        assert!(!cg.inhabited(cg.root()));
+        assert!(CompiledGrammar::new(&top()).inhabited(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "free recursion variable")]
+    fn free_var_panics() {
+        CompiledGrammar::new(&var(0));
+    }
+
+    #[test]
+    fn mutual_system_compiles_once() {
+        let (a, b, _) = abc();
+        // X0 = 'a' X1 | ε ; X1 = 'b' X0
+        let sys = MuSystem::new(
+            vec![
+                alt(tensor(chr(a), var(1)), eps()),
+                tensor(chr(b), var(0)),
+            ],
+            vec!["X0".to_owned(), "X1".to_owned()],
+        );
+        let g0 = crate::grammar::expr::mu(sys.clone(), 0);
+        let cg = CompiledGrammar::new(&g0);
+        let defs: Vec<_> = cg
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n, Node::Def { .. }))
+            .collect();
+        assert_eq!(defs.len(), 2);
+        assert!(cg.nullable(cg.root()));
+    }
+}

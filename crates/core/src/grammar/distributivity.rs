@@ -1,0 +1,273 @@
+//! Executable forms of the paper's grammar axioms.
+//!
+//! * **Axiom 3.1 (distributivity)**: `&` distributes over `⊕`. In the
+//!   finite case used by every example:
+//!   `&_{x<m} ⊕_{y<n_x} A_{x,y}  ≅  ⊕_{f ∈ Π_x n_x} &_{x<m} A_{x,f(x)}`,
+//!   where choice functions `f` are encoded in mixed radix.
+//! * **Start-character decomposition** (§3.2): the consequence
+//!   `A ≅ (A & I) ⊕ ⊕_{c∈Σ} (A & ('c' ⊗ ⊤))` the lookahead parser of
+//!   Fig. 15 relies on — a parse of `A` either underlies the empty string
+//!   or starts with a definite character.
+//! * **Axiom 3.3 (σ-disjointness)**: distinct injections of a `⊕` are
+//!   disjoint; [`sigma_disjoint_witness`] realizes the function
+//!   `↑({b | σx∘π₁ b = σx'∘π₂ b} ⊸ 0)` as an emptiness check.
+//!
+//! All three hold in the denotational model (Theorems B.5/B.6); the
+//! property-based test suite checks them on random grammars.
+
+use crate::alphabet::Alphabet;
+use crate::grammar::expr::{and, chr, eps, plus, tensor, top, with, Grammar};
+use crate::grammar::parse_tree::ParseTree;
+use crate::transform::combinators::Iso;
+use crate::transform::{TransformError, Transformer};
+
+/// Mixed-radix encoding of a choice function `f` with `f(x) = digits[x]`,
+/// where digit `x` ranges over `radices[x]`.
+fn encode_choice(digits: &[usize], radices: &[usize]) -> usize {
+    let mut code = 0;
+    for (d, r) in digits.iter().zip(radices) {
+        debug_assert!(d < r);
+        code = code * r + d;
+    }
+    code
+}
+
+/// Inverse of [`encode_choice`].
+fn decode_choice(mut code: usize, radices: &[usize]) -> Vec<usize> {
+    let mut digits = vec![0; radices.len()];
+    for (slot, r) in digits.iter_mut().zip(radices).rev() {
+        *slot = code % r;
+        code /= r;
+    }
+    digits
+}
+
+/// Axiom 3.1, finite form: the isomorphism
+/// `&_{x} ⊕_{y} A(x,y) ≅ ⊕_{f} &_{x} A(x, f(x))`.
+///
+/// `families[x]` lists the summands `A(x, 0..n_x)` of component `x`.
+///
+/// # Panics
+///
+/// Panics if `families` is empty or any family is empty (the paper's
+/// axiom covers these degenerate cases through the nullary instances
+/// `0 & A ≅ 0`; use those directly).
+pub fn distributivity_iso(families: Vec<Vec<Grammar>>) -> Iso {
+    assert!(!families.is_empty(), "need at least one & component");
+    assert!(
+        families.iter().all(|f| !f.is_empty()),
+        "each ⊕ family must be non-empty"
+    );
+    let radices: Vec<usize> = families.iter().map(Vec::len).collect();
+    let dom = with(
+        families
+            .iter()
+            .map(|f| plus(f.clone()))
+            .collect(),
+    );
+    let num_choices: usize = radices.iter().product();
+    let cod = plus(
+        (0..num_choices)
+            .map(|code| {
+                let digits = decode_choice(code, &radices);
+                with(
+                    families
+                        .iter()
+                        .zip(&digits)
+                        .map(|(f, &d)| f[d].clone())
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    let radices_fwd = radices.clone();
+    let fwd = Transformer::from_fn("dist", dom.clone(), cod.clone(), move |t| match t {
+        ParseTree::Tuple(ts) => {
+            let mut digits = Vec::with_capacity(ts.len());
+            let mut inner = Vec::with_capacity(ts.len());
+            for t in ts {
+                match t {
+                    ParseTree::Inj { index, tree } => {
+                        digits.push(*index);
+                        inner.push((**tree).clone());
+                    }
+                    other => {
+                        return Err(TransformError::Custom(format!(
+                            "dist: expected σ, got {other}"
+                        )))
+                    }
+                }
+            }
+            let code = encode_choice(&digits, &radices_fwd);
+            Ok(ParseTree::inj(code, ParseTree::Tuple(inner)))
+        }
+        other => Err(TransformError::Custom(format!(
+            "dist: expected tuple, got {other}"
+        ))),
+    });
+    let bwd = Transformer::from_fn("dist⁻¹", cod, dom, move |t| match t {
+        ParseTree::Inj { index, tree } => match &**tree {
+            ParseTree::Tuple(ts) => {
+                let digits = decode_choice(*index, &radices);
+                let rebuilt = ts
+                    .iter()
+                    .zip(&digits)
+                    .map(|(t, &d)| ParseTree::inj(d, t.clone()))
+                    .collect();
+                Ok(ParseTree::Tuple(rebuilt))
+            }
+            other => Err(TransformError::Custom(format!(
+                "dist⁻¹: expected tuple, got {other}"
+            ))),
+        },
+        other => Err(TransformError::Custom(format!(
+            "dist⁻¹: expected σ, got {other}"
+        ))),
+    });
+    Iso::new(fwd, bwd)
+}
+
+/// The start-character decomposition grammar
+/// `(A & I) ⊕ ⊕_{c∈Σ} (A & ('c' ⊗ ⊤))`.
+pub fn start_char_decomposition(a: &Grammar, alphabet: &Alphabet) -> Grammar {
+    let mut summands = vec![and(a.clone(), eps())];
+    for c in alphabet.symbols() {
+        summands.push(and(a.clone(), tensor(chr(c), top())));
+    }
+    plus(summands)
+}
+
+/// The isomorphism `A ≅ (A & I) ⊕ ⊕_c (A & ('c' ⊗ ⊤))` (§3.2) used to
+/// implement one token of lookahead: inspecting the first character of
+/// the underlying string routes the parse to the matching summand.
+pub fn start_char_iso(a: &Grammar, alphabet: &Alphabet) -> Iso {
+    let cod = start_char_decomposition(a, alphabet);
+    let fwd = Transformer::from_fn("startchar", a.clone(), cod.clone(), |t| {
+        let w = t.flatten();
+        if w.is_empty() {
+            Ok(ParseTree::inj(
+                0,
+                ParseTree::Tuple(vec![t.clone(), ParseTree::Unit]),
+            ))
+        } else {
+            let c = w[0];
+            let rest = w.substring(1, w.len());
+            Ok(ParseTree::inj(
+                1 + c.index(),
+                ParseTree::Tuple(vec![
+                    t.clone(),
+                    ParseTree::pair(ParseTree::Char(c), ParseTree::Top(rest)),
+                ]),
+            ))
+        }
+    });
+    let bwd = Transformer::from_fn("startchar⁻¹", cod, a.clone(), |t| match t {
+        ParseTree::Inj { tree, .. } => match &**tree {
+            ParseTree::Tuple(ts) if !ts.is_empty() => Ok(ts[0].clone()),
+            other => Err(TransformError::Custom(format!(
+                "startchar⁻¹: expected tuple, got {other}"
+            ))),
+        },
+        other => Err(TransformError::Custom(format!(
+            "startchar⁻¹: expected σ, got {other}"
+        ))),
+    });
+    Iso::new(fwd, bwd)
+}
+
+/// Axiom 3.3 realized: the set of pairs `⟨a, a'⟩ : A(x) & A(x')` with
+/// `σ x a = σ x' a'` is empty when `x ≠ x'`. Given any claimed inhabitant
+/// this returns the contradiction as an error, i.e. it *is* the function
+/// into `0`.
+///
+/// # Errors
+///
+/// Always errs (that is the theorem); the error explains which axiom
+/// fired.
+pub fn sigma_disjoint_witness(
+    x: usize,
+    x_prime: usize,
+    _pair: &ParseTree,
+) -> Result<ParseTree, TransformError> {
+    debug_assert_ne!(x, x_prime);
+    Err(TransformError::Custom(format!(
+        "σ-disjointness (Axiom 3.3): σ{x} and σ{x_prime} can never agree"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::grammar::compile::CompiledGrammar;
+    use crate::grammar::expr::{alt, star};
+    use crate::theory::equivalence::{StrongEquiv, WeakEquiv};
+    use crate::theory::unambiguous::all_strings;
+
+    #[test]
+    fn distributivity_roundtrip() {
+        let s = Alphabet::abc();
+        let (a, b) = (chr(s.symbol("a").unwrap()), chr(s.symbol("b").unwrap()));
+        // (a ⊕ b) & (a ⊕ b) ≅ ⊕_{4} (… & …).
+        let iso = distributivity_iso(vec![
+            vec![a.clone(), b.clone()],
+            vec![a.clone(), b.clone()],
+        ]);
+        let eq = StrongEquiv::new(WeakEquiv::new(iso.fwd, iso.bwd));
+        let strings = all_strings(&s, 2);
+        eq.check_on(&strings, 32).unwrap();
+        eq.check_counts_on(&strings, 32).unwrap();
+    }
+
+    #[test]
+    fn distributivity_mixed_radix() {
+        let s = Alphabet::abc();
+        let (a, b, c) = (
+            chr(s.symbol("a").unwrap()),
+            chr(s.symbol("b").unwrap()),
+            chr(s.symbol("c").unwrap()),
+        );
+        // Components with different family sizes: 3 × 1 × 2 = 6 choices.
+        let iso = distributivity_iso(vec![
+            vec![a.clone(), b.clone(), c.clone()],
+            vec![alt(a.clone(), b.clone())],
+            vec![b, c],
+        ]);
+        match &*iso.fwd.cod().clone() {
+            crate::grammar::expr::GrammarExpr::Plus(gs) => assert_eq!(gs.len(), 6),
+            other => panic!("expected Plus, got {other:?}"),
+        }
+        let eq = StrongEquiv::new(WeakEquiv::new(iso.fwd, iso.bwd));
+        eq.check_on(&all_strings(&s, 1), 32).unwrap();
+    }
+
+    #[test]
+    fn start_char_iso_roundtrips_on_star() {
+        let s = Alphabet::abc();
+        let a = chr(s.symbol("a").unwrap());
+        let g = star(alt(a.clone(), chr(s.symbol("b").unwrap())));
+        let iso = start_char_iso(&g, &s);
+        let eq = WeakEquiv::new(iso.fwd, iso.bwd);
+        crate::theory::equivalence::check_retract_on(&eq, &all_strings(&s, 3), 64).unwrap();
+    }
+
+    #[test]
+    fn start_char_decomposition_same_language() {
+        let s = Alphabet::abc();
+        let g = star(tensor(
+            chr(s.symbol("a").unwrap()),
+            chr(s.symbol("b").unwrap()),
+        ));
+        let d = start_char_decomposition(&g, &s);
+        let (cg, cd) = (CompiledGrammar::new(&g), CompiledGrammar::new(&d));
+        for w in all_strings(&s, 4) {
+            assert_eq!(cg.recognizes(&w), cd.recognizes(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn sigma_disjointness_always_refutes() {
+        let pair = ParseTree::Tuple(vec![ParseTree::Unit, ParseTree::Unit]);
+        assert!(sigma_disjoint_witness(0, 1, &pair).is_err());
+    }
+}

@@ -1,0 +1,427 @@
+//! Proof-relevant parsing: enumerating and counting parse trees.
+//!
+//! Where [`recognize`](crate::grammar::recognize) answers *whether* `A(w)`
+//! is inhabited, this module materializes the set `A(w)` itself
+//! (Definition 5.1) — bounded, because grammars with unguarded recursion
+//! (e.g. `μX. X ⊕ I`) have infinitely many parses of a single string.
+//! Every enumeration carries a *cap*; results report whether it was hit.
+//!
+//! Parse counts are the workhorse of the strong-equivalence experiments:
+//! two strongly equivalent grammars have isomorphic parse sets (Definition
+//! 4.1), hence equal counts on every string, and an unambiguous grammar
+//! (Definition 4.2) has at most one parse of any string.
+
+use std::collections::HashSet;
+
+use crate::alphabet::GString;
+use crate::grammar::compile::{CompiledGrammar, Node, NodeId};
+use crate::grammar::parse_tree::ParseTree;
+
+/// Result of counting parses with a cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ambiguity {
+    /// Number of distinct parses found, clamped to the cap.
+    pub count: u64,
+    /// `true` if the cap was reached anywhere relevant — the true count
+    /// may exceed `count` (and may be infinite).
+    pub truncated: bool,
+}
+
+impl Ambiguity {
+    /// Exactly zero parses (and the count is exact).
+    pub fn is_empty(self) -> bool {
+        self.count == 0 && !self.truncated
+    }
+
+    /// Exactly one parse (and the count is exact).
+    pub fn is_unambiguous_parse(self) -> bool {
+        self.count == 1 && !self.truncated
+    }
+}
+
+/// A bounded set of parse trees for one string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseForest {
+    /// The distinct parse trees found, at most `cap` of them.
+    pub trees: Vec<ParseTree>,
+    /// `true` if the cap was reached; more parses may exist.
+    pub truncated: bool,
+}
+
+impl ParseForest {
+    /// `true` when no parse exists (exactly — the cap was not hit).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty() && !self.truncated
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct TreeSet {
+    trees: Vec<ParseTree>,
+    seen: HashSet<ParseTree>,
+    capped: bool,
+    /// `true` if this entry, or any entry it depends on, hit the cap —
+    /// i.e. the set may be incomplete.
+    unreliable: bool,
+}
+
+impl TreeSet {
+    /// Inserts a tree, respecting the cap. Returns `true` if it was new.
+    fn insert(&mut self, t: ParseTree, cap: usize) -> bool {
+        if self.trees.len() >= cap {
+            self.capped = true;
+            return false;
+        }
+        if self.seen.insert(t.clone()) {
+            self.trees.push(t);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct TreeChart {
+    n: usize,
+    cap: usize,
+    entries: Vec<TreeSet>,
+}
+
+impl TreeChart {
+    fn idx(&self, node: NodeId, i: usize, j: usize) -> usize {
+        (node * (self.n + 1) + i) * (self.n + 1) + j
+    }
+
+    fn get(&self, node: NodeId, i: usize, j: usize) -> &TreeSet {
+        &self.entries[self.idx(node, i, j)]
+    }
+}
+
+impl CompiledGrammar {
+    /// Enumerates up to `cap` distinct parse trees of `w`.
+    ///
+    /// Every returned tree `t` satisfies `t.flatten() == w` and validates
+    /// against the source grammar — this is checked by the test suite, not
+    /// re-checked here.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lambek_core::alphabet::Alphabet;
+    /// use lambek_core::grammar::compile::CompiledGrammar;
+    /// use lambek_core::grammar::expr::{alt, chr};
+    ///
+    /// let s = Alphabet::abc();
+    /// let a = s.symbol("a").unwrap();
+    /// // 'a' ⊕ 'a' is ambiguous: two parses of "a" (inl and inr).
+    /// let cg = CompiledGrammar::new(&alt(chr(a), chr(a)));
+    /// let forest = cg.parses(&s.parse_str("a").unwrap(), 16);
+    /// assert_eq!(forest.trees.len(), 2);
+    /// assert!(!forest.truncated);
+    /// ```
+    pub fn parses(&self, w: &GString, cap: usize) -> ParseForest {
+        let chart = self.fill_tree_chart(w, cap);
+        let root = chart.get(self.root(), 0, w.len());
+        ParseForest {
+            trees: root.trees.clone(),
+            truncated: root.capped || root.unreliable,
+        }
+    }
+
+    /// Counts parses of `w`, clamped to `cap`.
+    ///
+    /// Strong equivalence (Definition 4.1) implies equal counts on every
+    /// string; unambiguity (Definition 4.2) means every count is ≤ 1.
+    pub fn count_parses(&self, w: &GString, cap: usize) -> Ambiguity {
+        let forest = self.parses(w, cap);
+        Ambiguity {
+            count: forest.trees.len() as u64,
+            truncated: forest.truncated,
+        }
+    }
+
+    fn fill_tree_chart(&self, w: &GString, cap: usize) -> TreeChart {
+        let n = w.len();
+        let mut chart = TreeChart {
+            n,
+            cap,
+            entries: vec![TreeSet::default(); self.len() * (n + 1) * (n + 1)],
+        };
+        for len in 0..=n {
+            loop {
+                let mut changed = false;
+                for i in 0..=(n - len) {
+                    let j = i + len;
+                    for (node_id, node) in self.nodes().iter().enumerate() {
+                        let fresh = compute_entry(&chart, node, w, i, j);
+                        let tainted = depends_on_unreliable(&chart, node, i, j);
+                        let idx = chart.idx(node_id, i, j);
+                        for t in fresh {
+                            if chart.entries[idx].insert(t, cap) {
+                                changed = true;
+                            }
+                        }
+                        if tainted && !chart.entries[idx].unreliable {
+                            chart.entries[idx].unreliable = true;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        chart
+    }
+}
+
+/// Whether any chart entry this `(node, span)` entry draws trees from is
+/// capped or itself unreliable — the propagation of truncation. An edge
+/// is skipped when it provably contributes nothing: for `⊗`, a split
+/// whose other side is empty *and* reliable produces no pairs; for `&`, a
+/// component that is empty and reliable makes the whole product reliably
+/// empty.
+fn depends_on_unreliable(chart: &TreeChart, node: &Node, i: usize, j: usize) -> bool {
+    let bad = |n: NodeId, a: usize, b: usize| {
+        let e = chart.get(n, a, b);
+        e.capped || e.unreliable
+    };
+    // "Could still produce trees": nonempty now, or possibly incomplete.
+    let live = |n: NodeId, a: usize, b: usize| {
+        let e = chart.get(n, a, b);
+        !e.trees.is_empty() || e.capped || e.unreliable
+    };
+    match node {
+        Node::Char(_) | Node::Eps | Node::Bot | Node::Top => false,
+        Node::Tensor(l, r) => (i..=j).any(|k| {
+            (bad(*l, i, k) && live(*r, k, j)) || (bad(*r, k, j) && live(*l, i, k))
+        }),
+        Node::Plus(cs) => cs.iter().any(|&c| bad(c, i, j)),
+        Node::With(cs) => {
+            let reliably_empty = |n: NodeId| {
+                let e = chart.get(n, i, j);
+                e.trees.is_empty() && !e.capped && !e.unreliable
+            };
+            if cs.iter().any(|&c| reliably_empty(c)) {
+                false
+            } else {
+                cs.iter().any(|&c| bad(c, i, j))
+            }
+        }
+        Node::Def { body, .. } => bad(*body, i, j),
+    }
+}
+
+/// Computes the parse set of one `(node, span)` entry from current chart
+/// contents. Monotone in the chart, so the enclosing iteration converges.
+fn compute_entry(
+    chart: &TreeChart,
+    node: &Node,
+    w: &GString,
+    i: usize,
+    j: usize,
+) -> Vec<ParseTree> {
+    let len = j - i;
+    match node {
+        Node::Char(c) => {
+            if len == 1 && w[i] == *c {
+                vec![ParseTree::Char(*c)]
+            } else {
+                Vec::new()
+            }
+        }
+        Node::Eps => {
+            if len == 0 {
+                vec![ParseTree::Unit]
+            } else {
+                Vec::new()
+            }
+        }
+        Node::Bot => Vec::new(),
+        Node::Top => vec![ParseTree::Top(w.substring(i, j))],
+        Node::Tensor(l, r) => {
+            let mut out = Vec::new();
+            for k in i..=j {
+                let ls = chart.get(*l, i, k);
+                let rs = chart.get(*r, k, j);
+                for lt in &ls.trees {
+                    for rt in &rs.trees {
+                        out.push(ParseTree::pair(lt.clone(), rt.clone()));
+                        if out.len() > chart.cap {
+                            return out;
+                        }
+                    }
+                }
+            }
+            out
+        }
+        Node::Plus(cs) => {
+            let mut out = Vec::new();
+            for (idx, &c) in cs.iter().enumerate() {
+                for t in &chart.get(c, i, j).trees {
+                    out.push(ParseTree::inj(idx, t.clone()));
+                }
+            }
+            out
+        }
+        Node::With(cs) => {
+            if cs.is_empty() {
+                return vec![ParseTree::Top(w.substring(i, j))];
+            }
+            // Cross product of component parse sets over the same span.
+            let mut tuples: Vec<Vec<ParseTree>> = vec![Vec::new()];
+            for &c in cs {
+                let comp = &chart.get(c, i, j).trees;
+                if comp.is_empty() {
+                    return Vec::new();
+                }
+                let mut next = Vec::new();
+                for partial in &tuples {
+                    for t in comp {
+                        let mut p = partial.clone();
+                        p.push(t.clone());
+                        next.push(p);
+                        if next.len() > chart.cap {
+                            break;
+                        }
+                    }
+                }
+                tuples = next;
+            }
+            tuples.into_iter().map(ParseTree::Tuple).collect()
+        }
+        Node::Def { body, .. } => chart
+            .get(*body, i, j)
+            .trees
+            .iter()
+            .map(|t| ParseTree::roll(t.clone()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{Alphabet, Symbol};
+    use crate::grammar::expr::{
+        alt, and, chr, eps, mu, star, tensor, top, var, MuSystem,
+    };
+    use crate::grammar::parse_tree::validate;
+
+    fn setup() -> (Alphabet, Symbol, Symbol, Symbol) {
+        let s = Alphabet::abc();
+        (
+            s.clone(),
+            s.symbol("a").unwrap(),
+            s.symbol("b").unwrap(),
+            s.symbol("c").unwrap(),
+        )
+    }
+
+    #[test]
+    fn unambiguous_literal() {
+        let (s, a, ..) = setup();
+        let cg = CompiledGrammar::new(&chr(a));
+        let amb = cg.count_parses(&s.parse_str("a").unwrap(), 8);
+        assert!(amb.is_unambiguous_parse());
+        assert!(cg.count_parses(&s.parse_str("b").unwrap(), 8).is_empty());
+    }
+
+    #[test]
+    fn ambiguous_sum_has_two_parses() {
+        let (s, a, ..) = setup();
+        let cg = CompiledGrammar::new(&alt(chr(a), chr(a)));
+        let forest = cg.parses(&s.parse_str("a").unwrap(), 8);
+        assert_eq!(forest.trees.len(), 2);
+        let tags: Vec<usize> = forest
+            .trees
+            .iter()
+            .map(|t| match t {
+                ParseTree::Inj { index, .. } => *index,
+                other => panic!("expected Inj, got {other}"),
+            })
+            .collect();
+        assert!(tags.contains(&0) && tags.contains(&1));
+    }
+
+    #[test]
+    fn tensor_splits_multiply() {
+        let (s, a, ..) = setup();
+        // a* ⊗ a*: "aa" splits 3 ways (0+2, 1+1, 2+0).
+        let cg = CompiledGrammar::new(&tensor(star(chr(a)), star(chr(a))));
+        let forest = cg.parses(&s.parse_str("aa").unwrap(), 32);
+        assert_eq!(forest.trees.len(), 3);
+        assert!(!forest.truncated);
+    }
+
+    #[test]
+    fn all_enumerated_trees_validate() {
+        let (s, a, b, c) = setup();
+        let g = alt(tensor(star(chr(a)), chr(b)), chr(c));
+        let cg = CompiledGrammar::new(&g);
+        for w in ["b", "ab", "aab", "c"] {
+            let w = s.parse_str(w).unwrap();
+            let forest = cg.parses(&w, 32);
+            assert!(!forest.trees.is_empty(), "{w}");
+            for t in &forest.trees {
+                validate(t, &g, &w).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn infinitely_ambiguous_grammar_truncates() {
+        let (..) = setup();
+        // μX. X ⊕ I: infinitely many parses of ε.
+        let sys = MuSystem::new(vec![alt(var(0), eps())], vec!["X".to_owned()]);
+        let cg = CompiledGrammar::new(&mu(sys, 0));
+        let forest = cg.parses(&GString::default(), 10);
+        assert_eq!(forest.trees.len(), 10);
+        assert!(forest.truncated);
+    }
+
+    #[test]
+    fn top_has_exactly_one_parse_per_string() {
+        let (s, ..) = setup();
+        let cg = CompiledGrammar::new(&top());
+        for w in ["", "a", "ab", "abc", "cba"] {
+            let amb = cg.count_parses(&s.parse_str(w).unwrap(), 8);
+            assert!(amb.is_unambiguous_parse(), "{w}");
+        }
+    }
+
+    #[test]
+    fn with_takes_cross_product() {
+        let (s, a, ..) = setup();
+        // ('a' ⊕ 'a') & ('a' ⊕ 'a'): 2 × 2 = 4 parses of "a".
+        let amb2 = alt(chr(a), chr(a));
+        let cg = CompiledGrammar::new(&and(amb2.clone(), amb2));
+        let forest = cg.parses(&s.parse_str("a").unwrap(), 32);
+        assert_eq!(forest.trees.len(), 4);
+    }
+
+    #[test]
+    fn star_parse_counts_catalan_free() {
+        let (s, a, ..) = setup();
+        // 'a'* is unambiguous: exactly one parse of aⁿ for every n.
+        let cg = CompiledGrammar::new(&star(chr(a)));
+        for n in 0..6 {
+            let w = s.parse_str(&"a".repeat(n)).unwrap();
+            assert!(cg.count_parses(&w, 8).is_unambiguous_parse(), "a^{n}");
+        }
+    }
+
+    #[test]
+    fn counts_match_forest_len() {
+        let (s, a, b, _) = setup();
+        let g = tensor(star(alt(chr(a), chr(b))), star(chr(a)));
+        let cg = CompiledGrammar::new(&g);
+        for w in ["", "a", "aa", "ab", "aba", "baa"] {
+            let w = s.parse_str(w).unwrap();
+            let forest = cg.parses(&w, 64);
+            let amb = cg.count_parses(&w, 64);
+            assert_eq!(forest.trees.len() as u64, amb.count, "{w}");
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Deep linear-type expressions: the grammar fragment of LambekD.
+//!
+//! A [`Grammar`] is the denotational-layer representation of a linear type
+//! (Fig. 8 of the paper), restricted to the *positive* connectives whose
+//! parse sets are enumerable: characters, the unit `I`, the empty grammar
+//! `0`, the full grammar `⊤`, tensor `⊗`, finite indexed disjunction `⊕`,
+//! finite indexed conjunction `&`, and indexed inductive types `μ`
+//! (systems of mutually recursive definitions, §3.3).
+//!
+//! The function types `⊸` / `⟜` are *not* grammar expressions here: their
+//! parses are functions over all strings and cannot be enumerated. They
+//! live at the term level as [`crate::transform::Transformer`]s, exactly as
+//! in the paper where parsers are resource-free terms `↑(A ⊸ B)`
+//! (Definition 5.2). The equalizer type is likewise handled at the theory
+//! level ([`crate::theory`]) as a filtered parse set.
+//!
+//! Infinite index sets (e.g. the ℕ-indexed counter automaton of Fig. 14)
+//! are represented by *length-truncated* instantiations; see DESIGN.md §2.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::alphabet::Symbol;
+
+/// Shared reference to a grammar expression.
+///
+/// Grammars are immutable trees with sharing; cloning a `Grammar` is O(1).
+pub type Grammar = Rc<GrammarExpr>;
+
+/// A system of mutually recursive grammar definitions: the denotational
+/// counterpart of an indexed inductive linear type `μF` (Fig. 10).
+///
+/// Definition bodies refer to each other through [`GrammarExpr::Var`];
+/// `Var(i)` inside any body of this system denotes definition `i` of the
+/// *same* system. Systems are closed: a `Var` never escapes to an enclosing
+/// system (nested `μ`s are independent closed systems — sufficient for every
+/// construction in the paper, see DESIGN.md §7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuSystem {
+    defs: Vec<Grammar>,
+    names: Vec<String>,
+}
+
+impl MuSystem {
+    /// Creates a system from definition bodies, with debug names used only
+    /// for display (`names[i]` labels definition `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `defs` and `names` differ in length, if the system is
+    /// empty, or if any body contains a `Var(j)` with `j >= defs.len()`.
+    pub fn new(defs: Vec<Grammar>, names: Vec<String>) -> Rc<MuSystem> {
+        assert_eq!(defs.len(), names.len(), "one name per definition");
+        assert!(!defs.is_empty(), "mu system must have at least one definition");
+        let bound = defs.len();
+        for (i, d) in defs.iter().enumerate() {
+            assert!(
+                max_free_var(d).is_none_or(|v| v < bound),
+                "definition {i} references an out-of-range Var"
+            );
+        }
+        Rc::new(MuSystem { defs, names })
+    }
+
+    /// Number of mutually recursive definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// `true` if the system has no definitions (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The body of definition `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn def(&self, i: usize) -> &Grammar {
+        &self.defs[i]
+    }
+
+    /// The display name of definition `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Iterates over `(index, body)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (usize, &Grammar)> {
+        self.defs.iter().enumerate()
+    }
+}
+
+fn max_free_var(g: &GrammarExpr) -> Option<usize> {
+    match g {
+        GrammarExpr::Var(i) => Some(*i),
+        GrammarExpr::Tensor(l, r) => max_free_var(l).max(max_free_var(r)),
+        GrammarExpr::Plus(gs) | GrammarExpr::With(gs) => {
+            gs.iter().filter_map(|g| max_free_var(g)).max()
+        }
+        // A nested Mu is closed: its Vars refer to its own system.
+        GrammarExpr::Mu { .. }
+        | GrammarExpr::Char(_)
+        | GrammarExpr::Eps
+        | GrammarExpr::Bot
+        | GrammarExpr::Top => None,
+    }
+}
+
+/// A linear type in the enumerable (grammar) fragment of LambekD.
+///
+/// Use the constructor helpers ([`chr`], [`eps`], [`tensor`], [`plus`],
+/// [`with`], [`star`], [`mu`], …) rather than building variants by hand;
+/// they normalize trivial cases and enforce the `Var`-scoping invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarExpr {
+    /// Literal `'c'`: exactly one parse, of the one-symbol string `c`.
+    Char(Symbol),
+    /// Unit `I`: exactly one parse, of the empty string.
+    Eps,
+    /// Empty grammar `0` (the nullary `⊕`): no parses of any string.
+    Bot,
+    /// Full grammar `⊤` (the nullary `&`): exactly one parse of every string.
+    Top,
+    /// Tensor `A ⊗ B`: a split of the string with a parse of each side.
+    Tensor(Grammar, Grammar),
+    /// Finite indexed disjunction `⊕_{i<n} A_i`; a parse is a tagged parse
+    /// of one summand. Binary `⊕` is the two-element case.
+    Plus(Vec<Grammar>),
+    /// Finite indexed conjunction `&_{i<n} A_i`; a parse is one parse of
+    /// *each* component, all over the same string.
+    With(Vec<Grammar>),
+    /// Recursion variable bound by the enclosing [`MuSystem`].
+    Var(usize),
+    /// Entry `entry` of a system of mutually recursive inductive
+    /// definitions (`μF entry`, §3.3).
+    Mu {
+        /// The system of definitions this entry selects from.
+        system: Rc<MuSystem>,
+        /// Which definition of the system this grammar denotes.
+        entry: usize,
+    },
+}
+
+/// The literal grammar `'c'`.
+pub fn chr(sym: Symbol) -> Grammar {
+    Rc::new(GrammarExpr::Char(sym))
+}
+
+/// The unit grammar `I` (empty string only).
+pub fn eps() -> Grammar {
+    Rc::new(GrammarExpr::Eps)
+}
+
+/// The empty grammar `0`.
+pub fn bot() -> Grammar {
+    Rc::new(GrammarExpr::Bot)
+}
+
+/// The full grammar `⊤`.
+pub fn top() -> Grammar {
+    Rc::new(GrammarExpr::Top)
+}
+
+/// Tensor product `a ⊗ b`.
+pub fn tensor(a: Grammar, b: Grammar) -> Grammar {
+    Rc::new(GrammarExpr::Tensor(a, b))
+}
+
+/// Right-nested tensor of a sequence: `seq([a, b, c]) = a ⊗ (b ⊗ c)`;
+/// the empty sequence is `I`.
+pub fn seq<I: IntoIterator<Item = Grammar>>(gs: I) -> Grammar
+where
+    I::IntoIter: DoubleEndedIterator,
+{
+    let mut iter = gs.into_iter().rev();
+    match iter.next() {
+        None => eps(),
+        Some(last) => iter.fold(last, |acc, g| tensor(g, acc)),
+    }
+}
+
+/// Indexed disjunction `⊕_i gs[i]`. `plus(vec![])` is `0`.
+pub fn plus(gs: Vec<Grammar>) -> Grammar {
+    Rc::new(GrammarExpr::Plus(gs))
+}
+
+/// Binary disjunction `a ⊕ b`.
+pub fn alt(a: Grammar, b: Grammar) -> Grammar {
+    plus(vec![a, b])
+}
+
+/// Indexed conjunction `&_i gs[i]`. `with(vec![])` is `⊤`.
+pub fn with(gs: Vec<Grammar>) -> Grammar {
+    Rc::new(GrammarExpr::With(gs))
+}
+
+/// Binary conjunction `a & b`.
+pub fn and(a: Grammar, b: Grammar) -> Grammar {
+    with(vec![a, b])
+}
+
+/// Recursion variable `Var(i)`; only meaningful inside a [`MuSystem`] body.
+pub fn var(i: usize) -> Grammar {
+    Rc::new(GrammarExpr::Var(i))
+}
+
+/// Entry `entry` of the inductive system `system`.
+///
+/// # Panics
+///
+/// Panics if `entry` is out of range for the system.
+pub fn mu(system: Rc<MuSystem>, entry: usize) -> Grammar {
+    assert!(entry < system.len(), "mu entry out of range");
+    Rc::new(GrammarExpr::Mu { system, entry })
+}
+
+/// Kleene star `A*` as the inductive type of Fig. 2:
+/// `μX. I ⊕ (A ⊗ X)` — `nil` is injection 0, `cons` is injection 1.
+pub fn star(a: Grammar) -> Grammar {
+    let body = alt(eps(), tensor(a, var(0)));
+    mu(MuSystem::new(vec![body], vec!["star".to_owned()]), 0)
+}
+
+/// One-or-more repetitions `A⁺ = A ⊗ A*`.
+pub fn plus_many(a: Grammar) -> Grammar {
+    tensor(a.clone(), star(a))
+}
+
+/// `A?` — zero or one: `I ⊕ A`.
+pub fn opt(a: Grammar) -> Grammar {
+    alt(eps(), a)
+}
+
+/// The literal grammar `⌈w⌉` of a whole string: `'w₀' ⊗ ('w₁' ⊗ (… ⊗ I))`
+/// (§4.3). `⌈ε⌉ = I`.
+pub fn string_literal(w: &crate::alphabet::GString) -> Grammar {
+    seq(w.iter().map(chr))
+}
+
+impl GrammarExpr {
+    /// `true` if this expression contains no free recursion variables
+    /// (i.e. can be used as a standalone grammar).
+    pub fn is_closed(&self) -> bool {
+        max_free_var(self).is_none()
+    }
+}
+
+/// Substitutes grammars for the free recursion variables of `g`:
+/// `Var(i)` becomes `subs[i]`. Nested `μ` systems are closed and left
+/// untouched. This is the action `el(F)(A)` of a strictly positive functor
+/// on linear types (Fig. 10): the one-step unfolding of a `μ` body.
+///
+/// # Panics
+///
+/// Panics if `g` contains a `Var(i)` with `i >= subs.len()`.
+pub fn subst_vars(g: &Grammar, subs: &[Grammar]) -> Grammar {
+    match &**g {
+        GrammarExpr::Var(i) => subs[*i].clone(),
+        GrammarExpr::Tensor(l, r) => tensor(subst_vars(l, subs), subst_vars(r, subs)),
+        GrammarExpr::Plus(gs) => plus(gs.iter().map(|g| subst_vars(g, subs)).collect()),
+        GrammarExpr::With(gs) => with(gs.iter().map(|g| subst_vars(g, subs)).collect()),
+        GrammarExpr::Char(_)
+        | GrammarExpr::Eps
+        | GrammarExpr::Bot
+        | GrammarExpr::Top
+        | GrammarExpr::Mu { .. } => g.clone(),
+    }
+}
+
+/// The one-step unfolding `el(F_entry)(μF)` of entry `entry` of `system`:
+/// the definition body with every recursion variable replaced by the
+/// corresponding `μ` entry. `roll : el(F)(μF) ⊸ μF` and its inverse
+/// mediate between a `μ` type and its unfolding.
+pub fn unfolding(system: &Rc<MuSystem>, entry: usize) -> Grammar {
+    let mus: Vec<Grammar> = (0..system.len())
+        .map(|i| mu(system.clone(), i))
+        .collect();
+    subst_vars(system.def(entry), &mus)
+}
+
+impl fmt::Display for GrammarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarExpr::Char(s) => write!(f, "'{}'", s.index()),
+            GrammarExpr::Eps => write!(f, "I"),
+            GrammarExpr::Bot => write!(f, "0"),
+            GrammarExpr::Top => write!(f, "⊤"),
+            GrammarExpr::Tensor(l, r) => write!(f, "({l} ⊗ {r})"),
+            GrammarExpr::Plus(gs) => {
+                if gs.is_empty() {
+                    write!(f, "0")
+                } else {
+                    write!(f, "(")?;
+                    for (i, g) in gs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ⊕ ")?;
+                        }
+                        write!(f, "{g}")?;
+                    }
+                    write!(f, ")")
+                }
+            }
+            GrammarExpr::With(gs) => {
+                if gs.is_empty() {
+                    write!(f, "⊤")
+                } else {
+                    write!(f, "(")?;
+                    for (i, g) in gs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " & ")?;
+                        }
+                        write!(f, "{g}")?;
+                    }
+                    write!(f, ")")
+                }
+            }
+            GrammarExpr::Var(i) => write!(f, "X{i}"),
+            GrammarExpr::Mu { system, entry } => {
+                write!(f, "μ{}", system.name(*entry))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn sym(name: &str) -> Symbol {
+        Alphabet::abc().symbol(name).unwrap()
+    }
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        let a = chr(sym("a"));
+        let b = chr(sym("b"));
+        let g = alt(tensor(a.clone(), b.clone()), chr(sym("c")));
+        match &*g {
+            GrammarExpr::Plus(gs) => assert_eq!(gs.len(), 2),
+            other => panic!("expected Plus, got {other:?}"),
+        }
+        assert!(g.is_closed());
+    }
+
+    #[test]
+    fn star_is_mu_of_eps_or_cons() {
+        let g = star(chr(sym("a")));
+        match &*g {
+            GrammarExpr::Mu { system, entry } => {
+                assert_eq!(*entry, 0);
+                assert_eq!(system.len(), 1);
+                match &**system.def(0) {
+                    GrammarExpr::Plus(gs) => {
+                        assert_eq!(**gs.first().unwrap(), GrammarExpr::Eps);
+                    }
+                    other => panic!("expected Plus body, got {other:?}"),
+                }
+            }
+            other => panic!("expected Mu, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seq_right_nests_and_empty_is_eps() {
+        let a = chr(sym("a"));
+        let g = seq([a.clone(), a.clone(), a.clone()]);
+        match &*g {
+            GrammarExpr::Tensor(_, r) => {
+                assert!(matches!(**r, GrammarExpr::Tensor(_, _)));
+            }
+            other => panic!("expected Tensor, got {other:?}"),
+        }
+        assert_eq!(*seq([]), GrammarExpr::Eps);
+    }
+
+    #[test]
+    fn string_literal_of_epsilon_is_eps() {
+        let w = crate::alphabet::GString::new();
+        assert_eq!(*string_literal(&w), GrammarExpr::Eps);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range Var")]
+    fn mu_system_rejects_escaping_vars() {
+        MuSystem::new(vec![var(3)], vec!["bad".to_owned()]);
+    }
+
+    #[test]
+    fn nested_mu_is_closed() {
+        // A system whose body mentions a nested, closed star.
+        let inner = star(chr(sym("a")));
+        let sys = MuSystem::new(
+            vec![alt(eps(), tensor(inner, var(0)))],
+            vec!["outer".to_owned()],
+        );
+        assert!(mu(sys, 0).is_closed());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let g = alt(tensor(star(chr(sym("a"))), chr(sym("b"))), chr(sym("c")));
+        let s = format!("{g}");
+        assert!(s.contains('⊕'), "display should show ⊕: {s}");
+        assert!(s.contains('⊗'), "display should show ⊗: {s}");
+    }
+}

@@ -1,0 +1,280 @@
+//! Recognition: deciding string membership `w ∈ L(A)`.
+//!
+//! The denotation of a grammar (Definition 5.1) sends each string to its
+//! set of parses; the *language* of the grammar is the set of strings with
+//! a non-empty parse set. This module decides membership with a CYK-style
+//! chart over the compiled node graph: entries `(node, i, j)` are computed
+//! for spans of increasing width, with an inner Kleene iteration to settle
+//! same-width dependencies (chains of `⊕`/`&`/`μ` definitions and tensors
+//! with a nullable side). Booleans only grow, so iteration terminates.
+//!
+//! A memo-free top-down recognizer ([`recognizes_topdown`]) is provided as
+//! the ablation baseline (DESIGN.md §6); it requires *guarded* recursion
+//! (every `μ` cycle consumes input) and so only works on regex-like
+//! grammars.
+
+use crate::alphabet::GString;
+use crate::grammar::compile::{CompiledGrammar, Node, NodeId};
+
+/// A boolean chart over `(node, span)` entries.
+#[derive(Debug)]
+pub(crate) struct BoolChart {
+    n: usize,
+    entries: Vec<bool>,
+}
+
+impl BoolChart {
+    fn new(num_nodes: usize, n: usize) -> BoolChart {
+        BoolChart {
+            n,
+            entries: vec![false; num_nodes * (n + 1) * (n + 1)],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, node: NodeId, i: usize, j: usize) -> usize {
+        (node * (self.n + 1) + i) * (self.n + 1) + j
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, node: NodeId, i: usize, j: usize) -> bool {
+        self.entries[self.idx(node, i, j)]
+    }
+
+    #[inline]
+    fn set(&mut self, node: NodeId, i: usize, j: usize) -> bool {
+        let idx = self.idx(node, i, j);
+        let was = self.entries[idx];
+        self.entries[idx] = true;
+        !was
+    }
+}
+
+/// Fills the full recognition chart for `w`.
+pub(crate) fn fill_chart(cg: &CompiledGrammar, w: &GString) -> BoolChart {
+    let n = w.len();
+    let mut chart = BoolChart::new(cg.len(), n);
+    for len in 0..=n {
+        // Inner fixed point for same-width dependencies.
+        loop {
+            let mut changed = false;
+            for i in 0..=(n - len) {
+                let j = i + len;
+                for (node_id, node) in cg.nodes().iter().enumerate() {
+                    if chart.get(node_id, i, j) {
+                        continue;
+                    }
+                    let holds = match node {
+                        Node::Char(c) => len == 1 && w[i] == *c,
+                        Node::Eps => len == 0,
+                        Node::Bot => false,
+                        Node::Top => true,
+                        Node::Tensor(l, r) => {
+                            (i..=j).any(|k| chart.get(*l, i, k) && chart.get(*r, k, j))
+                        }
+                        Node::Plus(cs) => cs.iter().any(|&c| chart.get(c, i, j)),
+                        Node::With(cs) => cs.iter().all(|&c| chart.get(c, i, j)),
+                        Node::Def { body, .. } => chart.get(*body, i, j),
+                    };
+                    if holds {
+                        chart.set(node_id, i, j);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    chart
+}
+
+impl CompiledGrammar {
+    /// Decides whether `w` belongs to the language of this grammar.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lambek_core::alphabet::Alphabet;
+    /// use lambek_core::grammar::compile::CompiledGrammar;
+    /// use lambek_core::grammar::expr::{alt, chr, star, tensor};
+    ///
+    /// let s = Alphabet::abc();
+    /// let (a, b, c) = (
+    ///     s.symbol("a").unwrap(),
+    ///     s.symbol("b").unwrap(),
+    ///     s.symbol("c").unwrap(),
+    /// );
+    /// // ('a'* ⊗ 'b') ⊕ 'c'
+    /// let g = alt(tensor(star(chr(a)), chr(b)), chr(c));
+    /// let cg = CompiledGrammar::new(&g);
+    /// assert!(cg.recognizes(&s.parse_str("aaab").unwrap()));
+    /// assert!(cg.recognizes(&s.parse_str("b").unwrap()));
+    /// assert!(cg.recognizes(&s.parse_str("c").unwrap()));
+    /// assert!(!cg.recognizes(&s.parse_str("ba").unwrap()));
+    /// assert!(!cg.recognizes(&s.parse_str("cc").unwrap()));
+    /// ```
+    pub fn recognizes(&self, w: &GString) -> bool {
+        let chart = fill_chart(self, w);
+        chart.get(self.root(), 0, w.len())
+    }
+}
+
+/// Memo-free top-down recognizer (ablation baseline).
+///
+/// Explores splits recursively with no chart. Recursion through `μ`
+/// definitions is bounded by a fuel budget proportional to the input
+/// length; on *guarded* grammars (every recursive cycle consumes at least
+/// one symbol — true of all regular expressions) this is exact, on
+/// unguarded grammars it may answer `false` spuriously.
+pub fn recognizes_topdown(cg: &CompiledGrammar, w: &GString) -> bool {
+    fn go(cg: &CompiledGrammar, w: &GString, node: NodeId, i: usize, j: usize, fuel: usize) -> bool {
+        if fuel == 0 {
+            return false;
+        }
+        match cg.node(node) {
+            Node::Char(c) => j == i + 1 && w[i] == *c,
+            Node::Eps => i == j,
+            Node::Bot => false,
+            Node::Top => true,
+            Node::Tensor(l, r) => {
+                (i..=j).any(|k| go(cg, w, *l, i, k, fuel - 1) && go(cg, w, *r, k, j, fuel - 1))
+            }
+            Node::Plus(cs) => cs.iter().any(|&c| go(cg, w, c, i, j, fuel - 1)),
+            Node::With(cs) => cs.iter().all(|&c| go(cg, w, c, i, j, fuel - 1)),
+            Node::Def { body, .. } => go(cg, w, *body, i, j, fuel - 1),
+        }
+    }
+    let fuel = 4 * (w.len() + 2) * cg.len();
+    go(cg, w, cg.root(), 0, w.len(), fuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{Alphabet, Symbol};
+    use crate::grammar::expr::{
+        alt, and, bot, chr, eps, mu, star, string_literal, tensor, top, var, MuSystem,
+    };
+
+    fn setup() -> (Alphabet, Symbol, Symbol, Symbol) {
+        let s = Alphabet::abc();
+        (
+            s.clone(),
+            s.symbol("a").unwrap(),
+            s.symbol("b").unwrap(),
+            s.symbol("c").unwrap(),
+        )
+    }
+
+    #[test]
+    fn literals_and_unit() {
+        let (s, a, ..) = setup();
+        let cg = CompiledGrammar::new(&chr(a));
+        assert!(cg.recognizes(&s.parse_str("a").unwrap()));
+        assert!(!cg.recognizes(&s.parse_str("b").unwrap()));
+        assert!(!cg.recognizes(&GString::default()));
+        let cg = CompiledGrammar::new(&eps());
+        assert!(cg.recognizes(&GString::default()));
+        assert!(!cg.recognizes(&s.parse_str("a").unwrap()));
+    }
+
+    #[test]
+    fn bot_rejects_everything_top_accepts_everything() {
+        let (s, ..) = setup();
+        let cb = CompiledGrammar::new(&bot());
+        let ct = CompiledGrammar::new(&top());
+        for w in ["", "a", "ab", "cab"] {
+            let w = s.parse_str(w).unwrap();
+            assert!(!cb.recognizes(&w));
+            assert!(ct.recognizes(&w));
+        }
+    }
+
+    #[test]
+    fn fig3_language() {
+        let (s, a, b, c) = setup();
+        let g = alt(tensor(star(chr(a)), chr(b)), chr(c));
+        let cg = CompiledGrammar::new(&g);
+        for yes in ["b", "ab", "aab", "aaaab", "c"] {
+            assert!(cg.recognizes(&s.parse_str(yes).unwrap()), "{yes}");
+        }
+        for no in ["", "a", "ba", "cc", "abc", "bb"] {
+            assert!(!cg.recognizes(&s.parse_str(no).unwrap()), "{no}");
+        }
+    }
+
+    #[test]
+    fn intersection_via_with() {
+        let (s, a, b, _) = setup();
+        // a* b*  &  strings of even length... approximate: a*b* & (aa|bb|ab)*?
+        // Keep it simple: L1 = a* ⊗ b*, L2 = 'a' ⊗ ⊤. Intersection: strings
+        // in a*b* starting with a.
+        let l1 = tensor(star(chr(a)), star(chr(b)));
+        let l2 = tensor(chr(a), top());
+        let cg = CompiledGrammar::new(&and(l1, l2));
+        assert!(cg.recognizes(&s.parse_str("ab").unwrap()));
+        assert!(cg.recognizes(&s.parse_str("aabb").unwrap()));
+        assert!(!cg.recognizes(&s.parse_str("b").unwrap()));
+        assert!(!cg.recognizes(&GString::default()));
+        assert!(!cg.recognizes(&s.parse_str("ba").unwrap()));
+    }
+
+    #[test]
+    fn left_recursive_mu_terminates_and_is_correct() {
+        let (s, a, ..) = setup();
+        // Left recursion: X = X 'a' | ε  — language a*.
+        let sys = MuSystem::new(
+            vec![alt(tensor(var(0), chr(a)), eps())],
+            vec!["X".to_owned()],
+        );
+        let cg = CompiledGrammar::new(&mu(sys, 0));
+        for k in 0..6 {
+            let w = s.parse_str(&"a".repeat(k)).unwrap();
+            assert!(cg.recognizes(&w), "a^{k}");
+        }
+        assert!(!cg.recognizes(&s.parse_str("ab").unwrap()));
+    }
+
+    #[test]
+    fn anbn_via_mu() {
+        let (s, a, b, _) = setup();
+        // X = ε | 'a' X 'b'  — the canonical context-free language aⁿbⁿ.
+        let sys = MuSystem::new(
+            vec![alt(eps(), tensor(chr(a), tensor(var(0), chr(b))))],
+            vec!["S".to_owned()],
+        );
+        let cg = CompiledGrammar::new(&mu(sys, 0));
+        for n in 0..5 {
+            let w = s
+                .parse_str(&format!("{}{}", "a".repeat(n), "b".repeat(n)))
+                .unwrap();
+            assert!(cg.recognizes(&w), "a^{n} b^{n}");
+        }
+        for no in ["a", "b", "aab", "abb", "ba", "abab"] {
+            assert!(!cg.recognizes(&s.parse_str(no).unwrap()), "{no}");
+        }
+    }
+
+    #[test]
+    fn string_literal_recognizes_exactly_itself() {
+        let (s, ..) = setup();
+        let w = s.parse_str("abca").unwrap();
+        let cg = CompiledGrammar::new(&string_literal(&w));
+        assert!(cg.recognizes(&w));
+        assert!(!cg.recognizes(&s.parse_str("abc").unwrap()));
+        assert!(!cg.recognizes(&s.parse_str("abcab").unwrap()));
+    }
+
+    #[test]
+    fn topdown_agrees_on_guarded_grammars() {
+        let (s, a, b, c) = setup();
+        let g = alt(tensor(star(chr(a)), chr(b)), chr(c));
+        let cg = CompiledGrammar::new(&g);
+        for w in ["", "a", "b", "ab", "aab", "c", "ba", "abc"] {
+            let w = s.parse_str(w).unwrap();
+            assert_eq!(cg.recognizes(&w), recognizes_topdown(&cg, &w), "{w}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! The `Char` and `String` grammars (§3.4 of the paper).
+//!
+//! LambekD adds, for a fixed alphabet `Σ`, the non-linear type `Char` as
+//! the disjunction of all literals and `String` as its Kleene star. The
+//! `read` axiom (Axiom 3.4) then guarantees that `String` parses stand for
+//! the actual input: semantically, `String` is strongly equivalent to `⊤`
+//! — it has *exactly one* parse of every string (Theorem B.7). This module
+//! builds those grammars and the canonical parse, and the test suite
+//! checks the theorem.
+
+use crate::alphabet::{Alphabet, GString};
+use crate::grammar::expr::{chr, plus, star, Grammar};
+use crate::grammar::parse_tree::ParseTree;
+
+/// The grammar `Char = ⊕_{c ∈ Σ} 'c'`: any single character.
+///
+/// A parse of symbol `s` is `σ s.index() 's'`.
+pub fn char_grammar(alphabet: &Alphabet) -> Grammar {
+    plus(alphabet.symbols().map(chr).collect())
+}
+
+/// The grammar `String = Char*`: the type of input strings.
+pub fn string_grammar(alphabet: &Alphabet) -> Grammar {
+    star(char_grammar(alphabet))
+}
+
+/// The canonical parse of `w` in [`string_grammar`]: the linear list
+/// `cons w₀ (cons w₁ … nil)` with each character injected into `Char`.
+///
+/// By Theorem B.7 this is the *only* parse of `w`, which the test suite
+/// verifies by enumeration.
+pub fn string_parse(w: &GString) -> ParseTree {
+    let mut tree = ParseTree::roll(ParseTree::inj(0, ParseTree::Unit)); // nil
+    for sym in w.iter().rev() {
+        let ch = ParseTree::inj(sym.index(), ParseTree::Char(sym));
+        tree = ParseTree::roll(ParseTree::inj(1, ParseTree::pair(ch, tree)));
+    }
+    tree
+}
+
+/// Recovers the string from a `String` parse — the inverse direction of
+/// the `String ≅ ⊤` equivalence. For *any* `String` parse this is just the
+/// yield.
+pub fn string_unparse(tree: &ParseTree) -> GString {
+    tree.flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::compile::CompiledGrammar;
+    use crate::grammar::parse_tree::validate;
+
+    #[test]
+    fn canonical_parse_validates() {
+        let sigma = Alphabet::abc();
+        let g = string_grammar(&sigma);
+        for w in ["", "a", "abc", "cab", "aaabbb"] {
+            let w = sigma.parse_str(w).unwrap();
+            let t = string_parse(&w);
+            validate(&t, &g, &w).unwrap();
+            assert_eq!(string_unparse(&t), w);
+        }
+    }
+
+    #[test]
+    fn theorem_b7_string_has_exactly_one_parse() {
+        let sigma = Alphabet::abc();
+        let cg = CompiledGrammar::new(&string_grammar(&sigma));
+        for w in ["", "a", "ab", "cba", "abca"] {
+            let w = sigma.parse_str(w).unwrap();
+            let forest = cg.parses(&w, 8);
+            assert_eq!(forest.trees.len(), 1, "{w}");
+            assert!(!forest.truncated);
+            assert_eq!(forest.trees[0], string_parse(&w));
+        }
+    }
+
+    #[test]
+    fn char_grammar_parses_exactly_single_symbols() {
+        let sigma = Alphabet::abc();
+        let cg = CompiledGrammar::new(&char_grammar(&sigma));
+        for sym in sigma.symbols() {
+            let w = GString::singleton(sym);
+            assert!(cg.count_parses(&w, 4).is_unambiguous_parse());
+        }
+        assert!(cg.count_parses(&GString::new(), 4).is_empty());
+        assert!(cg
+            .count_parses(&sigma.parse_str("ab").unwrap(), 4)
+            .is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! The deep syntax of Dependent Lambek Calculus (§3).
+//!
+//! * [`nonlinear`] — the index layer: types, terms, values, evaluation
+//!   and enumeration (§3.1);
+//! * [`types`] — linear types, indexed inductive declarations and
+//!   signatures (§3.2–3.3);
+//! * [`terms`] — linear terms (Fig. 9).
+//!
+//! Type checking lives in [`crate::check`], evaluation and elaboration in
+//! [`crate::eval`].
+
+pub mod nonlinear;
+pub mod terms;
+pub mod types;

@@ -1,0 +1,696 @@
+//! The non-linear (index) layer of LambekD (§3.1).
+//!
+//! LambekD is a *linear-non-linear* theory: linear types may depend on
+//! non-linear data but not vice versa. This module implements the
+//! non-linear fragment the paper's examples actually index with — unit,
+//! booleans, naturals, finite types `Fin n`, products and functions —
+//! with a type checker, a big-step evaluator, partial normalization (for
+//! comparing open index terms during linear type checking) and index-type
+//! enumeration (for elaborating indexed inductive types into finite `μ`
+//! systems).
+//!
+//! Universe bookkeeping (`U`, `L`, smallness à la Coquand) is out of
+//! scope; see DESIGN.md §7.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A non-linear type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NlType {
+    /// The unit type `1`.
+    Unit,
+    /// Booleans.
+    Bool,
+    /// Natural numbers.
+    Nat,
+    /// The finite type with `n` inhabitants `{0, …, n-1}`.
+    Fin(usize),
+    /// Binary product `X × Y`.
+    Prod(Rc<NlType>, Rc<NlType>),
+    /// Function type `X → Y`.
+    Fun(Rc<NlType>, Rc<NlType>),
+}
+
+impl fmt::Display for NlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NlType::Unit => write!(f, "1"),
+            NlType::Bool => write!(f, "Bool"),
+            NlType::Nat => write!(f, "Nat"),
+            NlType::Fin(n) => write!(f, "Fin {n}"),
+            NlType::Prod(a, b) => write!(f, "({a} × {b})"),
+            NlType::Fun(a, b) => write!(f, "({a} → {b})"),
+        }
+    }
+}
+
+/// A non-linear term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NlTerm {
+    /// Variable.
+    Var(String),
+    /// The unit value `tt`.
+    UnitVal,
+    /// Boolean literal.
+    BoolLit(bool),
+    /// Natural literal.
+    NatLit(u64),
+    /// Successor.
+    Succ(Rc<NlTerm>),
+    /// `Fin` literal `value < modulus`.
+    FinLit {
+        /// The inhabitant.
+        value: usize,
+        /// The size of the finite type.
+        modulus: usize,
+    },
+    /// Pairing.
+    Pair(Rc<NlTerm>, Rc<NlTerm>),
+    /// First projection.
+    Fst(Rc<NlTerm>),
+    /// Second projection.
+    Snd(Rc<NlTerm>),
+    /// Lambda abstraction (domain annotated for inference).
+    Lam {
+        /// Bound variable.
+        var: String,
+        /// Domain type.
+        ty: Rc<NlType>,
+        /// Body.
+        body: Rc<NlTerm>,
+    },
+    /// Application.
+    App(Rc<NlTerm>, Rc<NlTerm>),
+    /// `if cond then t else f` (`elimBool` with a constant motive).
+    If {
+        /// The scrutinee.
+        cond: Rc<NlTerm>,
+        /// The `true` branch.
+        then_branch: Rc<NlTerm>,
+        /// The `false` branch.
+        else_branch: Rc<NlTerm>,
+    },
+    /// Primitive recursion on naturals (`elimNat`, constant motive):
+    /// `natrec zero (n, ih. succ) scrutinee`.
+    NatRec {
+        /// Value at zero.
+        zero: Rc<NlTerm>,
+        /// Bound variable for the predecessor in the step case.
+        n_var: String,
+        /// Bound variable for the recursive result in the step case.
+        ih_var: String,
+        /// Step case body.
+        succ: Rc<NlTerm>,
+        /// The natural to recurse on.
+        scrutinee: Rc<NlTerm>,
+    },
+}
+
+impl NlTerm {
+    /// Variable helper.
+    pub fn var(name: &str) -> NlTerm {
+        NlTerm::Var(name.to_owned())
+    }
+
+    /// `n + 1` helper.
+    pub fn succ(t: NlTerm) -> NlTerm {
+        NlTerm::Succ(Rc::new(t))
+    }
+}
+
+impl fmt::Display for NlTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NlTerm::Var(x) => write!(f, "{x}"),
+            NlTerm::UnitVal => write!(f, "tt"),
+            NlTerm::BoolLit(b) => write!(f, "{b}"),
+            NlTerm::NatLit(n) => write!(f, "{n}"),
+            NlTerm::Succ(t) => write!(f, "suc {t}"),
+            NlTerm::FinLit { value, modulus } => write!(f, "{value}@Fin{modulus}"),
+            NlTerm::Pair(a, b) => write!(f, "({a}, {b})"),
+            NlTerm::Fst(t) => write!(f, "{t}.fst"),
+            NlTerm::Snd(t) => write!(f, "{t}.snd"),
+            NlTerm::Lam { var, body, .. } => write!(f, "λ{var}.{body}"),
+            NlTerm::App(g, x) => write!(f, "({g} {x})"),
+            NlTerm::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => write!(f, "if {cond} then {then_branch} else {else_branch}"),
+            NlTerm::NatRec { scrutinee, .. } => write!(f, "natrec(… , {scrutinee})"),
+        }
+    }
+}
+
+/// A closed non-linear value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `tt`.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A natural.
+    Nat(u64),
+    /// An inhabitant of `Fin modulus`.
+    Fin {
+        /// The inhabitant.
+        value: usize,
+        /// The size of the finite type.
+        modulus: usize,
+    },
+    /// A pair.
+    Pair(Box<Value>, Box<Value>),
+    /// A function closure.
+    Closure {
+        /// Bound variable.
+        var: String,
+        /// Body term.
+        body: Rc<NlTerm>,
+        /// Captured environment.
+        env: NlEnv,
+    },
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Unit => 0u8.hash(state),
+            Value::Bool(b) => (1u8, b).hash(state),
+            Value::Nat(n) => (2u8, n).hash(state),
+            Value::Fin { value, modulus } => (3u8, value, modulus).hash(state),
+            Value::Pair(a, b) => {
+                4u8.hash(state);
+                a.hash(state);
+                b.hash(state);
+            }
+            Value::Closure { var, .. } => (5u8, var).hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "tt"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Nat(n) => write!(f, "{n}"),
+            Value::Fin { value, modulus } => write!(f, "{value}@Fin{modulus}"),
+            Value::Pair(a, b) => write!(f, "({a}, {b})"),
+            Value::Closure { var, .. } => write!(f, "λ{var}.…"),
+        }
+    }
+}
+
+/// An evaluation environment for non-linear terms.
+pub type NlEnv = HashMap<String, Value>;
+
+/// A typing context for non-linear terms.
+pub type NlCtx = HashMap<String, NlType>;
+
+/// Errors from the non-linear layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NlError {
+    /// Unbound variable.
+    Unbound(String),
+    /// A type mismatch, with a description.
+    Mismatch(String),
+    /// Evaluation hit a non-value where one was needed.
+    Stuck(String),
+}
+
+impl fmt::Display for NlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NlError::Unbound(x) => write!(f, "unbound non-linear variable {x}"),
+            NlError::Mismatch(m) => write!(f, "non-linear type mismatch: {m}"),
+            NlError::Stuck(m) => write!(f, "non-linear evaluation stuck: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NlError {}
+
+/// Infers the type of a non-linear term.
+///
+/// # Errors
+///
+/// Returns an [`NlError`] on unbound variables or type mismatches.
+pub fn infer_nl(ctx: &NlCtx, term: &NlTerm) -> Result<NlType, NlError> {
+    match term {
+        NlTerm::Var(x) => ctx.get(x).cloned().ok_or_else(|| NlError::Unbound(x.clone())),
+        NlTerm::UnitVal => Ok(NlType::Unit),
+        NlTerm::BoolLit(_) => Ok(NlType::Bool),
+        NlTerm::NatLit(_) => Ok(NlType::Nat),
+        NlTerm::Succ(t) => {
+            expect(ctx, t, &NlType::Nat)?;
+            Ok(NlType::Nat)
+        }
+        NlTerm::FinLit { value, modulus } => {
+            if value < modulus {
+                Ok(NlType::Fin(*modulus))
+            } else {
+                Err(NlError::Mismatch(format!("{value} ∉ Fin {modulus}")))
+            }
+        }
+        NlTerm::Pair(a, b) => Ok(NlType::Prod(
+            Rc::new(infer_nl(ctx, a)?),
+            Rc::new(infer_nl(ctx, b)?),
+        )),
+        NlTerm::Fst(t) => match infer_nl(ctx, t)? {
+            NlType::Prod(a, _) => Ok((*a).clone()),
+            other => Err(NlError::Mismatch(format!("fst of non-product {other}"))),
+        },
+        NlTerm::Snd(t) => match infer_nl(ctx, t)? {
+            NlType::Prod(_, b) => Ok((*b).clone()),
+            other => Err(NlError::Mismatch(format!("snd of non-product {other}"))),
+        },
+        NlTerm::Lam { var, ty, body } => {
+            let mut inner = ctx.clone();
+            inner.insert(var.clone(), (**ty).clone());
+            let cod = infer_nl(&inner, body)?;
+            Ok(NlType::Fun(ty.clone(), Rc::new(cod)))
+        }
+        NlTerm::App(g, x) => match infer_nl(ctx, g)? {
+            NlType::Fun(dom, cod) => {
+                expect(ctx, x, &dom)?;
+                Ok((*cod).clone())
+            }
+            other => Err(NlError::Mismatch(format!("applying non-function {other}"))),
+        },
+        NlTerm::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            expect(ctx, cond, &NlType::Bool)?;
+            let t = infer_nl(ctx, then_branch)?;
+            expect(ctx, else_branch, &t)?;
+            Ok(t)
+        }
+        NlTerm::NatRec {
+            zero,
+            n_var,
+            ih_var,
+            succ,
+            scrutinee,
+        } => {
+            expect(ctx, scrutinee, &NlType::Nat)?;
+            let t = infer_nl(ctx, zero)?;
+            let mut inner = ctx.clone();
+            inner.insert(n_var.clone(), NlType::Nat);
+            inner.insert(ih_var.clone(), t.clone());
+            expect(&inner, succ, &t)?;
+            Ok(t)
+        }
+    }
+}
+
+fn expect(ctx: &NlCtx, term: &NlTerm, expected: &NlType) -> Result<(), NlError> {
+    let got = infer_nl(ctx, term)?;
+    if &got == expected {
+        Ok(())
+    } else {
+        Err(NlError::Mismatch(format!(
+            "expected {expected}, found {got} for {term}"
+        )))
+    }
+}
+
+/// Evaluates a non-linear term in an environment of values.
+///
+/// # Errors
+///
+/// Returns an [`NlError`] if the term is open or ill-typed.
+pub fn eval_nl(env: &NlEnv, term: &NlTerm) -> Result<Value, NlError> {
+    match term {
+        NlTerm::Var(x) => env.get(x).cloned().ok_or_else(|| NlError::Unbound(x.clone())),
+        NlTerm::UnitVal => Ok(Value::Unit),
+        NlTerm::BoolLit(b) => Ok(Value::Bool(*b)),
+        NlTerm::NatLit(n) => Ok(Value::Nat(*n)),
+        NlTerm::Succ(t) => match eval_nl(env, t)? {
+            Value::Nat(n) => Ok(Value::Nat(n + 1)),
+            other => Err(NlError::Stuck(format!("suc of {other}"))),
+        },
+        NlTerm::FinLit { value, modulus } => Ok(Value::Fin {
+            value: *value,
+            modulus: *modulus,
+        }),
+        NlTerm::Pair(a, b) => Ok(Value::Pair(
+            Box::new(eval_nl(env, a)?),
+            Box::new(eval_nl(env, b)?),
+        )),
+        NlTerm::Fst(t) => match eval_nl(env, t)? {
+            Value::Pair(a, _) => Ok(*a),
+            other => Err(NlError::Stuck(format!("fst of {other}"))),
+        },
+        NlTerm::Snd(t) => match eval_nl(env, t)? {
+            Value::Pair(_, b) => Ok(*b),
+            other => Err(NlError::Stuck(format!("snd of {other}"))),
+        },
+        NlTerm::Lam { var, body, .. } => Ok(Value::Closure {
+            var: var.clone(),
+            body: body.clone(),
+            env: env.clone(),
+        }),
+        NlTerm::App(g, x) => {
+            let gv = eval_nl(env, g)?;
+            let xv = eval_nl(env, x)?;
+            apply_value(&gv, xv)
+        }
+        NlTerm::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => match eval_nl(env, cond)? {
+            Value::Bool(true) => eval_nl(env, then_branch),
+            Value::Bool(false) => eval_nl(env, else_branch),
+            other => Err(NlError::Stuck(format!("if on {other}"))),
+        },
+        NlTerm::NatRec {
+            zero,
+            n_var,
+            ih_var,
+            succ,
+            scrutinee,
+        } => match eval_nl(env, scrutinee)? {
+            Value::Nat(n) => {
+                let mut acc = eval_nl(env, zero)?;
+                for k in 0..n {
+                    let mut inner = env.clone();
+                    inner.insert(n_var.clone(), Value::Nat(k));
+                    inner.insert(ih_var.clone(), acc);
+                    acc = eval_nl(&inner, succ)?;
+                }
+                Ok(acc)
+            }
+            other => Err(NlError::Stuck(format!("natrec on {other}"))),
+        },
+    }
+}
+
+/// Applies a closure value.
+///
+/// # Errors
+///
+/// Returns an [`NlError`] if `f` is not a closure.
+pub fn apply_value(f: &Value, arg: Value) -> Result<Value, NlError> {
+    match f {
+        Value::Closure { var, body, env } => {
+            let mut inner = env.clone();
+            inner.insert(var.clone(), arg);
+            eval_nl(&inner, body)
+        }
+        other => Err(NlError::Stuck(format!("applying non-closure {other}"))),
+    }
+}
+
+/// Enumerates all values of an *enumerable* type (`1`, `Bool`, `Fin`,
+/// products of enumerable types; `Nat` up to `nat_bound`). Returns `None`
+/// for function types.
+pub fn enumerate_type(ty: &NlType, nat_bound: u64) -> Option<Vec<Value>> {
+    match ty {
+        NlType::Unit => Some(vec![Value::Unit]),
+        NlType::Bool => Some(vec![Value::Bool(false), Value::Bool(true)]),
+        NlType::Nat => Some((0..=nat_bound).map(Value::Nat).collect()),
+        NlType::Fin(n) => Some(
+            (0..*n)
+                .map(|value| Value::Fin {
+                    value,
+                    modulus: *n,
+                })
+                .collect(),
+        ),
+        NlType::Prod(a, b) => {
+            let xs = enumerate_type(a, nat_bound)?;
+            let ys = enumerate_type(b, nat_bound)?;
+            Some(
+                xs.iter()
+                    .flat_map(|x| {
+                        ys.iter()
+                            .map(move |y| Value::Pair(Box::new(x.clone()), Box::new(y.clone())))
+                    })
+                    .collect(),
+            )
+        }
+        NlType::Fun(..) => None,
+    }
+}
+
+/// Partially normalizes an open term: evaluates every closed redex,
+/// leaves variables and blocked eliminations in place. Used for
+/// comparing index expressions during linear type checking.
+pub fn normalize_nl(term: &NlTerm) -> NlTerm {
+    match term {
+        NlTerm::Var(_)
+        | NlTerm::UnitVal
+        | NlTerm::BoolLit(_)
+        | NlTerm::NatLit(_)
+        | NlTerm::FinLit { .. } => term.clone(),
+        NlTerm::Succ(t) => match normalize_nl(t) {
+            NlTerm::NatLit(n) => NlTerm::NatLit(n + 1),
+            t => NlTerm::succ(t),
+        },
+        NlTerm::Pair(a, b) => NlTerm::Pair(Rc::new(normalize_nl(a)), Rc::new(normalize_nl(b))),
+        NlTerm::Fst(t) => match normalize_nl(t) {
+            NlTerm::Pair(a, _) => (*a).clone(),
+            t => NlTerm::Fst(Rc::new(t)),
+        },
+        NlTerm::Snd(t) => match normalize_nl(t) {
+            NlTerm::Pair(_, b) => (*b).clone(),
+            t => NlTerm::Snd(Rc::new(t)),
+        },
+        NlTerm::Lam { var, ty, body } => NlTerm::Lam {
+            var: var.clone(),
+            ty: ty.clone(),
+            body: Rc::new(normalize_nl(body)),
+        },
+        NlTerm::App(g, x) => {
+            let gn = normalize_nl(g);
+            let xn = normalize_nl(x);
+            if let NlTerm::Lam { var, body, .. } = &gn {
+                normalize_nl(&subst_nl(body, var, &xn))
+            } else {
+                NlTerm::App(Rc::new(gn), Rc::new(xn))
+            }
+        }
+        NlTerm::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => match normalize_nl(cond) {
+            NlTerm::BoolLit(true) => normalize_nl(then_branch),
+            NlTerm::BoolLit(false) => normalize_nl(else_branch),
+            c => NlTerm::If {
+                cond: Rc::new(c),
+                then_branch: Rc::new(normalize_nl(then_branch)),
+                else_branch: Rc::new(normalize_nl(else_branch)),
+            },
+        },
+        NlTerm::NatRec {
+            zero,
+            n_var,
+            ih_var,
+            succ,
+            scrutinee,
+        } => match normalize_nl(scrutinee) {
+            NlTerm::NatLit(n) => {
+                let mut acc = normalize_nl(zero);
+                for k in 0..n {
+                    let stepped = subst_nl(
+                        &subst_nl(succ, n_var, &NlTerm::NatLit(k)),
+                        ih_var,
+                        &acc,
+                    );
+                    acc = normalize_nl(&stepped);
+                }
+                acc
+            }
+            s => NlTerm::NatRec {
+                zero: Rc::new(normalize_nl(zero)),
+                n_var: n_var.clone(),
+                ih_var: ih_var.clone(),
+                succ: succ.clone(),
+                scrutinee: Rc::new(s),
+            },
+        },
+    }
+}
+
+/// Capture-avoiding-enough substitution for our usage: bound variables in
+/// this crate's terms are distinct from substituted terms' free variables
+/// (all examples use fresh names), so plain shadowing-aware substitution
+/// suffices.
+pub fn subst_nl(term: &NlTerm, var: &str, replacement: &NlTerm) -> NlTerm {
+    match term {
+        NlTerm::Var(x) => {
+            if x == var {
+                replacement.clone()
+            } else {
+                term.clone()
+            }
+        }
+        NlTerm::UnitVal
+        | NlTerm::BoolLit(_)
+        | NlTerm::NatLit(_)
+        | NlTerm::FinLit { .. } => term.clone(),
+        NlTerm::Succ(t) => NlTerm::succ(subst_nl(t, var, replacement)),
+        NlTerm::Pair(a, b) => NlTerm::Pair(
+            Rc::new(subst_nl(a, var, replacement)),
+            Rc::new(subst_nl(b, var, replacement)),
+        ),
+        NlTerm::Fst(t) => NlTerm::Fst(Rc::new(subst_nl(t, var, replacement))),
+        NlTerm::Snd(t) => NlTerm::Snd(Rc::new(subst_nl(t, var, replacement))),
+        NlTerm::Lam { var: v, ty, body } => {
+            if v == var {
+                term.clone()
+            } else {
+                NlTerm::Lam {
+                    var: v.clone(),
+                    ty: ty.clone(),
+                    body: Rc::new(subst_nl(body, var, replacement)),
+                }
+            }
+        }
+        NlTerm::App(g, x) => NlTerm::App(
+            Rc::new(subst_nl(g, var, replacement)),
+            Rc::new(subst_nl(x, var, replacement)),
+        ),
+        NlTerm::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => NlTerm::If {
+            cond: Rc::new(subst_nl(cond, var, replacement)),
+            then_branch: Rc::new(subst_nl(then_branch, var, replacement)),
+            else_branch: Rc::new(subst_nl(else_branch, var, replacement)),
+        },
+        NlTerm::NatRec {
+            zero,
+            n_var,
+            ih_var,
+            succ,
+            scrutinee,
+        } => NlTerm::NatRec {
+            zero: Rc::new(subst_nl(zero, var, replacement)),
+            n_var: n_var.clone(),
+            ih_var: ih_var.clone(),
+            succ: if n_var == var || ih_var == var {
+                succ.clone()
+            } else {
+                Rc::new(subst_nl(succ, var, replacement))
+            },
+            scrutinee: Rc::new(subst_nl(scrutinee, var, replacement)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_ctx() -> NlCtx {
+        NlCtx::new()
+    }
+
+    #[test]
+    fn literals_infer() {
+        let ctx = empty_ctx();
+        assert_eq!(infer_nl(&ctx, &NlTerm::BoolLit(true)), Ok(NlType::Bool));
+        assert_eq!(infer_nl(&ctx, &NlTerm::NatLit(3)), Ok(NlType::Nat));
+        assert_eq!(
+            infer_nl(&ctx, &NlTerm::FinLit { value: 2, modulus: 3 }),
+            Ok(NlType::Fin(3))
+        );
+        assert!(infer_nl(&ctx, &NlTerm::FinLit { value: 3, modulus: 3 }).is_err());
+    }
+
+    #[test]
+    fn lambda_and_application() {
+        let ctx = empty_ctx();
+        // (λ n : Nat. suc n) 4 : Nat, evaluates to 5.
+        let term = NlTerm::App(
+            Rc::new(NlTerm::Lam {
+                var: "n".to_owned(),
+                ty: Rc::new(NlType::Nat),
+                body: Rc::new(NlTerm::succ(NlTerm::var("n"))),
+            }),
+            Rc::new(NlTerm::NatLit(4)),
+        );
+        assert_eq!(infer_nl(&ctx, &term), Ok(NlType::Nat));
+        assert_eq!(eval_nl(&NlEnv::new(), &term), Ok(Value::Nat(5)));
+    }
+
+    #[test]
+    fn natrec_computes_addition() {
+        // add m n = natrec n (k, ih. suc ih) m.
+        let add = |m: u64, n: u64| NlTerm::NatRec {
+            zero: Rc::new(NlTerm::NatLit(n)),
+            n_var: "k".to_owned(),
+            ih_var: "ih".to_owned(),
+            succ: Rc::new(NlTerm::succ(NlTerm::var("ih"))),
+            scrutinee: Rc::new(NlTerm::NatLit(m)),
+        };
+        assert_eq!(eval_nl(&NlEnv::new(), &add(3, 4)), Ok(Value::Nat(7)));
+        assert_eq!(infer_nl(&empty_ctx(), &add(3, 4)), Ok(NlType::Nat));
+    }
+
+    #[test]
+    fn if_requires_bool() {
+        let bad = NlTerm::If {
+            cond: Rc::new(NlTerm::NatLit(0)),
+            then_branch: Rc::new(NlTerm::UnitVal),
+            else_branch: Rc::new(NlTerm::UnitVal),
+        };
+        assert!(infer_nl(&empty_ctx(), &bad).is_err());
+    }
+
+    #[test]
+    fn enumerate_small_types() {
+        assert_eq!(enumerate_type(&NlType::Bool, 0).unwrap().len(), 2);
+        assert_eq!(enumerate_type(&NlType::Fin(5), 0).unwrap().len(), 5);
+        assert_eq!(enumerate_type(&NlType::Nat, 3).unwrap().len(), 4);
+        let prod = NlType::Prod(Rc::new(NlType::Bool), Rc::new(NlType::Fin(3)));
+        assert_eq!(enumerate_type(&prod, 0).unwrap().len(), 6);
+        let fun = NlType::Fun(Rc::new(NlType::Bool), Rc::new(NlType::Bool));
+        assert!(enumerate_type(&fun, 0).is_none());
+    }
+
+    #[test]
+    fn normalization_folds_closed_redexes() {
+        // if true then (fst (x, 0)) else y  ~>  x
+        let term = NlTerm::If {
+            cond: Rc::new(NlTerm::BoolLit(true)),
+            then_branch: Rc::new(NlTerm::Fst(Rc::new(NlTerm::Pair(
+                Rc::new(NlTerm::var("x")),
+                Rc::new(NlTerm::NatLit(0)),
+            )))),
+            else_branch: Rc::new(NlTerm::var("y")),
+        };
+        assert_eq!(normalize_nl(&term), NlTerm::var("x"));
+        // suc (suc 0) ~> 2
+        assert_eq!(
+            normalize_nl(&NlTerm::succ(NlTerm::succ(NlTerm::NatLit(0)))),
+            NlTerm::NatLit(2)
+        );
+        // Open terms stay put.
+        assert_eq!(
+            normalize_nl(&NlTerm::succ(NlTerm::var("n"))),
+            NlTerm::succ(NlTerm::var("n"))
+        );
+    }
+
+    #[test]
+    fn substitution_respects_shadowing() {
+        // (λ x. x) with x ↦ 1 leaves the bound x alone.
+        let lam = NlTerm::Lam {
+            var: "x".to_owned(),
+            ty: Rc::new(NlType::Nat),
+            body: Rc::new(NlTerm::var("x")),
+        };
+        assert_eq!(subst_nl(&lam, "x", &NlTerm::NatLit(1)), lam);
+    }
+}

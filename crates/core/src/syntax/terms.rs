@@ -1,0 +1,429 @@
+//! Linear terms (Fig. 9) — the syntax of parse transformers.
+//!
+//! The constructors mirror the typing rules of Fig. 9: ordered pattern
+//! matching for `I`/`⊗`/`⊕`, both residual lambdas, indexed `&`/`⊕`
+//! introduction and elimination, `data` constructors and `fold`
+//! (Fig. 10), equalizer intro/projection, and references to resource-free
+//! global definitions (the syntax-level stand-in for `↑`).
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::syntax::nonlinear::NlTerm;
+use crate::syntax::types::LinType;
+
+/// A linear term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinTerm {
+    /// A linear variable.
+    Var(String),
+    /// A reference to a resource-free global definition — usable any
+    /// number of times (the `Γ ⊢ M : ↑A ⟹ Γ; · ⊢ M : A` coercion).
+    Global(String),
+    /// `()` — introduction for `I`.
+    UnitIntro,
+    /// `let () = e in e'` — elimination for `I`.
+    LetUnit {
+        /// The `I`-typed scrutinee.
+        scrutinee: Rc<LinTerm>,
+        /// The continuation.
+        body: Rc<LinTerm>,
+    },
+    /// `(e, e')` — introduction for `⊗`.
+    Pair(Rc<LinTerm>, Rc<LinTerm>),
+    /// `let (a, b) = e in e'` — elimination for `⊗`.
+    LetPair {
+        /// The `⊗`-typed scrutinee.
+        scrutinee: Rc<LinTerm>,
+        /// Name bound to the left component.
+        left: String,
+        /// Name bound to the right component.
+        right: String,
+        /// The continuation.
+        body: Rc<LinTerm>,
+    },
+    /// `λ⊸ a. e` — introduction for `A ⊸ B` (binds at the *right* end of
+    /// the context).
+    Lam {
+        /// Bound variable.
+        var: String,
+        /// Domain annotation (needed for type inference).
+        dom: Rc<LinType>,
+        /// Body.
+        body: Rc<LinTerm>,
+    },
+    /// `e e'` — elimination for `⊸` (function left of argument).
+    App(Rc<LinTerm>, Rc<LinTerm>),
+    /// `λ⟜ a. e` — introduction for `B ⟜ A` (binds at the *left* end).
+    LamL {
+        /// Bound variable.
+        var: String,
+        /// Domain annotation.
+        dom: Rc<LinType>,
+        /// Body.
+        body: Rc<LinTerm>,
+    },
+    /// `e' ⟜ e` — elimination for `⟜` (argument left of function).
+    AppL {
+        /// The argument (on the left).
+        arg: Rc<LinTerm>,
+        /// The function (on the right).
+        fun: Rc<LinTerm>,
+    },
+    /// `σ i e` — introduction for a finite `⊕` (summand `i`).
+    Inj {
+        /// The summand index.
+        index: usize,
+        /// The arity of the sum (for inference).
+        arity: usize,
+        /// The injected term.
+        body: Rc<LinTerm>,
+    },
+    /// `case e of branches` — elimination for a finite `⊕`; branch `i`
+    /// binds one variable for summand `i`.
+    Case {
+        /// The `⊕`-typed scrutinee.
+        scrutinee: Rc<LinTerm>,
+        /// One `(bound var, body)` per summand.
+        branches: Vec<(String, LinTerm)>,
+    },
+    /// `σ M e` — introduction for `⊕_{x:X}` at index `M`.
+    BigInj {
+        /// The index term.
+        index: NlTerm,
+        /// The injected term.
+        body: Rc<LinTerm>,
+    },
+    /// `let σ x a = e in e'` — elimination for `⊕_{x:X}`.
+    LetBigInj {
+        /// The scrutinee.
+        scrutinee: Rc<LinTerm>,
+        /// Bound non-linear index variable.
+        nl_var: String,
+        /// Bound linear payload variable.
+        var: String,
+        /// The continuation.
+        body: Rc<LinTerm>,
+    },
+    /// `λ& x. e` — introduction for `&_{x:X}`.
+    BigLam {
+        /// Bound non-linear variable.
+        var: String,
+        /// Body.
+        body: Rc<LinTerm>,
+    },
+    /// `e .π M` — elimination for `&_{x:X}` at index `M`.
+    BigProj {
+        /// The scrutinee.
+        scrutinee: Rc<LinTerm>,
+        /// The projection index.
+        index: NlTerm,
+    },
+    /// `⟨e₁, …⟩` — introduction for a finite `&`.
+    Tuple(Vec<LinTerm>),
+    /// `e .π i` — elimination for a finite `&`.
+    Proj {
+        /// The scrutinee.
+        scrutinee: Rc<LinTerm>,
+        /// Component index.
+        index: usize,
+    },
+    /// A data constructor application, e.g.
+    /// `cons a as` or `0to1 tr` (Fig. 2, Fig. 5).
+    Ctor {
+        /// The data family.
+        data: String,
+        /// The constructor name.
+        ctor: String,
+        /// Non-linear arguments (one per declared `nl_arg`).
+        nl_args: Vec<NlTerm>,
+        /// Linear arguments (one per declared `lin_arg`).
+        lin_args: Vec<LinTerm>,
+    },
+    /// `fold` — the eliminator of Fig. 10, applied to a scrutinee.
+    Fold {
+        /// The data family being eliminated.
+        data: String,
+        /// Output type, with the family's index telescope in scope.
+        motive: Rc<LinType>,
+        /// One clause per constructor, in declaration order.
+        clauses: Vec<FoldClause>,
+        /// The value being folded.
+        scrutinee: Rc<LinTerm>,
+    },
+    /// `⟨e⟩` — equalizer introduction (the equation is checked
+    /// semantically by the evaluator; see DESIGN.md §7).
+    EqIntro(Rc<LinTerm>),
+    /// `e .π` — equalizer projection.
+    EqProj(Rc<LinTerm>),
+}
+
+/// One clause of a [`LinTerm::Fold`]: binds the constructor's non-linear
+/// arguments and one linear variable per linear argument (recursive
+/// arguments arrive already folded, at the motive type).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldClause {
+    /// Names for the constructor's non-linear arguments.
+    pub nl_vars: Vec<String>,
+    /// Names for the constructor's linear arguments.
+    pub lin_vars: Vec<String>,
+    /// The clause body.
+    pub body: Rc<LinTerm>,
+}
+
+impl LinTerm {
+    /// Variable helper.
+    pub fn var(name: &str) -> LinTerm {
+        LinTerm::Var(name.to_owned())
+    }
+
+    /// `λ⊸` helper.
+    pub fn lam(var: &str, dom: LinType, body: LinTerm) -> LinTerm {
+        LinTerm::Lam {
+            var: var.to_owned(),
+            dom: Rc::new(dom),
+            body: Rc::new(body),
+        }
+    }
+
+    /// Application helper.
+    pub fn app(f: LinTerm, x: LinTerm) -> LinTerm {
+        LinTerm::App(Rc::new(f), Rc::new(x))
+    }
+
+    /// Pair helper.
+    pub fn pair(l: LinTerm, r: LinTerm) -> LinTerm {
+        LinTerm::Pair(Rc::new(l), Rc::new(r))
+    }
+
+    /// `let (a,b) = e in body` helper.
+    pub fn let_pair(scrutinee: LinTerm, left: &str, right: &str, body: LinTerm) -> LinTerm {
+        LinTerm::LetPair {
+            scrutinee: Rc::new(scrutinee),
+            left: left.to_owned(),
+            right: right.to_owned(),
+            body: Rc::new(body),
+        }
+    }
+
+    /// Finite injection helper.
+    pub fn inj(index: usize, arity: usize, body: LinTerm) -> LinTerm {
+        LinTerm::Inj {
+            index,
+            arity,
+            body: Rc::new(body),
+        }
+    }
+
+    /// The left-to-right sequence of free linear variable occurrences —
+    /// the backbone of the ordered-context discipline: a term is usable
+    /// in context `Δ` only if this sequence equals `Δ`'s variables
+    /// exactly (no duplication ⇒ no contraction; no omission ⇒ no
+    /// weakening; no reordering ⇒ no exchange).
+    pub fn occurrence_sequence(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.occurrences(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn occurrences(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            LinTerm::Var(x) => {
+                if !bound.contains(x) {
+                    out.push(x.clone());
+                }
+            }
+            LinTerm::Global(_) | LinTerm::UnitIntro => {}
+            LinTerm::LetUnit { scrutinee, body } => {
+                scrutinee.occurrences(bound, out);
+                body.occurrences(bound, out);
+            }
+            LinTerm::Pair(l, r) => {
+                l.occurrences(bound, out);
+                r.occurrences(bound, out);
+            }
+            LinTerm::LetPair {
+                scrutinee,
+                left,
+                right,
+                body,
+            } => {
+                scrutinee.occurrences(bound, out);
+                bound.push(left.clone());
+                bound.push(right.clone());
+                body.occurrences(bound, out);
+                bound.pop();
+                bound.pop();
+            }
+            LinTerm::Lam { var, body, .. } | LinTerm::LamL { var, body, .. } => {
+                bound.push(var.clone());
+                body.occurrences(bound, out);
+                bound.pop();
+            }
+            LinTerm::App(f, x) => {
+                f.occurrences(bound, out);
+                x.occurrences(bound, out);
+            }
+            LinTerm::AppL { arg, fun } => {
+                arg.occurrences(bound, out);
+                fun.occurrences(bound, out);
+            }
+            LinTerm::Inj { body, .. } | LinTerm::BigInj { body, .. } => {
+                body.occurrences(bound, out)
+            }
+            LinTerm::Case {
+                scrutinee,
+                branches,
+            } => {
+                scrutinee.occurrences(bound, out);
+                // All branches must use the same outer variables; the
+                // checker verifies this. For the sequence we take the
+                // first branch's view (bound variable masked).
+                if let Some((v, b)) = branches.first() {
+                    bound.push(v.clone());
+                    b.occurrences(bound, out);
+                    bound.pop();
+                }
+            }
+            LinTerm::LetBigInj {
+                scrutinee,
+                var,
+                body,
+                ..
+            } => {
+                scrutinee.occurrences(bound, out);
+                bound.push(var.clone());
+                body.occurrences(bound, out);
+                bound.pop();
+            }
+            LinTerm::BigLam { body, .. } => body.occurrences(bound, out),
+            LinTerm::BigProj { scrutinee, .. } => scrutinee.occurrences(bound, out),
+            LinTerm::Tuple(ts) => {
+                // & components share the context; take the first.
+                if let Some(t) = ts.first() {
+                    t.occurrences(bound, out);
+                }
+            }
+            LinTerm::Proj { scrutinee, .. } => scrutinee.occurrences(bound, out),
+            LinTerm::Ctor { lin_args, .. } => {
+                for a in lin_args {
+                    a.occurrences(bound, out);
+                }
+            }
+            LinTerm::Fold { scrutinee, .. } => {
+                // Fold clauses are closed up to their bound variables
+                // (checked separately); only the scrutinee consumes
+                // ambient resources.
+                scrutinee.occurrences(bound, out);
+            }
+            LinTerm::EqIntro(t) | LinTerm::EqProj(t) => t.occurrences(bound, out),
+        }
+    }
+}
+
+impl fmt::Display for LinTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinTerm::Var(x) => write!(f, "{x}"),
+            LinTerm::Global(g) => write!(f, "@{g}"),
+            LinTerm::UnitIntro => write!(f, "()"),
+            LinTerm::LetUnit { scrutinee, body } => {
+                write!(f, "let () = {scrutinee} in {body}")
+            }
+            LinTerm::Pair(l, r) => write!(f, "({l}, {r})"),
+            LinTerm::LetPair {
+                scrutinee,
+                left,
+                right,
+                body,
+            } => write!(f, "let ({left}, {right}) = {scrutinee} in {body}"),
+            LinTerm::Lam { var, body, .. } => write!(f, "λ⊸{var}. {body}"),
+            LinTerm::App(g, x) => write!(f, "({g} {x})"),
+            LinTerm::LamL { var, body, .. } => write!(f, "λ⟜{var}. {body}"),
+            LinTerm::AppL { arg, fun } => write!(f, "({arg} ⟜ {fun})"),
+            LinTerm::Inj { index, body, .. } => write!(f, "σ{index} {body}"),
+            LinTerm::Case {
+                scrutinee,
+                branches,
+            } => {
+                write!(f, "case {scrutinee} of")?;
+                for (i, (v, b)) in branches.iter().enumerate() {
+                    write!(f, " | σ{i} {v} ⇒ {b}")?;
+                }
+                Ok(())
+            }
+            LinTerm::BigInj { index, body } => write!(f, "σ[{index}] {body}"),
+            LinTerm::LetBigInj {
+                scrutinee,
+                nl_var,
+                var,
+                body,
+            } => write!(f, "let σ {nl_var} {var} = {scrutinee} in {body}"),
+            LinTerm::BigLam { var, body } => write!(f, "λ&{var}. {body}"),
+            LinTerm::BigProj { scrutinee, index } => write!(f, "{scrutinee}.π[{index}]"),
+            LinTerm::Tuple(ts) => {
+                write!(f, "⟨")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "⟩")
+            }
+            LinTerm::Proj { scrutinee, index } => write!(f, "{scrutinee}.π{index}"),
+            LinTerm::Ctor {
+                ctor, lin_args, ..
+            } => {
+                write!(f, "{ctor}")?;
+                for a in lin_args {
+                    write!(f, " {a}")?;
+                }
+                Ok(())
+            }
+            LinTerm::Fold { scrutinee, .. } => write!(f, "fold(…)({scrutinee})"),
+            LinTerm::EqIntro(t) => write!(f, "⟨{t}⟩"),
+            LinTerm::EqProj(t) => write!(f, "{t}.π"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn chr(name: &str) -> LinType {
+        LinType::Char(Alphabet::abc().symbol(name).unwrap())
+    }
+
+    #[test]
+    fn occurrence_sequence_is_left_to_right() {
+        // (a, b) uses a then b.
+        let t = LinTerm::pair(LinTerm::var("a"), LinTerm::var("b"));
+        assert_eq!(t.occurrence_sequence(), vec!["a", "b"]);
+        // (b, a) uses b then a — the exchange violation Fig. 1 forbids.
+        let t = LinTerm::pair(LinTerm::var("b"), LinTerm::var("a"));
+        assert_eq!(t.occurrence_sequence(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn bound_variables_are_masked() {
+        let t = LinTerm::lam("x", chr("a"), LinTerm::pair(LinTerm::var("x"), LinTerm::var("y")));
+        assert_eq!(t.occurrence_sequence(), vec!["y"]);
+    }
+
+    #[test]
+    fn contraction_shows_as_duplicate() {
+        // (a, a): the sequence has a twice; the checker will reject it
+        // against the context a : A.
+        let t = LinTerm::pair(LinTerm::var("a"), LinTerm::var("a"));
+        assert_eq!(t.occurrence_sequence(), vec!["a", "a"]);
+    }
+
+    #[test]
+    fn globals_consume_nothing() {
+        let t = LinTerm::app(LinTerm::Global("cons".to_owned()), LinTerm::var("a"));
+        assert_eq!(t.occurrence_sequence(), vec!["a"]);
+    }
+}

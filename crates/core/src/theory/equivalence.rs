@@ -1,0 +1,294 @@
+//! Weak and strong equivalence of grammars (Definition 4.1).
+//!
+//! Grammars `A`, `B` are *weakly equivalent* when parse transformers exist
+//! in both directions — semantically, they recognize the same language.
+//! `A` is a *retract* of `B` when additionally `bwd ∘ fwd = id`, and they
+//! are *strongly equivalent* when both composites are the identity — the
+//! parse sets are isomorphic string-by-string.
+//!
+//! Rust cannot verify the composite laws statically, so [`WeakEquiv`]
+//! carries the transformers and [`check_retract_on`] /
+//! [`StrongEquiv::check_on`] verify the laws *pointwise on enumerated
+//! parse sets* of sample strings — the meaning the laws have in the
+//! denotational model. Strong equivalence also implies equal parse counts
+//! on every string, which [`StrongEquiv::check_counts_on`] exploits as a
+//! cheaper independent check.
+
+use crate::alphabet::GString;
+use crate::grammar::compile::CompiledGrammar;
+use crate::grammar::expr::Grammar;
+use crate::transform::{TransformError, Transformer};
+
+/// A weak equivalence `A ≈ B`: transformers in both directions
+/// (Definition 4.1). No laws are required.
+#[derive(Debug, Clone)]
+pub struct WeakEquiv {
+    /// `A ⊸ B`.
+    pub fwd: Transformer,
+    /// `B ⊸ A`.
+    pub bwd: Transformer,
+}
+
+impl WeakEquiv {
+    /// Builds a weak equivalence, checking that the endpoints line up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fwd` and `bwd` do not have opposite endpoints.
+    pub fn new(fwd: Transformer, bwd: Transformer) -> WeakEquiv {
+        assert_eq!(fwd.dom(), bwd.cod(), "weak equivalence endpoints");
+        assert_eq!(fwd.cod(), bwd.dom(), "weak equivalence endpoints");
+        WeakEquiv { fwd, bwd }
+    }
+
+    /// The left grammar `A`.
+    pub fn left(&self) -> &Grammar {
+        self.fwd.dom()
+    }
+
+    /// The right grammar `B`.
+    pub fn right(&self) -> &Grammar {
+        self.fwd.cod()
+    }
+
+    /// The symmetric equivalence `B ≈ A`.
+    pub fn reverse(&self) -> WeakEquiv {
+        WeakEquiv {
+            fwd: self.bwd.clone(),
+            bwd: self.fwd.clone(),
+        }
+    }
+}
+
+/// Checks the retract law `bwd(fwd(t)) == t` on every enumerated parse of
+/// every sample string (with the given enumeration cap).
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn check_retract_on(
+    eq: &WeakEquiv,
+    strings: &[GString],
+    cap: usize,
+) -> Result<(), EquivViolation> {
+    let cg = CompiledGrammar::new(eq.left());
+    for w in strings {
+        for t in cg.parses(w, cap).trees {
+            let there = eq.fwd.apply_checked(&t).map_err(|e| EquivViolation {
+                string: w.clone(),
+                detail: format!("fwd failed: {e}"),
+            })?;
+            let back = eq.bwd.apply_checked(&there).map_err(|e| EquivViolation {
+                string: w.clone(),
+                detail: format!("bwd failed: {e}"),
+            })?;
+            if back != t {
+                return Err(EquivViolation {
+                    string: w.clone(),
+                    detail: format!("bwd(fwd(t)) = {back} but t = {t}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A strong equivalence `A ≅ B`: a weak equivalence whose two composites
+/// are the identity (Definition 4.1). Construct with [`StrongEquiv::new`]
+/// and validate with [`StrongEquiv::check_on`].
+#[derive(Debug, Clone)]
+pub struct StrongEquiv(pub WeakEquiv);
+
+impl StrongEquiv {
+    /// Wraps a weak equivalence claimed to be strong. The claim is
+    /// validated by [`StrongEquiv::check_on`], not here.
+    pub fn new(eq: WeakEquiv) -> StrongEquiv {
+        StrongEquiv(eq)
+    }
+
+    /// The underlying weak equivalence.
+    pub fn weak(&self) -> &WeakEquiv {
+        &self.0
+    }
+
+    /// Checks both roundtrip laws on all enumerated parses of the sample
+    /// strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check_on(&self, strings: &[GString], cap: usize) -> Result<(), EquivViolation> {
+        check_retract_on(&self.0, strings, cap)?;
+        check_retract_on(&self.0.reverse(), strings, cap)
+    }
+
+    /// Checks the count consequence of strong equivalence: `|A(w)| =
+    /// |B(w)|` for each sample string (clamped at `cap`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first string where the counts differ.
+    pub fn check_counts_on(&self, strings: &[GString], cap: usize) -> Result<(), EquivViolation> {
+        let ca = CompiledGrammar::new(self.0.left());
+        let cb = CompiledGrammar::new(self.0.right());
+        for w in strings {
+            let (na, nb) = (ca.count_parses(w, cap), cb.count_parses(w, cap));
+            if na.count != nb.count || na.truncated != nb.truncated {
+                return Err(EquivViolation {
+                    string: w.clone(),
+                    detail: format!(
+                        "parse counts differ: {} vs {} (truncated {} vs {})",
+                        na.count, nb.count, na.truncated, nb.truncated
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A violation of an equivalence law, with the offending string.
+#[derive(Debug, Clone)]
+pub struct EquivViolation {
+    /// The string where the law failed.
+    pub string: GString,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for EquivViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "equivalence violated at {}: {}", self.string, self.detail)
+    }
+}
+
+impl std::error::Error for EquivViolation {}
+
+/// Checks that two transformers with equal endpoints agree pointwise on
+/// every enumerated parse of the sample strings — the denotational meaning
+/// of a term equality `f ≡ g`.
+///
+/// # Errors
+///
+/// Returns the first disagreement.
+pub fn check_transformers_equal_on(
+    f: &Transformer,
+    g: &Transformer,
+    strings: &[GString],
+    cap: usize,
+) -> Result<(), EquivViolation> {
+    assert_eq!(f.dom(), g.dom(), "domains must agree");
+    assert_eq!(f.cod(), g.cod(), "codomains must agree");
+    let cg = CompiledGrammar::new(f.dom());
+    for w in strings {
+        for t in cg.parses(w, cap).trees {
+            let (ft, gt) = (f.apply(&t), g.apply(&t));
+            match (&ft, &gt) {
+                (Ok(a), Ok(b)) if a == b => {}
+                _ => {
+                    return Err(EquivViolation {
+                        string: w.clone(),
+                        detail: format!(
+                            "transformers disagree on {t}: {:?} vs {:?}",
+                            ft.as_ref().map(|x| format!("{x}")),
+                            gt.as_ref().map(|x| format!("{x}"))
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Composes two weak equivalences `A ≈ B` and `B ≈ C` into `A ≈ C`.
+///
+/// # Errors
+///
+/// Propagates a composition mismatch if the middle grammars differ.
+pub fn compose_weak(ab: &WeakEquiv, bc: &WeakEquiv) -> Result<WeakEquiv, TransformError> {
+    Ok(WeakEquiv {
+        fwd: ab.fwd.then(&bc.fwd)?,
+        bwd: bc.bwd.then(&ab.bwd)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::grammar::expr::{alt, chr, eps, tensor};
+    use crate::transform::combinators::{either, id, inj, unit_l, unit_l_inv};
+
+    #[test]
+    fn identity_strong_equivalence() {
+        let s = Alphabet::abc();
+        let a = chr(s.symbol("a").unwrap());
+        let eq = StrongEquiv::new(WeakEquiv::new(id(a.clone()), id(a)));
+        let strings: Vec<GString> = ["", "a", "b"]
+            .iter()
+            .map(|w| s.parse_str(w).unwrap())
+            .collect();
+        eq.check_on(&strings, 16).unwrap();
+        eq.check_counts_on(&strings, 16).unwrap();
+    }
+
+    #[test]
+    fn unitor_strong_equivalence() {
+        let s = Alphabet::abc();
+        let a = chr(s.symbol("a").unwrap());
+        // I ⊗ 'a' ≅ 'a'.
+        let eq = StrongEquiv::new(WeakEquiv::new(unit_l(a.clone()), unit_l_inv(a)));
+        let strings: Vec<GString> = ["", "a", "aa"]
+            .iter()
+            .map(|w| s.parse_str(w).unwrap())
+            .collect();
+        eq.check_on(&strings, 16).unwrap();
+        eq.check_counts_on(&strings, 16).unwrap();
+    }
+
+    #[test]
+    fn retract_that_is_not_strong() {
+        let s = Alphabet::abc();
+        let a = chr(s.symbol("a").unwrap());
+        // A is a retract of A ⊕ A via inl, but not strongly equivalent.
+        let fwd = inj(0, vec![a.clone(), a.clone()]);
+        let bwd = either(id(a.clone()), id(a.clone()));
+        let eq = WeakEquiv::new(fwd, bwd);
+        let strings = vec![s.parse_str("a").unwrap()];
+        check_retract_on(&eq, &strings, 16).unwrap();
+        // The other composite is not the identity: σ1 t maps to σ0 t.
+        assert!(check_retract_on(&eq.reverse(), &strings, 16).is_err());
+        // And counts differ: 1 vs 2.
+        let strong = StrongEquiv::new(eq);
+        assert!(strong.check_counts_on(&strings, 16).is_err());
+    }
+
+    #[test]
+    fn transformer_pointwise_equality() {
+        let s = Alphabet::abc();
+        let a = chr(s.symbol("a").unwrap());
+        let f = id(a.clone());
+        let g = unit_l_inv(a.clone()).then(&unit_l(a.clone())).unwrap();
+        let strings = vec![GString::new(), s.parse_str("a").unwrap()];
+        check_transformers_equal_on(&f, &g, &strings, 16).unwrap();
+    }
+
+    #[test]
+    fn compose_weak_equivalences() {
+        let s = Alphabet::abc();
+        let a = chr(s.symbol("a").unwrap());
+        let ia = tensor(eps(), a.clone());
+        // (I ⊗ 'a') ≈ 'a' composed with 'a' ≈ 'a'.
+        let ab = WeakEquiv::new(unit_l(a.clone()), unit_l_inv(a.clone()));
+        let bc = WeakEquiv::new(id(a.clone()), id(a.clone()));
+        let ac = compose_weak(&ab, &bc).unwrap();
+        assert_eq!(ac.left(), &ia);
+        assert_eq!(ac.right(), &a);
+        let strings = vec![s.parse_str("a").unwrap()];
+        StrongEquiv::new(ac).check_on(&strings, 16).unwrap();
+        // Composing misaligned equivalences is an error.
+        let misaligned = WeakEquiv::new(id(alt(a.clone(), a.clone())), id(alt(a.clone(), a)));
+        assert!(compose_weak(&ab, &misaligned).is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! Formal grammar theory inside the calculus (§4 of the paper).
+//!
+//! * [`equivalence`] — weak/strong equivalence and retracts
+//!   (Definition 4.1), with sampling-based law checking;
+//! * [`unambiguous`] — unambiguity (Definition 4.2) and its closure
+//!   properties (Lemmas 4.3, 4.4, 4.7);
+//! * [`parser`] — the paper's notion of a verified parser
+//!   (Definitions 4.5, 4.6): a grammar, a *disjoint* negative grammar, and
+//!   a total function `String ⊸ A ⊕ A¬`; plus parser extension along weak
+//!   equivalence (Lemma 4.8);
+//! * [`semantic_action`] — the §6.2 extension: actions
+//!   `↑(A ⊸ ⊕_{_:X} ⊤)` emitting semantic values from concrete parses.
+
+pub mod equivalence;
+pub mod parser;
+pub mod semantic_action;
+pub mod unambiguous;

@@ -1,0 +1,163 @@
+//! Semantic actions (§6.2 of the paper, "Future Work" made concrete).
+//!
+//! The paper defines a *semantic action* for a linear type `A` with
+//! outputs in a non-linear type `X` as a function `↑(A ⊸ ⊕_{_:X} ⊤)`: it
+//! consumes a concrete parse and produces a semantic value, discarding
+//! the syntax (the `⊤` holds the consumed string). [`SemanticAction`]
+//! packages exactly that — a function from parse trees to values of a
+//! caller-chosen Rust type — together with the domain grammar, and
+//! [`SemanticAction::run`] checks the input against the domain before
+//! folding it.
+//!
+//! The test suite uses this to evaluate arithmetic `Exp` parses to
+//! numbers and Dyck parses to nesting depths — the abstract-syntax-tree
+//! emission step the paper's introduction motivates.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::alphabet::GString;
+use crate::grammar::expr::Grammar;
+use crate::grammar::parse_tree::{check_shape, ParseTree};
+
+/// Errors from running a semantic action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionError {
+    /// The input tree is not a parse of the action's grammar.
+    BadInput(String),
+    /// The action itself failed (domain-specific).
+    Failed(String),
+}
+
+impl fmt::Display for ActionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionError::BadInput(m) => write!(f, "semantic action input invalid: {m}"),
+            ActionError::Failed(m) => write!(f, "semantic action failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ActionError {}
+
+type ActionFn<X> = dyn Fn(&ParseTree) -> Result<X, ActionError>;
+
+/// A semantic action `↑(A ⊸ ⊕_{_:X} ⊤)`: from parses of `grammar` to
+/// semantic values of type `X`.
+#[derive(Clone)]
+pub struct SemanticAction<X> {
+    grammar: Grammar,
+    name: String,
+    action: Rc<ActionFn<X>>,
+}
+
+impl<X> SemanticAction<X> {
+    /// Wraps a function as a semantic action over `grammar`.
+    pub fn new(
+        name: impl Into<String>,
+        grammar: Grammar,
+        action: impl Fn(&ParseTree) -> Result<X, ActionError> + 'static,
+    ) -> SemanticAction<X> {
+        SemanticAction {
+            grammar,
+            name: name.into(),
+            action: Rc::new(action),
+        }
+    }
+
+    /// The domain grammar `A`.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The action's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs the action on a tree, first checking it against the domain
+    /// grammar (the typing side of `A ⊸ ⊕_{_:X} ⊤`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActionError::BadInput`] for shape-invalid trees and
+    /// propagates the action's own failures.
+    pub fn run(&self, tree: &ParseTree) -> Result<X, ActionError> {
+        check_shape(tree, &self.grammar, None)
+            .map_err(|e| ActionError::BadInput(format!("{e}")))?;
+        (self.action)(tree)
+    }
+
+    /// Runs the action and returns the semantic value together with the
+    /// consumed string — the literal `⊕_{x:X} ⊤` shape of the paper.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SemanticAction::run`].
+    pub fn run_with_yield(&self, tree: &ParseTree) -> Result<(X, GString), ActionError> {
+        let x = self.run(tree)?;
+        Ok((x, tree.flatten()))
+    }
+
+    /// Post-composes a pure function on the semantic values.
+    pub fn map<Y: 'static>(self, f: impl Fn(X) -> Y + 'static) -> SemanticAction<Y>
+    where
+        X: 'static,
+    {
+        let action = self.action.clone();
+        SemanticAction {
+            grammar: self.grammar.clone(),
+            name: format!("{}∘map", self.name),
+            action: Rc::new(move |t| action(t).map(&f)),
+        }
+    }
+}
+
+impl<X> fmt::Debug for SemanticAction<X> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SemanticAction({} : {} ⊸ ⊕ ⊤)", self.name, self.grammar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::grammar::compile::CompiledGrammar;
+    use crate::grammar::expr::{chr, star};
+
+    #[test]
+    fn count_characters_action() {
+        let s = Alphabet::abc();
+        let a = s.symbol("a").unwrap();
+        let g = star(chr(a));
+        let action = SemanticAction::new("length", g.clone(), |t| Ok(t.flatten().len()));
+        let cg = CompiledGrammar::new(&g);
+        for n in 0..5 {
+            let w = s.parse_str(&"a".repeat(n)).unwrap();
+            let tree = cg.parses(&w, 2).trees.remove(0);
+            assert_eq!(action.run(&tree).unwrap(), n);
+            let (len, y) = action.run_with_yield(&tree).unwrap();
+            assert_eq!((len, y), (n, w));
+        }
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        let s = Alphabet::abc();
+        let a = s.symbol("a").unwrap();
+        let action =
+            SemanticAction::new("unit-only", crate::grammar::expr::eps(), |_| Ok(()));
+        assert!(matches!(
+            action.run(&ParseTree::Char(a)),
+            Err(ActionError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn map_post_composes() {
+        let g = crate::grammar::expr::eps();
+        let action = SemanticAction::new("zero", g, |_| Ok(0usize)).map(|n| n + 41);
+        assert_eq!(action.run(&ParseTree::Unit).unwrap(), 41);
+    }
+}

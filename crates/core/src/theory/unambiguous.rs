@@ -1,0 +1,213 @@
+//! Unambiguity and disjointness (Definitions 4.2, 4.5; Lemmas 4.3/4.4/4.7).
+//!
+//! A grammar `A` is *unambiguous* when any two transformers into it are
+//! equal (Definition 4.2); in the set-theoretic model this holds exactly
+//! when every parse set `A(w)` has at most one element — the executable
+//! characterization used here. Grammars are *disjoint* (Definition 4.5)
+//! when no string has a parse of both — the condition a parser's negative
+//! grammar must satisfy.
+//!
+//! These are semantic properties of languages, undecidable in general, so
+//! the checks are exhaustive over all strings up to a length bound —
+//! exactly how the experiments of EXPERIMENTS.md phrase them.
+
+use crate::alphabet::{Alphabet, GString};
+use crate::grammar::compile::CompiledGrammar;
+use crate::grammar::expr::Grammar;
+
+/// Iterator over all strings of length ≤ `max_len` over the alphabet, in
+/// length-then-lexicographic order.
+pub fn all_strings(alphabet: &Alphabet, max_len: usize) -> Vec<GString> {
+    let mut out = vec![GString::new()];
+    let mut frontier = vec![GString::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for sym in alphabet.symbols() {
+                let mut v = w.clone();
+                v.push(sym);
+                out.push(v.clone());
+                next.push(v);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// Evidence that a grammar is ambiguous: a string with two distinct
+/// parses (or a truncated parse set, meaning "at least `cap` parses").
+#[derive(Debug, Clone)]
+pub struct AmbiguityWitness {
+    /// The ambiguous string.
+    pub string: GString,
+    /// Number of parses found (clamped).
+    pub count: u64,
+}
+
+/// Checks unambiguity (Definition 4.2, model form: `|A(w)| ≤ 1`) for all
+/// strings up to `max_len`.
+///
+/// # Errors
+///
+/// Returns an [`AmbiguityWitness`] for the first ambiguous string.
+pub fn check_unambiguous(
+    grammar: &Grammar,
+    alphabet: &Alphabet,
+    max_len: usize,
+) -> Result<(), AmbiguityWitness> {
+    let cg = CompiledGrammar::new(grammar);
+    for w in all_strings(alphabet, max_len) {
+        let amb = cg.count_parses(&w, 4);
+        if amb.count > 1 || amb.truncated {
+            return Err(AmbiguityWitness {
+                string: w,
+                count: amb.count,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Evidence that two grammars are not disjoint: a string parsed by both.
+#[derive(Debug, Clone)]
+pub struct OverlapWitness {
+    /// The shared string.
+    pub string: GString,
+}
+
+/// Checks disjointness (Definition 4.5: a function `A & B ⊸ 0` exists,
+/// i.e. no string is in both languages) for all strings up to `max_len`.
+///
+/// # Errors
+///
+/// Returns an [`OverlapWitness`] for the first shared string.
+pub fn check_disjoint(
+    a: &Grammar,
+    b: &Grammar,
+    alphabet: &Alphabet,
+    max_len: usize,
+) -> Result<(), OverlapWitness> {
+    let (ca, cb) = (CompiledGrammar::new(a), CompiledGrammar::new(b));
+    for w in all_strings(alphabet, max_len) {
+        if ca.recognizes(&w) && cb.recognizes(&w) {
+            return Err(OverlapWitness { string: w });
+        }
+    }
+    Ok(())
+}
+
+/// Lemma 4.4: if `⊕_i A_i` is unambiguous (up to `max_len`), then each
+/// summand is unambiguous — checked directly on the summands.
+///
+/// # Errors
+///
+/// Returns the index of the first ambiguous summand with its witness.
+pub fn summands_unambiguous(
+    summands: &[Grammar],
+    alphabet: &Alphabet,
+    max_len: usize,
+) -> Result<(), (usize, AmbiguityWitness)> {
+    for (i, g) in summands.iter().enumerate() {
+        check_unambiguous(g, alphabet, max_len).map_err(|w| (i, w))?;
+    }
+    Ok(())
+}
+
+/// Lemma 4.7: if `⊕_i A_i` is unambiguous then distinct summands are
+/// pairwise disjoint — checked directly on the summand pairs.
+///
+/// # Errors
+///
+/// Returns the overlapping pair and witness.
+pub fn summands_disjoint(
+    summands: &[Grammar],
+    alphabet: &Alphabet,
+    max_len: usize,
+) -> Result<(), (usize, usize, OverlapWitness)> {
+    for i in 0..summands.len() {
+        for j in (i + 1)..summands.len() {
+            check_disjoint(&summands[i], &summands[j], alphabet, max_len)
+                .map_err(|w| (i, j, w))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::grammar::expr::{alt, chr, eps, plus, star, tensor, top};
+    use crate::grammar::string_type::{char_grammar, string_grammar};
+
+    #[test]
+    fn basic_unambiguous_types() {
+        // §4: ⊤, 0, I, literals, Char and String are unambiguous.
+        let s = Alphabet::abc();
+        for g in [
+            top(),
+            crate::grammar::expr::bot(),
+            eps(),
+            chr(s.symbol("a").unwrap()),
+            char_grammar(&s),
+            string_grammar(&s),
+        ] {
+            check_unambiguous(&g, &s, 4).unwrap();
+        }
+    }
+
+    #[test]
+    fn a_plus_a_is_ambiguous() {
+        let s = Alphabet::abc();
+        let a = chr(s.symbol("a").unwrap());
+        let w = check_unambiguous(&alt(a.clone(), a), &s, 2).unwrap_err();
+        assert_eq!(w.count, 2);
+        assert_eq!(w.string, s.parse_str("a").unwrap());
+    }
+
+    #[test]
+    fn lemma_4_4_summands_of_unambiguous_sum() {
+        let s = Alphabet::abc();
+        let (a, b) = (chr(s.symbol("a").unwrap()), chr(s.symbol("b").unwrap()));
+        // 'a' ⊕ 'b' is unambiguous, so each summand is too.
+        check_unambiguous(&alt(a.clone(), b.clone()), &s, 3).unwrap();
+        summands_unambiguous(&[a, b], &s, 3).unwrap();
+    }
+
+    #[test]
+    fn lemma_4_7_disjoint_summands() {
+        let s = Alphabet::abc();
+        let (a, b) = (chr(s.symbol("a").unwrap()), chr(s.symbol("b").unwrap()));
+        summands_disjoint(&[a.clone(), b], &s, 3).unwrap();
+        // Overlapping summands are detected.
+        let err = summands_disjoint(&[a.clone(), a], &s, 3).unwrap_err();
+        assert_eq!(err.0, 0);
+        assert_eq!(err.1, 1);
+    }
+
+    #[test]
+    fn star_of_nullable_is_ambiguous() {
+        let s = Alphabet::abc();
+        let a = chr(s.symbol("a").unwrap());
+        // (a?)* is wildly ambiguous (infinitely many parses of ε).
+        let g = star(alt(eps(), a));
+        assert!(check_unambiguous(&g, &s, 1).is_err());
+    }
+
+    #[test]
+    fn ab_star_unambiguous() {
+        let s = Alphabet::abc();
+        let (a, b) = (chr(s.symbol("a").unwrap()), chr(s.symbol("b").unwrap()));
+        check_unambiguous(&star(tensor(a, b)), &s, 4).unwrap();
+    }
+
+    #[test]
+    fn all_strings_counts() {
+        let s = Alphabet::abc();
+        // 1 + 3 + 9 + 27 strings of length ≤ 3.
+        assert_eq!(all_strings(&s, 3).len(), 40);
+        assert_eq!(all_strings(&s, 0).len(), 1);
+        let _ = plus(vec![]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Parse transformers: the semantics of linear terms.
+//!
+//! A linear term `Γ; a : A ⊢ e : B` denotes a *parse transformer*
+//! (Definition 5.2): for every string `w`, a function `A(w) → B(w)`. The
+//! defining property — a transformer maps parses of `w` to parses of the
+//! *same* `w` — is the semantic content of intrinsic verification: a parser
+//! typed `String ⊸ A ⊕ A¬` can only ever return parses of its actual
+//! input.
+//!
+//! [`Transformer`] packages a tree-to-tree function with its domain and
+//! codomain grammars. Transformers built from the combinators in
+//! [`combinators`] preserve yields *by construction*; transformers built
+//! from raw closures with [`Transformer::from_fn`] are checked dynamically
+//! by [`Transformer::apply_checked`], which validates the input against
+//! the domain, the output against the codomain, and yield preservation.
+//!
+//! There is deliberately **no `swap` combinator**: the calculus is
+//! non-commutative (§3), and the absence of exchange is what makes the
+//! typing discipline sound for parsing.
+
+pub mod combinators;
+pub mod fold;
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::alphabet::GString;
+use crate::grammar::expr::Grammar;
+use crate::grammar::parse_tree::{check_shape, ParseTree, ValidateError};
+
+/// Errors raised when applying a parse transformer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The input tree does not have the shape the transformer expects.
+    InputShape {
+        /// Name of the transformer that failed.
+        transformer: String,
+        /// The underlying validation error.
+        cause: ValidateError,
+    },
+    /// The output tree does not validate against the codomain
+    /// (only detected by [`Transformer::apply_checked`]).
+    OutputShape {
+        /// Name of the transformer that failed.
+        transformer: String,
+        /// The underlying validation error.
+        cause: ValidateError,
+    },
+    /// The transformer changed the underlying string — a violation of the
+    /// parse-transformer contract (only detected by `apply_checked`).
+    YieldChanged {
+        /// Name of the offending transformer.
+        transformer: String,
+        /// Yield of the input tree.
+        input: GString,
+        /// Yield of the output tree.
+        output: GString,
+    },
+    /// A transformer out of the empty grammar `0` was applied; no input
+    /// can exist, so this indicates an upstream validation failure.
+    Unreachable {
+        /// Name of the transformer.
+        transformer: String,
+    },
+    /// Two transformers were composed with mismatched types.
+    ComposeMismatch {
+        /// Display form of the first transformer's codomain.
+        cod: String,
+        /// Display form of the second transformer's domain.
+        dom: String,
+    },
+    /// A domain-specific failure from a [`Transformer::from_fn`] closure.
+    Custom(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::InputShape { transformer, cause } => {
+                write!(f, "input to {transformer} is malformed: {cause}")
+            }
+            TransformError::OutputShape { transformer, cause } => {
+                write!(f, "output of {transformer} is malformed: {cause}")
+            }
+            TransformError::YieldChanged {
+                transformer,
+                input,
+                output,
+            } => write!(
+                f,
+                "{transformer} changed the underlying string {input} to {output}"
+            ),
+            TransformError::Unreachable { transformer } => {
+                write!(f, "{transformer} applied to an impossible input")
+            }
+            TransformError::ComposeMismatch { cod, dom } => {
+                write!(f, "cannot compose: codomain {cod} differs from domain {dom}")
+            }
+            TransformError::Custom(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+type TransformFn = dyn Fn(&ParseTree) -> Result<ParseTree, TransformError>;
+
+/// A parse transformer `↑(A ⊸ B)`: a yield-preserving function from
+/// parses of `A` to parses of `B`.
+///
+/// Cloning is O(1); the implementation is shared.
+#[derive(Clone)]
+pub struct Transformer {
+    dom: Grammar,
+    cod: Grammar,
+    name: String,
+    imp: Rc<TransformFn>,
+}
+
+impl Transformer {
+    /// Wraps an arbitrary closure as a transformer from `dom` to `cod`.
+    ///
+    /// The closure is *trusted* by [`Transformer::apply`] but fully
+    /// checked by [`Transformer::apply_checked`]; the test suites of this
+    /// workspace apply every hand-written transformer in checked mode.
+    pub fn from_fn(
+        name: impl Into<String>,
+        dom: Grammar,
+        cod: Grammar,
+        f: impl Fn(&ParseTree) -> Result<ParseTree, TransformError> + 'static,
+    ) -> Transformer {
+        Transformer {
+            dom,
+            cod,
+            name: name.into(),
+            imp: Rc::new(f),
+        }
+    }
+
+    /// The domain grammar `A`.
+    pub fn dom(&self) -> &Grammar {
+        &self.dom
+    }
+
+    /// The codomain grammar `B`.
+    pub fn cod(&self) -> &Grammar {
+        &self.cod
+    }
+
+    /// The transformer's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Applies the transformer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from the underlying implementation; does not
+    /// itself validate shapes (see [`Transformer::apply_checked`]).
+    pub fn apply(&self, tree: &ParseTree) -> Result<ParseTree, TransformError> {
+        (self.imp)(tree)
+    }
+
+    /// Applies the transformer with full dynamic verification: the input
+    /// must validate against the domain, the output against the codomain,
+    /// and the yield must be preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InputShape`], [`TransformError::OutputShape`]
+    /// or [`TransformError::YieldChanged`] on a contract violation, in
+    /// addition to any error from the implementation.
+    pub fn apply_checked(&self, tree: &ParseTree) -> Result<ParseTree, TransformError> {
+        check_shape(tree, &self.dom, None).map_err(|cause| TransformError::InputShape {
+            transformer: self.name.clone(),
+            cause,
+        })?;
+        let out = (self.imp)(tree)?;
+        check_shape(&out, &self.cod, None).map_err(|cause| TransformError::OutputShape {
+            transformer: self.name.clone(),
+            cause,
+        })?;
+        let (iy, oy) = (tree.flatten(), out.flatten());
+        if iy != oy {
+            return Err(TransformError::YieldChanged {
+                transformer: self.name.clone(),
+                input: iy,
+                output: oy,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Sequential composition `self ; next` (diagrammatic order): first
+    /// `self : A ⊸ B`, then `next : B ⊸ C`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::ComposeMismatch`] if the codomain of
+    /// `self` is not structurally equal to the domain of `next`.
+    pub fn then(&self, next: &Transformer) -> Result<Transformer, TransformError> {
+        if self.cod != next.dom {
+            return Err(TransformError::ComposeMismatch {
+                cod: format!("{}", self.cod),
+                dom: format!("{}", next.dom),
+            });
+        }
+        let f = self.clone();
+        let g = next.clone();
+        Ok(Transformer {
+            dom: self.dom.clone(),
+            cod: next.cod.clone(),
+            name: format!("({} ; {})", self.name, next.name),
+            imp: Rc::new(move |t| {
+                let mid = f.apply(t)?;
+                g.apply(&mid)
+            }),
+        })
+    }
+}
+
+impl fmt::Debug for Transformer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Transformer({} : {} ⊸ {})",
+            self.name, self.dom, self.cod
+        )
+    }
+}
+
+impl fmt::Display for Transformer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} : {} ⊸ {}", self.name, self.dom, self.cod)
+    }
+}

@@ -1,0 +1,105 @@
+//! Random regular-expression generators for tests and benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lambek_core::alphabet::{Alphabet, Symbol};
+
+use crate::ast::Regex;
+
+/// A random regex with roughly `size` AST nodes over `alphabet`.
+/// `∅` is excluded (it makes most downstream tests vacuous); `ε` appears
+/// with low probability.
+pub fn random_regex(alphabet: &Alphabet, size: usize, seed: u64) -> Regex {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen_sized(alphabet, &mut rng, size.max(1))
+}
+
+fn gen_sized(alphabet: &Alphabet, rng: &mut StdRng, size: usize) -> Regex {
+    if size <= 1 {
+        if rng.gen_bool(0.1) {
+            return Regex::Eps;
+        }
+        let c = Symbol::from_index(rng.gen_range(0..alphabet.len()));
+        return Regex::Char(c);
+    }
+    match rng.gen_range(0..10) {
+        0..=3 => {
+            let left = rng.gen_range(1..size);
+            Regex::concat(
+                gen_sized(alphabet, rng, left),
+                gen_sized(alphabet, rng, size - left),
+            )
+        }
+        4..=7 => {
+            let left = rng.gen_range(1..size);
+            Regex::alt(
+                gen_sized(alphabet, rng, left),
+                gen_sized(alphabet, rng, size - left),
+            )
+        }
+        _ => Regex::star(gen_sized(alphabet, rng, size - 1)),
+    }
+}
+
+/// A random regex guaranteed to be *star-unambiguous enough* for parse
+/// enumeration: stars are only applied to non-nullable bodies, so no
+/// grammar in the output has infinitely many parses of any string.
+pub fn random_finite_ambiguity_regex(alphabet: &Alphabet, size: usize, seed: u64) -> Regex {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut re = gen_sized(alphabet, &mut rng, size.max(1));
+    fix_nullable_stars(&mut re, alphabet, &mut rng);
+    re
+}
+
+fn fix_nullable_stars(re: &mut Regex, alphabet: &Alphabet, rng: &mut StdRng) {
+    match re {
+        Regex::Star(inner) => {
+            fix_nullable_stars(inner, alphabet, rng);
+            if inner.nullable() {
+                // Guard the body with a random character.
+                let c = Symbol::from_index(rng.gen_range(0..alphabet.len()));
+                let body = std::mem::replace(&mut **inner, Regex::Eps);
+                **inner = Regex::concat(Regex::Char(c), body);
+            }
+        }
+        Regex::Concat(l, r) | Regex::Alt(l, r) => {
+            fix_nullable_stars(l, alphabet, rng);
+            fix_nullable_stars(r, alphabet, rng);
+        }
+        Regex::Empty | Regex::Eps | Regex::Char(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_bodies_non_nullable(re: &Regex) -> bool {
+        match re {
+            Regex::Star(i) => !i.nullable() && star_bodies_non_nullable(i),
+            Regex::Concat(l, r) | Regex::Alt(l, r) => {
+                star_bodies_non_nullable(l) && star_bodies_non_nullable(r)
+            }
+            _ => true,
+        }
+    }
+
+    #[test]
+    fn random_regexes_have_requested_size_magnitude() {
+        let s = Alphabet::abc();
+        for seed in 0..20 {
+            let re = random_regex(&s, 12, seed);
+            assert!(re.size() >= 3, "seed {seed}: size {}", re.size());
+        }
+    }
+
+    #[test]
+    fn finite_ambiguity_regexes_have_guarded_stars() {
+        let s = Alphabet::abc();
+        for seed in 0..50 {
+            let re = random_finite_ambiguity_regex(&s, 10, seed);
+            assert!(star_bodies_non_nullable(&re), "seed {seed}: {re}");
+        }
+    }
+}

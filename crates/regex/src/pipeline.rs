@@ -1,0 +1,170 @@
+//! The verified regex parser pipeline (Corollary 4.12).
+//!
+//! For any regex `R`:
+//!
+//! 1. Thompson's construction gives `R ≅ TraceN` (Construction 4.11);
+//! 2. determinization gives `TraceN ≈ TraceD(·, true)` (Construction
+//!    4.10);
+//! 3. Theorem 4.9 gives a verified parser for `TraceD(·, true)` with
+//!    negative grammar `TraceD(·, false)`;
+//! 4. Lemma 4.8 extends that parser along the two equivalences back to a
+//!    verified parser *for the regex grammar itself* — accepted inputs
+//!    come back with an actual regex parse tree, rejected inputs with a
+//!    rejecting DFA trace, and the two grammars are disjoint.
+//!
+//! This module composes exactly those four pieces.
+
+use lambek_core::alphabet::{Alphabet, GString};
+use lambek_core::theory::equivalence::WeakEquiv;
+use lambek_core::theory::parser::{extend_parser, ParseOutcome, VerifiedParser};
+use lambek_core::transform::TransformError;
+use lambek_automata::determinize::{determinize, trace_weak_equiv, Determinized};
+use lambek_automata::run::dfa_trace_parser;
+
+use crate::ast::Regex;
+use crate::thompson::{thompson_strong_equiv, Thompson};
+
+/// A fully verified regex parser: the composed pipeline of Corollary 4.12.
+#[derive(Debug)]
+pub struct RegexParser {
+    regex: Regex,
+    alphabet: Alphabet,
+    thompson: Thompson,
+    determinized: Determinized,
+    parser: VerifiedParser,
+}
+
+impl RegexParser {
+    /// Compiles a regex into a verified parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransformError`] if the equivalences fail to compose —
+    /// which would indicate a bug in the constructions, not bad input.
+    pub fn compile(alphabet: &Alphabet, regex: Regex) -> Result<RegexParser, TransformError> {
+        // (1) R ≅ TraceN.
+        let (th, strong) = thompson_strong_equiv(alphabet, &regex);
+        // (2) TraceN ≈ TraceD(init, true).
+        let det = determinize(th.nfa());
+        let n_to_d = trace_weak_equiv(th.nfa(), &det);
+        // (3) Verified parser for the DFA's accepting traces.
+        let dfa_parser = dfa_trace_parser(&det.dfa, det.dfa.init());
+        // (4) Extend along TraceD ≈ TraceN, then TraceN ≈ R.
+        let via_nfa = extend_parser(&dfa_parser, &n_to_d.reverse())?;
+        let trace_to_regex = WeakEquiv::new(
+            strong.weak().bwd.clone(),
+            strong.weak().fwd.clone(),
+        );
+        let parser = extend_parser(&via_nfa, &trace_to_regex)?;
+        Ok(RegexParser {
+            regex,
+            alphabet: alphabet.clone(),
+            thompson: th,
+            determinized: det,
+            parser,
+        })
+    }
+
+    /// The source regex.
+    pub fn regex(&self) -> &Regex {
+        &self.regex
+    }
+
+    /// The input alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The Thompson NFA behind the parser.
+    pub fn thompson(&self) -> &Thompson {
+        &self.thompson
+    }
+
+    /// The determinized automaton behind the parser.
+    pub fn determinized(&self) -> &Determinized {
+        &self.determinized
+    }
+
+    /// The composed verified parser (grammar = the regex's grammar).
+    pub fn verified_parser(&self) -> &VerifiedParser {
+        &self.parser
+    }
+
+    /// Parses a string: `Accept` carries a parse tree of the *regex*
+    /// grammar validated against the input, `Reject` a rejecting DFA
+    /// trace over the same input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates contract violations from the underlying transformers
+    /// (never happens for a correctly composed pipeline).
+    pub fn parse(&self, w: &GString) -> Result<ParseOutcome, TransformError> {
+        self.parser.parse(w)
+    }
+
+    /// Fast acceptance check through the DFA only (no tree building).
+    pub fn accepts(&self, w: &GString) -> bool {
+        self.determinized.dfa.accepts(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_regex;
+    use crate::derivative::matches;
+    use lambek_core::grammar::parse_tree::validate;
+    use lambek_core::theory::unambiguous::all_strings;
+
+    #[test]
+    fn corollary_4_12_pipeline_sound_and_complete() {
+        let s = Alphabet::abc();
+        for src in ["(a*b)|c", "a(b|c)*", "(ab)*", "ε", "a*b*"] {
+            let re = parse_regex(&s, src).unwrap();
+            let p = RegexParser::compile(&s, re.clone()).unwrap();
+            for w in all_strings(&s, 3) {
+                let expected = matches(&re, &w);
+                let out = p.parse(&w).unwrap_or_else(|e| panic!("{src} on {w}: {e}"));
+                assert_eq!(out.is_accept(), expected, "{src} on {w}");
+                if let ParseOutcome::Accept(t) = out {
+                    validate(&t, &re.to_grammar(), &w).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accepted_trees_are_regex_parses_of_the_input() {
+        let s = Alphabet::abc();
+        let re = parse_regex(&s, "(a*b)|c").unwrap();
+        let p = RegexParser::compile(&s, re.clone()).unwrap();
+        let w = s.parse_str("aab").unwrap();
+        let out = p.parse(&w).unwrap();
+        let t = out.accepted().expect("aab matches");
+        assert_eq!(t.flatten(), w);
+        validate(&t.clone(), &re.to_grammar(), &w).unwrap();
+    }
+
+    #[test]
+    fn parser_audits_pass() {
+        let s = Alphabet::abc();
+        let re = parse_regex(&s, "(a|b)*c").unwrap();
+        let p = RegexParser::compile(&s, re).unwrap();
+        p.verified_parser().audit_disjointness(3).unwrap();
+        p.verified_parser().audit_against_recognizer(3).unwrap();
+    }
+
+    #[test]
+    fn ambiguous_regex_still_parses_deterministically() {
+        // ab|ab: the pipeline picks a single parse (via the DtoN choice
+        // function) even though two exist.
+        let s = Alphabet::abc();
+        let re = parse_regex(&s, "ab|ab").unwrap();
+        let p = RegexParser::compile(&s, re.clone()).unwrap();
+        let w = s.parse_str("ab").unwrap();
+        let t1 = p.parse(&w).unwrap().accepted().unwrap().clone();
+        let t2 = p.parse(&w).unwrap().accepted().unwrap().clone();
+        assert_eq!(t1, t2, "deterministic disambiguation");
+        validate(&t1, &re.to_grammar(), &w).unwrap();
+    }
+}

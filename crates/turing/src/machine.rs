@@ -1,0 +1,295 @@
+//! A single-tape Turing machine simulator.
+//!
+//! §4.3 of the paper encodes *unrestricted* grammars by reifying a
+//! Turing machine's acceptance predicate into a linear type. This module
+//! provides the machine substrate: a deterministic single-tape TM with a
+//! fuel-bounded simulator (the paper's predicate `accepts` is semi-
+//! decidable; fuel makes the experiments terminate).
+
+use std::collections::HashMap;
+
+use lambek_core::alphabet::{Alphabet, GString, Symbol};
+
+/// A tape symbol: input symbols embed at their alphabet index; working
+/// symbols (including the blank) live above them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TapeSym(pub u16);
+
+/// Head movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// One cell left.
+    Left,
+    /// One cell right.
+    Right,
+    /// Stay put.
+    Stay,
+}
+
+/// Result of a fuel-bounded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunResult {
+    /// Halted in the accepting state.
+    Accept,
+    /// Halted in the rejecting state (or on a missing transition).
+    Reject,
+    /// Fuel ran out before halting.
+    OutOfFuel,
+}
+
+/// A deterministic single-tape Turing machine.
+#[derive(Debug, Clone)]
+pub struct TuringMachine {
+    input_alphabet: Alphabet,
+    num_states: usize,
+    init: usize,
+    accept: usize,
+    reject: usize,
+    blank: TapeSym,
+    transitions: HashMap<(usize, TapeSym), (usize, TapeSym, Move)>,
+}
+
+impl TuringMachine {
+    /// Creates a machine with `num_states` states. The blank symbol is
+    /// chosen just above the input alphabet; use [`TuringMachine::work_symbol`]
+    /// for further working symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any named state is out of range or accept == reject.
+    pub fn new(
+        input_alphabet: Alphabet,
+        num_states: usize,
+        init: usize,
+        accept: usize,
+        reject: usize,
+    ) -> TuringMachine {
+        assert!(init < num_states && accept < num_states && reject < num_states);
+        assert_ne!(accept, reject, "accept and reject must differ");
+        let blank = TapeSym(input_alphabet.len() as u16);
+        TuringMachine {
+            input_alphabet,
+            num_states,
+            init,
+            accept,
+            reject,
+            blank,
+            transitions: HashMap::new(),
+        }
+    }
+
+    /// The input alphabet.
+    pub fn input_alphabet(&self) -> &Alphabet {
+        &self.input_alphabet
+    }
+
+    /// The blank tape symbol.
+    pub fn blank(&self) -> TapeSym {
+        self.blank
+    }
+
+    /// The tape embedding of an input symbol.
+    pub fn input_symbol(&self, sym: Symbol) -> TapeSym {
+        TapeSym(sym.index() as u16)
+    }
+
+    /// The `k`-th working symbol (distinct from inputs and the blank).
+    pub fn work_symbol(&self, k: usize) -> TapeSym {
+        TapeSym((self.input_alphabet.len() + 1 + k) as u16)
+    }
+
+    /// Adds the transition `(state, read) → (next, write, mv)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transition for `(state, read)` already exists (the
+    /// machine is deterministic) or a state is out of range.
+    pub fn add_transition(
+        &mut self,
+        state: usize,
+        read: TapeSym,
+        next: usize,
+        write: TapeSym,
+        mv: Move,
+    ) {
+        assert!(state < self.num_states && next < self.num_states);
+        let prev = self.transitions.insert((state, read), (next, write, mv));
+        assert!(prev.is_none(), "duplicate transition for ({state}, {read:?})");
+    }
+
+    /// Runs the machine on `w` for at most `fuel` steps.
+    pub fn run(&self, w: &GString, fuel: usize) -> RunResult {
+        let mut tape: HashMap<i64, TapeSym> = w
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as i64, self.input_symbol(s)))
+            .collect();
+        let mut head: i64 = 0;
+        let mut state = self.init;
+        for _ in 0..fuel {
+            if state == self.accept {
+                return RunResult::Accept;
+            }
+            if state == self.reject {
+                return RunResult::Reject;
+            }
+            let read = tape.get(&head).copied().unwrap_or(self.blank);
+            match self.transitions.get(&(state, read)) {
+                None => return RunResult::Reject,
+                Some(&(next, write, mv)) => {
+                    tape.insert(head, write);
+                    state = next;
+                    head += match mv {
+                        Move::Left => -1,
+                        Move::Right => 1,
+                        Move::Stay => 0,
+                    };
+                }
+            }
+        }
+        match state {
+            s if s == self.accept => RunResult::Accept,
+            s if s == self.reject => RunResult::Reject,
+            _ => RunResult::OutOfFuel,
+        }
+    }
+
+    /// Whether the machine accepts within the fuel budget (out-of-fuel
+    /// counts as rejection; callers pick fuel generously).
+    pub fn accepts(&self, w: &GString, fuel: usize) -> bool {
+        self.run(w, fuel) == RunResult::Accept
+    }
+}
+
+/// The classic non-context-free language `aⁿbⁿcⁿ` as a Turing machine
+/// over `{a, b, c}`.
+///
+/// Two phases: a regular *shape* pass checks the input matches `a*b*c*`
+/// (ordering), then a *marker loop* repeatedly marks one `a`, one `b` and
+/// one `c` per round and accepts when everything is marked (counting).
+pub fn anbncn_machine() -> TuringMachine {
+    let sigma = Alphabet::abc();
+    let a = sigma.symbol("a").expect("a");
+    let b = sigma.symbol("b").expect("b");
+    let c = sigma.symbol("c").expect("c");
+    // States: 0/1/2 shape a*/b*/c*; 3 initial rewind; 4 find-a;
+    // 5 find-b; 6 find-c; 7 loop rewind; 8 accept; 9 reject.
+    const ACCEPT: usize = 8;
+    const REJECT: usize = 9;
+    let mut tm = TuringMachine::new(sigma, 10, 0, ACCEPT, REJECT);
+    let (ta, tb, tc) = (tm.input_symbol(a), tm.input_symbol(b), tm.input_symbol(c));
+    let x = tm.work_symbol(0); // marked
+    let blank = tm.blank();
+
+    // Shape pass: the tape must read a* b* c*.
+    tm.add_transition(0, ta, 0, ta, Move::Right);
+    tm.add_transition(0, tb, 1, tb, Move::Right);
+    tm.add_transition(0, tc, 2, tc, Move::Right);
+    tm.add_transition(0, blank, 3, blank, Move::Left);
+    tm.add_transition(1, tb, 1, tb, Move::Right);
+    tm.add_transition(1, tc, 2, tc, Move::Right);
+    tm.add_transition(1, ta, REJECT, ta, Move::Stay);
+    tm.add_transition(1, blank, 3, blank, Move::Left);
+    tm.add_transition(2, tc, 2, tc, Move::Right);
+    tm.add_transition(2, ta, REJECT, ta, Move::Stay);
+    tm.add_transition(2, tb, REJECT, tb, Move::Stay);
+    tm.add_transition(2, blank, 3, blank, Move::Left);
+
+    // 3: rewind to the cell right of the left blank.
+    for s in [ta, tb, tc, x] {
+        tm.add_transition(3, s, 3, s, Move::Left);
+    }
+    tm.add_transition(3, blank, 4, blank, Move::Right);
+
+    // 4: find the next unmarked 'a' (skipping marks). A surviving b or c
+    // here means the counts differ.
+    tm.add_transition(4, x, 4, x, Move::Right);
+    tm.add_transition(4, ta, 5, x, Move::Right);
+    tm.add_transition(4, tb, REJECT, tb, Move::Stay);
+    tm.add_transition(4, tc, REJECT, tc, Move::Stay);
+    tm.add_transition(4, blank, ACCEPT, blank, Move::Stay);
+
+    // 5: find the next unmarked 'b' (skipping a's and marks).
+    tm.add_transition(5, ta, 5, ta, Move::Right);
+    tm.add_transition(5, x, 5, x, Move::Right);
+    tm.add_transition(5, tb, 6, x, Move::Right);
+    tm.add_transition(5, tc, REJECT, tc, Move::Stay);
+    tm.add_transition(5, blank, REJECT, blank, Move::Stay);
+
+    // 6: find the next unmarked 'c' (skipping b's and marks).
+    tm.add_transition(6, tb, 6, tb, Move::Right);
+    tm.add_transition(6, x, 6, x, Move::Right);
+    tm.add_transition(6, tc, 7, x, Move::Left);
+    tm.add_transition(6, ta, REJECT, ta, Move::Stay);
+    tm.add_transition(6, blank, REJECT, blank, Move::Stay);
+
+    // 7: rewind and loop.
+    for s in [ta, tb, tc, x] {
+        tm.add_transition(7, s, 7, s, Move::Left);
+    }
+    tm.add_transition(7, blank, 4, blank, Move::Right);
+
+    tm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FUEL: usize = 10_000;
+
+    #[test]
+    fn anbncn_accepts_exactly_the_language() {
+        let tm = anbncn_machine();
+        let s = tm.input_alphabet().clone();
+        for n in 0..5 {
+            let w = s
+                .parse_str(&format!(
+                    "{}{}{}",
+                    "a".repeat(n),
+                    "b".repeat(n),
+                    "c".repeat(n)
+                ))
+                .unwrap();
+            assert!(tm.accepts(&w, FUEL), "a^{n} b^{n} c^{n}");
+        }
+        for no in [
+            "a", "b", "c", "ab", "abcc", "aabbc", "abab", "cba", "aabbbccc", "abca", "abcabc",
+            "acb", "bac", "aabcbc",
+        ] {
+            let w = s.parse_str(no).unwrap();
+            assert!(!tm.accepts(&w, FUEL), "{no}");
+        }
+    }
+
+    #[test]
+    fn out_of_fuel_is_reported() {
+        // A two-state machine that loops forever on 'a'.
+        let sigma = Alphabet::abc();
+        let a = sigma.symbol("a").unwrap();
+        let mut tm = TuringMachine::new(sigma.clone(), 3, 0, 1, 2);
+        let ta = tm.input_symbol(a);
+        tm.add_transition(0, ta, 0, ta, Move::Stay);
+        let w = sigma.parse_str("a").unwrap();
+        assert_eq!(tm.run(&w, 100), RunResult::OutOfFuel);
+    }
+
+    #[test]
+    fn missing_transition_rejects() {
+        let sigma = Alphabet::abc();
+        let tm = TuringMachine::new(sigma.clone(), 3, 0, 1, 2);
+        let w = sigma.parse_str("a").unwrap();
+        assert_eq!(tm.run(&w, 100), RunResult::Reject);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate transition")]
+    fn determinism_is_enforced() {
+        let sigma = Alphabet::abc();
+        let a = sigma.symbol("a").unwrap();
+        let mut tm = TuringMachine::new(sigma, 3, 0, 1, 2);
+        let ta = tm.input_symbol(a);
+        tm.add_transition(0, ta, 0, ta, Move::Right);
+        tm.add_transition(0, ta, 1, ta, Move::Left);
+    }
+}

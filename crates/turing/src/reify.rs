@@ -1,0 +1,157 @@
+//! The `Reify` construction: unrestricted grammars (§4.3,
+//! Construction 4.15).
+//!
+//! For any non-linear predicate `P : String → U`, the paper defines
+//! `Reify P = ⊕_{w : String} ⊕_{x : P w} ⌈w⌉` — a grammar whose parses of
+//! `w` are exactly the proofs of `P w`. Taking `P` to be a Turing
+//! machine's acceptance predicate embeds every recursively enumerable
+//! language as a linear type.
+//!
+//! The index set `String` is infinite, so [`reify`] materializes the
+//! *length-truncated* instance: the sum over all strings of length ≤
+//! `max_len` satisfying `P` (exact for inputs within the bound, per the
+//! substitution policy of DESIGN.md §2). `P` itself is a boolean
+//! predicate here — proof-relevance collapses to proof-irrelevance
+//! because a fueled TM run either accepts or does not.
+
+use lambek_core::alphabet::{Alphabet, GString};
+use lambek_core::grammar::expr::{plus, string_literal, Grammar};
+use lambek_core::grammar::parse_tree::ParseTree;
+use lambek_core::theory::unambiguous::all_strings;
+
+use crate::machine::TuringMachine;
+
+/// A reified predicate: the truncated `Reify P` grammar and the strings
+/// it indexes.
+#[derive(Debug, Clone)]
+pub struct Reified {
+    /// The grammar `⊕_{w ≤ max_len, P w} ⌈w⌉`.
+    pub grammar: Grammar,
+    /// The accepted strings, in summand order.
+    pub strings: Vec<GString>,
+    /// The truncation bound.
+    pub max_len: usize,
+}
+
+impl Reified {
+    /// The canonical parse of `w` in the reified grammar, if `P w` held
+    /// within the bound: the injection at `w`'s summand filled with the
+    /// literal character chain.
+    pub fn parse(&self, w: &GString) -> Option<ParseTree> {
+        let idx = self.strings.iter().position(|s| s == w)?;
+        Some(ParseTree::inj(idx, literal_parse(w)))
+    }
+}
+
+/// The unique parse of `⌈w⌉`: right-nested pairs of characters ending in
+/// the unit (§4.3's `⌈·⌉` on trees).
+pub fn literal_parse(w: &GString) -> ParseTree {
+    let mut tree = ParseTree::Unit;
+    let symbols: Vec<_> = w.iter().collect();
+    for (i, sym) in symbols.iter().enumerate().rev() {
+        if i == symbols.len() - 1 {
+            tree = ParseTree::Char(*sym);
+        } else {
+            tree = ParseTree::pair(ParseTree::Char(*sym), tree);
+        }
+    }
+    if symbols.is_empty() {
+        tree = ParseTree::Unit;
+    }
+    tree
+}
+
+/// Reifies an arbitrary boolean predicate over strings of length ≤
+/// `max_len` (Construction 4.15, truncated).
+pub fn reify(
+    alphabet: &Alphabet,
+    max_len: usize,
+    predicate: impl Fn(&GString) -> bool,
+) -> Reified {
+    let strings: Vec<GString> = all_strings(alphabet, max_len)
+        .into_iter()
+        .filter(|w| predicate(w))
+        .collect();
+    let grammar = plus(strings.iter().map(string_literal).collect());
+    Reified {
+        grammar,
+        strings,
+        max_len,
+    }
+}
+
+/// Reifies a Turing machine's (fuel-bounded) acceptance predicate: the
+/// grammar of Construction 4.15 for the machine's language.
+pub fn reify_machine(tm: &TuringMachine, fuel: usize, max_len: usize) -> Reified {
+    reify(tm.input_alphabet(), max_len, |w| tm.accepts(w, fuel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::anbncn_machine;
+    use lambek_core::grammar::compile::CompiledGrammar;
+    use lambek_core::grammar::parse_tree::validate;
+    use lambek_core::theory::unambiguous::check_unambiguous;
+
+    const FUEL: usize = 10_000;
+
+    #[test]
+    fn construction_4_15_reified_language_equals_machine_language() {
+        let tm = anbncn_machine();
+        let s = tm.input_alphabet().clone();
+        let reified = reify_machine(&tm, FUEL, 6);
+        let cg = CompiledGrammar::new(&reified.grammar);
+        for w in all_strings(&s, 6) {
+            assert_eq!(cg.recognizes(&w), tm.accepts(&w, FUEL), "{w}");
+        }
+    }
+
+    #[test]
+    fn reified_grammar_is_beyond_context_free() {
+        // The reified language contains abc and aabbcc but not aabbc —
+        // the aⁿbⁿcⁿ signature no CFG recognizes.
+        let tm = anbncn_machine();
+        let s = tm.input_alphabet().clone();
+        let reified = reify_machine(&tm, FUEL, 6);
+        let cg = CompiledGrammar::new(&reified.grammar);
+        assert!(cg.recognizes(&s.parse_str("abc").unwrap()));
+        assert!(cg.recognizes(&s.parse_str("aabbcc").unwrap()));
+        assert!(cg.recognizes(&GString::new()));
+        assert!(!cg.recognizes(&s.parse_str("aabbc").unwrap()));
+    }
+
+    #[test]
+    fn reified_parses_validate() {
+        let tm = anbncn_machine();
+        let s = tm.input_alphabet().clone();
+        let reified = reify_machine(&tm, FUEL, 6);
+        for w in ["", "abc", "aabbcc"] {
+            let w = s.parse_str(w).unwrap();
+            let t = reified.parse(&w).expect("in the language");
+            validate(&t, &reified.grammar, &w).unwrap();
+        }
+        assert!(reified.parse(&s.parse_str("ab").unwrap()).is_none());
+    }
+
+    #[test]
+    fn reified_deterministic_predicate_is_unambiguous() {
+        // Each string indexes at most one summand, and ⌈w⌉ is
+        // unambiguous, so Reify P is unambiguous.
+        let tm = anbncn_machine();
+        let reified = reify_machine(&tm, FUEL, 4);
+        check_unambiguous(&reified.grammar, tm.input_alphabet(), 4).unwrap();
+    }
+
+    #[test]
+    fn reify_arbitrary_predicate() {
+        // Reify "even length" — a sanity check that reify is not tied to
+        // machines.
+        let s = Alphabet::abc();
+        let reified = reify(&s, 3, |w| w.len() % 2 == 0);
+        let cg = CompiledGrammar::new(&reified.grammar);
+        for w in all_strings(&s, 3) {
+            assert_eq!(cg.recognizes(&w), w.len() % 2 == 0, "{w}");
+        }
+    }
+}

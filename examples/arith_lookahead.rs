@@ -1,0 +1,48 @@
+//! Verified parsing of arithmetic expressions with one token of lookahead
+//! (Fig. 15, Theorem 4.14).
+//!
+//! The `Exp`/`Atom` grammar is weakly equivalent to the accepting traces
+//! `O 0 true` of the lookahead automaton; the verified parser produces
+//! genuine `Exp` parse trees — and the grammar's structure makes `+`
+//! right-associative by construction.
+//!
+//! Run with: `cargo run --example arith_lookahead`
+
+use lambek_automata::lookahead::ArithTokens;
+use lambek_cfg::expr::{exp_parser, parse_exp_string};
+use lambek_core::alphabet::GString;
+use lambek_core::theory::parser::ParseOutcome;
+
+fn tokens(t: &ArithTokens, src: &str) -> GString {
+    // `n` stands for the NUM token.
+    src.chars()
+        .map(|c| match c {
+            '(' => t.lp,
+            ')' => t.rp,
+            '+' => t.add,
+            'n' => t.num,
+            other => panic!("unknown token {other}"),
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t = ArithTokens::new();
+    let parser = exp_parser(32);
+
+    for input in ["n", "n+n+n", "(n+n)+n", "((n))", "n+", "()", "n+n)"] {
+        let w = tokens(&t, input);
+        match parser.parse(&w)? {
+            ParseOutcome::Accept(tree) => {
+                assert_eq!(tree.flatten(), w);
+                println!("{input:>8} ✓ expression: {tree}");
+            }
+            ParseOutcome::Reject(_) => println!("{input:>8} ✗ not an expression"),
+        }
+    }
+
+    // Right associativity, visible in the tree: n+n+n = n+(n+n).
+    let tree = parse_exp_string(&t, &tokens(&t, "n+n+n")).expect("valid expression");
+    println!("\nn+n+n parses as add(atom, +, add(atom, +, done(atom))):\n  {tree}");
+    Ok(())
+}

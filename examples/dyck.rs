@@ -1,0 +1,50 @@
+//! Verified parsing of the Dyck language (Fig. 13, Fig. 14, Theorem 4.13).
+//!
+//! The Dyck grammar of balanced parentheses is strongly equivalent to the
+//! accepting traces of an infinite-state counter automaton; the verified
+//! parser is the automaton's Theorem 4.9 parser extended along that
+//! equivalence with Lemma 4.8.
+//!
+//! Run with: `cargo run --example dyck`
+
+use lambek_automata::counter::CounterMachine;
+use lambek_automata::gen::random_dyck;
+use lambek_core::theory::parser::ParseOutcome;
+use lambek_cfg::dyck::{dyck_parser, dyck_trace_equiv, Parens};
+use lambek_core::theory::unambiguous::all_strings;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let p = Parens::new();
+    let machine = CounterMachine::new();
+
+    // Theorem 4.13's strong equivalence, checked on all strings ≤ 6.
+    let equiv = dyck_trace_equiv(&p, 6);
+    equiv.check_on(&all_strings(&p.alphabet, 6), 8)?;
+    equiv.check_counts_on(&all_strings(&p.alphabet, 6), 8)?;
+    println!("Theorem 4.13: Dyck ≅ ParseM verified on all strings of length ≤ 6");
+
+    let parser = dyck_parser(20);
+    for input in ["", "()", "(()())()", "((((", "())(", "(())"] {
+        let w = p.alphabet.parse_str(input).expect("parenthesis string");
+        match parser.parse(&w)? {
+            ParseOutcome::Accept(tree) => {
+                assert!(machine.accepts(&w));
+                println!("{input:>10} ✓ balanced, derivation: {tree}");
+            }
+            ParseOutcome::Reject(_) => {
+                assert!(!machine.accepts(&w));
+                println!("{input:>10} ✗ unbalanced (rejecting trace)");
+            }
+        }
+    }
+
+    // A bigger randomized run.
+    let w = random_dyck(32, 42);
+    let outcome = parser.parse(&w)?;
+    println!(
+        "random 64-char Dyck word: {} (depth {})",
+        if outcome.is_accept() { "accepted" } else { "rejected" },
+        machine.max_depth(&w),
+    );
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! # lambekd — Dependent Lambek Calculus in Rust (workspace facade)
+//!
+//! A reproduction of *Intrinsic Verification of Parsers and Formal
+//! Grammar Theory in Dependent Lambek Calculus* (Schaefer, Varner,
+//! Azevedo de Amorim, New — PLDI 2025). This crate re-exports the
+//! workspace members; see the individual crates for the full story:
+//!
+//! * [`core`] (`lambek-core`) — grammars as linear types, parse
+//!   transformers, the formal grammar theory of §4, and the deep syntax
+//!   with its ordered-linear type checker;
+//! * [`automata`] (`lambek-automata`) — NFAs/DFAs with trace grammars,
+//!   determinization, the counter and lookahead automata;
+//! * [`regex`] (`regex-grammars`) — the verified regex parser pipeline
+//!   (Corollary 4.12) plus the derivative baseline;
+//! * [`cfg`](mod@cfg) (`lambek-cfg`) — context-free grammars: Dyck (Theorem 4.13),
+//!   arithmetic expressions (Theorem 4.14), and an Earley baseline;
+//! * [`turing`] (`lambek-turing`) — unrestricted grammars via `Reify`
+//!   (Construction 4.15).
+
+pub use lambek_automata as automata;
+pub use lambek_cfg as cfg;
+pub use lambek_core as core;
+pub use lambek_turing as turing;
+pub use regex_grammars as regex;

@@ -1,0 +1,94 @@
+//! Property tests for the automata substrate: Theorem 4.9 (trace
+//! parser/printer retraction) and Construction 4.10 (determinization) on
+//! randomly generated machines.
+
+use proptest::prelude::*;
+
+use lambek_core::alphabet::{Alphabet, GString, Symbol};
+use lambek_core::grammar::parse_tree::validate;
+use lambek_automata::determinize::{determinize, least_accepting_trace, trace_weak_equiv};
+use lambek_automata::dfa::{parse_dfa, print_dfa};
+use lambek_automata::equiv::equivalent;
+use lambek_automata::gen::{random_dfa, random_nfa};
+use lambek_automata::minimize::minimize;
+use lambek_automata::run::dfa_trace_parser;
+
+fn arb_string(max_len: usize) -> impl Strategy<Value = GString> {
+    proptest::collection::vec(0usize..3, 0..=max_len)
+        .prop_map(|v| v.into_iter().map(Symbol::from_index).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 4.9 on random DFAs: `printD ∘ parseD = id`, the produced
+    /// trace validates, and the accept bit matches the DFA run.
+    #[test]
+    fn parse_print_retraction_random_dfas(
+        seed in 0u64..300,
+        states in 1usize..7,
+        w in arb_string(8),
+    ) {
+        let sigma = Alphabet::abc();
+        let dfa = random_dfa(&sigma, states, seed);
+        let tg = dfa.trace_grammar();
+        let (b, tree) = parse_dfa(&dfa, &tg, dfa.init(), &w);
+        prop_assert_eq!(b, dfa.accepts(&w));
+        validate(&tree, &tg.trace(dfa.init(), b), &w).expect("trace validates");
+        prop_assert_eq!(print_dfa(&dfa, &tg, dfa.init(), b, &tree), w);
+    }
+
+    /// The Theorem 4.9 verified parser audits on random DFAs.
+    #[test]
+    fn dfa_trace_parser_audits(seed in 0u64..40, states in 1usize..5) {
+        let sigma = Alphabet::abc();
+        let dfa = random_dfa(&sigma, states, seed);
+        let parser = dfa_trace_parser(&dfa, dfa.init());
+        parser.audit_disjointness(3).expect("disjoint");
+        parser.audit_against_recognizer(3).expect("sound and complete");
+    }
+
+    /// Construction 4.10 on random NFAs: the determinized DFA recognizes
+    /// the same language, and minimization preserves it.
+    #[test]
+    fn determinization_preserves_language(
+        seed in 0u64..300,
+        states in 1usize..6,
+        w in arb_string(7),
+    ) {
+        let sigma = Alphabet::abc();
+        let nfa = random_nfa(&sigma, states, 1.5, seed);
+        let det = determinize(&nfa);
+        prop_assert_eq!(nfa.accepts(&w), det.dfa.accepts(&w));
+        let min = minimize(&det.dfa);
+        prop_assert!(equivalent(&det.dfa, &min).is_none());
+    }
+
+    /// The `DtoN` choice function on random NFAs: the least accepting
+    /// trace is valid, yields the input, and the weak-equivalence
+    /// transformers produce validated trees.
+    #[test]
+    fn dton_choice_function(
+        seed in 0u64..200,
+        states in 2usize..6,
+        w in arb_string(5),
+    ) {
+        let sigma = Alphabet::abc();
+        let nfa = random_nfa(&sigma, states, 1.5, seed);
+        prop_assume!(nfa.accepts(&w));
+        let trace = least_accepting_trace(&nfa, &w);
+        prop_assert!(trace.is_valid_from(&nfa, nfa.init()));
+        prop_assert_eq!(trace.yield_string(&nfa), w.clone());
+
+        let det = determinize(&nfa);
+        let eq = trace_weak_equiv(&nfa, &det);
+        let ntg = nfa.trace_grammar();
+        let nt = trace.to_parse_tree(&nfa, &ntg, nfa.init());
+        let dt = eq.fwd.apply_checked(&nt).expect("NtoD total on traces");
+        let dtg = det.dfa.trace_grammar();
+        validate(&dt, &dtg.trace(det.dfa.init(), true), &w).expect("DFA trace validates");
+        let back = eq.bwd.apply_checked(&dt).expect("DtoN total on accepting traces");
+        // DtoN picks the least trace, which is what we started from.
+        prop_assert_eq!(back, nt);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the paper's grammar-specific axioms (§3.2, §3.4):
+//! they hold in the denotational model (Theorems B.5–B.7), so they must
+//! hold executably here.
+
+use proptest::prelude::*;
+
+use lambek_core::alphabet::{Alphabet, GString, Symbol};
+use lambek_core::grammar::compile::CompiledGrammar;
+use lambek_core::grammar::distributivity::{
+    distributivity_iso, sigma_disjoint_witness, start_char_decomposition, start_char_iso,
+};
+use lambek_core::grammar::expr::{alt, chr, eps, star, tensor, Grammar};
+use lambek_core::grammar::parse_tree::ParseTree;
+use lambek_core::grammar::string_type::{string_grammar, string_parse};
+use lambek_core::theory::equivalence::{check_retract_on, StrongEquiv, WeakEquiv};
+use lambek_core::theory::unambiguous::all_strings;
+
+fn arb_string(max_len: usize) -> impl Strategy<Value = GString> {
+    proptest::collection::vec(0usize..3, 0..=max_len)
+        .prop_map(|v| v.into_iter().map(Symbol::from_index).collect())
+}
+
+/// A small pool of concrete grammars for the axiom tests.
+fn grammar_pool() -> Vec<Grammar> {
+    let s = Alphabet::abc();
+    let (a, b, c) = (
+        s.symbol("a").unwrap(),
+        s.symbol("b").unwrap(),
+        s.symbol("c").unwrap(),
+    );
+    vec![
+        chr(a),
+        chr(b),
+        eps(),
+        tensor(chr(a), chr(b)),
+        alt(chr(a), chr(c)),
+        star(chr(a)),
+        tensor(star(chr(a)), chr(b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Axiom 3.1 (distributivity): the mixed-radix iso between
+    /// `&ᵢ ⊕ⱼ A` and `⊕_f &ᵢ A` round-trips on every parse.
+    #[test]
+    fn axiom_3_1_distributivity(
+        i1 in 0usize..7, i2 in 0usize..7, i3 in 0usize..7, i4 in 0usize..7,
+    ) {
+        let pool = grammar_pool();
+        let fam1 = vec![pool[i1].clone(), pool[i2].clone()];
+        let fam2 = vec![pool[i3].clone(), pool[i4].clone()];
+        let iso = distributivity_iso(vec![fam1, fam2]);
+        let eq = StrongEquiv::new(WeakEquiv::new(iso.fwd, iso.bwd));
+        let strings = all_strings(&Alphabet::abc(), 2);
+        eq.check_on(&strings, 32).expect("distributivity round-trips");
+        eq.check_counts_on(&strings, 32).expect("counts agree");
+    }
+
+    /// The §3.2 consequence used by the lookahead parser: `A` is a
+    /// retract of `(A & I) ⊕ ⊕_c (A & ('c' ⊗ ⊤))`, and both recognize
+    /// the same language.
+    #[test]
+    fn start_char_decomposition_equivalence(gi in 0usize..7, w in arb_string(4)) {
+        let s = Alphabet::abc();
+        let g = grammar_pool()[gi].clone();
+        let iso = start_char_iso(&g, &s);
+        let eq = WeakEquiv::new(iso.fwd, iso.bwd);
+        check_retract_on(&eq, std::slice::from_ref(&w), 16).expect("retract law");
+        let d = start_char_decomposition(&g, &s);
+        prop_assert_eq!(
+            CompiledGrammar::new(&g).recognizes(&w),
+            CompiledGrammar::new(&d).recognizes(&w)
+        );
+    }
+
+    /// Axiom 3.4 / Theorem B.7: `String` has exactly one parse of every
+    /// string — it is strongly equivalent to `⊤`, and the canonical parse
+    /// is that parse.
+    #[test]
+    fn axiom_3_4_string_is_top(w in arb_string(6)) {
+        let s = Alphabet::abc();
+        let cg = CompiledGrammar::new(&string_grammar(&s));
+        let forest = cg.parses(&w, 4);
+        prop_assert_eq!(forest.trees.len(), 1);
+        prop_assert!(!forest.truncated);
+        prop_assert_eq!(&forest.trees[0], &string_parse(&w));
+    }
+
+    /// Axiom 3.3 (σ-disjointness): distinct injections never produce the
+    /// same parse, and the refutation function always fires.
+    #[test]
+    fn axiom_3_3_sigma_disjoint(gi in 0usize..7, w in arb_string(3)) {
+        let g = grammar_pool()[gi].clone();
+        let sum = alt(g.clone(), g);
+        let cg = CompiledGrammar::new(&sum);
+        let forest = cg.parses(&w, 32);
+        for t in &forest.trees {
+            if let ParseTree::Inj { index, tree } = t {
+                // The same payload under the other tag is a *different*
+                // parse: σ is injective and disjoint across tags.
+                let other = ParseTree::inj(1 - index, (**tree).clone());
+                prop_assert!(&other != t);
+                prop_assert!(sigma_disjoint_witness(*index, 1 - index, t).is_err());
+            }
+        }
+    }
+}
+
+/// Lemma 4.3/4.4/4.7 on concrete grammars (the unambiguity toolkit).
+#[test]
+fn unambiguity_lemmas_concrete() {
+    use lambek_core::theory::unambiguous::{
+        check_disjoint, check_unambiguous, summands_disjoint, summands_unambiguous,
+    };
+    let s = Alphabet::abc();
+    let (a, b) = (s.symbol("a").unwrap(), s.symbol("b").unwrap());
+    // Lemma 4.3 instance: String is a retract of ⊤, hence unambiguous.
+    check_unambiguous(&string_grammar(&s), &s, 4).unwrap();
+    // Lemma 4.4: the summands of the unambiguous 'a' ⊕ 'b'.
+    check_unambiguous(&alt(chr(a), chr(b)), &s, 3).unwrap();
+    summands_unambiguous(&[chr(a), chr(b)], &s, 3).unwrap();
+    // Lemma 4.7: unambiguous sums have disjoint summands.
+    summands_disjoint(&[chr(a), chr(b)], &s, 3).unwrap();
+    check_disjoint(&star(chr(a)), &tensor(chr(b), star(chr(b))), &s, 4).unwrap();
+}

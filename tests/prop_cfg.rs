@@ -1,0 +1,153 @@
+//! Property tests for the context-free layer: the verified Dyck and
+//! expression parsers against the Earley baseline and the machines.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lambek_core::alphabet::GString;
+use lambek_core::grammar::parse_tree::validate;
+use lambek_automata::counter::CounterMachine;
+use lambek_automata::gen::{random_arith, random_dyck};
+use lambek_automata::lookahead::{simulate, ArithTokens};
+use lambek_cfg::dyck::{dyck_grammar, dyck_parser, parse_dyck_string, Parens};
+use lambek_cfg::earley::{earley_parse, earley_recognize};
+use lambek_cfg::expr::{exp_grammar, exp_parser, parse_exp_string};
+use lambek_cfg::grammar::{Cfg, GSym, Production};
+
+/// The Dyck CFG (S ::= ε | ( S ) S) for the Earley baseline.
+fn dyck_cfg(p: &Parens) -> Cfg {
+    Cfg::new(
+        p.alphabet.clone(),
+        vec!["S".to_owned()],
+        vec![vec![
+            Production { rhs: vec![] },
+            Production {
+                rhs: vec![
+                    GSym::T(p.open),
+                    GSym::N(0),
+                    GSym::T(p.close),
+                    GSym::N(0),
+                ],
+            },
+        ]],
+        0,
+    )
+}
+
+/// The Exp/Atom CFG for the Earley baseline.
+fn exp_cfg(t: &ArithTokens) -> Cfg {
+    Cfg::new(
+        t.alphabet.clone(),
+        vec!["Exp".to_owned(), "Atom".to_owned()],
+        vec![
+            vec![
+                Production {
+                    rhs: vec![GSym::N(1)],
+                },
+                Production {
+                    rhs: vec![GSym::N(1), GSym::T(t.add), GSym::N(0)],
+                },
+            ],
+            vec![
+                Production {
+                    rhs: vec![GSym::T(t.num)],
+                },
+                Production {
+                    rhs: vec![GSym::T(t.lp), GSym::N(0), GSym::T(t.rp)],
+                },
+            ],
+        ],
+        0,
+    )
+}
+
+/// Mutates a string by flipping one random position to a random symbol.
+fn mutate(w: &GString, alphabet_len: usize, seed: u64) -> GString {
+    if w.is_empty() {
+        return w.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos = rng.gen_range(0..w.len());
+    let mut out: Vec<_> = w.iter().collect();
+    out[pos] = lambek_core::alphabet::Symbol::from_index(rng.gen_range(0..alphabet_len));
+    GString::from_symbols(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Theorem 4.13 at scale: the verified Dyck parser agrees with the
+    /// counter machine and the Earley baseline on random (possibly
+    /// mutated) Dyck words, and accepted trees validate.
+    #[test]
+    fn dyck_parser_vs_machine_and_earley(pairs in 1usize..10, seed in 0u64..200) {
+        let p = Parens::new();
+        let machine = CounterMachine::new();
+        let cfg = dyck_cfg(&p);
+        let parser = dyck_parser(24);
+
+        let balanced = random_dyck(pairs, seed);
+        let candidates = [balanced.clone(), mutate(&balanced, 2, seed ^ 0xDEAD)];
+        for w in candidates {
+            let expected = machine.accepts(&w);
+            prop_assert_eq!(earley_recognize(&cfg, &w), expected);
+            let outcome = parser.parse(&w).expect("total");
+            prop_assert_eq!(outcome.is_accept(), expected);
+            if let Some(tree) = outcome.accepted() {
+                validate(tree, &dyck_grammar(&p), &w).expect("intrinsic");
+                // The recursive-descent and Earley trees agree (both
+                // produce the unique derivation).
+                let rd = parse_dyck_string(&p, &w).expect("balanced");
+                prop_assert_eq!(tree, &rd);
+                let earley = earley_parse(&cfg, &w).expect("balanced");
+                prop_assert_eq!(&earley, tree);
+            }
+        }
+    }
+
+    /// Theorem 4.14 at scale: the verified expression parser agrees with
+    /// the lookahead machine and Earley on random expressions and their
+    /// mutations.
+    #[test]
+    fn exp_parser_vs_machine_and_earley(
+        atoms in 1usize..6,
+        depth in 0usize..3,
+        seed in 0u64..200,
+    ) {
+        let t = ArithTokens::new();
+        let cfg = exp_cfg(&t);
+        let parser = exp_parser(40);
+
+        let expr = random_arith(atoms, depth, seed);
+        let candidates = [expr.clone(), mutate(&expr, 4, seed ^ 0xBEEF)];
+        for w in candidates {
+            let expected = simulate(&t, &w);
+            prop_assert_eq!(earley_recognize(&cfg, &w), expected, "{}", w);
+            let outcome = parser.parse(&w).expect("total");
+            prop_assert_eq!(outcome.is_accept(), expected, "{}", w);
+            if let Some(tree) = outcome.accepted() {
+                validate(tree, &exp_grammar(&t), &w).expect("intrinsic");
+                let ll1 = parse_exp_string(&t, &w).expect("expression");
+                prop_assert_eq!(tree, &ll1);
+            }
+        }
+    }
+
+    /// The μ-regular encoding and Earley recognize the same language for
+    /// random sentences of the aⁿbⁿ grammar.
+    #[test]
+    fn mu_regular_encoding_matches_earley(seed in 0u64..100) {
+        use lambek_core::grammar::compile::CompiledGrammar;
+        let s = lambek_core::alphabet::Alphabet::abc();
+        let (a, b) = (s.symbol("a").unwrap(), s.symbol("b").unwrap());
+        let cfg = lambek_cfg::grammar::anbn(&s, a, b);
+        let cg = CompiledGrammar::new(&cfg.to_lambek());
+        if let Some(w) = cfg.random_sentence(seed, 8) {
+            prop_assert!(cg.recognizes(&w));
+            prop_assert!(earley_recognize(&cfg, &w));
+            let m = mutate(&w, 3, seed);
+            prop_assert_eq!(cg.recognizes(&m), earley_recognize(&cfg, &m));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the central intrinsic-verification claims:
+//! parsers produce only valid parse trees of their actual input, and
+//! parse transformers never change the underlying string.
+
+use proptest::prelude::*;
+
+use lambek_core::alphabet::{Alphabet, GString, Symbol};
+use lambek_core::grammar::compile::CompiledGrammar;
+use lambek_core::grammar::parse_tree::validate;
+use lambek_core::theory::parser::ParseOutcome;
+use regex_grammars::ast::Regex;
+use regex_grammars::derivative::matches;
+use regex_grammars::gen::random_regex;
+use regex_grammars::pipeline::RegexParser;
+use regex_grammars::thompson::thompson_strong_equiv;
+
+fn arb_string(max_len: usize) -> impl Strategy<Value = GString> {
+    proptest::collection::vec(0usize..3, 0..=max_len)
+        .prop_map(|v| v.into_iter().map(Symbol::from_index).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Corollary 4.12 at scale: for random regexes and strings, the
+    /// verified pipeline agrees with the derivative baseline, and every
+    /// accepted tree is a validated parse of the input.
+    #[test]
+    fn pipeline_sound_complete_on_random_regexes(
+        seed in 0u64..500,
+        w in arb_string(7),
+    ) {
+        let sigma = Alphabet::abc();
+        let re = random_regex(&sigma, 6, seed);
+        let parser = RegexParser::compile(&sigma, re.clone()).expect("pipeline composes");
+        let expected = matches(&re, &w);
+        let outcome = parser.parse(&w).expect("parser is total");
+        prop_assert_eq!(outcome.is_accept(), expected);
+        if let ParseOutcome::Accept(tree) = outcome {
+            prop_assert_eq!(tree.flatten(), w.clone());
+            validate(&tree, &re.to_grammar(), &w).expect("intrinsic verification");
+        }
+    }
+
+    /// Construction 4.11 at scale: the Thompson transformers round-trip
+    /// on every enumerated parse (strong equivalence), and parse counts
+    /// agree.
+    #[test]
+    fn thompson_strong_equivalence_on_random_regexes(seed in 0u64..300) {
+        let sigma = Alphabet::abc();
+        let re = regex_grammars::gen::random_finite_ambiguity_regex(&sigma, 6, seed);
+        let (_, eq) = thompson_strong_equiv(&sigma, &re);
+        let strings: Vec<GString> =
+            lambek_core::theory::unambiguous::all_strings(&sigma, 3);
+        eq.check_on(&strings, 16).expect("roundtrip laws");
+        eq.check_counts_on(&strings, 16).expect("equal parse counts");
+    }
+
+    /// The transformers inside the pipeline preserve yields on every
+    /// accepted input (the Definition 5.2 contract, checked dynamically).
+    #[test]
+    fn transformers_preserve_yields(
+        seed in 0u64..200,
+        w in arb_string(6),
+    ) {
+        let sigma = Alphabet::abc();
+        let re = random_regex(&sigma, 5, seed);
+        let (_, eq) = thompson_strong_equiv(&sigma, &re);
+        let cg = CompiledGrammar::new(&re.to_grammar());
+        for tree in cg.parses(&w, 8).trees {
+            let out = eq.weak().fwd.apply_checked(&tree).expect("fwd total on parses");
+            prop_assert_eq!(out.flatten(), tree.flatten());
+        }
+    }
+
+    /// The denotational recognizer, the derivative matcher, and the
+    /// Thompson NFA agree on language membership.
+    #[test]
+    fn three_recognizers_agree(
+        seed in 0u64..300,
+        w in arb_string(6),
+    ) {
+        let sigma = Alphabet::abc();
+        let re = random_regex(&sigma, 6, seed);
+        let denotational = CompiledGrammar::new(&re.to_grammar()).recognizes(&w);
+        let derivative = matches(&re, &w);
+        let (th, _) = thompson_strong_equiv(&sigma, &re);
+        prop_assert_eq!(denotational, derivative);
+        prop_assert_eq!(th.nfa().accepts(&w), derivative);
+    }
+}
+
+/// Deterministic spot check: a deliberately ambiguous regex exercises the
+/// disambiguation (DtoN choice function) and still validates.
+#[test]
+fn ambiguous_regex_parses_validate() {
+    let sigma = Alphabet::abc();
+    let re = Regex::alt(
+        Regex::concat(Regex::Char(Symbol::from_index(0)), Regex::Char(Symbol::from_index(1))),
+        Regex::concat(Regex::Char(Symbol::from_index(0)), Regex::Char(Symbol::from_index(1))),
+    );
+    let parser = RegexParser::compile(&sigma, re.clone()).unwrap();
+    let w = sigma.parse_str("ab").unwrap();
+    let tree = parser.parse(&w).unwrap().accepted().unwrap().clone();
+    validate(&tree, &re.to_grammar(), &w).unwrap();
+}
