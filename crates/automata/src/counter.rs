@@ -84,10 +84,7 @@ impl CounterMachine {
 
     /// Whether `w` is a balanced-parenthesis string.
     pub fn accepts(&self, w: &GString) -> bool {
-        matches!(
-            self.run(w).last(),
-            Some(CounterState::Count(0))
-        )
+        matches!(self.run(w).last(), Some(CounterState::Count(0)))
     }
 
     /// The maximum counter value reached while reading `w` (0 if the run

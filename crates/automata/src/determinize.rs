@@ -280,7 +280,10 @@ mod tests {
         let trace = least_accepting_trace(&nfa, &w);
         assert_eq!(
             trace,
-            NfaTrace::eps_step(e01, NfaTrace::eps_step(e12, NfaTrace::step(t, NfaTrace::Stop)))
+            NfaTrace::eps_step(
+                e01,
+                NfaTrace::eps_step(e12, NfaTrace::step(t, NfaTrace::Stop))
+            )
         );
         let det = determinize(&nfa);
         assert!(det.dfa.accepts(&w));

@@ -175,7 +175,12 @@ impl DfaTraceGrammar {
 /// `parseD` (Fig. 12): runs the DFA on `w` from `start` and materializes
 /// the unique trace — returning the accept bit `b` and the parse tree of
 /// `TraceD start b`.
-pub fn parse_dfa(dfa: &Dfa, tg: &DfaTraceGrammar, start: StateId, w: &GString) -> (bool, ParseTree) {
+pub fn parse_dfa(
+    dfa: &Dfa,
+    tg: &DfaTraceGrammar,
+    start: StateId,
+    w: &GString,
+) -> (bool, ParseTree) {
     let states = dfa.run_from(start, w);
     let b = dfa.is_accepting(*states.last().expect("non-empty run"));
     // Build from the back: nil at the final state, cons at each step.
@@ -202,7 +207,13 @@ pub fn parse_dfa(dfa: &Dfa, tg: &DfaTraceGrammar, start: StateId, w: &GString) -
 /// # Panics
 ///
 /// Panics if the tree is not a `TraceD` parse for `dfa` from `(start, b)`.
-pub fn print_dfa(dfa: &Dfa, tg: &DfaTraceGrammar, start: StateId, b: bool, tree: &ParseTree) -> GString {
+pub fn print_dfa(
+    dfa: &Dfa,
+    tg: &DfaTraceGrammar,
+    start: StateId,
+    b: bool,
+    tree: &ParseTree,
+) -> GString {
     let mut w = GString::new();
     let mut s = start;
     let mut cur = tree;

@@ -23,8 +23,10 @@ pub fn equivalent(a: &Dfa, b: &Dfa) -> Option<GString> {
     assert_eq!(a.alphabet(), b.alphabet(), "alphabets must agree");
     let alphabet = a.alphabet().clone();
     let start = (a.init(), b.init());
-    let mut parent: HashMap<(StateId, StateId), ((StateId, StateId), lambek_core::alphabet::Symbol)> =
-        HashMap::new();
+    let mut parent: HashMap<
+        (StateId, StateId),
+        ((StateId, StateId), lambek_core::alphabet::Symbol),
+    > = HashMap::new();
     let mut seen = std::collections::HashSet::from([start]);
     let mut queue = VecDeque::from([start]);
     while let Some((sa, sb)) = queue.pop_front() {
@@ -54,8 +56,8 @@ pub fn equivalent(a: &Dfa, b: &Dfa) -> Option<GString> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dfa::fig5_dfa;
     use crate::determinize::determinize;
+    use crate::dfa::fig5_dfa;
     use crate::minimize::minimize;
     use crate::nfa::fig5_nfa;
 
@@ -77,12 +79,7 @@ mod tests {
             dfa.init(),
             accepting,
             (0..dfa.num_states())
-                .map(|s| {
-                    dfa.alphabet()
-                        .symbols()
-                        .map(|c| dfa.delta(s, c))
-                        .collect()
-                })
+                .map(|s| dfa.alphabet().symbols().map(|c| dfa.delta(s, c)).collect())
                 .collect(),
         );
         let w = equivalent(&dfa, &other).expect("languages differ");

@@ -134,12 +134,7 @@ fn emit_expr(
     }
 }
 
-fn emit_atom(
-    t: &crate::lookahead::ArithTokens,
-    rng: &mut StdRng,
-    w: &mut GString,
-    depth: usize,
-) {
+fn emit_atom(t: &crate::lookahead::ArithTokens, rng: &mut StdRng, w: &mut GString, depth: usize) {
     if depth > 0 && rng.gen_bool(0.4) {
         w.push(t.lp);
         let inner_atoms = rng.gen_range(1..=2);

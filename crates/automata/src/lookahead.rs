@@ -28,9 +28,7 @@
 use std::rc::Rc;
 
 use lambek_core::alphabet::{Alphabet, GString, Symbol};
-use lambek_core::grammar::expr::{
-    and, chr, eps, mu, plus, tensor, top, var, Grammar, MuSystem,
-};
+use lambek_core::grammar::expr::{and, chr, eps, mu, plus, tensor, top, var, Grammar, MuSystem};
 use lambek_core::grammar::parse_tree::ParseTree;
 use lambek_core::grammar::string_type::string_grammar;
 use lambek_core::theory::parser::VerifiedParser;
@@ -193,10 +191,7 @@ impl LookaheadGrammar {
                 }
                 summands.push(tensor(chr(t.add), Self::v(max, StateKind::O, n, b)));
                 if !b {
-                    summands.push(tensor(
-                        plus(vec![chr(t.lp), chr(t.rp), chr(t.num)]),
-                        top(),
-                    ));
+                    summands.push(tensor(plus(vec![chr(t.lp), chr(t.rp), chr(t.num)]), top()));
                 }
             }
         }
@@ -205,10 +200,7 @@ impl LookaheadGrammar {
 
     /// The grammar of traces from `(kind, n, b)`.
     pub fn state(&self, kind: StateKind, n: usize, b: bool) -> Grammar {
-        mu(
-            self.system.clone(),
-            Self::def_index(self.max, kind, n, b),
-        )
+        mu(self.system.clone(), Self::def_index(self.max, kind, n, b))
     }
 }
 
@@ -353,10 +345,7 @@ fn build(
             Some(c) if c == t.rp => {
                 debug_assert!(!b);
                 // closeBad: ')' ⊗ ⊤.
-                ParseTree::inj(
-                    0,
-                    ParseTree::pair(ParseTree::Char(c), rest_top(w, pos + 1)),
-                )
+                ParseTree::inj(0, ParseTree::pair(ParseTree::Char(c), rest_top(w, pos + 1)))
             }
             _ => {
                 debug_assert!(!b);

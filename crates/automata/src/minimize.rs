@@ -97,10 +97,7 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
         .iter()
         .map(|r| {
             let s = r.expect("every class has a member");
-            alphabet
-                .symbols()
-                .map(|c| class[dfa.delta(s, c)])
-                .collect()
+            alphabet.symbols().map(|c| class[dfa.delta(s, c)]).collect()
         })
         .collect();
     Dfa::new(alphabet, class[dfa.init()], accepting, delta)

@@ -16,7 +16,9 @@ use crate::nfa::StateId;
 /// The complement DFA: accepts exactly the strings `dfa` rejects.
 pub fn complement(dfa: &Dfa) -> Dfa {
     let alphabet = dfa.alphabet().clone();
-    let accepting = (0..dfa.num_states()).map(|s| !dfa.is_accepting(s)).collect();
+    let accepting = (0..dfa.num_states())
+        .map(|s| !dfa.is_accepting(s))
+        .collect();
     let delta = (0..dfa.num_states())
         .map(|s| alphabet.symbols().map(|c| dfa.delta(s, c)).collect())
         .collect();

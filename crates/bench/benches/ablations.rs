@@ -11,13 +11,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use lambek_core::alphabet::Alphabet;
-use lambek_core::grammar::compile::CompiledGrammar;
-use lambek_core::grammar::recognize::recognizes_topdown;
 use lambek_automata::determinize::determinize;
 use lambek_automata::gen::blowup_nfa;
 use lambek_automata::minimize::minimize;
 use lambek_automata::run::dfa_trace_parser;
+use lambek_core::alphabet::Alphabet;
+use lambek_core::grammar::compile::CompiledGrammar;
+use lambek_core::grammar::recognize::recognizes_topdown;
 use regex_grammars::ast::parse_regex;
 use regex_grammars::thompson::thompson_strong_equiv;
 
@@ -30,7 +30,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_recognizer");
     group.sample_size(10);
     for n in [4usize, 8, 12] {
-        let w = sigma.parse_str(&format!("{}c", "ab".repeat(n / 2))).unwrap();
+        let w = sigma
+            .parse_str(&format!("{}c", "ab".repeat(n / 2)))
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("chart", n), &w, |b, w| {
             b.iter(|| cg.recognizes(w))
         });

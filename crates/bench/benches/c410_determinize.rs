@@ -7,10 +7,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use lambek_core::alphabet::Alphabet;
 use lambek_automata::determinize::determinize;
 use lambek_automata::gen::{blowup_nfa, random_nfa};
 use lambek_automata::minimize::minimize;
+use lambek_core::alphabet::Alphabet;
 
 fn bench(c: &mut Criterion) {
     println!("determinization blow-up (worst-case family):");

@@ -5,9 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use lambek_core::alphabet::Alphabet;
 use lambek_automata::dfa::{parse_dfa, print_dfa};
 use lambek_automata::gen::{random_dfa, random_string};
+use lambek_core::alphabet::Alphabet;
 
 fn bench(c: &mut Criterion) {
     let sigma = Alphabet::abc();

@@ -49,11 +49,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("verified_parse", pairs), &w, |b, w| {
             b.iter(|| parser.parse(w).unwrap())
         });
-        group.bench_with_input(
-            BenchmarkId::new("recursive_descent", pairs),
-            &w,
-            |b, w| b.iter(|| parse_dyck_string(&p, w).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("recursive_descent", pairs), &w, |b, w| {
+            b.iter(|| parse_dyck_string(&p, w).unwrap())
+        });
         group.bench_with_input(BenchmarkId::new("earley", pairs), &w, |b, w| {
             b.iter(|| earley_recognize(&cfg, w))
         });

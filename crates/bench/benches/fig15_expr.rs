@@ -19,13 +19,17 @@ fn exp_cfg(t: &ArithTokens) -> Cfg {
         vec!["Exp".to_owned(), "Atom".to_owned()],
         vec![
             vec![
-                Production { rhs: vec![GSym::N(1)] },
+                Production {
+                    rhs: vec![GSym::N(1)],
+                },
                 Production {
                     rhs: vec![GSym::N(1), GSym::T(t.add), GSym::N(0)],
                 },
             ],
             vec![
-                Production { rhs: vec![GSym::T(t.num)] },
+                Production {
+                    rhs: vec![GSym::T(t.num)],
+                },
                 Production {
                     rhs: vec![GSym::T(t.lp), GSym::N(0), GSym::T(t.rp)],
                 },

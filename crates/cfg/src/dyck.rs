@@ -15,15 +15,15 @@
 
 use std::rc::Rc;
 
+use lambek_automata::counter::dyck_automaton;
+use lambek_automata::dfa::parse_dfa;
+use lambek_automata::run::dfa_trace_parser;
 use lambek_core::alphabet::{Alphabet, GString, Symbol};
 use lambek_core::grammar::expr::{alt, chr, eps, mu, seq, var, Grammar, MuSystem};
 use lambek_core::grammar::parse_tree::ParseTree;
 use lambek_core::theory::equivalence::{StrongEquiv, WeakEquiv};
 use lambek_core::theory::parser::{extend_parser, VerifiedParser};
 use lambek_core::transform::{TransformError, Transformer};
-use lambek_automata::counter::dyck_automaton;
-use lambek_automata::dfa::parse_dfa;
-use lambek_automata::run::dfa_trace_parser;
 
 /// The parenthesis symbols, resolved once.
 #[derive(Debug, Clone)]
@@ -78,10 +78,7 @@ pub fn bal(p: &Parens, inner: ParseTree, rest: ParseTree) -> ParseTree {
         1,
         ParseTree::pair(
             ParseTree::Char(p.open),
-            ParseTree::pair(
-                inner,
-                ParseTree::pair(ParseTree::Char(p.close), rest),
-            ),
+            ParseTree::pair(inner, ParseTree::pair(ParseTree::Char(p.close), rest)),
         ),
     ))
 }

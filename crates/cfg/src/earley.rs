@@ -184,35 +184,31 @@ fn build_seq(
 ) -> Option<Vec<ParseTree>> {
     match rhs.split_first() {
         None => (i == j).then(Vec::new),
-        Some((first, rest)) => {
-            match first {
-                GSym::T(c) => {
-                    if i < j && w[i] == *c {
-                        let mut children = build_seq(cfg, w, chart, rest, i + 1, j, guard)?;
-                        children.insert(0, ParseTree::Char(*c));
-                        Some(children)
-                    } else {
-                        None
-                    }
-                }
-                GSym::N(m) => {
-                    for k in i..=j {
-                        if !chart.derives(*m, i, k) {
-                            continue;
-                        }
-                        if let Some(head) = build_nt(cfg, w, chart, *m, i, k, guard) {
-                            if let Some(mut children) =
-                                build_seq(cfg, w, chart, rest, k, j, guard)
-                            {
-                                children.insert(0, head);
-                                return Some(children);
-                            }
-                        }
-                    }
+        Some((first, rest)) => match first {
+            GSym::T(c) => {
+                if i < j && w[i] == *c {
+                    let mut children = build_seq(cfg, w, chart, rest, i + 1, j, guard)?;
+                    children.insert(0, ParseTree::Char(*c));
+                    Some(children)
+                } else {
                     None
                 }
             }
-        }
+            GSym::N(m) => {
+                for k in i..=j {
+                    if !chart.derives(*m, i, k) {
+                        continue;
+                    }
+                    if let Some(head) = build_nt(cfg, w, chart, *m, i, k, guard) {
+                        if let Some(mut children) = build_seq(cfg, w, chart, rest, k, j, guard) {
+                            children.insert(0, head);
+                            return Some(children);
+                        }
+                    }
+                }
+                None
+            }
+        },
     }
 }
 

@@ -16,15 +16,15 @@
 
 use std::rc::Rc;
 
+use lambek_automata::lookahead::{
+    lookahead_parser, parse_lookahead, simulate, ArithTokens, LookaheadGrammar, StateKind,
+};
 use lambek_core::alphabet::GString;
 use lambek_core::grammar::expr::{chr, mu, plus, seq, var, Grammar, MuSystem};
 use lambek_core::grammar::parse_tree::ParseTree;
 use lambek_core::theory::equivalence::WeakEquiv;
 use lambek_core::theory::parser::{extend_parser, VerifiedParser};
 use lambek_core::transform::{TransformError, Transformer};
-use lambek_automata::lookahead::{
-    lookahead_parser, parse_lookahead, simulate, ArithTokens, LookaheadGrammar, StateKind,
-};
 
 /// Indices of the two mutually recursive definitions.
 const EXP: usize = 0;
@@ -37,12 +37,12 @@ const ATOM: usize = 1;
 /// `Atom` (summand 0 = `num`, 1 = `parens`).
 pub fn exp_system(t: &ArithTokens) -> Rc<MuSystem> {
     let exp = plus(vec![
-        var(ATOM),                                        // done
-        seq([var(ATOM), chr(t.add), var(EXP)]),           // add
+        var(ATOM),                              // done
+        seq([var(ATOM), chr(t.add), var(EXP)]), // add
     ]);
     let atom = plus(vec![
-        chr(t.num),                                       // num
-        seq([chr(t.lp), var(EXP), chr(t.rp)]),            // parens
+        chr(t.num),                            // num
+        seq([chr(t.lp), var(EXP), chr(t.rp)]), // parens
     ]);
     MuSystem::new(vec![exp, atom], vec!["Exp".to_owned(), "Atom".to_owned()])
 }

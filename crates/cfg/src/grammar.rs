@@ -161,13 +161,7 @@ impl Cfg {
             .then_some(out)
     }
 
-    fn expand(
-        &self,
-        rng: &mut impl rand::Rng,
-        nt: usize,
-        depth: usize,
-        out: &mut GString,
-    ) -> bool {
+    fn expand(&self, rng: &mut impl rand::Rng, nt: usize, depth: usize, out: &mut GString) -> bool {
         if depth == 0 {
             return false;
         }
@@ -249,11 +243,7 @@ mod tests {
 
     fn ab() -> (Alphabet, Symbol, Symbol) {
         let s = Alphabet::abc();
-        (
-            s.clone(),
-            s.symbol("a").unwrap(),
-            s.symbol("b").unwrap(),
-        )
+        (s.clone(), s.symbol("a").unwrap(), s.symbol("b").unwrap())
     }
 
     #[test]
@@ -285,11 +275,7 @@ mod tests {
         let cfg = anbn(&s, a, b);
         // S → a S b with S → ε inside: parses "ab".
         let inner = cfg.derivation(0, 0, vec![]);
-        let t = cfg.derivation(
-            0,
-            1,
-            vec![ParseTree::Char(a), inner, ParseTree::Char(b)],
-        );
+        let t = cfg.derivation(0, 1, vec![ParseTree::Char(a), inner, ParseTree::Char(b)]);
         let w = s.parse_str("ab").unwrap();
         validate(&t, &cfg.to_lambek(), &w).unwrap();
     }

@@ -243,9 +243,7 @@ impl<'a> Checker<'a> {
         if let Some((name, _)) = ctx[k..].iter().find(|(n, _)| used.contains(n)) {
             return Err(TypeError::Structural {
                 rule: StructuralRule::Exchange,
-                detail: format!(
-                    "{sub} consumes {name} out of order (context is non-commutative)"
-                ),
+                detail: format!("{sub} consumes {name} out of order (context is non-commutative)"),
             });
         }
         Ok(ctx.split_at(k))
@@ -415,7 +413,9 @@ impl<'a> Checker<'a> {
                     other => Err(self.mismatch_str("a ⟜ type", &other, fun)),
                 }
             }
-            LinTerm::Inj { .. } | LinTerm::BigInj { .. } | LinTerm::BigLam { .. }
+            LinTerm::Inj { .. }
+            | LinTerm::BigInj { .. }
+            | LinTerm::BigLam { .. }
             | LinTerm::EqIntro(_) => Err(TypeError::NeedsAnnotation(format!("{term}"))),
             LinTerm::Case {
                 scrutinee,
@@ -469,24 +469,22 @@ impl<'a> Checker<'a> {
                 ctx.extend_from_slice(d3);
                 self.infer(&nl2, &ctx, body)
             }
-            LinTerm::BigProj { scrutinee, index } => {
-                match self.infer(nl, lin, scrutinee)? {
-                    LinType::BigWith {
-                        var,
-                        index: ix,
-                        body,
-                    } => {
-                        let it = infer_nl(nl, index)?;
-                        if it != *ix {
-                            return Err(TypeError::Nl(NlError::Mismatch(format!(
-                                "projection index has type {it}, expected {ix}"
-                            ))));
-                        }
-                        Ok(subst_lin_type(&body, &var, index))
+            LinTerm::BigProj { scrutinee, index } => match self.infer(nl, lin, scrutinee)? {
+                LinType::BigWith {
+                    var,
+                    index: ix,
+                    body,
+                } => {
+                    let it = infer_nl(nl, index)?;
+                    if it != *ix {
+                        return Err(TypeError::Nl(NlError::Mismatch(format!(
+                            "projection index has type {it}, expected {ix}"
+                        ))));
                     }
-                    other => Err(self.mismatch_str("an indexed &", &other, scrutinee)),
+                    Ok(subst_lin_type(&body, &var, index))
                 }
-            }
+                other => Err(self.mismatch_str("an indexed &", &other, scrutinee)),
+            },
             LinTerm::Tuple(ts) => {
                 let mut out = Vec::with_capacity(ts.len());
                 for t in ts {
@@ -556,11 +554,9 @@ impl<'a> Checker<'a> {
                     .result_indices
                     .iter()
                     .map(|ix| {
-                        subst
-                            .iter()
-                            .fold(ix.clone(), |t, (v, m)| {
-                                crate::syntax::nonlinear::subst_nl(&t, v, m)
-                            })
+                        subst.iter().fold(ix.clone(), |t, (v, m)| {
+                            crate::syntax::nonlinear::subst_nl(&t, v, m)
+                        })
                     })
                     .collect();
                 Ok(LinType::Data {
@@ -696,7 +692,14 @@ impl<'a> Checker<'a> {
                 })?;
                 self.check(nl, lin, body, t)
             }
-            (LinTerm::BigInj { index, body }, LinType::BigPlus { var, index: ix, body: b }) => {
+            (
+                LinTerm::BigInj { index, body },
+                LinType::BigPlus {
+                    var,
+                    index: ix,
+                    body: b,
+                },
+            ) => {
                 let it = infer_nl(nl, index)?;
                 if it != **ix {
                     return Err(TypeError::Nl(NlError::Mismatch(format!(
@@ -706,7 +709,14 @@ impl<'a> Checker<'a> {
                 let t = subst_lin_type(b, var, index);
                 self.check(nl, lin, body, &t)
             }
-            (LinTerm::BigLam { var, body }, LinType::BigWith { var: v, index, body: b }) => {
+            (
+                LinTerm::BigLam { var, body },
+                LinType::BigWith {
+                    var: v,
+                    index,
+                    body: b,
+                },
+            ) => {
                 let mut nl2 = nl.clone();
                 nl2.insert(var.clone(), (**index).clone());
                 let t = subst_lin_type(b, v, &NlTerm::var(var));
@@ -791,7 +801,13 @@ impl<'a> Checker<'a> {
                 ctx.extend_from_slice(d3);
                 self.check(&nl2, &ctx, body, expected)
             }
-            (LinTerm::Case { scrutinee, branches }, _) => {
+            (
+                LinTerm::Case {
+                    scrutinee,
+                    branches,
+                },
+                _,
+            ) => {
                 let (d1, d2, d3) = self.split_segment(lin, scrutinee)?;
                 let ts = match self.infer(nl, d2, scrutinee)? {
                     LinType::Plus(ts) => ts,
@@ -887,7 +903,9 @@ mod tests {
         // a : 'a', b : 'b' ⊬ a : 'a' — b is dropped (§2).
         let sig = empty_sig();
         let ck = Checker::new(&sig);
-        let err = ck.infer(&NlCtx::new(), &ab_ctx(), &LinTerm::var("a")).unwrap_err();
+        let err = ck
+            .infer(&NlCtx::new(), &ab_ctx(), &LinTerm::var("a"))
+            .unwrap_err();
         assert!(
             matches!(
                 err,
@@ -939,18 +957,29 @@ mod tests {
         let term = LinTerm::lam(
             "a",
             chr("a"),
-            LinTerm::lam("b", chr("b"), LinTerm::pair(LinTerm::var("a"), LinTerm::var("b"))),
+            LinTerm::lam(
+                "b",
+                chr("b"),
+                LinTerm::pair(LinTerm::var("a"), LinTerm::var("b")),
+            ),
         );
         let ty = ck.infer(&NlCtx::new(), &[], &term).unwrap();
         assert!(lin_type_equal(
             &ty,
-            &LinType::lfun(chr("a"), LinType::lfun(chr("b"), LinType::tensor(chr("a"), chr("b"))))
+            &LinType::lfun(
+                chr("a"),
+                LinType::lfun(chr("b"), LinType::tensor(chr("a"), chr("b")))
+            )
         ));
         // But swapping the pair needs exchange: rejected.
         let bad = LinTerm::lam(
             "a",
             chr("a"),
-            LinTerm::lam("b", chr("b"), LinTerm::pair(LinTerm::var("b"), LinTerm::var("a"))),
+            LinTerm::lam(
+                "b",
+                chr("b"),
+                LinTerm::pair(LinTerm::var("b"), LinTerm::var("a")),
+            ),
         );
         assert!(ck.infer(&NlCtx::new(), &[], &bad).is_err());
     }
@@ -1034,6 +1063,9 @@ mod tests {
         let ctx = vec![("a".to_owned(), chr("a"))];
         let term = LinTerm::Tuple(vec![LinTerm::var("a"), LinTerm::var("a")]);
         let ty = ck.infer(&NlCtx::new(), &ctx, &term).unwrap();
-        assert!(lin_type_equal(&ty, &LinType::With(vec![chr("a"), chr("a")])));
+        assert!(lin_type_equal(
+            &ty,
+            &LinType::With(vec![chr("a"), chr("a")])
+        ));
     }
 }

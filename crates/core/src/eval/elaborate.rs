@@ -12,9 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use crate::grammar::expr::{
-    self, Grammar, GrammarExpr, MuSystem,
-};
+use crate::grammar::expr::{self, Grammar, GrammarExpr, MuSystem};
 use crate::syntax::nonlinear::{enumerate_type, eval_nl, NlEnv, NlError, Value};
 use crate::syntax::types::{CtorDecl, LinType, Signature};
 
@@ -155,9 +153,7 @@ impl<'a> Elaborator<'a> {
                 self.elab_open(env, a)?,
                 self.elab_open(env, b)?,
             )),
-            LinType::LFun(..) | LinType::RFun(..) => {
-                Err(ElabError::NonPositive(format!("{ty}")))
-            }
+            LinType::LFun(..) | LinType::RFun(..) => Err(ElabError::NonPositive(format!("{ty}"))),
             LinType::Plus(ts) => Ok(expr::plus(
                 ts.iter()
                     .map(|t| self.elab_open(env, t))
@@ -380,7 +376,10 @@ mod tests {
         let cg = CompiledGrammar::new(&g);
         let s = Alphabet::abc();
         for n in 0..5 {
-            assert!(cg.recognizes(&s.parse_str(&"a".repeat(n)).unwrap()), "a^{n}");
+            assert!(
+                cg.recognizes(&s.parse_str(&"a".repeat(n)).unwrap()),
+                "a^{n}"
+            );
         }
         assert!(!cg.recognizes(&s.parse_str("ab").unwrap()));
     }
@@ -394,7 +393,10 @@ mod tests {
             s.symbol("b").unwrap(),
             s.symbol("c").unwrap(),
         );
-        let fin = |v: usize| NlTerm::FinLit { value: v, modulus: 3 };
+        let fin = |v: usize| NlTerm::FinLit {
+            value: v,
+            modulus: 3,
+        };
         let tr = |v: usize| LinType::Data {
             name: "Trace".to_owned(),
             args: vec![fin(v)],

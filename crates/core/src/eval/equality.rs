@@ -176,9 +176,9 @@ fn step_root(term: &LinTerm) -> Option<LinTerm> {
             scrutinee,
             branches,
         } => match &**scrutinee {
-            LinTerm::Inj { index, body, .. } => branches
-                .get(*index)
-                .map(|(v, b)| subst_lin(b, v, body)),
+            LinTerm::Inj { index, body, .. } => {
+                branches.get(*index).map(|(v, b)| subst_lin(b, v, body))
+            }
             _ => None,
         },
         // let σ x a = σ M e in e'  ≡  e'{M/x, e/a}
@@ -188,7 +188,10 @@ fn step_root(term: &LinTerm) -> Option<LinTerm> {
             var,
             body,
         } => match &**scrutinee {
-            LinTerm::BigInj { index, body: payload } => {
+            LinTerm::BigInj {
+                index,
+                body: payload,
+            } => {
                 let with_payload = subst_lin(body, var, payload);
                 Some(subst_nl_in_lin(&with_payload, nl_var, index))
             }
@@ -280,7 +283,11 @@ pub fn subst_nl_in_lin(
             scrutinee: sr(scrutinee),
             nl_var: nl_var.clone(),
             var: v.clone(),
-            body: if nl_var == var { body.clone() } else { sr(body) },
+            body: if nl_var == var {
+                body.clone()
+            } else {
+                sr(body)
+            },
         },
         LinTerm::BigLam { var: v, body } => LinTerm::BigLam {
             var: v.clone(),
@@ -316,7 +323,11 @@ pub fn subst_nl_in_lin(
             scrutinee,
         } => LinTerm::Fold {
             data: data.clone(),
-            motive: Rc::new(crate::syntax::types::subst_lin_type(motive, var, replacement)),
+            motive: Rc::new(crate::syntax::types::subst_lin_type(
+                motive,
+                var,
+                replacement,
+            )),
             clauses: clauses
                 .iter()
                 .map(|c| FoldClause {
@@ -690,7 +701,10 @@ mod tests {
             scrutinee: Rc::new(LinTerm::inj(1, 2, LinTerm::var("x"))),
             branches: vec![
                 ("a".to_owned(), LinTerm::var("a")),
-                ("b".to_owned(), LinTerm::pair(LinTerm::var("b"), LinTerm::UnitIntro)),
+                (
+                    "b".to_owned(),
+                    LinTerm::pair(LinTerm::var("b"), LinTerm::UnitIntro),
+                ),
             ],
         };
         assert_eq!(
@@ -766,7 +780,11 @@ mod tests {
                 "a",
                 chr("a"),
                 LinTerm::app(
-                    LinTerm::lam("b", chr("b"), LinTerm::pair(LinTerm::var("a"), LinTerm::var("b"))),
+                    LinTerm::lam(
+                        "b",
+                        chr("b"),
+                        LinTerm::pair(LinTerm::var("a"), LinTerm::var("b")),
+                    ),
                     LinTerm::var("y"),
                 ),
             ),

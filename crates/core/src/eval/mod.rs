@@ -111,14 +111,15 @@ impl LinValue {
     fn flatten_into(&self, out: &mut GString) {
         match self {
             LinValue::Char(c) => out.push(*c),
-            LinValue::Unit | LinValue::Fun { .. } | LinValue::FunL { .. } | LinValue::Fam { .. } => {}
+            LinValue::Unit
+            | LinValue::Fun { .. }
+            | LinValue::FunL { .. }
+            | LinValue::Fam { .. } => {}
             LinValue::Pair(l, r) => {
                 l.flatten_into(out);
                 r.flatten_into(out);
             }
-            LinValue::Inj { value, .. } | LinValue::BigInj { value, .. } => {
-                value.flatten_into(out)
-            }
+            LinValue::Inj { value, .. } | LinValue::BigInj { value, .. } => value.flatten_into(out),
             LinValue::Tuple(vs) => {
                 if let Some(v) = vs.first() {
                     v.flatten_into(out);
@@ -143,13 +144,18 @@ impl LinValue {
                 a1.structurally_equal(a2) && b1.structurally_equal(b2)
             }
             (
-                LinValue::Inj { index: i1, value: v1 },
-                LinValue::Inj { index: i2, value: v2 },
+                LinValue::Inj {
+                    index: i1,
+                    value: v1,
+                },
+                LinValue::Inj {
+                    index: i2,
+                    value: v2,
+                },
             ) => i1 == i2 && v1.structurally_equal(v2),
-            (
-                LinValue::BigInj { tag: t1, value: v1 },
-                LinValue::BigInj { tag: t2, value: v2 },
-            ) => t1 == t2 && v1.structurally_equal(v2),
+            (LinValue::BigInj { tag: t1, value: v1 }, LinValue::BigInj { tag: t2, value: v2 }) => {
+                t1 == t2 && v1.structurally_equal(v2)
+            }
             (LinValue::Tuple(a), LinValue::Tuple(b)) => {
                 a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.structurally_equal(y))
             }
@@ -201,7 +207,9 @@ impl fmt::Display for LinValue {
                 write!(f, "⟩")
             }
             LinValue::Top(w) => write!(f, "⊤{w}"),
-            LinValue::Data { data, ctor, args, .. } => {
+            LinValue::Data {
+                data, ctor, args, ..
+            } => {
                 write!(f, "{data}#{ctor}")?;
                 for a in args {
                     write!(f, " {a}")?;
@@ -306,12 +314,10 @@ impl<'a> Evaluator<'a> {
                 self.eval(&EvalEnv::default(), &def.body)
             }
             LinTerm::UnitIntro => Ok(LinValue::Unit),
-            LinTerm::LetUnit { scrutinee, body } => {
-                match self.eval(env, scrutinee)? {
-                    LinValue::Unit => self.eval(env, body),
-                    other => Err(EvalError::Shape(format!("let () on {other}"))),
-                }
-            }
+            LinTerm::LetUnit { scrutinee, body } => match self.eval(env, scrutinee)? {
+                LinValue::Unit => self.eval(env, body),
+                other => Err(EvalError::Shape(format!("let () on {other}"))),
+            },
             LinTerm::Pair(l, r) => Ok(LinValue::Pair(
                 Box::new(self.eval(env, l)?),
                 Box::new(self.eval(env, r)?),
@@ -673,7 +679,9 @@ impl<'a> Evaluator<'a> {
                 let (pos, payload) = match &**inner {
                     ParseTree::Inj { index, tree } => (*index, tree),
                     other => {
-                        return Err(EvalError::Shape(format!("data tree must be σ, got {other}")))
+                        return Err(EvalError::Shape(format!(
+                            "data tree must be σ, got {other}"
+                        )))
                     }
                 };
                 let (ci, nl_values) = layout
@@ -716,12 +724,11 @@ impl<'a> Evaluator<'a> {
 /// Substitutes concrete values for the free variables of a type's index
 /// expressions (turning an open constructor argument type closed).
 fn close_type(ty: &LinType, env: &NlEnv) -> LinType {
-    env.iter().fold(ty.clone(), |t, (v, val)| {
-        match value_to_term(val) {
+    env.iter()
+        .fold(ty.clone(), |t, (v, val)| match value_to_term(val) {
             Some(m) => crate::syntax::types::subst_lin_type(&t, v, &m),
             None => t,
-        }
-    })
+        })
 }
 
 fn split_seq_tree(tree: &ParseTree, arity: usize) -> Result<Vec<&ParseTree>, EvalError> {

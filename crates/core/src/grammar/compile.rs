@@ -325,10 +325,7 @@ mod tests {
         let (a, b, _) = abc();
         // X0 = 'a' X1 | ε ; X1 = 'b' X0
         let sys = MuSystem::new(
-            vec![
-                alt(tensor(chr(a), var(1)), eps()),
-                tensor(chr(b), var(0)),
-            ],
+            vec![alt(tensor(chr(a), var(1)), eps()), tensor(chr(b), var(0))],
             vec!["X0".to_owned(), "X1".to_owned()],
         );
         let g0 = crate::grammar::expr::mu(sys.clone(), 0);

@@ -59,12 +59,7 @@ pub fn distributivity_iso(families: Vec<Vec<Grammar>>) -> Iso {
         "each ⊕ family must be non-empty"
     );
     let radices: Vec<usize> = families.iter().map(Vec::len).collect();
-    let dom = with(
-        families
-            .iter()
-            .map(|f| plus(f.clone()))
-            .collect(),
-    );
+    let dom = with(families.iter().map(|f| plus(f.clone())).collect());
     let num_choices: usize = radices.iter().product();
     let cod = plus(
         (0..num_choices)
@@ -209,10 +204,7 @@ mod tests {
         let s = Alphabet::abc();
         let (a, b) = (chr(s.symbol("a").unwrap()), chr(s.symbol("b").unwrap()));
         // (a ⊕ b) & (a ⊕ b) ≅ ⊕_{4} (… & …).
-        let iso = distributivity_iso(vec![
-            vec![a.clone(), b.clone()],
-            vec![a.clone(), b.clone()],
-        ]);
+        let iso = distributivity_iso(vec![vec![a.clone(), b.clone()], vec![a.clone(), b.clone()]]);
         let eq = StrongEquiv::new(WeakEquiv::new(iso.fwd, iso.bwd));
         let strings = all_strings(&s, 2);
         eq.check_on(&strings, 32).unwrap();

@@ -194,9 +194,9 @@ fn depends_on_unreliable(chart: &TreeChart, node: &Node, i: usize, j: usize) -> 
     };
     match node {
         Node::Char(_) | Node::Eps | Node::Bot | Node::Top => false,
-        Node::Tensor(l, r) => (i..=j).any(|k| {
-            (bad(*l, i, k) && live(*r, k, j)) || (bad(*r, k, j) && live(*l, i, k))
-        }),
+        Node::Tensor(l, r) => {
+            (i..=j).any(|k| (bad(*l, i, k) && live(*r, k, j)) || (bad(*r, k, j) && live(*l, i, k)))
+        }
         Node::Plus(cs) => cs.iter().any(|&c| bad(c, i, j)),
         Node::With(cs) => {
             let reliably_empty = |n: NodeId| {
@@ -304,9 +304,7 @@ fn compute_entry(
 mod tests {
     use super::*;
     use crate::alphabet::{Alphabet, Symbol};
-    use crate::grammar::expr::{
-        alt, and, chr, eps, mu, star, tensor, top, var, MuSystem,
-    };
+    use crate::grammar::expr::{alt, and, chr, eps, mu, star, tensor, top, var, MuSystem};
     use crate::grammar::parse_tree::validate;
 
     fn setup() -> (Alphabet, Symbol, Symbol, Symbol) {

@@ -51,7 +51,10 @@ impl MuSystem {
     /// empty, or if any body contains a `Var(j)` with `j >= defs.len()`.
     pub fn new(defs: Vec<Grammar>, names: Vec<String>) -> Rc<MuSystem> {
         assert_eq!(defs.len(), names.len(), "one name per definition");
-        assert!(!defs.is_empty(), "mu system must have at least one definition");
+        assert!(
+            !defs.is_empty(),
+            "mu system must have at least one definition"
+        );
         let bound = defs.len();
         for (i, d) in defs.iter().enumerate() {
             assert!(
@@ -278,9 +281,7 @@ pub fn subst_vars(g: &Grammar, subs: &[Grammar]) -> Grammar {
 /// corresponding `μ` entry. `roll : el(F)(μF) ⊸ μF` and its inverse
 /// mediate between a `μ` type and its unfolding.
 pub fn unfolding(system: &Rc<MuSystem>, entry: usize) -> Grammar {
-    let mus: Vec<Grammar> = (0..system.len())
-        .map(|i| mu(system.clone(), i))
-        .collect();
+    let mus: Vec<Grammar> = (0..system.len()).map(|i| mu(system.clone(), i)).collect();
     subst_vars(system.def(entry), &mus)
 }
 

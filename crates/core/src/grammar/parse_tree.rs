@@ -261,10 +261,7 @@ pub fn check_shape(
                     arity: gs.len(),
                 });
             }
-            let base = ts
-                .first()
-                .map(ParseTree::flatten)
-                .unwrap_or_default();
+            let base = ts.first().map(ParseTree::flatten).unwrap_or_default();
             for (g, t) in gs.iter().zip(ts) {
                 // All components of a & parse share one underlying string.
                 let y = t.flatten();
@@ -342,10 +339,8 @@ mod tests {
         let g = alt(tensor(star(chr(a)), chr(b)), chr(c));
         // star trees: roll (σ1 (a, roll (σ0 ())))  — cons a nil.
         let nil = ParseTree::roll(ParseTree::inj(0, ParseTree::Unit));
-        let cons_a_nil = ParseTree::roll(ParseTree::inj(
-            1,
-            ParseTree::pair(ParseTree::Char(a), nil),
-        ));
+        let cons_a_nil =
+            ParseTree::roll(ParseTree::inj(1, ParseTree::pair(ParseTree::Char(a), nil)));
         let t = ParseTree::inj(0, ParseTree::pair(cons_a_nil, ParseTree::Char(b)));
         let w = sigma.parse_str("ab").unwrap();
         assert_eq!(validate(&t, &g, &w), Ok(()));

@@ -129,7 +129,14 @@ impl CompiledGrammar {
 /// one symbol — true of all regular expressions) this is exact, on
 /// unguarded grammars it may answer `false` spuriously.
 pub fn recognizes_topdown(cg: &CompiledGrammar, w: &GString) -> bool {
-    fn go(cg: &CompiledGrammar, w: &GString, node: NodeId, i: usize, j: usize, fuel: usize) -> bool {
+    fn go(
+        cg: &CompiledGrammar,
+        w: &GString,
+        node: NodeId,
+        i: usize,
+        j: usize,
+        fuel: usize,
+    ) -> bool {
         if fuel == 0 {
             return false;
         }

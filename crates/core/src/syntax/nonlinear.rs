@@ -241,7 +241,10 @@ impl std::error::Error for NlError {}
 /// Returns an [`NlError`] on unbound variables or type mismatches.
 pub fn infer_nl(ctx: &NlCtx, term: &NlTerm) -> Result<NlType, NlError> {
     match term {
-        NlTerm::Var(x) => ctx.get(x).cloned().ok_or_else(|| NlError::Unbound(x.clone())),
+        NlTerm::Var(x) => ctx
+            .get(x)
+            .cloned()
+            .ok_or_else(|| NlError::Unbound(x.clone())),
         NlTerm::UnitVal => Ok(NlType::Unit),
         NlTerm::BoolLit(_) => Ok(NlType::Bool),
         NlTerm::NatLit(_) => Ok(NlType::Nat),
@@ -327,7 +330,10 @@ fn expect(ctx: &NlCtx, term: &NlTerm, expected: &NlType) -> Result<(), NlError> 
 /// Returns an [`NlError`] if the term is open or ill-typed.
 pub fn eval_nl(env: &NlEnv, term: &NlTerm) -> Result<Value, NlError> {
     match term {
-        NlTerm::Var(x) => env.get(x).cloned().ok_or_else(|| NlError::Unbound(x.clone())),
+        NlTerm::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| NlError::Unbound(x.clone())),
         NlTerm::UnitVal => Ok(Value::Unit),
         NlTerm::BoolLit(b) => Ok(Value::Bool(*b)),
         NlTerm::NatLit(n) => Ok(Value::Nat(*n)),
@@ -418,10 +424,7 @@ pub fn enumerate_type(ty: &NlType, nat_bound: u64) -> Option<Vec<Value>> {
         NlType::Nat => Some((0..=nat_bound).map(Value::Nat).collect()),
         NlType::Fin(n) => Some(
             (0..*n)
-                .map(|value| Value::Fin {
-                    value,
-                    modulus: *n,
-                })
+                .map(|value| Value::Fin { value, modulus: *n })
                 .collect(),
         ),
         NlType::Prod(a, b) => {
@@ -500,11 +503,8 @@ pub fn normalize_nl(term: &NlTerm) -> NlTerm {
             NlTerm::NatLit(n) => {
                 let mut acc = normalize_nl(zero);
                 for k in 0..n {
-                    let stepped = subst_nl(
-                        &subst_nl(succ, n_var, &NlTerm::NatLit(k)),
-                        ih_var,
-                        &acc,
-                    );
+                    let stepped =
+                        subst_nl(&subst_nl(succ, n_var, &NlTerm::NatLit(k)), ih_var, &acc);
                     acc = normalize_nl(&stepped);
                 }
                 acc
@@ -533,10 +533,9 @@ pub fn subst_nl(term: &NlTerm, var: &str, replacement: &NlTerm) -> NlTerm {
                 term.clone()
             }
         }
-        NlTerm::UnitVal
-        | NlTerm::BoolLit(_)
-        | NlTerm::NatLit(_)
-        | NlTerm::FinLit { .. } => term.clone(),
+        NlTerm::UnitVal | NlTerm::BoolLit(_) | NlTerm::NatLit(_) | NlTerm::FinLit { .. } => {
+            term.clone()
+        }
         NlTerm::Succ(t) => NlTerm::succ(subst_nl(t, var, replacement)),
         NlTerm::Pair(a, b) => NlTerm::Pair(
             Rc::new(subst_nl(a, var, replacement)),
@@ -602,10 +601,23 @@ mod tests {
         assert_eq!(infer_nl(&ctx, &NlTerm::BoolLit(true)), Ok(NlType::Bool));
         assert_eq!(infer_nl(&ctx, &NlTerm::NatLit(3)), Ok(NlType::Nat));
         assert_eq!(
-            infer_nl(&ctx, &NlTerm::FinLit { value: 2, modulus: 3 }),
+            infer_nl(
+                &ctx,
+                &NlTerm::FinLit {
+                    value: 2,
+                    modulus: 3
+                }
+            ),
             Ok(NlType::Fin(3))
         );
-        assert!(infer_nl(&ctx, &NlTerm::FinLit { value: 3, modulus: 3 }).is_err());
+        assert!(infer_nl(
+            &ctx,
+            &NlTerm::FinLit {
+                value: 3,
+                modulus: 3
+            }
+        )
+        .is_err());
     }
 
     #[test]

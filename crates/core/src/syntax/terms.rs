@@ -372,9 +372,7 @@ impl fmt::Display for LinTerm {
                 write!(f, "⟩")
             }
             LinTerm::Proj { scrutinee, index } => write!(f, "{scrutinee}.π{index}"),
-            LinTerm::Ctor {
-                ctor, lin_args, ..
-            } => {
+            LinTerm::Ctor { ctor, lin_args, .. } => {
                 write!(f, "{ctor}")?;
                 for a in lin_args {
                     write!(f, " {a}")?;
@@ -409,7 +407,11 @@ mod tests {
 
     #[test]
     fn bound_variables_are_masked() {
-        let t = LinTerm::lam("x", chr("a"), LinTerm::pair(LinTerm::var("x"), LinTerm::var("y")));
+        let t = LinTerm::lam(
+            "x",
+            chr("a"),
+            LinTerm::pair(LinTerm::var("x"), LinTerm::var("y")),
+        );
         assert_eq!(t.occurrence_sequence(), vec!["y"]);
     }
 

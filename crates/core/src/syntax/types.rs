@@ -311,9 +311,7 @@ fn positive_in(ty: &LinType, data: &str, polarity: bool) -> bool {
         LinType::LFun(a, b) | LinType::RFun(a, b) => {
             positive_in(a, data, !polarity) && positive_in(b, data, polarity)
         }
-        LinType::Plus(ts) | LinType::With(ts) => {
-            ts.iter().all(|t| positive_in(t, data, polarity))
-        }
+        LinType::Plus(ts) | LinType::With(ts) => ts.iter().all(|t| positive_in(t, data, polarity)),
         LinType::BigPlus { body, .. } | LinType::BigWith { body, .. } => {
             positive_in(body, data, polarity)
         }
@@ -435,10 +433,7 @@ pub fn lin_type_equal(a: &LinType, b: &LinType) -> bool {
                 lin_type_equal(b1, &renamed)
             }
         }
-        (
-            LinType::Data { name: n1, args: a1 },
-            LinType::Data { name: n2, args: a2 },
-        ) => {
+        (LinType::Data { name: n1, args: a1 }, LinType::Data { name: n2, args: a2 }) => {
             n1 == n2
                 && a1.len() == a2.len()
                 && a1
@@ -554,7 +549,10 @@ mod tests {
                 result_indices: vec![], // missing the Fin 3 index
             }],
         };
-        assert!(matches!(sig.declare_data(bad), Err(DeclError::IndexArity { .. })));
+        assert!(matches!(
+            sig.declare_data(bad),
+            Err(DeclError::IndexArity { .. })
+        ));
     }
 
     #[test]

@@ -158,7 +158,11 @@ pub struct EquivViolation {
 
 impl std::fmt::Display for EquivViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "equivalence violated at {}: {}", self.string, self.detail)
+        write!(
+            f,
+            "equivalence violated at {}: {}",
+            self.string, self.detail
+        )
     }
 }
 

@@ -123,11 +123,9 @@ impl VerifiedParser {
         let out = self.run.apply(&input)?;
         match out {
             ParseTree::Inj { index: 0, tree } => {
-                validate(&tree, &self.grammar, w).map_err(|cause| {
-                    TransformError::OutputShape {
-                        transformer: self.run.name().to_owned(),
-                        cause,
-                    }
+                validate(&tree, &self.grammar, w).map_err(|cause| TransformError::OutputShape {
+                    transformer: self.run.name().to_owned(),
+                    cause,
                 })?;
                 Ok(ParseOutcome::Accept(*tree))
             }
@@ -173,7 +171,11 @@ impl VerifiedParser {
             if got.is_accept() != expected {
                 return Err(format!(
                     "parser {} {} but the grammar {} it",
-                    if got.is_accept() { "accepts" } else { "rejects" },
+                    if got.is_accept() {
+                        "accepts"
+                    } else {
+                        "rejects"
+                    },
                     self.alphabet.display(&w),
                     if expected { "contains" } else { "excludes" },
                 ));
@@ -210,21 +212,13 @@ pub fn extend_parser(
     let run = parser.run.clone();
     let cod = alt(b.clone(), neg.clone());
     let name = format!("extend({})", run.name());
-    let lifted = Transformer::from_fn(
-        name,
-        run.dom().clone(),
-        cod,
-        move |t| match run.apply(t)? {
+    let lifted = Transformer::from_fn(name, run.dom().clone(), cod, move |t| {
+        match run.apply(t)? {
             ParseTree::Inj { index: 0, tree } => Ok(ParseTree::inj(0, fwd.apply(&tree)?)),
             other => Ok(other),
-        },
-    );
-    Ok(VerifiedParser::new(
-        parser.alphabet.clone(),
-        b,
-        neg,
-        lifted,
-    ))
+        }
+    });
+    Ok(VerifiedParser::new(parser.alphabet.clone(), b, neg, lifted))
 }
 
 #[cfg(test)]
@@ -276,10 +270,7 @@ mod tests {
                         1,
                         ParseTree::pair(
                             pre,
-                            ParseTree::pair(
-                                ParseTree::inj(tag, ParseTree::Char(bad)),
-                                post,
-                            ),
+                            ParseTree::pair(ParseTree::inj(tag, ParseTree::Char(bad)), post),
                         ),
                     ))
                 }
@@ -355,6 +346,10 @@ mod tests {
         });
         let p = VerifiedParser::new(sigma, a, crate::grammar::expr::top(), run);
         assert!(p.audit_disjointness(2).is_err());
-        let _ = (inj(0, vec![eps(), eps()]), either(id(eps()), id(eps())), bang(eps()));
+        let _ = (
+            inj(0, vec![eps(), eps()]),
+            either(id(eps()), id(eps())),
+            bang(eps()),
+        );
     }
 }

@@ -146,8 +146,7 @@ mod tests {
     fn bad_input_is_rejected() {
         let s = Alphabet::abc();
         let a = s.symbol("a").unwrap();
-        let action =
-            SemanticAction::new("unit-only", crate::grammar::expr::eps(), |_| Ok(()));
+        let action = SemanticAction::new("unit-only", crate::grammar::expr::eps(), |_| Ok(()));
         assert!(matches!(
             action.run(&ParseTree::Char(a)),
             Err(ActionError::BadInput(_))

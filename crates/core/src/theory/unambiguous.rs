@@ -127,8 +127,7 @@ pub fn summands_disjoint(
 ) -> Result<(), (usize, usize, OverlapWitness)> {
     for i in 0..summands.len() {
         for j in (i + 1)..summands.len() {
-            check_disjoint(&summands[i], &summands[j], alphabet, max_len)
-                .map_err(|w| (i, j, w))?;
+            check_disjoint(&summands[i], &summands[j], alphabet, max_len).map_err(|w| (i, j, w))?;
         }
     }
     Ok(())

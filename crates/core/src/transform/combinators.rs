@@ -7,9 +7,7 @@
 //! (exchange), `dup` (contraction) or `drop` (weakening) — the calculus is
 //! non-commutative linear.
 
-use crate::grammar::expr::{
-    alt, and, bot, eps, plus, tensor, top, with, Grammar,
-};
+use crate::grammar::expr::{alt, and, bot, eps, plus, tensor, top, with, Grammar};
 use crate::grammar::parse_tree::ParseTree;
 use crate::transform::{TransformError, Transformer};
 
@@ -147,10 +145,7 @@ pub fn proj(index: usize, components: Vec<Grammar>) -> Transformer {
     let cod = components[index].clone();
     let dom = with(components);
     Transformer::from_fn(format!("π{index}"), dom, cod, move |t| match t {
-        ParseTree::Tuple(ts) => ts
-            .get(index)
-            .cloned()
-            .ok_or_else(|| shape_err("π", t)),
+        ParseTree::Tuple(ts) => ts.get(index).cloned().ok_or_else(|| shape_err("π", t)),
         other => Err(shape_err("π", other)),
     })
 }
@@ -332,9 +327,7 @@ mod tests {
         let (_, a, b, _) = setup();
         // [inl ↦ !, inr ↦ !] : 'a' ⊕ 'b' ⊸ ⊤
         let f = either(bang(chr(a)), bang(chr(b)));
-        let out = f
-            .apply_checked(&ParseTree::inj(1, leaf(b)))
-            .unwrap();
+        let out = f.apply_checked(&ParseTree::inj(1, leaf(b))).unwrap();
         assert!(matches!(out, ParseTree::Top(_)));
     }
 
@@ -342,9 +335,7 @@ mod tests {
     fn tensor_par_maps_both_sides() {
         let (_, a, b, _) = setup();
         let f = tensor_par(bang(chr(a)), id(chr(b)));
-        let out = f
-            .apply_checked(&ParseTree::pair(leaf(a), leaf(b)))
-            .unwrap();
+        let out = f.apply_checked(&ParseTree::pair(leaf(a), leaf(b))).unwrap();
         match out {
             ParseTree::Pair(l, r) => {
                 assert!(matches!(*l, ParseTree::Top(_)));

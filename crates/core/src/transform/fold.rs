@@ -69,10 +69,9 @@ pub(crate) fn map_vars(
     };
     match (&**body, tree) {
         (GrammarExpr::Var(i), t) => f(*i, t),
-        (GrammarExpr::Tensor(l, r), ParseTree::Pair(tl, tr)) => Ok(ParseTree::pair(
-            map_vars(l, tl, f)?,
-            map_vars(r, tr, f)?,
-        )),
+        (GrammarExpr::Tensor(l, r), ParseTree::Pair(tl, tr)) => {
+            Ok(ParseTree::pair(map_vars(l, tl, f)?, map_vars(r, tr, f)?))
+        }
         (GrammarExpr::Plus(gs), ParseTree::Inj { index, tree: t }) => match gs.get(*index) {
             Some(g) => Ok(ParseTree::inj(*index, map_vars(g, t, f)?)),
             None => fail(),
@@ -167,10 +166,7 @@ mod tests {
     /// Builds the star system for grammar `a` and a list parse of the
     /// given element trees.
     fn star_system(a: Grammar) -> Rc<MuSystem> {
-        MuSystem::new(
-            vec![alt(eps(), tensor(a, var(0)))],
-            vec!["star".to_owned()],
-        )
+        MuSystem::new(vec![alt(eps(), tensor(a, var(0)))], vec!["star".to_owned()])
     }
 
     fn list_tree(elems: Vec<ParseTree>) -> ParseTree {
@@ -244,8 +240,7 @@ mod tests {
         let (s, a, _) = setup();
         let h = fig4_transformer(chr(a));
         // Input: list of 2 pairs — parses "aaaa".
-        let pair_elem =
-            ParseTree::pair(ParseTree::Char(a), ParseTree::Char(a));
+        let pair_elem = ParseTree::pair(ParseTree::Char(a), ParseTree::Char(a));
         let t = list_tree(vec![pair_elem.clone(), pair_elem]);
         let out = h.apply_checked(&t).unwrap();
         let w = s.parse_str("aaaa").unwrap();
@@ -328,10 +323,7 @@ mod tests {
         let sys = star_system(chr(a));
         let astar = crate::grammar::expr::mu(sys.clone(), 0);
         let f = unit_l(astar.clone());
-        let t = ParseTree::pair(
-            ParseTree::Unit,
-            list_tree(vec![ParseTree::Char(a)]),
-        );
+        let t = ParseTree::pair(ParseTree::Unit, list_tree(vec![ParseTree::Char(a)]));
         let out = f.apply_checked(&t).unwrap();
         assert_eq!(out.flatten(), GString::singleton(a));
         let _ = sys;

@@ -94,7 +94,10 @@ impl fmt::Display for TransformError {
                 write!(f, "{transformer} applied to an impossible input")
             }
             TransformError::ComposeMismatch { cod, dom } => {
-                write!(f, "cannot compose: codomain {cod} differs from domain {dom}")
+                write!(
+                    f,
+                    "cannot compose: codomain {cod} differs from domain {dom}"
+                )
             }
             TransformError::Custom(msg) => write!(f, "{msg}"),
         }

@@ -39,20 +39,18 @@ fn the_two_functions() -> (Transformer, Transformer, Grammar) {
 /// layer, checks `f(layer) == g(layer)` and returns the (equalizer-
 /// wrapped, i.e. unchanged) parse. Its totality on all parses *is* the
 /// inductive proof.
-fn ind(
-    f: &Transformer,
-    g: &Transformer,
-    tree: &ParseTree,
-) -> Result<ParseTree, TransformError> {
+fn ind(f: &Transformer, g: &Transformer, tree: &ParseTree) -> Result<ParseTree, TransformError> {
     // Recurse into the tail first (the inductive hypothesis)...
     if let ParseTree::Roll(inner) = tree {
-        if let ParseTree::Inj { index: 1, tree: pair } = &**inner {
+        if let ParseTree::Inj {
+            index: 1,
+            tree: pair,
+        } = &**inner
+        {
             if let ParseTree::Pair(head, tail) = &**pair {
                 let tail2 = ind(f, g, tail)?;
-                let rebuilt = ParseTree::roll(ParseTree::inj(
-                    1,
-                    ParseTree::pair((**head).clone(), tail2),
-                ));
+                let rebuilt =
+                    ParseTree::roll(ParseTree::inj(1, ParseTree::pair((**head).clone(), tail2)));
                 return equalizer_intro(f, g, &rebuilt);
             }
         }

@@ -225,10 +225,7 @@ fn fig4_fold_transformer() {
 fn section2_structural_rejections() {
     let sig = Signature::new();
     let ck = Checker::new(&sig);
-    let ctx = vec![
-        ("a".to_owned(), chr("a")),
-        ("b".to_owned(), chr("b")),
-    ];
+    let ctx = vec![("a".to_owned(), chr("a")), ("b".to_owned(), chr("b"))];
     // Weakening: a, b ⊬ a.
     match ck.infer(&NlCtx::new(), &ctx, &LinTerm::var("a")) {
         Err(TypeError::Structural {

@@ -138,7 +138,11 @@ pub struct RegexSyntaxError {
 
 impl fmt::Display for RegexSyntaxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex syntax error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex syntax error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 

@@ -14,12 +14,12 @@
 //!
 //! This module composes exactly those four pieces.
 
+use lambek_automata::determinize::{determinize, trace_weak_equiv, Determinized};
+use lambek_automata::run::dfa_trace_parser;
 use lambek_core::alphabet::{Alphabet, GString};
 use lambek_core::theory::equivalence::WeakEquiv;
 use lambek_core::theory::parser::{extend_parser, ParseOutcome, VerifiedParser};
 use lambek_core::transform::TransformError;
-use lambek_automata::determinize::{determinize, trace_weak_equiv, Determinized};
-use lambek_automata::run::dfa_trace_parser;
 
 use crate::ast::Regex;
 use crate::thompson::{thompson_strong_equiv, Thompson};
@@ -51,10 +51,7 @@ impl RegexParser {
         let dfa_parser = dfa_trace_parser(&det.dfa, det.dfa.init());
         // (4) Extend along TraceD ≈ TraceN, then TraceN ≈ R.
         let via_nfa = extend_parser(&dfa_parser, &n_to_d.reverse())?;
-        let trace_to_regex = WeakEquiv::new(
-            strong.weak().bwd.clone(),
-            strong.weak().fwd.clone(),
-        );
+        let trace_to_regex = WeakEquiv::new(strong.weak().bwd.clone(), strong.weak().fwd.clone());
         let parser = extend_parser(&via_nfa, &trace_to_regex)?;
         Ok(RegexParser {
             regex,

@@ -12,11 +12,11 @@
 //! * `trace → parse`: deterministic descent, because every ε-transition
 //!   id pins down which fragment and which constructor produced it.
 
+use lambek_automata::nfa::{Nfa, NfaTrace, StateId};
 use lambek_core::alphabet::Alphabet;
 use lambek_core::grammar::parse_tree::ParseTree;
 use lambek_core::theory::equivalence::{StrongEquiv, WeakEquiv};
 use lambek_core::transform::{TransformError, Transformer};
-use lambek_automata::nfa::{Nfa, NfaTrace, StateId};
 
 use crate::ast::Regex;
 
@@ -30,7 +30,11 @@ enum Frag {
     /// `'c'`: one labeled transition.
     Char { t: usize },
     /// `l · r` with an ε bridging `l.acc → r.start`.
-    Concat { mid: usize, l: Box<FragMeta>, r: Box<FragMeta> },
+    Concat {
+        mid: usize,
+        l: Box<FragMeta>,
+        r: Box<FragMeta>,
+    },
     /// `l | r` with ε fan-out/fan-in.
     Alt {
         into_l: usize,
@@ -168,7 +172,12 @@ impl Thompson {
 
     /// Converts a regex parse tree to the corresponding accepting trace,
     /// appending `k` after the fragment (continuation style).
-    fn tree_to_trace(&self, meta: &FragMeta, tree: &ParseTree, k: NfaTrace) -> Result<NfaTrace, TransformError> {
+    fn tree_to_trace(
+        &self,
+        meta: &FragMeta,
+        tree: &ParseTree,
+        k: NfaTrace,
+    ) -> Result<NfaTrace, TransformError> {
         let fail = |what: &str| {
             Err(TransformError::Custom(format!(
                 "thompson: expected {what}, got {tree}"
@@ -209,7 +218,12 @@ impl Thompson {
         }
     }
 
-    fn star_to_trace(&self, meta: &FragMeta, tree: &ParseTree, k: NfaTrace) -> Result<NfaTrace, TransformError> {
+    fn star_to_trace(
+        &self,
+        meta: &FragMeta,
+        tree: &ParseTree,
+        k: NfaTrace,
+    ) -> Result<NfaTrace, TransformError> {
         let (enter, exit, back, inner) = match &meta.frag {
             Frag::Star {
                 enter,
@@ -230,7 +244,10 @@ impl Thompson {
         };
         match inner_tree {
             ParseTree::Inj { index: 0, .. } => Ok(NfaTrace::eps_step(exit, k)),
-            ParseTree::Inj { index: 1, tree: pair } => match &**pair {
+            ParseTree::Inj {
+                index: 1,
+                tree: pair,
+            } => match &**pair {
                 ParseTree::Pair(head, tail) => {
                     let rest = self.star_to_trace(meta, tail, k)?;
                     let after_head = NfaTrace::eps_step(back, rest);
@@ -373,10 +390,15 @@ pub fn thompson_strong_equiv(alphabet: &Alphabet, re: &Regex) -> (Thompson, Stro
 
     let th_f = th.clone();
     let tg_f = tg.clone();
-    let fwd = Transformer::from_fn("regex→trace", regex_g.clone(), trace_g.clone(), move |t| {
-        let trace = th_f.tree_to_trace(&th_f.root, t, NfaTrace::Stop)?;
-        Ok(trace.to_parse_tree(&th_f.nfa, &tg_f, th_f.nfa.init()))
-    });
+    let fwd = Transformer::from_fn(
+        "regex→trace",
+        regex_g.clone(),
+        trace_g.clone(),
+        move |t| {
+            let trace = th_f.tree_to_trace(&th_f.root, t, NfaTrace::Stop)?;
+            Ok(trace.to_parse_tree(&th_f.nfa, &tg_f, th_f.nfa.init()))
+        },
+    );
 
     let th_b = th.clone();
     let re_b = re.clone();

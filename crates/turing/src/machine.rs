@@ -114,7 +114,10 @@ impl TuringMachine {
     ) {
         assert!(state < self.num_states && next < self.num_states);
         let prev = self.transitions.insert((state, read), (next, write, mv));
-        assert!(prev.is_none(), "duplicate transition for ({state}, {read:?})");
+        assert!(
+            prev.is_none(),
+            "duplicate transition for ({state}, {read:?})"
+        );
     }
 
     /// Runs the machine on `w` for at most `fuel` steps.

@@ -63,11 +63,7 @@ pub fn literal_parse(w: &GString) -> ParseTree {
 
 /// Reifies an arbitrary boolean predicate over strings of length ≤
 /// `max_len` (Construction 4.15, truncated).
-pub fn reify(
-    alphabet: &Alphabet,
-    max_len: usize,
-    predicate: impl Fn(&GString) -> bool,
-) -> Reified {
+pub fn reify(alphabet: &Alphabet, max_len: usize, predicate: impl Fn(&GString) -> bool) -> Reified {
     let strings: Vec<GString> = all_strings(alphabet, max_len)
         .into_iter()
         .filter(|w| predicate(w))

@@ -9,8 +9,8 @@
 
 use lambek_automata::counter::CounterMachine;
 use lambek_automata::gen::random_dyck;
-use lambek_core::theory::parser::ParseOutcome;
 use lambek_cfg::dyck::{dyck_parser, dyck_trace_equiv, Parens};
+use lambek_core::theory::parser::ParseOutcome;
 use lambek_core::theory::unambiguous::all_strings;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = parser.parse(&w)?;
     println!(
         "random 64-char Dyck word: {} (depth {})",
-        if outcome.is_accept() { "accepted" } else { "rejected" },
+        if outcome.is_accept() {
+            "accepted"
+        } else {
+            "rejected"
+        },
         machine.max_depth(&w),
     );
     Ok(())

@@ -31,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             LinTerm::inj(0, 2, LinTerm::pair(LinTerm::var("a"), LinTerm::var("b"))),
         ),
     );
-    ck.check(&NlCtx::new(), &[], &f, &LinType::lfun(dom.clone(), cod.clone()))?;
+    ck.check(
+        &NlCtx::new(),
+        &[],
+        &f,
+        &LinType::lfun(dom.clone(), cod.clone()),
+    )?;
     println!("✓ Fig. 1's term type-checks: f : 'a' ⊗ 'b' ⊸ ('a' ⊗ 'b') ⊕ 'c'");
 
     // The §2 non-derivations are rejected with the right diagnosis.
@@ -56,9 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = sigma.parse_str("ab").unwrap();
     let input = CompiledGrammar::new(tr.dom()).parses(&w, 4).trees.remove(0);
     let out = tr.apply_checked(&input)?;
-    println!("\nf ⟨parse of \"ab\"⟩ = {out}   (yield preserved: {})", {
-        let y = out.flatten();
-        sigma.display(&y)
-    });
+    println!(
+        "\nf ⟨parse of \"ab\"⟩ = {out}   (yield preserved: {})",
+        {
+            let y = out.flatten();
+            sigma.display(&y)
+        }
+    );
     Ok(())
 }

@@ -16,6 +16,30 @@
 //!   arithmetic expressions (Theorem 4.14), and an Earley baseline;
 //! * [`turing`] (`lambek-turing`) — unrestricted grammars via `Reify`
 //!   (Construction 4.15).
+//!
+//! # Quickstart
+//!
+//! The paper's running example through the facade: compile the verified
+//! regex parser of Corollary 4.12 for `(a*b)|c` and parse a string. The
+//! returned tree is intrinsically verified — its yield *is* the input.
+//!
+//! ```
+//! use lambekd::core::alphabet::Alphabet;
+//! use lambekd::regex::ast::parse_regex;
+//! use lambekd::regex::pipeline::RegexParser;
+//!
+//! let sigma = Alphabet::abc();
+//! let re = parse_regex(&sigma, "(a*b)|c").unwrap();
+//! let parser = RegexParser::compile(&sigma, re).unwrap();
+//!
+//! let w = sigma.parse_str("aab").unwrap();
+//! let outcome = parser.parse(&w).unwrap();
+//! let tree = outcome.accepted().expect("aab matches (a*b)|c");
+//! assert_eq!(tree.flatten(), w);
+//!
+//! let bad = sigma.parse_str("ba").unwrap();
+//! assert!(!parser.parse(&bad).unwrap().is_accept());
+//! ```
 
 pub use lambek_automata as automata;
 pub use lambek_cfg as cfg;

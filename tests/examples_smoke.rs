@@ -1,0 +1,48 @@
+//! Smoke tests for the five `examples/*.rs`: each example is built and
+//! executed via `cargo run --example`, and its stdout is checked for a
+//! sentinel line, so the quickstart/dyck/turing_reify demos can never
+//! silently rot while tests stay green.
+
+use std::process::Command;
+
+/// Runs one example through the `cargo` that built this test binary and
+/// returns its stdout. Panics (with stderr attached) on non-zero exit.
+fn run_example(name: &str) -> String {
+    // Runtime lookup, not compile-time env!: the baked-in toolchain path
+    // can go stale when the cached test binary outlives a rustup update.
+    let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
+    // Shares the workspace target dir: `cargo test` has already built
+    // every example by the time tests run, so this is a cache hit, and
+    // the build lock is free while test binaries execute.
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// All five examples run sequentially in one test: concurrent `cargo
+/// run` invocations would contend on the build lock for no benefit.
+#[test]
+fn examples_run_and_print_their_sentinels() {
+    for (example, sentinel) in [
+        ("quickstart", "DFA states"),
+        ("dyck", "Theorem 4.13"),
+        ("arith_lookahead", "expression"),
+        ("turing_reify", "Reify"),
+        ("typecheck_playground", "type-checks"),
+    ] {
+        let stdout = run_example(example);
+        assert!(
+            stdout.contains(sentinel),
+            "example {example} ran but its stdout lost the sentinel {sentinel:?}:\n{stdout}"
+        );
+    }
+}

@@ -1,13 +1,13 @@
 //! The per-experiment index of DESIGN.md §5, as one machine-checked test
 //! per paper artifact. EXPERIMENTS.md records the measured outcomes.
 
+use lambek_automata::determinize::determinize;
+use lambek_automata::minimize::minimize;
+use lambek_automata::nfa::{fig5_nfa, NfaTrace};
 use lambek_core::alphabet::Alphabet;
 use lambek_core::grammar::compile::CompiledGrammar;
 use lambek_core::grammar::parse_tree::validate;
 use lambek_core::theory::unambiguous::{all_strings, check_unambiguous};
-use lambek_automata::determinize::determinize;
-use lambek_automata::minimize::minimize;
-use lambek_automata::nfa::{fig5_nfa, NfaTrace};
 use regex_grammars::ast::parse_regex;
 use regex_grammars::pipeline::RegexParser;
 
@@ -47,7 +47,10 @@ fn f3_fig3_star_parse() {
 fn f5_fig5_nfa_and_trace() {
     let (nfa, [t11, t12, _, e01]) = fig5_nfa();
     let s = nfa.alphabet().clone();
-    let trace = NfaTrace::eps_step(e01, NfaTrace::step(t11, NfaTrace::step(t12, NfaTrace::Stop)));
+    let trace = NfaTrace::eps_step(
+        e01,
+        NfaTrace::step(t11, NfaTrace::step(t12, NfaTrace::Stop)),
+    );
     let tg = nfa.trace_grammar();
     let tree = trace.to_parse_tree(&nfa, &tg, 0);
     validate(&tree, &tg.trace(0), &s.parse_str("ab").unwrap()).unwrap();

@@ -4,14 +4,14 @@
 
 use proptest::prelude::*;
 
-use lambek_core::alphabet::{Alphabet, GString, Symbol};
-use lambek_core::grammar::parse_tree::validate;
 use lambek_automata::determinize::{determinize, least_accepting_trace, trace_weak_equiv};
 use lambek_automata::dfa::{parse_dfa, print_dfa};
 use lambek_automata::equiv::equivalent;
 use lambek_automata::gen::{random_dfa, random_nfa};
 use lambek_automata::minimize::minimize;
 use lambek_automata::run::dfa_trace_parser;
+use lambek_core::alphabet::{Alphabet, GString, Symbol};
+use lambek_core::grammar::parse_tree::validate;
 
 fn arb_string(max_len: usize) -> impl Strategy<Value = GString> {
     proptest::collection::vec(0usize..3, 0..=max_len)

@@ -5,8 +5,6 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use lambek_core::alphabet::GString;
-use lambek_core::grammar::parse_tree::validate;
 use lambek_automata::counter::CounterMachine;
 use lambek_automata::gen::{random_arith, random_dyck};
 use lambek_automata::lookahead::{simulate, ArithTokens};
@@ -14,6 +12,8 @@ use lambek_cfg::dyck::{dyck_grammar, dyck_parser, parse_dyck_string, Parens};
 use lambek_cfg::earley::{earley_parse, earley_recognize};
 use lambek_cfg::expr::{exp_grammar, exp_parser, parse_exp_string};
 use lambek_cfg::grammar::{Cfg, GSym, Production};
+use lambek_core::alphabet::GString;
+use lambek_core::grammar::parse_tree::validate;
 
 /// The Dyck CFG (S ::= ε | ( S ) S) for the Earley baseline.
 fn dyck_cfg(p: &Parens) -> Cfg {
@@ -23,12 +23,7 @@ fn dyck_cfg(p: &Parens) -> Cfg {
         vec![vec![
             Production { rhs: vec![] },
             Production {
-                rhs: vec![
-                    GSym::T(p.open),
-                    GSym::N(0),
-                    GSym::T(p.close),
-                    GSym::N(0),
-                ],
+                rhs: vec![GSym::T(p.open), GSym::N(0), GSym::T(p.close), GSym::N(0)],
             },
         ]],
         0,

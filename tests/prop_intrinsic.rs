@@ -96,8 +96,14 @@ proptest! {
 fn ambiguous_regex_parses_validate() {
     let sigma = Alphabet::abc();
     let re = Regex::alt(
-        Regex::concat(Regex::Char(Symbol::from_index(0)), Regex::Char(Symbol::from_index(1))),
-        Regex::concat(Regex::Char(Symbol::from_index(0)), Regex::Char(Symbol::from_index(1))),
+        Regex::concat(
+            Regex::Char(Symbol::from_index(0)),
+            Regex::Char(Symbol::from_index(1)),
+        ),
+        Regex::concat(
+            Regex::Char(Symbol::from_index(0)),
+            Regex::Char(Symbol::from_index(1)),
+        ),
     );
     let parser = RegexParser::compile(&sigma, re.clone()).unwrap();
     let w = sigma.parse_str("ab").unwrap();

@@ -1,0 +1,307 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the criterion 0.5 API subset the `crates/bench` benches use:
+//! [`Criterion`], [`BenchmarkGroup`] (`benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `finish`), [`BenchmarkId`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs a short
+//! warm-up, then `sample_size` timed batches, and reports the median
+//! per-iteration time to stdout. There is no statistics engine, HTML
+//! report, or plotting — the point is that `cargo bench` compiles, runs,
+//! and prints honest wall-clock numbers offline. Set
+//! `CRITERION_SAMPLE_MS` (per-sample budget, default 50) to trade
+//! precision for speed in CI.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: a function name plus a parameter rendered
+/// with `Display` (e.g. an input size).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (criterion parity).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => write!(f, "{p}"),
+            (name, Some(p)) => write!(f, "{name}/{p}"),
+            (name, None) => write!(f, "{name}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_count: usize,
+    sample_budget: Duration,
+}
+
+impl Bencher {
+    fn new(sample_count: usize, sample_budget: Duration) -> Self {
+        Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_count,
+            sample_budget,
+        }
+    }
+
+    /// Times `routine`, recording `sample_count` batches sized to fit
+    /// the per-sample budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: find an iteration count that fills the budget.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.sample_budget || iters >= 1 << 20 {
+                let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+                let target = self.sample_budget.as_nanos();
+                iters = ((target / per_iter).max(1) as u64).min(1 << 20);
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Median per-iteration time over the recorded samples.
+    fn median_per_iter(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut per_iter: Vec<u128> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() / self.iters_per_sample as u128)
+            .collect();
+        per_iter.sort_unstable();
+        Duration::from_nanos(per_iter[per_iter.len() / 2] as u64)
+    }
+}
+
+fn sample_budget_from_env() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(50);
+    Duration::from_millis(ms.max(1))
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+    sample_budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs `routine` under `id` with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_count, self.sample_budget);
+        routine(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_count, self.sample_budget);
+        routine(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, b: &Bencher) {
+        let per_iter = b.median_per_iter();
+        println!(
+            "{:<50} {:>14} /iter  ({} samples x {} iters)",
+            format!("{}/{}", self.name, id),
+            format_duration(per_iter),
+            b.sample_count,
+            b.iters_per_sample,
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Ends the group (criterion parity; reporting is incremental).
+    pub fn finish(&mut self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_count: 10,
+            sample_budget: sample_budget_from_env(),
+        }
+    }
+
+    /// Runs `routine` as a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_owned())
+            .bench_function("run", routine);
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; a plain
+            // binary must tolerate them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(3, Duration::from_millis(1));
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter = counter.wrapping_add(1);
+            counter
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.median_per_iter() < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        // Explicit budget: tests must not mutate process env (set_var
+        // races with concurrently running tests reading the env).
+        group.sample_budget = Duration::from_millis(1);
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn benchmark_id_display() {
+        assert_eq!(BenchmarkId::new("parse", 128).to_string(), "parse/128");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}
