@@ -14,17 +14,25 @@ use lambek_core::grammar::parse_tree::ParseTree;
 use crate::nfa::StateId;
 
 /// A deterministic finite automaton with a total transition function.
+///
+/// The transition table is stored *dense and flat*: one row-major
+/// `Vec<StateId>` with stride `|Σ|`, so a step is a single multiply-add
+/// and load with no per-row pointer chase and no hashing. This is the
+/// table-driven representation the serving engine
+/// (`lambekd::engine`) relies on for its hot paths.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dfa {
     alphabet: Alphabet,
     init: StateId,
     accepting: Vec<bool>,
-    /// `delta[s][c.index()]` is the successor of `s` on symbol `c`.
-    delta: Vec<Vec<StateId>>,
+    /// Row-major stride: number of symbols in the alphabet.
+    stride: usize,
+    /// `delta[s * stride + c.index()]` is the successor of `s` on `c`.
+    delta: Vec<StateId>,
 }
 
 impl Dfa {
-    /// Creates a DFA from its transition table.
+    /// Creates a DFA from its transition table (one row per state).
     ///
     /// # Panics
     ///
@@ -41,16 +49,50 @@ impl Dfa {
         assert!(n > 0, "a DFA needs at least one state");
         assert_eq!(accepting.len(), n, "one accepting flag per state");
         assert!(init < n, "initial state out of range");
+        let stride = alphabet.len();
+        let mut flat = Vec::with_capacity(n * stride);
         for row in &delta {
-            assert_eq!(row.len(), alphabet.len(), "one successor per symbol");
+            assert_eq!(row.len(), stride, "one successor per symbol");
             for &t in row {
                 assert!(t < n, "transition target out of range");
             }
+            flat.extend_from_slice(row);
         }
         Dfa {
             alphabet,
             init,
             accepting,
+            stride,
+            delta: flat,
+        }
+    }
+
+    /// Creates a DFA directly from a flat row-major transition table of
+    /// length `accepting.len() * alphabet.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Dfa::new`].
+    pub fn from_flat(
+        alphabet: Alphabet,
+        init: StateId,
+        accepting: Vec<bool>,
+        delta: Vec<StateId>,
+    ) -> Dfa {
+        let n = accepting.len();
+        let stride = alphabet.len();
+        assert!(n > 0, "a DFA needs at least one state");
+        assert_eq!(delta.len(), n * stride, "one successor per (state, symbol)");
+        assert!(init < n, "initial state out of range");
+        assert!(
+            delta.iter().all(|&t| t < n),
+            "transition target out of range"
+        );
+        Dfa {
+            alphabet,
+            init,
+            accepting,
+            stride,
             delta,
         }
     }
@@ -62,7 +104,7 @@ impl Dfa {
 
     /// Number of states.
     pub fn num_states(&self) -> usize {
-        self.delta.len()
+        self.accepting.len()
     }
 
     /// The initial state.
@@ -71,13 +113,28 @@ impl Dfa {
     }
 
     /// Whether `state` accepts.
+    #[inline]
     pub fn is_accepting(&self, state: StateId) -> bool {
         self.accepting[state]
     }
 
     /// The transition function `δ(state, sym)`.
+    ///
+    /// `sym` must come from this DFA's alphabet: a foreign symbol with a
+    /// larger index would land in a neighboring row of the flat table
+    /// (caught by a debug assertion; mixing alphabets is a logic error
+    /// per [`Symbol`]'s contract).
+    #[inline]
     pub fn delta(&self, state: StateId, sym: Symbol) -> StateId {
-        self.delta[state][sym.index()]
+        debug_assert!(sym.index() < self.stride, "symbol outside the alphabet");
+        self.delta[state * self.stride + sym.index()]
+    }
+
+    /// The dense successor row of `state`: `row[c.index()]` is
+    /// `δ(state, c)`.
+    #[inline]
+    pub fn delta_row(&self, state: StateId) -> &[StateId] {
+        &self.delta[state * self.stride..(state + 1) * self.stride]
     }
 
     /// Runs the DFA from `start`, returning the full state sequence
@@ -87,10 +144,23 @@ impl Dfa {
         let mut s = start;
         states.push(s);
         for sym in w.iter() {
-            s = self.delta(s, sym);
+            debug_assert!(sym.index() < self.stride, "symbol outside the alphabet");
+            s = self.delta[s * self.stride + sym.index()];
             states.push(s);
         }
         states
+    }
+
+    /// The state reached from `start` after consuming `w` (no state
+    /// sequence is materialized — this is the allocation-free fast path).
+    #[inline]
+    pub fn final_state(&self, start: StateId, w: &GString) -> StateId {
+        let mut s = start;
+        for sym in w.iter() {
+            debug_assert!(sym.index() < self.stride, "symbol outside the alphabet");
+            s = self.delta[s * self.stride + sym.index()];
+        }
+        s
     }
 
     /// Whether the DFA accepts `w` from the initial state.
@@ -100,8 +170,7 @@ impl Dfa {
 
     /// Whether the DFA accepts `w` from `start`.
     pub fn accepts_from(&self, start: StateId, w: &GString) -> bool {
-        let states = self.run_from(start, w);
-        self.accepting[*states.last().expect("non-empty run")]
+        self.accepting[self.final_state(start, w)]
     }
 
     /// The Bool-indexed trace type `TraceD` of Fig. 11 as a `μ` system.
@@ -149,7 +218,7 @@ impl Dfa {
 #[derive(Debug, Clone)]
 pub struct DfaTraceGrammar {
     /// One definition per `(state, bool)` pair; see [`Dfa::def_index`].
-    pub system: std::rc::Rc<MuSystem>,
+    pub system: std::sync::Arc<MuSystem>,
     alphabet: Alphabet,
 }
 

@@ -25,7 +25,7 @@
 //!   traces cover the entire remaining input (traces are linear: they
 //!   must consume the whole string).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambek_core::alphabet::{Alphabet, GString, Symbol};
 use lambek_core::grammar::expr::{and, chr, eps, mu, plus, tensor, top, var, Grammar, MuSystem};
@@ -98,7 +98,7 @@ impl Default for ArithTokens {
 #[derive(Debug, Clone)]
 pub struct LookaheadGrammar {
     /// One definition per `(kind, n, b)` with `n ≤ max`.
-    pub system: Rc<MuSystem>,
+    pub system: Arc<MuSystem>,
     /// The truncation bound on the paren count.
     pub max: usize,
     /// Token table.

@@ -272,7 +272,7 @@ pub struct TraceLayout {
 #[derive(Debug, Clone)]
 pub struct TraceGrammar {
     /// One definition per state.
-    pub system: std::rc::Rc<MuSystem>,
+    pub system: std::sync::Arc<MuSystem>,
     /// How constructors map to summand indices.
     pub layout: TraceLayout,
 }

@@ -1,18 +1,44 @@
 //! F12/T4.9 — `parseD`/`printD` over growing inputs on a random DFA.
 //!
 //! Expected shape: both are linear in the input length; `printD` is a
-//! cheap forward walk of the trace.
+//! cheap forward walk of the trace. The `run_dense` / `run_hashmap`
+//! pair isolates the transition-table representation: the dense flat
+//! `Vec` table against a hash-probed `HashMap<(state, sym), state>`
+//! reference, on identical automata and inputs.
+
+use std::collections::HashMap;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use lambek_automata::dfa::{parse_dfa, print_dfa};
+use lambek_automata::dfa::{parse_dfa, print_dfa, Dfa};
 use lambek_automata::gen::{random_dfa, random_string};
-use lambek_core::alphabet::Alphabet;
+use lambek_core::alphabet::{Alphabet, GString, Symbol};
+
+/// Hash-probed transition table: the representation the dense flat table
+/// replaced.
+fn hashmap_table(dfa: &Dfa) -> HashMap<(usize, Symbol), usize> {
+    let mut table = HashMap::new();
+    for s in 0..dfa.num_states() {
+        for c in dfa.alphabet().symbols() {
+            table.insert((s, c), dfa.delta(s, c));
+        }
+    }
+    table
+}
+
+fn run_hashmap(table: &HashMap<(usize, Symbol), usize>, start: usize, w: &GString) -> usize {
+    let mut s = start;
+    for sym in w.iter() {
+        s = table[&(s, sym)];
+    }
+    s
+}
 
 fn bench(c: &mut Criterion) {
     let sigma = Alphabet::abc();
     let dfa = random_dfa(&sigma, 8, 7);
     let tg = dfa.trace_grammar();
+    let table = hashmap_table(&dfa);
 
     let mut group = c.benchmark_group("fig12_parseD");
     group.sample_size(20);
@@ -24,6 +50,12 @@ fn bench(c: &mut Criterion) {
         let (bit, trace) = parse_dfa(&dfa, &tg, dfa.init(), &w);
         group.bench_with_input(BenchmarkId::new("printD", n), &trace, |b, t| {
             b.iter(|| print_dfa(&dfa, &tg, dfa.init(), bit, t))
+        });
+        group.bench_with_input(BenchmarkId::new("run_dense", n), &w, |b, w| {
+            b.iter(|| dfa.final_state(dfa.init(), w))
+        });
+        group.bench_with_input(BenchmarkId::new("run_hashmap", n), &w, |b, w| {
+            b.iter(|| run_hashmap(&table, dfa.init(), w))
         });
     }
     group.finish();

@@ -6,7 +6,7 @@
 //! the dynamic intrinsic-verification overhead (validate + yield check).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambek_core::alphabet::Alphabet;
 use lambek_core::grammar::expr::{
@@ -17,7 +17,7 @@ use lambek_core::transform::combinators::{assoc, either, id, inj, tensor_par};
 use lambek_core::transform::fold::{fold, roll};
 use lambek_core::transform::Transformer;
 
-fn star_system(a: Grammar) -> Rc<MuSystem> {
+fn star_system(a: Grammar) -> Arc<MuSystem> {
     MuSystem::new(vec![alt(eps(), tensor(a, var(0)))], vec!["star".to_owned()])
 }
 

@@ -6,7 +6,7 @@
 //! free-variable sets; each variable is bound and consumed once).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambek_core::alphabet::Alphabet;
 use lambek_core::check::Checker;
@@ -28,8 +28,8 @@ fn chain(n: usize, a: &LinType) -> (LinTerm, LinType) {
     for v in vars.iter().rev() {
         term = LinTerm::Lam {
             var: v.clone(),
-            dom: Rc::new(a.clone()),
-            body: Rc::new(term),
+            dom: Arc::new(a.clone()),
+            body: Arc::new(term),
         };
     }
     for _ in 0..n {

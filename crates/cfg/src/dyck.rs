@@ -13,7 +13,7 @@
 //! As with all ℕ-indexed automata the trace grammar is length-truncated
 //! (exact for inputs of length ≤ the bound).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambek_automata::counter::dyck_automaton;
 use lambek_automata::dfa::parse_dfa;
@@ -57,7 +57,7 @@ impl Default for Parens {
 /// The Dyck grammar of Fig. 13 as a `μ` type:
 /// `Dyck = I ⊕ ('(' ⊗ Dyck ⊗ ')' ⊗ Dyck)` — summand 0 is `nil`,
 /// summand 1 is `bal`.
-pub fn dyck_system(p: &Parens) -> Rc<MuSystem> {
+pub fn dyck_system(p: &Parens) -> Arc<MuSystem> {
     let bal = seq([chr(p.open), var(0), chr(p.close), var(0)]);
     MuSystem::new(vec![alt(eps(), bal)], vec!["Dyck".to_owned()])
 }

@@ -2,8 +2,22 @@
 //!
 //! The paper's CFG parsers go through deterministic automata; this module
 //! is the general-purpose comparator the benchmarks measure them against.
-//! Recognition is textbook Earley (predict/scan/complete); tree extraction
-//! rebuilds a derivation from the table of completed nonterminal spans,
+//! Recognition is textbook Earley (predict/scan/complete), but the
+//! runtime representation is table-driven rather than hash-based:
+//!
+//! * the chart of completed spans is a dense `Vec<u64>` bitset indexed by
+//!   `(nonterminal, i, j)` — a probe is one shift and one AND, replacing
+//!   the seed's `HashSet<(usize, usize, usize)>`;
+//! * per-position item sets are append-only `Vec<Item>` worklists with a
+//!   dotted-rule × origin membership bitset, replacing `HashSet<Item>`
+//!   (both index sets fall back to sparse hashing for inputs long enough
+//!   that the n²-sized dense arrays would dominate memory);
+//! * nullable nonterminals are precomputed by fixpoint
+//!   ([`nullable_set`]), so the predictor advances over a nullable
+//!   nonterminal immediately (the Aycock–Horspool fix) instead of
+//!   re-deriving ε at every position through the generic machinery.
+//!
+//! Tree extraction rebuilds a derivation from the completed spans,
 //! producing parse trees in the same shape as
 //! [`Cfg::to_lambek`](crate::grammar::Cfg::to_lambek) so they validate
 //! against the μ-regular grammar directly.
@@ -25,18 +39,106 @@ struct Item {
     origin: usize,
 }
 
-/// The Earley chart: completed spans per nonterminal.
+/// Above this capacity a [`BitSet`] falls back to a sparse hash set:
+/// the dense arrays are Θ(capacity) *allocated up front*, which for very
+/// long inputs (the index space grows with n²) would dwarf the items
+/// actually present. 2²⁶ bits = 8 MiB per set — far above every bench
+/// size, far below pathological allocations.
+const MAX_DENSE_BITS: usize = 1 << 26;
+
+/// An index set over a fixed capacity: a dense `Vec<u64>` bitset for
+/// ordinary inputs, a sparse hash set past [`MAX_DENSE_BITS`].
+#[derive(Debug, Clone)]
+enum BitSet {
+    Dense(Vec<u64>),
+    Sparse(HashSet<usize>),
+}
+
+impl BitSet {
+    /// A set of capacity `bits`, dense only if the *aggregate* footprint
+    /// of all `copies` sibling sets (the chart allocates one member set
+    /// per input position) stays under [`MAX_DENSE_BITS`].
+    fn new(bits: usize, copies: usize) -> BitSet {
+        if bits.saturating_mul(copies) <= MAX_DENSE_BITS {
+            BitSet::Dense(vec![0; bits.div_ceil(64)])
+        } else {
+            BitSet::Sparse(HashSet::new())
+        }
+    }
+
+    /// Sets bit `i`; returns `true` if it was previously clear.
+    #[inline]
+    fn insert(&mut self, i: usize) -> bool {
+        match self {
+            BitSet::Dense(words) => {
+                let word = &mut words[i / 64];
+                let mask = 1u64 << (i % 64);
+                let fresh = *word & mask == 0;
+                *word |= mask;
+                fresh
+            }
+            BitSet::Sparse(set) => set.insert(i),
+        }
+    }
+
+    #[inline]
+    fn contains(&self, i: usize) -> bool {
+        match self {
+            BitSet::Dense(words) => words[i / 64] & (1u64 << (i % 64)) != 0,
+            BitSet::Sparse(set) => set.contains(&i),
+        }
+    }
+}
+
+/// The set of nullable nonterminals (those deriving ε), by fixpoint
+/// iteration over the productions.
+pub fn nullable_set(cfg: &Cfg) -> Vec<bool> {
+    let mut nullable = vec![false; cfg.num_nonterminals()];
+    loop {
+        let mut changed = false;
+        for nt in 0..cfg.num_nonterminals() {
+            if nullable[nt] {
+                continue;
+            }
+            let derives_eps = cfg.alternatives(nt).iter().any(|p| {
+                p.rhs
+                    .iter()
+                    .all(|sym| matches!(sym, GSym::N(m) if nullable[*m]))
+            });
+            if derives_eps {
+                nullable[nt] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return nullable;
+        }
+    }
+}
+
+/// The Earley chart: completed spans per nonterminal, as a dense bitset.
 #[derive(Debug)]
 pub struct EarleyChart {
     n: usize,
-    /// `completed[(nt, i, j)]` ⇔ nonterminal `nt` derives `w[i..j]`.
-    completed: HashSet<(usize, usize, usize)>,
+    /// `(n + 1)²`, the stride of one nonterminal's span plane.
+    plane: usize,
+    /// Bit `nt · plane + i · (n+1) + j` ⇔ `nt` derives `w[i..j]`.
+    completed: BitSet,
+    /// Precomputed nullable flags, kept for extraction early-exits.
+    nullable: Vec<bool>,
 }
 
 impl EarleyChart {
     /// Whether nonterminal `nt` derives the span `w[i..j]`.
+    #[inline]
     pub fn derives(&self, nt: usize, i: usize, j: usize) -> bool {
-        self.completed.contains(&(nt, i, j))
+        self.completed
+            .contains(nt * self.plane + i * (self.n + 1) + j)
+    }
+
+    /// Whether nonterminal `nt` derives the empty string.
+    pub fn nullable(&self, nt: usize) -> bool {
+        self.nullable[nt]
     }
 
     /// Input length the chart was built for.
@@ -48,43 +150,71 @@ impl EarleyChart {
 /// Runs Earley recognition, returning the chart of completed spans.
 pub fn earley_chart(cfg: &Cfg, w: &GString) -> EarleyChart {
     let n = w.len();
-    let mut sets: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
-    let mut completed: HashSet<(usize, usize, usize)> = HashSet::new();
+    let span = n + 1;
+    let num_nt = cfg.num_nonterminals();
+    let nullable = nullable_set(cfg);
 
-    let start_items: Vec<Item> = (0..cfg.alternatives(cfg.start()).len())
-        .map(|alt| Item {
+    // Dotted-rule numbering: a dense id for every (nt, alt, dot) triple,
+    // so item membership per position is a bitset probe, not a hash.
+    let mut dot_base: Vec<Vec<usize>> = Vec::with_capacity(num_nt);
+    let mut dotted_total = 0usize;
+    for nt in 0..num_nt {
+        let bases = cfg
+            .alternatives(nt)
+            .iter()
+            .map(|p| {
+                let base = dotted_total;
+                dotted_total += p.rhs.len() + 1;
+                base
+            })
+            .collect();
+        dot_base.push(bases);
+    }
+    let item_bit = |item: &Item| (dot_base[item.nt][item.alt] + item.dot) * span + item.origin;
+
+    let mut completed = BitSet::new(num_nt * span * span, 1);
+    let span_bit = |nt: usize, i: usize, j: usize| nt * span * span + i * span + j;
+
+    // Append-only worklists double as the item sets; `member` dedups.
+    let mut sets: Vec<Vec<Item>> = vec![Vec::new(); span];
+    let mut member: Vec<BitSet> = (0..span)
+        .map(|_| BitSet::new(dotted_total * span, span))
+        .collect();
+
+    for alt in 0..cfg.alternatives(cfg.start()).len() {
+        let item = Item {
             nt: cfg.start(),
             alt,
             dot: 0,
             origin: 0,
-        })
-        .collect();
-    for it in start_items {
-        sets[0].insert(it);
+        };
+        if member[0].insert(item_bit(&item)) {
+            sets[0].push(item);
+        }
     }
 
     for pos in 0..=n {
-        let mut worklist: Vec<Item> = sets[pos].iter().copied().collect();
-        while let Some(item) = worklist.pop() {
+        let mut cursor = 0;
+        while cursor < sets[pos].len() {
+            let item = sets[pos][cursor];
+            cursor += 1;
             let rhs = &cfg.alternatives(item.nt)[item.alt].rhs;
             if item.dot == rhs.len() {
                 // Complete.
-                completed.insert((item.nt, item.origin, pos));
-                let parents: Vec<Item> = sets[item.origin]
-                    .iter()
-                    .filter(|p| {
-                        let prhs = &cfg.alternatives(p.nt)[p.alt].rhs;
-                        p.dot < prhs.len() && prhs[p.dot] == GSym::N(item.nt)
-                    })
-                    .copied()
-                    .collect();
-                for p in parents {
-                    let advanced = Item {
-                        dot: p.dot + 1,
-                        ..p
-                    };
-                    if sets[pos].insert(advanced) {
-                        worklist.push(advanced);
+                completed.insert(span_bit(item.nt, item.origin, pos));
+                let mut pi = 0;
+                while pi < sets[item.origin].len() {
+                    let p = sets[item.origin][pi];
+                    pi += 1;
+                    let prhs = &cfg.alternatives(p.nt)[p.alt].rhs;
+                    if p.dot < prhs.len() && prhs[p.dot] == GSym::N(item.nt) {
+                        let advanced = Item {
+                            dot: p.dot + 1,
+                            ..p
+                        };
+                        if member[pos].insert(item_bit(&advanced)) {
+                            sets[pos].push(advanced);
+                        }
                     }
                 }
             } else {
@@ -96,7 +226,9 @@ pub fn earley_chart(cfg: &Cfg, w: &GString) -> EarleyChart {
                                 dot: item.dot + 1,
                                 ..item
                             };
-                            sets[pos + 1].insert(advanced);
+                            if member[pos + 1].insert(item_bit(&advanced)) {
+                                sets[pos + 1].push(advanced);
+                            }
                         }
                     }
                     GSym::N(m) => {
@@ -108,19 +240,23 @@ pub fn earley_chart(cfg: &Cfg, w: &GString) -> EarleyChart {
                                 dot: 0,
                                 origin: pos,
                             };
-                            if sets[pos].insert(predicted) {
-                                worklist.push(predicted);
+                            if member[pos].insert(item_bit(&predicted)) {
+                                sets[pos].push(predicted);
                             }
                         }
-                        // Nullable completion (Aycock–Horspool style): if m
-                        // already completed ε at pos, advance immediately.
-                        if completed.contains(&(m, pos, pos)) {
+                        // Nullable early-exit (Aycock–Horspool): `m` is
+                        // known to derive ε, so advance immediately instead
+                        // of waiting for the ε-derivation to complete at
+                        // this position — and record the fact in the chart
+                        // so tree extraction sees the span too.
+                        if nullable[m] {
+                            completed.insert(span_bit(m, pos, pos));
                             let advanced = Item {
                                 dot: item.dot + 1,
                                 ..item
                             };
-                            if sets[pos].insert(advanced) {
-                                worklist.push(advanced);
+                            if member[pos].insert(item_bit(&advanced)) {
+                                sets[pos].push(advanced);
                             }
                         }
                     }
@@ -128,7 +264,12 @@ pub fn earley_chart(cfg: &Cfg, w: &GString) -> EarleyChart {
             }
         }
     }
-    EarleyChart { n, completed }
+    EarleyChart {
+        n,
+        plane: span * span,
+        completed,
+        nullable,
+    }
 }
 
 /// Whether the CFG derives `w` from its start symbol.
@@ -301,5 +442,61 @@ mod tests {
             let w = s.parse_str(w).unwrap();
             assert_eq!(earley_recognize(&cfg, &w), expect, "{w}");
         }
+    }
+
+    /// A grammar whose nullability is only reachable through a chain of
+    /// empty productions (S ::= A S b | ε via A ::= B, B ::= ε): the
+    /// regression case for the nullable-prediction early exit.
+    fn chain_nullable_cfg(s: &Alphabet) -> Cfg {
+        let (a, b) = (s.symbol("a").unwrap(), s.symbol("b").unwrap());
+        Cfg::new(
+            s.clone(),
+            vec!["S".to_owned(), "A".to_owned(), "B".to_owned()],
+            vec![
+                vec![
+                    Production {
+                        rhs: vec![GSym::N(1), GSym::T(a), GSym::N(0), GSym::T(b)],
+                    },
+                    Production { rhs: vec![] },
+                ],
+                vec![Production {
+                    rhs: vec![GSym::N(2)],
+                }],
+                vec![Production { rhs: vec![] }],
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn empty_production_chains_recognize_and_extract() {
+        // Regression: nullability through A ::= B, B ::= ε must be seen by
+        // the predictor (early exit) and by tree extraction (the chart
+        // records the ε-span at every predicted position).
+        let s = Alphabet::abc();
+        let cfg = chain_nullable_cfg(&s);
+        assert_eq!(nullable_set(&cfg), vec![true, true, true]);
+        let g = cfg.to_lambek();
+        let cg = CompiledGrammar::new(&g);
+        for w in all_strings(&s, 6) {
+            let recognized = earley_recognize(&cfg, &w);
+            assert_eq!(recognized, cg.recognizes(&w), "{w}");
+            match earley_parse(&cfg, &w) {
+                Some(t) => {
+                    assert!(recognized, "{w}");
+                    validate(&t, &g, &w).unwrap();
+                }
+                None => assert!(!recognized, "{w}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nullable_flags_are_exposed_on_the_chart() {
+        let s = Alphabet::abc();
+        let cfg = chain_nullable_cfg(&s);
+        let chart = earley_chart(&cfg, &s.parse_str("ab").unwrap());
+        assert!(chart.nullable(0) && chart.nullable(1) && chart.nullable(2));
+        assert!(chart.derives(2, 0, 0), "B derives ε at position 0");
     }
 }

@@ -14,7 +14,7 @@
 //! Theorem 4.9-style parser gives a verified expression parser producing
 //! `Exp` parse trees.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambek_automata::lookahead::{
     lookahead_parser, parse_lookahead, simulate, ArithTokens, LookaheadGrammar, StateKind,
@@ -35,7 +35,7 @@ const ATOM: usize = 1;
 ///
 /// Definition 0 is `Exp` (summand 0 = `done`, 1 = `add`), definition 1 is
 /// `Atom` (summand 0 = `num`, 1 = `parens`).
-pub fn exp_system(t: &ArithTokens) -> Rc<MuSystem> {
+pub fn exp_system(t: &ArithTokens) -> Arc<MuSystem> {
     let exp = plus(vec![
         var(ATOM),                              // done
         seq([var(ATOM), chr(t.add), var(EXP)]), // add

@@ -108,7 +108,7 @@ impl Cfg {
     }
 
     /// The underlying `μ` system (one definition per nonterminal).
-    pub fn to_lambek_system(&self) -> std::rc::Rc<MuSystem> {
+    pub fn to_lambek_system(&self) -> std::sync::Arc<MuSystem> {
         let defs = self
             .productions
             .iter()

@@ -19,6 +19,7 @@
 //! assert_eq!(sigma.display(&w), "ab");
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
 use std::ops::Index;
 use std::sync::Arc;
@@ -48,10 +49,34 @@ impl Symbol {
 
 /// A finite alphabet `Σ`: an ordered list of named symbols.
 ///
-/// Cloning an `Alphabet` is cheap (the name table is shared).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Cloning an `Alphabet` is cheap (the tables are shared). Symbol ids are
+/// *interned* at construction: name → symbol lookup is a single hash probe
+/// (and character lookup during [`Alphabet::parse_str`] avoids string
+/// allocation entirely), so tokenization stays off the hot-path profile
+/// even for large alphabets.
+#[derive(Debug, Clone)]
 pub struct Alphabet {
     names: Arc<Vec<String>>,
+    /// Interned name → symbol index.
+    by_name: Arc<HashMap<String, u16>>,
+    /// Fast path for single-character symbol names.
+    by_char: Arc<HashMap<char, u16>>,
+}
+
+/// Equality is by the ordered name list; the interning tables are derived
+/// data.
+impl PartialEq for Alphabet {
+    fn eq(&self, other: &Alphabet) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for Alphabet {}
+
+impl std::hash::Hash for Alphabet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.names.hash(state);
+    }
 }
 
 impl Alphabet {
@@ -65,14 +90,22 @@ impl Alphabet {
         assert!(!names.is_empty(), "alphabet must be non-empty");
         assert!(names.len() <= u16::MAX as usize, "alphabet too large");
         let names: Vec<String> = names.iter().map(|s| s.as_ref().to_owned()).collect();
+        let mut by_name: HashMap<String, u16> = HashMap::with_capacity(names.len());
+        let mut by_char: HashMap<char, u16> = HashMap::new();
         for (i, n) in names.iter().enumerate() {
             assert!(
-                !names[..i].contains(n),
+                by_name.insert(n.clone(), i as u16).is_none(),
                 "duplicate symbol name {n:?} in alphabet"
             );
+            let mut chars = n.chars();
+            if let (Some(c), None) = (chars.next(), chars.next()) {
+                by_char.insert(c, i as u16);
+            }
         }
         Alphabet {
             names: Arc::new(names),
+            by_name: Arc::new(by_name),
+            by_char: Arc::new(by_char),
         }
     }
 
@@ -112,12 +145,21 @@ impl Alphabet {
         self.names.is_empty()
     }
 
-    /// Looks up a symbol by name.
+    /// Looks up a symbol by name — O(1) via the interned table.
     pub fn symbol(&self, name: &str) -> Option<Symbol> {
-        self.names
-            .iter()
-            .position(|n| n == name)
-            .map(Symbol::from_index)
+        self.by_name.get(name).map(|&i| Symbol(i))
+    }
+
+    /// Looks up a single-character symbol by its character — O(1), no
+    /// allocation (the fast path of [`Alphabet::parse_str`]).
+    pub fn symbol_of_char(&self, c: char) -> Option<Symbol> {
+        self.by_char.get(&c).map(|&i| Symbol(i))
+    }
+
+    /// The ordered list of symbol names (the identity of the alphabet —
+    /// two alphabets are equal exactly when these lists are equal).
+    pub fn names(&self) -> &[String] {
+        &self.names
     }
 
     /// The display name of a symbol.
@@ -139,7 +181,7 @@ impl Alphabet {
     /// character.
     pub fn parse_str(&self, s: &str) -> Option<GString> {
         s.chars()
-            .map(|c| self.symbol(&c.to_string()))
+            .map(|c| self.symbol_of_char(c))
             .collect::<Option<Vec<_>>>()
             .map(GString::from_symbols)
     }

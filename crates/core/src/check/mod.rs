@@ -18,7 +18,7 @@
 
 use std::collections::HashSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::syntax::nonlinear::{infer_nl, NlCtx, NlError, NlTerm};
 use crate::syntax::terms::{FoldClause, LinTerm};
@@ -383,7 +383,7 @@ impl<'a> Checker<'a> {
                 let mut ctx = lin.to_vec();
                 ctx.push((var.clone(), (**dom).clone()));
                 let cod = self.infer(nl, &ctx, body)?;
-                Ok(LinType::LFun(dom.clone(), Rc::new(cod)))
+                Ok(LinType::LFun(dom.clone(), Arc::new(cod)))
             }
             LinTerm::App(f, x) => {
                 disjoint(f, x)?;
@@ -400,7 +400,7 @@ impl<'a> Checker<'a> {
                 let mut ctx = vec![(var.clone(), (**dom).clone())];
                 ctx.extend_from_slice(lin);
                 let cod = self.infer(nl, &ctx, body)?;
-                Ok(LinType::RFun(dom.clone(), Rc::new(cod)))
+                Ok(LinType::RFun(dom.clone(), Arc::new(cod)))
             }
             LinTerm::AppL { arg, fun } => {
                 disjoint(arg, fun)?;
@@ -992,8 +992,8 @@ mod tests {
         let ctx = vec![("b".to_owned(), chr("b"))];
         let term = LinTerm::LamL {
             var: "a".to_owned(),
-            dom: Rc::new(chr("a")),
-            body: Rc::new(LinTerm::pair(LinTerm::var("a"), LinTerm::var("b"))),
+            dom: Arc::new(chr("a")),
+            body: Arc::new(LinTerm::pair(LinTerm::var("a"), LinTerm::var("b"))),
         };
         let ty = ck.infer(&NlCtx::new(), &ctx, &term).unwrap();
         assert!(matches!(ty, LinType::RFun(..)));
@@ -1046,7 +1046,7 @@ mod tests {
         let sum = LinType::alt(chr("a"), chr("b"));
         let ctx = vec![("s".to_owned(), sum.clone())];
         let term = LinTerm::Case {
-            scrutinee: Rc::new(LinTerm::var("s")),
+            scrutinee: Arc::new(LinTerm::var("s")),
             branches: vec![
                 ("x".to_owned(), LinTerm::inj(0, 2, LinTerm::var("x"))),
                 ("y".to_owned(), LinTerm::inj(1, 2, LinTerm::var("y"))),

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::grammar::expr::{self, Grammar, GrammarExpr, MuSystem};
 use crate::syntax::nonlinear::{enumerate_type, eval_nl, NlEnv, NlError, Value};
@@ -81,7 +81,7 @@ pub struct Elaborator<'a> {
     names: Vec<String>,
     layouts: Vec<InstanceLayout>,
     /// The finished system, built on demand.
-    system: Option<Rc<MuSystem>>,
+    system: Option<Arc<MuSystem>>,
 }
 
 impl<'a> Elaborator<'a> {
@@ -125,7 +125,7 @@ impl<'a> Elaborator<'a> {
         self.instances.get(key).copied()
     }
 
-    fn finish_system(&mut self) -> Rc<MuSystem> {
+    fn finish_system(&mut self) -> Arc<MuSystem> {
         let stale = self
             .system
             .as_ref()
@@ -318,7 +318,7 @@ pub fn instance_layout(
 
 /// Replaces free `Var(i)` references (instance indices) by `μ` entries of
 /// the finished system.
-fn close(g: &Grammar, system: &Rc<MuSystem>) -> Grammar {
+fn close(g: &Grammar, system: &Arc<MuSystem>) -> Grammar {
     match &**g {
         GrammarExpr::Var(i) => expr::mu(system.clone(), *i),
         GrammarExpr::Tensor(l, r) => expr::tensor(close(l, system), close(r, system)),
@@ -460,8 +460,8 @@ mod tests {
         // ⊕[x : Fin 2] 'a' — two copies of 'a' (deliberately ambiguous).
         let ty = LinType::BigPlus {
             var: "x".to_owned(),
-            index: Rc::new(NlType::Fin(2)),
-            body: Rc::new(chr_t("a")),
+            index: Arc::new(NlType::Fin(2)),
+            body: Arc::new(chr_t("a")),
         };
         let g = el.elaborate(&NlEnv::new(), &ty).unwrap();
         let cg = CompiledGrammar::new(&g);

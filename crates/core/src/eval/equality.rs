@@ -7,7 +7,7 @@
 //! laws are checked *semantically* (pointwise on parses) by the
 //! integration tests, matching their meaning in the model (Appendix B).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::syntax::terms::{FoldClause, LinTerm};
 
@@ -17,7 +17,7 @@ use crate::syntax::terms::{FoldClause, LinTerm};
 /// checks suffice (no renaming is performed).
 pub fn subst_lin(term: &LinTerm, var: &str, replacement: &LinTerm) -> LinTerm {
     let s = |t: &LinTerm| subst_lin(t, var, replacement);
-    let sr = |t: &Rc<LinTerm>| Rc::new(subst_lin(t, var, replacement));
+    let sr = |t: &Arc<LinTerm>| Arc::new(subst_lin(t, var, replacement));
     match term {
         LinTerm::Var(x) => {
             if x == var {
@@ -132,7 +132,7 @@ pub fn subst_lin(term: &LinTerm, var: &str, replacement: &LinTerm) -> LinTerm {
                     body: if c.lin_vars.iter().any(|v| v == var) {
                         c.body.clone()
                     } else {
-                        Rc::new(subst_lin(&c.body, var, replacement))
+                        Arc::new(subst_lin(&c.body, var, replacement))
                     },
                 })
                 .collect(),
@@ -224,7 +224,7 @@ pub fn subst_nl_in_lin(
 ) -> LinTerm {
     use crate::syntax::nonlinear::subst_nl;
     let s = |t: &LinTerm| subst_nl_in_lin(t, var, replacement);
-    let sr = |t: &Rc<LinTerm>| Rc::new(subst_nl_in_lin(t, var, replacement));
+    let sr = |t: &Arc<LinTerm>| Arc::new(subst_nl_in_lin(t, var, replacement));
     match term {
         LinTerm::Var(_) | LinTerm::Global(_) | LinTerm::UnitIntro => term.clone(),
         LinTerm::LetUnit { scrutinee, body } => LinTerm::LetUnit {
@@ -245,13 +245,13 @@ pub fn subst_nl_in_lin(
         },
         LinTerm::Lam { var: v, dom, body } => LinTerm::Lam {
             var: v.clone(),
-            dom: Rc::new(crate::syntax::types::subst_lin_type(dom, var, replacement)),
+            dom: Arc::new(crate::syntax::types::subst_lin_type(dom, var, replacement)),
             body: sr(body),
         },
         LinTerm::App(f, x) => LinTerm::App(sr(f), sr(x)),
         LinTerm::LamL { var: v, dom, body } => LinTerm::LamL {
             var: v.clone(),
-            dom: Rc::new(crate::syntax::types::subst_lin_type(dom, var, replacement)),
+            dom: Arc::new(crate::syntax::types::subst_lin_type(dom, var, replacement)),
             body: sr(body),
         },
         LinTerm::AppL { arg, fun } => LinTerm::AppL {
@@ -323,7 +323,7 @@ pub fn subst_nl_in_lin(
             scrutinee,
         } => LinTerm::Fold {
             data: data.clone(),
-            motive: Rc::new(crate::syntax::types::subst_lin_type(
+            motive: Arc::new(crate::syntax::types::subst_lin_type(
                 motive,
                 var,
                 replacement,
@@ -336,7 +336,7 @@ pub fn subst_nl_in_lin(
                     body: if c.nl_vars.iter().any(|v| v == var) {
                         c.body.clone()
                     } else {
-                        Rc::new(subst_nl_in_lin(&c.body, var, replacement))
+                        Arc::new(subst_nl_in_lin(&c.body, var, replacement))
                     },
                 })
                 .collect(),
@@ -372,7 +372,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
     macro_rules! descend1 {
         ($wrap:expr, $t:expr) => {{
             let (t, c) = step_anywhere($t);
-            ($wrap(Rc::new(t)), c)
+            ($wrap(Arc::new(t)), c)
         }};
     }
     match term {
@@ -380,25 +380,25 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
         LinTerm::Pair(l, r) => {
             let (ln, c) = step_anywhere(l);
             if c {
-                return (LinTerm::Pair(Rc::new(ln), r.clone()), true);
+                return (LinTerm::Pair(Arc::new(ln), r.clone()), true);
             }
             let (rn, c) = step_anywhere(r);
-            (LinTerm::Pair(l.clone(), Rc::new(rn)), c)
+            (LinTerm::Pair(l.clone(), Arc::new(rn)), c)
         }
         LinTerm::App(f, x) => {
             let (fn_, c) = step_anywhere(f);
             if c {
-                return (LinTerm::App(Rc::new(fn_), x.clone()), true);
+                return (LinTerm::App(Arc::new(fn_), x.clone()), true);
             }
             let (xn, c) = step_anywhere(x);
-            (LinTerm::App(f.clone(), Rc::new(xn)), c)
+            (LinTerm::App(f.clone(), Arc::new(xn)), c)
         }
         LinTerm::AppL { arg, fun } => {
             let (an, c) = step_anywhere(arg);
             if c {
                 return (
                     LinTerm::AppL {
-                        arg: Rc::new(an),
+                        arg: Arc::new(an),
                         fun: fun.clone(),
                     },
                     true,
@@ -408,7 +408,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
             (
                 LinTerm::AppL {
                     arg: arg.clone(),
-                    fun: Rc::new(fn_),
+                    fun: Arc::new(fn_),
                 },
                 c,
             )
@@ -419,7 +419,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
                 LinTerm::Lam {
                     var: var.clone(),
                     dom: dom.clone(),
-                    body: Rc::new(b),
+                    body: Arc::new(b),
                 },
                 c,
             )
@@ -430,7 +430,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
                 LinTerm::LamL {
                     var: var.clone(),
                     dom: dom.clone(),
-                    body: Rc::new(b),
+                    body: Arc::new(b),
                 },
                 c,
             )
@@ -440,7 +440,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
             if c {
                 return (
                     LinTerm::LetUnit {
-                        scrutinee: Rc::new(s),
+                        scrutinee: Arc::new(s),
                         body: body.clone(),
                     },
                     true,
@@ -450,7 +450,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
             (
                 LinTerm::LetUnit {
                     scrutinee: scrutinee.clone(),
-                    body: Rc::new(b),
+                    body: Arc::new(b),
                 },
                 c,
             )
@@ -465,7 +465,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
             if c {
                 return (
                     LinTerm::LetPair {
-                        scrutinee: Rc::new(s),
+                        scrutinee: Arc::new(s),
                         left: left.clone(),
                         right: right.clone(),
                         body: body.clone(),
@@ -479,7 +479,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
                     scrutinee: scrutinee.clone(),
                     left: left.clone(),
                     right: right.clone(),
-                    body: Rc::new(b),
+                    body: Arc::new(b),
                 },
                 c,
             )
@@ -496,7 +496,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
             if c {
                 return (
                     LinTerm::Case {
-                        scrutinee: Rc::new(s),
+                        scrutinee: Arc::new(s),
                         branches: branches.clone(),
                     },
                     true,
@@ -523,7 +523,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
             (
                 LinTerm::BigInj {
                     index: index.clone(),
-                    body: Rc::new(b),
+                    body: Arc::new(b),
                 },
                 c,
             )
@@ -538,7 +538,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
             if c {
                 return (
                     LinTerm::LetBigInj {
-                        scrutinee: Rc::new(s),
+                        scrutinee: Arc::new(s),
                         nl_var: nl_var.clone(),
                         var: var.clone(),
                         body: body.clone(),
@@ -552,7 +552,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
                     scrutinee: scrutinee.clone(),
                     nl_var: nl_var.clone(),
                     var: var.clone(),
-                    body: Rc::new(b),
+                    body: Arc::new(b),
                 },
                 c,
             )
@@ -562,7 +562,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
             (
                 LinTerm::BigLam {
                     var: var.clone(),
-                    body: Rc::new(b),
+                    body: Arc::new(b),
                 },
                 c,
             )
@@ -628,7 +628,7 @@ fn step_anywhere(term: &LinTerm) -> (LinTerm, bool) {
                     data: data.clone(),
                     motive: motive.clone(),
                     clauses: clauses.clone(),
-                    scrutinee: Rc::new(s),
+                    scrutinee: Arc::new(s),
                 },
                 c,
             )
@@ -662,11 +662,11 @@ mod tests {
     fn beta_lam_left() {
         // (λ⟜ a. (a, y)) ⟜ x ≡ (x, y).
         let t = LinTerm::AppL {
-            arg: Rc::new(LinTerm::var("x")),
-            fun: Rc::new(LinTerm::LamL {
+            arg: Arc::new(LinTerm::var("x")),
+            fun: Arc::new(LinTerm::LamL {
                 var: "a".to_owned(),
-                dom: Rc::new(chr("a")),
-                body: Rc::new(LinTerm::pair(LinTerm::var("a"), LinTerm::var("y"))),
+                dom: Arc::new(chr("a")),
+                body: Arc::new(LinTerm::pair(LinTerm::var("a"), LinTerm::var("y"))),
             }),
         };
         assert_eq!(
@@ -679,8 +679,8 @@ mod tests {
     fn beta_unit_and_pair() {
         // let () = () in e ≡ e; let (a,b) = (x,y) in (a,b) ≡ (x,y).
         let t = LinTerm::LetUnit {
-            scrutinee: Rc::new(LinTerm::UnitIntro),
-            body: Rc::new(LinTerm::var("e")),
+            scrutinee: Arc::new(LinTerm::UnitIntro),
+            body: Arc::new(LinTerm::var("e")),
         };
         assert_eq!(beta_normalize(&t), LinTerm::var("e"));
         let t = LinTerm::let_pair(
@@ -698,7 +698,7 @@ mod tests {
     #[test]
     fn beta_case_selects_branch() {
         let t = LinTerm::Case {
-            scrutinee: Rc::new(LinTerm::inj(1, 2, LinTerm::var("x"))),
+            scrutinee: Arc::new(LinTerm::inj(1, 2, LinTerm::var("x"))),
             branches: vec![
                 ("a".to_owned(), LinTerm::var("a")),
                 (
@@ -716,18 +716,18 @@ mod tests {
     #[test]
     fn beta_projections() {
         let t = LinTerm::Proj {
-            scrutinee: Rc::new(LinTerm::Tuple(vec![LinTerm::var("x"), LinTerm::var("y")])),
+            scrutinee: Arc::new(LinTerm::Tuple(vec![LinTerm::var("x"), LinTerm::var("y")])),
             index: 1,
         };
         assert_eq!(beta_normalize(&t), LinTerm::var("y"));
         // (λ& n. σ[n] x).π[3] ≡ σ[3] x.
         use crate::syntax::nonlinear::NlTerm;
         let t = LinTerm::BigProj {
-            scrutinee: Rc::new(LinTerm::BigLam {
+            scrutinee: Arc::new(LinTerm::BigLam {
                 var: "n".to_owned(),
-                body: Rc::new(LinTerm::BigInj {
+                body: Arc::new(LinTerm::BigInj {
                     index: NlTerm::var("n"),
-                    body: Rc::new(LinTerm::var("x")),
+                    body: Arc::new(LinTerm::var("x")),
                 }),
             }),
             index: NlTerm::NatLit(3),
@@ -736,7 +736,7 @@ mod tests {
             beta_normalize(&t),
             LinTerm::BigInj {
                 index: NlTerm::NatLit(3),
-                body: Rc::new(LinTerm::var("x")),
+                body: Arc::new(LinTerm::var("x")),
             }
         );
     }
@@ -746,29 +746,29 @@ mod tests {
         use crate::syntax::nonlinear::NlTerm;
         // let σ n a = σ[2] x in σ[n] a ≡ σ[2] x.
         let t = LinTerm::LetBigInj {
-            scrutinee: Rc::new(LinTerm::BigInj {
+            scrutinee: Arc::new(LinTerm::BigInj {
                 index: NlTerm::NatLit(2),
-                body: Rc::new(LinTerm::var("x")),
+                body: Arc::new(LinTerm::var("x")),
             }),
             nl_var: "n".to_owned(),
             var: "a".to_owned(),
-            body: Rc::new(LinTerm::BigInj {
+            body: Arc::new(LinTerm::BigInj {
                 index: NlTerm::var("n"),
-                body: Rc::new(LinTerm::var("a")),
+                body: Arc::new(LinTerm::var("a")),
             }),
         };
         assert_eq!(
             beta_normalize(&t),
             LinTerm::BigInj {
                 index: NlTerm::NatLit(2),
-                body: Rc::new(LinTerm::var("x")),
+                body: Arc::new(LinTerm::var("x")),
             }
         );
     }
 
     #[test]
     fn beta_equalizer() {
-        let t = LinTerm::EqProj(Rc::new(LinTerm::EqIntro(Rc::new(LinTerm::var("x")))));
+        let t = LinTerm::EqProj(Arc::new(LinTerm::EqIntro(Arc::new(LinTerm::var("x")))));
         assert_eq!(beta_normalize(&t), LinTerm::var("x"));
     }
 

@@ -19,7 +19,7 @@ pub mod equality;
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::alphabet::GString;
 use crate::grammar::parse_tree::ParseTree;
@@ -75,7 +75,7 @@ pub enum LinValue {
         /// Bound variable.
         var: String,
         /// Body.
-        body: Rc<LinTerm>,
+        body: Arc<LinTerm>,
         /// Captured environment.
         env: EvalEnv,
     },
@@ -84,7 +84,7 @@ pub enum LinValue {
         /// Bound variable.
         var: String,
         /// Body.
-        body: Rc<LinTerm>,
+        body: Arc<LinTerm>,
         /// Captured environment.
         env: EvalEnv,
     },
@@ -93,7 +93,7 @@ pub enum LinValue {
         /// Bound non-linear variable.
         var: String,
         /// Body.
-        body: Rc<LinTerm>,
+        body: Arc<LinTerm>,
         /// Captured environment.
         env: EvalEnv,
     },
@@ -775,8 +775,8 @@ fn value_to_term(v: &Value) -> Option<crate::syntax::nonlinear::NlTerm> {
             modulus: *modulus,
         }),
         Value::Pair(a, b) => Some(NlTerm::Pair(
-            Rc::new(value_to_term(a)?),
-            Rc::new(value_to_term(b)?),
+            Arc::new(value_to_term(a)?),
+            Arc::new(value_to_term(b)?),
         )),
         Value::Closure { .. } => None,
     }

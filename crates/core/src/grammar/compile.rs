@@ -15,7 +15,7 @@
 //!   undecidable).
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::alphabet::Symbol;
 use crate::grammar::expr::{Grammar, GrammarExpr, MuSystem};
@@ -176,9 +176,9 @@ impl Builder {
         self.nodes.len() - 1
     }
 
-    fn compile(&mut self, g: &Grammar, system: Option<&Rc<MuSystem>>) -> NodeId {
-        let sys_addr = system.map_or(0, |s| Rc::as_ptr(s) as usize);
-        let key = (Rc::as_ptr(g) as usize, sys_addr);
+    fn compile(&mut self, g: &Grammar, system: Option<&Arc<MuSystem>>) -> NodeId {
+        let sys_addr = system.map_or(0, |s| Arc::as_ptr(s) as usize);
+        let key = (Arc::as_ptr(g) as usize, sys_addr);
         if let Some(&id) = self.memo.get(&key) {
             return id;
         }
@@ -212,8 +212,8 @@ impl Builder {
     }
 
     /// Returns the def node ids of a system, compiling it on first use.
-    fn system_defs(&mut self, sys: &Rc<MuSystem>) -> Vec<NodeId> {
-        let addr = Rc::as_ptr(sys) as usize;
+    fn system_defs(&mut self, sys: &Arc<MuSystem>) -> Vec<NodeId> {
+        let addr = Arc::as_ptr(sys) as usize;
         if let Some(ids) = self.systems.get(&addr) {
             return ids.clone();
         }

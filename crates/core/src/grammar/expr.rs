@@ -18,14 +18,14 @@
 //! are represented by *length-truncated* instantiations; see DESIGN.md §2.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::alphabet::Symbol;
 
 /// Shared reference to a grammar expression.
 ///
 /// Grammars are immutable trees with sharing; cloning a `Grammar` is O(1).
-pub type Grammar = Rc<GrammarExpr>;
+pub type Grammar = Arc<GrammarExpr>;
 
 /// A system of mutually recursive grammar definitions: the denotational
 /// counterpart of an indexed inductive linear type `μF` (Fig. 10).
@@ -49,7 +49,7 @@ impl MuSystem {
     ///
     /// Panics if `defs` and `names` differ in length, if the system is
     /// empty, or if any body contains a `Var(j)` with `j >= defs.len()`.
-    pub fn new(defs: Vec<Grammar>, names: Vec<String>) -> Rc<MuSystem> {
+    pub fn new(defs: Vec<Grammar>, names: Vec<String>) -> Arc<MuSystem> {
         assert_eq!(defs.len(), names.len(), "one name per definition");
         assert!(
             !defs.is_empty(),
@@ -62,7 +62,7 @@ impl MuSystem {
                 "definition {i} references an out-of-range Var"
             );
         }
-        Rc::new(MuSystem { defs, names })
+        Arc::new(MuSystem { defs, names })
     }
 
     /// Number of mutually recursive definitions.
@@ -144,7 +144,7 @@ pub enum GrammarExpr {
     /// definitions (`μF entry`, §3.3).
     Mu {
         /// The system of definitions this entry selects from.
-        system: Rc<MuSystem>,
+        system: Arc<MuSystem>,
         /// Which definition of the system this grammar denotes.
         entry: usize,
     },
@@ -152,27 +152,27 @@ pub enum GrammarExpr {
 
 /// The literal grammar `'c'`.
 pub fn chr(sym: Symbol) -> Grammar {
-    Rc::new(GrammarExpr::Char(sym))
+    Arc::new(GrammarExpr::Char(sym))
 }
 
 /// The unit grammar `I` (empty string only).
 pub fn eps() -> Grammar {
-    Rc::new(GrammarExpr::Eps)
+    Arc::new(GrammarExpr::Eps)
 }
 
 /// The empty grammar `0`.
 pub fn bot() -> Grammar {
-    Rc::new(GrammarExpr::Bot)
+    Arc::new(GrammarExpr::Bot)
 }
 
 /// The full grammar `⊤`.
 pub fn top() -> Grammar {
-    Rc::new(GrammarExpr::Top)
+    Arc::new(GrammarExpr::Top)
 }
 
 /// Tensor product `a ⊗ b`.
 pub fn tensor(a: Grammar, b: Grammar) -> Grammar {
-    Rc::new(GrammarExpr::Tensor(a, b))
+    Arc::new(GrammarExpr::Tensor(a, b))
 }
 
 /// Right-nested tensor of a sequence: `seq([a, b, c]) = a ⊗ (b ⊗ c)`;
@@ -190,7 +190,7 @@ where
 
 /// Indexed disjunction `⊕_i gs[i]`. `plus(vec![])` is `0`.
 pub fn plus(gs: Vec<Grammar>) -> Grammar {
-    Rc::new(GrammarExpr::Plus(gs))
+    Arc::new(GrammarExpr::Plus(gs))
 }
 
 /// Binary disjunction `a ⊕ b`.
@@ -200,7 +200,7 @@ pub fn alt(a: Grammar, b: Grammar) -> Grammar {
 
 /// Indexed conjunction `&_i gs[i]`. `with(vec![])` is `⊤`.
 pub fn with(gs: Vec<Grammar>) -> Grammar {
-    Rc::new(GrammarExpr::With(gs))
+    Arc::new(GrammarExpr::With(gs))
 }
 
 /// Binary conjunction `a & b`.
@@ -210,7 +210,7 @@ pub fn and(a: Grammar, b: Grammar) -> Grammar {
 
 /// Recursion variable `Var(i)`; only meaningful inside a [`MuSystem`] body.
 pub fn var(i: usize) -> Grammar {
-    Rc::new(GrammarExpr::Var(i))
+    Arc::new(GrammarExpr::Var(i))
 }
 
 /// Entry `entry` of the inductive system `system`.
@@ -218,9 +218,9 @@ pub fn var(i: usize) -> Grammar {
 /// # Panics
 ///
 /// Panics if `entry` is out of range for the system.
-pub fn mu(system: Rc<MuSystem>, entry: usize) -> Grammar {
+pub fn mu(system: Arc<MuSystem>, entry: usize) -> Grammar {
     assert!(entry < system.len(), "mu entry out of range");
-    Rc::new(GrammarExpr::Mu { system, entry })
+    Arc::new(GrammarExpr::Mu { system, entry })
 }
 
 /// Kleene star `A*` as the inductive type of Fig. 2:
@@ -280,7 +280,7 @@ pub fn subst_vars(g: &Grammar, subs: &[Grammar]) -> Grammar {
 /// the definition body with every recursion variable replaced by the
 /// corresponding `μ` entry. `roll : el(F)(μF) ⊸ μF` and its inverse
 /// mediate between a `μ` type and its unfolding.
-pub fn unfolding(system: &Rc<MuSystem>, entry: usize) -> Grammar {
+pub fn unfolding(system: &Arc<MuSystem>, entry: usize) -> Grammar {
     let mus: Vec<Grammar> = (0..system.len()).map(|i| mu(system.clone(), i)).collect();
     subst_vars(system.def(entry), &mus)
 }

@@ -20,7 +20,7 @@ use std::fmt;
 
 use crate::alphabet::{GString, Symbol};
 use crate::grammar::expr::{Grammar, GrammarExpr, MuSystem};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A parse tree: one element of the parse set `A(w)` (Definition 5.1).
 ///
@@ -232,7 +232,7 @@ pub fn validate(tree: &ParseTree, grammar: &Grammar, w: &GString) -> Result<(), 
 pub fn check_shape(
     tree: &ParseTree,
     grammar: &Grammar,
-    system: Option<&Rc<MuSystem>>,
+    system: Option<&Arc<MuSystem>>,
 ) -> Result<(), ValidateError> {
     let mismatch = || ValidateError::ShapeMismatch {
         expected: format!("{grammar}"),

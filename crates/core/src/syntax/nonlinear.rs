@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A non-linear type.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,9 +28,9 @@ pub enum NlType {
     /// The finite type with `n` inhabitants `{0, …, n-1}`.
     Fin(usize),
     /// Binary product `X × Y`.
-    Prod(Rc<NlType>, Rc<NlType>),
+    Prod(Arc<NlType>, Arc<NlType>),
     /// Function type `X → Y`.
-    Fun(Rc<NlType>, Rc<NlType>),
+    Fun(Arc<NlType>, Arc<NlType>),
 }
 
 impl fmt::Display for NlType {
@@ -58,7 +58,7 @@ pub enum NlTerm {
     /// Natural literal.
     NatLit(u64),
     /// Successor.
-    Succ(Rc<NlTerm>),
+    Succ(Arc<NlTerm>),
     /// `Fin` literal `value < modulus`.
     FinLit {
         /// The inhabitant.
@@ -67,44 +67,44 @@ pub enum NlTerm {
         modulus: usize,
     },
     /// Pairing.
-    Pair(Rc<NlTerm>, Rc<NlTerm>),
+    Pair(Arc<NlTerm>, Arc<NlTerm>),
     /// First projection.
-    Fst(Rc<NlTerm>),
+    Fst(Arc<NlTerm>),
     /// Second projection.
-    Snd(Rc<NlTerm>),
+    Snd(Arc<NlTerm>),
     /// Lambda abstraction (domain annotated for inference).
     Lam {
         /// Bound variable.
         var: String,
         /// Domain type.
-        ty: Rc<NlType>,
+        ty: Arc<NlType>,
         /// Body.
-        body: Rc<NlTerm>,
+        body: Arc<NlTerm>,
     },
     /// Application.
-    App(Rc<NlTerm>, Rc<NlTerm>),
+    App(Arc<NlTerm>, Arc<NlTerm>),
     /// `if cond then t else f` (`elimBool` with a constant motive).
     If {
         /// The scrutinee.
-        cond: Rc<NlTerm>,
+        cond: Arc<NlTerm>,
         /// The `true` branch.
-        then_branch: Rc<NlTerm>,
+        then_branch: Arc<NlTerm>,
         /// The `false` branch.
-        else_branch: Rc<NlTerm>,
+        else_branch: Arc<NlTerm>,
     },
     /// Primitive recursion on naturals (`elimNat`, constant motive):
     /// `natrec zero (n, ih. succ) scrutinee`.
     NatRec {
         /// Value at zero.
-        zero: Rc<NlTerm>,
+        zero: Arc<NlTerm>,
         /// Bound variable for the predecessor in the step case.
         n_var: String,
         /// Bound variable for the recursive result in the step case.
         ih_var: String,
         /// Step case body.
-        succ: Rc<NlTerm>,
+        succ: Arc<NlTerm>,
         /// The natural to recurse on.
-        scrutinee: Rc<NlTerm>,
+        scrutinee: Arc<NlTerm>,
     },
 }
 
@@ -116,7 +116,7 @@ impl NlTerm {
 
     /// `n + 1` helper.
     pub fn succ(t: NlTerm) -> NlTerm {
-        NlTerm::Succ(Rc::new(t))
+        NlTerm::Succ(Arc::new(t))
     }
 }
 
@@ -167,7 +167,7 @@ pub enum Value {
         /// Bound variable.
         var: String,
         /// Body term.
-        body: Rc<NlTerm>,
+        body: Arc<NlTerm>,
         /// Captured environment.
         env: NlEnv,
     },
@@ -260,8 +260,8 @@ pub fn infer_nl(ctx: &NlCtx, term: &NlTerm) -> Result<NlType, NlError> {
             }
         }
         NlTerm::Pair(a, b) => Ok(NlType::Prod(
-            Rc::new(infer_nl(ctx, a)?),
-            Rc::new(infer_nl(ctx, b)?),
+            Arc::new(infer_nl(ctx, a)?),
+            Arc::new(infer_nl(ctx, b)?),
         )),
         NlTerm::Fst(t) => match infer_nl(ctx, t)? {
             NlType::Prod(a, _) => Ok((*a).clone()),
@@ -275,7 +275,7 @@ pub fn infer_nl(ctx: &NlCtx, term: &NlTerm) -> Result<NlType, NlError> {
             let mut inner = ctx.clone();
             inner.insert(var.clone(), (**ty).clone());
             let cod = infer_nl(&inner, body)?;
-            Ok(NlType::Fun(ty.clone(), Rc::new(cod)))
+            Ok(NlType::Fun(ty.clone(), Arc::new(cod)))
         }
         NlTerm::App(g, x) => match infer_nl(ctx, g)? {
             NlType::Fun(dom, cod) => {
@@ -457,19 +457,19 @@ pub fn normalize_nl(term: &NlTerm) -> NlTerm {
             NlTerm::NatLit(n) => NlTerm::NatLit(n + 1),
             t => NlTerm::succ(t),
         },
-        NlTerm::Pair(a, b) => NlTerm::Pair(Rc::new(normalize_nl(a)), Rc::new(normalize_nl(b))),
+        NlTerm::Pair(a, b) => NlTerm::Pair(Arc::new(normalize_nl(a)), Arc::new(normalize_nl(b))),
         NlTerm::Fst(t) => match normalize_nl(t) {
             NlTerm::Pair(a, _) => (*a).clone(),
-            t => NlTerm::Fst(Rc::new(t)),
+            t => NlTerm::Fst(Arc::new(t)),
         },
         NlTerm::Snd(t) => match normalize_nl(t) {
             NlTerm::Pair(_, b) => (*b).clone(),
-            t => NlTerm::Snd(Rc::new(t)),
+            t => NlTerm::Snd(Arc::new(t)),
         },
         NlTerm::Lam { var, ty, body } => NlTerm::Lam {
             var: var.clone(),
             ty: ty.clone(),
-            body: Rc::new(normalize_nl(body)),
+            body: Arc::new(normalize_nl(body)),
         },
         NlTerm::App(g, x) => {
             let gn = normalize_nl(g);
@@ -477,7 +477,7 @@ pub fn normalize_nl(term: &NlTerm) -> NlTerm {
             if let NlTerm::Lam { var, body, .. } = &gn {
                 normalize_nl(&subst_nl(body, var, &xn))
             } else {
-                NlTerm::App(Rc::new(gn), Rc::new(xn))
+                NlTerm::App(Arc::new(gn), Arc::new(xn))
             }
         }
         NlTerm::If {
@@ -488,9 +488,9 @@ pub fn normalize_nl(term: &NlTerm) -> NlTerm {
             NlTerm::BoolLit(true) => normalize_nl(then_branch),
             NlTerm::BoolLit(false) => normalize_nl(else_branch),
             c => NlTerm::If {
-                cond: Rc::new(c),
-                then_branch: Rc::new(normalize_nl(then_branch)),
-                else_branch: Rc::new(normalize_nl(else_branch)),
+                cond: Arc::new(c),
+                then_branch: Arc::new(normalize_nl(then_branch)),
+                else_branch: Arc::new(normalize_nl(else_branch)),
             },
         },
         NlTerm::NatRec {
@@ -510,11 +510,11 @@ pub fn normalize_nl(term: &NlTerm) -> NlTerm {
                 acc
             }
             s => NlTerm::NatRec {
-                zero: Rc::new(normalize_nl(zero)),
+                zero: Arc::new(normalize_nl(zero)),
                 n_var: n_var.clone(),
                 ih_var: ih_var.clone(),
                 succ: succ.clone(),
-                scrutinee: Rc::new(s),
+                scrutinee: Arc::new(s),
             },
         },
     }
@@ -538,11 +538,11 @@ pub fn subst_nl(term: &NlTerm, var: &str, replacement: &NlTerm) -> NlTerm {
         }
         NlTerm::Succ(t) => NlTerm::succ(subst_nl(t, var, replacement)),
         NlTerm::Pair(a, b) => NlTerm::Pair(
-            Rc::new(subst_nl(a, var, replacement)),
-            Rc::new(subst_nl(b, var, replacement)),
+            Arc::new(subst_nl(a, var, replacement)),
+            Arc::new(subst_nl(b, var, replacement)),
         ),
-        NlTerm::Fst(t) => NlTerm::Fst(Rc::new(subst_nl(t, var, replacement))),
-        NlTerm::Snd(t) => NlTerm::Snd(Rc::new(subst_nl(t, var, replacement))),
+        NlTerm::Fst(t) => NlTerm::Fst(Arc::new(subst_nl(t, var, replacement))),
+        NlTerm::Snd(t) => NlTerm::Snd(Arc::new(subst_nl(t, var, replacement))),
         NlTerm::Lam { var: v, ty, body } => {
             if v == var {
                 term.clone()
@@ -550,22 +550,22 @@ pub fn subst_nl(term: &NlTerm, var: &str, replacement: &NlTerm) -> NlTerm {
                 NlTerm::Lam {
                     var: v.clone(),
                     ty: ty.clone(),
-                    body: Rc::new(subst_nl(body, var, replacement)),
+                    body: Arc::new(subst_nl(body, var, replacement)),
                 }
             }
         }
         NlTerm::App(g, x) => NlTerm::App(
-            Rc::new(subst_nl(g, var, replacement)),
-            Rc::new(subst_nl(x, var, replacement)),
+            Arc::new(subst_nl(g, var, replacement)),
+            Arc::new(subst_nl(x, var, replacement)),
         ),
         NlTerm::If {
             cond,
             then_branch,
             else_branch,
         } => NlTerm::If {
-            cond: Rc::new(subst_nl(cond, var, replacement)),
-            then_branch: Rc::new(subst_nl(then_branch, var, replacement)),
-            else_branch: Rc::new(subst_nl(else_branch, var, replacement)),
+            cond: Arc::new(subst_nl(cond, var, replacement)),
+            then_branch: Arc::new(subst_nl(then_branch, var, replacement)),
+            else_branch: Arc::new(subst_nl(else_branch, var, replacement)),
         },
         NlTerm::NatRec {
             zero,
@@ -574,15 +574,15 @@ pub fn subst_nl(term: &NlTerm, var: &str, replacement: &NlTerm) -> NlTerm {
             succ,
             scrutinee,
         } => NlTerm::NatRec {
-            zero: Rc::new(subst_nl(zero, var, replacement)),
+            zero: Arc::new(subst_nl(zero, var, replacement)),
             n_var: n_var.clone(),
             ih_var: ih_var.clone(),
             succ: if n_var == var || ih_var == var {
                 succ.clone()
             } else {
-                Rc::new(subst_nl(succ, var, replacement))
+                Arc::new(subst_nl(succ, var, replacement))
             },
-            scrutinee: Rc::new(subst_nl(scrutinee, var, replacement)),
+            scrutinee: Arc::new(subst_nl(scrutinee, var, replacement)),
         },
     }
 }
@@ -625,12 +625,12 @@ mod tests {
         let ctx = empty_ctx();
         // (λ n : Nat. suc n) 4 : Nat, evaluates to 5.
         let term = NlTerm::App(
-            Rc::new(NlTerm::Lam {
+            Arc::new(NlTerm::Lam {
                 var: "n".to_owned(),
-                ty: Rc::new(NlType::Nat),
-                body: Rc::new(NlTerm::succ(NlTerm::var("n"))),
+                ty: Arc::new(NlType::Nat),
+                body: Arc::new(NlTerm::succ(NlTerm::var("n"))),
             }),
-            Rc::new(NlTerm::NatLit(4)),
+            Arc::new(NlTerm::NatLit(4)),
         );
         assert_eq!(infer_nl(&ctx, &term), Ok(NlType::Nat));
         assert_eq!(eval_nl(&NlEnv::new(), &term), Ok(Value::Nat(5)));
@@ -640,11 +640,11 @@ mod tests {
     fn natrec_computes_addition() {
         // add m n = natrec n (k, ih. suc ih) m.
         let add = |m: u64, n: u64| NlTerm::NatRec {
-            zero: Rc::new(NlTerm::NatLit(n)),
+            zero: Arc::new(NlTerm::NatLit(n)),
             n_var: "k".to_owned(),
             ih_var: "ih".to_owned(),
-            succ: Rc::new(NlTerm::succ(NlTerm::var("ih"))),
-            scrutinee: Rc::new(NlTerm::NatLit(m)),
+            succ: Arc::new(NlTerm::succ(NlTerm::var("ih"))),
+            scrutinee: Arc::new(NlTerm::NatLit(m)),
         };
         assert_eq!(eval_nl(&NlEnv::new(), &add(3, 4)), Ok(Value::Nat(7)));
         assert_eq!(infer_nl(&empty_ctx(), &add(3, 4)), Ok(NlType::Nat));
@@ -653,9 +653,9 @@ mod tests {
     #[test]
     fn if_requires_bool() {
         let bad = NlTerm::If {
-            cond: Rc::new(NlTerm::NatLit(0)),
-            then_branch: Rc::new(NlTerm::UnitVal),
-            else_branch: Rc::new(NlTerm::UnitVal),
+            cond: Arc::new(NlTerm::NatLit(0)),
+            then_branch: Arc::new(NlTerm::UnitVal),
+            else_branch: Arc::new(NlTerm::UnitVal),
         };
         assert!(infer_nl(&empty_ctx(), &bad).is_err());
     }
@@ -665,9 +665,9 @@ mod tests {
         assert_eq!(enumerate_type(&NlType::Bool, 0).unwrap().len(), 2);
         assert_eq!(enumerate_type(&NlType::Fin(5), 0).unwrap().len(), 5);
         assert_eq!(enumerate_type(&NlType::Nat, 3).unwrap().len(), 4);
-        let prod = NlType::Prod(Rc::new(NlType::Bool), Rc::new(NlType::Fin(3)));
+        let prod = NlType::Prod(Arc::new(NlType::Bool), Arc::new(NlType::Fin(3)));
         assert_eq!(enumerate_type(&prod, 0).unwrap().len(), 6);
-        let fun = NlType::Fun(Rc::new(NlType::Bool), Rc::new(NlType::Bool));
+        let fun = NlType::Fun(Arc::new(NlType::Bool), Arc::new(NlType::Bool));
         assert!(enumerate_type(&fun, 0).is_none());
     }
 
@@ -675,12 +675,12 @@ mod tests {
     fn normalization_folds_closed_redexes() {
         // if true then (fst (x, 0)) else y  ~>  x
         let term = NlTerm::If {
-            cond: Rc::new(NlTerm::BoolLit(true)),
-            then_branch: Rc::new(NlTerm::Fst(Rc::new(NlTerm::Pair(
-                Rc::new(NlTerm::var("x")),
-                Rc::new(NlTerm::NatLit(0)),
+            cond: Arc::new(NlTerm::BoolLit(true)),
+            then_branch: Arc::new(NlTerm::Fst(Arc::new(NlTerm::Pair(
+                Arc::new(NlTerm::var("x")),
+                Arc::new(NlTerm::NatLit(0)),
             )))),
-            else_branch: Rc::new(NlTerm::var("y")),
+            else_branch: Arc::new(NlTerm::var("y")),
         };
         assert_eq!(normalize_nl(&term), NlTerm::var("x"));
         // suc (suc 0) ~> 2
@@ -700,8 +700,8 @@ mod tests {
         // (λ x. x) with x ↦ 1 leaves the bound x alone.
         let lam = NlTerm::Lam {
             var: "x".to_owned(),
-            ty: Rc::new(NlType::Nat),
-            body: Rc::new(NlTerm::var("x")),
+            ty: Arc::new(NlType::Nat),
+            body: Arc::new(NlTerm::var("x")),
         };
         assert_eq!(subst_nl(&lam, "x", &NlTerm::NatLit(1)), lam);
     }

@@ -7,7 +7,7 @@
 //! global definitions (the syntax-level stand-in for `↑`).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::syntax::nonlinear::NlTerm;
 use crate::syntax::types::LinType;
@@ -25,22 +25,22 @@ pub enum LinTerm {
     /// `let () = e in e'` — elimination for `I`.
     LetUnit {
         /// The `I`-typed scrutinee.
-        scrutinee: Rc<LinTerm>,
+        scrutinee: Arc<LinTerm>,
         /// The continuation.
-        body: Rc<LinTerm>,
+        body: Arc<LinTerm>,
     },
     /// `(e, e')` — introduction for `⊗`.
-    Pair(Rc<LinTerm>, Rc<LinTerm>),
+    Pair(Arc<LinTerm>, Arc<LinTerm>),
     /// `let (a, b) = e in e'` — elimination for `⊗`.
     LetPair {
         /// The `⊗`-typed scrutinee.
-        scrutinee: Rc<LinTerm>,
+        scrutinee: Arc<LinTerm>,
         /// Name bound to the left component.
         left: String,
         /// Name bound to the right component.
         right: String,
         /// The continuation.
-        body: Rc<LinTerm>,
+        body: Arc<LinTerm>,
     },
     /// `λ⊸ a. e` — introduction for `A ⊸ B` (binds at the *right* end of
     /// the context).
@@ -48,27 +48,27 @@ pub enum LinTerm {
         /// Bound variable.
         var: String,
         /// Domain annotation (needed for type inference).
-        dom: Rc<LinType>,
+        dom: Arc<LinType>,
         /// Body.
-        body: Rc<LinTerm>,
+        body: Arc<LinTerm>,
     },
     /// `e e'` — elimination for `⊸` (function left of argument).
-    App(Rc<LinTerm>, Rc<LinTerm>),
+    App(Arc<LinTerm>, Arc<LinTerm>),
     /// `λ⟜ a. e` — introduction for `B ⟜ A` (binds at the *left* end).
     LamL {
         /// Bound variable.
         var: String,
         /// Domain annotation.
-        dom: Rc<LinType>,
+        dom: Arc<LinType>,
         /// Body.
-        body: Rc<LinTerm>,
+        body: Arc<LinTerm>,
     },
     /// `e' ⟜ e` — elimination for `⟜` (argument left of function).
     AppL {
         /// The argument (on the left).
-        arg: Rc<LinTerm>,
+        arg: Arc<LinTerm>,
         /// The function (on the right).
-        fun: Rc<LinTerm>,
+        fun: Arc<LinTerm>,
     },
     /// `σ i e` — introduction for a finite `⊕` (summand `i`).
     Inj {
@@ -77,13 +77,13 @@ pub enum LinTerm {
         /// The arity of the sum (for inference).
         arity: usize,
         /// The injected term.
-        body: Rc<LinTerm>,
+        body: Arc<LinTerm>,
     },
     /// `case e of branches` — elimination for a finite `⊕`; branch `i`
     /// binds one variable for summand `i`.
     Case {
         /// The `⊕`-typed scrutinee.
-        scrutinee: Rc<LinTerm>,
+        scrutinee: Arc<LinTerm>,
         /// One `(bound var, body)` per summand.
         branches: Vec<(String, LinTerm)>,
     },
@@ -92,30 +92,30 @@ pub enum LinTerm {
         /// The index term.
         index: NlTerm,
         /// The injected term.
-        body: Rc<LinTerm>,
+        body: Arc<LinTerm>,
     },
     /// `let σ x a = e in e'` — elimination for `⊕_{x:X}`.
     LetBigInj {
         /// The scrutinee.
-        scrutinee: Rc<LinTerm>,
+        scrutinee: Arc<LinTerm>,
         /// Bound non-linear index variable.
         nl_var: String,
         /// Bound linear payload variable.
         var: String,
         /// The continuation.
-        body: Rc<LinTerm>,
+        body: Arc<LinTerm>,
     },
     /// `λ& x. e` — introduction for `&_{x:X}`.
     BigLam {
         /// Bound non-linear variable.
         var: String,
         /// Body.
-        body: Rc<LinTerm>,
+        body: Arc<LinTerm>,
     },
     /// `e .π M` — elimination for `&_{x:X}` at index `M`.
     BigProj {
         /// The scrutinee.
-        scrutinee: Rc<LinTerm>,
+        scrutinee: Arc<LinTerm>,
         /// The projection index.
         index: NlTerm,
     },
@@ -124,7 +124,7 @@ pub enum LinTerm {
     /// `e .π i` — elimination for a finite `&`.
     Proj {
         /// The scrutinee.
-        scrutinee: Rc<LinTerm>,
+        scrutinee: Arc<LinTerm>,
         /// Component index.
         index: usize,
     },
@@ -145,17 +145,17 @@ pub enum LinTerm {
         /// The data family being eliminated.
         data: String,
         /// Output type, with the family's index telescope in scope.
-        motive: Rc<LinType>,
+        motive: Arc<LinType>,
         /// One clause per constructor, in declaration order.
         clauses: Vec<FoldClause>,
         /// The value being folded.
-        scrutinee: Rc<LinTerm>,
+        scrutinee: Arc<LinTerm>,
     },
     /// `⟨e⟩` — equalizer introduction (the equation is checked
     /// semantically by the evaluator; see DESIGN.md §7).
-    EqIntro(Rc<LinTerm>),
+    EqIntro(Arc<LinTerm>),
     /// `e .π` — equalizer projection.
-    EqProj(Rc<LinTerm>),
+    EqProj(Arc<LinTerm>),
 }
 
 /// One clause of a [`LinTerm::Fold`]: binds the constructor's non-linear
@@ -168,7 +168,7 @@ pub struct FoldClause {
     /// Names for the constructor's linear arguments.
     pub lin_vars: Vec<String>,
     /// The clause body.
-    pub body: Rc<LinTerm>,
+    pub body: Arc<LinTerm>,
 }
 
 impl LinTerm {
@@ -181,28 +181,28 @@ impl LinTerm {
     pub fn lam(var: &str, dom: LinType, body: LinTerm) -> LinTerm {
         LinTerm::Lam {
             var: var.to_owned(),
-            dom: Rc::new(dom),
-            body: Rc::new(body),
+            dom: Arc::new(dom),
+            body: Arc::new(body),
         }
     }
 
     /// Application helper.
     pub fn app(f: LinTerm, x: LinTerm) -> LinTerm {
-        LinTerm::App(Rc::new(f), Rc::new(x))
+        LinTerm::App(Arc::new(f), Arc::new(x))
     }
 
     /// Pair helper.
     pub fn pair(l: LinTerm, r: LinTerm) -> LinTerm {
-        LinTerm::Pair(Rc::new(l), Rc::new(r))
+        LinTerm::Pair(Arc::new(l), Arc::new(r))
     }
 
     /// `let (a,b) = e in body` helper.
     pub fn let_pair(scrutinee: LinTerm, left: &str, right: &str, body: LinTerm) -> LinTerm {
         LinTerm::LetPair {
-            scrutinee: Rc::new(scrutinee),
+            scrutinee: Arc::new(scrutinee),
             left: left.to_owned(),
             right: right.to_owned(),
-            body: Rc::new(body),
+            body: Arc::new(body),
         }
     }
 
@@ -211,7 +211,7 @@ impl LinTerm {
         LinTerm::Inj {
             index,
             arity,
-            body: Rc::new(body),
+            body: Arc::new(body),
         }
     }
 

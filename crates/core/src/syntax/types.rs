@@ -10,7 +10,7 @@
 //! argument types only in positive positions (never under `⊸`/`⟜`).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::alphabet::Symbol;
 use crate::syntax::nonlinear::{normalize_nl, NlTerm, NlType};
@@ -28,11 +28,11 @@ pub enum LinType {
     /// Full `⊤`.
     Top,
     /// Tensor `A ⊗ B`.
-    Tensor(Rc<LinType>, Rc<LinType>),
+    Tensor(Arc<LinType>, Arc<LinType>),
     /// Right residual `A ⊸ B` (argument on the right of the context).
-    LFun(Rc<LinType>, Rc<LinType>),
+    LFun(Arc<LinType>, Arc<LinType>),
     /// Left residual `B ⟜ A` (argument on the left of the context).
-    RFun(Rc<LinType>, Rc<LinType>),
+    RFun(Arc<LinType>, Arc<LinType>),
     /// Finite disjunction `⊕_i A_i` (the paper's Bool/Fin-indexed `⊕`,
     /// provided in n-ary form).
     Plus(Vec<LinType>),
@@ -43,18 +43,18 @@ pub enum LinType {
         /// Bound index variable.
         var: String,
         /// Index type.
-        index: Rc<NlType>,
+        index: Arc<NlType>,
         /// Body, with `var` in scope.
-        body: Rc<LinType>,
+        body: Arc<LinType>,
     },
     /// Indexed conjunction `&_{x : X} A(x)`.
     BigWith {
         /// Bound index variable.
         var: String,
         /// Index type.
-        index: Rc<NlType>,
+        index: Arc<NlType>,
         /// Body, with `var` in scope.
-        body: Rc<LinType>,
+        body: Arc<LinType>,
     },
     /// A declared indexed inductive family applied to index terms.
     Data {
@@ -67,7 +67,7 @@ pub enum LinType {
     /// transformers (§3.2). `f`/`g` are names of signature definitions.
     Equalizer {
         /// The base type `A`.
-        base: Rc<LinType>,
+        base: Arc<LinType>,
         /// Name of the left function.
         lhs: String,
         /// Name of the right function.
@@ -78,12 +78,12 @@ pub enum LinType {
 impl LinType {
     /// `A ⊸ B` helper.
     pub fn lfun(a: LinType, b: LinType) -> LinType {
-        LinType::LFun(Rc::new(a), Rc::new(b))
+        LinType::LFun(Arc::new(a), Arc::new(b))
     }
 
     /// `A ⊗ B` helper.
     pub fn tensor(a: LinType, b: LinType) -> LinType {
-        LinType::Tensor(Rc::new(a), Rc::new(b))
+        LinType::Tensor(Arc::new(a), Arc::new(b))
     }
 
     /// Binary `⊕` helper.
@@ -228,7 +228,7 @@ pub struct GlobalDef {
     /// Its (closed) linear type — typically a `⊸` type.
     pub ty: LinType,
     /// Its body, a closed linear term.
-    pub body: Rc<crate::syntax::terms::LinTerm>,
+    pub body: Arc<crate::syntax::terms::LinTerm>,
 }
 
 impl Signature {
@@ -326,16 +326,16 @@ pub fn subst_lin_type(ty: &LinType, var: &str, replacement: &NlTerm) -> LinType 
     match ty {
         LinType::Char(_) | LinType::Unit | LinType::Zero | LinType::Top => ty.clone(),
         LinType::Tensor(a, b) => LinType::Tensor(
-            Rc::new(subst_lin_type(a, var, replacement)),
-            Rc::new(subst_lin_type(b, var, replacement)),
+            Arc::new(subst_lin_type(a, var, replacement)),
+            Arc::new(subst_lin_type(b, var, replacement)),
         ),
         LinType::LFun(a, b) => LinType::LFun(
-            Rc::new(subst_lin_type(a, var, replacement)),
-            Rc::new(subst_lin_type(b, var, replacement)),
+            Arc::new(subst_lin_type(a, var, replacement)),
+            Arc::new(subst_lin_type(b, var, replacement)),
         ),
         LinType::RFun(a, b) => LinType::RFun(
-            Rc::new(subst_lin_type(a, var, replacement)),
-            Rc::new(subst_lin_type(b, var, replacement)),
+            Arc::new(subst_lin_type(a, var, replacement)),
+            Arc::new(subst_lin_type(b, var, replacement)),
         ),
         LinType::Plus(ts) => LinType::Plus(
             ts.iter()
@@ -357,7 +357,7 @@ pub fn subst_lin_type(ty: &LinType, var: &str, replacement: &NlTerm) -> LinType 
             body: if v == var {
                 body.clone()
             } else {
-                Rc::new(subst_lin_type(body, var, replacement))
+                Arc::new(subst_lin_type(body, var, replacement))
             },
         },
         LinType::BigWith {
@@ -370,7 +370,7 @@ pub fn subst_lin_type(ty: &LinType, var: &str, replacement: &NlTerm) -> LinType 
             body: if v == var {
                 body.clone()
             } else {
-                Rc::new(subst_lin_type(body, var, replacement))
+                Arc::new(subst_lin_type(body, var, replacement))
             },
         },
         LinType::Data { name, args } => LinType::Data {
@@ -378,7 +378,7 @@ pub fn subst_lin_type(ty: &LinType, var: &str, replacement: &NlTerm) -> LinType 
             args: args.iter().map(|a| subst_nl(a, var, replacement)).collect(),
         },
         LinType::Equalizer { base, lhs, rhs } => LinType::Equalizer {
-            base: Rc::new(subst_lin_type(base, var, replacement)),
+            base: Arc::new(subst_lin_type(base, var, replacement)),
             lhs: lhs.clone(),
             rhs: rhs.clone(),
         },
@@ -578,8 +578,8 @@ mod tests {
     fn big_binders_compare_up_to_alpha() {
         let mk = |v: &str| LinType::BigWith {
             var: v.to_owned(),
-            index: Rc::new(NlType::Bool),
-            body: Rc::new(LinType::Data {
+            index: Arc::new(NlType::Bool),
+            body: Arc::new(LinType::Data {
                 name: "T".to_owned(),
                 args: vec![NlTerm::var(v)],
             }),

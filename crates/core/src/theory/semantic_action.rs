@@ -14,7 +14,7 @@
 //! emission step the paper's introduction motivates.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::alphabet::GString;
 use crate::grammar::expr::Grammar;
@@ -40,7 +40,7 @@ impl fmt::Display for ActionError {
 
 impl std::error::Error for ActionError {}
 
-type ActionFn<X> = dyn Fn(&ParseTree) -> Result<X, ActionError>;
+type ActionFn<X> = dyn Fn(&ParseTree) -> Result<X, ActionError> + Send + Sync;
 
 /// A semantic action `↑(A ⊸ ⊕_{_:X} ⊤)`: from parses of `grammar` to
 /// semantic values of type `X`.
@@ -48,7 +48,7 @@ type ActionFn<X> = dyn Fn(&ParseTree) -> Result<X, ActionError>;
 pub struct SemanticAction<X> {
     grammar: Grammar,
     name: String,
-    action: Rc<ActionFn<X>>,
+    action: Arc<ActionFn<X>>,
 }
 
 impl<X> SemanticAction<X> {
@@ -56,12 +56,12 @@ impl<X> SemanticAction<X> {
     pub fn new(
         name: impl Into<String>,
         grammar: Grammar,
-        action: impl Fn(&ParseTree) -> Result<X, ActionError> + 'static,
+        action: impl Fn(&ParseTree) -> Result<X, ActionError> + Send + Sync + 'static,
     ) -> SemanticAction<X> {
         SemanticAction {
             grammar,
             name: name.into(),
-            action: Rc::new(action),
+            action: Arc::new(action),
         }
     }
 
@@ -100,7 +100,7 @@ impl<X> SemanticAction<X> {
     }
 
     /// Post-composes a pure function on the semantic values.
-    pub fn map<Y: 'static>(self, f: impl Fn(X) -> Y + 'static) -> SemanticAction<Y>
+    pub fn map<Y: 'static>(self, f: impl Fn(X) -> Y + Send + Sync + 'static) -> SemanticAction<Y>
     where
         X: 'static,
     {
@@ -108,7 +108,7 @@ impl<X> SemanticAction<X> {
         SemanticAction {
             grammar: self.grammar.clone(),
             name: format!("{}∘map", self.name),
-            action: Rc::new(move |t| action(t).map(&f)),
+            action: Arc::new(move |t| action(t).map(&f)),
         }
     }
 }

@@ -8,14 +8,14 @@
 //! the `Ind-β` law `fold f (roll e) ≡ f (map (fold f) e)` is checked by
 //! the test suite and holds *by definition* of this implementation.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::grammar::expr::{subst_vars, unfolding, Grammar, GrammarExpr, MuSystem};
 use crate::grammar::parse_tree::ParseTree;
 use crate::transform::{TransformError, Transformer};
 
 /// `roll : el(F_entry)(μF) ⊸ μF entry` — wraps a one-step unfolding.
-pub fn roll(system: Rc<MuSystem>, entry: usize) -> Transformer {
+pub fn roll(system: Arc<MuSystem>, entry: usize) -> Transformer {
     let dom = unfolding(&system, entry);
     let cod = crate::grammar::expr::mu(system, entry);
     Transformer::from_fn("roll", dom, cod, |t| Ok(ParseTree::roll(t.clone())))
@@ -23,7 +23,7 @@ pub fn roll(system: Rc<MuSystem>, entry: usize) -> Transformer {
 
 /// `unroll : μF entry ⊸ el(F_entry)(μF)` — unwraps one constructor layer.
 /// The inverse of [`roll`] (initial algebras are fixed points).
-pub fn unroll(system: Rc<MuSystem>, entry: usize) -> Transformer {
+pub fn unroll(system: Arc<MuSystem>, entry: usize) -> Transformer {
     let dom = crate::grammar::expr::mu(system.clone(), entry);
     let cod = unfolding(&system, entry);
     Transformer::from_fn("unroll", dom, cod, |t| match t {
@@ -41,7 +41,7 @@ pub fn unroll(system: Rc<MuSystem>, entry: usize) -> Transformer {
 /// # Panics
 ///
 /// Panics if `fs` does not provide one transformer per definition.
-pub fn map_functor(system: &Rc<MuSystem>, entry: usize, fs: &[Transformer]) -> Transformer {
+pub fn map_functor(system: &Arc<MuSystem>, entry: usize, fs: &[Transformer]) -> Transformer {
     assert_eq!(fs.len(), system.len(), "one transformer per definition");
     let doms: Vec<Grammar> = fs.iter().map(|f| f.dom().clone()).collect();
     let cods: Vec<Grammar> = fs.iter().map(|f| f.cod().clone()).collect();
@@ -107,7 +107,7 @@ pub(crate) fn map_vars(
 /// Panics if the number of algebras does not match the system, or an
 /// algebra's domain is not the body instantiated at the algebra codomains
 /// (a wrongly-typed algebra).
-pub fn fold(system: Rc<MuSystem>, entry: usize, algebras: Vec<Transformer>) -> Transformer {
+pub fn fold(system: Arc<MuSystem>, entry: usize, algebras: Vec<Transformer>) -> Transformer {
     assert_eq!(
         algebras.len(),
         system.len(),
@@ -131,7 +131,7 @@ pub fn fold(system: Rc<MuSystem>, entry: usize, algebras: Vec<Transformer>) -> T
 }
 
 fn fold_apply(
-    system: &Rc<MuSystem>,
+    system: &Arc<MuSystem>,
     algebras: &[Transformer],
     entry: usize,
     tree: &ParseTree,
@@ -165,7 +165,7 @@ mod tests {
 
     /// Builds the star system for grammar `a` and a list parse of the
     /// given element trees.
-    fn star_system(a: Grammar) -> Rc<MuSystem> {
+    fn star_system(a: Grammar) -> Arc<MuSystem> {
         MuSystem::new(vec![alt(eps(), tensor(a, var(0)))], vec!["star".to_owned()])
     }
 

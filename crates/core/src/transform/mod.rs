@@ -22,7 +22,7 @@ pub mod combinators;
 pub mod fold;
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::alphabet::GString;
 use crate::grammar::expr::Grammar;
@@ -106,7 +106,7 @@ impl fmt::Display for TransformError {
 
 impl std::error::Error for TransformError {}
 
-type TransformFn = dyn Fn(&ParseTree) -> Result<ParseTree, TransformError>;
+type TransformFn = dyn Fn(&ParseTree) -> Result<ParseTree, TransformError> + Send + Sync;
 
 /// A parse transformer `↑(A ⊸ B)`: a yield-preserving function from
 /// parses of `A` to parses of `B`.
@@ -117,7 +117,7 @@ pub struct Transformer {
     dom: Grammar,
     cod: Grammar,
     name: String,
-    imp: Rc<TransformFn>,
+    imp: Arc<TransformFn>,
 }
 
 impl Transformer {
@@ -130,13 +130,13 @@ impl Transformer {
         name: impl Into<String>,
         dom: Grammar,
         cod: Grammar,
-        f: impl Fn(&ParseTree) -> Result<ParseTree, TransformError> + 'static,
+        f: impl Fn(&ParseTree) -> Result<ParseTree, TransformError> + Send + Sync + 'static,
     ) -> Transformer {
         Transformer {
             dom,
             cod,
             name: name.into(),
-            imp: Rc::new(f),
+            imp: Arc::new(f),
         }
     }
 
@@ -215,7 +215,7 @@ impl Transformer {
             dom: self.dom.clone(),
             cod: next.cod.clone(),
             name: format!("({} ; {})", self.name, next.name),
-            imp: Rc::new(move |t| {
+            imp: Arc::new(move |t| {
                 let mid = f.apply(t)?;
                 g.apply(&mid)
             }),

@@ -8,7 +8,7 @@
 //! that: a fold whose algebra checks the equation layer by layer, plus
 //! the pointwise-equality oracle as an independent cross-check.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambek_core::alphabet::Alphabet;
 use lambek_core::grammar::compile::CompiledGrammar;
@@ -20,7 +20,7 @@ use lambek_core::transform::combinators::id;
 use lambek_core::transform::fold::{roll, unroll};
 use lambek_core::transform::{TransformError, Transformer};
 
-fn star_system(a: Grammar) -> Rc<MuSystem> {
+fn star_system(a: Grammar) -> Arc<MuSystem> {
     MuSystem::new(vec![alt(eps(), tensor(a, var(0)))], vec!["star".to_owned()])
 }
 

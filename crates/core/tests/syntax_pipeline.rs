@@ -2,7 +2,7 @@
 //! are declared, type-checked by the ordered-linear checker, evaluated to
 //! parse transformers, and validated against the denotational semantics.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambek_core::alphabet::Alphabet;
 use lambek_core::check::{check_signature, Checker, StructuralRule, TypeError};
@@ -167,17 +167,17 @@ fn fig4_fold_transformer() {
     // fold clauses: nil ⇒ nil ; cons (a₁,a₂) ih ⇒ cons a₁ (cons a₂ ih).
     let h_body = LinTerm::Fold {
         data: "PairStar".to_owned(),
-        motive: Rc::new(astar.clone()),
+        motive: Arc::new(astar.clone()),
         clauses: vec![
             FoldClause {
                 nl_vars: vec![],
                 lin_vars: vec![],
-                body: Rc::new(nil.clone()),
+                body: Arc::new(nil.clone()),
             },
             FoldClause {
                 nl_vars: vec![],
                 lin_vars: vec!["aa".to_owned(), "ih".to_owned()],
-                body: Rc::new(LinTerm::let_pair(
+                body: Arc::new(LinTerm::let_pair(
                     LinTerm::var("aa"),
                     "a1",
                     "a2",
@@ -188,7 +188,7 @@ fn fig4_fold_transformer() {
                 )),
             },
         ],
-        scrutinee: Rc::new(LinTerm::var("ps")),
+        scrutinee: Arc::new(LinTerm::var("ps")),
     };
     let h = LinTerm::lam("ps", LinType::data("PairStar"), h_body);
     let ck = Checker::new(&sig);
@@ -280,7 +280,7 @@ fn global_definitions_check() {
     sig.define(GlobalDef {
         name: "f".to_owned(),
         ty: LinType::lfun(dom, cod),
-        body: Rc::new(f),
+        body: Arc::new(f),
     })
     .unwrap();
     check_signature(&sig).unwrap();

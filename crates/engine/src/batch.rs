@@ -1,0 +1,187 @@
+//! Batch parsing: fan a slice of inputs out over scoped worker threads.
+//!
+//! The pipeline is compiled once and shared by reference — workers never
+//! clone grammars or transformers, they only walk them. Inputs are split
+//! into contiguous chunks (one per worker) so reports reassemble in input
+//! order without any synchronization beyond the scope join.
+
+use std::time::{Duration, Instant};
+
+use lambek_core::alphabet::GString;
+use lambek_core::theory::parser::ParseOutcome;
+
+use crate::pipeline::CompiledPipeline;
+
+/// What happened to one input of a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportOutcome {
+    /// The input is in the grammar; the verified parse tree had
+    /// `tree_size` constructors.
+    Accepted {
+        /// Constructor count of the parse tree.
+        tree_size: usize,
+    },
+    /// The input is not in the grammar; the rejection witness (a parse of
+    /// the negative grammar) had `witness_size` constructors.
+    Rejected {
+        /// Constructor count of the rejection witness.
+        witness_size: usize,
+    },
+    /// The pipeline failed on this input (e.g. it exceeds a truncation
+    /// bound); the message is the transformer error.
+    Failed(String),
+}
+
+impl ReportOutcome {
+    /// `true` on acceptance.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, ReportOutcome::Accepted { .. })
+    }
+}
+
+/// The structured result of parsing one input of a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseReport {
+    /// Index of the input in the batch slice.
+    pub index: usize,
+    /// Length of the input string.
+    pub input_len: usize,
+    /// Outcome of the verified parse.
+    pub outcome: ReportOutcome,
+    /// Whether the returned tree's yield equals the input — the
+    /// intrinsic-verification check, re-asserted per request. Always
+    /// `true` for a correct pipeline; `false` for failed inputs.
+    pub yield_ok: bool,
+    /// Wall-clock time spent parsing this input.
+    pub duration: Duration,
+}
+
+fn parse_one(pipeline: &CompiledPipeline, index: usize, w: &GString) -> ParseReport {
+    let start = Instant::now();
+    let (outcome, yield_ok) = match pipeline.parse(w) {
+        Ok(ParseOutcome::Accept(t)) => (
+            ReportOutcome::Accepted {
+                tree_size: t.size(),
+            },
+            &t.flatten() == w,
+        ),
+        Ok(ParseOutcome::Reject(t)) => (
+            ReportOutcome::Rejected {
+                witness_size: t.size(),
+            },
+            &t.flatten() == w,
+        ),
+        Err(e) => (ReportOutcome::Failed(format!("{e}")), false),
+    };
+    ParseReport {
+        index,
+        input_len: w.len(),
+        outcome,
+        yield_ok,
+        duration: start.elapsed(),
+    }
+}
+
+/// Parses every input against a shared compiled pipeline, using up to
+/// `workers` scoped threads (`1` means sequential in the calling thread;
+/// `0` means one worker per available core). Reports are returned in
+/// input order.
+///
+/// Worker threads only help when cores are available — on a single-core
+/// host the fan-out degrades gracefully to sequential-plus-overhead.
+pub fn parse_batch(
+    pipeline: &CompiledPipeline,
+    inputs: &[GString],
+    workers: usize,
+) -> Vec<ParseReport> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
+    };
+    let workers = workers.clamp(1, inputs.len().max(1));
+    if workers == 1 {
+        return inputs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| parse_one(pipeline, i, w))
+            .collect();
+    }
+    // Contiguous chunks, remainder spread over the first few workers.
+    let base = inputs.len() / workers;
+    let extra = inputs.len() % workers;
+    let mut reports = Vec::with_capacity(inputs.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut offset = 0;
+        for k in 0..workers {
+            let len = base + usize::from(k < extra);
+            let chunk = &inputs[offset..offset + len];
+            let chunk_offset = offset;
+            offset += len;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| parse_one(pipeline, chunk_offset + i, w))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            reports.extend(h.join().expect("batch worker panicked"));
+        }
+    });
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PipelineSpec;
+    use lambek_core::alphabet::Alphabet;
+
+    #[test]
+    fn reports_come_back_in_input_order() {
+        let p = PipelineSpec::dyck(12).compile().unwrap();
+        let sigma = p.alphabet().clone();
+        let inputs: Vec<GString> = ["", "()", ")(", "(())", "(()", "()()()"]
+            .iter()
+            .map(|s| sigma.parse_str(s).unwrap())
+            .collect();
+        let reports = parse_batch(&p, &inputs, 3);
+        assert_eq!(reports.len(), inputs.len());
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.input_len, inputs[i].len());
+        }
+        let accepts: Vec<bool> = reports.iter().map(|r| r.outcome.is_accept()).collect();
+        assert_eq!(accepts, vec![true, true, false, true, false, true]);
+        assert!(reports.iter().all(|r| r.yield_ok));
+    }
+
+    #[test]
+    fn truncation_overflow_is_a_failed_report_not_a_panic() {
+        let p = PipelineSpec::expr(2).compile().unwrap();
+        let sigma = Alphabet::arith();
+        // n+n has length 3 > the bound 2.
+        let w = {
+            let n = sigma.symbol("NUM").unwrap();
+            let plus = sigma.symbol("+").unwrap();
+            GString::from_symbols(vec![n, plus, n])
+        };
+        let reports = parse_batch(&p, &[w], 1);
+        assert!(matches!(reports[0].outcome, ReportOutcome::Failed(_)));
+        assert!(!reports[0].yield_ok);
+    }
+
+    #[test]
+    fn more_workers_than_inputs_is_fine() {
+        let p = PipelineSpec::dyck(4).compile().unwrap();
+        let sigma = p.alphabet().clone();
+        let inputs = vec![sigma.parse_str("()").unwrap()];
+        let reports = parse_batch(&p, &inputs, 64);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].outcome.is_accept());
+        assert!(parse_batch(&p, &[], 8).is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! # lambek-engine — the compiled-parser serving layer
+//!
+//! The verified pipelines of this workspace (Corollary 4.12's regex
+//! parser, Theorem 4.13's Dyck parser, Theorem 4.14's expression parser)
+//! are *constructions*: every call rebuilds Thompson NFAs, determinizes,
+//! and composes equivalences. That is the right shape for reproducing the
+//! paper, and the wrong shape for serving traffic. This crate turns the
+//! one-shot constructions into a reusable engine:
+//!
+//! * [`Engine`] — a thread-safe cache of compiled pipelines keyed by
+//!   [`PipelineSpec`] (alphabet + grammar), so each pipeline is compiled
+//!   once and shared (`Arc`) across requests and threads;
+//! * [`Engine::parse_many`] — batch parsing fanned out over
+//!   [`std::thread::scope`] workers, returning one structured
+//!   [`ParseReport`] per input (outcome, intrinsic yield check, timing);
+//! * [`StreamParser`] — push-style incremental input for DFA-backed
+//!   pipelines: each pushed symbol is one dense-table transition, and
+//!   [`StreamParser::finish`] produces the fully verified parse.
+//!
+//! Everything here rides on the `Send + Sync` parse-transformer layer
+//! (grammars and transformers are `Arc`-shared) and on the dense
+//! flat transition tables of
+//! [`lambek_automata::dfa::Dfa`] — the engine holds no locks while
+//! parsing, only while touching the pipeline cache (cache hits take a
+//! read lock; a miss holds the write lock for the duration of the one
+//! compilation, serializing lookups until the pipeline is cached —
+//! compiles happen once per spec per process, so this is a startup
+//! cost, not a steady-state one).
+//!
+//! ```
+//! use lambek_core::alphabet::Alphabet;
+//! use lambek_engine::{Engine, PipelineSpec};
+//!
+//! let engine = Engine::new();
+//! let spec = PipelineSpec::regex(Alphabet::abc(), "(a*b)|c");
+//! let pipeline = engine.get_or_compile(&spec).unwrap();
+//!
+//! let w = pipeline.alphabet().parse_str("aab").unwrap();
+//! assert!(pipeline.parse(&w).unwrap().is_accept());
+//!
+//! // The second lookup is a cache hit: no recompilation.
+//! let again = engine.get_or_compile(&spec).unwrap();
+//! assert_eq!(engine.stats().compiles, 1);
+//! assert!(std::sync::Arc::ptr_eq(&pipeline, &again));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batch;
+mod pipeline;
+mod stream;
+
+pub use batch::{parse_batch, ParseReport, ReportOutcome};
+pub use pipeline::{CompiledPipeline, DfaBackend, PipelineSpec};
+pub use stream::StreamParser;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use lambek_core::alphabet::GString;
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The pipeline failed to compile (bad regex syntax, equivalences
+    /// that do not compose, …).
+    Compile(String),
+    /// A streaming parser was requested for a pipeline with no DFA
+    /// backend (e.g. the lookahead-automaton expression pipeline).
+    NoStreamingBackend(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Compile(m) => write!(f, "pipeline compilation failed: {m}"),
+            EngineError::NoStreamingBackend(m) => {
+                write!(f, "pipeline {m} has no DFA backend for streaming")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Cache observability counters (see [`Engine::stats`]).
+///
+/// `hits + misses` is the number of [`Engine::get_or_compile`] calls;
+/// `compiles` counts actual pipeline constructions — the compile-once
+/// guarantee is `compiles ≤ distinct specs` (a miss that loses a race
+/// with a concurrent miss on the same spec is counted in `misses` but
+/// performs no compilation, so `compiles ≤ misses`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required compilation.
+    pub misses: u64,
+    /// Pipelines actually compiled.
+    pub compiles: u64,
+    /// Pipelines currently resident.
+    pub entries: usize,
+}
+
+/// A serving engine: a thread-safe compile-once cache of verified parser
+/// pipelines.
+///
+/// `Engine` is cheap to share (`&Engine` is all the batch workers need)
+/// and holds its lock only around cache probes — parsing itself runs on
+/// lock-free shared [`CompiledPipeline`]s.
+#[derive(Debug, Default)]
+pub struct Engine {
+    cache: RwLock<HashMap<PipelineSpec, Arc<CompiledPipeline>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compiles: AtomicU64,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Returns the compiled pipeline for `spec`, compiling it on first
+    /// use and serving the shared `Arc` afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Compile`] if the spec does not compile
+    /// (e.g. regex syntax errors); failed compilations are not cached.
+    pub fn get_or_compile(
+        &self,
+        spec: &PipelineSpec,
+    ) -> Result<Arc<CompiledPipeline>, EngineError> {
+        if let Some(hit) = self.cache.read().expect("engine cache poisoned").get(spec) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Take the write lock for the whole miss path: concurrent misses
+        // on the same spec then compile exactly once, which keeps the
+        // compile-once contract strict (not merely eventual).
+        let mut cache = self.cache.write().expect("engine cache poisoned");
+        if let Some(raced) = cache.get(spec) {
+            return Ok(raced.clone());
+        }
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(spec.compile()?);
+        cache.insert(spec.clone(), compiled.clone());
+        Ok(compiled)
+    }
+
+    /// Parses every input against the pipeline for `spec`, fanning the
+    /// batch out over `workers` scoped threads (1 = sequential in the
+    /// calling thread, 0 = one worker per available core). Reports come
+    /// back in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Compile`] if the pipeline cannot be built;
+    /// per-input failures are reported in the corresponding
+    /// [`ParseReport`], never as an `Err`.
+    pub fn parse_many(
+        &self,
+        spec: &PipelineSpec,
+        inputs: &[GString],
+        workers: usize,
+    ) -> Result<Vec<ParseReport>, EngineError> {
+        let pipeline = self.get_or_compile(spec)?;
+        Ok(parse_batch(&pipeline, inputs, workers))
+    }
+
+    /// Opens a push-mode streaming parser for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Compile`] if the pipeline cannot be built,
+    /// or [`EngineError::NoStreamingBackend`] if it is not DFA-backed.
+    pub fn stream(&self, spec: &PipelineSpec) -> Result<StreamParser, EngineError> {
+        StreamParser::open(self.get_or_compile(spec)?)
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            entries: self.cache.read().expect("engine cache poisoned").len(),
+        }
+    }
+
+    /// Drops every cached pipeline (counters are kept).
+    pub fn clear(&self) {
+        self.cache.write().expect("engine cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambek_core::alphabet::Alphabet;
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<CompiledPipeline>();
+        assert_send_sync::<Arc<CompiledPipeline>>();
+    }
+
+    #[test]
+    fn bad_regex_is_a_compile_error_and_not_cached() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::regex(Alphabet::abc(), "(((");
+        assert!(matches!(
+            engine.get_or_compile(&spec),
+            Err(EngineError::Compile(_))
+        ));
+        assert_eq!(engine.stats().entries, 0);
+        // The failure is re-attempted (and re-fails) on the next call.
+        assert!(engine.get_or_compile(&spec).is_err());
+        assert_eq!(engine.stats().misses, 2);
+    }
+
+    #[test]
+    fn clear_evicts_but_keeps_counters() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::dyck(8);
+        engine.get_or_compile(&spec).unwrap();
+        assert_eq!(engine.stats().entries, 1);
+        engine.clear();
+        assert_eq!(engine.stats().entries, 0);
+        engine.get_or_compile(&spec).unwrap();
+        assert_eq!(engine.stats().compiles, 2);
+    }
+}

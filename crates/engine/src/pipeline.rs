@@ -1,0 +1,227 @@
+//! Pipeline specifications and their compiled form.
+//!
+//! A [`PipelineSpec`] is the *cache key*: a pure description of which
+//! verified parser to build — the alphabet plus the grammar family and
+//! its parameters. [`PipelineSpec::compile`] runs the paper's
+//! construction once, and the resulting [`CompiledPipeline`] is the
+//! immutable, `Send + Sync` artifact the engine shares across requests.
+
+use std::time::{Duration, Instant};
+
+use lambek_automata::counter::dyck_automaton;
+use lambek_automata::dfa::{Dfa, DfaTraceGrammar};
+use lambek_core::alphabet::{Alphabet, GString};
+use lambek_core::grammar::expr::Grammar;
+use lambek_core::theory::parser::{ParseOutcome, VerifiedParser};
+use lambek_core::transform::TransformError;
+use regex_grammars::ast::parse_regex;
+use regex_grammars::pipeline::RegexParser;
+
+use crate::EngineError;
+
+/// What to compile: the engine's cache key.
+///
+/// Two specs are the same pipeline exactly when they compare equal —
+/// alphabets compare by their ordered symbol-name lists, so structurally
+/// identical alphabets share cache entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PipelineSpec {
+    /// The verified regex pipeline of Corollary 4.12 for `pattern` over
+    /// `alphabet` (Thompson → determinize → trace parser → extend).
+    Regex {
+        /// The input alphabet Σ.
+        alphabet: Alphabet,
+        /// The regex source, in the syntax of
+        /// [`regex_grammars::ast::parse_regex`].
+        pattern: String,
+    },
+    /// The verified Dyck parser of Theorem 4.13, exact for inputs of
+    /// length ≤ `max_len`.
+    Dyck {
+        /// Truncation bound of the counter automaton.
+        max_len: usize,
+    },
+    /// The verified arithmetic-expression parser of Theorem 4.14, exact
+    /// for inputs of length ≤ `max_len`.
+    Expr {
+        /// Truncation bound of the lookahead automaton.
+        max_len: usize,
+    },
+}
+
+impl PipelineSpec {
+    /// Convenience constructor for [`PipelineSpec::Regex`].
+    pub fn regex(alphabet: Alphabet, pattern: impl Into<String>) -> PipelineSpec {
+        PipelineSpec::Regex {
+            alphabet,
+            pattern: pattern.into(),
+        }
+    }
+
+    /// Convenience constructor for [`PipelineSpec::Dyck`].
+    pub fn dyck(max_len: usize) -> PipelineSpec {
+        PipelineSpec::Dyck { max_len }
+    }
+
+    /// Convenience constructor for [`PipelineSpec::Expr`].
+    pub fn expr(max_len: usize) -> PipelineSpec {
+        PipelineSpec::Expr { max_len }
+    }
+
+    /// A short human-readable label (used in reports and errors).
+    pub fn label(&self) -> String {
+        match self {
+            PipelineSpec::Regex { pattern, .. } => format!("regex({pattern})"),
+            PipelineSpec::Dyck { max_len } => format!("dyck(≤{max_len})"),
+            PipelineSpec::Expr { max_len } => format!("expr(≤{max_len})"),
+        }
+    }
+
+    /// Runs the construction for this spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Compile`] on regex syntax errors or if the
+    /// underlying equivalences fail to compose.
+    pub fn compile(&self) -> Result<CompiledPipeline, EngineError> {
+        let start = Instant::now();
+        let (parser, backend) = match self {
+            PipelineSpec::Regex { alphabet, pattern } => {
+                let re = parse_regex(alphabet, pattern)
+                    .map_err(|e| EngineError::Compile(format!("{e}")))?;
+                let rp = RegexParser::compile(alphabet, re)
+                    .map_err(|e| EngineError::Compile(format!("{e}")))?;
+                let dfa = rp.determinized().dfa.clone();
+                let tg = dfa.trace_grammar();
+                (rp.verified_parser().clone(), Some(DfaBackend { dfa, tg }))
+            }
+            PipelineSpec::Dyck { max_len } => {
+                let dfa = dyck_automaton(*max_len);
+                let tg = dfa.trace_grammar();
+                (
+                    lambek_cfg::dyck::dyck_parser(*max_len),
+                    Some(DfaBackend { dfa, tg }),
+                )
+            }
+            PipelineSpec::Expr { max_len } => (lambek_cfg::expr::exp_parser(*max_len), None),
+        };
+        Ok(CompiledPipeline {
+            spec: self.clone(),
+            parser,
+            backend,
+            compile_time: start.elapsed(),
+        })
+    }
+}
+
+/// The dense DFA behind a pipeline, kept alongside the verified parser
+/// for streaming input and allocation-free acceptance checks.
+#[derive(Debug, Clone)]
+pub struct DfaBackend {
+    /// The (flat-table) automaton.
+    pub dfa: Dfa,
+    /// Its Bool-indexed trace grammar (Fig. 11 layout).
+    pub tg: DfaTraceGrammar,
+}
+
+/// A compiled, immutable, thread-shareable parser pipeline.
+#[derive(Debug, Clone)]
+pub struct CompiledPipeline {
+    spec: PipelineSpec,
+    parser: VerifiedParser,
+    backend: Option<DfaBackend>,
+    compile_time: Duration,
+}
+
+impl CompiledPipeline {
+    /// The spec this pipeline was compiled from.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// The composed verified parser (Definition 4.6).
+    pub fn parser(&self) -> &VerifiedParser {
+        &self.parser
+    }
+
+    /// The dense DFA backend, if the pipeline has one (regex and Dyck do;
+    /// the lookahead-automaton expression pipeline does not).
+    pub fn backend(&self) -> Option<&DfaBackend> {
+        self.backend.as_ref()
+    }
+
+    /// The input alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        self.parser.alphabet()
+    }
+
+    /// The grammar being parsed.
+    pub fn grammar(&self) -> &Grammar {
+        self.parser.grammar()
+    }
+
+    /// How long [`PipelineSpec::compile`] took.
+    pub fn compile_time(&self) -> Duration {
+        self.compile_time
+    }
+
+    /// Runs the verified parser (intrinsic checks included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates contract violations from the underlying transformers —
+    /// for the built-in pipelines this only happens past a truncation
+    /// bound (e.g. [`PipelineSpec::Expr`] inputs longer than `max_len`).
+    pub fn parse(&self, w: &GString) -> Result<ParseOutcome, TransformError> {
+        self.parser.parse(w)
+    }
+
+    /// Fast acceptance check: a dense-table DFA run when a backend is
+    /// available, otherwise a full parse.
+    ///
+    /// Inputs the pipeline cannot process at all (backend-less pipelines
+    /// past their truncation bound, where [`CompiledPipeline::parse`]
+    /// returns an error) count as not accepted; use `parse` when the
+    /// distinction between "rejected" and "failed" matters.
+    pub fn accepts(&self, w: &GString) -> bool {
+        match &self.backend {
+            Some(b) => b.dfa.accepts(w),
+            None => self.parser.parse(w).map(|o| o.is_accept()).unwrap_or(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_with_equal_alphabets_are_equal_keys() {
+        let a = PipelineSpec::regex(Alphabet::abc(), "a*b");
+        let b = PipelineSpec::regex(Alphabet::from_chars("abc"), "a*b");
+        assert_eq!(a, b);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn dyck_pipeline_has_a_backend_expr_does_not() {
+        let dyck = PipelineSpec::dyck(6).compile().unwrap();
+        assert!(dyck.backend().is_some());
+        let expr = PipelineSpec::expr(4).compile().unwrap();
+        assert!(expr.backend().is_none());
+    }
+
+    #[test]
+    fn backend_acceptance_matches_verified_parser() {
+        let p = PipelineSpec::regex(Alphabet::abc(), "(a|b)*c")
+            .compile()
+            .unwrap();
+        let sigma = p.alphabet().clone();
+        for s in ["", "c", "abc", "ca", "abab", "bbac"] {
+            let w = sigma.parse_str(s).unwrap();
+            assert_eq!(p.accepts(&w), p.parse(&w).unwrap().is_accept(), "{s}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Push-mode streaming input for DFA-backed pipelines.
+//!
+//! A [`StreamParser`] consumes one symbol per [`StreamParser::push`] —
+//! each push is a single dense-table transition — while remembering the
+//! visited state sequence. Incremental questions are answered from that
+//! record: [`StreamParser::would_accept`] is one array probe, and
+//! [`StreamParser::trace`] materializes the unique DFA trace *backwards
+//! over the recorded states* (the `parseD` construction of Fig. 12)
+//! without re-running the automaton. [`StreamParser::finish`] trades
+//! that incrementality for the full guarantee: it runs the pipeline's
+//! composed verified parser over the accumulated input end-to-end
+//! (including re-running the automaton), because intrinsic verification
+//! is a property of the whole composed transformer, not of the raw
+//! trace.
+
+use std::sync::Arc;
+
+use lambek_automata::nfa::StateId;
+use lambek_core::alphabet::{GString, Symbol};
+use lambek_core::grammar::parse_tree::ParseTree;
+use lambek_core::theory::parser::ParseOutcome;
+use lambek_core::transform::TransformError;
+
+use crate::pipeline::CompiledPipeline;
+use crate::EngineError;
+
+/// An incremental parser over a shared compiled pipeline.
+#[derive(Debug, Clone)]
+pub struct StreamParser {
+    pipeline: Arc<CompiledPipeline>,
+    /// Visited states: `states[i]` is the state before symbol `i`.
+    states: Vec<StateId>,
+    input: GString,
+}
+
+impl StreamParser {
+    /// Opens a stream over `pipeline`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoStreamingBackend`] if the pipeline has no
+    /// dense DFA behind it.
+    pub fn open(pipeline: Arc<CompiledPipeline>) -> Result<StreamParser, EngineError> {
+        let Some(backend) = pipeline.backend() else {
+            return Err(EngineError::NoStreamingBackend(pipeline.spec().label()));
+        };
+        let init = backend.dfa.init();
+        Ok(StreamParser {
+            pipeline,
+            states: vec![init],
+            input: GString::new(),
+        })
+    }
+
+    /// Consumes one symbol: a single dense-table transition.
+    pub fn push(&mut self, sym: Symbol) {
+        let backend = self.pipeline.backend().expect("checked at open");
+        let s = *self.states.last().expect("stream has an initial state");
+        self.states.push(backend.dfa.delta(s, sym));
+        self.input.push(sym);
+    }
+
+    /// Consumes a whole string.
+    pub fn push_all(&mut self, w: &GString) {
+        for sym in w.iter() {
+            self.push(sym);
+        }
+    }
+
+    /// Number of symbols consumed so far.
+    pub fn len(&self) -> usize {
+        self.input.len()
+    }
+
+    /// `true` if nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.input.is_empty()
+    }
+
+    /// The DFA state after the symbols consumed so far.
+    pub fn state(&self) -> StateId {
+        *self.states.last().expect("stream has an initial state")
+    }
+
+    /// Whether the input so far would be accepted if the stream ended
+    /// here — one array probe, no parsing.
+    pub fn would_accept(&self) -> bool {
+        self.pipeline
+            .backend()
+            .expect("checked at open")
+            .dfa
+            .is_accepting(self.state())
+    }
+
+    /// The input consumed so far.
+    pub fn input(&self) -> &GString {
+        &self.input
+    }
+
+    /// The accept bit and the raw DFA trace of the input so far, built
+    /// backwards from the recorded state sequence (Fig. 12's `parseD`,
+    /// without re-running the automaton).
+    pub fn trace(&self) -> (bool, ParseTree) {
+        let backend = self.pipeline.backend().expect("checked at open");
+        let b = backend.dfa.is_accepting(self.state());
+        let mut tree = ParseTree::roll(ParseTree::inj(0, ParseTree::Unit));
+        for (i, sym) in self.input.iter().enumerate().rev() {
+            let s = self.states[i];
+            let idx = backend.tg.cons_index(&backend.dfa, s, b, sym);
+            tree = ParseTree::roll(ParseTree::inj(
+                idx,
+                ParseTree::pair(ParseTree::Char(sym), tree),
+            ));
+        }
+        (b, tree)
+    }
+
+    /// Ends the stream: runs the pipeline's fully verified parser on the
+    /// accumulated input, returning the intrinsically checked outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transformer errors exactly as
+    /// [`CompiledPipeline::parse`] does.
+    pub fn finish(self) -> Result<ParseOutcome, TransformError> {
+        self.pipeline.parse(&self.input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, PipelineSpec};
+    use lambek_core::alphabet::Alphabet;
+    use lambek_core::grammar::parse_tree::validate;
+
+    #[test]
+    fn streaming_matches_one_shot_parsing() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::regex(Alphabet::abc(), "(a*b)|c");
+        let sigma = Alphabet::abc();
+        for s in ["", "b", "aab", "c", "ca", "abab"] {
+            let w = sigma.parse_str(s).unwrap();
+            let mut stream = engine.stream(&spec).unwrap();
+            stream.push_all(&w);
+            assert_eq!(stream.len(), w.len());
+            let pipeline = engine.get_or_compile(&spec).unwrap();
+            assert_eq!(stream.would_accept(), pipeline.accepts(&w), "{s}");
+            let outcome = stream.finish().unwrap();
+            assert_eq!(outcome.is_accept(), pipeline.accepts(&w), "{s}");
+        }
+    }
+
+    #[test]
+    fn intermediate_accept_bits_track_prefixes() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::dyck(16);
+        let sigma = Alphabet::parens();
+        let w = sigma.parse_str("(())()").unwrap();
+        let pipeline = engine.get_or_compile(&spec).unwrap();
+        let mut stream = engine.stream(&spec).unwrap();
+        assert!(stream.is_empty());
+        for (i, sym) in w.iter().enumerate() {
+            stream.push(sym);
+            let prefix = w.substring(0, i + 1);
+            assert_eq!(stream.would_accept(), pipeline.accepts(&prefix), "{i}");
+        }
+    }
+
+    #[test]
+    fn trace_is_a_valid_trace_of_the_pushed_input() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::dyck(8);
+        let sigma = Alphabet::parens();
+        let w = sigma.parse_str("(()())").unwrap();
+        let mut stream = engine.stream(&spec).unwrap();
+        stream.push_all(&w);
+        let (b, trace) = stream.trace();
+        assert!(b);
+        let pipeline = engine.get_or_compile(&spec).unwrap();
+        let backend = pipeline.backend().unwrap();
+        let g = backend.tg.trace(backend.dfa.init(), b);
+        validate(&trace, &g, &w).unwrap();
+    }
+
+    #[test]
+    fn expr_pipeline_has_no_stream() {
+        let engine = Engine::new();
+        assert!(matches!(
+            engine.stream(&PipelineSpec::expr(4)),
+            Err(EngineError::NoStreamingBackend(_))
+        ));
+    }
+}

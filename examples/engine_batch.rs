@@ -1,0 +1,93 @@
+//! The serving engine end-to-end: compile-once pipeline cache, batch
+//! parsing over scoped worker threads, and push-mode streaming.
+//!
+//! Run with `cargo run --example engine_batch`.
+
+use lambekd::core::alphabet::{Alphabet, GString};
+use lambekd::engine::{Engine, PipelineSpec, ReportOutcome};
+
+fn main() {
+    let engine = Engine::new();
+
+    // --- A mixed workload over three pipelines --------------------------
+    let regex_spec = PipelineSpec::regex(Alphabet::abc(), "(a*b)|c");
+    let dyck_spec = PipelineSpec::dyck(32);
+    let expr_spec = PipelineSpec::expr(32);
+
+    let sigma = Alphabet::abc();
+    let regex_inputs: Vec<GString> = ["aab", "b", "c", "ca", "abab", "aaaab"]
+        .iter()
+        .map(|s| sigma.parse_str(s).unwrap())
+        .collect();
+    let parens = Alphabet::parens();
+    let dyck_inputs: Vec<GString> = ["()", "(())()", ")(", "((((()))))", "(()"]
+        .iter()
+        .map(|s| parens.parse_str(s).unwrap())
+        .collect();
+    let arith = Alphabet::arith();
+    let toks = |s: &str| -> GString {
+        s.chars()
+            .map(|c| match c {
+                'n' => arith.symbol("NUM").unwrap(),
+                '+' => arith.symbol("+").unwrap(),
+                '(' => arith.symbol("(").unwrap(),
+                ')' => arith.symbol(")").unwrap(),
+                other => panic!("bad token {other}"),
+            })
+            .collect()
+    };
+    let expr_inputs: Vec<GString> = ["n+n", "(n+n)+n", "n+", "n", "()"]
+        .iter()
+        .map(|s| toks(s))
+        .collect();
+
+    for (name, spec, inputs) in [
+        ("regex (a*b)|c", &regex_spec, &regex_inputs),
+        ("dyck", &dyck_spec, &dyck_inputs),
+        ("expr", &expr_spec, &expr_inputs),
+    ] {
+        let reports = engine.parse_many(spec, inputs, 4).unwrap();
+        let accepted = reports.iter().filter(|r| r.outcome.is_accept()).count();
+        let verified = reports.iter().filter(|r| r.yield_ok).count();
+        println!(
+            "{name}: {accepted}/{} accepted, {verified} intrinsically verified yields",
+            reports.len()
+        );
+        for r in &reports {
+            let verdict = match &r.outcome {
+                ReportOutcome::Accepted { tree_size } => format!("accept (tree size {tree_size})"),
+                ReportOutcome::Rejected { witness_size } => {
+                    format!("reject (witness size {witness_size})")
+                }
+                ReportOutcome::Failed(e) => format!("failed: {e}"),
+            };
+            println!("  input #{} (len {}): {verdict}", r.index, r.input_len);
+        }
+    }
+
+    // --- Cache reuse: the same specs cost nothing the second time -------
+    let before = engine.stats();
+    engine.parse_many(&regex_spec, &regex_inputs, 2).unwrap();
+    engine.parse_many(&dyck_spec, &dyck_inputs, 2).unwrap();
+    let after = engine.stats();
+    println!(
+        "cache: {} pipelines compiled, {} hits ({} new compilations on re-batch)",
+        after.compiles,
+        after.hits,
+        after.compiles - before.compiles,
+    );
+    assert_eq!(after.compiles, before.compiles, "compile-once cache");
+
+    // --- Streaming: push symbols one at a time --------------------------
+    let mut stream = engine.stream(&dyck_spec).unwrap();
+    for sym in parens.parse_str("(()())").unwrap().iter() {
+        stream.push(sym);
+    }
+    println!(
+        "stream: {} symbols pushed, balanced so far: {}",
+        stream.len(),
+        stream.would_accept()
+    );
+    let outcome = stream.finish().unwrap();
+    println!("stream finish: accepted = {}", outcome.is_accept());
+}

@@ -15,7 +15,13 @@
 //! * [`cfg`](mod@cfg) (`lambek-cfg`) — context-free grammars: Dyck (Theorem 4.13),
 //!   arithmetic expressions (Theorem 4.14), and an Earley baseline;
 //! * [`turing`] (`lambek-turing`) — unrestricted grammars via `Reify`
-//!   (Construction 4.15).
+//!   (Construction 4.15);
+//! * [`engine`] (`lambek-engine`) — the serving layer: a compile-once
+//!   pipeline cache, batch parsing over scoped threads, and push-mode
+//!   streaming for DFA-backed parsers.
+//!
+//! See `ARCHITECTURE.md` at the workspace root for the pipeline diagram
+//! and the complete theorem ↔ module map.
 //!
 //! # Quickstart
 //!
@@ -41,8 +47,11 @@
 //! assert!(!parser.parse(&bad).unwrap().is_accept());
 //! ```
 
+#![deny(missing_docs)]
+
 pub use lambek_automata as automata;
 pub use lambek_cfg as cfg;
 pub use lambek_core as core;
+pub use lambek_engine as engine;
 pub use lambek_turing as turing;
 pub use regex_grammars as regex;

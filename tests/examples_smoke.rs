@@ -1,4 +1,4 @@
-//! Smoke tests for the five `examples/*.rs`: each example is built and
+//! Smoke tests for the `examples/*.rs`: each example is built and
 //! executed via `cargo run --example`, and its stdout is checked for a
 //! sentinel line, so the quickstart/dyck/turing_reify demos can never
 //! silently rot while tests stay green.
@@ -28,7 +28,7 @@ fn run_example(name: &str) -> String {
     String::from_utf8_lossy(&output.stdout).into_owned()
 }
 
-/// All five examples run sequentially in one test: concurrent `cargo
+/// All examples run sequentially in one test: concurrent `cargo
 /// run` invocations would contend on the build lock for no benefit.
 #[test]
 fn examples_run_and_print_their_sentinels() {
@@ -38,6 +38,7 @@ fn examples_run_and_print_their_sentinels() {
         ("arith_lookahead", "expression"),
         ("turing_reify", "Reify"),
         ("typecheck_playground", "type-checks"),
+        ("engine_batch", "pipelines compiled"),
     ] {
         let stdout = run_example(example);
         assert!(

@@ -18,6 +18,45 @@ fn arb_string(max_len: usize) -> impl Strategy<Value = GString> {
         .prop_map(|v| v.into_iter().map(Symbol::from_index).collect())
 }
 
+/// A deliberately naive hash-probed DFA runner: the reference the dense
+/// flat-table implementation of `Dfa::run_from` is checked against (and
+/// benchmarked against in `fig12_dfa_parse`).
+struct HashMapDfa {
+    init: usize,
+    accepting: Vec<bool>,
+    delta: std::collections::HashMap<(usize, Symbol), usize>,
+}
+
+impl HashMapDfa {
+    fn of(dfa: &lambek_automata::dfa::Dfa) -> HashMapDfa {
+        let mut delta = std::collections::HashMap::new();
+        for s in 0..dfa.num_states() {
+            for c in dfa.alphabet().symbols() {
+                delta.insert((s, c), dfa.delta(s, c));
+            }
+        }
+        HashMapDfa {
+            init: dfa.init(),
+            accepting: (0..dfa.num_states()).map(|s| dfa.is_accepting(s)).collect(),
+            delta,
+        }
+    }
+
+    fn run_from(&self, start: usize, w: &GString) -> Vec<usize> {
+        let mut states = vec![start];
+        let mut s = start;
+        for sym in w.iter() {
+            s = self.delta[&(s, sym)];
+            states.push(s);
+        }
+        states
+    }
+
+    fn accepts(&self, w: &GString) -> bool {
+        self.accepting[*self.run_from(self.init, w).last().unwrap()]
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -36,6 +75,30 @@ proptest! {
         prop_assert_eq!(b, dfa.accepts(&w));
         validate(&tree, &tg.trace(dfa.init(), b), &w).expect("trace validates");
         prop_assert_eq!(print_dfa(&dfa, &tg, dfa.init(), b, &tree), w);
+    }
+
+    /// The dense flat transition table agrees with a hash-probed
+    /// reference DFA on every state sequence and acceptance answer.
+    #[test]
+    fn dense_table_run_equals_hashmap_reference(
+        seed in 0u64..200,
+        states in 1usize..9,
+        w in arb_string(10),
+    ) {
+        let sigma = Alphabet::abc();
+        let dfa = random_dfa(&sigma, states, seed);
+        let reference = HashMapDfa::of(&dfa);
+        prop_assert_eq!(dfa.run_from(dfa.init(), &w), reference.run_from(dfa.init(), &w));
+        prop_assert_eq!(dfa.accepts(&w), reference.accepts(&w));
+        let ref_states = reference.run_from(dfa.init(), &w);
+        prop_assert_eq!(dfa.final_state(dfa.init(), &w), *ref_states.last().unwrap());
+        // Per-row slices expose the same successors as pointwise probes.
+        for s in 0..dfa.num_states() {
+            let row = dfa.delta_row(s);
+            for c in sigma.symbols() {
+                prop_assert_eq!(row[c.index()], dfa.delta(s, c));
+            }
+        }
     }
 
     /// The Theorem 4.9 verified parser audits on random DFAs.

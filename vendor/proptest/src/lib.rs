@@ -215,7 +215,7 @@ pub mod collection {
         }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     #[derive(Debug)]
     pub struct VecStrategy<S> {
         element: S,
