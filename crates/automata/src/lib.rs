@@ -21,7 +21,7 @@
 //!   Fig. 15;
 //! * [`gen`] — random and adversarial generators for tests and benches.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod counter;

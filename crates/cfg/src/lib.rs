@@ -13,7 +13,7 @@
 //!   with the lookahead automaton's traces, and the verified expression
 //!   parser (Theorem 4.14).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod dyck;

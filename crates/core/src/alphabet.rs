@@ -162,6 +162,13 @@ impl Alphabet {
         &self.names
     }
 
+    /// The shared name table itself, for identity-keyed interning
+    /// ([`crate::intern::alphabet_id`] keeps it alive so its address can
+    /// serve as a cache key).
+    pub(crate) fn names_arc(&self) -> &Arc<Vec<String>> {
+        &self.names
+    }
+
     /// The display name of a symbol.
     ///
     /// # Panics

@@ -15,6 +15,14 @@
 //! slice of the context in order, exactly as the paper's rules demand.
 //! Violations are reported as the specific structural rule the term
 //! tried to use.
+//!
+//! The checker runs on the hash-consed core ([`crate::intern`]): inferred
+//! types are canonicalized, so every
+//! [`lin_type_equal`] conversion check
+//! between types built through the interned constructors is a pointer
+//! compare, and the substitutions performed by the indexed rules
+//! (`⊕`/`&` elimination, constructor and `fold` instantiation) are
+//! memoized by id.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -383,7 +391,7 @@ impl<'a> Checker<'a> {
                 let mut ctx = lin.to_vec();
                 ctx.push((var.clone(), (**dom).clone()));
                 let cod = self.infer(nl, &ctx, body)?;
-                Ok(LinType::LFun(dom.clone(), Arc::new(cod)))
+                Ok(LinType::LFun(dom.clone(), Arc::new(cod)).interned())
             }
             LinTerm::App(f, x) => {
                 disjoint(f, x)?;
@@ -400,7 +408,7 @@ impl<'a> Checker<'a> {
                 let mut ctx = vec![(var.clone(), (**dom).clone())];
                 ctx.extend_from_slice(lin);
                 let cod = self.infer(nl, &ctx, body)?;
-                Ok(LinType::RFun(dom.clone(), Arc::new(cod)))
+                Ok(LinType::RFun(dom.clone(), Arc::new(cod)).interned())
             }
             LinTerm::AppL { arg, fun } => {
                 disjoint(arg, fun)?;
@@ -490,7 +498,7 @@ impl<'a> Checker<'a> {
                 for t in ts {
                     out.push(self.infer(nl, lin, t)?);
                 }
-                Ok(LinType::With(out))
+                Ok(LinType::With(out).interned())
             }
             LinTerm::Proj { scrutinee, index } => match self.infer(nl, lin, scrutinee)? {
                 LinType::With(ts) => ts
@@ -562,7 +570,8 @@ impl<'a> Checker<'a> {
                 Ok(LinType::Data {
                     name: data.clone(),
                     args,
-                })
+                }
+                .interned())
             }
             LinTerm::Fold {
                 data,

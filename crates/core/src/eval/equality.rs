@@ -15,9 +15,298 @@ use crate::syntax::terms::{FoldClause, LinTerm};
 ///
 /// Examples in this crate use globally fresh bound names, so shadowing
 /// checks suffice (no renaming is performed).
+///
+/// The traversal is *iterative* (an explicit work stack with an
+/// enter/build discipline), so substitution never overflows the thread
+/// stack on deeply nested terms — β-reducing a 10k-deep pair chain works
+/// in a default test thread. See `deep_nesting.rs` for the regression
+/// tests.
 pub fn subst_lin(term: &LinTerm, var: &str, replacement: &LinTerm) -> LinTerm {
-    let s = |t: &LinTerm| subst_lin(t, var, replacement);
-    let sr = |t: &Arc<LinTerm>| Arc::new(subst_lin(t, var, replacement));
+    /// A unit of work: `Enter` schedules a subterm for substitution,
+    /// `Copy` forwards a shadowed `Arc` subterm unchanged, `CopyOwned`
+    /// forwards a shadowed inline subterm, and `Build` reassembles a node
+    /// from its children's results (which sit on top of `out`, in
+    /// child order).
+    enum Task<'a> {
+        Enter(&'a LinTerm),
+        Copy(&'a Arc<LinTerm>),
+        CopyOwned(&'a LinTerm),
+        Build(&'a LinTerm),
+    }
+
+    fn owned(a: Arc<LinTerm>) -> LinTerm {
+        Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone())
+    }
+
+    let mut tasks: Vec<Task<'_>> = vec![Task::Enter(term)];
+    let mut out: Vec<Arc<LinTerm>> = Vec::new();
+    while let Some(task) = tasks.pop() {
+        match task {
+            Task::Copy(t) => out.push(t.clone()),
+            Task::CopyOwned(t) => out.push(Arc::new(t.clone())),
+            Task::Enter(t) => match t {
+                LinTerm::Var(x) => out.push(Arc::new(if x == var {
+                    replacement.clone()
+                } else {
+                    t.clone()
+                })),
+                LinTerm::Global(_) | LinTerm::UnitIntro => out.push(Arc::new(t.clone())),
+                _ => {
+                    tasks.push(Task::Build(t));
+                    // Schedule children right-to-left so they are
+                    // *processed* (and their results pushed) left-to-right.
+                    let mut children: Vec<Task<'_>> = Vec::new();
+                    match t {
+                        LinTerm::Var(_) | LinTerm::Global(_) | LinTerm::UnitIntro => {
+                            unreachable!("leaves handled above")
+                        }
+                        LinTerm::LetUnit { scrutinee, body } => {
+                            children.push(Task::Enter(scrutinee));
+                            children.push(Task::Enter(body));
+                        }
+                        LinTerm::Pair(l, r) => {
+                            children.push(Task::Enter(l));
+                            children.push(Task::Enter(r));
+                        }
+                        LinTerm::LetPair {
+                            scrutinee,
+                            left,
+                            right,
+                            body,
+                        } => {
+                            children.push(Task::Enter(scrutinee));
+                            children.push(if left == var || right == var {
+                                Task::Copy(body)
+                            } else {
+                                Task::Enter(body)
+                            });
+                        }
+                        LinTerm::Lam { var: v, body, .. } | LinTerm::LamL { var: v, body, .. } => {
+                            children.push(if v == var {
+                                Task::Copy(body)
+                            } else {
+                                Task::Enter(body)
+                            });
+                        }
+                        LinTerm::App(f, x) => {
+                            children.push(Task::Enter(f));
+                            children.push(Task::Enter(x));
+                        }
+                        LinTerm::AppL { arg, fun } => {
+                            children.push(Task::Enter(arg));
+                            children.push(Task::Enter(fun));
+                        }
+                        LinTerm::Inj { body, .. } | LinTerm::BigInj { body, .. } => {
+                            children.push(Task::Enter(body));
+                        }
+                        LinTerm::Case {
+                            scrutinee,
+                            branches,
+                        } => {
+                            children.push(Task::Enter(scrutinee));
+                            for (v, b) in branches {
+                                children.push(if v == var {
+                                    Task::CopyOwned(b)
+                                } else {
+                                    Task::Enter(b)
+                                });
+                            }
+                        }
+                        LinTerm::LetBigInj {
+                            scrutinee,
+                            var: v,
+                            body,
+                            ..
+                        } => {
+                            children.push(Task::Enter(scrutinee));
+                            children.push(if v == var {
+                                Task::Copy(body)
+                            } else {
+                                Task::Enter(body)
+                            });
+                        }
+                        LinTerm::BigLam { body, .. } => children.push(Task::Enter(body)),
+                        LinTerm::BigProj { scrutinee, .. } | LinTerm::Proj { scrutinee, .. } => {
+                            children.push(Task::Enter(scrutinee));
+                        }
+                        LinTerm::Tuple(ts) => {
+                            for t in ts {
+                                children.push(Task::Enter(t));
+                            }
+                        }
+                        LinTerm::Ctor { lin_args, .. } => {
+                            for a in lin_args {
+                                children.push(Task::Enter(a));
+                            }
+                        }
+                        LinTerm::Fold {
+                            clauses, scrutinee, ..
+                        } => {
+                            for c in clauses {
+                                children.push(if c.lin_vars.iter().any(|v| v == var) {
+                                    Task::Copy(&c.body)
+                                } else {
+                                    Task::Enter(&c.body)
+                                });
+                            }
+                            children.push(Task::Enter(scrutinee));
+                        }
+                        LinTerm::EqIntro(inner) | LinTerm::EqProj(inner) => {
+                            children.push(Task::Enter(inner));
+                        }
+                    }
+                    for c in children.into_iter().rev() {
+                        tasks.push(c);
+                    }
+                }
+            },
+            Task::Build(t) => {
+                let built = match t {
+                    LinTerm::Var(_) | LinTerm::Global(_) | LinTerm::UnitIntro => {
+                        unreachable!("leaves never schedule a Build")
+                    }
+                    LinTerm::LetUnit { .. } => {
+                        let body = out.pop().expect("body result");
+                        let scrutinee = out.pop().expect("scrutinee result");
+                        LinTerm::LetUnit { scrutinee, body }
+                    }
+                    LinTerm::Pair(..) => {
+                        let r = out.pop().expect("right result");
+                        let l = out.pop().expect("left result");
+                        LinTerm::Pair(l, r)
+                    }
+                    LinTerm::LetPair { left, right, .. } => {
+                        let body = out.pop().expect("body result");
+                        let scrutinee = out.pop().expect("scrutinee result");
+                        LinTerm::LetPair {
+                            scrutinee,
+                            left: left.clone(),
+                            right: right.clone(),
+                            body,
+                        }
+                    }
+                    LinTerm::Lam { var: v, dom, .. } => LinTerm::Lam {
+                        var: v.clone(),
+                        dom: dom.clone(),
+                        body: out.pop().expect("body result"),
+                    },
+                    LinTerm::LamL { var: v, dom, .. } => LinTerm::LamL {
+                        var: v.clone(),
+                        dom: dom.clone(),
+                        body: out.pop().expect("body result"),
+                    },
+                    LinTerm::App(..) => {
+                        let x = out.pop().expect("argument result");
+                        let f = out.pop().expect("function result");
+                        LinTerm::App(f, x)
+                    }
+                    LinTerm::AppL { .. } => {
+                        let fun = out.pop().expect("function result");
+                        let arg = out.pop().expect("argument result");
+                        LinTerm::AppL { arg, fun }
+                    }
+                    LinTerm::Inj { index, arity, .. } => LinTerm::Inj {
+                        index: *index,
+                        arity: *arity,
+                        body: out.pop().expect("body result"),
+                    },
+                    LinTerm::Case { branches, .. } => {
+                        let results = out.split_off(out.len() - branches.len());
+                        let scrutinee = out.pop().expect("scrutinee result");
+                        LinTerm::Case {
+                            scrutinee,
+                            branches: branches
+                                .iter()
+                                .zip(results)
+                                .map(|((v, _), b)| (v.clone(), owned(b)))
+                                .collect(),
+                        }
+                    }
+                    LinTerm::BigInj { index, .. } => LinTerm::BigInj {
+                        index: index.clone(),
+                        body: out.pop().expect("body result"),
+                    },
+                    LinTerm::LetBigInj { nl_var, var: v, .. } => {
+                        let body = out.pop().expect("body result");
+                        let scrutinee = out.pop().expect("scrutinee result");
+                        LinTerm::LetBigInj {
+                            scrutinee,
+                            nl_var: nl_var.clone(),
+                            var: v.clone(),
+                            body,
+                        }
+                    }
+                    LinTerm::BigLam { var: v, .. } => LinTerm::BigLam {
+                        var: v.clone(),
+                        body: out.pop().expect("body result"),
+                    },
+                    LinTerm::BigProj { index, .. } => LinTerm::BigProj {
+                        scrutinee: out.pop().expect("scrutinee result"),
+                        index: index.clone(),
+                    },
+                    LinTerm::Tuple(ts) => {
+                        let results = out.split_off(out.len() - ts.len());
+                        LinTerm::Tuple(results.into_iter().map(owned).collect())
+                    }
+                    LinTerm::Proj { index, .. } => LinTerm::Proj {
+                        scrutinee: out.pop().expect("scrutinee result"),
+                        index: *index,
+                    },
+                    LinTerm::Ctor {
+                        data,
+                        ctor,
+                        nl_args,
+                        lin_args,
+                    } => {
+                        let results = out.split_off(out.len() - lin_args.len());
+                        LinTerm::Ctor {
+                            data: data.clone(),
+                            ctor: ctor.clone(),
+                            nl_args: nl_args.clone(),
+                            lin_args: results.into_iter().map(owned).collect(),
+                        }
+                    }
+                    LinTerm::Fold {
+                        data,
+                        motive,
+                        clauses,
+                        ..
+                    } => {
+                        let scrutinee = out.pop().expect("scrutinee result");
+                        let results = out.split_off(out.len() - clauses.len());
+                        LinTerm::Fold {
+                            data: data.clone(),
+                            motive: motive.clone(),
+                            clauses: clauses
+                                .iter()
+                                .zip(results)
+                                .map(|(c, body)| FoldClause {
+                                    nl_vars: c.nl_vars.clone(),
+                                    lin_vars: c.lin_vars.clone(),
+                                    body,
+                                })
+                                .collect(),
+                            scrutinee,
+                        }
+                    }
+                    LinTerm::EqIntro(_) => LinTerm::EqIntro(out.pop().expect("inner result")),
+                    LinTerm::EqProj(_) => LinTerm::EqProj(out.pop().expect("inner result")),
+                };
+                out.push(Arc::new(built));
+            }
+        }
+    }
+    let result = out.pop().expect("root result");
+    debug_assert!(out.is_empty(), "all intermediate results consumed");
+    owned(result)
+}
+
+/// The recursive reference implementation of [`subst_lin`], kept as the
+/// executable specification (property tests compare the two) and for
+/// callers that know their terms are shallow.
+pub fn subst_lin_recursive(term: &LinTerm, var: &str, replacement: &LinTerm) -> LinTerm {
+    let s = |t: &LinTerm| subst_lin_recursive(t, var, replacement);
+    let sr = |t: &Arc<LinTerm>| Arc::new(subst_lin_recursive(t, var, replacement));
     match term {
         LinTerm::Var(x) => {
             if x == var {
@@ -132,7 +421,7 @@ pub fn subst_lin(term: &LinTerm, var: &str, replacement: &LinTerm) -> LinTerm {
                     body: if c.lin_vars.iter().any(|v| v == var) {
                         c.body.clone()
                     } else {
-                        Arc::new(subst_lin(&c.body, var, replacement))
+                        Arc::new(subst_lin_recursive(&c.body, var, replacement))
                     },
                 })
                 .collect(),

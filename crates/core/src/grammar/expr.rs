@@ -151,28 +151,35 @@ pub enum GrammarExpr {
 }
 
 /// The literal grammar `'c'`.
+///
+/// All constructor helpers in this module hash-cons through
+/// [`crate::intern`]: structurally equal grammars built independently
+/// are the *same* `Arc`, so downstream `Arc`-address memo tables (the
+/// [`CompiledGrammar`](crate::grammar::compile::CompiledGrammar)
+/// builder, engine caches) share work across equal subtrees, and
+/// equality checks hit the pointer fast path.
 pub fn chr(sym: Symbol) -> Grammar {
-    Arc::new(GrammarExpr::Char(sym))
+    crate::intern::canon_grammar(&GrammarExpr::Char(sym))
 }
 
 /// The unit grammar `I` (empty string only).
 pub fn eps() -> Grammar {
-    Arc::new(GrammarExpr::Eps)
+    crate::intern::canon_grammar(&GrammarExpr::Eps)
 }
 
 /// The empty grammar `0`.
 pub fn bot() -> Grammar {
-    Arc::new(GrammarExpr::Bot)
+    crate::intern::canon_grammar(&GrammarExpr::Bot)
 }
 
 /// The full grammar `⊤`.
 pub fn top() -> Grammar {
-    Arc::new(GrammarExpr::Top)
+    crate::intern::canon_grammar(&GrammarExpr::Top)
 }
 
 /// Tensor product `a ⊗ b`.
 pub fn tensor(a: Grammar, b: Grammar) -> Grammar {
-    Arc::new(GrammarExpr::Tensor(a, b))
+    crate::intern::canon_grammar(&GrammarExpr::Tensor(a, b))
 }
 
 /// Right-nested tensor of a sequence: `seq([a, b, c]) = a ⊗ (b ⊗ c)`;
@@ -190,7 +197,7 @@ where
 
 /// Indexed disjunction `⊕_i gs[i]`. `plus(vec![])` is `0`.
 pub fn plus(gs: Vec<Grammar>) -> Grammar {
-    Arc::new(GrammarExpr::Plus(gs))
+    crate::intern::canon_grammar(&GrammarExpr::Plus(gs))
 }
 
 /// Binary disjunction `a ⊕ b`.
@@ -200,7 +207,7 @@ pub fn alt(a: Grammar, b: Grammar) -> Grammar {
 
 /// Indexed conjunction `&_i gs[i]`. `with(vec![])` is `⊤`.
 pub fn with(gs: Vec<Grammar>) -> Grammar {
-    Arc::new(GrammarExpr::With(gs))
+    crate::intern::canon_grammar(&GrammarExpr::With(gs))
 }
 
 /// Binary conjunction `a & b`.
@@ -210,7 +217,7 @@ pub fn and(a: Grammar, b: Grammar) -> Grammar {
 
 /// Recursion variable `Var(i)`; only meaningful inside a [`MuSystem`] body.
 pub fn var(i: usize) -> Grammar {
-    Arc::new(GrammarExpr::Var(i))
+    crate::intern::canon_grammar(&GrammarExpr::Var(i))
 }
 
 /// Entry `entry` of the inductive system `system`.
@@ -220,7 +227,7 @@ pub fn var(i: usize) -> Grammar {
 /// Panics if `entry` is out of range for the system.
 pub fn mu(system: Arc<MuSystem>, entry: usize) -> Grammar {
     assert!(entry < system.len(), "mu entry out of range");
-    Arc::new(GrammarExpr::Mu { system, entry })
+    crate::intern::canon_grammar(&GrammarExpr::Mu { system, entry })
 }
 
 /// Kleene star `A*` as the inductive type of Fig. 2:

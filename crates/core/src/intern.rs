@@ -1,0 +1,1321 @@
+//! Hash-consed interning of the syntax and grammar layers.
+//!
+//! Every [`LinType`], [`LinTerm`], [`NlType`], [`NlTerm`] and
+//! [`GrammarExpr`] can be *interned*: structurally equal nodes are
+//! deduplicated into a global append-only arena at construction time, and
+//! each node is identified by a small copyable id ([`TypeId`], [`TermId`],
+//! [`NlTypeId`], [`NlTermId`], [`GrammarId`]). Two interned nodes are
+//! structurally equal **iff** their ids are equal, so
+//!
+//! * equality is an integer compare (`TypeId: Eq` is `u32 == u32`);
+//! * hashing is O(1) (hash the id, not the tree);
+//! * the canonical [`Arc`] behind an id is shared by every owner, so the
+//!   pointer-equality fast paths in
+//!   [`lin_type_equal`](crate::syntax::types::lin_type_equal) and
+//!   `Arc`-address memo tables (e.g. the
+//!   [`CompiledGrammar`](crate::grammar::compile::CompiledGrammar)
+//!   builder) hit on the first level of any two interned trees.
+//!
+//! The constructor helpers of [`crate::syntax::types`] and
+//! [`crate::grammar::expr`] route through this module, so code using them
+//! gets sharing without ever naming an id. The arena is global and
+//! append-only — canonical nodes are never freed. This is the standard
+//! proof-kernel trade-off: types and terms are tiny compared to charts
+//! and parse forests, and permanence is exactly what makes the
+//! address-based fast paths sound (a live canonical allocation's address
+//! can never be reused by a different node).
+//!
+//! The module also hosts the id-keyed memo caches used by the checker and
+//! evaluator: substitution of non-linear terms into linear types
+//! ([`subst_type`]) and partial normalization of index terms
+//! ([`nl_normal_id`]). Both are keyed by ids, so repeated work on shared
+//! subtrees — the hallmark of indexed types under `⊕`/`&` elimination —
+//! is paid once.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::grammar::expr::{Grammar, GrammarExpr, MuSystem};
+use crate::syntax::nonlinear::{NlTerm, NlType};
+use crate::syntax::terms::{FoldClause, LinTerm};
+use crate::syntax::types::LinType;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// The raw arena index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// An interned string (variable, constructor or family name).
+    Istr
+);
+id_newtype!(
+    /// An interned [`NlType`].
+    NlTypeId
+);
+id_newtype!(
+    /// An interned [`NlTerm`].
+    NlTermId
+);
+id_newtype!(
+    /// An interned [`LinType`].
+    TypeId
+);
+id_newtype!(
+    /// An interned [`LinTerm`].
+    TermId
+);
+id_newtype!(
+    /// An interned [`GrammarExpr`].
+    GrammarId
+);
+id_newtype!(
+    /// An interned [`Alphabet`] (by its ordered symbol-name list).
+    AlphabetId
+);
+
+/// The address of a value, used as a key for "is this the canonical
+/// node?" lookups. Only addresses of `Arc`s (or of values owned by
+/// `Arc`s) retained forever by the interner are ever *inserted*, so a
+/// hit proves the reference is the canonical node.
+fn addr<T: ?Sized>(r: &T) -> usize {
+    r as *const T as *const () as usize
+}
+
+// ---------------------------------------------------------------------------
+// Node mirrors: one enum per interned kind, holding child *ids* so that
+// node keys hash and compare in O(1) per node.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum NlTyN {
+    Unit,
+    Bool,
+    Nat,
+    Fin(usize),
+    Prod(NlTypeId, NlTypeId),
+    Fun(NlTypeId, NlTypeId),
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum NlTmN {
+    Var(Istr),
+    UnitVal,
+    BoolLit(bool),
+    NatLit(u64),
+    Succ(NlTermId),
+    FinLit(usize, usize),
+    Pair(NlTermId, NlTermId),
+    Fst(NlTermId),
+    Snd(NlTermId),
+    Lam(Istr, NlTypeId, NlTermId),
+    App(NlTermId, NlTermId),
+    If(NlTermId, NlTermId, NlTermId),
+    NatRec {
+        zero: NlTermId,
+        n_var: Istr,
+        ih_var: Istr,
+        succ: NlTermId,
+        scrutinee: NlTermId,
+    },
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum TyN {
+    Char(Symbol),
+    Unit,
+    Zero,
+    Top,
+    Tensor(TypeId, TypeId),
+    LFun(TypeId, TypeId),
+    RFun(TypeId, TypeId),
+    Plus(Vec<TypeId>),
+    With(Vec<TypeId>),
+    BigPlus(Istr, NlTypeId, TypeId),
+    BigWith(Istr, NlTypeId, TypeId),
+    Data(Istr, Vec<NlTermId>),
+    Equalizer(TypeId, Istr, Istr),
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ClauseN {
+    nl_vars: Vec<Istr>,
+    lin_vars: Vec<Istr>,
+    body: TermId,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum TmN {
+    Var(Istr),
+    Global(Istr),
+    UnitIntro,
+    LetUnit(TermId, TermId),
+    Pair(TermId, TermId),
+    LetPair {
+        scrutinee: TermId,
+        left: Istr,
+        right: Istr,
+        body: TermId,
+    },
+    Lam(Istr, TypeId, TermId),
+    App(TermId, TermId),
+    LamL(Istr, TypeId, TermId),
+    AppL(TermId, TermId),
+    Inj(usize, usize, TermId),
+    Case(TermId, Vec<(Istr, TermId)>),
+    BigInj(NlTermId, TermId),
+    LetBigInj {
+        scrutinee: TermId,
+        nl_var: Istr,
+        var: Istr,
+        body: TermId,
+    },
+    BigLam(Istr, TermId),
+    BigProj(TermId, NlTermId),
+    Tuple(Vec<TermId>),
+    Proj(TermId, usize),
+    Ctor {
+        data: Istr,
+        ctor: Istr,
+        nl_args: Vec<NlTermId>,
+        lin_args: Vec<TermId>,
+    },
+    Fold {
+        data: Istr,
+        motive: TypeId,
+        clauses: Vec<ClauseN>,
+        scrutinee: TermId,
+    },
+    EqIntro(TermId),
+    EqProj(TermId),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct MuSysId(u32);
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum GrN {
+    Char(Symbol),
+    Eps,
+    Bot,
+    Top,
+    Tensor(GrammarId, GrammarId),
+    Plus(Vec<GrammarId>),
+    With(Vec<GrammarId>),
+    Var(usize),
+    Mu(MuSysId, usize),
+}
+
+// ---------------------------------------------------------------------------
+// The store: one per interned kind.
+// ---------------------------------------------------------------------------
+
+/// One hash-consing arena: node-key → id, id → (node, canonical `Arc`),
+/// plus an address index over the canonical allocations for O(1)
+/// re-interning of already-canonical references.
+///
+/// Each `intern_*` method on [`Inner`] follows the same discipline:
+/// look up `ids`, materialize the canonical value from already-canonical
+/// children on a miss, register the canonical allocation's address (and
+/// the addresses of its inline `Vec` children) in `by_ptr`, and append
+/// to `ids`/`canon` — plus `nodes` for the kinds whose id → node view
+/// feeds a memo cache (`ty` and `nltm`, used by the substitution and
+/// normalization caches). `nodes` stays empty for the other kinds.
+struct Store<N, T: ?Sized> {
+    ids: HashMap<N, u32>,
+    nodes: Vec<N>,
+    canon: Vec<Arc<T>>,
+    by_ptr: HashMap<usize, u32>,
+}
+
+impl<N, T: ?Sized> Default for Store<N, T> {
+    fn default() -> Self {
+        Store {
+            ids: HashMap::new(),
+            nodes: Vec::new(),
+            canon: Vec::new(),
+            by_ptr: HashMap::new(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    str_ids: HashMap<Arc<str>, u32>,
+    strs: Vec<Arc<str>>,
+    nlty: Store<NlTyN, NlType>,
+    nltm: Store<NlTmN, NlTerm>,
+    ty: Store<TyN, LinType>,
+    tm: Store<TmN, LinTerm>,
+    gr: Store<GrN, GrammarExpr>,
+    musys: Vec<Arc<MuSystem>>,
+    musys_ids: HashMap<(Vec<GrammarId>, Vec<Istr>), u32>,
+    musys_by_ptr: HashMap<usize, u32>,
+    alphabets: HashMap<Vec<Istr>, u32>,
+    next_alphabet: u32,
+    alpha_by_ptr: HashMap<usize, u32>,
+    /// Name tables whose addresses are registered in `alpha_by_ptr`.
+    alpha_keepalive: Vec<Arc<Vec<String>>>,
+    subst_ty: HashMap<(TypeId, Istr, NlTermId), TypeId>,
+    subst_nl: HashMap<(NlTermId, Istr, NlTermId), NlTermId>,
+    nl_normal: HashMap<NlTermId, NlTermId>,
+}
+
+static INTERNER: OnceLock<Mutex<Inner>> = OnceLock::new();
+
+fn with<R>(f: impl FnOnce(&mut Inner) -> R) -> R {
+    let m = INTERNER.get_or_init(|| Mutex::new(Inner::default()));
+    let mut guard = match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut guard)
+}
+
+impl Inner {
+    // -- strings ----------------------------------------------------------
+
+    fn istr(&mut self, s: &str) -> Istr {
+        if let Some(&id) = self.str_ids.get(s) {
+            return Istr(id);
+        }
+        let id = self.strs.len() as u32;
+        let arc: Arc<str> = Arc::from(s);
+        self.strs.push(arc.clone());
+        self.str_ids.insert(arc, id);
+        Istr(id)
+    }
+
+    fn str_of(&self, i: Istr) -> Arc<str> {
+        self.strs[i.index()].clone()
+    }
+
+    fn owned(&self, i: Istr) -> String {
+        self.strs[i.index()].to_string()
+    }
+
+    // -- non-linear types -------------------------------------------------
+
+    fn nlty_of(&mut self, ty: &NlType) -> NlTypeId {
+        if let Some(&id) = self.nlty.by_ptr.get(&addr(ty)) {
+            return NlTypeId(id);
+        }
+        let node = match ty {
+            NlType::Unit => NlTyN::Unit,
+            NlType::Bool => NlTyN::Bool,
+            NlType::Nat => NlTyN::Nat,
+            NlType::Fin(n) => NlTyN::Fin(*n),
+            NlType::Prod(a, b) => NlTyN::Prod(self.nlty_of(a), self.nlty_of(b)),
+            NlType::Fun(a, b) => NlTyN::Fun(self.nlty_of(a), self.nlty_of(b)),
+        };
+        self.intern_nlty(node)
+    }
+
+    fn intern_nlty(&mut self, node: NlTyN) -> NlTypeId {
+        if let Some(&id) = self.nlty.ids.get(&node) {
+            return NlTypeId(id);
+        }
+        let canon = Arc::new(match &node {
+            NlTyN::Unit => NlType::Unit,
+            NlTyN::Bool => NlType::Bool,
+            NlTyN::Nat => NlType::Nat,
+            NlTyN::Fin(n) => NlType::Fin(*n),
+            NlTyN::Prod(a, b) => NlType::Prod(
+                self.nlty.canon[a.index()].clone(),
+                self.nlty.canon[b.index()].clone(),
+            ),
+            NlTyN::Fun(a, b) => NlType::Fun(
+                self.nlty.canon[a.index()].clone(),
+                self.nlty.canon[b.index()].clone(),
+            ),
+        });
+        let id = self.nlty.canon.len() as u32;
+        self.nlty.by_ptr.insert(addr(&*canon), id);
+        self.nlty.ids.insert(node, id);
+        self.nlty.canon.push(canon);
+        NlTypeId(id)
+    }
+
+    // -- non-linear terms -------------------------------------------------
+
+    fn nltm_of(&mut self, t: &NlTerm) -> NlTermId {
+        if let Some(&id) = self.nltm.by_ptr.get(&addr(t)) {
+            return NlTermId(id);
+        }
+        let node = match t {
+            NlTerm::Var(x) => NlTmN::Var(self.istr(x)),
+            NlTerm::UnitVal => NlTmN::UnitVal,
+            NlTerm::BoolLit(b) => NlTmN::BoolLit(*b),
+            NlTerm::NatLit(n) => NlTmN::NatLit(*n),
+            NlTerm::Succ(t) => NlTmN::Succ(self.nltm_of(t)),
+            NlTerm::FinLit { value, modulus } => NlTmN::FinLit(*value, *modulus),
+            NlTerm::Pair(a, b) => NlTmN::Pair(self.nltm_of(a), self.nltm_of(b)),
+            NlTerm::Fst(t) => NlTmN::Fst(self.nltm_of(t)),
+            NlTerm::Snd(t) => NlTmN::Snd(self.nltm_of(t)),
+            NlTerm::Lam { var, ty, body } => {
+                NlTmN::Lam(self.istr(var), self.nlty_of(ty), self.nltm_of(body))
+            }
+            NlTerm::App(f, x) => NlTmN::App(self.nltm_of(f), self.nltm_of(x)),
+            NlTerm::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => NlTmN::If(
+                self.nltm_of(cond),
+                self.nltm_of(then_branch),
+                self.nltm_of(else_branch),
+            ),
+            NlTerm::NatRec {
+                zero,
+                n_var,
+                ih_var,
+                succ,
+                scrutinee,
+            } => NlTmN::NatRec {
+                zero: self.nltm_of(zero),
+                n_var: self.istr(n_var),
+                ih_var: self.istr(ih_var),
+                succ: self.nltm_of(succ),
+                scrutinee: self.nltm_of(scrutinee),
+            },
+        };
+        self.intern_nltm(node)
+    }
+
+    fn intern_nltm(&mut self, node: NlTmN) -> NlTermId {
+        if let Some(&id) = self.nltm.ids.get(&node) {
+            return NlTermId(id);
+        }
+        // Materialize outside `Store::intern` because children may need
+        // string resolution from `self`.
+        let canon = Arc::new(self.build_nltm(&node));
+        let id = self.nltm.canon.len() as u32;
+        self.nltm.by_ptr.insert(addr(&*canon), id);
+        self.nltm.ids.insert(node.clone(), id);
+        self.nltm.nodes.push(node);
+        self.nltm.canon.push(canon);
+        NlTermId(id)
+    }
+
+    fn build_nltm(&self, n: &NlTmN) -> NlTerm {
+        let c = |id: &NlTermId| self.nltm.canon[id.index()].clone();
+        match n {
+            NlTmN::Var(x) => NlTerm::Var(self.owned(*x)),
+            NlTmN::UnitVal => NlTerm::UnitVal,
+            NlTmN::BoolLit(b) => NlTerm::BoolLit(*b),
+            NlTmN::NatLit(v) => NlTerm::NatLit(*v),
+            NlTmN::Succ(t) => NlTerm::Succ(c(t)),
+            NlTmN::FinLit(value, modulus) => NlTerm::FinLit {
+                value: *value,
+                modulus: *modulus,
+            },
+            NlTmN::Pair(a, b) => NlTerm::Pair(c(a), c(b)),
+            NlTmN::Fst(t) => NlTerm::Fst(c(t)),
+            NlTmN::Snd(t) => NlTerm::Snd(c(t)),
+            NlTmN::Lam(v, ty, body) => NlTerm::Lam {
+                var: self.owned(*v),
+                ty: self.nlty.canon[ty.index()].clone(),
+                body: c(body),
+            },
+            NlTmN::App(f, x) => NlTerm::App(c(f), c(x)),
+            NlTmN::If(a, b, d) => NlTerm::If {
+                cond: c(a),
+                then_branch: c(b),
+                else_branch: c(d),
+            },
+            NlTmN::NatRec {
+                zero,
+                n_var,
+                ih_var,
+                succ,
+                scrutinee,
+            } => NlTerm::NatRec {
+                zero: c(zero),
+                n_var: self.owned(*n_var),
+                ih_var: self.owned(*ih_var),
+                succ: c(succ),
+                scrutinee: c(scrutinee),
+            },
+        }
+    }
+
+    // -- linear types -----------------------------------------------------
+
+    fn ty_of(&mut self, ty: &LinType) -> TypeId {
+        if let Some(&id) = self.ty.by_ptr.get(&addr(ty)) {
+            return TypeId(id);
+        }
+        let node = match ty {
+            LinType::Char(c) => TyN::Char(*c),
+            LinType::Unit => TyN::Unit,
+            LinType::Zero => TyN::Zero,
+            LinType::Top => TyN::Top,
+            LinType::Tensor(a, b) => TyN::Tensor(self.ty_of(a), self.ty_of(b)),
+            LinType::LFun(a, b) => TyN::LFun(self.ty_of(a), self.ty_of(b)),
+            LinType::RFun(a, b) => TyN::RFun(self.ty_of(a), self.ty_of(b)),
+            LinType::Plus(ts) => TyN::Plus(ts.iter().map(|t| self.ty_of(t)).collect()),
+            LinType::With(ts) => TyN::With(ts.iter().map(|t| self.ty_of(t)).collect()),
+            LinType::BigPlus { var, index, body } => {
+                TyN::BigPlus(self.istr(var), self.nlty_of(index), self.ty_of(body))
+            }
+            LinType::BigWith { var, index, body } => {
+                TyN::BigWith(self.istr(var), self.nlty_of(index), self.ty_of(body))
+            }
+            LinType::Data { name, args } => TyN::Data(
+                self.istr(name),
+                args.iter().map(|a| self.nltm_of(a)).collect(),
+            ),
+            LinType::Equalizer { base, lhs, rhs } => {
+                TyN::Equalizer(self.ty_of(base), self.istr(lhs), self.istr(rhs))
+            }
+        };
+        self.intern_ty(node)
+    }
+
+    fn intern_ty(&mut self, node: TyN) -> TypeId {
+        if let Some(&id) = self.ty.ids.get(&node) {
+            return TypeId(id);
+        }
+        let canon = Arc::new(self.build_ty(&node));
+        let id = self.ty.canon.len() as u32;
+        self.ty.by_ptr.insert(addr(&*canon), id);
+        // Register the inline `Vec` elements of ⊕/& so that re-interning
+        // a canonical n-ary node's children stays O(1) per child.
+        match (&*canon, &node) {
+            (LinType::Plus(ts), TyN::Plus(ids)) | (LinType::With(ts), TyN::With(ids)) => {
+                for (t, cid) in ts.iter().zip(ids) {
+                    self.ty.by_ptr.insert(addr(t), cid.0);
+                }
+            }
+            _ => {}
+        }
+        self.ty.ids.insert(node.clone(), id);
+        self.ty.nodes.push(node);
+        self.ty.canon.push(canon);
+        TypeId(id)
+    }
+
+    fn build_ty(&self, n: &TyN) -> LinType {
+        let c = |id: &TypeId| self.ty.canon[id.index()].clone();
+        // Inline n-ary children are shallow clones of their canonical
+        // nodes: their own children remain canonical `Arc`s.
+        let cv = |ids: &[TypeId]| -> Vec<LinType> {
+            ids.iter()
+                .map(|id| (*self.ty.canon[id.index()]).clone())
+                .collect()
+        };
+        match n {
+            TyN::Char(s) => LinType::Char(*s),
+            TyN::Unit => LinType::Unit,
+            TyN::Zero => LinType::Zero,
+            TyN::Top => LinType::Top,
+            TyN::Tensor(a, b) => LinType::Tensor(c(a), c(b)),
+            TyN::LFun(a, b) => LinType::LFun(c(a), c(b)),
+            TyN::RFun(a, b) => LinType::RFun(c(a), c(b)),
+            TyN::Plus(ids) => LinType::Plus(cv(ids)),
+            TyN::With(ids) => LinType::With(cv(ids)),
+            TyN::BigPlus(v, ix, body) => LinType::BigPlus {
+                var: self.owned(*v),
+                index: self.nlty.canon[ix.index()].clone(),
+                body: c(body),
+            },
+            TyN::BigWith(v, ix, body) => LinType::BigWith {
+                var: self.owned(*v),
+                index: self.nlty.canon[ix.index()].clone(),
+                body: c(body),
+            },
+            TyN::Data(name, args) => LinType::Data {
+                name: self.owned(*name),
+                args: args
+                    .iter()
+                    .map(|a| (*self.nltm.canon[a.index()]).clone())
+                    .collect(),
+            },
+            TyN::Equalizer(base, lhs, rhs) => LinType::Equalizer {
+                base: c(base),
+                lhs: self.owned(*lhs),
+                rhs: self.owned(*rhs),
+            },
+        }
+    }
+
+    // -- linear terms -----------------------------------------------------
+
+    fn tm_of(&mut self, t: &LinTerm) -> TermId {
+        if let Some(&id) = self.tm.by_ptr.get(&addr(t)) {
+            return TermId(id);
+        }
+        let node = match t {
+            LinTerm::Var(x) => TmN::Var(self.istr(x)),
+            LinTerm::Global(g) => TmN::Global(self.istr(g)),
+            LinTerm::UnitIntro => TmN::UnitIntro,
+            LinTerm::LetUnit { scrutinee, body } => {
+                TmN::LetUnit(self.tm_of(scrutinee), self.tm_of(body))
+            }
+            LinTerm::Pair(a, b) => TmN::Pair(self.tm_of(a), self.tm_of(b)),
+            LinTerm::LetPair {
+                scrutinee,
+                left,
+                right,
+                body,
+            } => TmN::LetPair {
+                scrutinee: self.tm_of(scrutinee),
+                left: self.istr(left),
+                right: self.istr(right),
+                body: self.tm_of(body),
+            },
+            LinTerm::Lam { var, dom, body } => {
+                TmN::Lam(self.istr(var), self.ty_of(dom), self.tm_of(body))
+            }
+            LinTerm::App(f, x) => TmN::App(self.tm_of(f), self.tm_of(x)),
+            LinTerm::LamL { var, dom, body } => {
+                TmN::LamL(self.istr(var), self.ty_of(dom), self.tm_of(body))
+            }
+            LinTerm::AppL { arg, fun } => TmN::AppL(self.tm_of(arg), self.tm_of(fun)),
+            LinTerm::Inj { index, arity, body } => TmN::Inj(*index, *arity, self.tm_of(body)),
+            LinTerm::Case {
+                scrutinee,
+                branches,
+            } => TmN::Case(
+                self.tm_of(scrutinee),
+                branches
+                    .iter()
+                    .map(|(v, b)| (self.istr(v), self.tm_of(b)))
+                    .collect(),
+            ),
+            LinTerm::BigInj { index, body } => TmN::BigInj(self.nltm_of(index), self.tm_of(body)),
+            LinTerm::LetBigInj {
+                scrutinee,
+                nl_var,
+                var,
+                body,
+            } => TmN::LetBigInj {
+                scrutinee: self.tm_of(scrutinee),
+                nl_var: self.istr(nl_var),
+                var: self.istr(var),
+                body: self.tm_of(body),
+            },
+            LinTerm::BigLam { var, body } => TmN::BigLam(self.istr(var), self.tm_of(body)),
+            LinTerm::BigProj { scrutinee, index } => {
+                TmN::BigProj(self.tm_of(scrutinee), self.nltm_of(index))
+            }
+            LinTerm::Tuple(ts) => TmN::Tuple(ts.iter().map(|t| self.tm_of(t)).collect()),
+            LinTerm::Proj { scrutinee, index } => TmN::Proj(self.tm_of(scrutinee), *index),
+            LinTerm::Ctor {
+                data,
+                ctor,
+                nl_args,
+                lin_args,
+            } => TmN::Ctor {
+                data: self.istr(data),
+                ctor: self.istr(ctor),
+                nl_args: nl_args.iter().map(|a| self.nltm_of(a)).collect(),
+                lin_args: lin_args.iter().map(|a| self.tm_of(a)).collect(),
+            },
+            LinTerm::Fold {
+                data,
+                motive,
+                clauses,
+                scrutinee,
+            } => TmN::Fold {
+                data: self.istr(data),
+                motive: self.ty_of(motive),
+                clauses: clauses
+                    .iter()
+                    .map(|cl| ClauseN {
+                        nl_vars: cl.nl_vars.iter().map(|v| self.istr(v)).collect(),
+                        lin_vars: cl.lin_vars.iter().map(|v| self.istr(v)).collect(),
+                        body: self.tm_of(&cl.body),
+                    })
+                    .collect(),
+                scrutinee: self.tm_of(scrutinee),
+            },
+            LinTerm::EqIntro(t) => TmN::EqIntro(self.tm_of(t)),
+            LinTerm::EqProj(t) => TmN::EqProj(self.tm_of(t)),
+        };
+        self.intern_tm(node)
+    }
+
+    fn intern_tm(&mut self, node: TmN) -> TermId {
+        if let Some(&id) = self.tm.ids.get(&node) {
+            return TermId(id);
+        }
+        let canon = Arc::new(self.build_tm(&node));
+        let id = self.tm.canon.len() as u32;
+        self.tm.by_ptr.insert(addr(&*canon), id);
+        match (&*canon, &node) {
+            (LinTerm::Tuple(ts), TmN::Tuple(ids)) => {
+                for (t, cid) in ts.iter().zip(ids) {
+                    self.tm.by_ptr.insert(addr(t), cid.0);
+                }
+            }
+            (LinTerm::Case { branches, .. }, TmN::Case(_, bs)) => {
+                for ((_, b), (_, cid)) in branches.iter().zip(bs) {
+                    self.tm.by_ptr.insert(addr(b), cid.0);
+                }
+            }
+            (LinTerm::Ctor { lin_args, .. }, TmN::Ctor { lin_args: ids, .. }) => {
+                for (t, cid) in lin_args.iter().zip(ids) {
+                    self.tm.by_ptr.insert(addr(t), cid.0);
+                }
+            }
+            _ => {}
+        }
+        // `tm.nodes` is left empty: no id-level traversal consumes term
+        // nodes (unlike `ty`/`nltm`, whose nodes feed the memo caches).
+        self.tm.ids.insert(node, id);
+        self.tm.canon.push(canon);
+        TermId(id)
+    }
+
+    fn build_tm(&self, n: &TmN) -> LinTerm {
+        let c = |id: &TermId| self.tm.canon[id.index()].clone();
+        let co = |id: &TermId| (*self.tm.canon[id.index()]).clone();
+        let nt = |id: &NlTermId| (*self.nltm.canon[id.index()]).clone();
+        match n {
+            TmN::Var(x) => LinTerm::Var(self.owned(*x)),
+            TmN::Global(g) => LinTerm::Global(self.owned(*g)),
+            TmN::UnitIntro => LinTerm::UnitIntro,
+            TmN::LetUnit(s, b) => LinTerm::LetUnit {
+                scrutinee: c(s),
+                body: c(b),
+            },
+            TmN::Pair(a, b) => LinTerm::Pair(c(a), c(b)),
+            TmN::LetPair {
+                scrutinee,
+                left,
+                right,
+                body,
+            } => LinTerm::LetPair {
+                scrutinee: c(scrutinee),
+                left: self.owned(*left),
+                right: self.owned(*right),
+                body: c(body),
+            },
+            TmN::Lam(v, dom, body) => LinTerm::Lam {
+                var: self.owned(*v),
+                dom: self.ty.canon[dom.index()].clone(),
+                body: c(body),
+            },
+            TmN::App(f, x) => LinTerm::App(c(f), c(x)),
+            TmN::LamL(v, dom, body) => LinTerm::LamL {
+                var: self.owned(*v),
+                dom: self.ty.canon[dom.index()].clone(),
+                body: c(body),
+            },
+            TmN::AppL(arg, fun) => LinTerm::AppL {
+                arg: c(arg),
+                fun: c(fun),
+            },
+            TmN::Inj(index, arity, body) => LinTerm::Inj {
+                index: *index,
+                arity: *arity,
+                body: c(body),
+            },
+            TmN::Case(s, bs) => LinTerm::Case {
+                scrutinee: c(s),
+                branches: bs.iter().map(|(v, b)| (self.owned(*v), co(b))).collect(),
+            },
+            TmN::BigInj(ix, body) => LinTerm::BigInj {
+                index: nt(ix),
+                body: c(body),
+            },
+            TmN::LetBigInj {
+                scrutinee,
+                nl_var,
+                var,
+                body,
+            } => LinTerm::LetBigInj {
+                scrutinee: c(scrutinee),
+                nl_var: self.owned(*nl_var),
+                var: self.owned(*var),
+                body: c(body),
+            },
+            TmN::BigLam(v, body) => LinTerm::BigLam {
+                var: self.owned(*v),
+                body: c(body),
+            },
+            TmN::BigProj(s, ix) => LinTerm::BigProj {
+                scrutinee: c(s),
+                index: nt(ix),
+            },
+            TmN::Tuple(ids) => LinTerm::Tuple(ids.iter().map(co).collect()),
+            TmN::Proj(s, index) => LinTerm::Proj {
+                scrutinee: c(s),
+                index: *index,
+            },
+            TmN::Ctor {
+                data,
+                ctor,
+                nl_args,
+                lin_args,
+            } => LinTerm::Ctor {
+                data: self.owned(*data),
+                ctor: self.owned(*ctor),
+                nl_args: nl_args.iter().map(nt).collect(),
+                lin_args: lin_args.iter().map(co).collect(),
+            },
+            TmN::Fold {
+                data,
+                motive,
+                clauses,
+                scrutinee,
+            } => LinTerm::Fold {
+                data: self.owned(*data),
+                motive: self.ty.canon[motive.index()].clone(),
+                clauses: clauses
+                    .iter()
+                    .map(|cl| FoldClause {
+                        nl_vars: cl.nl_vars.iter().map(|v| self.owned(*v)).collect(),
+                        lin_vars: cl.lin_vars.iter().map(|v| self.owned(*v)).collect(),
+                        body: c(&cl.body),
+                    })
+                    .collect(),
+                scrutinee: c(scrutinee),
+            },
+            TmN::EqIntro(t) => LinTerm::EqIntro(c(t)),
+            TmN::EqProj(t) => LinTerm::EqProj(c(t)),
+        }
+    }
+
+    // -- grammars ---------------------------------------------------------
+
+    fn musys_of(&mut self, sys: &Arc<MuSystem>) -> MuSysId {
+        let a = addr(&**sys);
+        if let Some(&id) = self.musys_by_ptr.get(&a) {
+            return MuSysId(id);
+        }
+        // Structural dedup: systems with equal (interned) definition
+        // bodies and names share one id, so independently built copies of
+        // e.g. `star('a')` intern to the same canonical grammar.
+        let key: (Vec<GrammarId>, Vec<Istr>) = (
+            sys.iter().map(|(_, d)| self.gr_of(d)).collect(),
+            (0..sys.len()).map(|i| self.istr(sys.name(i))).collect(),
+        );
+        match self.musys_ids.get(&key) {
+            // A structurally equal system already has an id. Do NOT
+            // register this instance's address or retain it: arena memory
+            // must grow with distinct shapes, not with how many times a
+            // caller rebuilds the same system. (The re-walk on the next
+            // call is O(defs) with O(1) per already-canonical body.)
+            Some(&id) => MuSysId(id),
+            None => {
+                let id = self.musys.len() as u32;
+                self.musys.push(sys.clone());
+                self.musys_ids.insert(key, id);
+                // Canonical instance: retained forever, so its address is
+                // a sound O(1) key.
+                self.musys_by_ptr.insert(a, id);
+                MuSysId(id)
+            }
+        }
+    }
+
+    fn gr_of(&mut self, g: &GrammarExpr) -> GrammarId {
+        if let Some(&id) = self.gr.by_ptr.get(&addr(g)) {
+            return GrammarId(id);
+        }
+        let node = match g {
+            GrammarExpr::Char(c) => GrN::Char(*c),
+            GrammarExpr::Eps => GrN::Eps,
+            GrammarExpr::Bot => GrN::Bot,
+            GrammarExpr::Top => GrN::Top,
+            GrammarExpr::Tensor(a, b) => GrN::Tensor(self.gr_of(a), self.gr_of(b)),
+            GrammarExpr::Plus(gs) => GrN::Plus(gs.iter().map(|g| self.gr_of(g)).collect()),
+            GrammarExpr::With(gs) => GrN::With(gs.iter().map(|g| self.gr_of(g)).collect()),
+            GrammarExpr::Var(i) => GrN::Var(*i),
+            GrammarExpr::Mu { system, entry } => GrN::Mu(self.musys_of(system), *entry),
+        };
+        self.intern_gr(node)
+    }
+
+    fn intern_gr(&mut self, node: GrN) -> GrammarId {
+        if let Some(&id) = self.gr.ids.get(&node) {
+            return GrammarId(id);
+        }
+        let c = |s: &Inner, id: &GrammarId| s.gr.canon[id.index()].clone();
+        let canon = Arc::new(match &node {
+            GrN::Char(sym) => GrammarExpr::Char(*sym),
+            GrN::Eps => GrammarExpr::Eps,
+            GrN::Bot => GrammarExpr::Bot,
+            GrN::Top => GrammarExpr::Top,
+            GrN::Tensor(a, b) => GrammarExpr::Tensor(c(self, a), c(self, b)),
+            GrN::Plus(ids) => GrammarExpr::Plus(ids.iter().map(|i| c(self, i)).collect()),
+            GrN::With(ids) => GrammarExpr::With(ids.iter().map(|i| c(self, i)).collect()),
+            GrN::Var(i) => GrammarExpr::Var(*i),
+            GrN::Mu(sys, entry) => GrammarExpr::Mu {
+                system: self.musys[sys.0 as usize].clone(),
+                entry: *entry,
+            },
+        });
+        let id = self.gr.canon.len() as u32;
+        self.gr.by_ptr.insert(addr(&*canon), id);
+        // `gr.nodes` is left empty: nothing traverses grammar nodes by id.
+        self.gr.ids.insert(node, id);
+        self.gr.canon.push(canon);
+        GrammarId(id)
+    }
+
+    // -- substitution & normalization caches ------------------------------
+
+    fn subst_nl_go(&mut self, id: NlTermId, var: Istr, repl: NlTermId) -> NlTermId {
+        if let Some(&r) = self.subst_nl.get(&(id, var, repl)) {
+            return r;
+        }
+        let node = self.nltm.nodes[id.index()].clone();
+        let out = match node {
+            NlTmN::Var(x) => {
+                if x == var {
+                    repl
+                } else {
+                    id
+                }
+            }
+            NlTmN::UnitVal | NlTmN::BoolLit(_) | NlTmN::NatLit(_) | NlTmN::FinLit(..) => id,
+            NlTmN::Succ(t) => {
+                let t = self.subst_nl_go(t, var, repl);
+                self.intern_nltm(NlTmN::Succ(t))
+            }
+            NlTmN::Pair(a, b) => {
+                let a = self.subst_nl_go(a, var, repl);
+                let b = self.subst_nl_go(b, var, repl);
+                self.intern_nltm(NlTmN::Pair(a, b))
+            }
+            NlTmN::Fst(t) => {
+                let t = self.subst_nl_go(t, var, repl);
+                self.intern_nltm(NlTmN::Fst(t))
+            }
+            NlTmN::Snd(t) => {
+                let t = self.subst_nl_go(t, var, repl);
+                self.intern_nltm(NlTmN::Snd(t))
+            }
+            NlTmN::Lam(v, ty, body) => {
+                if v == var {
+                    id
+                } else {
+                    let body = self.subst_nl_go(body, var, repl);
+                    self.intern_nltm(NlTmN::Lam(v, ty, body))
+                }
+            }
+            NlTmN::App(f, x) => {
+                let f = self.subst_nl_go(f, var, repl);
+                let x = self.subst_nl_go(x, var, repl);
+                self.intern_nltm(NlTmN::App(f, x))
+            }
+            NlTmN::If(c0, t, e) => {
+                let c0 = self.subst_nl_go(c0, var, repl);
+                let t = self.subst_nl_go(t, var, repl);
+                let e = self.subst_nl_go(e, var, repl);
+                self.intern_nltm(NlTmN::If(c0, t, e))
+            }
+            NlTmN::NatRec {
+                zero,
+                n_var,
+                ih_var,
+                succ,
+                scrutinee,
+            } => {
+                let zero = self.subst_nl_go(zero, var, repl);
+                let succ = if n_var == var || ih_var == var {
+                    succ
+                } else {
+                    self.subst_nl_go(succ, var, repl)
+                };
+                let scrutinee = self.subst_nl_go(scrutinee, var, repl);
+                self.intern_nltm(NlTmN::NatRec {
+                    zero,
+                    n_var,
+                    ih_var,
+                    succ,
+                    scrutinee,
+                })
+            }
+        };
+        self.subst_nl.insert((id, var, repl), out);
+        out
+    }
+
+    fn subst_ty_go(&mut self, id: TypeId, var: Istr, repl: NlTermId) -> TypeId {
+        if let Some(&r) = self.subst_ty.get(&(id, var, repl)) {
+            return r;
+        }
+        let node = self.ty.nodes[id.index()].clone();
+        let out = match node {
+            TyN::Char(_) | TyN::Unit | TyN::Zero | TyN::Top => id,
+            TyN::Tensor(a, b) => {
+                let a = self.subst_ty_go(a, var, repl);
+                let b = self.subst_ty_go(b, var, repl);
+                self.intern_ty(TyN::Tensor(a, b))
+            }
+            TyN::LFun(a, b) => {
+                let a = self.subst_ty_go(a, var, repl);
+                let b = self.subst_ty_go(b, var, repl);
+                self.intern_ty(TyN::LFun(a, b))
+            }
+            TyN::RFun(a, b) => {
+                let a = self.subst_ty_go(a, var, repl);
+                let b = self.subst_ty_go(b, var, repl);
+                self.intern_ty(TyN::RFun(a, b))
+            }
+            TyN::Plus(ids) => {
+                let ids = ids
+                    .iter()
+                    .map(|t| self.subst_ty_go(*t, var, repl))
+                    .collect();
+                self.intern_ty(TyN::Plus(ids))
+            }
+            TyN::With(ids) => {
+                let ids = ids
+                    .iter()
+                    .map(|t| self.subst_ty_go(*t, var, repl))
+                    .collect();
+                self.intern_ty(TyN::With(ids))
+            }
+            TyN::BigPlus(v, ix, body) => {
+                let body = if v == var {
+                    body
+                } else {
+                    self.subst_ty_go(body, var, repl)
+                };
+                self.intern_ty(TyN::BigPlus(v, ix, body))
+            }
+            TyN::BigWith(v, ix, body) => {
+                let body = if v == var {
+                    body
+                } else {
+                    self.subst_ty_go(body, var, repl)
+                };
+                self.intern_ty(TyN::BigWith(v, ix, body))
+            }
+            TyN::Data(name, args) => {
+                let args = args
+                    .iter()
+                    .map(|a| self.subst_nl_go(*a, var, repl))
+                    .collect();
+                self.intern_ty(TyN::Data(name, args))
+            }
+            TyN::Equalizer(base, lhs, rhs) => {
+                let base = self.subst_ty_go(base, var, repl);
+                self.intern_ty(TyN::Equalizer(base, lhs, rhs))
+            }
+        };
+        self.subst_ty.insert((id, var, repl), out);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+/// Interns a string, returning its id. Equal strings get equal ids.
+pub fn istr(s: &str) -> Istr {
+    with(|i| i.istr(s))
+}
+
+/// The string behind an [`Istr`].
+pub fn istr_str(i: Istr) -> Arc<str> {
+    with(|inner| inner.str_of(i))
+}
+
+/// Interns a non-linear type.
+pub fn nl_type_id(ty: &NlType) -> NlTypeId {
+    with(|i| i.nlty_of(ty))
+}
+
+/// The canonical form behind an [`NlTypeId`].
+pub fn nl_type(id: NlTypeId) -> Arc<NlType> {
+    with(|i| i.nlty.canon[id.index()].clone())
+}
+
+/// Interns a non-linear term.
+pub fn nl_term_id(t: &NlTerm) -> NlTermId {
+    with(|i| i.nltm_of(t))
+}
+
+/// The canonical form behind an [`NlTermId`].
+pub fn nl_term(id: NlTermId) -> Arc<NlTerm> {
+    with(|i| i.nltm.canon[id.index()].clone())
+}
+
+/// Interns a linear type: structurally equal types map to the same id.
+pub fn type_id(ty: &LinType) -> TypeId {
+    with(|i| i.ty_of(ty))
+}
+
+/// The canonical form behind a [`TypeId`]. O(1); the `Arc` (and every
+/// `Arc` inside it) is shared with all other owners of the same
+/// structure.
+pub fn lin_type(id: TypeId) -> Arc<LinType> {
+    with(|i| i.ty.canon[id.index()].clone())
+}
+
+/// Interns and resolves in one step: the canonical `Arc` of `ty`.
+pub fn canon_type(ty: &LinType) -> Arc<LinType> {
+    with(|i| {
+        let id = i.ty_of(ty);
+        i.ty.canon[id.index()].clone()
+    })
+}
+
+/// Interns a linear term: structurally equal terms map to the same id.
+pub fn term_id(t: &LinTerm) -> TermId {
+    with(|i| i.tm_of(t))
+}
+
+/// The canonical form behind a [`TermId`].
+pub fn lin_term(id: TermId) -> Arc<LinTerm> {
+    with(|i| i.tm.canon[id.index()].clone())
+}
+
+/// Interns and resolves a linear term in one step.
+pub fn canon_term(t: &LinTerm) -> Arc<LinTerm> {
+    with(|i| {
+        let id = i.tm_of(t);
+        i.tm.canon[id.index()].clone()
+    })
+}
+
+/// Interns a grammar expression; the canonical `Arc` is returned, so the
+/// result can be used directly as a [`Grammar`].
+pub fn canon_grammar(g: &GrammarExpr) -> Grammar {
+    with(|i| {
+        let id = i.gr_of(g);
+        i.gr.canon[id.index()].clone()
+    })
+}
+
+/// Interns a grammar expression, returning its id.
+pub fn grammar_id(g: &GrammarExpr) -> GrammarId {
+    with(|i| i.gr_of(g))
+}
+
+/// The canonical grammar behind a [`GrammarId`].
+pub fn grammar(id: GrammarId) -> Grammar {
+    with(|i| i.gr.canon[id.index()].clone())
+}
+
+/// Interns an alphabet by its ordered symbol-name list: structurally
+/// equal alphabets map to the same id. After the first call for a given
+/// `Alphabet` value the lookup is O(1) (keyed on the shared name-table
+/// allocation).
+pub fn alphabet_id(a: &Alphabet) -> AlphabetId {
+    with(|i| {
+        let names = a.names_arc();
+        let key_addr = addr(&**names);
+        if let Some(&id) = i.alpha_by_ptr.get(&key_addr) {
+            return AlphabetId(id);
+        }
+        let key: Vec<Istr> = names.iter().map(|n| i.istr(n)).collect();
+        match i.alphabets.get(&key) {
+            // Structural hit from a *different* name-table allocation:
+            // return the id without retaining this instance — arena
+            // memory must not grow with how many times callers rebuild
+            // the same alphabet. (Re-interning the name list next time
+            // is O(symbols), and alphabets are tiny.)
+            Some(&id) => AlphabetId(id),
+            None => {
+                let id = i.next_alphabet;
+                i.next_alphabet += 1;
+                i.alphabets.insert(key, id);
+                // First sighting: retain the name table so its address
+                // is a sound O(1) key for every clone of this Alphabet.
+                i.alpha_by_ptr.insert(key_addr, id);
+                i.alpha_keepalive.push(names.clone());
+                AlphabetId(id)
+            }
+        }
+    })
+}
+
+/// Substitutes a non-linear term for `var` in a linear type, memoized on
+/// `(TypeId, Istr, NlTermId)`. Semantically identical to the structural
+/// recursion of [`crate::syntax::types::subst_lin_type`], but repeated
+/// substitutions on shared subtrees are O(1) cache hits, and the result
+/// is canonical (so downstream equality checks hit the pointer fast
+/// path).
+pub fn subst_type(ty: &LinType, var: &str, repl: &NlTerm) -> Arc<LinType> {
+    with(|i| {
+        let id = i.ty_of(ty);
+        let v = i.istr(var);
+        let r = i.nltm_of(repl);
+        let out = i.subst_ty_go(id, v, r);
+        i.ty.canon[out.index()].clone()
+    })
+}
+
+/// Id-level substitution (see [`subst_type`]).
+pub fn subst_type_id(id: TypeId, var: Istr, repl: NlTermId) -> TypeId {
+    with(|i| i.subst_ty_go(id, var, repl))
+}
+
+/// Id-level substitution into a non-linear term, memoized. Semantically
+/// identical to [`crate::syntax::nonlinear::subst_nl`].
+pub fn subst_nl_id(id: NlTermId, var: Istr, repl: NlTermId) -> NlTermId {
+    with(|i| i.subst_nl_go(id, var, repl))
+}
+
+/// The id of the partial normal form of a non-linear term (see
+/// [`crate::syntax::nonlinear::normalize_nl`]), memoized by term id.
+/// Since interning is injective on structure, two terms have equal normal
+/// forms **iff** their `nl_normal_id`s are equal — this is the O(1)
+/// amortized index-equality test used by
+/// [`lin_type_equal`](crate::syntax::types::lin_type_equal).
+pub fn nl_normal_id(t: &NlTerm) -> NlTermId {
+    with(|i| {
+        let id = i.nltm_of(t);
+        if let Some(&n) = i.nl_normal.get(&id) {
+            return n;
+        }
+        let canon = i.nltm.canon[id.index()].clone();
+        // `normalize_nl` is pure and never re-enters the interner.
+        let normal = crate::syntax::nonlinear::normalize_nl(&canon);
+        let nid = i.nltm_of(&normal);
+        i.nl_normal.insert(id, nid);
+        // The normal form of a normal form is itself.
+        i.nl_normal.insert(nid, nid);
+        nid
+    })
+}
+
+/// Counts of interned nodes `(types, terms, nl types, nl terms,
+/// grammars)` — intended for tests and diagnostics.
+pub fn stats() -> (usize, usize, usize, usize, usize) {
+    with(|i| {
+        (
+            i.ty.canon.len(),
+            i.tm.canon.len(),
+            i.nlty.canon.len(),
+            i.nltm.canon.len(),
+            i.gr.canon.len(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn chr(name: &str) -> LinType {
+        LinType::Char(Alphabet::abc().symbol(name).unwrap())
+    }
+
+    #[test]
+    fn equal_structures_get_equal_ids() {
+        let t1 = LinType::tensor(chr("a"), LinType::lfun(chr("b"), LinType::Unit));
+        let t2 = LinType::tensor(chr("a"), LinType::lfun(chr("b"), LinType::Unit));
+        assert_eq!(type_id(&t1), type_id(&t2));
+        // And the canonical Arcs are literally the same allocation.
+        assert!(Arc::ptr_eq(&canon_type(&t1), &canon_type(&t2)));
+    }
+
+    #[test]
+    fn distinct_structures_get_distinct_ids() {
+        assert_ne!(type_id(&chr("a")), type_id(&chr("b")));
+        assert_ne!(
+            type_id(&LinType::tensor(chr("a"), chr("b"))),
+            type_id(&LinType::tensor(chr("b"), chr("a")))
+        );
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let t = LinType::Plus(vec![
+            LinType::tensor(chr("a"), chr("b")),
+            LinType::Unit,
+            LinType::Zero,
+        ]);
+        let back = lin_type(type_id(&t));
+        assert_eq!(*back, t);
+    }
+
+    #[test]
+    fn interned_constructors_share_subtrees() {
+        // Two independently built copies of the same deep chain intern to
+        // one allocation per node.
+        let build = || {
+            let mut t = chr("a");
+            for _ in 0..64 {
+                t = LinType::tensor(chr("b"), t);
+            }
+            t
+        };
+        let (t1, t2) = (build(), build());
+        match (&t1, &t2) {
+            (LinType::Tensor(a1, b1), LinType::Tensor(a2, b2)) => {
+                assert!(Arc::ptr_eq(a1, a2));
+                assert!(Arc::ptr_eq(b1, b2));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn subst_type_is_memoized_and_correct() {
+        use crate::syntax::nonlinear::NlTerm;
+        let ty = LinType::Data {
+            name: "T".to_owned(),
+            args: vec![NlTerm::succ(NlTerm::var("n"))],
+        };
+        let out = subst_type(&ty, "n", &NlTerm::NatLit(4));
+        let expected = LinType::Data {
+            name: "T".to_owned(),
+            args: vec![NlTerm::succ(NlTerm::NatLit(4))],
+        };
+        assert_eq!(*out, expected);
+        // Second call is a cache hit on the same canonical Arc.
+        let again = subst_type(&ty, "n", &NlTerm::NatLit(4));
+        assert!(Arc::ptr_eq(&out, &again));
+    }
+
+    #[test]
+    fn nl_normal_ids_decide_index_equality() {
+        use crate::syntax::nonlinear::NlTerm;
+        let a = NlTerm::succ(NlTerm::NatLit(1));
+        let b = NlTerm::NatLit(2);
+        assert_eq!(nl_normal_id(&a), nl_normal_id(&b));
+        assert_ne!(nl_normal_id(&a), nl_normal_id(&NlTerm::NatLit(3)));
+    }
+
+    #[test]
+    fn grammar_interning_shares_allocations() {
+        use crate::grammar::expr::{chr as gchr, tensor as gtensor};
+        let s = Alphabet::abc().symbol("a").unwrap();
+        let g1 = gtensor(gchr(s), gchr(s));
+        let g2 = gtensor(gchr(s), gchr(s));
+        assert!(Arc::ptr_eq(&g1, &g2));
+    }
+
+    #[test]
+    fn alphabets_intern_by_name_list() {
+        let a = alphabet_id(&Alphabet::abc());
+        let b = alphabet_id(&Alphabet::from_chars("abc"));
+        let c = alphabet_id(&Alphabet::from_chars("ab"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn term_interning_round_trips() {
+        let t = LinTerm::lam(
+            "x",
+            chr("a"),
+            LinTerm::pair(LinTerm::var("x"), LinTerm::var("y")),
+        );
+        let id = term_id(&t);
+        assert_eq!(*lin_term(id), t);
+        assert_eq!(term_id(&t.clone()), id);
+    }
+}

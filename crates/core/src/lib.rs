@@ -22,6 +22,11 @@
 //!    weakening, contraction or exchange — Fig. 9) and an evaluator
 //!    interpreting well-typed terms as parse transformers.
 //!
+//! All three layers run on a hash-consed core ([`intern`]): types, terms
+//! and grammar expressions are deduplicated into a global arena at
+//! construction, so structural equality has a pointer fast path and cache
+//! keys are small copyable ids.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -54,6 +59,7 @@ pub mod alphabet;
 pub mod check;
 pub mod eval;
 pub mod grammar;
+pub mod intern;
 pub mod syntax;
 pub mod theory;
 pub mod transform;

@@ -172,6 +172,15 @@ pub struct FoldClause {
 }
 
 impl LinTerm {
+    /// The canonical (hash-consed) form of this term: a shallow clone of
+    /// the interned node whose subterms are the shared canonical `Arc`s.
+    /// Structurally equal terms intern to the same
+    /// [`TermId`](crate::intern::TermId), making term equality and
+    /// hashing O(1) at the id level.
+    pub fn interned(&self) -> LinTerm {
+        (*crate::intern::canon_term(self)).clone()
+    }
+
     /// Variable helper.
     pub fn var(name: &str) -> LinTerm {
         LinTerm::Var(name.to_owned())
@@ -318,6 +327,18 @@ impl LinTerm {
             }
             LinTerm::EqIntro(t) | LinTerm::EqProj(t) => t.occurrences(bound, out),
         }
+    }
+}
+
+impl From<&LinTerm> for crate::intern::TermId {
+    fn from(t: &LinTerm) -> crate::intern::TermId {
+        crate::intern::term_id(t)
+    }
+}
+
+impl From<crate::intern::TermId> for LinTerm {
+    fn from(id: crate::intern::TermId) -> LinTerm {
+        (*crate::intern::lin_term(id)).clone()
     }
 }
 

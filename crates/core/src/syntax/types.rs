@@ -13,7 +13,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::alphabet::Symbol;
-use crate::syntax::nonlinear::{normalize_nl, NlTerm, NlType};
+use crate::syntax::nonlinear::{NlTerm, NlType};
 
 /// A linear type (the syntax layer; compare
 /// [`GrammarExpr`](crate::grammar::expr::GrammarExpr) for the denotation).
@@ -76,27 +76,54 @@ pub enum LinType {
 }
 
 impl LinType {
-    /// `A ⊸ B` helper.
+    /// The canonical (hash-consed) form of this type: a shallow clone of
+    /// the interned node, whose subtrees are the shared canonical `Arc`s.
+    /// Structurally equal types canonicalize to the same allocations, so
+    /// [`lin_type_equal`] on two canonical types hits its pointer
+    /// fast path after at most one level of descent.
+    pub fn interned(&self) -> LinType {
+        (*crate::intern::canon_type(self)).clone()
+    }
+
+    /// `A ⊸ B` helper (interned).
     pub fn lfun(a: LinType, b: LinType) -> LinType {
-        LinType::LFun(Arc::new(a), Arc::new(b))
+        LinType::LFun(Arc::new(a), Arc::new(b)).interned()
     }
 
-    /// `A ⊗ B` helper.
+    /// `B ⟜ A` helper (interned).
+    pub fn rfun(a: LinType, b: LinType) -> LinType {
+        LinType::RFun(Arc::new(a), Arc::new(b)).interned()
+    }
+
+    /// `A ⊗ B` helper (interned).
     pub fn tensor(a: LinType, b: LinType) -> LinType {
-        LinType::Tensor(Arc::new(a), Arc::new(b))
+        LinType::Tensor(Arc::new(a), Arc::new(b)).interned()
     }
 
-    /// Binary `⊕` helper.
+    /// Binary `⊕` helper (interned).
     pub fn alt(a: LinType, b: LinType) -> LinType {
-        LinType::Plus(vec![a, b])
+        LinType::Plus(vec![a, b]).interned()
     }
 
-    /// Unindexed data reference helper.
+    /// Unindexed data reference helper (interned).
     pub fn data(name: &str) -> LinType {
         LinType::Data {
             name: name.to_owned(),
             args: Vec::new(),
         }
+        .interned()
+    }
+}
+
+impl From<&LinType> for crate::intern::TypeId {
+    fn from(ty: &LinType) -> crate::intern::TypeId {
+        crate::intern::type_id(ty)
+    }
+}
+
+impl From<crate::intern::TypeId> for LinType {
+    fn from(id: crate::intern::TypeId) -> LinType {
+        (*crate::intern::lin_type(id)).clone()
     }
 }
 
@@ -321,30 +348,46 @@ fn positive_in(ty: &LinType, data: &str, polarity: bool) -> bool {
 
 /// Substitutes a non-linear term for a variable inside a linear type's
 /// index expressions.
+///
+/// Runs on the hash-consed core: the inputs are interned and the
+/// substitution is memoized on `(TypeId, var, NlTermId)`, so repeated
+/// substitutions — the checker re-instantiates `⊕`/`&` bodies and
+/// constructor result types constantly — are O(1) cache hits, and the
+/// result shares every untouched subtree with the input's canonical
+/// form. [`subst_lin_type_uncached`] is the plain structural recursion
+/// (kept as the ablation baseline).
 pub fn subst_lin_type(ty: &LinType, var: &str, replacement: &NlTerm) -> LinType {
+    (*crate::intern::subst_type(ty, var, replacement)).clone()
+}
+
+/// The structural-recursion substitution without interning or
+/// memoization: the pre-hash-consing baseline, kept for the `typecheck`
+/// bench ablations and as the executable specification of
+/// [`subst_lin_type`].
+pub fn subst_lin_type_uncached(ty: &LinType, var: &str, replacement: &NlTerm) -> LinType {
     use crate::syntax::nonlinear::subst_nl;
     match ty {
         LinType::Char(_) | LinType::Unit | LinType::Zero | LinType::Top => ty.clone(),
         LinType::Tensor(a, b) => LinType::Tensor(
-            Arc::new(subst_lin_type(a, var, replacement)),
-            Arc::new(subst_lin_type(b, var, replacement)),
+            Arc::new(subst_lin_type_uncached(a, var, replacement)),
+            Arc::new(subst_lin_type_uncached(b, var, replacement)),
         ),
         LinType::LFun(a, b) => LinType::LFun(
-            Arc::new(subst_lin_type(a, var, replacement)),
-            Arc::new(subst_lin_type(b, var, replacement)),
+            Arc::new(subst_lin_type_uncached(a, var, replacement)),
+            Arc::new(subst_lin_type_uncached(b, var, replacement)),
         ),
         LinType::RFun(a, b) => LinType::RFun(
-            Arc::new(subst_lin_type(a, var, replacement)),
-            Arc::new(subst_lin_type(b, var, replacement)),
+            Arc::new(subst_lin_type_uncached(a, var, replacement)),
+            Arc::new(subst_lin_type_uncached(b, var, replacement)),
         ),
         LinType::Plus(ts) => LinType::Plus(
             ts.iter()
-                .map(|t| subst_lin_type(t, var, replacement))
+                .map(|t| subst_lin_type_uncached(t, var, replacement))
                 .collect(),
         ),
         LinType::With(ts) => LinType::With(
             ts.iter()
-                .map(|t| subst_lin_type(t, var, replacement))
+                .map(|t| subst_lin_type_uncached(t, var, replacement))
                 .collect(),
         ),
         LinType::BigPlus {
@@ -357,7 +400,7 @@ pub fn subst_lin_type(ty: &LinType, var: &str, replacement: &NlTerm) -> LinType 
             body: if v == var {
                 body.clone()
             } else {
-                Arc::new(subst_lin_type(body, var, replacement))
+                Arc::new(subst_lin_type_uncached(body, var, replacement))
             },
         },
         LinType::BigWith {
@@ -370,7 +413,7 @@ pub fn subst_lin_type(ty: &LinType, var: &str, replacement: &NlTerm) -> LinType 
             body: if v == var {
                 body.clone()
             } else {
-                Arc::new(subst_lin_type(body, var, replacement))
+                Arc::new(subst_lin_type_uncached(body, var, replacement))
             },
         },
         LinType::Data { name, args } => LinType::Data {
@@ -378,7 +421,7 @@ pub fn subst_lin_type(ty: &LinType, var: &str, replacement: &NlTerm) -> LinType 
             args: args.iter().map(|a| subst_nl(a, var, replacement)).collect(),
         },
         LinType::Equalizer { base, lhs, rhs } => LinType::Equalizer {
-            base: Arc::new(subst_lin_type(base, var, replacement)),
+            base: Arc::new(subst_lin_type_uncached(base, var, replacement)),
             lhs: lhs.clone(),
             rhs: rhs.clone(),
         },
@@ -389,7 +432,20 @@ pub fn subst_lin_type(ty: &LinType, var: &str, replacement: &NlTerm) -> LinType 
 /// decidable approximation of the paper's definitional equality used by
 /// the checker (full definitional equality is undecidable in an
 /// extensional theory; §3.1).
+///
+/// Hash-consing fast path: identical canonical nodes (the same
+/// allocation, which is what the interned constructors produce for
+/// structurally equal types) compare in O(1) — the pointer check fires
+/// before any descent, at every level of the recursion. Index arguments
+/// of `Data` types compare by memoized normal-form ids
+/// ([`crate::intern::nl_normal_id`]), so repeated index comparisons
+/// normalize once.
 pub fn lin_type_equal(a: &LinType, b: &LinType) -> bool {
+    // O(1) on shared (interned) nodes; also fires one level down via the
+    // recursive calls, since `Arc<LinType>` arguments deref-coerce here.
+    if std::ptr::eq(a, b) {
+        return true;
+    }
     match (a, b) {
         (LinType::Char(c), LinType::Char(d)) => c == d,
         (LinType::Unit, LinType::Unit)
@@ -436,10 +492,9 @@ pub fn lin_type_equal(a: &LinType, b: &LinType) -> bool {
         (LinType::Data { name: n1, args: a1 }, LinType::Data { name: n2, args: a2 }) => {
             n1 == n2
                 && a1.len() == a2.len()
-                && a1
-                    .iter()
-                    .zip(a2)
-                    .all(|(x, y)| normalize_nl(x) == normalize_nl(y))
+                && a1.iter().zip(a2).all(|(x, y)| {
+                    x == y || crate::intern::nl_normal_id(x) == crate::intern::nl_normal_id(y)
+                })
         }
         (
             LinType::Equalizer {

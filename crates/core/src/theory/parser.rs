@@ -72,14 +72,12 @@ impl VerifiedParser {
         negative: Grammar,
         run: Transformer,
     ) -> VerifiedParser {
-        assert_eq!(
-            run.dom(),
-            &string_grammar(&alphabet),
+        assert!(
+            crate::transform::grammar_eq(run.dom(), &string_grammar(&alphabet)),
             "parser domain must be the String grammar"
         );
-        assert_eq!(
-            run.cod(),
-            &alt(grammar.clone(), negative.clone()),
+        assert!(
+            crate::transform::grammar_eq(run.cod(), &alt(grammar.clone(), negative.clone())),
             "parser codomain must be A ⊕ A¬"
         );
         VerifiedParser {

@@ -124,7 +124,10 @@ pub fn case(branches: Vec<Transformer>) -> Transformer {
         .cod()
         .clone();
     for b in &branches {
-        assert_eq!(b.cod(), &cod, "case branches must share a codomain");
+        assert!(
+            crate::transform::grammar_eq(b.cod(), &cod),
+            "case branches must share a codomain"
+        );
     }
     let dom = plus(branches.iter().map(|b| b.dom().clone()).collect());
     Transformer::from_fn("case", dom, cod, move |t| match t {
@@ -164,7 +167,10 @@ pub fn pair_with(components: Vec<Transformer>) -> Transformer {
         .dom()
         .clone();
     for c in &components {
-        assert_eq!(c.dom(), &dom, "pair_with components must share a domain");
+        assert!(
+            crate::transform::grammar_eq(c.dom(), &dom),
+            "pair_with components must share a domain"
+        );
     }
     let cod = with(components.iter().map(|c| c.cod().clone()).collect());
     Transformer::from_fn("⟨…⟩", dom, cod, move |t| {
@@ -249,8 +255,14 @@ impl Iso {
     ///
     /// Panics if the endpoints do not line up.
     pub fn new(fwd: Transformer, bwd: Transformer) -> Iso {
-        assert_eq!(fwd.dom(), bwd.cod(), "iso endpoints must line up");
-        assert_eq!(fwd.cod(), bwd.dom(), "iso endpoints must line up");
+        assert!(
+            crate::transform::grammar_eq(fwd.dom(), bwd.cod()),
+            "iso endpoints must line up"
+        );
+        assert!(
+            crate::transform::grammar_eq(fwd.cod(), bwd.dom()),
+            "iso endpoints must line up"
+        );
         Iso { fwd, bwd }
     }
 

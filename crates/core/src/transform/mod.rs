@@ -28,6 +28,15 @@ use crate::alphabet::GString;
 use crate::grammar::expr::Grammar;
 use crate::grammar::parse_tree::{check_shape, ParseTree, ValidateError};
 
+/// Grammar equality with the hash-consing fast path first: grammars
+/// built through the interned constructors of [`crate::grammar::expr`]
+/// are the *same* `Arc` whenever they are structurally equal, so the
+/// pointer check answers in O(1) and the structural fallback only runs
+/// for grammars assembled outside the interner.
+pub fn grammar_eq(a: &Grammar, b: &Grammar) -> bool {
+    Arc::ptr_eq(a, b) || a == b
+}
+
 /// Errors raised when applying a parse transformer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransformError {
@@ -203,7 +212,7 @@ impl Transformer {
     /// Returns [`TransformError::ComposeMismatch`] if the codomain of
     /// `self` is not structurally equal to the domain of `next`.
     pub fn then(&self, next: &Transformer) -> Result<Transformer, TransformError> {
-        if self.cod != next.dom {
+        if !grammar_eq(&self.cod, &next.dom) {
             return Err(TransformError::ComposeMismatch {
                 cod: format!("{}", self.cod),
                 dom: format!("{}", next.dom),

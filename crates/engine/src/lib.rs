@@ -9,7 +9,10 @@
 //!
 //! * [`Engine`] — a thread-safe cache of compiled pipelines keyed by
 //!   [`PipelineSpec`] (alphabet + grammar), so each pipeline is compiled
-//!   once and shared (`Arc`) across requests and threads;
+//!   once and shared (`Arc`) across requests and threads; specs compare
+//!   and hash by an interned id-based [`SpecKey`] (computed once at
+//!   construction via [`lambek_core::intern`]), so cache lookups never
+//!   deep-compare alphabets or patterns;
 //! * [`Engine::parse_many`] — batch parsing fanned out over
 //!   [`std::thread::scope`] workers, returning one structured
 //!   [`ParseReport`] per input (outcome, intrinsic yield check, timing);
@@ -52,7 +55,7 @@ mod pipeline;
 mod stream;
 
 pub use batch::{parse_batch, ParseReport, ReportOutcome};
-pub use pipeline::{CompiledPipeline, DfaBackend, PipelineSpec};
+pub use pipeline::{CompiledPipeline, DfaBackend, PipelineSpec, SpecKey};
 pub use stream::StreamParser;
 
 use std::collections::HashMap;

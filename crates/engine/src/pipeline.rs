@@ -21,13 +21,24 @@ use crate::EngineError;
 
 /// What to compile: the engine's cache key.
 ///
-/// Two specs are the same pipeline exactly when they compare equal —
-/// alphabets compare by their ordered symbol-name lists, so structurally
-/// identical alphabets share cache entries.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum PipelineSpec {
-    /// The verified regex pipeline of Corollary 4.12 for `pattern` over
-    /// `alphabet` (Thompson → determinize → trace parser → extend).
+/// Two specs are the same pipeline exactly when they compare equal.
+/// Equality and hashing go through an interned [`SpecKey`] computed once
+/// at construction: alphabets and patterns are interned in
+/// [`lambek_core::intern`], so comparing (and hashing) cache keys is a
+/// couple of integer compares — no deep traversal of the alphabet's name
+/// table or the pattern string. Structurally identical alphabets share
+/// cache entries.
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    kind: SpecKind,
+    key: SpecKey,
+}
+
+/// The payload of a [`PipelineSpec`]: what the compiler consumes.
+#[derive(Debug, Clone)]
+enum SpecKind {
+    /// The verified regex pipeline of Corollary 4.12 (Thompson →
+    /// determinize → trace parser → extend).
     Regex {
         /// The input alphabet Σ.
         alphabet: Alphabet,
@@ -49,31 +60,75 @@ pub enum PipelineSpec {
     },
 }
 
+/// The id-based identity of a [`PipelineSpec`]: a small `Copy` value
+/// whose equality/hash is O(1). This is what the engine's pipeline cache
+/// actually compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecKey {
+    /// Regex pipeline: interned alphabet + interned pattern.
+    Regex(lambek_core::intern::AlphabetId, lambek_core::intern::Istr),
+    /// Dyck pipeline at a truncation bound.
+    Dyck(usize),
+    /// Expression pipeline at a truncation bound.
+    Expr(usize),
+}
+
+impl PartialEq for PipelineSpec {
+    fn eq(&self, other: &PipelineSpec) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for PipelineSpec {}
+
+impl std::hash::Hash for PipelineSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key.hash(state);
+    }
+}
+
 impl PipelineSpec {
-    /// Convenience constructor for [`PipelineSpec::Regex`].
+    /// A regex pipeline spec for `pattern` over `alphabet`.
     pub fn regex(alphabet: Alphabet, pattern: impl Into<String>) -> PipelineSpec {
-        PipelineSpec::Regex {
-            alphabet,
-            pattern: pattern.into(),
+        let pattern = pattern.into();
+        let key = SpecKey::Regex(
+            lambek_core::intern::alphabet_id(&alphabet),
+            lambek_core::intern::istr(&pattern),
+        );
+        PipelineSpec {
+            kind: SpecKind::Regex { alphabet, pattern },
+            key,
         }
     }
 
-    /// Convenience constructor for [`PipelineSpec::Dyck`].
+    /// A Dyck pipeline spec, exact for inputs of length ≤ `max_len`.
     pub fn dyck(max_len: usize) -> PipelineSpec {
-        PipelineSpec::Dyck { max_len }
+        PipelineSpec {
+            kind: SpecKind::Dyck { max_len },
+            key: SpecKey::Dyck(max_len),
+        }
     }
 
-    /// Convenience constructor for [`PipelineSpec::Expr`].
+    /// An expression pipeline spec, exact for inputs of length ≤
+    /// `max_len`.
     pub fn expr(max_len: usize) -> PipelineSpec {
-        PipelineSpec::Expr { max_len }
+        PipelineSpec {
+            kind: SpecKind::Expr { max_len },
+            key: SpecKey::Expr(max_len),
+        }
+    }
+
+    /// The interned O(1) cache key this spec compares and hashes by.
+    pub fn key(&self) -> SpecKey {
+        self.key
     }
 
     /// A short human-readable label (used in reports and errors).
     pub fn label(&self) -> String {
-        match self {
-            PipelineSpec::Regex { pattern, .. } => format!("regex({pattern})"),
-            PipelineSpec::Dyck { max_len } => format!("dyck(≤{max_len})"),
-            PipelineSpec::Expr { max_len } => format!("expr(≤{max_len})"),
+        match &self.kind {
+            SpecKind::Regex { pattern, .. } => format!("regex({pattern})"),
+            SpecKind::Dyck { max_len } => format!("dyck(≤{max_len})"),
+            SpecKind::Expr { max_len } => format!("expr(≤{max_len})"),
         }
     }
 
@@ -85,8 +140,8 @@ impl PipelineSpec {
     /// underlying equivalences fail to compose.
     pub fn compile(&self) -> Result<CompiledPipeline, EngineError> {
         let start = Instant::now();
-        let (parser, backend) = match self {
-            PipelineSpec::Regex { alphabet, pattern } => {
+        let (parser, backend) = match &self.kind {
+            SpecKind::Regex { alphabet, pattern } => {
                 let re = parse_regex(alphabet, pattern)
                     .map_err(|e| EngineError::Compile(format!("{e}")))?;
                 let rp = RegexParser::compile(alphabet, re)
@@ -95,7 +150,7 @@ impl PipelineSpec {
                 let tg = dfa.trace_grammar();
                 (rp.verified_parser().clone(), Some(DfaBackend { dfa, tg }))
             }
-            PipelineSpec::Dyck { max_len } => {
+            SpecKind::Dyck { max_len } => {
                 let dfa = dyck_automaton(*max_len);
                 let tg = dfa.trace_grammar();
                 (
@@ -103,7 +158,7 @@ impl PipelineSpec {
                     Some(DfaBackend { dfa, tg }),
                 )
             }
-            PipelineSpec::Expr { max_len } => (lambek_cfg::expr::exp_parser(*max_len), None),
+            SpecKind::Expr { max_len } => (lambek_cfg::expr::exp_parser(*max_len), None),
         };
         Ok(CompiledPipeline {
             spec: self.clone(),
@@ -171,7 +226,7 @@ impl CompiledPipeline {
     ///
     /// Propagates contract violations from the underlying transformers —
     /// for the built-in pipelines this only happens past a truncation
-    /// bound (e.g. [`PipelineSpec::Expr`] inputs longer than `max_len`).
+    /// bound (e.g. [`PipelineSpec::expr`] inputs longer than `max_len`).
     pub fn parse(&self, w: &GString) -> Result<ParseOutcome, TransformError> {
         self.parser.parse(w)
     }
@@ -203,6 +258,25 @@ mod tests {
         let mut set = std::collections::HashSet::new();
         set.insert(a);
         assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn spec_keys_are_interned_ids() {
+        // The cache key is a small Copy value computed at construction:
+        // equal specs share it, different specs differ in it, and
+        // comparing two keys never traverses the alphabet or pattern.
+        let a = PipelineSpec::regex(Alphabet::abc(), "a*b");
+        let b = PipelineSpec::regex(Alphabet::from_chars("abc"), "a*b");
+        let k = a.key();
+        let copied: SpecKey = k; // SpecKey: Copy
+        assert_eq!(copied, b.key());
+        assert_ne!(a.key(), PipelineSpec::regex(Alphabet::abc(), "a*c").key());
+        assert_ne!(
+            a.key(),
+            PipelineSpec::regex(Alphabet::from_chars("ab"), "a*b").key()
+        );
+        assert_ne!(PipelineSpec::dyck(4).key(), PipelineSpec::expr(4).key());
+        assert_eq!(PipelineSpec::dyck(4).key(), PipelineSpec::dyck(4).key());
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Property tests for the hash-consed core (`lambek_core::intern`):
+//! interning is sound — structurally equal syntax gets identical ids,
+//! distinct structures get distinct ids, round-tripping through the
+//! arena is the identity, and the memoized substitution agrees with the
+//! structural-recursion specification.
+
+use proptest::prelude::*;
+
+use lambek_core::alphabet::{Alphabet, Symbol};
+use lambek_core::intern;
+use lambek_core::syntax::nonlinear::{NlTerm, NlType};
+use lambek_core::syntax::terms::LinTerm;
+use lambek_core::syntax::types::{
+    lin_type_equal, subst_lin_type, subst_lin_type_uncached, LinType,
+};
+use std::sync::Arc;
+
+/// A tiny splitmix-style generator so type shapes are reproducible from
+/// one `u64` seed (the same idiom as `regex_grammars::gen`).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn sym(i: u64) -> Symbol {
+    let s = Alphabet::abc();
+    s.symbol(["a", "b", "c"][(i % 3) as usize]).unwrap()
+}
+
+fn rand_nl_term(rng: &mut Mix, depth: usize) -> NlTerm {
+    if depth == 0 {
+        return match rng.below(4) {
+            0 => NlTerm::var("n"),
+            1 => NlTerm::NatLit(rng.below(5)),
+            2 => NlTerm::BoolLit(rng.below(2) == 0),
+            _ => NlTerm::UnitVal,
+        };
+    }
+    match rng.below(4) {
+        0 => NlTerm::succ(rand_nl_term(rng, depth - 1)),
+        1 => NlTerm::Pair(
+            Arc::new(rand_nl_term(rng, depth - 1)),
+            Arc::new(rand_nl_term(rng, depth - 1)),
+        ),
+        2 => NlTerm::Fst(Arc::new(rand_nl_term(rng, depth - 1))),
+        _ => rand_nl_term(rng, depth - 1),
+    }
+}
+
+/// A random linear type of bounded depth, exercising every constructor
+/// the interner mirrors.
+fn rand_lin_type(rng: &mut Mix, depth: usize) -> LinType {
+    if depth == 0 {
+        return match rng.below(5) {
+            0 => LinType::Char(sym(rng.next())),
+            1 => LinType::Unit,
+            2 => LinType::Zero,
+            3 => LinType::Top,
+            _ => LinType::Data {
+                name: "D".to_owned(),
+                args: vec![rand_nl_term(rng, 1)],
+            },
+        };
+    }
+    match rng.below(8) {
+        0 => LinType::Tensor(
+            Arc::new(rand_lin_type(rng, depth - 1)),
+            Arc::new(rand_lin_type(rng, depth - 1)),
+        ),
+        1 => LinType::LFun(
+            Arc::new(rand_lin_type(rng, depth - 1)),
+            Arc::new(rand_lin_type(rng, depth - 1)),
+        ),
+        2 => LinType::RFun(
+            Arc::new(rand_lin_type(rng, depth - 1)),
+            Arc::new(rand_lin_type(rng, depth - 1)),
+        ),
+        3 => LinType::Plus(
+            (0..1 + rng.below(3))
+                .map(|_| rand_lin_type(rng, depth - 1))
+                .collect(),
+        ),
+        4 => LinType::With(
+            (0..1 + rng.below(3))
+                .map(|_| rand_lin_type(rng, depth - 1))
+                .collect(),
+        ),
+        5 => LinType::BigPlus {
+            var: ["x", "y", "n"][rng.below(3) as usize].to_owned(),
+            index: Arc::new(NlType::Nat),
+            body: Arc::new(rand_lin_type(rng, depth - 1)),
+        },
+        6 => LinType::Equalizer {
+            base: Arc::new(rand_lin_type(rng, depth - 1)),
+            lhs: "f".to_owned(),
+            rhs: "g".to_owned(),
+        },
+        _ => rand_lin_type(rng, depth - 1),
+    }
+}
+
+fn rand_lin_term(rng: &mut Mix, depth: usize) -> LinTerm {
+    if depth == 0 {
+        return match rng.below(3) {
+            0 => LinTerm::var(["x", "y", "z"][rng.below(3) as usize]),
+            1 => LinTerm::UnitIntro,
+            _ => LinTerm::Global("g".to_owned()),
+        };
+    }
+    match rng.below(6) {
+        0 => LinTerm::pair(rand_lin_term(rng, depth - 1), rand_lin_term(rng, depth - 1)),
+        1 => LinTerm::lam(
+            ["x", "w"][rng.below(2) as usize],
+            rand_lin_type(rng, 1),
+            rand_lin_term(rng, depth - 1),
+        ),
+        2 => LinTerm::app(rand_lin_term(rng, depth - 1), rand_lin_term(rng, depth - 1)),
+        3 => LinTerm::inj(rng.below(2) as usize, 2, rand_lin_term(rng, depth - 1)),
+        4 => LinTerm::Tuple(
+            (0..1 + rng.below(3))
+                .map(|_| rand_lin_term(rng, depth - 1))
+                .collect(),
+        ),
+        _ => rand_lin_term(rng, depth - 1),
+    }
+}
+
+/// A structurally identical rebuild with entirely fresh allocations (no
+/// shared provenance with the input), so id equality is forced to go
+/// through structural dedup rather than address hits.
+fn rebuild(t: &LinType) -> LinType {
+    match t {
+        LinType::Char(_) | LinType::Unit | LinType::Zero | LinType::Top => t.clone(),
+        LinType::Tensor(a, b) => LinType::Tensor(Arc::new(rebuild(a)), Arc::new(rebuild(b))),
+        LinType::LFun(a, b) => LinType::LFun(Arc::new(rebuild(a)), Arc::new(rebuild(b))),
+        LinType::RFun(a, b) => LinType::RFun(Arc::new(rebuild(a)), Arc::new(rebuild(b))),
+        LinType::Plus(ts) => LinType::Plus(ts.iter().map(rebuild).collect()),
+        LinType::With(ts) => LinType::With(ts.iter().map(rebuild).collect()),
+        LinType::BigPlus { var, index, body } => LinType::BigPlus {
+            var: var.clone(),
+            index: Arc::new((**index).clone()),
+            body: Arc::new(rebuild(body)),
+        },
+        LinType::BigWith { var, index, body } => LinType::BigWith {
+            var: var.clone(),
+            index: Arc::new((**index).clone()),
+            body: Arc::new(rebuild(body)),
+        },
+        LinType::Data { name, args } => LinType::Data {
+            name: name.clone(),
+            args: args.clone(),
+        },
+        LinType::Equalizer { base, lhs, rhs } => LinType::Equalizer {
+            base: Arc::new(rebuild(base)),
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structurally equal types intern to the same id, even when built
+    /// from disjoint allocations.
+    #[test]
+    fn equal_types_same_id(seed in 0u64..10_000) {
+        let t = rand_lin_type(&mut Mix(seed), 4);
+        let copy = rebuild(&t);
+        prop_assert_eq!(intern::type_id(&t), intern::type_id(&copy));
+        // And both canonicalize to the very same allocation.
+        prop_assert!(Arc::ptr_eq(&intern::canon_type(&t), &intern::canon_type(&copy)));
+    }
+
+    /// Distinct structures get distinct ids (ids are injective on
+    /// structure).
+    #[test]
+    fn distinct_types_distinct_ids(seed in 0u64..5_000) {
+        let a = rand_lin_type(&mut Mix(seed), 4);
+        let b = rand_lin_type(&mut Mix(seed.wrapping_add(77_777)), 4);
+        if a != b {
+            prop_assert_ne!(intern::type_id(&a), intern::type_id(&b));
+        } else {
+            prop_assert_eq!(intern::type_id(&a), intern::type_id(&b));
+        }
+        // Wrapping any type changes its id.
+        let wrapped = LinType::Tensor(Arc::new(a.clone()), Arc::new(LinType::Unit));
+        prop_assert_ne!(intern::type_id(&a), intern::type_id(&wrapped));
+    }
+
+    /// `LinType → TypeId → LinType` is the identity — structurally, and
+    /// therefore also up to the checker's α/normalization equality.
+    #[test]
+    fn type_round_trip_is_identity(seed in 0u64..10_000) {
+        let t = rand_lin_type(&mut Mix(seed), 4);
+        let back: LinType = intern::type_id(&t).into();
+        prop_assert_eq!(&back, &t);
+        prop_assert!(lin_type_equal(&back, &t));
+    }
+
+    /// Terms round-trip through the arena the same way.
+    #[test]
+    fn term_round_trip_is_identity(seed in 0u64..10_000) {
+        let t = rand_lin_term(&mut Mix(seed), 4);
+        let id = intern::term_id(&t);
+        let back: LinTerm = id.into();
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(intern::term_id(&back), id);
+    }
+
+    /// The memoized, id-keyed substitution agrees with the structural
+    /// recursion it replaced.
+    #[test]
+    fn cached_substitution_matches_uncached(seed in 0u64..10_000, k in 0u64..5) {
+        let t = rand_lin_type(&mut Mix(seed), 4);
+        let repl = NlTerm::NatLit(k);
+        let cached = subst_lin_type(&t, "n", &repl);
+        let uncached = subst_lin_type_uncached(&t, "n", &repl);
+        prop_assert_eq!(&cached, &uncached);
+        // Substituting twice hits the cache and stays canonical.
+        prop_assert_eq!(&subst_lin_type(&t, "n", &repl), &cached);
+    }
+
+    /// Interning never changes what the checker's equality judges: a type
+    /// and its canonical form are interchangeable.
+    #[test]
+    fn canonicalization_preserves_equality(seed in 0u64..10_000) {
+        let a = rand_lin_type(&mut Mix(seed), 4);
+        let b = rand_lin_type(&mut Mix(seed ^ 0xdead_beef), 4);
+        let (ca, cb) = (a.interned(), b.interned());
+        prop_assert_eq!(lin_type_equal(&a, &b), lin_type_equal(&ca, &cb));
+        prop_assert!(lin_type_equal(&a, &ca));
+    }
+}

@@ -385,7 +385,7 @@ mod tests {
 
         #[test]
         fn ranges_stay_in_bounds(x in 3usize..17, y in 0u64..5) {
-            prop_assert!(x >= 3 && x < 17);
+            prop_assert!((3..17).contains(&x));
             prop_assert!(y < 5, "y = {}", y);
         }
 
