@@ -173,6 +173,28 @@ impl Dfa {
         self.accepting[self.final_state(start, w)]
     }
 
+    /// The *live* (co-reachable) states: those from which some accepting
+    /// state is reachable. A run that enters a non-live state can never
+    /// accept any continuation — the viability bit incremental consumers
+    /// (the engine's streaming parser) probe per symbol. Computed by
+    /// backward fixpoint over the dense table; accepting states are live
+    /// by definition.
+    pub fn live_states(&self) -> Vec<bool> {
+        let mut live = self.accepting.clone();
+        loop {
+            let mut changed = false;
+            for s in 0..self.num_states() {
+                if !live[s] && self.delta_row(s).iter().any(|&t| live[t]) {
+                    live[s] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return live;
+            }
+        }
+    }
+
     /// The Bool-indexed trace type `TraceD` of Fig. 11 as a `μ` system.
     /// Definition `2·s + b` is `TraceD s b`:
     ///

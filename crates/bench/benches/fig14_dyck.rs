@@ -15,23 +15,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use lambek_automata::counter::CounterMachine;
 use lambek_automata::gen::random_dyck;
-use lambek_cfg::dyck::{dyck_parser, parse_dyck_string, Parens};
+use lambek_cfg::dyck::{dyck_cfg, dyck_parser, parse_dyck_string, Parens};
 use lambek_cfg::earley::earley_recognize;
-use lambek_cfg::grammar::{Cfg, GSym, Production};
-
-fn dyck_cfg(p: &Parens) -> Cfg {
-    Cfg::new(
-        p.alphabet.clone(),
-        vec!["S".to_owned()],
-        vec![vec![
-            Production { rhs: vec![] },
-            Production {
-                rhs: vec![GSym::T(p.open), GSym::N(0), GSym::T(p.close), GSym::N(0)],
-            },
-        ]],
-        0,
-    )
-}
 
 fn bench(c: &mut Criterion) {
     let p = Parens::new();

@@ -10,34 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lambek_automata::gen::random_arith;
 use lambek_automata::lookahead::{simulate, ArithTokens};
 use lambek_cfg::earley::earley_recognize;
-use lambek_cfg::expr::{exp_parser, parse_exp_string};
-use lambek_cfg::grammar::{Cfg, GSym, Production};
-
-fn exp_cfg(t: &ArithTokens) -> Cfg {
-    Cfg::new(
-        t.alphabet.clone(),
-        vec!["Exp".to_owned(), "Atom".to_owned()],
-        vec![
-            vec![
-                Production {
-                    rhs: vec![GSym::N(1)],
-                },
-                Production {
-                    rhs: vec![GSym::N(1), GSym::T(t.add), GSym::N(0)],
-                },
-            ],
-            vec![
-                Production {
-                    rhs: vec![GSym::T(t.num)],
-                },
-                Production {
-                    rhs: vec![GSym::T(t.lp), GSym::N(0), GSym::T(t.rp)],
-                },
-            ],
-        ],
-        0,
-    )
-}
+use lambek_cfg::expr::{exp_cfg, exp_parser, parse_exp_string};
 
 fn bench(c: &mut Criterion) {
     let t = ArithTokens::new();

@@ -1,0 +1,97 @@
+//! LR vs Earley on the deterministic standards — the speedup the
+//! certified LR subsystem buys over the general chart parser.
+//!
+//! Four comparisons per grammar (Dyck and the Fig. 15 expressions) at
+//! input lengths n = 64 / 256 / 1024 symbols:
+//!
+//! * `lr_recognize` — the dense-table state run, no trees;
+//! * `lr_parse` — shift-reduce tree building *plus* the certification
+//!   re-validation (the price of the intrinsic contract);
+//! * `earley_recognize` / `earley_parse` — the baseline.
+//!
+//! Expected shape: LR linear with a small constant; Earley super-linear
+//! (≥ 10× behind at n = 1024, typically far more). The trailing group
+//! measures what the engine amortizes: LALR table construction from
+//! scratch vs a cached `get_or_compile` hit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lambek_automata::gen::random_dyck;
+use lambek_automata::lookahead::ArithTokens;
+use lambek_cfg::dyck::{dyck_cfg, Parens};
+use lambek_cfg::earley::{earley_parse, earley_recognize};
+use lambek_cfg::expr::exp_cfg;
+use lambek_cfg::grammar::Cfg;
+use lambek_core::alphabet::GString;
+use lambek_engine::{Engine, PipelineSpec};
+use lambek_lr::CertifiedLrParser;
+
+/// An expression of exactly `n` symbols (n odd): `n + n + … + n`.
+fn chain_expr(t: &ArithTokens, n: usize) -> GString {
+    let mut w = GString::singleton(t.num);
+    while w.len() + 2 <= n {
+        w.push(t.add);
+        w.push(t.num);
+    }
+    w
+}
+
+fn bench_grammar(c: &mut Criterion, group: &str, cfg: &Cfg, inputs: &[(usize, GString)]) {
+    let parser = CertifiedLrParser::compile(cfg).expect("deterministic standard");
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for (n, w) in inputs {
+        g.bench_with_input(BenchmarkId::new("lr_recognize", n), w, |b, w| {
+            b.iter(|| parser.recognizes(w))
+        });
+        g.bench_with_input(BenchmarkId::new("lr_parse", n), w, |b, w| {
+            b.iter(|| parser.parse(w).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("earley_recognize", n), w, |b, w| {
+            b.iter(|| earley_recognize(cfg, w))
+        });
+        g.bench_with_input(BenchmarkId::new("earley_parse", n), w, |b, w| {
+            b.iter(|| earley_parse(cfg, w).tree().unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let p = Parens::new();
+    let dyck = dyck_cfg(&p);
+    let dyck_inputs: Vec<(usize, GString)> = [64usize, 256, 1024]
+        .iter()
+        .map(|&n| (n, random_dyck(n / 2, n as u64)))
+        .collect();
+    bench_grammar(c, "lr_dyck", &dyck, &dyck_inputs);
+
+    let t = ArithTokens::new();
+    let expr = exp_cfg(&t);
+    let expr_inputs: Vec<(usize, GString)> = [64usize, 256, 1024]
+        .iter()
+        .map(|&n| (n, chain_expr(&t, n)))
+        .collect();
+    bench_grammar(c, "lr_expr", &expr, &expr_inputs);
+
+    // Construction vs amortization: building the LALR tables from
+    // scratch against a warm engine cache hit for the same spec.
+    let mut g = c.benchmark_group("lr_tables");
+    g.sample_size(10);
+    g.bench_function("build_dyck_tables", |b| {
+        b.iter(|| CertifiedLrParser::compile(&dyck).unwrap())
+    });
+    g.bench_function("build_expr_tables", |b| {
+        b.iter(|| CertifiedLrParser::compile(&expr).unwrap())
+    });
+    let engine = Engine::new();
+    let spec = PipelineSpec::dyck_cfg();
+    engine.get_or_compile(&spec).unwrap();
+    g.bench_function("engine_cached_hit", |b| {
+        b.iter(|| engine.get_or_compile(&spec).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

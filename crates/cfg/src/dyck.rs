@@ -54,6 +54,26 @@ impl Default for Parens {
     }
 }
 
+/// The Dyck language as a plain [`Cfg`](crate::grammar::Cfg)
+/// (`S ::= ε | ( S ) S`), matching
+/// the summand order of [`dyck_system`] so Earley/LR derivation trees and
+/// the μ-regular parse trees coincide constructor-for-constructor. This is
+/// what the engine's CFG pipelines and the LR table construction consume.
+pub fn dyck_cfg(p: &Parens) -> crate::grammar::Cfg {
+    use crate::grammar::{Cfg, GSym, Production};
+    Cfg::new(
+        p.alphabet.clone(),
+        vec!["Dyck".to_owned()],
+        vec![vec![
+            Production { rhs: vec![] },
+            Production {
+                rhs: vec![GSym::T(p.open), GSym::N(0), GSym::T(p.close), GSym::N(0)],
+            },
+        ]],
+        0,
+    )
+}
+
 /// The Dyck grammar of Fig. 13 as a `μ` type:
 /// `Dyck = I ⊕ ('(' ⊗ Dyck ⊗ ')' ⊗ Dyck)` — summand 0 is `nil`,
 /// summand 1 is `bal`.

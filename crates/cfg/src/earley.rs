@@ -277,19 +277,152 @@ pub fn earley_recognize(cfg: &Cfg, w: &GString) -> bool {
     earley_chart(cfg, w).derives(cfg.start(), 0, w.len())
 }
 
-/// Extracts one derivation tree for `w` (the first found, scanning
-/// alternatives in order), as a parse tree of `cfg.to_lambek()`. Returns
-/// `None` if the string is not derivable.
-pub fn earley_parse(cfg: &Cfg, w: &GString) -> Option<ParseTree> {
-    let chart = earley_chart(cfg, w);
-    if !chart.derives(cfg.start(), 0, w.len()) {
-        return None;
-    }
-    let mut guard = HashSet::new();
-    build_nt(cfg, w, &chart, cfg.start(), 0, w.len(), &mut guard)
+/// The span at which a derivation was found to be ambiguous: nonterminal
+/// `nt` has at least two distinct derivations of `w[start..end]`.
+///
+/// This is the same notion of "deterministic" the LR layer's conflict
+/// reports use: a grammar whose LR(1) table builds without conflicts never
+/// produces an [`EarleyParse::Ambiguous`] answer (LR(1) grammars are
+/// unambiguous), so the two parsers agree on which inputs have a unique
+/// certified tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AmbiguitySite {
+    /// The ambiguous nonterminal.
+    pub nt: usize,
+    /// Start of the ambiguous span (inclusive).
+    pub start: usize,
+    /// End of the ambiguous span (exclusive).
+    pub end: usize,
 }
 
-fn build_nt(
+impl AmbiguitySite {
+    /// Renders the site with the grammar's nonterminal names.
+    pub fn describe(&self, cfg: &Cfg) -> String {
+        format!(
+            "{} is ambiguous over [{}, {})",
+            cfg.name(self.nt),
+            self.start,
+            self.end
+        )
+    }
+}
+
+/// The outcome of [`earley_parse`]: a *unique* derivation, an explicitly
+/// flagged ambiguous one (with a witness tree and the offending span), or
+/// no derivation at all. Callers that only care about "some tree" use
+/// [`EarleyParse::tree`]; callers that need determinism (the engine's
+/// certified paths) match on [`EarleyParse::Unique`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EarleyParse {
+    /// Exactly one derivation exists; here it is.
+    Unique(ParseTree),
+    /// At least two derivations exist. `tree` is the first one found
+    /// (scanning alternatives in order); `site` is the topmost span where
+    /// the derivations diverge.
+    Ambiguous {
+        /// A witness derivation (alternatives scanned in order).
+        tree: ParseTree,
+        /// The topmost ambiguous span.
+        site: AmbiguitySite,
+    },
+    /// The string is not in the language.
+    NoParse,
+}
+
+impl EarleyParse {
+    /// Any derivation tree, unique or not.
+    pub fn tree(self) -> Option<ParseTree> {
+        match self {
+            EarleyParse::Unique(t) | EarleyParse::Ambiguous { tree: t, .. } => Some(t),
+            EarleyParse::NoParse => None,
+        }
+    }
+
+    /// The derivation tree, but only when it is unique.
+    pub fn unique(self) -> Option<ParseTree> {
+        match self {
+            EarleyParse::Unique(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// `true` when the input had two or more derivations.
+    pub fn is_ambiguous(&self) -> bool {
+        matches!(self, EarleyParse::Ambiguous { .. })
+    }
+}
+
+/// Extracts a derivation tree for `w` as a parse tree of
+/// `cfg.to_lambek()`, reporting ambiguity explicitly: the result
+/// distinguishes "no parse" from "ambiguous at span" instead of silently
+/// picking one tree.
+///
+/// Extraction is chart-guided: at every node `(nt, i, j)` a per-production
+/// suffix DP (`suffix_ways`) counts the chart-supported decompositions
+/// (production alternative + split positions) of the span, saturating at
+/// two. The same table serves twice —
+///
+/// * a total ≥ 2 at any kept node is a proof of ambiguity (chart
+///   soundness makes each decomposition a witness of a distinct
+///   derivation), and the *topmost* such span is reported;
+/// * split positions with a zero count are never descended into, so the
+///   walk does no blind backtracking: the only retries are the (rare,
+///   shallow) unit/ε-cycle guards, keeping extraction near-linear in the
+///   tree size instead of exponential.
+pub fn earley_parse(cfg: &Cfg, w: &GString) -> EarleyParse {
+    let chart = earley_chart(cfg, w);
+    if !chart.derives(cfg.start(), 0, w.len()) {
+        return EarleyParse::NoParse;
+    }
+    let mut guard = HashSet::new();
+    match extract(cfg, w, &chart, cfg.start(), 0, w.len(), &mut guard) {
+        Some((tree, Some(site))) => EarleyParse::Ambiguous { tree, site },
+        Some((tree, None)) => EarleyParse::Unique(tree),
+        // Unreachable for a sound chart; kept as a defensive answer.
+        None => EarleyParse::NoParse,
+    }
+}
+
+/// The suffix-decomposition table of one production over one span:
+/// `ways[idx][pos - i]` counts (saturating at 2) the chart-supported ways
+/// `rhs[idx..]` can derive `w[pos..j]` — terminals must match the input,
+/// nonterminal parts must be completed chart spans.
+fn suffix_ways(w: &GString, chart: &EarleyChart, rhs: &[GSym], i: usize, j: usize) -> Vec<Vec<u8>> {
+    let width = j - i + 1;
+    let mut tables = vec![vec![0u8; width]; rhs.len() + 1];
+    // The empty suffix derives exactly the empty span ending at j.
+    tables[rhs.len()][j - i] = 1;
+    for (idx, sym) in rhs.iter().enumerate().rev() {
+        let (head, tail) = tables.split_at_mut(idx + 1);
+        let (ways, next) = (&mut head[idx], &tail[0]);
+        match sym {
+            GSym::T(c) => {
+                for pos in i..j {
+                    if w[pos] == *c {
+                        ways[pos - i] = next[pos + 1 - i];
+                    }
+                }
+            }
+            GSym::N(m) => {
+                for pos in i..=j {
+                    let mut acc = 0u8;
+                    for k in pos..=j {
+                        if next[k - i] > 0 && chart.derives(*m, pos, k) {
+                            acc = (acc + next[k - i]).min(2);
+                        }
+                    }
+                    ways[pos - i] = acc;
+                }
+            }
+        }
+    }
+    tables
+}
+
+/// Builds one derivation of `(nt, i, j)` plus the topmost ambiguous span
+/// at or below it, guided by the suffix DP. `None` only on unit/ε cycles
+/// (the caller tries the next split) or for non-derivable spans.
+fn extract(
     cfg: &Cfg,
     w: &GString,
     chart: &EarleyChart,
@@ -297,16 +430,29 @@ fn build_nt(
     i: usize,
     j: usize,
     guard: &mut HashSet<(usize, usize, usize)>,
-) -> Option<ParseTree> {
+) -> Option<(ParseTree, Option<AmbiguitySite>)> {
     if !chart.derives(nt, i, j) || !guard.insert((nt, i, j)) {
-        // Not derivable, or a unit/ε cycle: fail this path (another
-        // alternative will be tried by the caller).
         return None;
     }
+    let tables: Vec<Vec<Vec<u8>>> = cfg
+        .alternatives(nt)
+        .iter()
+        .map(|p| suffix_ways(w, chart, &p.rhs, i, j))
+        .collect();
+    let total: u8 = tables.iter().fold(0, |acc, t| (acc + t[0][0]).min(2));
+    let own_site = (total >= 2).then_some(AmbiguitySite {
+        nt,
+        start: i,
+        end: j,
+    });
     let mut result = None;
-    for (alt, prod) in cfg.alternatives(nt).iter().enumerate() {
-        if let Some(children) = build_seq(cfg, w, chart, &prod.rhs, i, j, guard) {
-            result = Some(cfg.derivation(nt, alt, children));
+    for (alt, ways) in tables.iter().enumerate() {
+        if ways[0][0] == 0 {
+            continue;
+        }
+        let rhs = &cfg.alternatives(nt)[alt].rhs;
+        if let Some((children, below)) = extract_seq(cfg, w, chart, rhs, ways, 0, i, i, j, guard) {
+            result = Some((cfg.derivation(nt, alt, children), own_site.or(below)));
             break;
         }
     }
@@ -314,42 +460,53 @@ fn build_nt(
     result
 }
 
-fn build_seq(
+/// Builds the children of `rhs[idx..]` over `w[pos..j]` (the node started
+/// at `base`, which anchors the DP tables). Splits are taken from the
+/// non-zero entries of `ways`, so every descent is into a derivable
+/// configuration; failures only bubble up from cycle guards.
+#[allow(clippy::too_many_arguments)]
+fn extract_seq(
     cfg: &Cfg,
     w: &GString,
     chart: &EarleyChart,
     rhs: &[GSym],
-    i: usize,
+    ways: &[Vec<u8>],
+    idx: usize,
+    base: usize,
+    pos: usize,
     j: usize,
     guard: &mut HashSet<(usize, usize, usize)>,
-) -> Option<Vec<ParseTree>> {
-    match rhs.split_first() {
-        None => (i == j).then(Vec::new),
-        Some((first, rest)) => match first {
-            GSym::T(c) => {
-                if i < j && w[i] == *c {
-                    let mut children = build_seq(cfg, w, chart, rest, i + 1, j, guard)?;
-                    children.insert(0, ParseTree::Char(*c));
-                    Some(children)
-                } else {
-                    None
-                }
-            }
-            GSym::N(m) => {
-                for k in i..=j {
-                    if !chart.derives(*m, i, k) {
-                        continue;
-                    }
-                    if let Some(head) = build_nt(cfg, w, chart, *m, i, k, guard) {
-                        if let Some(mut children) = build_seq(cfg, w, chart, rest, k, j, guard) {
-                            children.insert(0, head);
-                            return Some(children);
-                        }
-                    }
-                }
+) -> Option<(Vec<ParseTree>, Option<AmbiguitySite>)> {
+    let Some(sym) = rhs.get(idx) else {
+        return (pos == j).then(|| (Vec::new(), None));
+    };
+    match sym {
+        GSym::T(c) => {
+            if pos < j && w[pos] == *c {
+                let (mut children, below) =
+                    extract_seq(cfg, w, chart, rhs, ways, idx + 1, base, pos + 1, j, guard)?;
+                children.insert(0, ParseTree::Char(*c));
+                Some((children, below))
+            } else {
                 None
             }
-        },
+        }
+        GSym::N(m) => {
+            for k in pos..=j {
+                if ways[idx + 1][k - base] == 0 || !chart.derives(*m, pos, k) {
+                    continue;
+                }
+                if let Some((head, head_site)) = extract(cfg, w, chart, *m, pos, k, guard) {
+                    if let Some((mut children, rest_site)) =
+                        extract_seq(cfg, w, chart, rhs, ways, idx + 1, base, k, j, guard)
+                    {
+                        children.insert(0, head);
+                        return Some((children, head_site.or(rest_site)));
+                    }
+                }
+            }
+            None
+        }
     }
 }
 
@@ -383,11 +540,16 @@ mod tests {
             let w = s
                 .parse_str(&format!("{}{}", "a".repeat(n), "b".repeat(n)))
                 .unwrap();
-            let t = earley_parse(&cfg, &w).unwrap();
+            let t = earley_parse(&cfg, &w).unique().unwrap();
             validate(&t, &g, &w).unwrap();
         }
-        assert!(earley_parse(&cfg, &s.parse_str("ab" /* ok */).unwrap()).is_some());
-        assert!(earley_parse(&cfg, &s.parse_str("ba").unwrap()).is_none());
+        assert!(earley_parse(&cfg, &s.parse_str("ab" /* ok */).unwrap())
+            .tree()
+            .is_some());
+        assert_eq!(
+            earley_parse(&cfg, &s.parse_str("ba").unwrap()),
+            EarleyParse::NoParse
+        );
     }
 
     #[test]
@@ -411,7 +573,7 @@ mod tests {
         for n in 1..6 {
             let w = s.parse_str(&"a".repeat(n)).unwrap();
             assert!(earley_recognize(&cfg, &w), "a^{n}");
-            let t = earley_parse(&cfg, &w).unwrap();
+            let t = earley_parse(&cfg, &w).unique().unwrap();
             validate(&t, &cfg.to_lambek(), &w).unwrap();
         }
         assert!(!earley_recognize(&cfg, &GString::new()));
@@ -481,13 +643,103 @@ mod tests {
         for w in all_strings(&s, 6) {
             let recognized = earley_recognize(&cfg, &w);
             assert_eq!(recognized, cg.recognizes(&w), "{w}");
-            match earley_parse(&cfg, &w) {
+            match earley_parse(&cfg, &w).tree() {
                 Some(t) => {
                     assert!(recognized, "{w}");
                     validate(&t, &g, &w).unwrap();
                 }
                 None => assert!(!recognized, "{w}"),
             }
+        }
+    }
+
+    #[test]
+    fn ambiguity_is_reported_with_its_span() {
+        // S ::= S S | a — the textbook ambiguous grammar: "aaa" has two
+        // derivations, diverging at the very top span.
+        let s = Alphabet::abc();
+        let a = s.symbol("a").unwrap();
+        let cfg = Cfg::new(
+            s.clone(),
+            vec!["S".to_owned()],
+            vec![vec![
+                Production {
+                    rhs: vec![GSym::N(0), GSym::N(0)],
+                },
+                Production {
+                    rhs: vec![GSym::T(a)],
+                },
+            ]],
+            0,
+        );
+        let g = cfg.to_lambek();
+        // "a" is unambiguous: only S → a derives it.
+        let w = s.parse_str("a").unwrap();
+        assert!(matches!(earley_parse(&cfg, &w), EarleyParse::Unique(_)));
+        // "aaa" splits as (aa)a or a(aa).
+        let w = s.parse_str("aaa").unwrap();
+        match earley_parse(&cfg, &w) {
+            EarleyParse::Ambiguous { tree, site } => {
+                validate(&tree, &g, &w).unwrap();
+                assert_eq!(
+                    site,
+                    AmbiguitySite {
+                        nt: 0,
+                        start: 0,
+                        end: 3
+                    }
+                );
+                assert_eq!(site.describe(&cfg), "S is ambiguous over [0, 3)");
+            }
+            other => panic!("expected ambiguity, got {other:?}"),
+        }
+        // "b" is no parse — distinguished from ambiguity.
+        let w = s.parse_str("b").unwrap();
+        assert_eq!(earley_parse(&cfg, &w), EarleyParse::NoParse);
+    }
+
+    #[test]
+    fn nested_ambiguity_is_found_below_the_root() {
+        // S ::= A c ; A ::= a P | a a ; P ::= a — "aac" has two
+        // A-derivations while S itself has a single decomposition, so the
+        // reported site must be the inner A span.
+        let s = Alphabet::abc();
+        let (a, c) = (s.symbol("a").unwrap(), s.symbol("c").unwrap());
+        let cfg = Cfg::new(
+            s.clone(),
+            vec!["S".to_owned(), "A".to_owned(), "P".to_owned()],
+            vec![
+                vec![Production {
+                    rhs: vec![GSym::N(1), GSym::T(c)],
+                }],
+                vec![
+                    Production {
+                        rhs: vec![GSym::T(a), GSym::N(2)],
+                    },
+                    Production {
+                        rhs: vec![GSym::T(a), GSym::T(a)],
+                    },
+                ],
+                vec![Production {
+                    rhs: vec![GSym::T(a)],
+                }],
+            ],
+            0,
+        );
+        let w = s.parse_str("aac").unwrap();
+        match earley_parse(&cfg, &w) {
+            EarleyParse::Ambiguous { site, .. } => {
+                assert_eq!(
+                    site,
+                    AmbiguitySite {
+                        nt: 1,
+                        start: 0,
+                        end: 2
+                    },
+                    "the divergence is at A, not S"
+                );
+            }
+            other => panic!("expected ambiguity, got {other:?}"),
         }
     }
 

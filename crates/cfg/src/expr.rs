@@ -47,6 +47,39 @@ pub fn exp_system(t: &ArithTokens) -> Arc<MuSystem> {
     MuSystem::new(vec![exp, atom], vec!["Exp".to_owned(), "Atom".to_owned()])
 }
 
+/// The Fig. 15 grammar as a plain [`Cfg`](crate::grammar::Cfg)
+/// (`Exp ::= Atom | Atom + Exp`,
+/// `Atom ::= NUM | ( Exp )`), matching the summand order of
+/// [`exp_system`] so Earley/LR derivation trees and the μ-regular parse
+/// trees coincide constructor-for-constructor. This is what the engine's
+/// CFG pipelines and the LR table construction consume.
+pub fn exp_cfg(t: &ArithTokens) -> crate::grammar::Cfg {
+    use crate::grammar::{Cfg, GSym, Production};
+    Cfg::new(
+        t.alphabet.clone(),
+        vec!["Exp".to_owned(), "Atom".to_owned()],
+        vec![
+            vec![
+                Production {
+                    rhs: vec![GSym::N(ATOM)],
+                },
+                Production {
+                    rhs: vec![GSym::N(ATOM), GSym::T(t.add), GSym::N(EXP)],
+                },
+            ],
+            vec![
+                Production {
+                    rhs: vec![GSym::T(t.num)],
+                },
+                Production {
+                    rhs: vec![GSym::T(t.lp), GSym::N(EXP), GSym::T(t.rp)],
+                },
+            ],
+        ],
+        EXP,
+    )
+}
+
 /// The `Exp` grammar as a closed linear type.
 pub fn exp_grammar(t: &ArithTokens) -> Grammar {
     mu(exp_system(t), EXP)

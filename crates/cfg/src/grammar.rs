@@ -38,6 +38,11 @@ pub struct Cfg {
     /// `productions[n]` lists the alternatives of nonterminal `n`.
     productions: Vec<Vec<Production>>,
     start: usize,
+    /// Memoized μ-regular encoding: [`Cfg::to_lambek`] is consulted on
+    /// hot paths (the engine derives its interned cache key from it), so
+    /// the encoding is built once per `Cfg` value. Clones made after the
+    /// first encoding share the cached `Arc`.
+    lambek: std::sync::OnceLock<Grammar>,
 }
 
 impl Cfg {
@@ -73,6 +78,7 @@ impl Cfg {
             nonterminal_names,
             productions,
             start,
+            lambek: std::sync::OnceLock::new(),
         }
     }
 
@@ -102,9 +108,13 @@ impl Cfg {
     }
 
     /// The μ-regular encoding: the CFG as an inductive linear type whose
-    /// parses are derivation trees (§4.2).
+    /// parses are derivation trees (§4.2). Memoized: repeated calls (the
+    /// engine keys its pipeline cache off this) return the shared
+    /// canonical `Arc` without re-encoding.
     pub fn to_lambek(&self) -> Grammar {
-        mu(self.to_lambek_system(), self.start)
+        self.lambek
+            .get_or_init(|| mu(self.to_lambek_system(), self.start))
+            .clone()
     }
 
     /// The underlying `μ` system (one definition per nonterminal).

@@ -4,8 +4,10 @@
 //! (§4.2 of the paper):
 //!
 //! * [`grammar`] — CFGs and their μ-regular encoding into linear types;
+//! * [`analysis`] — FIRST/FOLLOW fixpoints, the inputs of table-driven
+//!   parser constructions (the LR layer consumes them);
 //! * [`earley`] — the Earley baseline parser (recognition + derivation
-//!   trees in the μ-regular shape);
+//!   trees in the μ-regular shape, with explicit ambiguity reporting);
 //! * [`dyck`] — the Dyck grammar (Fig. 13), its strong equivalence with
 //!   the counter automaton's traces, and the verified Dyck parser
 //!   (Theorem 4.13);
@@ -16,6 +18,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 pub mod dyck;
 pub mod earley;
 pub mod expr;

@@ -16,9 +16,16 @@
 //! * [`Engine::parse_many`] — batch parsing fanned out over
 //!   [`std::thread::scope`] workers, returning one structured
 //!   [`ParseReport`] per input (outcome, intrinsic yield check, timing);
-//! * [`StreamParser`] — push-style incremental input for DFA-backed
-//!   pipelines: each pushed symbol is one dense-table transition, and
-//!   [`StreamParser::finish`] produces the fully verified parse.
+//! * [`StreamParser`] — push-style incremental input for DFA-backed and
+//!   LR-backed pipelines: each pushed symbol is one dense-table
+//!   transition (or one LR shift plus its pending reductions), and
+//!   [`StreamParser::finish`] produces the fully verified parse;
+//! * [`PipelineSpec::cfg`] — arbitrary context-free grammars served
+//!   through the certified LR(1) subsystem (`lambek-lr`): deterministic
+//!   grammars get linear-time dense-table parsing (with every emitted
+//!   tree re-validated by the core derivation checker), grammars with
+//!   LR conflicts fall back to the Earley baseline, and the conflict
+//!   report is preserved on the compiled [`CfgBackend`].
 //!
 //! Everything here rides on the `Send + Sync` parse-transformer layer
 //! (grammars and transformers are `Arc`-shared) and on the dense
@@ -55,7 +62,7 @@ mod pipeline;
 mod stream;
 
 pub use batch::{parse_batch, ParseReport, ReportOutcome};
-pub use pipeline::{CompiledPipeline, DfaBackend, PipelineSpec, SpecKey};
+pub use pipeline::{CfgBackend, CfgMode, CompiledPipeline, DfaBackend, PipelineSpec, SpecKey};
 pub use stream::StreamParser;
 
 use std::collections::HashMap;

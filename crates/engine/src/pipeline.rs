@@ -5,15 +5,37 @@
 //! its parameters. [`PipelineSpec::compile`] runs the paper's
 //! construction once, and the resulting [`CompiledPipeline`] is the
 //! immutable, `Send + Sync` artifact the engine shares across requests.
+//!
+//! Two families of pipeline exist:
+//!
+//! * **verified-transformer pipelines** ([`PipelineSpec::regex`],
+//!   [`PipelineSpec::dyck`], [`PipelineSpec::expr`]) wrap a
+//!   [`VerifiedParser`] built by the paper's constructions, optionally
+//!   with a dense [`DfaBackend`] for streaming;
+//! * **CFG pipelines** ([`PipelineSpec::cfg`]) take an arbitrary
+//!   [`Cfg`] and compile it to the certified LR(1)/LALR tables of
+//!   `lambek-lr` — linear-time parsing for the deterministic fragment —
+//!   falling back to the Earley baseline when the grammar has LR
+//!   conflicts (the [`CfgBackend`] records the conflict report either
+//!   way). Accepted trees from both paths are re-validated by the core
+//!   derivation checker, preserving the intrinsic-verification
+//!   contract; the *rejection* side of Definition 4.6 (a disjoint
+//!   negative grammar) has no general CFG construction, so CFG
+//!   rejections carry the trivial `⊤`-parse of the input as their
+//!   witness.
 
 use std::time::{Duration, Instant};
 
 use lambek_automata::counter::dyck_automaton;
 use lambek_automata::dfa::{Dfa, DfaTraceGrammar};
+use lambek_cfg::earley::{earley_parse, earley_recognize, EarleyParse};
+use lambek_cfg::grammar::Cfg;
 use lambek_core::alphabet::{Alphabet, GString};
 use lambek_core::grammar::expr::Grammar;
+use lambek_core::grammar::parse_tree::{validate, ParseTree};
 use lambek_core::theory::parser::{ParseOutcome, VerifiedParser};
 use lambek_core::transform::TransformError;
+use lambek_lr::{CertifiedLrParser, LrConflictReport, LrOutcome};
 use regex_grammars::ast::parse_regex;
 use regex_grammars::pipeline::RegexParser;
 
@@ -23,11 +45,12 @@ use crate::EngineError;
 ///
 /// Two specs are the same pipeline exactly when they compare equal.
 /// Equality and hashing go through an interned [`SpecKey`] computed once
-/// at construction: alphabets and patterns are interned in
+/// at construction: alphabets, patterns and grammars are interned in
 /// [`lambek_core::intern`], so comparing (and hashing) cache keys is a
 /// couple of integer compares — no deep traversal of the alphabet's name
-/// table or the pattern string. Structurally identical alphabets share
-/// cache entries.
+/// table, the pattern string, or the CFG's μ-regular encoding.
+/// Structurally identical alphabets (and structurally identical CFGs)
+/// share cache entries.
 #[derive(Debug, Clone)]
 pub struct PipelineSpec {
     kind: SpecKind,
@@ -58,6 +81,15 @@ enum SpecKind {
         /// Truncation bound of the lookahead automaton.
         max_len: usize,
     },
+    /// A context-free grammar compiled to certified LR tables (Earley
+    /// fallback on conflict). No truncation bound: valid for inputs of
+    /// any length.
+    Cfg {
+        /// Display label for reports.
+        name: String,
+        /// The grammar itself.
+        cfg: Cfg,
+    },
 }
 
 /// The id-based identity of a [`PipelineSpec`]: a small `Copy` value
@@ -71,6 +103,12 @@ pub enum SpecKey {
     Dyck(usize),
     /// Expression pipeline at a truncation bound.
     Expr(usize),
+    /// CFG pipeline: interned alphabet + interned μ-regular encoding
+    /// (the encoding determines the productions and the start symbol).
+    Cfg(
+        lambek_core::intern::AlphabetId,
+        lambek_core::intern::GrammarId,
+    ),
 }
 
 impl PartialEq for PipelineSpec {
@@ -118,6 +156,40 @@ impl PipelineSpec {
         }
     }
 
+    /// A CFG pipeline spec: `cfg` compiled to certified LR tables when
+    /// the grammar is LALR(1), to the Earley baseline otherwise. `name`
+    /// is the display label; the cache identity is the grammar itself
+    /// (interned μ-regular encoding + alphabet), so two structurally
+    /// equal CFGs share one pipeline regardless of label.
+    pub fn cfg(name: impl Into<String>, cfg: Cfg) -> PipelineSpec {
+        let key = SpecKey::Cfg(
+            lambek_core::intern::alphabet_id(cfg.alphabet()),
+            lambek_core::intern::grammar_id(&cfg.to_lambek()),
+        );
+        PipelineSpec {
+            kind: SpecKind::Cfg {
+                name: name.into(),
+                cfg,
+            },
+            key,
+        }
+    }
+
+    /// The Dyck language as a CFG pipeline (LR-backed, no truncation
+    /// bound) — the linear-time serving path for balanced parentheses.
+    pub fn dyck_cfg() -> PipelineSpec {
+        let p = lambek_cfg::dyck::Parens::new();
+        PipelineSpec::cfg("dyck-cfg", lambek_cfg::dyck::dyck_cfg(&p))
+    }
+
+    /// The Fig. 15 expression grammar as a CFG pipeline (LR-backed, no
+    /// truncation bound) — unlike [`PipelineSpec::expr`], this serving
+    /// path also supports streaming.
+    pub fn expr_cfg() -> PipelineSpec {
+        let t = lambek_automata::lookahead::ArithTokens::new();
+        PipelineSpec::cfg("expr-cfg", lambek_cfg::expr::exp_cfg(&t))
+    }
+
     /// The interned O(1) cache key this spec compares and hashes by.
     pub fn key(&self) -> SpecKey {
         self.key
@@ -129,6 +201,7 @@ impl PipelineSpec {
             SpecKind::Regex { pattern, .. } => format!("regex({pattern})"),
             SpecKind::Dyck { max_len } => format!("dyck(≤{max_len})"),
             SpecKind::Expr { max_len } => format!("expr(≤{max_len})"),
+            SpecKind::Cfg { name, .. } => format!("cfg({name})"),
         }
     }
 
@@ -137,10 +210,12 @@ impl PipelineSpec {
     /// # Errors
     ///
     /// Returns [`EngineError::Compile`] on regex syntax errors or if the
-    /// underlying equivalences fail to compose.
+    /// underlying equivalences fail to compose. A CFG spec never fails
+    /// to compile: LR conflicts fall back to Earley, with the conflict
+    /// report preserved on the [`CfgBackend`].
     pub fn compile(&self) -> Result<CompiledPipeline, EngineError> {
         let start = Instant::now();
-        let (parser, backend) = match &self.kind {
+        let imp = match &self.kind {
             SpecKind::Regex { alphabet, pattern } => {
                 let re = parse_regex(alphabet, pattern)
                     .map_err(|e| EngineError::Compile(format!("{e}")))?;
@@ -148,22 +223,38 @@ impl PipelineSpec {
                     .map_err(|e| EngineError::Compile(format!("{e}")))?;
                 let dfa = rp.determinized().dfa.clone();
                 let tg = dfa.trace_grammar();
-                (rp.verified_parser().clone(), Some(DfaBackend { dfa, tg }))
+                ParserImpl::Verified {
+                    parser: rp.verified_parser().clone(),
+                    dfa: Some(DfaBackend { dfa, tg }),
+                }
             }
             SpecKind::Dyck { max_len } => {
                 let dfa = dyck_automaton(*max_len);
                 let tg = dfa.trace_grammar();
-                (
-                    lambek_cfg::dyck::dyck_parser(*max_len),
-                    Some(DfaBackend { dfa, tg }),
-                )
+                ParserImpl::Verified {
+                    parser: lambek_cfg::dyck::dyck_parser(*max_len),
+                    dfa: Some(DfaBackend { dfa, tg }),
+                }
             }
-            SpecKind::Expr { max_len } => (lambek_cfg::expr::exp_parser(*max_len), None),
+            SpecKind::Expr { max_len } => ParserImpl::Verified {
+                parser: lambek_cfg::expr::exp_parser(*max_len),
+                dfa: None,
+            },
+            SpecKind::Cfg { cfg, .. } => {
+                let mode = match CertifiedLrParser::compile(cfg) {
+                    Ok(lr) => CfgMode::Lr(lr),
+                    Err(conflicts) => CfgMode::Earley {
+                        cfg: cfg.clone(),
+                        grammar: cfg.to_lambek(),
+                        conflicts,
+                    },
+                };
+                ParserImpl::Cfg(CfgBackend { mode })
+            }
         };
         Ok(CompiledPipeline {
             spec: self.clone(),
-            parser,
-            backend,
+            imp,
             compile_time: start.elapsed(),
         })
     }
@@ -179,12 +270,127 @@ pub struct DfaBackend {
     pub tg: DfaTraceGrammar,
 }
 
+/// How a CFG pipeline parses: certified LR tables when the grammar is
+/// deterministic, the Earley baseline otherwise.
+#[derive(Debug, Clone)]
+pub enum CfgMode {
+    /// The grammar compiled conflict-free; parsing is linear-time LR
+    /// (the parser owns the grammar, in both representations).
+    Lr(CertifiedLrParser),
+    /// The grammar is outside the LALR(1) fragment; parsing is Earley.
+    Earley {
+        /// The grammar being served.
+        cfg: Cfg,
+        /// Its μ-regular encoding, for tree certification.
+        grammar: Grammar,
+        /// Why LR compilation was rejected — the offending item sets.
+        conflicts: LrConflictReport,
+    },
+}
+
+/// The compiled form of a [`PipelineSpec::cfg`] spec.
+#[derive(Debug, Clone)]
+pub struct CfgBackend {
+    mode: CfgMode,
+}
+
+impl CfgBackend {
+    /// The grammar being served.
+    pub fn cfg(&self) -> &Cfg {
+        match &self.mode {
+            CfgMode::Lr(lr) => lr.cfg(),
+            CfgMode::Earley { cfg, .. } => cfg,
+        }
+    }
+
+    /// The μ-regular encoding accepted trees are validated against.
+    pub fn grammar(&self) -> &Grammar {
+        match &self.mode {
+            CfgMode::Lr(lr) => lr.grammar(),
+            CfgMode::Earley { grammar, .. } => grammar,
+        }
+    }
+
+    /// LR tables or Earley fallback.
+    pub fn mode(&self) -> &CfgMode {
+        &self.mode
+    }
+
+    /// The certified LR parser, when the grammar compiled conflict-free.
+    pub fn lr(&self) -> Option<&CertifiedLrParser> {
+        match &self.mode {
+            CfgMode::Lr(lr) => Some(lr),
+            CfgMode::Earley { .. } => None,
+        }
+    }
+
+    /// The conflict report, when the grammar fell back to Earley.
+    pub fn conflicts(&self) -> Option<&LrConflictReport> {
+        match &self.mode {
+            CfgMode::Lr(_) => None,
+            CfgMode::Earley { conflicts, .. } => Some(conflicts),
+        }
+    }
+
+    /// Parses with the backing parser and certifies the result: any
+    /// accepted tree is validated against the μ-regular grammar and the
+    /// input before being returned.
+    fn parse(&self, w: &GString) -> Result<ParseOutcome, TransformError> {
+        let accepted = match &self.mode {
+            CfgMode::Lr(lr) => match lr.parse(w).map_err(|e| TransformError::OutputShape {
+                transformer: "certified-lr".to_owned(),
+                cause: e.cause,
+            })? {
+                LrOutcome::Accept(tree) => Some(tree),
+                LrOutcome::Reject(_) => None,
+            },
+            CfgMode::Earley { cfg, grammar, .. } => match earley_parse(cfg, w) {
+                // An ambiguous grammar still serves: the witness tree is
+                // the first derivation (alternatives in order).
+                EarleyParse::Unique(tree) | EarleyParse::Ambiguous { tree, .. } => {
+                    validate(&tree, grammar, w).map_err(|cause| TransformError::OutputShape {
+                        transformer: "earley-fallback".to_owned(),
+                        cause,
+                    })?;
+                    Some(tree)
+                }
+                EarleyParse::NoParse => None,
+            },
+        };
+        Ok(match accepted {
+            Some(tree) => ParseOutcome::Accept(tree),
+            // No general complement construction for CFGs: the rejection
+            // witness is the trivial ⊤-parse of the input (yield-correct,
+            // but ⊤ is not disjoint from the grammar — see module docs).
+            None => ParseOutcome::Reject(ParseTree::Top(w.clone())),
+        })
+    }
+
+    fn accepts(&self, w: &GString) -> bool {
+        match &self.mode {
+            CfgMode::Lr(lr) => lr.recognizes(w),
+            CfgMode::Earley { cfg, .. } => earley_recognize(cfg, w),
+        }
+    }
+}
+
+/// How a [`CompiledPipeline`] actually parses.
+#[derive(Debug, Clone)]
+enum ParserImpl {
+    /// A paper-construction verified parser, optionally DFA-backed.
+    Verified {
+        parser: VerifiedParser,
+        dfa: Option<DfaBackend>,
+    },
+    /// A CFG compiled to LR tables (or the Earley fallback).
+    Cfg(CfgBackend),
+}
+
 /// A compiled, immutable, thread-shareable parser pipeline.
 #[derive(Debug, Clone)]
 pub struct CompiledPipeline {
     spec: PipelineSpec,
-    parser: VerifiedParser,
-    backend: Option<DfaBackend>,
+    imp: ParserImpl,
     compile_time: Duration,
 }
 
@@ -194,25 +400,49 @@ impl CompiledPipeline {
         &self.spec
     }
 
-    /// The composed verified parser (Definition 4.6).
-    pub fn parser(&self) -> &VerifiedParser {
-        &self.parser
+    /// The composed verified parser (Definition 4.6), for the
+    /// verified-transformer pipelines; `None` for CFG pipelines, whose
+    /// parser is the certified LR driver / Earley fallback behind
+    /// [`CompiledPipeline::cfg_backend`].
+    pub fn parser(&self) -> Option<&VerifiedParser> {
+        match &self.imp {
+            ParserImpl::Verified { parser, .. } => Some(parser),
+            ParserImpl::Cfg(_) => None,
+        }
     }
 
-    /// The dense DFA backend, if the pipeline has one (regex and Dyck do;
-    /// the lookahead-automaton expression pipeline does not).
+    /// The dense DFA backend, if the pipeline has one (regex and Dyck
+    /// do; the lookahead-automaton expression pipeline and CFG pipelines
+    /// do not).
     pub fn backend(&self) -> Option<&DfaBackend> {
-        self.backend.as_ref()
+        match &self.imp {
+            ParserImpl::Verified { dfa, .. } => dfa.as_ref(),
+            ParserImpl::Cfg(_) => None,
+        }
+    }
+
+    /// The CFG backend, if this is a [`PipelineSpec::cfg`] pipeline.
+    pub fn cfg_backend(&self) -> Option<&CfgBackend> {
+        match &self.imp {
+            ParserImpl::Verified { .. } => None,
+            ParserImpl::Cfg(b) => Some(b),
+        }
     }
 
     /// The input alphabet.
     pub fn alphabet(&self) -> &Alphabet {
-        self.parser.alphabet()
+        match &self.imp {
+            ParserImpl::Verified { parser, .. } => parser.alphabet(),
+            ParserImpl::Cfg(b) => b.cfg().alphabet(),
+        }
     }
 
     /// The grammar being parsed.
     pub fn grammar(&self) -> &Grammar {
-        self.parser.grammar()
+        match &self.imp {
+            ParserImpl::Verified { parser, .. } => parser.grammar(),
+            ParserImpl::Cfg(b) => b.grammar(),
+        }
     }
 
     /// How long [`PipelineSpec::compile`] took.
@@ -220,18 +450,24 @@ impl CompiledPipeline {
         self.compile_time
     }
 
-    /// Runs the verified parser (intrinsic checks included).
+    /// Runs the pipeline's parser with the intrinsic checks on: any
+    /// accepted tree has been validated against the grammar *and* the
+    /// input string.
     ///
     /// # Errors
     ///
     /// Propagates contract violations from the underlying transformers —
     /// for the built-in pipelines this only happens past a truncation
-    /// bound (e.g. [`PipelineSpec::expr`] inputs longer than `max_len`).
+    /// bound (e.g. [`PipelineSpec::expr`] inputs longer than `max_len`;
+    /// CFG pipelines have no bound).
     pub fn parse(&self, w: &GString) -> Result<ParseOutcome, TransformError> {
-        self.parser.parse(w)
+        match &self.imp {
+            ParserImpl::Verified { parser, .. } => parser.parse(w),
+            ParserImpl::Cfg(b) => b.parse(w),
+        }
     }
 
-    /// Fast acceptance check: a dense-table DFA run when a backend is
+    /// Fast acceptance check: a dense-table DFA or LR run when one is
     /// available, otherwise a full parse.
     ///
     /// Inputs the pipeline cannot process at all (backend-less pipelines
@@ -239,9 +475,12 @@ impl CompiledPipeline {
     /// returns an error) count as not accepted; use `parse` when the
     /// distinction between "rejected" and "failed" matters.
     pub fn accepts(&self, w: &GString) -> bool {
-        match &self.backend {
-            Some(b) => b.dfa.accepts(w),
-            None => self.parser.parse(w).map(|o| o.is_accept()).unwrap_or(false),
+        match &self.imp {
+            ParserImpl::Verified { dfa: Some(b), .. } => b.dfa.accepts(w),
+            ParserImpl::Verified { parser, dfa: None } => {
+                parser.parse(w).map(|o| o.is_accept()).unwrap_or(false)
+            }
+            ParserImpl::Cfg(b) => b.accepts(w),
         }
     }
 }
@@ -249,8 +488,14 @@ impl CompiledPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lambek_cfg::dyck::{dyck_cfg, parse_dyck_string, Parens};
+    use lambek_cfg::grammar::{GSym, Production};
 
     #[test]
+    // `Cfg`'s μ-encoding memo gives `PipelineSpec` interior mutability in
+    // clippy's eyes; hashing and equality go through the id-based
+    // `SpecKey` computed at construction, which the memo never touches.
+    #[allow(clippy::mutable_key_type)]
     fn specs_with_equal_alphabets_are_equal_keys() {
         let a = PipelineSpec::regex(Alphabet::abc(), "a*b");
         let b = PipelineSpec::regex(Alphabet::from_chars("abc"), "a*b");
@@ -280,6 +525,18 @@ mod tests {
     }
 
     #[test]
+    fn cfg_specs_share_keys_by_structure_not_label() {
+        let p = Parens::new();
+        let a = PipelineSpec::cfg("one", dyck_cfg(&p));
+        let b = PipelineSpec::cfg("two", dyck_cfg(&p));
+        assert_eq!(a, b, "labels are not part of the identity");
+        assert_eq!(a.key(), PipelineSpec::dyck_cfg().key());
+        assert_ne!(a.key(), PipelineSpec::expr_cfg().key());
+        assert_ne!(a.key(), PipelineSpec::dyck(4).key());
+        assert_eq!(a.label(), "cfg(one)");
+    }
+
+    #[test]
     fn dyck_pipeline_has_a_backend_expr_does_not() {
         let dyck = PipelineSpec::dyck(6).compile().unwrap();
         assert!(dyck.backend().is_some());
@@ -296,6 +553,68 @@ mod tests {
         for s in ["", "c", "abc", "ca", "abab", "bbac"] {
             let w = sigma.parse_str(s).unwrap();
             assert_eq!(p.accepts(&w), p.parse(&w).unwrap().is_accept(), "{s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_cfg_compiles_to_lr() {
+        let p = PipelineSpec::dyck_cfg().compile().unwrap();
+        let b = p.cfg_backend().expect("cfg pipeline");
+        assert!(b.lr().is_some(), "Dyck is LALR(1)");
+        assert!(b.conflicts().is_none());
+        assert!(p.parser().is_none(), "no verified transformer here");
+        assert!(p.backend().is_none(), "no DFA either");
+        let parens = Parens::new();
+        let w = parens.alphabet.parse_str("(()())").unwrap();
+        let outcome = p.parse(&w).unwrap();
+        let tree = outcome.accepted().unwrap();
+        assert_eq!(tree, &parse_dyck_string(&parens, &w).unwrap());
+        assert!(p.accepts(&w));
+        assert!(!p.accepts(&parens.alphabet.parse_str(")(").unwrap()));
+    }
+
+    #[test]
+    fn conflicted_cfg_falls_back_to_earley() {
+        // S ::= S S | a — ambiguous, hence conflicted, hence Earley.
+        let s = Alphabet::abc();
+        let a = s.symbol("a").unwrap();
+        let cfg = Cfg::new(
+            s.clone(),
+            vec!["S".to_owned()],
+            vec![vec![
+                Production {
+                    rhs: vec![GSym::N(0), GSym::N(0)],
+                },
+                Production {
+                    rhs: vec![GSym::T(a)],
+                },
+            ]],
+            0,
+        );
+        let p = PipelineSpec::cfg("ambiguous", cfg).compile().unwrap();
+        let b = p.cfg_backend().unwrap();
+        assert!(b.lr().is_none());
+        let report = b.conflicts().expect("conflicts are preserved");
+        assert!(!report.conflicts.is_empty());
+        // The fallback still serves (and certifies) parses.
+        let w = s.parse_str("aaa").unwrap();
+        let outcome = p.parse(&w).unwrap();
+        assert!(outcome.is_accept());
+        assert_eq!(outcome.accepted().unwrap().flatten(), w);
+        assert!(!p.parse(&s.parse_str("b").unwrap()).unwrap().is_accept());
+    }
+
+    #[test]
+    fn cfg_rejections_carry_the_top_witness() {
+        let p = PipelineSpec::dyck_cfg().compile().unwrap();
+        let parens = Parens::new();
+        let w = parens.alphabet.parse_str("(()").unwrap();
+        match p.parse(&w).unwrap() {
+            ParseOutcome::Reject(t) => {
+                assert_eq!(t, ParseTree::Top(w.clone()), "⊤-parse of the input");
+                assert_eq!(t.flatten(), w, "yield-correct even on rejection");
+            }
+            ParseOutcome::Accept(_) => panic!("(() is unbalanced"),
         }
     }
 }

@@ -1,17 +1,31 @@
-//! Push-mode streaming input for DFA-backed pipelines.
+//! Push-mode streaming input for DFA-backed and LR-backed pipelines.
 //!
-//! A [`StreamParser`] consumes one symbol per [`StreamParser::push`] —
-//! each push is a single dense-table transition — while remembering the
-//! visited state sequence. Incremental questions are answered from that
-//! record: [`StreamParser::would_accept`] is one array probe, and
-//! [`StreamParser::trace`] materializes the unique DFA trace *backwards
-//! over the recorded states* (the `parseD` construction of Fig. 12)
-//! without re-running the automaton. [`StreamParser::finish`] trades
-//! that incrementality for the full guarantee: it runs the pipeline's
-//! composed verified parser over the accumulated input end-to-end
-//! (including re-running the automaton), because intrinsic verification
-//! is a property of the whole composed transformer, not of the raw
-//! trace.
+//! A [`StreamParser`] consumes one symbol per [`StreamParser::push`].
+//! Two backends support streaming:
+//!
+//! * **DFA mode** (regex and Dyck pipelines): each push is a single
+//!   dense-table transition; the visited state sequence is remembered,
+//!   so [`StreamParser::would_accept`] is one array probe and
+//!   [`StreamParser::trace`] materializes the unique DFA trace
+//!   *backwards over the recorded states* (the `parseD` construction of
+//!   Fig. 12) without re-running the automaton.
+//!   [`StreamParser::finish`] trades that incrementality for the full
+//!   guarantee: it runs the pipeline's composed verified parser over
+//!   the accumulated input end-to-end, because intrinsic verification
+//!   is a property of the whole composed transformer.
+//! * **LR mode** (CFG pipelines whose grammar compiled conflict-free):
+//!   each push shifts one symbol after running the pending reductions —
+//!   O(1) amortized over the input via the dense ACTION/GOTO tables —
+//!   and the partial parse trees stay on the stream's stack.
+//!   [`StreamParser::would_accept`] simulates the end-of-input
+//!   reductions over a scratch copy of the state stack;
+//!   [`StreamParser::finish`] completes the remaining reductions and
+//!   re-validates the finished tree with the core derivation checker
+//!   (the certification step), so the streaming path gives exactly the
+//!   same intrinsic guarantee as the one-shot path.
+//!
+//! CFG pipelines that fell back to Earley have no incremental driver
+//! and refuse to open a stream.
 
 use std::sync::Arc;
 
@@ -20,17 +34,32 @@ use lambek_core::alphabet::{GString, Symbol};
 use lambek_core::grammar::parse_tree::ParseTree;
 use lambek_core::theory::parser::ParseOutcome;
 use lambek_core::transform::TransformError;
+use lambek_lr::{LrOutcome, LrStream};
 
 use crate::pipeline::CompiledPipeline;
 use crate::EngineError;
+
+/// The backend-specific state of a stream.
+#[derive(Debug, Clone)]
+enum Mode {
+    /// Dense DFA stepping; `states[i]` is the state before symbol `i`.
+    Dfa {
+        states: Vec<StateId>,
+        input: GString,
+        /// Co-reachability of every state
+        /// ([`lambek_automata::dfa::Dfa::live_states`]), computed once
+        /// at open: the viability probe is one index.
+        live: Vec<bool>,
+    },
+    /// Incremental certified LR parsing.
+    Lr(LrStream),
+}
 
 /// An incremental parser over a shared compiled pipeline.
 #[derive(Debug, Clone)]
 pub struct StreamParser {
     pipeline: Arc<CompiledPipeline>,
-    /// Visited states: `states[i]` is the state before symbol `i`.
-    states: Vec<StateId>,
-    input: GString,
+    mode: Mode,
 }
 
 impl StreamParser {
@@ -38,26 +67,39 @@ impl StreamParser {
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::NoStreamingBackend`] if the pipeline has no
-    /// dense DFA behind it.
+    /// Returns [`EngineError::NoStreamingBackend`] if the pipeline has
+    /// neither a dense DFA nor LR tables behind it (the
+    /// lookahead-automaton expression pipeline; CFG pipelines on the
+    /// Earley fallback).
     pub fn open(pipeline: Arc<CompiledPipeline>) -> Result<StreamParser, EngineError> {
-        let Some(backend) = pipeline.backend() else {
+        let mode = if let Some(backend) = pipeline.backend() {
+            Mode::Dfa {
+                states: vec![backend.dfa.init()],
+                input: GString::new(),
+                live: backend.dfa.live_states(),
+            }
+        } else if let Some(lr) = pipeline.cfg_backend().and_then(|b| b.lr()) {
+            Mode::Lr(lr.stream())
+        } else {
             return Err(EngineError::NoStreamingBackend(pipeline.spec().label()));
         };
-        let init = backend.dfa.init();
-        Ok(StreamParser {
-            pipeline,
-            states: vec![init],
-            input: GString::new(),
-        })
+        Ok(StreamParser { pipeline, mode })
     }
 
-    /// Consumes one symbol: a single dense-table transition.
+    /// Consumes one symbol: a single dense-table DFA transition, or one
+    /// LR shift plus any reductions it unlocks.
     pub fn push(&mut self, sym: Symbol) {
-        let backend = self.pipeline.backend().expect("checked at open");
-        let s = *self.states.last().expect("stream has an initial state");
-        self.states.push(backend.dfa.delta(s, sym));
-        self.input.push(sym);
+        match &mut self.mode {
+            Mode::Dfa { states, input, .. } => {
+                let backend = self.pipeline.backend().expect("checked at open");
+                let s = *states.last().expect("stream has an initial state");
+                states.push(backend.dfa.delta(s, sym));
+                input.push(sym);
+            }
+            Mode::Lr(stream) => {
+                stream.push(sym);
+            }
+        }
     }
 
     /// Consumes a whole string.
@@ -69,61 +111,115 @@ impl StreamParser {
 
     /// Number of symbols consumed so far.
     pub fn len(&self) -> usize {
-        self.input.len()
+        self.input().len()
     }
 
     /// `true` if nothing has been pushed yet.
     pub fn is_empty(&self) -> bool {
-        self.input.is_empty()
+        self.input().is_empty()
     }
 
-    /// The DFA state after the symbols consumed so far.
-    pub fn state(&self) -> StateId {
-        *self.states.last().expect("stream has an initial state")
+    /// The DFA state after the symbols consumed so far — `None` for LR
+    /// streams, whose configuration is a state *stack*.
+    pub fn state(&self) -> Option<StateId> {
+        match &self.mode {
+            Mode::Dfa { states, .. } => Some(*states.last().expect("stream has an initial state")),
+            Mode::Lr(_) => None,
+        }
     }
 
     /// Whether the input so far would be accepted if the stream ended
-    /// here — one array probe, no parsing.
+    /// here — one array probe in DFA mode; an end-of-input reduction
+    /// simulation over a scratch state stack in LR mode. Neither builds
+    /// trees or disturbs the stream.
     pub fn would_accept(&self) -> bool {
-        self.pipeline
-            .backend()
-            .expect("checked at open")
-            .dfa
-            .is_accepting(self.state())
+        match &self.mode {
+            Mode::Dfa { states, .. } => {
+                let s = *states.last().expect("stream has an initial state");
+                self.pipeline
+                    .backend()
+                    .expect("checked at open")
+                    .dfa
+                    .is_accepting(s)
+            }
+            Mode::Lr(stream) => stream.would_accept(),
+        }
+    }
+
+    /// `true` while the consumed input can still extend to an accepted
+    /// sentence. DFA mode answers from the precomputed co-reachability
+    /// of the current state (the automata are total, so a dead input
+    /// sits in a non-live sink rather than erroring); LR mode flips to
+    /// `false` at the first symbol the table has no action for.
+    pub fn is_viable(&self) -> bool {
+        match &self.mode {
+            Mode::Dfa { states, live, .. } => {
+                live[*states.last().expect("stream has an initial state")]
+            }
+            Mode::Lr(stream) => stream.is_viable(),
+        }
     }
 
     /// The input consumed so far.
     pub fn input(&self) -> &GString {
-        &self.input
+        match &self.mode {
+            Mode::Dfa { input, .. } => input,
+            Mode::Lr(stream) => stream.input(),
+        }
     }
 
     /// The accept bit and the raw DFA trace of the input so far, built
     /// backwards from the recorded state sequence (Fig. 12's `parseD`,
-    /// without re-running the automaton).
-    pub fn trace(&self) -> (bool, ParseTree) {
+    /// without re-running the automaton). `None` for LR streams — their
+    /// incremental artifact is the partial derivation stack, not a
+    /// trace.
+    pub fn trace(&self) -> Option<(bool, ParseTree)> {
+        let Mode::Dfa { states, input, .. } = &self.mode else {
+            return None;
+        };
         let backend = self.pipeline.backend().expect("checked at open");
-        let b = backend.dfa.is_accepting(self.state());
+        let b = backend
+            .dfa
+            .is_accepting(*states.last().expect("stream has an initial state"));
         let mut tree = ParseTree::roll(ParseTree::inj(0, ParseTree::Unit));
-        for (i, sym) in self.input.iter().enumerate().rev() {
-            let s = self.states[i];
+        for (i, sym) in input.iter().enumerate().rev() {
+            let s = states[i];
             let idx = backend.tg.cons_index(&backend.dfa, s, b, sym);
             tree = ParseTree::roll(ParseTree::inj(
                 idx,
                 ParseTree::pair(ParseTree::Char(sym), tree),
             ));
         }
-        (b, tree)
+        Some((b, tree))
     }
 
-    /// Ends the stream: runs the pipeline's fully verified parser on the
-    /// accumulated input, returning the intrinsically checked outcome.
+    /// Ends the stream, returning the intrinsically checked outcome.
+    ///
+    /// DFA mode re-runs the pipeline's composed verified parser over the
+    /// accumulated input; LR mode completes the pending reductions of
+    /// the incremental parse and certifies the finished tree against the
+    /// grammar and the input — same guarantee, incremental cost.
     ///
     /// # Errors
     ///
     /// Propagates transformer errors exactly as
     /// [`CompiledPipeline::parse`] does.
     pub fn finish(self) -> Result<ParseOutcome, TransformError> {
-        self.pipeline.parse(&self.input)
+        match self.mode {
+            Mode::Dfa { input, .. } => self.pipeline.parse(&input),
+            Mode::Lr(stream) => {
+                let input = stream.input().clone();
+                match stream.finish().map_err(|e| TransformError::OutputShape {
+                    transformer: "certified-lr-stream".to_owned(),
+                    cause: e.cause,
+                })? {
+                    LrOutcome::Accept(tree) => Ok(ParseOutcome::Accept(tree)),
+                    // Same rejection convention as the one-shot CFG path:
+                    // the ⊤-parse of the input.
+                    LrOutcome::Reject(_) => Ok(ParseOutcome::Reject(ParseTree::Top(input))),
+                }
+            }
+        }
     }
 }
 
@@ -175,7 +271,8 @@ mod tests {
         let w = sigma.parse_str("(()())").unwrap();
         let mut stream = engine.stream(&spec).unwrap();
         stream.push_all(&w);
-        let (b, trace) = stream.trace();
+        assert!(stream.state().is_some(), "DFA streams expose their state");
+        let (b, trace) = stream.trace().expect("DFA streams have traces");
         assert!(b);
         let pipeline = engine.get_or_compile(&spec).unwrap();
         let backend = pipeline.backend().unwrap();
@@ -188,6 +285,106 @@ mod tests {
         let engine = Engine::new();
         assert!(matches!(
             engine.stream(&PipelineSpec::expr(4)),
+            Err(EngineError::NoStreamingBackend(_))
+        ));
+    }
+
+    #[test]
+    fn dfa_stream_viability_tracks_co_reachability() {
+        // ')' from the start of a Dyck automaton enters a dead sink: no
+        // continuation can ever accept, and is_viable must say so.
+        let engine = Engine::new();
+        let spec = PipelineSpec::dyck(6);
+        let sigma = Alphabet::parens();
+        let close = sigma.symbol(")").unwrap();
+        let open = sigma.symbol("(").unwrap();
+        let mut stream = engine.stream(&spec).unwrap();
+        assert!(stream.is_viable(), "ε extends to ()");
+        stream.push(open);
+        assert!(stream.is_viable(), "( extends to ()");
+        stream.push(close);
+        stream.push(close);
+        assert!(!stream.is_viable(), "()) is dead in every continuation");
+        stream.push(open);
+        assert!(!stream.is_viable(), "sinks are absorbing");
+        assert!(!stream.would_accept());
+    }
+
+    #[test]
+    fn lr_stream_matches_one_shot_and_certifies() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::dyck_cfg();
+        let sigma = Alphabet::parens();
+        let pipeline = engine.get_or_compile(&spec).unwrap();
+        for s in ["", "()", "(())()", ")(", "(()", "()()()"] {
+            let w = sigma.parse_str(s).unwrap();
+            let mut stream = engine.stream(&spec).unwrap();
+            stream.push_all(&w);
+            assert_eq!(stream.would_accept(), pipeline.accepts(&w), "{s}");
+            assert!(stream.trace().is_none(), "LR streams have no DFA trace");
+            assert!(stream.state().is_none());
+            let outcome = stream.finish().unwrap();
+            assert_eq!(outcome.is_accept(), pipeline.accepts(&w), "{s}");
+            if let Some(tree) = outcome.accepted() {
+                validate(tree, pipeline.grammar(), &w).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn lr_stream_prefix_probes_track_acceptance() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::dyck_cfg();
+        let sigma = Alphabet::parens();
+        let pipeline = engine.get_or_compile(&spec).unwrap();
+        let w = sigma.parse_str("(())()").unwrap();
+        let mut stream = engine.stream(&spec).unwrap();
+        assert!(stream.would_accept(), "ε is balanced");
+        for (i, sym) in w.iter().enumerate() {
+            stream.push(sym);
+            let prefix = w.substring(0, i + 1);
+            assert_eq!(stream.would_accept(), pipeline.accepts(&prefix), "{i}");
+            assert!(stream.is_viable(), "every prefix of (())() is viable");
+        }
+    }
+
+    #[test]
+    fn expr_cfg_pipeline_streams_via_lr() {
+        // The lookahead-automaton expr pipeline cannot stream; the
+        // LR-backed CFG form of the same grammar can.
+        let engine = Engine::new();
+        let spec = PipelineSpec::expr_cfg();
+        let t = lambek_automata::lookahead::ArithTokens::new();
+        let mut stream = engine.stream(&spec).unwrap();
+        for sym in [t.num, t.add, t.lp, t.num, t.rp] {
+            stream.push(sym);
+        }
+        assert!(stream.would_accept(), "NUM + ( NUM ) is an expression");
+        let outcome = stream.finish().unwrap();
+        assert!(outcome.is_accept());
+    }
+
+    #[test]
+    fn earley_fallback_has_no_stream() {
+        use lambek_cfg::grammar::{Cfg, GSym, Production};
+        let s = Alphabet::abc();
+        let a = s.symbol("a").unwrap();
+        let ambiguous = Cfg::new(
+            s,
+            vec!["S".to_owned()],
+            vec![vec![
+                Production {
+                    rhs: vec![GSym::N(0), GSym::N(0)],
+                },
+                Production {
+                    rhs: vec![GSym::T(a)],
+                },
+            ]],
+            0,
+        );
+        let engine = Engine::new();
+        assert!(matches!(
+            engine.stream(&PipelineSpec::cfg("amb", ambiguous)),
             Err(EngineError::NoStreamingBackend(_))
         ));
     }

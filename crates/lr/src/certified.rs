@@ -1,0 +1,290 @@
+//! The certified wrapper: every tree that leaves the LR subsystem is
+//! re-validated by the core derivation checker.
+//!
+//! The LR driver is fast *extrinsically* verified code: nothing about
+//! the dense tables guarantees by construction that the trees it builds
+//! are parses of the input. [`CertifiedLrParser`] restores the paper's
+//! intrinsic-verification contract at the subsystem boundary: each
+//! accepted tree is checked against the grammar's μ-regular encoding
+//! *and* the actual input string by
+//! [`validate`](lambek_core::grammar::parse_tree::validate) before it is
+//! returned — exactly the check a `VerifiedParser` performs on its
+//! transformer output. A driver bug therefore cannot leak an invalid
+//! tree; it surfaces as a [`CertifyError`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use lambek_cfg::grammar::Cfg;
+use lambek_core::alphabet::{GString, Symbol};
+use lambek_core::grammar::expr::Grammar;
+use lambek_core::grammar::parse_tree::{validate, ParseTree, ValidateError};
+
+use crate::driver::{parse_tree, recognize_states, would_accept_states, Machine, Step};
+use crate::table::{LrConflictReport, LrTable};
+
+/// The outcome of a certified LR parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LrOutcome {
+    /// The input is in the grammar; the tree has been re-validated
+    /// against the μ-regular grammar and the input string.
+    Accept(ParseTree),
+    /// The input is not in the grammar; the report says where the driver
+    /// stopped and what it expected.
+    Reject(crate::driver::LrReject),
+}
+
+impl LrOutcome {
+    /// The accepted tree, if any.
+    pub fn accepted(&self) -> Option<&ParseTree> {
+        match self {
+            LrOutcome::Accept(t) => Some(t),
+            LrOutcome::Reject(_) => None,
+        }
+    }
+
+    /// `true` on acceptance.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, LrOutcome::Accept(_))
+    }
+}
+
+/// A violation of the certification contract: the driver produced a tree
+/// the core validator refused. This never happens for a correctly built
+/// table; it is surfaced (rather than panicking) so callers can treat it
+/// as an internal error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertifyError {
+    /// The validator's verdict on the offending tree.
+    pub cause: ValidateError,
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LR driver emitted an invalid tree: {}", self.cause)
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// The shared immutable heart of a compiled LR parser: the grammar (in
+/// both representations) and its dense tables. One allocation, shared by
+/// the parser and every stream opened from it.
+#[derive(Debug)]
+struct LrCore {
+    cfg: Cfg,
+    grammar: Grammar,
+    table: LrTable,
+}
+
+/// A linear-time LR(1)/LALR parser whose every output tree is re-checked
+/// by the core derivation validator.
+///
+/// Construction rejects grammars with unresolvable conflicts
+/// ([`LrConflictReport`] points at the offending item sets); parsing is
+/// a table-driven shift-reduce run plus one validation pass over the
+/// produced tree. Cloning is cheap (`Arc`-shared core), and the parser
+/// is `Send + Sync`, so one compiled instance can serve many threads.
+///
+/// # Examples
+///
+/// ```
+/// use lambek_cfg::dyck::{dyck_cfg, Parens};
+/// use lambek_lr::CertifiedLrParser;
+///
+/// let p = Parens::new();
+/// let parser = CertifiedLrParser::compile(&dyck_cfg(&p)).unwrap();
+/// let w = p.alphabet.parse_str("(())()").unwrap();
+/// let tree = parser.parse(&w).unwrap().accepted().cloned().unwrap();
+/// assert_eq!(tree.flatten(), w); // intrinsic: the yield IS the input
+/// assert!(!parser.recognizes(&p.alphabet.parse_str("())").unwrap()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CertifiedLrParser {
+    core: Arc<LrCore>,
+}
+
+impl CertifiedLrParser {
+    /// Builds the LALR(1) tables for `cfg` and wraps them with the
+    /// certification layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structured conflict report when the grammar is not
+    /// LALR(1) — callers typically fall back to Earley.
+    pub fn compile(cfg: &Cfg) -> Result<CertifiedLrParser, LrConflictReport> {
+        let table = LrTable::build(cfg)?;
+        Ok(CertifiedLrParser {
+            core: Arc::new(LrCore {
+                grammar: cfg.to_lambek(),
+                cfg: cfg.clone(),
+                table,
+            }),
+        })
+    }
+
+    /// The grammar the tables were built from.
+    pub fn cfg(&self) -> &Cfg {
+        &self.core.cfg
+    }
+
+    /// The μ-regular encoding trees are validated against.
+    pub fn grammar(&self) -> &Grammar {
+        &self.core.grammar
+    }
+
+    /// The dense ACTION/GOTO tables (introspection and benchmarks).
+    pub fn table(&self) -> &LrTable {
+        &self.core.table
+    }
+
+    /// Whether `w` is in the grammar — a pure table run, no trees, no
+    /// allocation beyond the state stack.
+    pub fn recognizes(&self, w: &GString) -> bool {
+        recognize_states(&self.core.table, w)
+    }
+
+    /// Parses `w`: a linear shift-reduce run, then the certification
+    /// check on the produced tree.
+    ///
+    /// # Errors
+    ///
+    /// [`CertifyError`] if the driver produced a tree the core validator
+    /// rejects — impossible for a correctly constructed table, surfaced
+    /// instead of trusted.
+    pub fn parse(&self, w: &GString) -> Result<LrOutcome, CertifyError> {
+        match parse_tree(&self.core.table, &self.core.cfg, w) {
+            Ok(tree) => {
+                validate(&tree, &self.core.grammar, w).map_err(|cause| CertifyError { cause })?;
+                Ok(LrOutcome::Accept(tree))
+            }
+            Err(reject) => Ok(LrOutcome::Reject(reject)),
+        }
+    }
+
+    /// Opens a push-mode stream over this parser.
+    pub fn stream(&self) -> LrStream {
+        LrStream {
+            core: self.core.clone(),
+            machine: Machine::new(),
+            input: GString::new(),
+            dead: None,
+        }
+    }
+}
+
+/// A push-mode incremental LR parse: one shift (plus any pending
+/// reductions) per [`LrStream::push`], O(1) amortized over the input via
+/// the dense tables.
+///
+/// The partial parse trees of the viable prefix live on the stream's
+/// stack, so [`LrStream::finish`] completes in time proportional to the
+/// *remaining* reductions, not the whole input. Acceptance probes
+/// ([`LrStream::would_accept`]) simulate the end-of-input reductions
+/// over a scratch copy of the state stack without disturbing the parse.
+#[derive(Debug, Clone)]
+pub struct LrStream {
+    core: Arc<LrCore>,
+    machine: Machine,
+    input: GString,
+    /// Set at the first rejected symbol; later pushes are ignored.
+    dead: Option<crate::driver::LrReject>,
+}
+
+impl LrStream {
+    /// Consumes one symbol. Returns `false` once the accumulated input
+    /// has stopped being a viable prefix (the stream stays usable; it
+    /// just remembers the rejection for [`LrStream::finish`]).
+    pub fn push(&mut self, sym: Symbol) -> bool {
+        if self.dead.is_some() {
+            self.input.push(sym);
+            return false;
+        }
+        let step = self
+            .machine
+            .feed(&self.core.table, &self.core.cfg, Some(sym));
+        match step {
+            Step::Shifted => {
+                self.input.push(sym);
+                true
+            }
+            Step::Rejected { state } => {
+                self.dead = Some(crate::driver::LrReject {
+                    at: self.input.len(),
+                    state,
+                    expected: self.core.table.expected_in(&self.core.cfg, state),
+                });
+                self.input.push(sym);
+                false
+            }
+            Step::Accepted(_) => unreachable!("accept lives in the EOF column only"),
+        }
+    }
+
+    /// Consumes a whole string.
+    pub fn push_all(&mut self, w: &GString) {
+        for sym in w.iter() {
+            self.push(sym);
+        }
+    }
+
+    /// Number of symbols consumed so far.
+    pub fn len(&self) -> usize {
+        self.input.len()
+    }
+
+    /// `true` if nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.input.is_empty()
+    }
+
+    /// The input consumed so far.
+    pub fn input(&self) -> &GString {
+        &self.input
+    }
+
+    /// Number of partial parse trees currently on the stack (a measure
+    /// of how much structure is still open).
+    pub fn pending(&self) -> usize {
+        self.machine.depth()
+    }
+
+    /// `true` while the consumed input is still a viable prefix of some
+    /// sentence.
+    pub fn is_viable(&self) -> bool {
+        self.dead.is_none()
+    }
+
+    /// Whether the input so far would be accepted if the stream ended
+    /// here — an end-of-input simulation over a scratch state stack,
+    /// without building trees or disturbing the parse.
+    pub fn would_accept(&self) -> bool {
+        self.dead.is_none() && would_accept_states(&self.core.table, self.machine.states())
+    }
+
+    /// Ends the stream: runs the remaining reductions, then certifies
+    /// the tree against the grammar and the accumulated input.
+    ///
+    /// # Errors
+    ///
+    /// [`CertifyError`] under the same (driver-bug) conditions as
+    /// [`CertifiedLrParser::parse`].
+    pub fn finish(mut self) -> Result<LrOutcome, CertifyError> {
+        if let Some(reject) = self.dead {
+            return Ok(LrOutcome::Reject(reject));
+        }
+        match self.machine.feed(&self.core.table, &self.core.cfg, None) {
+            Step::Accepted(tree) => {
+                validate(&tree, &self.core.grammar, &self.input)
+                    .map_err(|cause| CertifyError { cause })?;
+                Ok(LrOutcome::Accept(tree))
+            }
+            Step::Rejected { state } => Ok(LrOutcome::Reject(crate::driver::LrReject {
+                at: self.input.len(),
+                state,
+                expected: self.core.table.expected_in(&self.core.cfg, state),
+            })),
+            Step::Shifted => unreachable!("the EOF column never shifts"),
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The table-driven shift-reduce driver and its push-mode stream form.
+//!
+//! Both drivers run the same loop: look up
+//! `ACTION[state, lookahead]` in the dense table, shift or reduce, and
+//! stop on accept or error. [`recognize_states`] keeps only the state
+//! stack (the allocation-light path behind `accepts` and
+//! [`LrStream::would_accept`]); the parsing drivers additionally keep a
+//! tree stack, building each reduction's derivation node via
+//! [`Cfg::derivation`] so the final tree is exactly the μ-regular parse
+//! tree the rest of the workspace consumes.
+//!
+//! Every loop carries a *fuel* bound on reductions between shifts. A
+//! conflict-free LALR(1) table never needs it — it exists so that a
+//! hypothetical table-construction bug degrades into a structured
+//! rejection instead of divergence (the property suites run the driver
+//! over randomly generated grammars).
+
+use std::fmt;
+
+use lambek_cfg::grammar::Cfg;
+use lambek_core::alphabet::{GString, Symbol};
+use lambek_core::grammar::parse_tree::ParseTree;
+
+use crate::table::{Action, LrTable};
+
+/// Why the driver rejected an input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LrReject {
+    /// Input position of the offending symbol (`input.len()` means the
+    /// input ended while more was expected).
+    pub at: usize,
+    /// The automaton state that had no action.
+    pub state: usize,
+    /// The terminals the state *would* have accepted (`$` = end of
+    /// input).
+    pub expected: Vec<String>,
+}
+
+impl fmt::Display for LrReject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rejected at position {} (state {}): expected one of [{}]",
+            self.at,
+            self.state,
+            self.expected.join(", ")
+        )
+    }
+}
+
+/// Fuel for reductions between two shifts: generous enough for any legal
+/// unwinding (which is bounded by the stack depth times the state count)
+/// while still finite.
+fn reduce_fuel(table: &LrTable, stack_depth: usize) -> usize {
+    (stack_depth + 2) * (table.num_states() + 1) * (table.num_productions() + 1)
+}
+
+fn reject(table: &LrTable, cfg: &Cfg, at: usize, state: usize) -> LrReject {
+    LrReject {
+        at,
+        state,
+        expected: table.expected_in(cfg, state),
+    }
+}
+
+/// The ACTION column of an input symbol, or `None` when the symbol is
+/// not from this grammar's alphabet. Foreign symbols must be rejected up
+/// front: an unchecked index would alias the `$` column (or a
+/// neighboring state's row) and silently mis-accept — the same contract
+/// `Dfa::delta` documents, enforced here with a real check because the
+/// LR drivers are exposed through the engine's streaming API.
+#[inline]
+fn term_column(table: &LrTable, sym: Symbol) -> Option<usize> {
+    let idx = sym.index();
+    (idx < table.eof_column()).then_some(idx)
+}
+
+/// Runs the recognition-only driver: state stack, no trees, and no
+/// rejection report either — callers that need positions and expected
+/// sets use [`parse_tree`]; this path answers yes/no with the state
+/// stack as its only allocation.
+pub(crate) fn recognize_states(table: &LrTable, w: &GString) -> bool {
+    // One stack allocation for the whole run; the stack never exceeds
+    // the input length + 2 (each shift or ε-reduce pushes one state).
+    // The current state lives in a register (`top`); `states` holds the
+    // states *below* it, so the hot loop never re-reads the stack top.
+    let mut states: Vec<u32> = Vec::with_capacity(w.len() + 2);
+    let mut top: u32 = 0;
+    // One fuel budget for the whole run (see `reduce_fuel`): the total
+    // number of reductions of an accepting run is bounded by the tree
+    // size, itself bounded by stack depth × productions per position.
+    let mut fuel = reduce_fuel(table, w.len() + 2);
+    for pos in 0..=w.len() {
+        let term = if pos < w.len() {
+            match term_column(table, w[pos]) {
+                Some(t) => t,
+                None => return false,
+            }
+        } else {
+            table.eof_column()
+        };
+        loop {
+            match table.decode_action(table.raw_action(top as usize, term)) {
+                Action::Shift(t) => {
+                    states.push(top);
+                    top = t as u32;
+                    break;
+                }
+                Action::Reduce(p) => {
+                    let prod = table.production(p);
+                    if prod.rhs_len > 0 {
+                        // `states` holds the stack below `top`, so depth
+                        // is `states.len() + 1`; an inconsistent table
+                        // popping the bottom marker degrades to a
+                        // rejection (same defense as the tree driver).
+                        if prod.rhs_len > states.len() {
+                            return false;
+                        }
+                        states.truncate(states.len() + 1 - prod.rhs_len);
+                        top = states.pop().expect("reduction never empties the stack");
+                    }
+                    let Some(g) = table.goto(top as usize, prod.nt) else {
+                        return false;
+                    };
+                    states.push(top);
+                    top = g as u32;
+                    if fuel == 0 {
+                        return false;
+                    }
+                    fuel -= 1;
+                }
+                Action::Accept => return true,
+                Action::Error => return false,
+            }
+        }
+    }
+    unreachable!("the EOF column only ever accepts or errors")
+}
+
+/// One shift-reduce engine over a dense table, carrying both the state
+/// stack and the tree stack. The one-shot parser and the push-mode
+/// stream share it.
+#[derive(Debug, Clone)]
+pub(crate) struct Machine {
+    states: Vec<u32>,
+    trees: Vec<ParseTree>,
+}
+
+/// What one [`Machine::feed`] call ended with.
+pub(crate) enum Step {
+    /// The terminal was shifted (never happens for the EOF column).
+    Shifted,
+    /// The accept action fired (EOF column only); here is the tree.
+    Accepted(ParseTree),
+    /// No action: the state had nothing for this terminal.
+    Rejected { state: usize },
+}
+
+impl Machine {
+    pub(crate) fn new() -> Machine {
+        Machine::with_capacity(0)
+    }
+
+    /// A machine with both stacks pre-sized for an input of `n` symbols.
+    pub(crate) fn with_capacity(n: usize) -> Machine {
+        let mut states = Vec::with_capacity(n + 2);
+        states.push(0);
+        Machine {
+            states,
+            trees: Vec::with_capacity(n + 1),
+        }
+    }
+
+    /// Current parse-stack depth (states minus the bottom marker) — the
+    /// number of partial trees held.
+    pub(crate) fn depth(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The state stack, for acceptance probes.
+    pub(crate) fn states(&self) -> &[u32] {
+        &self.states
+    }
+
+    /// The current (top-of-stack) state.
+    pub(crate) fn current_state(&self) -> usize {
+        *self.states.last().expect("state stack is never empty") as usize
+    }
+
+    /// Feeds one input symbol (`None` = end of input): reduces until the
+    /// table shifts, accepts or errors. Symbols outside the grammar's
+    /// alphabet are rejected up front (see [`term_column`]).
+    pub(crate) fn feed(&mut self, table: &LrTable, cfg: &Cfg, sym: Option<Symbol>) -> Step {
+        let term = match sym {
+            Some(s) => match term_column(table, s) {
+                Some(t) => t,
+                None => {
+                    return Step::Rejected {
+                        state: self.current_state(),
+                    }
+                }
+            },
+            None => table.eof_column(),
+        };
+        let mut fuel = reduce_fuel(table, self.states.len());
+        loop {
+            let s = *self.states.last().expect("state stack is never empty") as usize;
+            match table.action(s, term) {
+                Action::Shift(t) => {
+                    self.trees
+                        .push(ParseTree::Char(sym.expect("EOF is never shifted")));
+                    self.states.push(t as u32);
+                    return Step::Shifted;
+                }
+                Action::Reduce(p) => {
+                    let prod = table.production(p);
+                    if prod.rhs_len > self.trees.len() {
+                        // An inconsistent table popping past the bottom
+                        // marker: degrade to a rejection, not a panic
+                        // (same defense as `would_accept_states`).
+                        return Step::Rejected { state: s };
+                    }
+                    let children = self.trees.split_off(self.trees.len() - prod.rhs_len);
+                    self.states.truncate(self.states.len() - prod.rhs_len);
+                    let top = *self
+                        .states
+                        .last()
+                        .expect("reduction popped the start state")
+                        as usize;
+                    let Some(g) = table.goto(top, prod.nt) else {
+                        return Step::Rejected { state: top };
+                    };
+                    self.trees.push(cfg.derivation(prod.nt, prod.alt, children));
+                    self.states.push(g as u32);
+                    if fuel == 0 {
+                        return Step::Rejected { state: g };
+                    }
+                    fuel -= 1;
+                }
+                Action::Accept => {
+                    return Step::Accepted(
+                        self.trees
+                            .pop()
+                            .expect("accept with the start tree on the stack"),
+                    )
+                }
+                Action::Error => return Step::Rejected { state: s },
+            }
+        }
+    }
+}
+
+/// Parses `w` end to end, returning the derivation tree (in
+/// [`Cfg::to_lambek`] shape) or a structured rejection.
+pub(crate) fn parse_tree(table: &LrTable, cfg: &Cfg, w: &GString) -> Result<ParseTree, LrReject> {
+    let mut m = Machine::with_capacity(w.len());
+    for pos in 0..=w.len() {
+        let sym = (pos < w.len()).then(|| w[pos]);
+        match m.feed(table, cfg, sym) {
+            Step::Shifted => {}
+            Step::Accepted(tree) => return Ok(tree),
+            Step::Rejected { state } => return Err(reject(table, cfg, pos, state)),
+        }
+    }
+    unreachable!("the EOF column only ever accepts or errors")
+}
+
+/// Probes whether ending the input at the current configuration would
+/// accept: simulates the EOF reductions over a scratch copy of the state
+/// stack (no trees are built, nothing is mutated).
+pub(crate) fn would_accept_states(table: &LrTable, states: &[u32]) -> bool {
+    // Virtual stack over the borrowed slice: `base_len` live entries of
+    // `states`, then the `overlay` of states pushed by the simulated
+    // reductions. The probe-per-symbol streaming pattern would otherwise
+    // clone the whole stack on every probe — O(n²) over a stream.
+    let mut base_len = states.len();
+    let mut overlay: Vec<u32> = Vec::new();
+    let top = |base_len: usize, overlay: &[u32]| -> usize {
+        *overlay.last().unwrap_or(&states[base_len - 1]) as usize
+    };
+    let term = table.eof_column();
+    let mut fuel = reduce_fuel(table, states.len());
+    loop {
+        match table.action(top(base_len, &overlay), term) {
+            Action::Accept => return true,
+            Action::Reduce(p) => {
+                let prod = table.production(p);
+                let from_overlay = prod.rhs_len.min(overlay.len());
+                overlay.truncate(overlay.len() - from_overlay);
+                match base_len.checked_sub(prod.rhs_len - from_overlay) {
+                    // Popping the bottom marker (or past it) is
+                    // impossible for a consistent table; answered
+                    // defensively.
+                    None | Some(0) => return false,
+                    Some(nb) => base_len = nb,
+                }
+                let Some(g) = table.goto(top(base_len, &overlay), prod.nt) else {
+                    return false;
+                };
+                overlay.push(g as u32);
+                if fuel == 0 {
+                    return false;
+                }
+                fuel -= 1;
+            }
+            Action::Shift(_) | Action::Error => return false,
+        }
+    }
+}

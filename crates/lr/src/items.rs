@@ -1,0 +1,233 @@
+//! LR(1) items and the LALR(1) collection of item sets.
+//!
+//! The construction is Knuth's, phrased over the existing
+//! [`Cfg`] representation:
+//!
+//! * the grammar is *augmented* with a synthetic production `S' → S`
+//!   (production index 0), so acceptance is one distinguished reduction;
+//! * an [`Item`] is a dotted production with one terminal of lookahead
+//!   (the end-of-input marker `$` is the extra terminal index
+//!   `alphabet.len()`);
+//! * [`closure`] saturates a kernel with predictions, computing
+//!   `FIRST(β a)` lookaheads via the public
+//!   [`lambek_cfg::analysis`] fixpoints;
+//! * [`build_lalr`] builds the collection with LALR-style state merging
+//!   *during* construction: successor kernels are keyed by their LR(0)
+//!   core, lookaheads are unioned into the existing state, and states
+//!   whose lookahead sets grew are re-enqueued until the fixpoint. This
+//!   keeps the automaton at LR(0) size while retaining one-symbol
+//!   lookahead precision (up to the usual LALR merge of lookaheads).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use lambek_cfg::analysis::{first_of_seq, first_sets, seq_nullable};
+use lambek_cfg::earley::nullable_set;
+use lambek_cfg::grammar::{Cfg, GSym};
+use lambek_core::alphabet::Symbol;
+
+/// Index of the synthetic augmented production `S' → S`.
+pub(crate) const AUG_PROD: u32 = 0;
+
+/// Side tables flattening a [`Cfg`] for table construction: a dense
+/// production numbering (with the augmented production at index 0) and
+/// the FIRST/nullable fixpoints.
+#[derive(Debug)]
+pub(crate) struct GrammarIndex {
+    /// `(nt, alt)` of production `p` for `p ≥ 1`.
+    prod_nt_alt: Vec<(usize, usize)>,
+    /// `prod_base[nt] + alt` is the production index of `(nt, alt)`.
+    prod_base: Vec<usize>,
+    /// The synthetic RHS `[N(start)]` of production 0.
+    aug_rhs: [GSym; 1],
+    /// FIRST sets of every nonterminal (terminals only).
+    pub first: Vec<BTreeSet<Symbol>>,
+    /// Nullability of every nonterminal.
+    pub nullable: Vec<bool>,
+    /// The end-of-input lookahead: `alphabet.len()`.
+    pub eof: u16,
+}
+
+impl GrammarIndex {
+    pub(crate) fn new(cfg: &Cfg) -> GrammarIndex {
+        let mut prod_nt_alt = vec![(usize::MAX, usize::MAX)]; // slot 0 = S' → S
+        let mut prod_base = Vec::with_capacity(cfg.num_nonterminals());
+        for nt in 0..cfg.num_nonterminals() {
+            prod_base.push(prod_nt_alt.len());
+            for alt in 0..cfg.alternatives(nt).len() {
+                prod_nt_alt.push((nt, alt));
+            }
+        }
+        GrammarIndex {
+            prod_nt_alt,
+            prod_base,
+            aug_rhs: [GSym::N(cfg.start())],
+            first: first_sets(cfg),
+            nullable: nullable_set(cfg),
+            eof: cfg.alphabet().len() as u16,
+        }
+    }
+
+    /// Total number of productions, the synthetic one included.
+    pub(crate) fn num_prods(&self) -> usize {
+        self.prod_nt_alt.len()
+    }
+
+    /// The `(nt, alt)` behind production `p` (`p ≥ 1`).
+    pub(crate) fn nt_alt(&self, p: u32) -> (usize, usize) {
+        self.prod_nt_alt[p as usize]
+    }
+
+    /// The production index of `(nt, alt)`.
+    pub(crate) fn prod_of(&self, nt: usize, alt: usize) -> u32 {
+        (self.prod_base[nt] + alt) as u32
+    }
+
+    /// The right-hand side of production `p`.
+    pub(crate) fn rhs<'g>(&'g self, cfg: &'g Cfg, p: u32) -> &'g [GSym] {
+        if p == AUG_PROD {
+            &self.aug_rhs
+        } else {
+            let (nt, alt) = self.nt_alt(p);
+            &cfg.alternatives(nt)[alt].rhs
+        }
+    }
+}
+
+/// An LR(1) item: production `prod` with the dot before position `dot`,
+/// valid under lookahead terminal `la` (`la == eof` is `$`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct Item {
+    pub prod: u32,
+    pub dot: u16,
+    pub la: u16,
+}
+
+/// The LR(0) core of a kernel: dotted productions with lookaheads erased.
+/// This is the key LALR merging groups states by.
+pub(crate) type Core = Vec<(u32, u16)>;
+
+pub(crate) fn core_of(kernel: &BTreeSet<Item>) -> Core {
+    let mut core: Core = kernel.iter().map(|i| (i.prod, i.dot)).collect();
+    core.dedup();
+    core
+}
+
+/// The lookaheads `FIRST(β a)` for a prediction out of `item` (whose dot
+/// sits before a nonterminal followed by `β`).
+fn prediction_lookaheads(gi: &GrammarIndex, beta: &[GSym], la: u16) -> BTreeSet<u16> {
+    let mut out: BTreeSet<u16> = first_of_seq(beta, &BTreeSet::new(), &gi.first, &gi.nullable)
+        .into_iter()
+        .map(|s| s.index() as u16)
+        .collect();
+    if seq_nullable(beta, &gi.nullable) {
+        out.insert(la);
+    }
+    out
+}
+
+/// Saturates a kernel with the LR(1) prediction rule: for every item
+/// `A → α · B β , a`, add `B → · γ , b` for each production of `B` and
+/// each `b ∈ FIRST(β a)`.
+pub(crate) fn closure(cfg: &Cfg, gi: &GrammarIndex, kernel: &BTreeSet<Item>) -> Vec<Item> {
+    let mut seen: BTreeSet<Item> = kernel.clone();
+    let mut queue: VecDeque<Item> = kernel.iter().copied().collect();
+    while let Some(item) = queue.pop_front() {
+        let rhs = gi.rhs(cfg, item.prod);
+        let Some(GSym::N(b)) = rhs.get(item.dot as usize) else {
+            continue;
+        };
+        let beta = &rhs[item.dot as usize + 1..];
+        for la in prediction_lookaheads(gi, beta, item.la) {
+            for alt in 0..cfg.alternatives(*b).len() {
+                let predicted = Item {
+                    prod: gi.prod_of(*b, alt),
+                    dot: 0,
+                    la,
+                };
+                if seen.insert(predicted) {
+                    queue.push_back(predicted);
+                }
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// The LALR(1) automaton: one kernel per LR(0) core, plus the transition
+/// edges on grammar symbols.
+#[derive(Debug)]
+pub(crate) struct LalrAutomaton {
+    /// Closed item sets (state 0 holds the closure of `S' → · S , $`).
+    /// Captured from each state's *final* worklist processing — states
+    /// are re-enqueued whenever their kernel's lookaheads grow, so at
+    /// convergence this is the closure of the final kernel and the table
+    /// builder does not re-close anything.
+    pub closures: Vec<Vec<Item>>,
+    /// `edges[state][sym]` is the successor on grammar symbol `sym`.
+    pub edges: Vec<HashMap<GSym, usize>>,
+}
+
+/// Builds the LALR(1) collection by merged-core worklist iteration.
+pub(crate) fn build_lalr(cfg: &Cfg, gi: &GrammarIndex) -> LalrAutomaton {
+    let start_kernel: BTreeSet<Item> = [Item {
+        prod: AUG_PROD,
+        dot: 0,
+        la: gi.eof,
+    }]
+    .into_iter()
+    .collect();
+
+    let mut kernels = vec![start_kernel];
+    let mut closures: Vec<Vec<Item>> = vec![Vec::new()];
+    let mut edges: Vec<HashMap<GSym, usize>> = vec![HashMap::new()];
+    let mut by_core: HashMap<Core, usize> = HashMap::new();
+    by_core.insert(core_of(&kernels[0]), 0);
+
+    let mut work: VecDeque<usize> = VecDeque::from([0]);
+    let mut queued = vec![true];
+
+    while let Some(idx) = work.pop_front() {
+        queued[idx] = false;
+        let closed = closure(cfg, gi, &kernels[idx]);
+        // Group advanceable items by the symbol after the dot.
+        let mut successors: HashMap<GSym, BTreeSet<Item>> = HashMap::new();
+        for item in &closed {
+            if let Some(sym) = gi.rhs(cfg, item.prod).get(item.dot as usize) {
+                successors.entry(*sym).or_default().insert(Item {
+                    dot: item.dot + 1,
+                    ..*item
+                });
+            }
+        }
+        for (sym, kernel) in successors {
+            let core = core_of(&kernel);
+            let target = match by_core.get(&core) {
+                Some(&t) => {
+                    // LALR merge: union the lookaheads into the existing
+                    // state; if they grew, its successors must see the
+                    // new lookaheads too.
+                    let before = kernels[t].len();
+                    kernels[t].extend(kernel.iter().copied());
+                    if kernels[t].len() != before && !queued[t] {
+                        queued[t] = true;
+                        work.push_back(t);
+                    }
+                    t
+                }
+                None => {
+                    let t = kernels.len();
+                    by_core.insert(core, t);
+                    kernels.push(kernel);
+                    closures.push(Vec::new());
+                    edges.push(HashMap::new());
+                    queued.push(true);
+                    work.push_back(t);
+                    t
+                }
+            };
+            edges[idx].insert(sym, target);
+        }
+        closures[idx] = closed;
+    }
+    LalrAutomaton { closures, edges }
+}

@@ -1,0 +1,84 @@
+//! Streaming LR over a long Dyck input: the engine compiles the Dyck CFG
+//! to certified LALR(1) tables once, then a push-mode stream consumes
+//! the input one parenthesis at a time — each push is one shift (plus
+//! its pending reductions) against the dense ACTION/GOTO tables — while
+//! `would_accept` probes answer "balanced so far?" from a scratch
+//! simulation of the state stack. `finish` completes the parse and
+//! re-validates the tree with the core derivation checker, so the
+//! streamed result carries the same intrinsic guarantee as a one-shot
+//! parse.
+//!
+//! Run with `cargo run --example lr_stream`.
+
+use lambekd::automata::gen::random_dyck;
+use lambekd::core::alphabet::Alphabet;
+use lambekd::core::grammar::parse_tree::validate;
+use lambekd::engine::{Engine, PipelineSpec};
+
+fn main() {
+    let engine = Engine::new();
+    let spec = PipelineSpec::dyck_cfg();
+    let pipeline = engine.get_or_compile(&spec).unwrap();
+    let backend = pipeline.cfg_backend().expect("cfg pipeline");
+    let lr = backend.lr().expect("Dyck is LALR(1)");
+    println!(
+        "compiled {} to LR: {} states × {} terminal columns ({} productions)",
+        spec.label(),
+        lr.table().num_states(),
+        lr.table().num_terminals(),
+        lr.table().num_productions(),
+    );
+
+    // A long balanced word, streamed one symbol at a time.
+    let sigma = Alphabet::parens();
+    let w = random_dyck(512, 42);
+    println!("streaming a {}-symbol Dyck word…", w.len());
+
+    let mut stream = engine.stream(&spec).unwrap();
+    let mut balanced_prefixes = 0usize;
+    for (i, sym) in w.iter().enumerate() {
+        stream.push(sym);
+        // A would_accept probe after every symbol: "if the input ended
+        // here, would it be balanced?" — no trees built, stream intact.
+        if stream.would_accept() {
+            balanced_prefixes += 1;
+            if balanced_prefixes <= 3 {
+                println!(
+                    "  probe: prefix of length {} is balanced (viable: {})",
+                    i + 1,
+                    stream.is_viable(),
+                );
+            }
+        }
+    }
+    println!(
+        "{} of {} prefixes were balanced; final probe: {}",
+        balanced_prefixes,
+        w.len(),
+        stream.would_accept(),
+    );
+
+    let outcome = stream.finish().unwrap();
+    let tree = outcome.accepted().expect("the word is balanced");
+    validate(tree, pipeline.grammar(), &w).unwrap();
+    println!(
+        "LR stream finished: accepted, tree of {} constructors, yield re-validated ({} = input)",
+        tree.size(),
+        sigma.display(&tree.flatten()) == sigma.display(&w),
+    );
+
+    // An unbalanced stream flips is_viable at the offending symbol and
+    // stays rejected.
+    let bad = sigma.parse_str("(()))(").unwrap();
+    let mut stream = engine.stream(&spec).unwrap();
+    for sym in bad.iter() {
+        stream.push(sym);
+    }
+    println!(
+        "unbalanced {}: viable = {}, would_accept = {}, accepted = {}",
+        sigma.display(&bad),
+        stream.is_viable(),
+        stream.would_accept(),
+        stream.finish().unwrap().is_accept(),
+    );
+}

@@ -13,7 +13,11 @@
 //! * [`regex`] (`regex-grammars`) — the verified regex parser pipeline
 //!   (Corollary 4.12) plus the derivative baseline;
 //! * [`cfg`](mod@cfg) (`lambek-cfg`) — context-free grammars: Dyck (Theorem 4.13),
-//!   arithmetic expressions (Theorem 4.14), and an Earley baseline;
+//!   arithmetic expressions (Theorem 4.14), FIRST/FOLLOW analysis, and an
+//!   Earley baseline with explicit ambiguity reporting;
+//! * [`lr`] (`lambek-lr`) — certified LR(1)/LALR parsing for the
+//!   deterministic fragment: dense ACTION/GOTO tables, structured
+//!   conflict reports, and parse trees re-validated by the core checker;
 //! * [`turing`] (`lambek-turing`) — unrestricted grammars via `Reify`
 //!   (Construction 4.15);
 //! * [`engine`] (`lambek-engine`) — the serving layer: a compile-once
@@ -53,5 +57,6 @@ pub use lambek_automata as automata;
 pub use lambek_cfg as cfg;
 pub use lambek_core as core;
 pub use lambek_engine as engine;
+pub use lambek_lr as lr;
 pub use lambek_turing as turing;
 pub use regex_grammars as regex;

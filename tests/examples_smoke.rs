@@ -39,6 +39,7 @@ fn examples_run_and_print_their_sentinels() {
         ("turing_reify", "Reify"),
         ("typecheck_playground", "type-checks"),
         ("engine_batch", "pipelines compiled"),
+        ("lr_stream", "LR stream finished"),
     ] {
         let stdout = run_example(example);
         assert!(

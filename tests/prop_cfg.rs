@@ -8,54 +8,11 @@ use rand::{Rng, SeedableRng};
 use lambek_automata::counter::CounterMachine;
 use lambek_automata::gen::{random_arith, random_dyck};
 use lambek_automata::lookahead::{simulate, ArithTokens};
-use lambek_cfg::dyck::{dyck_grammar, dyck_parser, parse_dyck_string, Parens};
+use lambek_cfg::dyck::{dyck_cfg, dyck_grammar, dyck_parser, parse_dyck_string, Parens};
 use lambek_cfg::earley::{earley_parse, earley_recognize};
-use lambek_cfg::expr::{exp_grammar, exp_parser, parse_exp_string};
-use lambek_cfg::grammar::{Cfg, GSym, Production};
+use lambek_cfg::expr::{exp_cfg, exp_grammar, exp_parser, parse_exp_string};
 use lambek_core::alphabet::GString;
 use lambek_core::grammar::parse_tree::validate;
-
-/// The Dyck CFG (S ::= ε | ( S ) S) for the Earley baseline.
-fn dyck_cfg(p: &Parens) -> Cfg {
-    Cfg::new(
-        p.alphabet.clone(),
-        vec!["S".to_owned()],
-        vec![vec![
-            Production { rhs: vec![] },
-            Production {
-                rhs: vec![GSym::T(p.open), GSym::N(0), GSym::T(p.close), GSym::N(0)],
-            },
-        ]],
-        0,
-    )
-}
-
-/// The Exp/Atom CFG for the Earley baseline.
-fn exp_cfg(t: &ArithTokens) -> Cfg {
-    Cfg::new(
-        t.alphabet.clone(),
-        vec!["Exp".to_owned(), "Atom".to_owned()],
-        vec![
-            vec![
-                Production {
-                    rhs: vec![GSym::N(1)],
-                },
-                Production {
-                    rhs: vec![GSym::N(1), GSym::T(t.add), GSym::N(0)],
-                },
-            ],
-            vec![
-                Production {
-                    rhs: vec![GSym::T(t.num)],
-                },
-                Production {
-                    rhs: vec![GSym::T(t.lp), GSym::N(0), GSym::T(t.rp)],
-                },
-            ],
-        ],
-        0,
-    )
-}
 
 /// Mutates a string by flipping one random position to a random symbol.
 fn mutate(w: &GString, alphabet_len: usize, seed: u64) -> GString {
@@ -95,7 +52,7 @@ proptest! {
                 // produce the unique derivation).
                 let rd = parse_dyck_string(&p, &w).expect("balanced");
                 prop_assert_eq!(tree, &rd);
-                let earley = earley_parse(&cfg, &w).expect("balanced");
+                let earley = earley_parse(&cfg, &w).unique().expect("balanced");
                 prop_assert_eq!(&earley, tree);
             }
         }
