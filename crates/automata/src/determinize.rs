@@ -38,6 +38,32 @@ pub struct Determinized {
 
 /// Runs the subset construction with ε-closures (Construction 4.10).
 pub fn determinize(nfa: &Nfa) -> Determinized {
+    determinize_core(nfa, None)
+}
+
+/// Subset construction for a *tagged* NFA: `tags[s]` optionally marks
+/// NFA state `s` as the accept state of prioritized rule `tags[s]`
+/// (smaller = higher priority, the lexing convention). Each DFA state
+/// inherits the **minimum** tag over its member NFA states, so when two
+/// rules' accept states land in one subset — a keyword that is also an
+/// identifier, say — the earlier rule wins deterministically.
+///
+/// # Panics
+///
+/// Panics if `tags` is not one entry per NFA state, or tags a
+/// non-accepting NFA state.
+pub fn determinize_tagged(nfa: &Nfa, tags: &[Option<usize>]) -> Determinized {
+    assert_eq!(tags.len(), nfa.num_states(), "one optional tag per state");
+    for (s, t) in tags.iter().enumerate() {
+        assert!(
+            t.is_none() || nfa.is_accepting(s),
+            "NFA state {s} is tagged but not accepting"
+        );
+    }
+    determinize_core(nfa, Some(tags))
+}
+
+fn determinize_core(nfa: &Nfa, tags: Option<&[Option<usize>]>) -> Determinized {
     let alphabet = nfa.alphabet().clone();
     let start = nfa.eps_closure(&BTreeSet::from([nfa.init()]));
     let mut subsets: Vec<BTreeSet<StateId>> = vec![start.clone()];
@@ -67,10 +93,15 @@ pub fn determinize(nfa: &Nfa) -> Determinized {
         .iter()
         .map(|set| set.iter().any(|&s| nfa.is_accepting(s)))
         .collect();
-    Determinized {
-        dfa: Dfa::new(alphabet, 0, accepting, delta),
-        subsets,
+    let mut dfa = Dfa::new(alphabet, 0, accepting, delta);
+    if let Some(tags) = tags {
+        let dfa_tags: Vec<Option<usize>> = subsets
+            .iter()
+            .map(|set| set.iter().filter_map(|&s| tags[s]).min())
+            .collect();
+        dfa = dfa.with_tags(dfa_tags);
     }
+    Determinized { dfa, subsets }
 }
 
 /// Shortest ε-path from `from` to `to` as a list of ε-transition indices,
@@ -263,6 +294,75 @@ mod tests {
         // Both NFA traces map to the same DFA trace; DtoN picks the least.
         let trace = least_accepting_trace(&nfa, &w);
         assert_eq!(trace, NfaTrace::step(0, NfaTrace::Stop));
+    }
+
+    /// The keyword-vs-identifier union NFA both tag tests share: rule 0
+    /// is the keyword `if`, rule 1 is the identifier `(i|f|x)+`, glued
+    /// under a fresh ε-start — the canonical overlapping-rules shape of
+    /// a lexer. Returns the NFA and its per-state tag table.
+    fn keyword_vs_identifier() -> (Nfa, Vec<Option<usize>>) {
+        use lambek_core::alphabet::Alphabet;
+        let sigma = Alphabet::from_chars("ifx");
+        let i = sigma.symbol("i").unwrap();
+        let f = sigma.symbol("f").unwrap();
+        // 0 = start, 1-3 keyword chain, 4-5 identifier loop.
+        let mut nfa = Nfa::new(sigma.clone(), 6, 0);
+        nfa.add_eps(0, 1);
+        nfa.add_transition(1, i, 2);
+        nfa.add_transition(2, f, 3);
+        nfa.set_accepting(3, true); // "if" accepted by rule 0
+        nfa.add_eps(0, 4);
+        for c in sigma.symbols() {
+            nfa.add_transition(4, c, 5);
+            nfa.add_transition(5, c, 5);
+        }
+        nfa.set_accepting(5, true); // any nonempty word, rule 1
+        let mut tags = vec![None; 6];
+        tags[3] = Some(0);
+        tags[5] = Some(1);
+        (nfa, tags)
+    }
+
+    #[test]
+    fn determinize_resolves_tag_conflicts_by_priority() {
+        // After consuming "if" the subset holds both rules' accept
+        // states; the keyword (rule 0, higher priority) must win. Plain
+        // identifiers keep rule 1's tag.
+        let (nfa, tags) = keyword_vs_identifier();
+        let det = determinize_tagged(&nfa, &tags);
+        let s = nfa.alphabet().clone();
+        let tag_after = |txt: &str| {
+            let w = s.parse_str(txt).unwrap();
+            det.dfa.accept_tag(det.dfa.final_state(det.dfa.init(), &w))
+        };
+        assert_eq!(tag_after("if"), Some(0), "keyword beats identifier");
+        assert_eq!(tag_after("i"), Some(1));
+        assert_eq!(tag_after("ifx"), Some(1), "longer than the keyword");
+        assert_eq!(tag_after("x"), Some(1));
+        assert_eq!(tag_after(""), None, "nothing matches ε");
+        assert!(det.dfa.is_tagged());
+    }
+
+    #[test]
+    fn minimize_preserves_highest_priority_tags() {
+        use crate::minimize::minimize;
+        let (nfa, tags) = keyword_vs_identifier();
+        let det = determinize_tagged(&nfa, &tags);
+        let min = minimize(&det.dfa);
+        assert!(min.num_states() <= det.dfa.num_states());
+        let s = nfa.alphabet().clone();
+        for txt in ["", "i", "if", "iff", "ifx", "x", "fi", "xxif"] {
+            let w = s.parse_str(txt).unwrap();
+            let before = det.dfa.accept_tag(det.dfa.final_state(det.dfa.init(), &w));
+            let after = min.accept_tag(min.final_state(min.init(), &w));
+            assert_eq!(before, after, "{txt}");
+            assert_eq!(det.dfa.accepts(&w), min.accepts(&w), "{txt}");
+        }
+        // The two distinctly-tagged accepting behaviours survive: "if"
+        // and "i" end in different minimized states despite the same
+        // accept bit.
+        let at = |txt: &str| min.final_state(min.init(), &s.parse_str(txt).unwrap());
+        assert_ne!(at("if"), at("i"), "tags refine the partition");
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub struct Dfa {
     alphabet: Alphabet,
     init: StateId,
     accepting: Vec<bool>,
+    /// Optional accept *tag* per state — the lexing layer's "which token
+    /// rule matched here". `Some(t)` implies the state accepts; smaller
+    /// tags are higher priority (determinization resolves a subset
+    /// containing several tagged NFA states to the minimum tag, and
+    /// minimization only merges states with identical tags). Plain
+    /// automata leave every entry `None`.
+    tags: Vec<Option<usize>>,
     /// Row-major stride: number of symbols in the alphabet.
     stride: usize,
     /// `delta[s * stride + c.index()]` is the successor of `s` on `c`.
@@ -58,10 +65,12 @@ impl Dfa {
             }
             flat.extend_from_slice(row);
         }
+        let tags = vec![None; n];
         Dfa {
             alphabet,
             init,
             accepting,
+            tags,
             stride,
             delta: flat,
         }
@@ -88,13 +97,53 @@ impl Dfa {
             delta.iter().all(|&t| t < n),
             "transition target out of range"
         );
+        let tags = vec![None; n];
         Dfa {
             alphabet,
             init,
             accepting,
+            tags,
             stride,
             delta,
         }
+    }
+
+    /// Attaches an accept tag table (one optional tag per state),
+    /// consuming and returning the DFA. Tags are how the lexing layer
+    /// records *which* prioritized rule a state accepts for; see the
+    /// field documentation for the priority convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tags` has the wrong length or tags a non-accepting
+    /// state (a tag is a refinement of acceptance, never a replacement).
+    pub fn with_tags(mut self, tags: Vec<Option<usize>>) -> Dfa {
+        assert_eq!(tags.len(), self.num_states(), "one optional tag per state");
+        for (s, t) in tags.iter().enumerate() {
+            assert!(
+                t.is_none() || self.accepting[s],
+                "state {s} is tagged but not accepting"
+            );
+        }
+        self.tags = tags;
+        self
+    }
+
+    /// The accept tag of `state`, if any. `Some` implies
+    /// [`Dfa::is_accepting`].
+    #[inline]
+    pub fn accept_tag(&self, state: StateId) -> Option<usize> {
+        self.tags[state]
+    }
+
+    /// The full tag table (one entry per state).
+    pub fn tags(&self) -> &[Option<usize>] {
+        &self.tags
+    }
+
+    /// `true` if any state carries an accept tag.
+    pub fn is_tagged(&self) -> bool {
+        self.tags.iter().any(|t| t.is_some())
     }
 
     /// The input alphabet.
@@ -429,5 +478,41 @@ mod tests {
     fn ragged_delta_rejected() {
         let sigma = Alphabet::abc();
         Dfa::new(sigma, 0, vec![false], vec![vec![0, 0]]);
+    }
+
+    #[test]
+    fn tags_default_to_none_and_attach_via_with_tags() {
+        let dfa = fig5_dfa();
+        assert!(!dfa.is_tagged());
+        assert!((0..dfa.num_states()).all(|s| dfa.accept_tag(s).is_none()));
+        let tagged = dfa.clone().with_tags(vec![None, None, Some(7), None]);
+        assert!(tagged.is_tagged());
+        assert_eq!(tagged.accept_tag(2), Some(7));
+        assert_eq!(tagged.tags(), &[None, None, Some(7), None]);
+        // Tags do not perturb the language or equality-on-structure of
+        // the untagged part.
+        let s = tagged.alphabet().clone();
+        for w in ["b", "ab", "c", "", "ba"] {
+            let w = s.parse_str(w).unwrap();
+            assert_eq!(tagged.accepts(&w), dfa.accepts(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tagged but not accepting")]
+    fn tagging_a_rejecting_state_is_rejected() {
+        fig5_dfa().with_tags(vec![Some(0), None, None, None]);
+    }
+
+    #[test]
+    fn live_states_ignores_tags() {
+        // Co-reachability is a property of the transition structure and
+        // the accept bits; attaching tags must not change it (the lexer's
+        // maximal-munch driver keys its dead-state detection off this).
+        let dfa = fig5_dfa();
+        let live_before = dfa.live_states();
+        let tagged = dfa.with_tags(vec![None, None, Some(3), None]);
+        assert_eq!(tagged.live_states(), live_before);
+        assert_eq!(tagged.live_states(), vec![true, true, true, false]);
     }
 }

@@ -34,12 +34,14 @@ pub fn trim(dfa: &Dfa) -> Dfa {
         }
     }
     let mut accepting = Vec::with_capacity(next);
+    let mut tags = Vec::with_capacity(next);
     let mut delta = Vec::with_capacity(next);
     for s in 0..dfa.num_states() {
         if remap[s].is_none() {
             continue;
         }
         accepting.push(dfa.is_accepting(s));
+        tags.push(dfa.accept_tag(s));
         delta.push(
             alphabet
                 .symbols()
@@ -53,16 +55,29 @@ pub fn trim(dfa: &Dfa) -> Dfa {
         accepting,
         delta,
     )
+    .with_tags(tags)
 }
 
 /// Minimizes a DFA: trims unreachable states, then merges
 /// behaviour-equivalent states by iterated partition refinement.
+///
+/// Accept *tags* (the lexing layer's rule priorities) refine the
+/// initial partition: two states merge only if they agree on both the
+/// accept bit and the tag, so minimization can never collapse a
+/// higher-priority rule's accept state into a lower-priority one.
 pub fn minimize(dfa: &Dfa) -> Dfa {
     let dfa = trim(dfa);
     let alphabet = dfa.alphabet().clone();
     let n = dfa.num_states();
-    // Initial partition: accepting vs rejecting.
-    let mut class: Vec<usize> = (0..n).map(|s| usize::from(dfa.is_accepting(s))).collect();
+    // Initial partition: accepting vs rejecting, refined by accept tag.
+    let mut seed: HashMap<(bool, Option<usize>), usize> = HashMap::new();
+    let mut class: Vec<usize> = (0..n)
+        .map(|s| {
+            let key = (dfa.is_accepting(s), dfa.accept_tag(s));
+            let fresh = seed.len();
+            *seed.entry(key).or_insert(fresh)
+        })
+        .collect();
     loop {
         // Signature of a state: (class, classes of successors).
         let mut sig_index: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
@@ -93,6 +108,12 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
         .iter()
         .map(|r| dfa.is_accepting(r.expect("every class has a member")))
         .collect();
+    // Every member of a class shares the representative's tag: tags seed
+    // the initial partition and refinement only ever splits classes.
+    let tags: Vec<Option<usize>> = rep
+        .iter()
+        .map(|r| dfa.accept_tag(r.expect("every class has a member")))
+        .collect();
     let delta: Vec<Vec<StateId>> = rep
         .iter()
         .map(|r| {
@@ -100,7 +121,7 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
             alphabet.symbols().map(|c| class[dfa.delta(s, c)]).collect()
         })
         .collect();
-    Dfa::new(alphabet, class[dfa.init()], accepting, delta)
+    Dfa::new(alphabet, class[dfa.init()], accepting, delta).with_tags(tags)
 }
 
 #[cfg(test)]

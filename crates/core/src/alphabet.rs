@@ -61,6 +61,11 @@ pub struct Alphabet {
     by_name: Arc<HashMap<String, u16>>,
     /// Fast path for single-character symbol names.
     by_char: Arc<HashMap<char, u16>>,
+    /// Dense ASCII fast path in front of `by_char` (`u16::MAX` =
+    /// absent): one array load instead of a hash probe on the
+    /// per-character hot loops (tokenization, the lexer's
+    /// maximal-munch driver).
+    ascii: Arc<[u16; 128]>,
 }
 
 /// Equality is by the ordered name list; the interning tables are derived
@@ -92,6 +97,7 @@ impl Alphabet {
         let names: Vec<String> = names.iter().map(|s| s.as_ref().to_owned()).collect();
         let mut by_name: HashMap<String, u16> = HashMap::with_capacity(names.len());
         let mut by_char: HashMap<char, u16> = HashMap::new();
+        let mut ascii = [u16::MAX; 128];
         for (i, n) in names.iter().enumerate() {
             assert!(
                 by_name.insert(n.clone(), i as u16).is_none(),
@@ -100,12 +106,16 @@ impl Alphabet {
             let mut chars = n.chars();
             if let (Some(c), None) = (chars.next(), chars.next()) {
                 by_char.insert(c, i as u16);
+                if (c as u32) < 128 {
+                    ascii[c as usize] = i as u16;
+                }
             }
         }
         Alphabet {
             names: Arc::new(names),
             by_name: Arc::new(by_name),
             by_char: Arc::new(by_char),
+            ascii: Arc::new(ascii),
         }
     }
 
@@ -150,9 +160,16 @@ impl Alphabet {
         self.by_name.get(name).map(|&i| Symbol(i))
     }
 
-    /// Looks up a single-character symbol by its character — O(1), no
-    /// allocation (the fast path of [`Alphabet::parse_str`]).
+    /// Looks up a single-character symbol by its character — for ASCII
+    /// a single array load, otherwise one hash probe; no allocation
+    /// either way (the per-character fast path of
+    /// [`Alphabet::parse_str`] and of the lexer's maximal-munch loop).
+    #[inline]
     pub fn symbol_of_char(&self, c: char) -> Option<Symbol> {
+        if (c as u32) < 128 {
+            let i = self.ascii[c as usize];
+            return (i != u16::MAX).then_some(Symbol(i));
+        }
         self.by_char.get(&c).map(|&i| Symbol(i))
     }
 

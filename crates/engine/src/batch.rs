@@ -9,8 +9,9 @@ use std::time::{Duration, Instant};
 
 use lambek_core::alphabet::GString;
 use lambek_core::theory::parser::ParseOutcome;
+use lambek_lex::Span;
 
-use crate::pipeline::CompiledPipeline;
+use crate::pipeline::{CompiledPipeline, StrOutcome};
 
 /// What happened to one input of a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +57,136 @@ pub struct ParseReport {
     pub duration: Duration,
 }
 
+/// What happened to one raw-text input of a [`parse_batch_str`] batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrReportOutcome {
+    /// Lexed (for lexed pipelines) and parsed; both layers certified.
+    Accepted {
+        /// Constructor count of the parse tree.
+        tree_size: usize,
+        /// Number of yield tokens (0 for non-lexed pipelines).
+        tokens: usize,
+    },
+    /// Lexed but not parsed; the span points into the raw input.
+    RejectedParse {
+        /// Byte span of the offending token (see
+        /// [`StrOutcome::RejectParse`]).
+        span: Span,
+        /// The driver's rejection report.
+        message: String,
+    },
+    /// Did not lex.
+    RejectedLex {
+        /// Byte offset of the lexical error.
+        at: usize,
+        /// The lexer's error message.
+        message: String,
+    },
+    /// The pipeline failed on this input (transformer contract error).
+    Failed(String),
+}
+
+impl StrReportOutcome {
+    /// `true` on acceptance.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, StrReportOutcome::Accepted { .. })
+    }
+}
+
+/// The structured result of parsing one raw-text input of a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrParseReport {
+    /// Index of the input in the batch slice.
+    pub index: usize,
+    /// Length of the input in bytes.
+    pub input_bytes: usize,
+    /// Outcome of the lex + parse run.
+    pub outcome: StrReportOutcome,
+    /// Wall-clock time spent on this input.
+    pub duration: Duration,
+}
+
+fn parse_one_str(pipeline: &CompiledPipeline, index: usize, input: &str) -> StrParseReport {
+    let start = Instant::now();
+    let outcome = match pipeline.parse_str(input) {
+        Ok(StrOutcome::Accept { tree, tokens }) => StrReportOutcome::Accepted {
+            tree_size: tree.size(),
+            tokens: tokens.map_or(0, |t| t.yield_string().len()),
+        },
+        Ok(StrOutcome::RejectParse { span, message, .. }) => {
+            StrReportOutcome::RejectedParse { span, message }
+        }
+        Ok(StrOutcome::RejectLex(e)) => StrReportOutcome::RejectedLex {
+            at: e.at,
+            message: e.to_string(),
+        },
+        Err(e) => StrReportOutcome::Failed(format!("{e}")),
+    };
+    StrParseReport {
+        index,
+        input_bytes: input.len(),
+        outcome,
+        duration: start.elapsed(),
+    }
+}
+
+/// The shared worker fan-out both batch entrances ride: `0` workers =
+/// one per available core, `1` = sequential in the calling thread;
+/// inputs split into contiguous chunks (remainder spread over the
+/// first few workers) so results reassemble in input order with no
+/// synchronization beyond the scope join.
+fn fan_out<T: Sync, R: Send>(
+    inputs: &[T],
+    workers: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
+    };
+    let workers = workers.clamp(1, inputs.len().max(1));
+    if workers == 1 {
+        return inputs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let base = inputs.len() / workers;
+    let extra = inputs.len() % workers;
+    let mut results = Vec::with_capacity(inputs.len());
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(workers);
+        let mut offset = 0;
+        for k in 0..workers {
+            let len = base + usize::from(k < extra);
+            let chunk = &inputs[offset..offset + len];
+            let chunk_offset = offset;
+            offset += len;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| f(chunk_offset + i, x))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            results.extend(h.join().expect("batch worker panicked"));
+        }
+    });
+    results
+}
+
+/// Parses every raw-text input against a shared compiled pipeline, with
+/// the same worker-fan-out contract as [`parse_batch`] (`1` =
+/// sequential, `0` = one worker per core; reports in input order).
+pub fn parse_batch_str(
+    pipeline: &CompiledPipeline,
+    inputs: &[&str],
+    workers: usize,
+) -> Vec<StrParseReport> {
+    fan_out(inputs, workers, |i, s| parse_one_str(pipeline, i, s))
+}
+
 fn parse_one(pipeline: &CompiledPipeline, index: usize, w: &GString) -> ParseReport {
     let start = Instant::now();
     let (outcome, yield_ok) = match pipeline.parse(w) {
@@ -94,44 +225,7 @@ pub fn parse_batch(
     inputs: &[GString],
     workers: usize,
 ) -> Vec<ParseReport> {
-    let workers = if workers == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        workers
-    };
-    let workers = workers.clamp(1, inputs.len().max(1));
-    if workers == 1 {
-        return inputs
-            .iter()
-            .enumerate()
-            .map(|(i, w)| parse_one(pipeline, i, w))
-            .collect();
-    }
-    // Contiguous chunks, remainder spread over the first few workers.
-    let base = inputs.len() / workers;
-    let extra = inputs.len() % workers;
-    let mut reports = Vec::with_capacity(inputs.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        let mut offset = 0;
-        for k in 0..workers {
-            let len = base + usize::from(k < extra);
-            let chunk = &inputs[offset..offset + len];
-            let chunk_offset = offset;
-            offset += len;
-            handles.push(scope.spawn(move || {
-                chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(i, w)| parse_one(pipeline, chunk_offset + i, w))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for h in handles {
-            reports.extend(h.join().expect("batch worker panicked"));
-        }
-    });
-    reports
+    fan_out(inputs, workers, |i, w| parse_one(pipeline, i, w))
 }
 
 #[cfg(test)]
@@ -172,6 +266,58 @@ mod tests {
         let reports = parse_batch(&p, &[w], 1);
         assert!(matches!(reports[0].outcome, ReportOutcome::Failed(_)));
         assert!(!reports[0].yield_ok);
+    }
+
+    #[test]
+    fn str_batches_report_all_three_rejection_shapes() {
+        let p = PipelineSpec::json_lexed().compile().unwrap();
+        let inputs = [
+            "{\"a\": 1}",
+            "[true, null, {\"x\": []}]",
+            "{\"a\" 1}", // parse error at the NUM token
+            "{?}",       // lex error at '?'
+            "",          // lexes to zero tokens, rejected by the grammar
+        ];
+        let reports = parse_batch_str(&p, &inputs, 2);
+        assert_eq!(reports.len(), inputs.len());
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.input_bytes, inputs[i].len());
+        }
+        assert!(matches!(
+            reports[0].outcome,
+            StrReportOutcome::Accepted { tokens: 5, .. }
+        ));
+        assert!(reports[1].outcome.is_accept());
+        match &reports[2].outcome {
+            StrReportOutcome::RejectedParse { span, .. } => {
+                assert_eq!((span.start, span.end), (5, 6));
+            }
+            other => panic!("expected a parse rejection, got {other:?}"),
+        }
+        match &reports[3].outcome {
+            StrReportOutcome::RejectedLex { at, message } => {
+                assert_eq!(*at, 1);
+                assert!(message.contains("byte 1"), "{message}");
+            }
+            other => panic!("expected a lex rejection, got {other:?}"),
+        }
+        assert!(!reports[4].outcome.is_accept());
+    }
+
+    #[test]
+    fn str_batches_work_for_char_pipelines_too() {
+        let p = PipelineSpec::dyck_cfg().compile().unwrap();
+        let reports = parse_batch_str(&p, &["()", ")(", "(z)"], 1);
+        assert!(reports[0].outcome.is_accept());
+        assert!(matches!(
+            reports[1].outcome,
+            StrReportOutcome::RejectedParse { .. }
+        ));
+        assert!(matches!(
+            reports[2].outcome,
+            StrReportOutcome::RejectedLex { at: 1, .. }
+        ));
     }
 
     #[test]

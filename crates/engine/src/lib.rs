@@ -61,8 +61,13 @@ mod batch;
 mod pipeline;
 mod stream;
 
-pub use batch::{parse_batch, ParseReport, ReportOutcome};
-pub use pipeline::{CfgBackend, CfgMode, CompiledPipeline, DfaBackend, PipelineSpec, SpecKey};
+pub use batch::{
+    parse_batch, parse_batch_str, ParseReport, ReportOutcome, StrParseReport, StrReportOutcome,
+};
+pub use pipeline::{
+    CfgBackend, CfgMode, CompiledPipeline, DfaBackend, LexedCfgBackend, PipelineSpec, SpecKey,
+    StrOutcome,
+};
 pub use stream::StreamParser;
 
 use std::collections::HashMap;
@@ -182,6 +187,27 @@ impl Engine {
     ) -> Result<Vec<ParseReport>, EngineError> {
         let pipeline = self.get_or_compile(spec)?;
         Ok(parse_batch(&pipeline, inputs, workers))
+    }
+
+    /// Parses every *raw-text* input against the pipeline for `spec`
+    /// (the batch form of [`CompiledPipeline::parse_str`]): for lexed
+    /// pipelines each input runs certified lexing and then the
+    /// certified CFG backend, with rejections carrying byte offsets
+    /// into the text. Fan-out and ordering as [`Engine::parse_many`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Compile`] if the pipeline cannot be
+    /// built; per-input failures land in the matching
+    /// [`StrParseReport`].
+    pub fn parse_many_str(
+        &self,
+        spec: &PipelineSpec,
+        inputs: &[&str],
+        workers: usize,
+    ) -> Result<Vec<StrParseReport>, EngineError> {
+        let pipeline = self.get_or_compile(spec)?;
+        Ok(parse_batch_str(&pipeline, inputs, workers))
     }
 
     /// Opens a push-mode streaming parser for `spec`.

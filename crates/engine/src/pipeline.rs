@@ -35,6 +35,7 @@ use lambek_core::grammar::expr::Grammar;
 use lambek_core::grammar::parse_tree::{validate, ParseTree};
 use lambek_core::theory::parser::{ParseOutcome, VerifiedParser};
 use lambek_core::transform::TransformError;
+use lambek_lex::{CertifiedLexer, LexError, LexSpec, Span, TokenStream};
 use lambek_lr::{CertifiedLrParser, LrConflictReport, LrOutcome};
 use regex_grammars::ast::parse_regex;
 use regex_grammars::pipeline::RegexParser;
@@ -90,6 +91,17 @@ enum SpecKind {
         /// The grammar itself.
         cfg: Cfg,
     },
+    /// A raw-text pipeline: a certified maximal-munch lexer in front of
+    /// a token-level CFG backend. The spec's token alphabet must equal
+    /// the grammar's alphabet (checked at compile).
+    LexedCfg {
+        /// Display label for reports.
+        name: String,
+        /// The lexical specification (token + skip rules).
+        spec: LexSpec,
+        /// The token-level grammar.
+        cfg: Cfg,
+    },
 }
 
 /// The id-based identity of a [`PipelineSpec`]: a small `Copy` value
@@ -106,6 +118,16 @@ pub enum SpecKey {
     /// CFG pipeline: interned alphabet + interned μ-regular encoding
     /// (the encoding determines the productions and the start symbol).
     Cfg(
+        lambek_core::intern::AlphabetId,
+        lambek_core::intern::GrammarId,
+    ),
+    /// Lexed-CFG pipeline: the lexer's identity (interned character
+    /// alphabet + interned spec fingerprint) plus the token grammar's
+    /// identity (interned token alphabet + interned μ-regular
+    /// encoding).
+    LexedCfg(
+        lambek_core::intern::AlphabetId,
+        lambek_core::intern::Istr,
         lambek_core::intern::AlphabetId,
         lambek_core::intern::GrammarId,
     ),
@@ -175,6 +197,53 @@ impl PipelineSpec {
         }
     }
 
+    /// A raw-text pipeline: `spec`'s certified maximal-munch lexer
+    /// composed with the CFG backend for `cfg` (LR tables when the
+    /// grammar is LALR(1), Earley fallback otherwise). The cache
+    /// identity is the pair (lexer spec, grammar), both interned;
+    /// `name` is only the display label.
+    ///
+    /// The spec's token alphabet and the grammar's alphabet must be
+    /// equal — [`PipelineSpec::compile`] rejects mismatches.
+    pub fn lexed_cfg(name: impl Into<String>, spec: LexSpec, cfg: Cfg) -> PipelineSpec {
+        let key = SpecKey::LexedCfg(
+            lambek_core::intern::alphabet_id(spec.alphabet()),
+            lambek_core::intern::istr(&spec.fingerprint()),
+            lambek_core::intern::alphabet_id(cfg.alphabet()),
+            lambek_core::intern::grammar_id(&cfg.to_lambek()),
+        );
+        PipelineSpec {
+            kind: SpecKind::LexedCfg {
+                name: name.into(),
+                spec,
+                cfg,
+            },
+            key,
+        }
+    }
+
+    /// The raw-text arithmetic language as a lexed-CFG pipeline: the
+    /// Fig. 15 expression grammar behind a lexer with multi-digit
+    /// numerals and skipped whitespace
+    /// ([`lambek_lex::demo::arith_spec`]).
+    pub fn arith_lexed() -> PipelineSpec {
+        PipelineSpec::lexed_cfg(
+            "arith-lexed",
+            lambek_lex::demo::arith_spec(),
+            lambek_lex::demo::arith_token_cfg(),
+        )
+    }
+
+    /// A JSON-subset language as a lexed-CFG pipeline
+    /// ([`lambek_lex::demo::json_spec`] + [`lambek_lex::demo::json_cfg`]).
+    pub fn json_lexed() -> PipelineSpec {
+        PipelineSpec::lexed_cfg(
+            "json-lexed",
+            lambek_lex::demo::json_spec(),
+            lambek_lex::demo::json_cfg(),
+        )
+    }
+
     /// The Dyck language as a CFG pipeline (LR-backed, no truncation
     /// bound) — the linear-time serving path for balanced parentheses.
     pub fn dyck_cfg() -> PipelineSpec {
@@ -202,6 +271,7 @@ impl PipelineSpec {
             SpecKind::Dyck { max_len } => format!("dyck(≤{max_len})"),
             SpecKind::Expr { max_len } => format!("expr(≤{max_len})"),
             SpecKind::Cfg { name, .. } => format!("cfg({name})"),
+            SpecKind::LexedCfg { name, .. } => format!("lexed({name})"),
         }
     }
 
@@ -240,16 +310,20 @@ impl PipelineSpec {
                 parser: lambek_cfg::expr::exp_parser(*max_len),
                 dfa: None,
             },
-            SpecKind::Cfg { cfg, .. } => {
-                let mode = match CertifiedLrParser::compile(cfg) {
-                    Ok(lr) => CfgMode::Lr(lr),
-                    Err(conflicts) => CfgMode::Earley {
-                        cfg: cfg.clone(),
-                        grammar: cfg.to_lambek(),
-                        conflicts,
-                    },
-                };
-                ParserImpl::Cfg(CfgBackend { mode })
+            SpecKind::Cfg { cfg, .. } => ParserImpl::Cfg(compile_cfg_backend(cfg)),
+            SpecKind::LexedCfg { name, spec, cfg } => {
+                if spec.token_alphabet() != cfg.alphabet() {
+                    return Err(EngineError::Compile(format!(
+                        "lexed pipeline {name}: the spec's token alphabet {:?} does not match \
+                         the grammar's alphabet {:?}",
+                        spec.token_alphabet().names(),
+                        cfg.alphabet().names(),
+                    )));
+                }
+                ParserImpl::LexedCfg(LexedCfgBackend {
+                    lexer: CertifiedLexer::compile(spec.clone()),
+                    inner: compile_cfg_backend(cfg),
+                })
             }
         };
         Ok(CompiledPipeline {
@@ -292,6 +366,20 @@ pub enum CfgMode {
 #[derive(Debug, Clone)]
 pub struct CfgBackend {
     mode: CfgMode,
+}
+
+/// Compiles a CFG to its backend: LR tables when conflict-free, Earley
+/// with the preserved conflict report otherwise.
+fn compile_cfg_backend(cfg: &Cfg) -> CfgBackend {
+    let mode = match CertifiedLrParser::compile(cfg) {
+        Ok(lr) => CfgMode::Lr(lr),
+        Err(conflicts) => CfgMode::Earley {
+            cfg: cfg.clone(),
+            grammar: cfg.to_lambek(),
+            conflicts,
+        },
+    };
+    CfgBackend { mode }
 }
 
 impl CfgBackend {
@@ -374,6 +462,133 @@ impl CfgBackend {
     }
 }
 
+/// The outcome of a raw-text parse: lexing and parsing certified at
+/// their respective layers, rejections pointing at byte offsets of the
+/// raw input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrOutcome {
+    /// The text lexed and the token string parsed. The tree has been
+    /// re-validated against the token-level grammar and the token
+    /// string; the token stream has been re-validated against the raw
+    /// text (span tiling + independent derivative re-matching). For
+    /// non-lexed pipelines [`tokens`](StrOutcome::Accept::tokens) is
+    /// `None` (the "lexer" was the trivial char-per-symbol reading).
+    Accept {
+        /// The certified parse tree over the pipeline's grammar.
+        tree: ParseTree,
+        /// The certified token stream (lexed pipelines only).
+        tokens: Option<TokenStream>,
+    },
+    /// The text lexed but the token string is not in the grammar.
+    RejectParse {
+        /// Byte span of the offending token in the raw text (empty
+        /// span at the end for "input ended too soon"; the whole input
+        /// when the Earley fallback, which has no error position,
+        /// rejected).
+        span: Span,
+        /// Human-readable rejection (the LR driver's expected-set
+        /// report when available).
+        message: String,
+        /// The token stream that parsed up to the rejection (lexed
+        /// pipelines only).
+        tokens: Option<TokenStream>,
+    },
+    /// The text did not lex; the error carries the byte offset.
+    RejectLex(LexError),
+}
+
+impl StrOutcome {
+    /// `true` on acceptance.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, StrOutcome::Accept { .. })
+    }
+
+    /// The accepted tree, if any.
+    pub fn accepted(&self) -> Option<&ParseTree> {
+        match self {
+            StrOutcome::Accept { tree, .. } => Some(tree),
+            _ => None,
+        }
+    }
+}
+
+/// The compiled form of a [`PipelineSpec::lexed_cfg`] spec: a certified
+/// lexer in front of a certified CFG backend.
+#[derive(Debug, Clone)]
+pub struct LexedCfgBackend {
+    lexer: CertifiedLexer,
+    inner: CfgBackend,
+}
+
+impl LexedCfgBackend {
+    /// The certified lexer.
+    pub fn lexer(&self) -> &CertifiedLexer {
+        &self.lexer
+    }
+
+    /// The token-level CFG backend (LR tables or Earley fallback).
+    pub fn cfg_backend(&self) -> &CfgBackend {
+        &self.inner
+    }
+
+    /// Lexes `input` and parses the token string, certifying both
+    /// layers. Rejections carry byte offsets into `input`.
+    ///
+    /// # Errors
+    ///
+    /// Contract violations only: a lexer certification failure or an
+    /// LR/validation internal error. "Not in the language" is an `Ok`
+    /// rejection.
+    pub fn parse_str(&self, input: &str) -> Result<StrOutcome, TransformError> {
+        let tokens = match self.lexer.lex(input).map_err(|e| {
+            TransformError::Custom(format!("certified-lexer contract violation: {e}"))
+        })? {
+            lambek_lex::LexedOutcome::Reject(e) => return Ok(StrOutcome::RejectLex(e)),
+            lambek_lex::LexedOutcome::Tokens(ts) => ts,
+        };
+        let w = tokens.yield_string();
+        match &self.inner.mode {
+            CfgMode::Lr(lr) => match lr.parse(w).map_err(|e| TransformError::OutputShape {
+                transformer: "certified-lr".to_owned(),
+                cause: e.cause,
+            })? {
+                LrOutcome::Accept(tree) => Ok(StrOutcome::Accept {
+                    tree,
+                    tokens: Some(tokens),
+                }),
+                LrOutcome::Reject(r) => {
+                    let span = tokens.span_of_yield(r.at, input.len());
+                    Ok(StrOutcome::RejectParse {
+                        span,
+                        message: r.to_string(),
+                        tokens: Some(tokens),
+                    })
+                }
+            },
+            CfgMode::Earley { cfg, grammar, .. } => match earley_parse(cfg, w) {
+                EarleyParse::Unique(tree) | EarleyParse::Ambiguous { tree, .. } => {
+                    validate(&tree, grammar, w).map_err(|cause| TransformError::OutputShape {
+                        transformer: "earley-fallback".to_owned(),
+                        cause,
+                    })?;
+                    Ok(StrOutcome::Accept {
+                        tree,
+                        tokens: Some(tokens),
+                    })
+                }
+                EarleyParse::NoParse => Ok(StrOutcome::RejectParse {
+                    span: Span {
+                        start: 0,
+                        end: input.len(),
+                    },
+                    message: "token string is not in the grammar (Earley fallback)".to_owned(),
+                    tokens: Some(tokens),
+                }),
+            },
+        }
+    }
+}
+
 /// How a [`CompiledPipeline`] actually parses.
 #[derive(Debug, Clone)]
 enum ParserImpl {
@@ -384,6 +599,8 @@ enum ParserImpl {
     },
     /// A CFG compiled to LR tables (or the Earley fallback).
     Cfg(CfgBackend),
+    /// A certified lexer composed with a CFG backend (raw-text input).
+    LexedCfg(LexedCfgBackend),
 }
 
 /// A compiled, immutable, thread-shareable parser pipeline.
@@ -407,7 +624,7 @@ impl CompiledPipeline {
     pub fn parser(&self) -> Option<&VerifiedParser> {
         match &self.imp {
             ParserImpl::Verified { parser, .. } => Some(parser),
-            ParserImpl::Cfg(_) => None,
+            ParserImpl::Cfg(_) | ParserImpl::LexedCfg(_) => None,
         }
     }
 
@@ -417,23 +634,37 @@ impl CompiledPipeline {
     pub fn backend(&self) -> Option<&DfaBackend> {
         match &self.imp {
             ParserImpl::Verified { dfa, .. } => dfa.as_ref(),
-            ParserImpl::Cfg(_) => None,
+            ParserImpl::Cfg(_) | ParserImpl::LexedCfg(_) => None,
         }
     }
 
-    /// The CFG backend, if this is a [`PipelineSpec::cfg`] pipeline.
+    /// The CFG backend, if this is a [`PipelineSpec::cfg`] pipeline
+    /// (for lexed pipelines, reach it through
+    /// [`CompiledPipeline::lexed_backend`]).
     pub fn cfg_backend(&self) -> Option<&CfgBackend> {
         match &self.imp {
-            ParserImpl::Verified { .. } => None,
+            ParserImpl::Verified { .. } | ParserImpl::LexedCfg(_) => None,
             ParserImpl::Cfg(b) => Some(b),
         }
     }
 
-    /// The input alphabet.
+    /// The lexer+CFG backend, if this is a [`PipelineSpec::lexed_cfg`]
+    /// pipeline.
+    pub fn lexed_backend(&self) -> Option<&LexedCfgBackend> {
+        match &self.imp {
+            ParserImpl::LexedCfg(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The input alphabet of the pipeline's *parser*: for lexed
+    /// pipelines this is the token alphabet (the characters the lexer
+    /// reads live in `lexed_backend().lexer().spec().alphabet()`).
     pub fn alphabet(&self) -> &Alphabet {
         match &self.imp {
             ParserImpl::Verified { parser, .. } => parser.alphabet(),
             ParserImpl::Cfg(b) => b.cfg().alphabet(),
+            ParserImpl::LexedCfg(b) => b.inner.cfg().alphabet(),
         }
     }
 
@@ -442,6 +673,7 @@ impl CompiledPipeline {
         match &self.imp {
             ParserImpl::Verified { parser, .. } => parser.grammar(),
             ParserImpl::Cfg(b) => b.grammar(),
+            ParserImpl::LexedCfg(b) => b.inner.grammar(),
         }
     }
 
@@ -464,7 +696,50 @@ impl CompiledPipeline {
         match &self.imp {
             ParserImpl::Verified { parser, .. } => parser.parse(w),
             ParserImpl::Cfg(b) => b.parse(w),
+            // A lexed pipeline parsing a pre-tokenized string skips the
+            // lexer (the string is already over the token alphabet).
+            ParserImpl::LexedCfg(b) => b.inner.parse(w),
         }
+    }
+
+    /// Parses *raw text*, running the whole pipeline front to back.
+    ///
+    /// For lexed pipelines this is the main entrance: certified
+    /// maximal-munch lexing, then the certified CFG backend over the
+    /// token string, with rejections mapped to byte offsets of `input`.
+    /// Other pipelines read the text through their alphabet's
+    /// char-per-symbol parsing (a character outside the alphabet is a
+    /// [`StrOutcome::RejectLex`] at its byte offset) and report parse
+    /// rejections over the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Contract violations of the underlying transformers, exactly as
+    /// [`CompiledPipeline::parse`].
+    pub fn parse_str(&self, input: &str) -> Result<StrOutcome, TransformError> {
+        if let ParserImpl::LexedCfg(b) = &self.imp {
+            return b.parse_str(input);
+        }
+        // Char-per-symbol reading for the other pipelines.
+        let sigma = self.alphabet();
+        let mut w = GString::new();
+        for (at, c) in input.char_indices() {
+            match sigma.symbol_of_char(c) {
+                Some(sym) => w.push(sym),
+                None => return Ok(StrOutcome::RejectLex(LexError { at, found: c })),
+            }
+        }
+        Ok(match self.parse(&w)? {
+            ParseOutcome::Accept(tree) => StrOutcome::Accept { tree, tokens: None },
+            ParseOutcome::Reject(_) => StrOutcome::RejectParse {
+                span: Span {
+                    start: 0,
+                    end: input.len(),
+                },
+                message: "input is not in the grammar".to_owned(),
+                tokens: None,
+            },
+        })
     }
 
     /// Fast acceptance check: a dense-table DFA or LR run when one is
@@ -481,6 +756,26 @@ impl CompiledPipeline {
                 parser.parse(w).map(|o| o.is_accept()).unwrap_or(false)
             }
             ParserImpl::Cfg(b) => b.accepts(w),
+            ParserImpl::LexedCfg(b) => b.inner.accepts(w),
+        }
+    }
+
+    /// Fast raw-text acceptance: lex, then the recognition-only table
+    /// run (no trees, no certification — use
+    /// [`CompiledPipeline::parse_str`] for the certified answer).
+    pub fn accepts_str(&self, input: &str) -> bool {
+        match &self.imp {
+            ParserImpl::LexedCfg(b) => match b.lexer.automaton().lex_raw(input) {
+                Ok(tokens) => {
+                    let ts = TokenStream::from_tokens(tokens);
+                    b.inner.accepts(ts.yield_string())
+                }
+                Err(_) => false,
+            },
+            _ => self
+                .alphabet()
+                .parse_str(input)
+                .is_some_and(|w| self.accepts(&w)),
         }
     }
 }
@@ -602,6 +897,138 @@ mod tests {
         assert!(outcome.is_accept());
         assert_eq!(outcome.accepted().unwrap().flatten(), w);
         assert!(!p.parse(&s.parse_str("b").unwrap()).unwrap().is_accept());
+    }
+
+    #[test]
+    fn lexed_pipeline_parses_raw_json_end_to_end() {
+        let p = PipelineSpec::json_lexed().compile().unwrap();
+        let b = p.lexed_backend().expect("lexed pipeline");
+        assert!(b.cfg_backend().lr().is_some(), "the JSON subset is LALR(1)");
+        assert!(p.cfg_backend().is_none(), "not a plain CFG pipeline");
+        assert!(p.parser().is_none() && p.backend().is_none());
+
+        let input = "{\"k\": [1, 2, {\"deep\": null}], \"ok\": true}";
+        let out = p.parse_str(input).unwrap();
+        let StrOutcome::Accept { tree, tokens } = out else {
+            panic!("valid JSON subset must parse: {out:?}");
+        };
+        let tokens = tokens.expect("lexed pipelines report their tokens");
+        // Double certification is re-checkable from the outside too:
+        // the tree's yield is the token string…
+        assert_eq!(&tree.flatten(), tokens.yield_string());
+        validate(&tree, p.grammar(), tokens.yield_string()).unwrap();
+        // …and the lexer's spans tile the raw text.
+        b.lexer().certify(input, tokens.tokens()).unwrap();
+        assert!(p.accepts_str(input));
+    }
+
+    #[test]
+    fn lexed_rejections_point_at_bytes() {
+        let p = PipelineSpec::json_lexed().compile().unwrap();
+        // Lexical error: '?' is not in the character alphabet.
+        match p.parse_str("{\"a\": ?}").unwrap() {
+            StrOutcome::RejectLex(e) => {
+                assert_eq!(e.at, 6);
+                assert_eq!(e.found, '?');
+            }
+            other => panic!("expected a lex rejection, got {other:?}"),
+        }
+        // Parse error: the offending token's byte span is reported.
+        match p.parse_str("{\"a\" 1}").unwrap() {
+            StrOutcome::RejectParse { span, message, .. } => {
+                assert_eq!((span.start, span.end), (5, 6), "the NUM token");
+                assert!(message.contains("expected"), "{message}");
+            }
+            other => panic!("expected a parse rejection, got {other:?}"),
+        }
+        // Unexpected end of input: empty span at the end.
+        match p.parse_str("{\"a\":").unwrap() {
+            StrOutcome::RejectParse { span, .. } => {
+                assert_eq!((span.start, span.end), (5, 5));
+            }
+            other => panic!("expected a parse rejection, got {other:?}"),
+        }
+        assert!(!p.accepts_str("{\"a\": ?}"));
+        assert!(!p.accepts_str("{\"a\" 1}"));
+    }
+
+    #[test]
+    fn lexed_specs_intern_their_cache_identity() {
+        let a = PipelineSpec::json_lexed();
+        let b = PipelineSpec::lexed_cfg(
+            "other-label",
+            lambek_lex::demo::json_spec(),
+            lambek_lex::demo::json_cfg(),
+        );
+        assert_eq!(a, b, "labels are not part of the identity");
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.key(), PipelineSpec::arith_lexed().key());
+        assert_ne!(a.key(), PipelineSpec::dyck_cfg().key());
+        // Same grammar, different lexer ⇒ different pipeline.
+        let sigma = lambek_lex::demo::json_chars();
+        let mut builder = lambek_lex::LexSpecBuilder::new(sigma.clone());
+        for r in lambek_lex::demo::json_spec().rules() {
+            builder = if r.skip {
+                builder.skip_re(&r.name, r.regex.clone()).unwrap()
+            } else {
+                builder.token_re(&r.name, r.regex.clone()).unwrap()
+            };
+        }
+        let respaced = builder.skip("WS2", "::*").unwrap();
+        let variant = PipelineSpec::lexed_cfg(
+            "json-lexed",
+            respaced.build().unwrap(),
+            lambek_lex::demo::json_cfg(),
+        );
+        assert_ne!(a.key(), variant.key());
+    }
+
+    #[test]
+    fn lexed_alphabet_mismatch_is_a_compile_error() {
+        // Arithmetic lexer in front of the JSON grammar: the token
+        // alphabets differ, and compile must say so.
+        let spec = PipelineSpec::lexed_cfg(
+            "mismatched",
+            lambek_lex::demo::arith_spec(),
+            lambek_lex::demo::json_cfg(),
+        );
+        match spec.compile() {
+            Err(EngineError::Compile(m)) => assert!(m.contains("token alphabet"), "{m}"),
+            other => panic!("expected a compile error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lexed_pipeline_still_parses_pretokenized_strings() {
+        // parse(&GString) on a lexed pipeline goes straight to the
+        // token-level backend — the batch `parse_many` path.
+        let p = PipelineSpec::arith_lexed().compile().unwrap();
+        let t = lambek_automata::lookahead::ArithTokens::new();
+        let w: GString = [t.num, t.add, t.num].into_iter().collect();
+        assert!(p.parse(&w).unwrap().is_accept());
+        assert!(p.accepts(&w));
+        // And the raw-text form of the same sentence agrees.
+        assert!(p.parse_str("12 + 3").unwrap().is_accept());
+    }
+
+    #[test]
+    fn non_lexed_parse_str_reads_chars() {
+        let p = PipelineSpec::dyck_cfg().compile().unwrap();
+        assert!(p.parse_str("(()())").unwrap().is_accept());
+        assert!(p.accepts_str("(()())"));
+        match p.parse_str("(()").unwrap() {
+            StrOutcome::RejectParse { span, tokens, .. } => {
+                assert_eq!((span.start, span.end), (0, 3), "whole-input span");
+                assert!(tokens.is_none(), "no lexer, no token stream");
+            }
+            other => panic!("expected a parse rejection, got {other:?}"),
+        }
+        match p.parse_str("(x)").unwrap() {
+            StrOutcome::RejectLex(e) => {
+                assert_eq!((e.at, e.found), (1, 'x'));
+            }
+            other => panic!("expected a lex rejection, got {other:?}"),
+        }
     }
 
     #[test]

@@ -24,8 +24,18 @@
 //!   (the certification step), so the streaming path gives exactly the
 //!   same intrinsic guarantee as the one-shot path.
 //!
+//! * **Lexed-LR mode** (raw-text pipelines whose token grammar
+//!   compiled conflict-free): characters go in through
+//!   [`StreamParser::push_char`]; a push-mode [`LexStream`] buffers at
+//!   most the one pending longest-match token boundary and feeds each
+//!   resolved token straight into the token-level [`LrStream`].
+//!   [`StreamParser::finish`] flushes the lexer, completes the LR
+//!   reductions, and certifies **both** layers: the token stream
+//!   against the raw text (span tiling + derivative re-matching) and
+//!   the tree against the token-level grammar and token string.
+//!
 //! CFG pipelines that fell back to Earley have no incremental driver
-//! and refuse to open a stream.
+//! and refuse to open a stream (lexed or not).
 
 use std::sync::Arc;
 
@@ -34,6 +44,7 @@ use lambek_core::alphabet::{GString, Symbol};
 use lambek_core::grammar::parse_tree::ParseTree;
 use lambek_core::theory::parser::ParseOutcome;
 use lambek_core::transform::TransformError;
+use lambek_lex::{LexStream, Token};
 use lambek_lr::{LrOutcome, LrStream};
 
 use crate::pipeline::CompiledPipeline;
@@ -53,6 +64,17 @@ enum Mode {
     },
     /// Incremental certified LR parsing.
     Lr(LrStream),
+    /// Incremental lexing feeding incremental LR parsing.
+    LexedLr {
+        /// The character side: maximal-munch with one buffered token
+        /// boundary.
+        lex: LexStream,
+        /// The token side: shift + pending reductions per token.
+        lr: LrStream,
+        /// Every token emitted so far (skips included) — what the
+        /// certified `finish` re-validates against the raw text.
+        tokens: Vec<Token>,
+    },
 }
 
 /// An incremental parser over a shared compiled pipeline.
@@ -80,6 +102,17 @@ impl StreamParser {
             }
         } else if let Some(lr) = pipeline.cfg_backend().and_then(|b| b.lr()) {
             Mode::Lr(lr.stream())
+        } else if let Some(lr) = pipeline.lexed_backend().and_then(|b| b.cfg_backend().lr()) {
+            Mode::LexedLr {
+                lex: pipeline
+                    .lexed_backend()
+                    .expect("just matched")
+                    .lexer()
+                    .automaton()
+                    .stream(),
+                lr: lr.stream(),
+                tokens: Vec::new(),
+            }
         } else {
             return Err(EngineError::NoStreamingBackend(pipeline.spec().label()));
         };
@@ -88,6 +121,13 @@ impl StreamParser {
 
     /// Consumes one symbol: a single dense-table DFA transition, or one
     /// LR shift plus any reductions it unlocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on lexed pipelines, whose streams consume *characters* —
+    /// use [`StreamParser::push_char`] there (pushing a token-level
+    /// symbol directly would desynchronize the certified lexer from
+    /// the raw text it certifies at `finish`).
     pub fn push(&mut self, sym: Symbol) {
         match &mut self.mode {
             Mode::Dfa { states, input, .. } => {
@@ -99,7 +139,51 @@ impl StreamParser {
             Mode::Lr(stream) => {
                 stream.push(sym);
             }
+            Mode::LexedLr { .. } => {
+                panic!("lexed streams consume raw text: use push_char, not push")
+            }
         }
+    }
+
+    /// Consumes one raw character (lexed pipelines only): the lexer
+    /// steps its tagged DFA, and any token whose right boundary the
+    /// character resolved is shifted into the LR parse. Returns `false`
+    /// once the stream can no longer accept any continuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-lexed pipelines, whose streams consume [`Symbol`]s
+    /// — use [`StreamParser::push`] there.
+    pub fn push_char(&mut self, c: char) -> bool {
+        let Mode::LexedLr { lex, lr, tokens } = &mut self.mode else {
+            panic!("only lexed streams consume raw text: use push, not push_char");
+        };
+        match lex.push(c) {
+            Err(_) => false,
+            Ok(resolved) => {
+                let mut ok = true;
+                for t in resolved {
+                    if let Some(sym) = t.sym {
+                        ok &= lr.push(sym);
+                    }
+                    tokens.push(t);
+                }
+                ok && lr.is_viable()
+            }
+        }
+    }
+
+    /// Consumes a whole string of raw characters (lexed pipelines
+    /// only). Returns the final viability bit, as
+    /// [`StreamParser::push_char`] does.
+    pub fn push_chars(&mut self, s: &str) -> bool {
+        // Seed from the current viability so an empty chunk on a dead
+        // stream honestly reports false.
+        let mut ok = self.is_viable();
+        for c in s.chars() {
+            ok = self.push_char(c);
+        }
+        ok
     }
 
     /// Consumes a whole string.
@@ -124,7 +208,7 @@ impl StreamParser {
     pub fn state(&self) -> Option<StateId> {
         match &self.mode {
             Mode::Dfa { states, .. } => Some(*states.last().expect("stream has an initial state")),
-            Mode::Lr(_) => None,
+            Mode::Lr(_) | Mode::LexedLr { .. } => None,
         }
     }
 
@@ -143,6 +227,22 @@ impl StreamParser {
                     .is_accepting(s)
             }
             Mode::Lr(stream) => stream.would_accept(),
+            // Flush the pending token boundary (a copy of the small
+            // munch state, not of the accumulated input) through a
+            // clone of the LR stack: the probe never disturbs either
+            // live stream and stays O(pending + stack).
+            Mode::LexedLr { lex, lr, .. } => match lex.pending_flush() {
+                Err(_) => false,
+                Ok(flushed) => {
+                    let mut lr = lr.clone();
+                    for t in flushed {
+                        if let Some(sym) = t.sym {
+                            lr.push(sym);
+                        }
+                    }
+                    lr.would_accept()
+                }
+            },
         }
     }
 
@@ -157,14 +257,36 @@ impl StreamParser {
                 live[*states.last().expect("stream has an initial state")]
             }
             Mode::Lr(stream) => stream.is_viable(),
+            Mode::LexedLr { lex, lr, .. } => lex.is_alive() && lr.is_viable(),
         }
     }
 
-    /// The input consumed so far.
+    /// The input consumed so far, at the *parser's* level: for lexed
+    /// streams this is the token-level string (resolved tokens only —
+    /// the buffered boundary is not yet part of it); the raw text lives
+    /// in [`StreamParser::raw_input`].
     pub fn input(&self) -> &GString {
         match &self.mode {
             Mode::Dfa { input, .. } => input,
             Mode::Lr(stream) => stream.input(),
+            Mode::LexedLr { lr, .. } => lr.input(),
+        }
+    }
+
+    /// The raw text pushed so far (lexed streams only).
+    pub fn raw_input(&self) -> Option<&str> {
+        match &self.mode {
+            Mode::LexedLr { lex, .. } => Some(lex.raw_input()),
+            _ => None,
+        }
+    }
+
+    /// The tokens whose boundaries have been resolved so far, skips
+    /// included (lexed streams only).
+    pub fn tokens(&self) -> Option<&[Token]> {
+        match &self.mode {
+            Mode::LexedLr { tokens, .. } => Some(tokens),
+            _ => None,
         }
     }
 
@@ -175,7 +297,7 @@ impl StreamParser {
     /// trace.
     pub fn trace(&self) -> Option<(bool, ParseTree)> {
         let Mode::Dfa { states, input, .. } = &self.mode else {
-            return None;
+            return None; // LR and lexed streams carry stacks, not traces
         };
         let backend = self.pipeline.backend().expect("checked at open");
         let b = backend
@@ -198,12 +320,18 @@ impl StreamParser {
     /// DFA mode re-runs the pipeline's composed verified parser over the
     /// accumulated input; LR mode completes the pending reductions of
     /// the incremental parse and certifies the finished tree against the
-    /// grammar and the input — same guarantee, incremental cost.
+    /// grammar and the input — same guarantee, incremental cost. Lexed
+    /// mode flushes the buffered token boundary, completes the LR
+    /// reductions, and certifies **both** layers: the accumulated token
+    /// list against the raw text (span tiling + independent derivative
+    /// re-matching, via the pipeline's `CertifiedLexer`) and the
+    /// finished tree against the token-level grammar and token string.
     ///
     /// # Errors
     ///
     /// Propagates transformer errors exactly as
-    /// [`CompiledPipeline::parse`] does.
+    /// [`CompiledPipeline::parse`] does; a lexer certification failure
+    /// surfaces as [`TransformError::Custom`].
     pub fn finish(self) -> Result<ParseOutcome, TransformError> {
         match self.mode {
             Mode::Dfa { input, .. } => self.pipeline.parse(&input),
@@ -216,6 +344,47 @@ impl StreamParser {
                     LrOutcome::Accept(tree) => Ok(ParseOutcome::Accept(tree)),
                     // Same rejection convention as the one-shot CFG path:
                     // the ⊤-parse of the input.
+                    LrOutcome::Reject(_) => Ok(ParseOutcome::Reject(ParseTree::Top(input))),
+                }
+            }
+            Mode::LexedLr {
+                lex,
+                mut lr,
+                mut tokens,
+            } => {
+                let raw = lex.raw_input().to_owned();
+                let lexer = self
+                    .pipeline
+                    .lexed_backend()
+                    .expect("checked at open")
+                    .lexer()
+                    .clone();
+                let flushed = match lex.finish() {
+                    Ok(f) => f,
+                    Err(_) => {
+                        // An unlexable tail (or an earlier lexical
+                        // error): the stream rejects with the ⊤-parse
+                        // of the tokens parsed so far.
+                        return Ok(ParseOutcome::Reject(ParseTree::Top(lr.input().clone())));
+                    }
+                };
+                for t in flushed {
+                    if let Some(sym) = t.sym {
+                        lr.push(sym);
+                    }
+                    tokens.push(t);
+                }
+                // Layer 1: the token stream against the raw text.
+                lexer.certify(&raw, &tokens).map_err(|e| {
+                    TransformError::Custom(format!("certified-lexer contract violation: {e}"))
+                })?;
+                // Layer 2: the finished tree against grammar + tokens.
+                let input = lr.input().clone();
+                match lr.finish().map_err(|e| TransformError::OutputShape {
+                    transformer: "certified-lexed-lr-stream".to_owned(),
+                    cause: e.cause,
+                })? {
+                    LrOutcome::Accept(tree) => Ok(ParseOutcome::Accept(tree)),
                     LrOutcome::Reject(_) => Ok(ParseOutcome::Reject(ParseTree::Top(input))),
                 }
             }
@@ -362,6 +531,107 @@ mod tests {
         assert!(stream.would_accept(), "NUM + ( NUM ) is an expression");
         let outcome = stream.finish().unwrap();
         assert!(outcome.is_accept());
+    }
+
+    #[test]
+    fn lexed_stream_agrees_with_one_shot_pointwise() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::arith_lexed();
+        let pipeline = engine.get_or_compile(&spec).unwrap();
+        for input in [
+            "12 + 3",
+            "12+(345+6)",
+            "7",
+            "",
+            "1 +",
+            "((2)",
+            "1 ++ 2",
+            "12x",
+        ] {
+            let mut stream = engine.stream(&spec).unwrap();
+            stream.push_chars(input);
+            let one_shot = pipeline.parse_str(input).unwrap();
+            assert_eq!(
+                stream.would_accept(),
+                one_shot.is_accept(),
+                "{input:?} (would_accept)"
+            );
+            let outcome = stream.finish().unwrap();
+            assert_eq!(
+                outcome.is_accept(),
+                one_shot.is_accept(),
+                "{input:?} (finish)"
+            );
+            if let (Some(stream_tree), Some(batch_tree)) = (outcome.accepted(), one_shot.accepted())
+            {
+                assert_eq!(stream_tree, batch_tree, "{input:?}");
+                validate(stream_tree, pipeline.grammar(), &stream_tree.flatten()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn lexed_stream_probes_track_prefixes() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::arith_lexed();
+        let pipeline = engine.get_or_compile(&spec).unwrap();
+        let input = "12+(3+45)";
+        let mut stream = engine.stream(&spec).unwrap();
+        assert!(stream.state().is_none() && stream.trace().is_none());
+        for (i, c) in input.char_indices() {
+            stream.push_char(c);
+            let prefix = &input[..i + c.len_utf8()];
+            assert_eq!(
+                stream.would_accept(),
+                pipeline.parse_str(prefix).unwrap().is_accept(),
+                "{prefix:?}"
+            );
+            assert!(stream.is_viable(), "every prefix of {input:?} is viable");
+        }
+        assert_eq!(stream.raw_input(), Some(input));
+        // Of the 7 tokens, the final ')' is still the buffered
+        // longest-match boundary — only finish() flushes it.
+        assert_eq!(stream.tokens().unwrap().len(), 6, "one token pending");
+        let outcome = stream.finish().unwrap();
+        assert!(outcome.is_accept());
+    }
+
+    #[test]
+    fn lexed_stream_goes_dead_on_lex_errors() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::arith_lexed();
+        let mut stream = engine.stream(&spec).unwrap();
+        assert!(stream.push_char('1'));
+        assert!(!stream.push_char('x'), "x is not lexable");
+        assert!(!stream.is_viable());
+        assert!(!stream.would_accept());
+        assert!(!stream.push_char('2'));
+        assert!(!stream.finish().unwrap().is_accept());
+    }
+
+    #[test]
+    fn push_chars_empty_chunk_reports_dead_streams() {
+        let engine = Engine::new();
+        let mut stream = engine.stream(&PipelineSpec::arith_lexed()).unwrap();
+        assert!(stream.push_chars(""), "fresh stream is viable");
+        assert!(!stream.push_char('x'));
+        assert!(!stream.push_chars(""), "a dead stream must not report ok");
+    }
+
+    #[test]
+    #[should_panic(expected = "use push_char")]
+    fn lexed_streams_refuse_symbol_pushes() {
+        let engine = Engine::new();
+        let mut stream = engine.stream(&PipelineSpec::arith_lexed()).unwrap();
+        stream.push(Symbol::from_index(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "use push")]
+    fn symbol_streams_refuse_char_pushes() {
+        let engine = Engine::new();
+        let mut stream = engine.stream(&PipelineSpec::dyck_cfg()).unwrap();
+        stream.push_char('(');
     }
 
     #[test]

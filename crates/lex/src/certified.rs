@@ -1,0 +1,327 @@
+//! The certified wrapper: every token stream that leaves the lexing
+//! subsystem is re-validated against the raw input and the spec.
+//!
+//! The maximal-munch driver is fast *extrinsically* verified code;
+//! [`CertifiedLexer`] restores the paper's intrinsic-verification
+//! contract at the subsystem boundary, the same move `lambek-lr` makes
+//! for its parse trees. Two independent checks run on every emitted
+//! stream:
+//!
+//! 1. **Tiling** — the lexeme spans concatenate *exactly* to the input:
+//!    contiguous, in order, first at byte 0, last ending at
+//!    `input.len()`, and each token's text is literally the bytes its
+//!    span points at. This is the lexer-level analogue of the parse
+//!    trees' "the yield is the input".
+//! 2. **Membership** — each lexeme is re-matched against its rule's
+//!    regex by the independent Brzozowski-derivative checker
+//!    ([`regex_grammars::derivative::matches`]), which shares no code
+//!    with the Thompson/determinize/minimize pipeline the driver runs
+//!    on. A bug anywhere in that pipeline (or in the driver's
+//!    backtracking) surfaces as a [`LexCertifyError`], never as a bad
+//!    token reaching the parser.
+
+use std::fmt;
+
+use regex_grammars::derivative::matches;
+
+use crate::compile::LexAutomaton;
+use crate::driver::{LexError, Token, TokenStream};
+use crate::spec::LexSpec;
+
+/// The outcome of a certified lex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexedOutcome {
+    /// The input lexes; the stream has passed both certification
+    /// checks.
+    Tokens(TokenStream),
+    /// The input does not lex; the error points at the offending byte.
+    Reject(LexError),
+}
+
+impl LexedOutcome {
+    /// The certified token stream, if the input lexed.
+    pub fn tokens(&self) -> Option<&TokenStream> {
+        match self {
+            LexedOutcome::Tokens(t) => Some(t),
+            LexedOutcome::Reject(_) => None,
+        }
+    }
+
+    /// `true` when the input lexed.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, LexedOutcome::Tokens(_))
+    }
+}
+
+/// A violation of the lexer's certification contract: the driver
+/// produced a token stream the independent checks refuse. This never
+/// happens for a correctly compiled automaton; it is surfaced (rather
+/// than trusted or panicked on) so callers can treat it as an internal
+/// error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexCertifyError {
+    /// What the re-validation found.
+    pub message: String,
+}
+
+impl fmt::Display for LexCertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lexer emitted an invalid token stream: {}", self.message)
+    }
+}
+
+impl std::error::Error for LexCertifyError {}
+
+/// A maximal-munch lexer whose every output is re-validated: spans must
+/// tile the input and every lexeme must independently re-match its
+/// rule's regex.
+///
+/// Cheap to clone (`Arc`-shared automaton) and `Send + Sync`.
+///
+/// # Examples
+///
+/// ```
+/// use lambek_core::alphabet::Alphabet;
+/// use lambek_lex::{CertifiedLexer, LexSpecBuilder};
+///
+/// let sigma = Alphabet::from_chars("ab ");
+/// let spec = LexSpecBuilder::new(sigma)
+///     .token("A", "aa*")?
+///     .token("B", "b")?
+///     .skip("WS", "  *")?
+///     .build()?;
+/// let lexer = CertifiedLexer::compile(spec);
+/// let out = lexer.lex("aa b").unwrap();
+/// let stream = out.tokens().expect("lexes");
+/// assert_eq!(stream.yield_string().len(), 2); // A B — the skip is gone
+/// # Ok::<(), lambek_lex::SpecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CertifiedLexer {
+    auto: LexAutomaton,
+}
+
+impl CertifiedLexer {
+    /// Compiles `spec` (Thompson → tagged determinize → minimize) and
+    /// wraps it with the certification layer.
+    pub fn compile(spec: LexSpec) -> CertifiedLexer {
+        CertifiedLexer {
+            auto: LexAutomaton::compile(spec),
+        }
+    }
+
+    /// Wraps an already-compiled automaton.
+    pub fn from_automaton(auto: LexAutomaton) -> CertifiedLexer {
+        CertifiedLexer { auto }
+    }
+
+    /// The spec being served.
+    pub fn spec(&self) -> &LexSpec {
+        self.auto.spec()
+    }
+
+    /// The compiled automaton (introspection, streams, benchmarks).
+    pub fn automaton(&self) -> &LexAutomaton {
+        &self.auto
+    }
+
+    /// Lexes `input` and certifies the result.
+    ///
+    /// # Errors
+    ///
+    /// [`LexCertifyError`] if the driver's output fails re-validation —
+    /// impossible for a correctly compiled automaton, surfaced instead
+    /// of trusted. A merely *unlexable* input is not an error; it comes
+    /// back as [`LexedOutcome::Reject`].
+    pub fn lex(&self, input: &str) -> Result<LexedOutcome, LexCertifyError> {
+        match self.auto.lex_raw(input) {
+            Err(e) => Ok(LexedOutcome::Reject(e)),
+            Ok(tokens) => {
+                self.certify(input, &tokens)?;
+                Ok(LexedOutcome::Tokens(TokenStream::from_tokens(tokens)))
+            }
+        }
+    }
+
+    /// The certification pass on its own: checks that `tokens` tile
+    /// `input` exactly and that every lexeme independently re-matches
+    /// its rule's regex. Exposed so streaming consumers (which collect
+    /// tokens incrementally) can run the same checks at `finish`.
+    ///
+    /// # Errors
+    ///
+    /// [`LexCertifyError`] describing the first violated obligation.
+    pub fn certify(&self, input: &str, tokens: &[Token]) -> Result<(), LexCertifyError> {
+        let spec = self.spec();
+        let err = |message: String| Err(LexCertifyError { message });
+        // (1) Spans tile the input exactly.
+        let mut pos = 0usize;
+        for (i, t) in tokens.iter().enumerate() {
+            if t.span.start != pos {
+                return err(format!(
+                    "token {i} starts at byte {} but the previous lexeme ended at {pos}",
+                    t.span.start
+                ));
+            }
+            match input.get(t.span.start..t.span.end) {
+                Some(slice) if slice == t.text => {}
+                _ => {
+                    return err(format!(
+                        "token {i} claims {:?} at {} but the input disagrees",
+                        t.text, t.span
+                    ))
+                }
+            }
+            pos = t.span.end;
+        }
+        if pos != input.len() {
+            return err(format!(
+                "lexemes cover only {pos} of {} input bytes",
+                input.len()
+            ));
+        }
+        // (2) Independent regex membership per lexeme, plus internal
+        // consistency of the rule/symbol bookkeeping. Lexemes repeat
+        // heavily (operators, short numerals), so verdicts are memoized
+        // per (rule, text) within the pass — each *distinct* lexeme is
+        // still re-derived from scratch.
+        let mut verdicts: std::collections::HashMap<(usize, &str), bool> =
+            std::collections::HashMap::new();
+        for (i, t) in tokens.iter().enumerate() {
+            let Some(rule) = spec.rules().get(t.rule) else {
+                return err(format!("token {i} references unknown rule {}", t.rule));
+            };
+            if t.sym != spec.token_symbol(t.rule) {
+                return err(format!(
+                    "token {i} carries the wrong token-alphabet symbol for rule {:?}",
+                    rule.name
+                ));
+            }
+            let ok = match verdicts.get(&(t.rule, t.text.as_str())) {
+                Some(&ok) => ok,
+                None => {
+                    let ok = spec
+                        .alphabet()
+                        .parse_str(&t.text)
+                        .is_some_and(|w| matches(&rule.regex, &w));
+                    verdicts.insert((t.rule, t.text.as_str()), ok);
+                    ok
+                }
+            };
+            if !ok {
+                return err(format!(
+                    "token {i} lexeme {:?} is not in rule {:?} (derivative re-match failed)",
+                    t.text, rule.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Span;
+    use crate::spec::LexSpecBuilder;
+    use lambek_core::alphabet::Alphabet;
+
+    fn lexer() -> CertifiedLexer {
+        let sigma = Alphabet::from_chars("ab ");
+        CertifiedLexer::compile(
+            LexSpecBuilder::new(sigma)
+                .token("A", "aa*")
+                .unwrap()
+                .token("B", "b")
+                .unwrap()
+                .skip("WS", "  *")
+                .unwrap()
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn accepted_streams_are_certified() {
+        let lexer = lexer();
+        let out = lexer.lex("aab aa b").unwrap();
+        let ts = out.tokens().unwrap();
+        // "aa" "b" " " "aa" " " "b" — the tiling includes the skips…
+        assert_eq!(ts.tokens().len(), 6);
+        // …and the yield drops them: A B A B.
+        assert_eq!(ts.yield_string().len(), 4);
+        assert!(out.is_accept());
+    }
+
+    #[test]
+    fn rejections_are_outcomes_not_certify_errors() {
+        let lexer = lexer();
+        let out = lexer.lex("aXa").unwrap();
+        assert!(!out.is_accept());
+        assert!(out.tokens().is_none());
+        match out {
+            LexedOutcome::Reject(e) => assert_eq!(e.at, 1),
+            LexedOutcome::Tokens(_) => panic!("X does not lex"),
+        }
+    }
+
+    #[test]
+    fn certify_catches_every_kind_of_corruption() {
+        let lexer = lexer();
+        let good = lexer.auto.lex_raw("ab").unwrap();
+        assert!(lexer.certify("ab", &good).is_ok());
+
+        // A gap.
+        let mut bad = good.clone();
+        bad.remove(0);
+        assert!(lexer
+            .certify("ab", &bad)
+            .unwrap_err()
+            .message
+            .contains("ended"));
+
+        // Wrong text for the span.
+        let mut bad = good.clone();
+        bad[0].text = "b".to_owned();
+        assert!(lexer.certify("ab", &bad).is_err());
+
+        // Truncated coverage.
+        let mut bad = good.clone();
+        bad.pop();
+        assert!(lexer
+            .certify("ab", &bad)
+            .unwrap_err()
+            .message
+            .contains("cover"));
+
+        // Lexeme not in its rule's language (derivative re-match).
+        let mut bad = good.clone();
+        bad[0].rule = 1; // claim "a" came from rule B
+        bad[0].sym = lexer.spec().token_symbol(1);
+        assert!(lexer
+            .certify("ab", &bad)
+            .unwrap_err()
+            .message
+            .contains("derivative"));
+
+        // Unknown rule index.
+        let mut bad = good.clone();
+        bad[0].rule = 99;
+        assert!(lexer.certify("ab", &bad).is_err());
+
+        // Wrong token symbol.
+        let mut bad = good;
+        bad[0].sym = None;
+        assert!(lexer.certify("ab", &bad).is_err());
+    }
+
+    #[test]
+    fn empty_input_certifies_trivially() {
+        let lexer = lexer();
+        let out = lexer.lex("").unwrap();
+        let ts = out.tokens().unwrap();
+        assert!(ts.tokens().is_empty());
+        assert!(ts.yield_string().is_empty());
+        assert_eq!(ts.span_of_yield(0, 0), Span::empty(0));
+    }
+}

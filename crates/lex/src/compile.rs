@@ -1,0 +1,156 @@
+//! Compiling a [`LexSpec`] to its tagged-accept DFA.
+//!
+//! The path is the workspace's existing verified-construction pipeline,
+//! reused wholesale: each rule's regex goes through Thompson's
+//! construction (Construction 4.11), the per-rule NFAs are glued under a
+//! fresh ε-start into one *union* NFA whose accept states carry the
+//! owning rule's index as a tag, and the union is determinized
+//! (Construction 4.10, tag conflicts resolved by rule priority — the
+//! subset keeps the minimum tag) and minimized (tags refine the
+//! partition, so no merge ever loses a priority decision). The result is
+//! a dense flat-table [`Dfa`] where one load answers both "does this
+//! state accept?" and "for which rule?" — exactly what the
+//! maximal-munch driver probes per character.
+
+use std::sync::Arc;
+
+use lambek_automata::determinize::determinize_tagged;
+use lambek_automata::dfa::Dfa;
+use lambek_automata::minimize::minimize;
+use lambek_automata::nfa::Nfa;
+use regex_grammars::thompson::thompson;
+
+use crate::spec::LexSpec;
+
+/// A compiled lexical specification: the spec plus its tagged DFA and
+/// the DFA's co-reachability table.
+///
+/// Cheap to clone (`Arc`-shared) and `Send + Sync`; one compiled
+/// automaton serves every driver and stream opened from it.
+#[derive(Debug, Clone)]
+pub struct LexAutomaton {
+    core: Arc<LexCore>,
+}
+
+#[derive(Debug)]
+pub(crate) struct LexCore {
+    pub(crate) spec: LexSpec,
+    pub(crate) dfa: Dfa,
+    /// `live[s]`: some accepting state is reachable from `s`. The
+    /// driver treats a step into a non-live state as "the current token
+    /// just ended" (or a lexical error if nothing has been accepted).
+    pub(crate) live: Vec<bool>,
+}
+
+/// Builds the union NFA: a fresh start state with an ε-edge into each
+/// rule's Thompson NFA, accept states tagged with the rule index.
+fn union_nfa(spec: &LexSpec) -> (Nfa, Vec<Option<usize>>) {
+    let sigma = spec.alphabet().clone();
+    let mut nfa = Nfa::new(sigma.clone(), 1, 0);
+    let mut tags = vec![None];
+    for (rule, r) in spec.rules().iter().enumerate() {
+        let th = thompson(&sigma, &r.regex);
+        let part = th.nfa();
+        let base = nfa.num_states();
+        for s in 0..part.num_states() {
+            let copy = nfa.add_state();
+            debug_assert_eq!(copy, base + s);
+            if part.is_accepting(s) {
+                nfa.set_accepting(copy, true);
+                tags.push(Some(rule));
+            } else {
+                tags.push(None);
+            }
+        }
+        for t in part.transitions() {
+            nfa.add_transition(base + t.src, t.label, base + t.dst);
+        }
+        for e in part.eps_transitions() {
+            nfa.add_eps(base + e.src, base + e.dst);
+        }
+        nfa.add_eps(0, base + part.init());
+    }
+    (nfa, tags)
+}
+
+impl LexAutomaton {
+    /// Compiles `spec` through Thompson → tagged determinize → tagged
+    /// minimize.
+    pub fn compile(spec: LexSpec) -> LexAutomaton {
+        let (nfa, tags) = union_nfa(&spec);
+        let det = determinize_tagged(&nfa, &tags);
+        let dfa = minimize(&det.dfa);
+        let live = dfa.live_states();
+        LexAutomaton {
+            core: Arc::new(LexCore { spec, dfa, live }),
+        }
+    }
+
+    /// The spec this automaton was compiled from.
+    pub fn spec(&self) -> &LexSpec {
+        &self.core.spec
+    }
+
+    /// The tagged-accept DFA (introspection and benchmarks).
+    pub fn dfa(&self) -> &Dfa {
+        &self.core.dfa
+    }
+
+    /// Co-reachability per DFA state (see [`Dfa::live_states`]).
+    pub fn live(&self) -> &[bool] {
+        &self.core.live
+    }
+
+    pub(crate) fn core(&self) -> &Arc<LexCore> {
+        &self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LexSpecBuilder;
+    use lambek_core::alphabet::Alphabet;
+
+    fn keyword_spec() -> LexSpec {
+        let sigma = Alphabet::from_chars("ifx ");
+        LexSpecBuilder::new(sigma)
+            .token("IF", "if")
+            .unwrap()
+            .token("ID", "(i|f|x)(i|f|x)*")
+            .unwrap()
+            .skip("WS", "  *")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn compiled_dfa_tags_resolve_by_priority() {
+        let auto = LexAutomaton::compile(keyword_spec());
+        let sigma = auto.spec().alphabet().clone();
+        let tag_after = |txt: &str| {
+            let w = sigma.parse_str(txt).unwrap();
+            let dfa = auto.dfa();
+            dfa.accept_tag(dfa.final_state(dfa.init(), &w))
+        };
+        assert_eq!(tag_after("if"), Some(0), "keyword beats identifier");
+        assert_eq!(tag_after("i"), Some(1));
+        assert_eq!(tag_after("iff"), Some(1));
+        assert_eq!(tag_after(" "), Some(2), "skip rules are rules too");
+        assert_eq!(tag_after(""), None);
+    }
+
+    #[test]
+    fn dead_states_are_detected() {
+        // "x " cannot extend to any single token: after the identifier
+        // ended, a space leads to a non-live state.
+        let auto = LexAutomaton::compile(keyword_spec());
+        let sigma = auto.spec().alphabet().clone();
+        let dfa = auto.dfa();
+        let end = dfa.final_state(dfa.init(), &sigma.parse_str("x ").unwrap());
+        assert!(!auto.live()[end]);
+        let ok = dfa.final_state(dfa.init(), &sigma.parse_str("i").unwrap());
+        assert!(auto.live()[ok]);
+    }
+}

@@ -1,0 +1,669 @@
+//! The maximal-munch driver: one left-to-right pass with last-accept
+//! backtracking, in one-shot and push-mode forms.
+//!
+//! Both drivers run the same loop over the tagged DFA: step per
+//! character, remember the most recent tagged (accepting) state as the
+//! *last accept*, and when the automaton goes dead — a non-co-reachable
+//! state, or a character outside the alphabet — cut the token at the
+//! last accept, re-feed the overrun characters, and continue from a
+//! fresh automaton. The rule priority baked into the tags at
+//! determinization time breaks ties between rules accepting the same
+//! longest match. A dead automaton with *no* recorded accept is a
+//! [`LexError`] carrying the byte offset where the doomed token began.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use lambek_automata::nfa::StateId;
+use lambek_core::alphabet::{GString, Symbol};
+
+use crate::compile::{LexAutomaton, LexCore};
+use crate::spec::LexSpec;
+
+/// A byte range `[start, end)` into the raw input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte of the lexeme.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// The empty span at `at` (used for end-of-input rejections).
+    pub fn empty(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` for zero-length spans.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes {}..{}", self.start, self.end)
+    }
+}
+
+/// One lexed token (skip-rule matches included — the full token list
+/// tiles the input exactly; the parser-facing yield excludes them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Index of the matching rule in the spec (priority order).
+    pub rule: usize,
+    /// The matched text.
+    pub text: String,
+    /// Where the lexeme sits in the raw input.
+    pub span: Span,
+    /// The rule's symbol in the token alphabet; `None` for skip rules.
+    pub sym: Option<Symbol>,
+}
+
+/// A lexical error: no rule matches any prefix of the input starting at
+/// the offending position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset where the unmatchable token begins.
+    pub at: usize,
+    /// Its first character.
+    pub found: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lexical error at byte {}: no token matches starting at {:?}",
+            self.at, self.found
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// A certified-lexer output: the full token list (skips included) plus
+/// the token-level string the parser consumes and the spans backing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenStream {
+    tokens: Vec<Token>,
+    yield_string: GString,
+    yield_spans: Vec<Span>,
+}
+
+impl TokenStream {
+    /// Assembles a stream from a token list (precomputing the yield).
+    pub fn from_tokens(tokens: Vec<Token>) -> TokenStream {
+        let mut yield_string = GString::new();
+        let mut yield_spans = Vec::new();
+        for t in &tokens {
+            if let Some(sym) = t.sym {
+                yield_string.push(sym);
+                yield_spans.push(t.span);
+            }
+        }
+        TokenStream {
+            tokens,
+            yield_string,
+            yield_spans,
+        }
+    }
+
+    /// Every token, skip-rule matches included, in input order.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// The token-level string (skips excluded) — the `GString` the
+    /// downstream grammar parses.
+    pub fn yield_string(&self) -> &GString {
+        &self.yield_string
+    }
+
+    /// Byte spans of the yield, index-aligned with
+    /// [`TokenStream::yield_string`].
+    pub fn yield_spans(&self) -> &[Span] {
+        &self.yield_spans
+    }
+
+    /// The span of yield position `k`, or the empty span at
+    /// `input_len` when `k` is one past the end (an "unexpected end of
+    /// input" rejection).
+    pub fn span_of_yield(&self, k: usize, input_len: usize) -> Span {
+        self.yield_spans
+            .get(k)
+            .copied()
+            .unwrap_or_else(|| Span::empty(input_len))
+    }
+}
+
+impl LexAutomaton {
+    /// One-shot maximal-munch lexing of `input`. The returned tokens
+    /// tile the input exactly (skip-rule matches included); this is the
+    /// raw driver — [`CertifiedLexer::lex`](crate::CertifiedLexer::lex)
+    /// adds the certification pass.
+    ///
+    /// # Errors
+    ///
+    /// [`LexError`] at the byte offset where no rule matches.
+    pub fn lex_raw(&self, input: &str) -> Result<Vec<Token>, LexError> {
+        let core = self.core();
+        let dfa = &core.dfa;
+        let spec = &core.spec;
+        let sigma = spec.alphabet();
+        let chars: Vec<(usize, char)> = input.char_indices().collect();
+        let mut tokens = Vec::new();
+        let mut start = 0usize; // index into `chars`
+        while start < chars.len() {
+            let mut state = dfa.init();
+            let mut last: Option<(usize, usize)> = None; // (rule, end char index)
+            let mut i = start;
+            while i < chars.len() {
+                let Some(sym) = sigma.symbol_of_char(chars[i].1) else {
+                    break;
+                };
+                state = dfa.delta(state, sym);
+                if !core.live[state] {
+                    break;
+                }
+                i += 1;
+                if let Some(rule) = dfa.accept_tag(state) {
+                    last = Some((rule, i));
+                }
+            }
+            let Some((rule, end)) = last else {
+                return Err(LexError {
+                    at: chars[start].0,
+                    found: chars[start].1,
+                });
+            };
+            let byte_start = chars[start].0;
+            let byte_end = chars.get(end).map_or(input.len(), |&(b, _)| b);
+            tokens.push(Token {
+                rule,
+                text: input[byte_start..byte_end].to_owned(),
+                span: Span {
+                    start: byte_start,
+                    end: byte_end,
+                },
+                sym: spec.token_symbol(rule),
+            });
+            start = end;
+        }
+        Ok(tokens)
+    }
+
+    /// Opens a push-mode lexer stream over this automaton.
+    pub fn stream(&self) -> LexStream {
+        LexStream {
+            core: self.core().clone(),
+            munch: Munch::new(self.dfa().init()),
+            input: String::new(),
+            dead: None,
+        }
+    }
+}
+
+/// The pure maximal-munch machine: the DFA state, the in-progress
+/// token's characters, and the last accept inside them. Everything a
+/// boundary resolution needs — and nothing more, so probes
+/// ([`LexStream::pending_flush`]) copy this small struct instead of
+/// the whole stream.
+#[derive(Debug, Clone)]
+struct Munch {
+    state: StateId,
+    /// Characters of the in-progress token.
+    buf: Vec<char>,
+    /// Total UTF-8 bytes of `buf`, kept incrementally (re-summing per
+    /// accepting step would be quadratic in the token length).
+    buf_bytes: usize,
+    /// Byte offset where the in-progress token starts.
+    token_start: usize,
+    /// Last accept inside `buf`: `(rule, chars, bytes)` of the accepted
+    /// prefix.
+    last: Option<(usize, usize, usize)>,
+}
+
+impl Munch {
+    fn new(init: StateId) -> Munch {
+        Munch {
+            state: init,
+            buf: Vec::new(),
+            buf_bytes: 0,
+            token_start: 0,
+            last: None,
+        }
+    }
+
+    /// Emits the last-accepted prefix of `buf` as a token, resets the
+    /// automaton, and returns the overrun characters for re-feeding.
+    fn cut_token(
+        &mut self,
+        core: &LexCore,
+        out: &mut Vec<Token>,
+    ) -> Result<VecDeque<char>, LexError> {
+        let Some((rule, nchars, nbytes)) = self.last.take() else {
+            return Err(LexError {
+                at: self.token_start,
+                found: self.buf[0],
+            });
+        };
+        let text: String = self.buf[..nchars].iter().collect();
+        let leftovers: VecDeque<char> = self.buf[nchars..].iter().copied().collect();
+        out.push(Token {
+            rule,
+            text,
+            span: Span {
+                start: self.token_start,
+                end: self.token_start + nbytes,
+            },
+            sym: core.spec.token_symbol(rule),
+        });
+        self.token_start += nbytes;
+        self.buf.clear();
+        self.buf_bytes = 0;
+        self.state = core.dfa.init();
+        Ok(leftovers)
+    }
+
+    /// The shared stepping loop: consume queued characters, cutting
+    /// tokens (and re-queuing overrun) whenever the automaton dies.
+    fn drain(
+        &mut self,
+        core: &LexCore,
+        queue: &mut VecDeque<char>,
+        out: &mut Vec<Token>,
+    ) -> Result<(), LexError> {
+        while let Some(ch) = queue.pop_front() {
+            let next = core
+                .spec
+                .alphabet()
+                .symbol_of_char(ch)
+                .map(|sym| core.dfa.delta(self.state, sym))
+                .filter(|&s| core.live[s]);
+            match next {
+                Some(s) => {
+                    self.state = s;
+                    self.buf.push(ch);
+                    self.buf_bytes += ch.len_utf8();
+                    if let Some(rule) = core.dfa.accept_tag(s) {
+                        self.last = Some((rule, self.buf.len(), self.buf_bytes));
+                    }
+                }
+                None => {
+                    if self.buf.is_empty() {
+                        // The character itself is unmatchable at a
+                        // fresh token start.
+                        return Err(LexError {
+                            at: self.token_start,
+                            found: ch,
+                        });
+                    }
+                    let leftovers = self.cut_token(core, out)?;
+                    // Re-feed the overrun, then retry `ch`.
+                    queue.push_front(ch);
+                    for lc in leftovers.into_iter().rev() {
+                        queue.push_front(lc);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// End-of-input resolution: cut and re-feed until the buffer is
+    /// empty (every character accounted for) or nothing accepts.
+    fn flush(&mut self, core: &LexCore, out: &mut Vec<Token>) -> Result<(), LexError> {
+        while !self.buf.is_empty() {
+            let mut queue = self.cut_token(core, out)?;
+            self.drain(core, &mut queue, out)?;
+        }
+        Ok(())
+    }
+}
+
+/// A push-mode incremental lexer: characters in, tokens out as soon as
+/// their right boundary is certain.
+///
+/// The *automaton* side buffers exactly the in-progress token — the
+/// suffix after the last resolved boundary — so the working state is
+/// bounded by the longest lexeme. (The stream additionally retains the
+/// full pushed text in [`LexStream::raw_input`], which is what the
+/// certification pass at the end of a certified pipeline re-checks the
+/// emitted tokens against.) A token is emitted the moment a character
+/// proves the automaton can no longer extend the match (maximal munch
+/// with last-accept backtracking: the overrun characters are re-fed
+/// through a fresh automaton). [`LexStream::finish`] flushes the
+/// pending token(s).
+#[derive(Debug, Clone)]
+pub struct LexStream {
+    core: std::sync::Arc<LexCore>,
+    munch: Munch,
+    /// Everything pushed so far (certification at `finish` re-checks
+    /// the emitted tokens against exactly this).
+    input: String,
+    /// The first lexical error; later pushes keep reporting it.
+    dead: Option<LexError>,
+}
+
+impl LexStream {
+    /// The spec behind the stream.
+    pub fn spec(&self) -> &LexSpec {
+        &self.core.spec
+    }
+
+    /// Everything pushed so far.
+    pub fn raw_input(&self) -> &str {
+        &self.input
+    }
+
+    /// Number of characters buffered for the in-progress token.
+    pub fn pending_chars(&self) -> usize {
+        self.munch.buf.len()
+    }
+
+    /// `false` once a lexical error has been hit.
+    pub fn is_alive(&self) -> bool {
+        self.dead.is_none()
+    }
+
+    /// The first lexical error, if the stream has died.
+    pub fn error(&self) -> Option<&LexError> {
+        self.dead.as_ref()
+    }
+
+    /// Consumes one character, returning the tokens whose right
+    /// boundary it resolved (usually none or one; backtracking can
+    /// release several).
+    ///
+    /// # Errors
+    ///
+    /// [`LexError`] when no rule matches at the current token start;
+    /// the stream stays dead (and keeps returning the same error) from
+    /// then on.
+    pub fn push(&mut self, c: char) -> Result<Vec<Token>, LexError> {
+        self.input.push(c);
+        if let Some(e) = &self.dead {
+            return Err(e.clone());
+        }
+        let mut out = Vec::new();
+        let mut queue = VecDeque::from([c]);
+        match self.munch.drain(&self.core, &mut queue, &mut out) {
+            Ok(()) => Ok(out),
+            Err(e) => {
+                self.dead = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Pushes a whole string.
+    ///
+    /// # Errors
+    ///
+    /// As [`LexStream::push`]; tokens resolved before the error are
+    /// lost to the caller (the stream itself is dead anyway).
+    pub fn push_str(&mut self, s: &str) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        for c in s.chars() {
+            out.extend(self.push(c)?);
+        }
+        Ok(out)
+    }
+
+    /// Ends the input, flushing the buffered token boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`LexError`] if the buffered suffix does not resolve into
+    /// complete tokens.
+    pub fn finish(mut self) -> Result<Vec<Token>, LexError> {
+        if let Some(e) = self.dead {
+            return Err(e);
+        }
+        let mut out = Vec::new();
+        self.munch.flush(&self.core, &mut out)?;
+        Ok(out)
+    }
+
+    /// What [`LexStream::finish`] *would* emit for the buffered
+    /// boundary, without ending (or disturbing) the stream: the
+    /// resolution runs on a copy of the small munch state — it does not
+    /// clone the accumulated input, so per-character acceptance probes
+    /// stay O(pending token), not O(stream).
+    ///
+    /// # Errors
+    ///
+    /// [`LexError`] exactly when `finish` would fail.
+    pub fn pending_flush(&self) -> Result<Vec<Token>, LexError> {
+        if let Some(e) = &self.dead {
+            return Err(e.clone());
+        }
+        let mut probe = self.munch.clone();
+        let mut out = Vec::new();
+        probe.flush(&self.core, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LexSpecBuilder;
+    use lambek_core::alphabet::Alphabet;
+
+    fn arith_auto() -> LexAutomaton {
+        let sigma = Alphabet::from_chars("0123456789+() ");
+        let spec = LexSpecBuilder::new(sigma.clone())
+            .token_re("(", crate::spec::literal(&sigma, "("))
+            .unwrap()
+            .token_re(")", crate::spec::literal(&sigma, ")"))
+            .unwrap()
+            .token("+", "+")
+            .unwrap()
+            .token_re(
+                "NUM",
+                crate::spec::plus(crate::spec::class(&sigma, "0123456789")),
+            )
+            .unwrap()
+            .skip("WS", "  *")
+            .unwrap()
+            .build()
+            .unwrap();
+        LexAutomaton::compile(spec)
+    }
+
+    #[test]
+    fn maximal_munch_takes_the_longest_number() {
+        let auto = arith_auto();
+        let tokens = auto.lex_raw("12+(345)").unwrap();
+        let texts: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["12", "+", "(", "345", ")"]);
+        assert_eq!(tokens[0].span, Span { start: 0, end: 2 });
+        assert_eq!(tokens[3].span, Span { start: 4, end: 7 });
+        let names: Vec<&str> = tokens
+            .iter()
+            .map(|t| auto.spec().rule_name(t.rule))
+            .collect();
+        assert_eq!(names, ["NUM", "+", "(", "NUM", ")"]);
+    }
+
+    #[test]
+    fn skips_are_lexed_but_left_out_of_the_yield() {
+        let auto = arith_auto();
+        let tokens = auto.lex_raw("1 + 2").unwrap();
+        assert_eq!(tokens.len(), 5, "two skips included in the tiling");
+        let ts = TokenStream::from_tokens(tokens);
+        assert_eq!(ts.yield_string().len(), 3, "NUM + NUM");
+        assert_eq!(ts.yield_spans().len(), 3);
+        assert_eq!(ts.yield_spans()[2], Span { start: 4, end: 5 });
+        assert_eq!(ts.span_of_yield(3, 5), Span::empty(5));
+    }
+
+    #[test]
+    fn lex_errors_carry_byte_offsets() {
+        let auto = arith_auto();
+        // 'x' is not even in the character alphabet.
+        let err = auto.lex_raw("12+x3").unwrap_err();
+        assert_eq!(err, LexError { at: 3, found: 'x' });
+        assert!(format!("{err}").contains("byte 3"), "{err}");
+        // Errors are byte (not char) offsets even after multi-byte
+        // text… the alphabet is ASCII here, so spans are bytes anyway.
+        let err2 = auto.lex_raw("×").unwrap_err();
+        assert_eq!(err2.at, 0);
+    }
+
+    #[test]
+    fn stream_agrees_with_one_shot_pointwise() {
+        let auto = arith_auto();
+        for input in ["12+(345)", "1 + 2", "", "((7))", "99 ", " 5"] {
+            let oneshot = auto.lex_raw(input).unwrap();
+            let mut stream = auto.stream();
+            let mut streamed = Vec::new();
+            for c in input.chars() {
+                streamed.extend(stream.push(c).unwrap());
+                assert!(
+                    stream.pending_chars() <= input.len(),
+                    "buffer stays bounded"
+                );
+            }
+            streamed.extend(stream.finish().unwrap());
+            assert_eq!(streamed, oneshot, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn stream_buffers_only_the_pending_token() {
+        let auto = arith_auto();
+        let mut stream = auto.stream();
+        assert!(stream.push('1').unwrap().is_empty(), "boundary unknown yet");
+        assert!(stream.push('2').unwrap().is_empty());
+        assert_eq!(stream.pending_chars(), 2);
+        let out = stream.push('+').unwrap();
+        assert_eq!(out.len(), 1, "the '+' resolved the number's boundary");
+        assert_eq!(out[0].text, "12");
+        assert_eq!(stream.pending_chars(), 1, "only '+' is buffered");
+        let rest = stream.finish().unwrap();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].text, "+");
+    }
+
+    #[test]
+    fn pending_flush_probes_without_disturbing() {
+        let auto = arith_auto();
+        let mut stream = auto.stream();
+        stream.push('1').unwrap();
+        stream.push('2').unwrap();
+        let probe = stream.pending_flush().unwrap();
+        assert_eq!(probe.len(), 1);
+        assert_eq!(probe[0].text, "12");
+        assert_eq!(stream.pending_chars(), 2, "probe leaves the stream alone");
+        assert_eq!(stream.finish().unwrap(), probe, "finish agrees with it");
+        // A dangling partial token probes as the same error finish gives.
+        let sigma = Alphabet::from_chars("if");
+        let spec = LexSpecBuilder::new(sigma)
+            .token("IF", "if")
+            .unwrap()
+            .build()
+            .unwrap();
+        let auto = LexAutomaton::compile(spec);
+        let mut stream = auto.stream();
+        stream.push('i').unwrap();
+        assert_eq!(
+            stream.pending_flush().unwrap_err(),
+            LexError { at: 0, found: 'i' }
+        );
+    }
+
+    #[test]
+    fn stream_errors_stick() {
+        let auto = arith_auto();
+        let mut stream = auto.stream();
+        stream.push('7').unwrap();
+        let err = stream.push('x').unwrap_err();
+        assert_eq!(err.at, 1, "the number 7 lexes; 'x' starts a bad token");
+        assert!(!stream.is_alive());
+        assert_eq!(stream.push('8').unwrap_err(), err);
+        assert_eq!(stream.raw_input(), "7x8");
+        assert_eq!(stream.error(), Some(&err));
+        assert_eq!(stream.finish().unwrap_err(), err);
+    }
+
+    #[test]
+    fn finish_rejects_a_dangling_partial_token() {
+        // "(" then nothing is fine; a lone "4" is fine; but a spec with
+        // only multi-char tokens can dangle: keyword "if" with input
+        // "i" must fail at finish.
+        let sigma = Alphabet::from_chars("if");
+        let spec = LexSpecBuilder::new(sigma)
+            .token("IF", "if")
+            .unwrap()
+            .build()
+            .unwrap();
+        let auto = LexAutomaton::compile(spec);
+        let mut stream = auto.stream();
+        assert!(stream.push('i').unwrap().is_empty());
+        let err = stream.finish().unwrap_err();
+        assert_eq!(err, LexError { at: 0, found: 'i' });
+    }
+
+    #[test]
+    fn backtracking_refeeds_the_overrun() {
+        // Rules: AB = "ab", A = "a". Input "aab": munch tries "aa…",
+        // dies, backtracks to "a", re-feeds "a", then matches "ab".
+        let sigma = Alphabet::from_chars("ab");
+        let spec = LexSpecBuilder::new(sigma)
+            .token("AB", "ab")
+            .unwrap()
+            .token("A", "a")
+            .unwrap()
+            .build()
+            .unwrap();
+        let auto = LexAutomaton::compile(spec);
+        let tokens = auto.lex_raw("aab").unwrap();
+        let texts: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "ab"]);
+        // And the stream form agrees.
+        let mut stream = auto.stream();
+        let mut streamed = Vec::new();
+        for c in "aab".chars() {
+            streamed.extend(stream.push(c).unwrap());
+        }
+        streamed.extend(stream.finish().unwrap());
+        assert_eq!(streamed, tokens);
+    }
+
+    #[test]
+    fn priority_breaks_equal_length_ties() {
+        // "if" matches both IF and ID at length 2; IF is declared first.
+        let sigma = Alphabet::from_chars("ifx");
+        let spec = LexSpecBuilder::new(sigma)
+            .token("IF", "if")
+            .unwrap()
+            .token("ID", "(i|f|x)(i|f|x)*")
+            .unwrap()
+            .build()
+            .unwrap();
+        let auto = LexAutomaton::compile(spec);
+        let toks = auto.lex_raw("ififx").unwrap();
+        let named: Vec<(&str, &str)> = toks
+            .iter()
+            .map(|t| (auto.spec().rule_name(t.rule), t.text.as_str()))
+            .collect();
+        // Maximal munch: "ififx" is one identifier (longest match wins
+        // over priority — priority only breaks length ties).
+        assert_eq!(named, [("ID", "ififx")]);
+        let toks2 = auto.lex_raw("if").unwrap();
+        let named2: Vec<&str> = toks2
+            .iter()
+            .map(|t| auto.spec().rule_name(t.rule))
+            .collect();
+        assert_eq!(named2, ["IF"], "equal length: the earlier rule wins");
+    }
+}

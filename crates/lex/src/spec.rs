@@ -1,0 +1,427 @@
+//! Lexical specifications: prioritized token rules over a character
+//! alphabet.
+//!
+//! A [`LexSpec`] is an *ordered* list of rules `token name ← Regex` —
+//! earlier rules have higher priority, which is how a keyword beats the
+//! identifier rule that also matches it — plus *skip* rules (whitespace,
+//! comments) whose matches are consumed but never reach the parser. The
+//! spec induces two alphabets: the **character alphabet** its regexes
+//! range over, and the **token alphabet** with one symbol per non-skip
+//! rule, in rule order — the alphabet the downstream token-level grammar
+//! must be stated over.
+
+use std::fmt;
+
+use lambek_core::alphabet::{Alphabet, Symbol};
+use regex_grammars::ast::{parse_regex, Regex, RegexSyntaxError};
+
+/// One lexical rule: a named regex, optionally marked as a skip rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexRule {
+    /// The rule's name. For token rules this becomes a symbol of the
+    /// token alphabet; for skip rules it only appears in diagnostics.
+    pub name: String,
+    /// The pattern, over the spec's character alphabet.
+    pub regex: Regex,
+    /// `true` for whitespace/comment rules: matches are consumed by the
+    /// driver but excluded from the token-level yield.
+    pub skip: bool,
+}
+
+/// Why a [`LexSpecBuilder`] rejected a rule or a whole spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The pattern did not parse.
+    Syntax {
+        /// The offending rule's name.
+        rule: String,
+        /// The parser's verdict.
+        cause: RegexSyntaxError,
+    },
+    /// The rule's language contains ε. A nullable rule would let the
+    /// maximal-munch driver emit zero-length tokens forever, so it is
+    /// rejected at spec-construction time.
+    Nullable {
+        /// The offending rule's name.
+        rule: String,
+    },
+    /// Two rules share a name (the token alphabet needs distinct names).
+    Duplicate {
+        /// The repeated name.
+        rule: String,
+    },
+    /// The spec has no token (non-skip) rules, so it could never emit a
+    /// token.
+    NoTokenRules,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Syntax { rule, cause } => {
+                write!(f, "rule {rule:?}: {cause}")
+            }
+            SpecError::Nullable { rule } => {
+                write!(f, "rule {rule:?} matches the empty string")
+            }
+            SpecError::Duplicate { rule } => {
+                write!(f, "duplicate rule name {rule:?}")
+            }
+            SpecError::NoTokenRules => write!(f, "spec has no token rules"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Builds a [`LexSpec`] rule by rule, in priority order.
+///
+/// # Examples
+///
+/// ```
+/// use lambek_core::alphabet::Alphabet;
+/// use lambek_lex::spec::LexSpecBuilder;
+///
+/// let chars = Alphabet::from_chars("ifx ");
+/// let spec = LexSpecBuilder::new(chars)
+///     .token("IF", "if")? // keywords first: priority is rule order
+///     .token("ID", "(i|f|x)(i|f|x)*")?
+///     .skip("WS", "  *")?
+///     .build()?;
+/// assert_eq!(spec.token_alphabet().names(), ["IF", "ID"]);
+/// # Ok::<(), lambek_lex::spec::SpecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LexSpecBuilder {
+    alphabet: Alphabet,
+    rules: Vec<LexRule>,
+}
+
+impl LexSpecBuilder {
+    /// Starts an empty spec over the given character alphabet.
+    pub fn new(alphabet: Alphabet) -> LexSpecBuilder {
+        LexSpecBuilder {
+            alphabet,
+            rules: Vec::new(),
+        }
+    }
+
+    fn push(mut self, name: &str, regex: Regex, skip: bool) -> Result<LexSpecBuilder, SpecError> {
+        if self.rules.iter().any(|r| r.name == name) {
+            return Err(SpecError::Duplicate {
+                rule: name.to_owned(),
+            });
+        }
+        if regex.nullable() {
+            return Err(SpecError::Nullable {
+                rule: name.to_owned(),
+            });
+        }
+        self.rules.push(LexRule {
+            name: name.to_owned(),
+            regex,
+            skip,
+        });
+        Ok(self)
+    }
+
+    /// Appends a token rule with a concrete-syntax pattern (the syntax
+    /// of [`regex_grammars::ast::parse_regex`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Syntax`] on a malformed pattern,
+    /// [`SpecError::Nullable`] if the pattern accepts ε,
+    /// [`SpecError::Duplicate`] on a repeated name.
+    pub fn token(self, name: &str, pattern: &str) -> Result<LexSpecBuilder, SpecError> {
+        let regex = parse_regex(&self.alphabet, pattern).map_err(|cause| SpecError::Syntax {
+            rule: name.to_owned(),
+            cause,
+        })?;
+        self.push(name, regex, false)
+    }
+
+    /// Appends a token rule with an already-built [`Regex`] (for
+    /// patterns awkward in concrete syntax — large character classes,
+    /// programmatically assembled literals).
+    ///
+    /// # Errors
+    ///
+    /// As [`LexSpecBuilder::token`], minus the syntax case.
+    pub fn token_re(self, name: &str, regex: Regex) -> Result<LexSpecBuilder, SpecError> {
+        self.push(name, regex, false)
+    }
+
+    /// Appends a skip rule (whitespace, comments) from concrete syntax.
+    ///
+    /// # Errors
+    ///
+    /// As [`LexSpecBuilder::token`].
+    pub fn skip(self, name: &str, pattern: &str) -> Result<LexSpecBuilder, SpecError> {
+        let regex = parse_regex(&self.alphabet, pattern).map_err(|cause| SpecError::Syntax {
+            rule: name.to_owned(),
+            cause,
+        })?;
+        self.push(name, regex, true)
+    }
+
+    /// Appends a skip rule from an already-built [`Regex`].
+    ///
+    /// # Errors
+    ///
+    /// As [`LexSpecBuilder::token_re`].
+    pub fn skip_re(self, name: &str, regex: Regex) -> Result<LexSpecBuilder, SpecError> {
+        self.push(name, regex, true)
+    }
+
+    /// Finishes the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::NoTokenRules`] if every rule is a skip rule (or
+    /// there are none).
+    pub fn build(self) -> Result<LexSpec, SpecError> {
+        let token_names: Vec<String> = self
+            .rules
+            .iter()
+            .filter(|r| !r.skip)
+            .map(|r| r.name.clone())
+            .collect();
+        if token_names.is_empty() {
+            return Err(SpecError::NoTokenRules);
+        }
+        let token_alphabet = Alphabet::new(&token_names);
+        let mut token_syms = Vec::with_capacity(self.rules.len());
+        let mut next = 0usize;
+        for r in &self.rules {
+            if r.skip {
+                token_syms.push(None);
+            } else {
+                token_syms.push(Some(Symbol::from_index(next)));
+                next += 1;
+            }
+        }
+        Ok(LexSpec {
+            alphabet: self.alphabet,
+            rules: self.rules,
+            token_alphabet,
+            token_syms,
+        })
+    }
+}
+
+/// A complete, validated lexical specification.
+///
+/// Rule order is priority order: when two rules accept the same longest
+/// match, the earlier rule wins (keywords before identifiers). Every
+/// rule's language excludes ε by construction.
+#[derive(Debug, Clone)]
+pub struct LexSpec {
+    alphabet: Alphabet,
+    rules: Vec<LexRule>,
+    token_alphabet: Alphabet,
+    /// Per rule: its symbol in the token alphabet (`None` for skips).
+    token_syms: Vec<Option<Symbol>>,
+}
+
+impl LexSpec {
+    /// The character alphabet the rules' regexes range over.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The rules, in priority order.
+    pub fn rules(&self) -> &[LexRule] {
+        &self.rules
+    }
+
+    /// The token alphabet: one symbol per non-skip rule, in rule order.
+    /// A token-level grammar composed with this lexer must be stated
+    /// over an alphabet equal to this one.
+    pub fn token_alphabet(&self) -> &Alphabet {
+        &self.token_alphabet
+    }
+
+    /// The token-alphabet symbol rule `rule` emits (`None` for skips).
+    pub fn token_symbol(&self, rule: usize) -> Option<Symbol> {
+        self.token_syms[rule]
+    }
+
+    /// The name of rule `rule`.
+    pub fn rule_name(&self, rule: usize) -> &str {
+        &self.rules[rule].name
+    }
+
+    /// A canonical, structure-determined rendering of the spec (rule
+    /// names, skip flags, regexes by symbol index). Together with the
+    /// character alphabet's identity this determines the spec — the
+    /// engine interns it as the lexer half of its pipeline cache key.
+    pub fn fingerprint(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        for r in &self.rules {
+            let kind = if r.skip { "skip" } else { "token" };
+            // `Regex`'s Display prints symbols by index, so the
+            // rendering is stable under alphabet renamings that the
+            // alphabet-id component of the key already distinguishes.
+            let _ = writeln!(out, "{kind} {}\u{1f}{}", r.name, r.regex);
+        }
+        out
+    }
+}
+
+/// A character-class regex: the alternation of the named single-char
+/// symbols of `chars`, e.g. `class(&sigma, "0123456789")` for digits.
+///
+/// # Panics
+///
+/// Panics if `chars` is empty or contains a character that is not a
+/// symbol of `alphabet`.
+pub fn class(alphabet: &Alphabet, chars: &str) -> Regex {
+    let mut it = chars.chars().map(|c| {
+        Regex::Char(
+            alphabet
+                .symbol_of_char(c)
+                .unwrap_or_else(|| panic!("{c:?} is not in the alphabet")),
+        )
+    });
+    let first = it.next().expect("a class needs at least one character");
+    it.fold(first, Regex::alt)
+}
+
+/// The literal word `text` as a regex (concatenation of its characters).
+///
+/// # Panics
+///
+/// Panics if `text` is empty or contains a character outside `alphabet`.
+pub fn literal(alphabet: &Alphabet, text: &str) -> Regex {
+    let mut it = text.chars().map(|c| {
+        Regex::Char(
+            alphabet
+                .symbol_of_char(c)
+                .unwrap_or_else(|| panic!("{c:?} is not in the alphabet")),
+        )
+    });
+    let first = it.next().expect("a literal needs at least one character");
+    it.fold(first, Regex::concat)
+}
+
+/// `r+` — one or more repetitions, as `r r*` (the concrete syntax has
+/// no postfix `+`).
+pub fn plus(r: Regex) -> Regex {
+    Regex::concat(r.clone(), Regex::star(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_and_validates() {
+        let sigma = Alphabet::from_chars("ab ");
+        let spec = LexSpecBuilder::new(sigma.clone())
+            .token("A", "aa*")
+            .unwrap()
+            .skip("WS", "  *")
+            .unwrap()
+            .token("B", "b")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(spec.rules().len(), 3);
+        assert_eq!(spec.token_alphabet().names(), ["A", "B"]);
+        assert_eq!(spec.token_symbol(0), Some(Symbol::from_index(0)));
+        assert_eq!(spec.token_symbol(1), None, "skips have no token symbol");
+        assert_eq!(spec.token_symbol(2), Some(Symbol::from_index(1)));
+        assert_eq!(spec.rule_name(1), "WS");
+    }
+
+    #[test]
+    fn nullable_duplicate_and_empty_specs_are_rejected() {
+        let sigma = Alphabet::from_chars("ab");
+        assert_eq!(
+            LexSpecBuilder::new(sigma.clone())
+                .token("A", "a*")
+                .unwrap_err(),
+            SpecError::Nullable {
+                rule: "A".to_owned()
+            }
+        );
+        let dup = LexSpecBuilder::new(sigma.clone())
+            .token("A", "a")
+            .unwrap()
+            .token("A", "b")
+            .unwrap_err();
+        assert_eq!(
+            dup,
+            SpecError::Duplicate {
+                rule: "A".to_owned()
+            }
+        );
+        assert_eq!(
+            LexSpecBuilder::new(sigma.clone())
+                .skip("WS", "a")
+                .unwrap()
+                .build()
+                .unwrap_err(),
+            SpecError::NoTokenRules
+        );
+        assert!(matches!(
+            LexSpecBuilder::new(sigma).token("A", "(((").unwrap_err(),
+            SpecError::Syntax { .. }
+        ));
+    }
+
+    #[test]
+    fn helpers_build_classes_literals_and_plus() {
+        use regex_grammars::derivative::matches;
+        let sigma = Alphabet::from_chars("abc0189");
+        let digits = class(&sigma, "0189");
+        let word = literal(&sigma, "abc");
+        let num = plus(digits.clone());
+        let m = |re: &Regex, s: &str| matches(re, &sigma.parse_str(s).unwrap());
+        assert!(m(&digits, "0") && m(&digits, "9") && !m(&digits, "a"));
+        assert!(m(&word, "abc") && !m(&word, "ab"));
+        assert!(m(&num, "0") && m(&num, "0189") && !m(&num, ""));
+    }
+
+    #[test]
+    fn fingerprints_separate_specs() {
+        let sigma = Alphabet::from_chars("ab");
+        let one = LexSpecBuilder::new(sigma.clone())
+            .token("A", "a")
+            .unwrap()
+            .build()
+            .unwrap();
+        let two = LexSpecBuilder::new(sigma.clone())
+            .token("A", "b")
+            .unwrap()
+            .build()
+            .unwrap();
+        let skipped = LexSpecBuilder::new(sigma.clone())
+            .token("A", "a")
+            .unwrap()
+            .skip("B", "b")
+            .unwrap()
+            .build()
+            .unwrap();
+        let tokened = LexSpecBuilder::new(sigma)
+            .token("A", "a")
+            .unwrap()
+            .token("B", "b")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_ne!(one.fingerprint(), two.fingerprint());
+        assert_ne!(skipped.fingerprint(), tokened.fingerprint());
+        assert_eq!(
+            one.fingerprint(),
+            LexSpecBuilder::new(Alphabet::from_chars("ab"))
+                .token("A", "a")
+                .unwrap()
+                .build()
+                .unwrap()
+                .fingerprint()
+        );
+    }
+}

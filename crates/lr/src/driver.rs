@@ -48,6 +48,10 @@ impl fmt::Display for LrReject {
     }
 }
 
+/// Like `CertifyError` and `LrConflictReport`, rejections box uniformly
+/// into `dyn Error` for engine callers.
+impl std::error::Error for LrReject {}
+
 /// Fuel for reductions between two shifts: generous enough for any legal
 /// unwinding (which is bounded by the stack depth times the state count)
 /// while still finite.

@@ -303,6 +303,21 @@ mod tests {
     }
 
     #[test]
+    fn rejections_box_uniformly_as_errors() {
+        // LrReject implements Error like CertifyError and
+        // LrConflictReport do, so engine callers can box any of the
+        // subsystem's failures behind one `dyn Error`.
+        let p = Parens::new();
+        let parser = CertifiedLrParser::compile(&dyck_cfg(&p)).unwrap();
+        let w = p.alphabet.parse_str(")").unwrap();
+        let LrOutcome::Reject(r) = parser.parse(&w).unwrap() else {
+            panic!(") is unbalanced");
+        };
+        let boxed: Box<dyn std::error::Error> = Box::new(r);
+        assert!(boxed.to_string().contains("rejected at position 0"));
+    }
+
+    #[test]
     fn parser_is_send_sync_and_cheap_to_clone() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CertifiedLrParser>();

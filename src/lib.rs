@@ -18,6 +18,10 @@
 //! * [`lr`] (`lambek-lr`) — certified LR(1)/LALR parsing for the
 //!   deterministic fragment: dense ACTION/GOTO tables, structured
 //!   conflict reports, and parse trees re-validated by the core checker;
+//! * [`lex`] (`lambek-lex`) — certified lexing: prioritized token rules
+//!   compiled to a tagged-accept DFA, a maximal-munch driver with
+//!   last-accept backtracking, and token streams re-validated (span
+//!   tiling + independent derivative re-matching) at the boundary;
 //! * [`turing`] (`lambek-turing`) — unrestricted grammars via `Reify`
 //!   (Construction 4.15);
 //! * [`engine`] (`lambek-engine`) — the serving layer: a compile-once
@@ -57,6 +61,7 @@ pub use lambek_automata as automata;
 pub use lambek_cfg as cfg;
 pub use lambek_core as core;
 pub use lambek_engine as engine;
+pub use lambek_lex as lex;
 pub use lambek_lr as lr;
 pub use lambek_turing as turing;
 pub use regex_grammars as regex;

@@ -40,6 +40,7 @@ fn examples_run_and_print_their_sentinels() {
         ("typecheck_playground", "type-checks"),
         ("engine_batch", "pipelines compiled"),
         ("lr_stream", "LR stream finished"),
+        ("lex_json", "lexed JSON stream finished"),
     ] {
         let stdout = run_example(example);
         assert!(
