@@ -6,8 +6,9 @@
 //!
 //! * `lex_throughput` — the maximal-munch tagged-DFA driver over
 //!   arithmetic text at 1 KiB / 64 KiB / 1 MiB (MB/s is the number to
-//!   read off: bytes ÷ time), raw driver vs certified (span tiling +
-//!   derivative re-match per lexeme);
+//!   read off: bytes ÷ time): the raw driver, the incremental certifier
+//!   (span tiling as a running cursor, memoized derivative re-match at
+//!   each munch boundary), and the full post-hoc re-validation pass;
 //! * `lex_vs_char_earley` — the same raw arithmetic language parsed two
 //!   ways: certified lex + certified LR over tokens (the new
 //!   subsystem), against Earley over the character-level grammar with
@@ -38,9 +39,14 @@ fn bench(c: &mut Criterion) {
             |b, t| b.iter(|| auto.lex_raw(t).unwrap().len()),
         );
         g.bench_with_input(
-            BenchmarkId::new("certified", format!("{kib}KiB")),
+            BenchmarkId::new("certified_incremental", format!("{kib}KiB")),
             &text,
             |b, t| b.iter(|| certified.lex(t).unwrap().is_accept()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("certified_full", format!("{kib}KiB")),
+            &text,
+            |b, t| b.iter(|| certified.lex_full(t).unwrap().is_accept()),
         );
     }
     g.finish();

@@ -5,8 +5,11 @@
 //! input lengths n = 64 / 256 / 1024 symbols:
 //!
 //! * `lr_recognize` — the dense-table state run, no trees;
-//! * `lr_parse` — shift-reduce tree building *plus* the certification
-//!   re-validation (the price of the intrinsic contract);
+//! * `lr_parse` — shift-reduce tree building with the *incremental*
+//!   certification (each reduction checked as it happens, O(1) per
+//!   step via interned grammar ids);
+//! * `lr_parse_full` — the same run finished with the whole-tree
+//!   post-hoc re-validation (the pre-incremental contract price);
 //! * `earley_recognize` / `earley_parse` — the baseline.
 //!
 //! Expected shape: LR linear with a small constant; Earley super-linear
@@ -46,6 +49,9 @@ fn bench_grammar(c: &mut Criterion, group: &str, cfg: &Cfg, inputs: &[(usize, GS
         });
         g.bench_with_input(BenchmarkId::new("lr_parse", n), w, |b, w| {
             b.iter(|| parser.parse(w).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("lr_parse_full", n), w, |b, w| {
+            b.iter(|| parser.parse_full(w).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("earley_recognize", n), w, |b, w| {
             b.iter(|| earley_recognize(cfg, w))

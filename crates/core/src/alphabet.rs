@@ -230,6 +230,11 @@ impl GString {
         GString(Vec::new())
     }
 
+    /// The empty string with room for `cap` symbols.
+    pub fn with_capacity(cap: usize) -> GString {
+        GString(Vec::with_capacity(cap))
+    }
+
     /// Wraps a symbol vector.
     pub fn from_symbols(symbols: Vec<Symbol>) -> GString {
         GString(symbols)

@@ -534,13 +534,80 @@ impl LexedCfgBackend {
     /// Lexes `input` and parses the token string, certifying both
     /// layers. Rejections carry byte offsets into `input`.
     ///
+    /// On LR-backed grammars this is the *fused* incremental path: each
+    /// lexeme is certified at its munch boundary (running tiling cursor
+    /// plus memoized derivative re-match) and shifted straight into the
+    /// LR stack — whose reductions are themselves certified as
+    /// performed — so neither layer re-walks its output at the end. The
+    /// Earley fallback (and [`LexedCfgBackend::parse_str_full`]) still
+    /// runs the original two-pass form.
+    ///
     /// # Errors
     ///
     /// Contract violations only: a lexer certification failure or an
     /// LR/validation internal error. "Not in the language" is an `Ok`
     /// rejection.
     pub fn parse_str(&self, input: &str) -> Result<StrOutcome, TransformError> {
-        let tokens = match self.lexer.lex(input).map_err(|e| {
+        let CfgMode::Lr(lr) = &self.inner.mode else {
+            // Earley needs the whole token string anyway.
+            return self.parse_str_full(input);
+        };
+        let mut cert = self.lexer.certifier();
+        let mut lrs = lr.stream();
+        let mut tokens = Vec::new();
+        for item in self.lexer.automaton().lexemes(input) {
+            match item {
+                // Lex errors keep priority over LR rejections, exactly
+                // as in the two-pass form (where lexing ran to
+                // completion first) — a doomed LR stack never masks a
+                // later unlexable byte, because the LR stream just goes
+                // (and stays) dead while lexing continues.
+                Err(e) => return Ok(StrOutcome::RejectLex(e)),
+                Ok(t) => {
+                    cert.check(input, &t).map_err(|e| {
+                        TransformError::Custom(format!("certified-lexer contract violation: {e}"))
+                    })?;
+                    if let Some(sym) = t.sym {
+                        lrs.push(sym);
+                    }
+                    tokens.push(t);
+                }
+            }
+        }
+        cert.finish(input).map_err(|e| {
+            TransformError::Custom(format!("certified-lexer contract violation: {e}"))
+        })?;
+        let tokens = TokenStream::from_tokens(tokens);
+        match lrs.finish().map_err(|e| TransformError::OutputShape {
+            transformer: "certified-lr".to_owned(),
+            cause: e.cause,
+        })? {
+            LrOutcome::Accept(tree) => Ok(StrOutcome::Accept {
+                tree,
+                tokens: Some(tokens),
+            }),
+            LrOutcome::Reject(r) => {
+                let span = tokens.span_of_yield(r.at, input.len());
+                Ok(StrOutcome::RejectParse {
+                    span,
+                    message: r.to_string(),
+                    tokens: Some(tokens),
+                })
+            }
+        }
+    }
+
+    /// [`LexedCfgBackend::parse_str`] with both layers on their full
+    /// (whole-output) re-validation paths: the lexer materializes and
+    /// re-walks the complete token stream, and the LR parse re-validates
+    /// the finished tree from the root. Kept as the slow reference the
+    /// differential suites compare the fused incremental path against.
+    ///
+    /// # Errors
+    ///
+    /// As [`LexedCfgBackend::parse_str`].
+    pub fn parse_str_full(&self, input: &str) -> Result<StrOutcome, TransformError> {
+        let tokens = match self.lexer.lex_full(input).map_err(|e| {
             TransformError::Custom(format!("certified-lexer contract violation: {e}"))
         })? {
             lambek_lex::LexedOutcome::Reject(e) => return Ok(StrOutcome::RejectLex(e)),
@@ -548,7 +615,7 @@ impl LexedCfgBackend {
         };
         let w = tokens.yield_string();
         match &self.inner.mode {
-            CfgMode::Lr(lr) => match lr.parse(w).map_err(|e| TransformError::OutputShape {
+            CfgMode::Lr(lr) => match lr.parse_full(w).map_err(|e| TransformError::OutputShape {
                 transformer: "certified-lr".to_owned(),
                 cause: e.cause,
             })? {
@@ -762,16 +829,25 @@ impl CompiledPipeline {
 
     /// Fast raw-text acceptance: lex, then the recognition-only table
     /// run (no trees, no certification — use
-    /// [`CompiledPipeline::parse_str`] for the certified answer).
+    /// [`CompiledPipeline::parse_str`] for the certified answer). Lexed
+    /// pipelines pull lexemes lazily and keep only the token-level
+    /// yield, never materializing a [`TokenStream`].
     pub fn accepts_str(&self, input: &str) -> bool {
         match &self.imp {
-            ParserImpl::LexedCfg(b) => match b.lexer.automaton().lex_raw(input) {
-                Ok(tokens) => {
-                    let ts = TokenStream::from_tokens(tokens);
-                    b.inner.accepts(ts.yield_string())
+            ParserImpl::LexedCfg(b) => {
+                let mut w = GString::new();
+                for item in b.lexer.automaton().lexemes(input) {
+                    match item {
+                        Err(_) => return false,
+                        Ok(t) => {
+                            if let Some(sym) = t.sym {
+                                w.push(sym);
+                            }
+                        }
+                    }
                 }
-                Err(_) => false,
-            },
+                b.inner.accepts(&w)
+            }
             _ => self
                 .alphabet()
                 .parse_str(input)

@@ -16,23 +16,27 @@
 //! * **LR mode** (CFG pipelines whose grammar compiled conflict-free):
 //!   each push shifts one symbol after running the pending reductions —
 //!   O(1) amortized over the input via the dense ACTION/GOTO tables —
-//!   and the partial parse trees stay on the stream's stack.
+//!   and the partial parse trees stay on the stream's stack, each
+//!   reduction certified *as it is performed* (interned-id claim checks
+//!   against the production's right-hand side).
 //!   [`StreamParser::would_accept`] simulates the end-of-input
-//!   reductions over a scratch copy of the state stack;
+//!   reductions over a scratch overlay of the state stack;
 //!   [`StreamParser::finish`] completes the remaining reductions and
-//!   re-validates the finished tree with the core derivation checker
-//!   (the certification step), so the streaming path gives exactly the
-//!   same intrinsic guarantee as the one-shot path.
+//!   closes the lone-start obligation — no whole-tree re-validation, yet
+//!   the same intrinsic guarantee as the one-shot path.
 //!
 //! * **Lexed-LR mode** (raw-text pipelines whose token grammar
 //!   compiled conflict-free): characters go in through
 //!   [`StreamParser::push_char`]; a push-mode [`LexStream`] buffers at
 //!   most the one pending longest-match token boundary and feeds each
-//!   resolved token straight into the token-level [`LrStream`].
-//!   [`StreamParser::finish`] flushes the lexer, completes the LR
-//!   reductions, and certifies **both** layers: the token stream
-//!   against the raw text (span tiling + derivative re-matching) and
-//!   the tree against the token-level grammar and token string.
+//!   resolved token straight into the token-level [`LrStream`]. Both
+//!   layers certify incrementally: every resolved token is checked at
+//!   its munch boundary (running span-tiling cursor + memoized
+//!   derivative re-match, via a [`LexCertifier`]) and every LR
+//!   reduction as it fires. [`StreamParser::finish`] flushes the lexer,
+//!   completes the LR reductions, and closes the two end-of-input
+//!   obligations (full tiling coverage; a lone start claim) — the
+//!   finish cost is the pending suffix, not the stream.
 //!
 //! CFG pipelines that fell back to Earley have no incremental driver
 //! and refuse to open a stream (lexed or not).
@@ -44,13 +48,19 @@ use lambek_core::alphabet::{GString, Symbol};
 use lambek_core::grammar::parse_tree::ParseTree;
 use lambek_core::theory::parser::ParseOutcome;
 use lambek_core::transform::TransformError;
-use lambek_lex::{LexStream, Token};
-use lambek_lr::{LrOutcome, LrStream};
+use lambek_lex::{LexCertifier, LexCertifyError, LexStream, Token};
+use lambek_lr::{CertifyError, LrOutcome, LrStream};
 
 use crate::pipeline::CompiledPipeline;
 use crate::EngineError;
 
 /// The backend-specific state of a stream.
+///
+/// The `LexedLr` variant is much bigger than `Dfa`, but there is one
+/// `Mode` per open stream and it is matched on every push — boxing the
+/// large variant would buy nothing and cost an indirection in the hot
+/// loop.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 enum Mode {
     /// Dense DFA stepping; `states[i]` is the state before symbol `i`.
@@ -71,9 +81,16 @@ enum Mode {
         lex: LexStream,
         /// The token side: shift + pending reductions per token.
         lr: LrStream,
-        /// Every token emitted so far (skips included) — what the
-        /// certified `finish` re-validates against the raw text.
+        /// Every token emitted so far, skips included (kept for
+        /// [`StreamParser::tokens`]; certification happens per token,
+        /// not from this list).
         tokens: Vec<Token>,
+        /// The incremental lexer certifier: each resolved token is
+        /// checked at its munch boundary against the raw text.
+        cert: LexCertifier,
+        /// The first lexer-certification violation, recorded at the
+        /// token where it happened and reported at `finish`.
+        lex_fault: Option<LexCertifyError>,
     },
 }
 
@@ -103,15 +120,13 @@ impl StreamParser {
         } else if let Some(lr) = pipeline.cfg_backend().and_then(|b| b.lr()) {
             Mode::Lr(lr.stream())
         } else if let Some(lr) = pipeline.lexed_backend().and_then(|b| b.cfg_backend().lr()) {
+            let lexer = pipeline.lexed_backend().expect("just matched").lexer();
             Mode::LexedLr {
-                lex: pipeline
-                    .lexed_backend()
-                    .expect("just matched")
-                    .lexer()
-                    .automaton()
-                    .stream(),
+                lex: lexer.automaton().stream(),
                 lr: lr.stream(),
                 tokens: Vec::new(),
+                cert: lexer.certifier(),
+                lex_fault: None,
             }
         } else {
             return Err(EngineError::NoStreamingBackend(pipeline.spec().label()));
@@ -155,7 +170,14 @@ impl StreamParser {
     /// Panics on non-lexed pipelines, whose streams consume [`Symbol`]s
     /// — use [`StreamParser::push`] there.
     pub fn push_char(&mut self, c: char) -> bool {
-        let Mode::LexedLr { lex, lr, tokens } = &mut self.mode else {
+        let Mode::LexedLr {
+            lex,
+            lr,
+            tokens,
+            cert,
+            lex_fault,
+        } = &mut self.mode
+        else {
             panic!("only lexed streams consume raw text: use push, not push_char");
         };
         match lex.push(c) {
@@ -163,12 +185,21 @@ impl StreamParser {
             Ok(resolved) => {
                 let mut ok = true;
                 for t in resolved {
+                    // Certify the lexeme at its munch boundary: the
+                    // token's span bytes are already part of the pushed
+                    // text, so the running tiling cursor and the
+                    // derivative re-match both resolve right here.
+                    if lex_fault.is_none() {
+                        if let Err(e) = cert.check(lex.raw_input(), &t) {
+                            *lex_fault = Some(e);
+                        }
+                    }
                     if let Some(sym) = t.sym {
                         ok &= lr.push(sym);
                     }
                     tokens.push(t);
                 }
-                ok && lr.is_viable()
+                ok && lr.is_viable() && lex_fault.is_none()
             }
         }
     }
@@ -228,21 +259,49 @@ impl StreamParser {
             }
             Mode::Lr(stream) => stream.would_accept(),
             // Flush the pending token boundary (a copy of the small
-            // munch state, not of the accumulated input) through a
-            // clone of the LR stack: the probe never disturbs either
-            // live stream and stays O(pending + stack).
-            Mode::LexedLr { lex, lr, .. } => match lex.pending_flush() {
-                Err(_) => false,
-                Ok(flushed) => {
-                    let mut lr = lr.clone();
-                    for t in flushed {
-                        if let Some(sym) = t.sym {
-                            lr.push(sym);
+            // munch state, not of the accumulated input) and simulate
+            // the flushed symbols plus the end-of-input reductions over
+            // a scratch overlay of the LR state stack: the probe never
+            // disturbs either live stream, builds no trees, and — since
+            // nothing clones the accumulated input or the partial
+            // derivation stack — costs O(pending + stack depth), not
+            // O(input).
+            Mode::LexedLr {
+                lex, lr, lex_fault, ..
+            } => {
+                lex_fault.is_none()
+                    && match lex.pending_flush() {
+                        Err(_) => false,
+                        Ok(flushed) => {
+                            lr.would_accept_after(flushed.into_iter().filter_map(|t| t.sym))
                         }
                     }
-                    lr.would_accept()
+            }
+        }
+    }
+
+    /// [`StreamParser::would_accept`] plus the number of LR table
+    /// actions the probe simulated — the differential suites use the
+    /// count to pin the probe's cost to the stack depth. DFA probes
+    /// count as one action.
+    #[doc(hidden)]
+    pub fn would_accept_counted(&self) -> (bool, usize) {
+        match &self.mode {
+            Mode::Dfa { .. } => (self.would_accept(), 1),
+            Mode::Lr(stream) => stream.would_accept_after_counted(std::iter::empty()),
+            Mode::LexedLr {
+                lex, lr, lex_fault, ..
+            } => {
+                if lex_fault.is_some() {
+                    return (false, 0);
                 }
-            },
+                match lex.pending_flush() {
+                    Err(_) => (false, 0),
+                    Ok(flushed) => {
+                        lr.would_accept_after_counted(flushed.into_iter().filter_map(|t| t.sym))
+                    }
+                }
+            }
         }
     }
 
@@ -257,7 +316,49 @@ impl StreamParser {
                 live[*states.last().expect("stream has an initial state")]
             }
             Mode::Lr(stream) => stream.is_viable(),
-            Mode::LexedLr { lex, lr, .. } => lex.is_alive() && lr.is_viable(),
+            Mode::LexedLr {
+                lex, lr, lex_fault, ..
+            } => lex.is_alive() && lr.is_viable() && lex_fault.is_none(),
+        }
+    }
+
+    /// The first lexer-certification violation the incremental checker
+    /// caught (lexed streams only; always `None` for a correctly
+    /// compiled lexer).
+    pub fn lex_fault(&self) -> Option<&LexCertifyError> {
+        match &self.mode {
+            Mode::LexedLr { lex_fault, .. } => lex_fault.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The first LR-certification violation the incremental checker
+    /// caught (LR-backed streams only; always `None` for a correctly
+    /// compiled parser).
+    pub fn lr_fault(&self) -> Option<&CertifyError> {
+        match &self.mode {
+            Mode::Lr(stream) => stream.fault(),
+            Mode::LexedLr { lr, .. } => lr.fault(),
+            Mode::Dfa { .. } => None,
+        }
+    }
+
+    /// Injects a one-token lexer fault (test-only; lexed streams only).
+    #[doc(hidden)]
+    pub fn sabotage_lex(&mut self, s: lambek_lex::SabotageLex) {
+        match &mut self.mode {
+            Mode::LexedLr { lex, .. } => lex.sabotage(s),
+            _ => panic!("only lexed streams have a lexer to sabotage"),
+        }
+    }
+
+    /// Injects a one-step LR fault (test-only; LR-backed streams only).
+    #[doc(hidden)]
+    pub fn sabotage_lr(&mut self, s: lambek_lr::SabotageLr) {
+        match &mut self.mode {
+            Mode::Lr(stream) => stream.sabotage(s),
+            Mode::LexedLr { lr, .. } => lr.sabotage(s),
+            Mode::Dfa { .. } => panic!("DFA streams have no LR stack to sabotage"),
         }
     }
 
@@ -318,14 +419,15 @@ impl StreamParser {
     /// Ends the stream, returning the intrinsically checked outcome.
     ///
     /// DFA mode re-runs the pipeline's composed verified parser over the
-    /// accumulated input; LR mode completes the pending reductions of
-    /// the incremental parse and certifies the finished tree against the
-    /// grammar and the input — same guarantee, incremental cost. Lexed
-    /// mode flushes the buffered token boundary, completes the LR
-    /// reductions, and certifies **both** layers: the accumulated token
-    /// list against the raw text (span tiling + independent derivative
-    /// re-matching, via the pipeline's `CertifiedLexer`) and the
-    /// finished tree against the token-level grammar and token string.
+    /// accumulated input. LR mode completes the pending reductions —
+    /// each already certified as it was performed — and closes the
+    /// lone-start obligation: no whole-tree re-validation, same
+    /// guarantee. Lexed mode flushes the buffered token boundary
+    /// (certifying the flushed lexemes at their munch boundaries, like
+    /// every earlier token), completes the LR reductions, and closes
+    /// the two end-of-input obligations: the certified lexemes tile the
+    /// whole raw text, and the LR stack holds exactly the start symbol.
+    /// The cost of `finish` is the pending suffix, not the stream.
     ///
     /// # Errors
     ///
@@ -350,15 +452,18 @@ impl StreamParser {
             Mode::LexedLr {
                 lex,
                 mut lr,
-                mut tokens,
+                mut cert,
+                mut lex_fault,
+                ..
             } => {
+                // Layer 1 ran per token as the characters were pushed: a
+                // violation recorded at any munch boundary surfaces now.
+                if let Some(e) = lex_fault {
+                    return Err(TransformError::Custom(format!(
+                        "certified-lexer contract violation: {e}"
+                    )));
+                }
                 let raw = lex.raw_input().to_owned();
-                let lexer = self
-                    .pipeline
-                    .lexed_backend()
-                    .expect("checked at open")
-                    .lexer()
-                    .clone();
                 let flushed = match lex.finish() {
                     Ok(f) => f,
                     Err(_) => {
@@ -369,16 +474,30 @@ impl StreamParser {
                     }
                 };
                 for t in flushed {
+                    if lex_fault.is_none() {
+                        if let Err(e) = cert.check(&raw, &t) {
+                            lex_fault = Some(e);
+                        }
+                    }
                     if let Some(sym) = t.sym {
                         lr.push(sym);
                     }
-                    tokens.push(t);
                 }
-                // Layer 1: the token stream against the raw text.
-                lexer.certify(&raw, &tokens).map_err(|e| {
-                    TransformError::Custom(format!("certified-lexer contract violation: {e}"))
-                })?;
-                // Layer 2: the finished tree against grammar + tokens.
+                // Close the tiling invariant: the certified lexemes
+                // must cover every pushed byte.
+                if lex_fault.is_none() {
+                    if let Err(e) = cert.finish(&raw) {
+                        lex_fault = Some(e);
+                    }
+                }
+                if let Some(e) = lex_fault {
+                    return Err(TransformError::Custom(format!(
+                        "certified-lexer contract violation: {e}"
+                    )));
+                }
+                // Layer 2: the LR reductions were certified as they
+                // were performed; finish only closes the lone-start
+                // obligation (no whole-tree re-validation).
                 let input = lr.input().clone();
                 match lr.finish().map_err(|e| TransformError::OutputShape {
                     transformer: "certified-lexed-lr-stream".to_owned(),

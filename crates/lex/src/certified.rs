@@ -19,13 +19,26 @@
 //!    on. A bug anywhere in that pipeline (or in the driver's
 //!    backtracking) surfaces as a [`LexCertifyError`], never as a bad
 //!    token reaching the parser.
+//!
+//! Both checks are *incremental*: [`LexCertifier`] carries the tiling
+//! cursor as a running invariant and discharges the membership
+//! obligation per token at its munch boundary, so [`CertifiedLexer::lex`]
+//! and the streaming pipelines certify in O(lexeme) amortized work per
+//! token instead of re-walking the whole stream at the end. The
+//! re-match runs on [`LazyDerivMatcher`]s — the same derivatives,
+//! memoized — and verdicts are cached per `(rule, lexeme)`.
+//! [`CertifiedLexer::lex_full`] keeps the original whole-stream
+//! re-validation as the slow differential reference.
 
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use regex_grammars::derivative::matches;
+use regex_grammars::lazy::LazyDerivMatcher;
 
 use crate::compile::LexAutomaton;
 use crate::driver::{LexError, Token, TokenStream};
+use crate::fnv::FnvMap;
 use crate::spec::LexSpec;
 
 /// The outcome of a certified lex.
@@ -99,20 +112,45 @@ impl std::error::Error for LexCertifyError {}
 #[derive(Debug, Clone)]
 pub struct CertifiedLexer {
     auto: LexAutomaton,
+    /// One memoized derivative matcher per rule, shared by every
+    /// certifier this lexer hands out — the lazily discovered
+    /// derivative states persist across inputs.
+    matchers: Arc<Vec<LazyDerivMatcher>>,
+    /// Shared membership verdicts, one map per rule keyed by lexeme
+    /// text. A lexeme's membership in a rule's regex is deterministic,
+    /// so verdicts persist across inputs (the same reasoning that lets
+    /// the derivative states persist) — in steady state a repeated
+    /// lexeme certifies with a single hash lookup.
+    verdicts: Arc<Vec<Mutex<FnvMap<String, bool>>>>,
 }
 
 impl CertifiedLexer {
     /// Compiles `spec` (Thompson → tagged determinize → minimize) and
     /// wraps it with the certification layer.
     pub fn compile(spec: LexSpec) -> CertifiedLexer {
-        CertifiedLexer {
-            auto: LexAutomaton::compile(spec),
-        }
+        CertifiedLexer::from_automaton(LexAutomaton::compile(spec))
     }
 
     /// Wraps an already-compiled automaton.
     pub fn from_automaton(auto: LexAutomaton) -> CertifiedLexer {
-        CertifiedLexer { auto }
+        let sigma_len = auto.spec().alphabet().len();
+        let matchers = auto
+            .spec()
+            .rules()
+            .iter()
+            .map(|r| LazyDerivMatcher::new(r.regex.clone(), sigma_len))
+            .collect();
+        let verdicts = auto
+            .spec()
+            .rules()
+            .iter()
+            .map(|_| Mutex::new(FnvMap::default()))
+            .collect();
+        CertifiedLexer {
+            auto,
+            matchers: Arc::new(matchers),
+            verdicts: Arc::new(verdicts),
+        }
     }
 
     /// The spec being served.
@@ -125,7 +163,10 @@ impl CertifiedLexer {
         &self.auto
     }
 
-    /// Lexes `input` and certifies the result.
+    /// Lexes `input` and certifies the result, incrementally: each
+    /// lexeme is checked at its munch boundary (span tiling as a
+    /// running cursor, derivative re-match per token) rather than in a
+    /// whole-stream pass at the end.
     ///
     /// # Errors
     ///
@@ -134,12 +175,50 @@ impl CertifiedLexer {
     /// of trusted. A merely *unlexable* input is not an error; it comes
     /// back as [`LexedOutcome::Reject`].
     pub fn lex(&self, input: &str) -> Result<LexedOutcome, LexCertifyError> {
+        let mut cert = self.certifier();
+        let mut tokens = Vec::new();
+        for item in self.auto.lexemes(input) {
+            match item {
+                Err(e) => return Ok(LexedOutcome::Reject(e)),
+                Ok(t) => {
+                    cert.check(input, &t)?;
+                    tokens.push(t);
+                }
+            }
+        }
+        cert.finish(input)?;
+        Ok(LexedOutcome::Tokens(TokenStream::from_tokens(tokens)))
+    }
+
+    /// [`CertifiedLexer::lex`] with the original whole-stream
+    /// re-validation instead of the incremental certifier: the driver
+    /// materializes the full token list, then [`CertifiedLexer::certify`]
+    /// re-walks it from scratch. Kept as the slow reference the
+    /// differential suites compare the incremental path against.
+    ///
+    /// # Errors
+    ///
+    /// As [`CertifiedLexer::lex`].
+    pub fn lex_full(&self, input: &str) -> Result<LexedOutcome, LexCertifyError> {
         match self.auto.lex_raw(input) {
             Err(e) => Ok(LexedOutcome::Reject(e)),
             Ok(tokens) => {
                 self.certify(input, &tokens)?;
                 Ok(LexedOutcome::Tokens(TokenStream::from_tokens(tokens)))
             }
+        }
+    }
+
+    /// Opens a fresh incremental certifier for one input: feed it every
+    /// emitted token in order via [`LexCertifier::check`], then close
+    /// the tiling with [`LexCertifier::finish`].
+    pub fn certifier(&self) -> LexCertifier {
+        LexCertifier {
+            auto: self.auto.clone(),
+            matchers: self.matchers.clone(),
+            cursor: 0,
+            index: 0,
+            verdicts: self.verdicts.clone(),
         }
     }
 
@@ -216,6 +295,132 @@ impl CertifiedLexer {
             }
         }
         Ok(())
+    }
+}
+
+/// The incremental form of [`CertifiedLexer::certify`]: the same two
+/// obligations — span tiling and independent regex membership —
+/// discharged token by token as the driver emits them, instead of in a
+/// whole-stream pass at the end.
+///
+/// The tiling check is a running byte cursor: each token must start
+/// exactly where the previous lexeme ended and its text must be
+/// literally the input bytes its span points at; [`LexCertifier::finish`]
+/// closes the invariant by demanding the cursor reached the end of the
+/// input. Membership re-matches each lexeme against its rule's regex on
+/// a memoized derivative matcher, with verdicts cached per
+/// `(rule, lexeme)` so repeated lexemes (operators, short numerals)
+/// certify in O(1).
+#[derive(Debug, Clone)]
+pub struct LexCertifier {
+    auto: LexAutomaton,
+    matchers: Arc<Vec<LazyDerivMatcher>>,
+    /// Where the next token must start: the running tiling invariant.
+    cursor: usize,
+    /// How many tokens have been checked (for error messages).
+    index: usize,
+    /// The lexer-wide verdict cache: one map per rule keyed by lexeme
+    /// text — split per rule so lookups borrow `&str` with no
+    /// allocation. Shared across certifiers (membership is
+    /// deterministic), so in steady state a token certifies with one
+    /// uncontended lock and one hash lookup.
+    verdicts: Arc<Vec<Mutex<FnvMap<String, bool>>>>,
+}
+
+impl LexCertifier {
+    /// Certifies the next emitted token against `input`, advancing the
+    /// tiling cursor. `input` must be the same string (or a growing
+    /// extension of it) on every call.
+    ///
+    /// # Errors
+    ///
+    /// [`LexCertifyError`] describing the first violated obligation;
+    /// the messages match [`CertifiedLexer::certify`]'s.
+    pub fn check(&mut self, input: &str, t: &Token) -> Result<(), LexCertifyError> {
+        let spec = self.auto.spec();
+        let i = self.index;
+        let err = |message: String| Err(LexCertifyError { message });
+        if t.span.start != self.cursor {
+            return err(format!(
+                "token {i} starts at byte {} but the previous lexeme ended at {}",
+                t.span.start, self.cursor
+            ));
+        }
+        match input.get(t.span.start..t.span.end) {
+            Some(slice) if slice == t.text => {}
+            _ => {
+                return err(format!(
+                    "token {i} claims {:?} at {} but the input disagrees",
+                    t.text, t.span
+                ))
+            }
+        }
+        let Some(rule) = spec.rules().get(t.rule) else {
+            return err(format!("token {i} references unknown rule {}", t.rule));
+        };
+        if t.sym != spec.token_symbol(t.rule) {
+            return err(format!(
+                "token {i} carries the wrong token-alphabet symbol for rule {:?}",
+                rule.name
+            ));
+        }
+        let cached = {
+            let verdicts = self.verdicts[t.rule]
+                .lock()
+                .expect("verdict cache poisoned");
+            verdicts.get(t.text.as_str()).copied()
+        };
+        let ok = cached.unwrap_or_else(|| {
+            // Compute outside the lock: the matcher memoizes its own
+            // derivative states behind its own lock.
+            let ok = spec
+                .alphabet()
+                .parse_str(&t.text)
+                .is_some_and(|w| self.matchers[t.rule].matches(&w));
+            self.verdicts[t.rule]
+                .lock()
+                .expect("verdict cache poisoned")
+                .insert(t.text.clone(), ok);
+            ok
+        });
+        if !ok {
+            return err(format!(
+                "token {i} lexeme {:?} is not in rule {:?} (derivative re-match failed)",
+                t.text, rule.name
+            ));
+        }
+        self.cursor = t.span.end;
+        self.index += 1;
+        Ok(())
+    }
+
+    /// Closes the tiling invariant: the checked lexemes must cover the
+    /// whole of `input`.
+    ///
+    /// # Errors
+    ///
+    /// [`LexCertifyError`] if bytes remain past the last lexeme.
+    pub fn finish(&self, input: &str) -> Result<(), LexCertifyError> {
+        if self.cursor != input.len() {
+            return Err(LexCertifyError {
+                message: format!(
+                    "lexemes cover only {} of {} input bytes",
+                    self.cursor,
+                    input.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// How many tokens have been certified so far.
+    pub fn checked(&self) -> usize {
+        self.index
+    }
+
+    /// The tiling cursor: the byte offset the next token must start at.
+    pub fn cursor(&self) -> usize {
+        self.cursor
     }
 }
 

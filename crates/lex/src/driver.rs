@@ -100,8 +100,8 @@ pub struct TokenStream {
 impl TokenStream {
     /// Assembles a stream from a token list (precomputing the yield).
     pub fn from_tokens(tokens: Vec<Token>) -> TokenStream {
-        let mut yield_string = GString::new();
-        let mut yield_spans = Vec::new();
+        let mut yield_string = GString::with_capacity(tokens.len());
+        let mut yield_spans = Vec::with_capacity(tokens.len());
         for t in &tokens {
             if let Some(sym) = t.sym {
                 yield_string.push(sym);
@@ -153,50 +153,21 @@ impl LexAutomaton {
     ///
     /// [`LexError`] at the byte offset where no rule matches.
     pub fn lex_raw(&self, input: &str) -> Result<Vec<Token>, LexError> {
-        let core = self.core();
-        let dfa = &core.dfa;
-        let spec = &core.spec;
-        let sigma = spec.alphabet();
-        let chars: Vec<(usize, char)> = input.char_indices().collect();
-        let mut tokens = Vec::new();
-        let mut start = 0usize; // index into `chars`
-        while start < chars.len() {
-            let mut state = dfa.init();
-            let mut last: Option<(usize, usize)> = None; // (rule, end char index)
-            let mut i = start;
-            while i < chars.len() {
-                let Some(sym) = sigma.symbol_of_char(chars[i].1) else {
-                    break;
-                };
-                state = dfa.delta(state, sym);
-                if !core.live[state] {
-                    break;
-                }
-                i += 1;
-                if let Some(rule) = dfa.accept_tag(state) {
-                    last = Some((rule, i));
-                }
-            }
-            let Some((rule, end)) = last else {
-                return Err(LexError {
-                    at: chars[start].0,
-                    found: chars[start].1,
-                });
-            };
-            let byte_start = chars[start].0;
-            let byte_end = chars.get(end).map_or(input.len(), |&(b, _)| b);
-            tokens.push(Token {
-                rule,
-                text: input[byte_start..byte_end].to_owned(),
-                span: Span {
-                    start: byte_start,
-                    end: byte_end,
-                },
-                sym: spec.token_symbol(rule),
-            });
-            start = end;
+        self.lexemes(input).collect()
+    }
+
+    /// Lexes `input` lazily, one maximal-munch lexeme per `next` call —
+    /// the pull-mode form of [`LexAutomaton::lex_raw`]. The fused
+    /// engine paths consume this to certify and parse each token as it
+    /// is produced, without ever materializing the whole token list.
+    /// After the first `Err` the iterator is exhausted.
+    pub fn lexemes<'a>(&'a self, input: &'a str) -> Lexemes<'a> {
+        Lexemes {
+            core: self.core(),
+            input,
+            pos: 0,
+            dead: false,
         }
-        Ok(tokens)
     }
 
     /// Opens a push-mode lexer stream over this automaton.
@@ -206,6 +177,128 @@ impl LexAutomaton {
             munch: Munch::new(self.dfa().init()),
             input: String::new(),
             dead: None,
+            sabotage: None,
+            emitted: 0,
+        }
+    }
+}
+
+/// A lazy maximal-munch pass over a borrowed input: each `next` runs the
+/// tagged DFA from the current byte cursor to the next last-accept
+/// boundary and yields that lexeme (see [`LexAutomaton::lexemes`]).
+#[derive(Debug)]
+pub struct Lexemes<'a> {
+    core: &'a LexCore,
+    input: &'a str,
+    /// Byte offset of the next token start.
+    pos: usize,
+    dead: bool,
+}
+
+impl Iterator for Lexemes<'_> {
+    type Item = Result<Token, LexError>;
+
+    fn next(&mut self) -> Option<Result<Token, LexError>> {
+        if self.dead || self.pos >= self.input.len() {
+            return None;
+        }
+        let core = self.core;
+        let sigma = core.spec.alphabet();
+        let mut state = core.dfa.init();
+        let mut last: Option<(usize, usize)> = None; // (rule, byte end)
+        let mut first: Option<char> = None;
+        for (off, ch) in self.input[self.pos..].char_indices() {
+            if first.is_none() {
+                first = Some(ch);
+            }
+            let Some(sym) = sigma.symbol_of_char(ch) else {
+                break;
+            };
+            let next = core.dfa.delta(state, sym);
+            if !core.live[next] {
+                break;
+            }
+            state = next;
+            if let Some(rule) = core.dfa.accept_tag(state) {
+                last = Some((rule, self.pos + off + ch.len_utf8()));
+            }
+        }
+        match last {
+            None => {
+                self.dead = true;
+                Some(Err(LexError {
+                    at: self.pos,
+                    found: first.expect("a non-empty remainder has a first char"),
+                }))
+            }
+            Some((rule, end)) => {
+                let span = Span {
+                    start: self.pos,
+                    end,
+                };
+                let text = self.input[self.pos..end].to_owned();
+                self.pos = end;
+                Some(Ok(Token {
+                    rule,
+                    text,
+                    span,
+                    sym: core.spec.token_symbol(rule),
+                }))
+            }
+        }
+    }
+}
+
+/// Test-only fault injection for the push-mode lexer: corrupts exactly
+/// one emitted token so the adversarial suites can prove the
+/// incremental certifier notices *at that token*. Hidden from docs;
+/// never constructed by production code. Probes
+/// ([`LexStream::pending_flush`]) are unaffected — only tokens actually
+/// emitted by `push`/`finish` count.
+#[doc(hidden)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SabotageLex {
+    /// Shift the `token`th emitted token's span one byte right.
+    ShiftSpan {
+        /// Which emitted token (0-based, skips included) to corrupt.
+        token: usize,
+    },
+    /// Rewrite the `token`th emitted token's text.
+    WrongText {
+        /// Which emitted token to corrupt.
+        token: usize,
+        /// The bogus lexeme text.
+        text: String,
+    },
+    /// Rewrite the `token`th emitted token's rule index.
+    WrongRule {
+        /// Which emitted token to corrupt.
+        token: usize,
+        /// The bogus rule index.
+        rule: usize,
+    },
+}
+
+impl SabotageLex {
+    /// Applies the corruption to the freshly emitted `out` tokens,
+    /// advancing the emission counter.
+    fn apply(this: &Option<SabotageLex>, emitted: &mut usize, out: &mut [Token]) {
+        for t in out.iter_mut() {
+            let i = *emitted;
+            *emitted += 1;
+            match this {
+                Some(SabotageLex::ShiftSpan { token }) if *token == i => {
+                    t.span.start += 1;
+                    t.span.end += 1;
+                }
+                Some(SabotageLex::WrongText { token, text }) if *token == i => {
+                    t.text = text.clone();
+                }
+                Some(SabotageLex::WrongRule { token, rule }) if *token == i => {
+                    t.rule = *rule;
+                }
+                _ => {}
+            }
         }
     }
 }
@@ -350,6 +443,11 @@ pub struct LexStream {
     input: String,
     /// The first lexical error; later pushes keep reporting it.
     dead: Option<LexError>,
+    /// Test-only fault injection (see [`SabotageLex`]).
+    sabotage: Option<SabotageLex>,
+    /// How many tokens `push`/`finish` have emitted so far (probes via
+    /// [`LexStream::pending_flush`] do not count).
+    emitted: usize,
 }
 
 impl LexStream {
@@ -395,7 +493,10 @@ impl LexStream {
         let mut out = Vec::new();
         let mut queue = VecDeque::from([c]);
         match self.munch.drain(&self.core, &mut queue, &mut out) {
-            Ok(()) => Ok(out),
+            Ok(()) => {
+                SabotageLex::apply(&self.sabotage, &mut self.emitted, &mut out);
+                Ok(out)
+            }
             Err(e) => {
                 self.dead = Some(e.clone());
                 Err(e)
@@ -429,7 +530,15 @@ impl LexStream {
         }
         let mut out = Vec::new();
         self.munch.flush(&self.core, &mut out)?;
+        SabotageLex::apply(&self.sabotage, &mut self.emitted, &mut out);
         Ok(out)
+    }
+
+    /// Injects a one-token fault into the emitted stream (test-only;
+    /// see [`SabotageLex`]).
+    #[doc(hidden)]
+    pub fn sabotage(&mut self, s: SabotageLex) {
+        self.sabotage = Some(s);
     }
 
     /// What [`LexStream::finish`] *would* emit for the buffered

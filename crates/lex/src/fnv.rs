@@ -1,0 +1,36 @@
+//! A minimal FNV-1a hasher for the certifier's verdict caches.
+//!
+//! The incremental certifier hashes one short lexeme per emitted token;
+//! SipHash's keyed setup dominates at those lengths. FNV-1a is a few
+//! multiplies for a short string and needs no per-map key material. Not
+//! DoS-hardened — fine here, because the keys are lexemes the trusted
+//! driver just produced, not attacker-chosen map insertions.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The classic 64-bit FNV-1a streaming hash.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// A `HashMap` keyed with [`Fnv1a`].
+pub(crate) type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv1a>>;

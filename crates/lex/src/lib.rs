@@ -16,7 +16,13 @@
 //! intrinsic-verification contract at the new subsystem boundary: every
 //! emitted [`TokenStream`] is re-validated — lexeme spans must tile the
 //! raw input exactly, and each lexeme is independently re-matched
-//! against its rule's regex by the Brzozowski-derivative checker. The
+//! against its rule's regex by the Brzozowski-derivative checker. Since
+//! PR 6 the re-validation is *incremental*: a [`LexCertifier`] carries
+//! the tiling cursor as a running invariant and discharges membership
+//! per token on memoized derivative matchers, so certification costs
+//! O(lexeme) amortized at each munch boundary instead of a second
+//! whole-input pass (`lex_full` keeps the old pass as the differential
+//! reference). The
 //! certified token-level `GString` then flows into the workspace's
 //! certified CFG backends (LR or Earley), giving raw-text → certified
 //! parse tree end to end; `lambek-engine` packages that composition as
@@ -49,9 +55,10 @@ pub mod certified;
 pub mod compile;
 pub mod demo;
 pub mod driver;
+mod fnv;
 pub mod spec;
 
-pub use certified::{CertifiedLexer, LexCertifyError, LexedOutcome};
+pub use certified::{CertifiedLexer, LexCertifier, LexCertifyError, LexedOutcome};
 pub use compile::LexAutomaton;
-pub use driver::{LexError, LexStream, Span, Token, TokenStream};
+pub use driver::{LexError, LexStream, Lexemes, SabotageLex, Span, Token, TokenStream};
 pub use spec::{LexRule, LexSpec, LexSpecBuilder, SpecError};

@@ -1,16 +1,26 @@
 //! The certified wrapper: every tree that leaves the LR subsystem is
-//! re-validated by the core derivation checker.
+//! checked against the grammar before it escapes.
 //!
 //! The LR driver is fast *extrinsically* verified code: nothing about
 //! the dense tables guarantees by construction that the trees it builds
 //! are parses of the input. [`CertifiedLrParser`] restores the paper's
-//! intrinsic-verification contract at the subsystem boundary: each
-//! accepted tree is checked against the grammar's μ-regular encoding
-//! *and* the actual input string by
-//! [`validate`](lambek_core::grammar::parse_tree::validate) before it is
-//! returned — exactly the check a `VerifiedParser` performs on its
-//! transformer output. A driver bug therefore cannot leak an invalid
-//! tree; it surfaces as a [`CertifyError`].
+//! intrinsic-verification contract at the subsystem boundary —
+//! **incrementally**: every shift and every reduction is certified as it
+//! happens, by comparing interned grammar ids ([`CertTables`] built once
+//! at compile time) in O(1) per step. The per-step checks maintain the
+//! invariant that each stack tree `check_shape`s against its claimed
+//! grammar and yields exactly the input slice it covers, so an accepted
+//! tree satisfies the whole-tree
+//! [`validate`](lambek_core::grammar::parse_tree::validate) contract
+//! without ever being re-walked. A driver bug therefore cannot leak an
+//! invalid tree; it surfaces as a [`CertifyError`] *at the offending
+//! step*.
+//!
+//! The pre-incremental path — run the driver blind, then `validate` the
+//! whole tree at the end — is retained behind
+//! [`CertifiedLrParser::parse_full`] and
+//! [`CertifiedLrParser::stream_full`]; the differential property suite
+//! asserts the two paths accept and reject identically.
 
 use std::fmt;
 use std::sync::Arc;
@@ -20,14 +30,17 @@ use lambek_core::alphabet::{GString, Symbol};
 use lambek_core::grammar::expr::Grammar;
 use lambek_core::grammar::parse_tree::{validate, ParseTree, ValidateError};
 
-use crate::driver::{parse_tree, recognize_states, would_accept_states, Machine, Step};
+use crate::driver::{
+    parse_tree, recognize_states, would_accept_after_states, would_accept_states, CertTables,
+    Machine, SabotageLr, Step,
+};
 use crate::table::{LrConflictReport, LrTable};
 
 /// The outcome of a certified LR parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LrOutcome {
-    /// The input is in the grammar; the tree has been re-validated
-    /// against the μ-regular grammar and the input string.
+    /// The input is in the grammar; the tree has been certified against
+    /// the μ-regular grammar and the input string.
     Accept(ParseTree),
     /// The input is not in the grammar; the report says where the driver
     /// stopped and what it expected.
@@ -50,12 +63,12 @@ impl LrOutcome {
 }
 
 /// A violation of the certification contract: the driver produced a tree
-/// the core validator refused. This never happens for a correctly built
+/// step the checker refused. This never happens for a correctly built
 /// table; it is surfaced (rather than panicking) so callers can treat it
 /// as an internal error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CertifyError {
-    /// The validator's verdict on the offending tree.
+    /// The checker's verdict on the offending tree (step).
     pub cause: ValidateError,
 }
 
@@ -68,22 +81,25 @@ impl fmt::Display for CertifyError {
 impl std::error::Error for CertifyError {}
 
 /// The shared immutable heart of a compiled LR parser: the grammar (in
-/// both representations) and its dense tables. One allocation, shared by
+/// both representations), its dense tables, and the interned-id tables
+/// the incremental certifier compares against. One allocation, shared by
 /// the parser and every stream opened from it.
 #[derive(Debug)]
 struct LrCore {
     cfg: Cfg,
     grammar: Grammar,
     table: LrTable,
+    cert: CertTables,
 }
 
-/// A linear-time LR(1)/LALR parser whose every output tree is re-checked
-/// by the core derivation validator.
+/// A linear-time LR(1)/LALR parser whose every output tree is certified
+/// against the grammar — incrementally, one interned-id comparison per
+/// shift and per reduction.
 ///
 /// Construction rejects grammars with unresolvable conflicts
 /// ([`LrConflictReport`] points at the offending item sets); parsing is
-/// a table-driven shift-reduce run plus one validation pass over the
-/// produced tree. Cloning is cheap (`Arc`-shared core), and the parser
+/// a table-driven shift-reduce run with the certification checks fused
+/// into each step. Cloning is cheap (`Arc`-shared core), and the parser
 /// is `Send + Sync`, so one compiled instance can serve many threads.
 ///
 /// # Examples
@@ -106,7 +122,8 @@ pub struct CertifiedLrParser {
 
 impl CertifiedLrParser {
     /// Builds the LALR(1) tables for `cfg` and wraps them with the
-    /// certification layer.
+    /// certification layer (including the interned-id tables the
+    /// incremental checks compare against).
     ///
     /// # Errors
     ///
@@ -114,11 +131,13 @@ impl CertifiedLrParser {
     /// LALR(1) — callers typically fall back to Earley.
     pub fn compile(cfg: &Cfg) -> Result<CertifiedLrParser, LrConflictReport> {
         let table = LrTable::build(cfg)?;
+        let cert = CertTables::build(&table, cfg);
         Ok(CertifiedLrParser {
             core: Arc::new(LrCore {
                 grammar: cfg.to_lambek(),
                 cfg: cfg.clone(),
                 table,
+                cert,
             }),
         })
     }
@@ -128,7 +147,7 @@ impl CertifiedLrParser {
         &self.core.cfg
     }
 
-    /// The μ-regular encoding trees are validated against.
+    /// The μ-regular encoding trees are certified against.
     pub fn grammar(&self) -> &Grammar {
         &self.core.grammar
     }
@@ -144,31 +163,79 @@ impl CertifiedLrParser {
         recognize_states(&self.core.table, w)
     }
 
-    /// Parses `w`: a linear shift-reduce run, then the certification
-    /// check on the produced tree.
+    /// Parses `w`: a linear shift-reduce run with every step certified
+    /// as it happens. The accepted tree needs no whole-tree validation —
+    /// the per-step checks compose to exactly that contract.
     ///
     /// # Errors
     ///
-    /// [`CertifyError`] if the driver produced a tree the core validator
-    /// rejects — impossible for a correctly constructed table, surfaced
-    /// instead of trusted.
+    /// [`CertifyError`] if the driver produced a step the incremental
+    /// checker rejects — impossible for a correctly constructed table,
+    /// surfaced instead of trusted.
     pub fn parse(&self, w: &GString) -> Result<LrOutcome, CertifyError> {
-        match parse_tree(&self.core.table, &self.core.cfg, w) {
-            Ok(tree) => {
-                validate(&tree, &self.core.grammar, w).map_err(|cause| CertifyError { cause })?;
-                Ok(LrOutcome::Accept(tree))
-            }
-            Err(reject) => Ok(LrOutcome::Reject(reject)),
+        match parse_tree(&self.core.table, &self.core.cfg, Some(&self.core.cert), w) {
+            Ok(Ok(tree)) => Ok(LrOutcome::Accept(tree)),
+            Ok(Err(reject)) => Ok(LrOutcome::Reject(reject)),
+            Err(cause) => Err(CertifyError { cause }),
         }
     }
 
-    /// Opens a push-mode stream over this parser.
+    /// The `full_validate` path: runs the driver blind and re-validates
+    /// the whole tree at the end, exactly as the subsystem worked before
+    /// incremental certification. Kept so the differential harness can
+    /// assert incremental ≡ full on every input.
+    ///
+    /// # Errors
+    ///
+    /// [`CertifyError`] under the same (driver-bug) conditions as
+    /// [`CertifiedLrParser::parse`].
+    pub fn parse_full(&self, w: &GString) -> Result<LrOutcome, CertifyError> {
+        match parse_tree(&self.core.table, &self.core.cfg, None, w) {
+            Ok(Ok(tree)) => {
+                validate(&tree, &self.core.grammar, w).map_err(|cause| CertifyError { cause })?;
+                Ok(LrOutcome::Accept(tree))
+            }
+            Ok(Err(reject)) => Ok(LrOutcome::Reject(reject)),
+            Err(_) => unreachable!("the uncertified driver never faults"),
+        }
+    }
+
+    /// The uncertified baseline: the same shift-reduce run and tree
+    /// construction with *no* certification at all — no per-step claims,
+    /// no whole-tree validation. Exists only so the benches can separate
+    /// the cost of materializing the derivation tree (inherent to any
+    /// tree-producing parse) from the cost of certifying it.
+    #[doc(hidden)]
+    pub fn parse_unchecked(&self, w: &GString) -> LrOutcome {
+        match parse_tree(&self.core.table, &self.core.cfg, None, w) {
+            Ok(Ok(tree)) => LrOutcome::Accept(tree),
+            Ok(Err(reject)) => LrOutcome::Reject(reject),
+            Err(_) => unreachable!("the uncertified driver never faults"),
+        }
+    }
+
+    /// Opens a push-mode stream over this parser, with incremental
+    /// certification: each push is checked as it happens and
+    /// [`LrStream::finish`] performs no whole-tree validation.
     pub fn stream(&self) -> LrStream {
         LrStream {
             core: self.core.clone(),
             machine: Machine::new(),
             input: GString::new(),
             dead: None,
+            fault: None,
+            full_validate: false,
+        }
+    }
+
+    /// Opens a stream on the `full_validate` path: pushes run the driver
+    /// blind and [`LrStream::finish`] re-validates the whole tree, as
+    /// before incremental certification. Kept for the differential
+    /// harness.
+    pub fn stream_full(&self) -> LrStream {
+        LrStream {
+            full_validate: true,
+            ..self.stream()
         }
     }
 }
@@ -178,7 +245,8 @@ impl CertifiedLrParser {
 /// the dense tables.
 ///
 /// The partial parse trees of the viable prefix live on the stream's
-/// stack, so [`LrStream::finish`] completes in time proportional to the
+/// stack, each already certified against its claimed grammar, so
+/// [`LrStream::finish`] completes in time proportional to the
 /// *remaining* reductions, not the whole input. Acceptance probes
 /// ([`LrStream::would_accept`]) simulate the end-of-input reductions
 /// over a scratch copy of the state stack without disturbing the parse.
@@ -189,6 +257,11 @@ pub struct LrStream {
     input: GString,
     /// Set at the first rejected symbol; later pushes are ignored.
     dead: Option<crate::driver::LrReject>,
+    /// Set at the first certification fault; later pushes are ignored.
+    fault: Option<CertifyError>,
+    /// `true` runs the pre-incremental path: no per-step checks, one
+    /// whole-tree `validate` at `finish`.
+    full_validate: bool,
 }
 
 impl LrStream {
@@ -196,13 +269,12 @@ impl LrStream {
     /// has stopped being a viable prefix (the stream stays usable; it
     /// just remembers the rejection for [`LrStream::finish`]).
     pub fn push(&mut self, sym: Symbol) -> bool {
-        if self.dead.is_some() {
+        if self.dead.is_some() || self.fault.is_some() {
             self.input.push(sym);
             return false;
         }
-        let step = self
-            .machine
-            .feed(&self.core.table, &self.core.cfg, Some(sym));
+        let cert = (!self.full_validate).then_some(&self.core.cert);
+        let step = self.machine.feed(&self.core.table, cert, Some(sym));
         match step {
             Step::Shifted => {
                 self.input.push(sym);
@@ -214,6 +286,11 @@ impl LrStream {
                     state,
                     expected: self.core.table.expected_in(&self.core.cfg, state),
                 });
+                self.input.push(sym);
+                false
+            }
+            Step::Faulted(cause) => {
+                self.fault = Some(CertifyError { cause });
                 self.input.push(sym);
                 false
             }
@@ -250,33 +327,88 @@ impl LrStream {
     }
 
     /// `true` while the consumed input is still a viable prefix of some
-    /// sentence.
+    /// sentence (and no certification fault has been recorded).
     pub fn is_viable(&self) -> bool {
-        self.dead.is_none()
+        self.dead.is_none() && self.fault.is_none()
+    }
+
+    /// The first certification fault, if the incremental checker caught
+    /// one mid-stream. `None` for honest drivers.
+    pub fn fault(&self) -> Option<&CertifyError> {
+        self.fault.as_ref()
     }
 
     /// Whether the input so far would be accepted if the stream ended
     /// here — an end-of-input simulation over a scratch state stack,
     /// without building trees or disturbing the parse.
     pub fn would_accept(&self) -> bool {
-        self.dead.is_none() && would_accept_states(&self.core.table, self.machine.states())
+        self.is_viable() && would_accept_states(&self.core.table, self.machine.states())
     }
 
-    /// Ends the stream: runs the remaining reductions, then certifies
-    /// the tree against the grammar and the accumulated input.
+    /// Like [`LrStream::would_accept`], but as if the terminals in
+    /// `extra` were pushed first. The probe simulates over a scratch
+    /// overlay of the state stack — O(stack depth + pending reductions)
+    /// per call, never a clone of the stream or its input.
+    pub fn would_accept_after<I>(&self, extra: I) -> bool
+    where
+        I: IntoIterator<Item = Symbol>,
+    {
+        self.would_accept_after_counted(extra).0
+    }
+
+    /// [`LrStream::would_accept_after`] plus the number of table actions
+    /// the probe simulated — exposed so regression tests can pin the
+    /// probe's cost to O(stack depth), not O(input).
+    #[doc(hidden)]
+    pub fn would_accept_after_counted<I>(&self, extra: I) -> (bool, usize)
+    where
+        I: IntoIterator<Item = Symbol>,
+    {
+        if !self.is_viable() {
+            return (false, 0);
+        }
+        let extra: Vec<Symbol> = extra.into_iter().collect();
+        would_accept_after_states(&self.core.table, self.machine.states(), &extra)
+    }
+
+    /// Installs a fault injection on the underlying machine (test-only;
+    /// see [`SabotageLr`]). The adversarial suites use this to prove the
+    /// incremental checker catches a corrupted step *at that step*.
+    #[doc(hidden)]
+    pub fn sabotage(&mut self, s: SabotageLr) {
+        self.machine.set_sabotage(s);
+    }
+
+    /// `(shifts, reduces)` the machine has performed so far — the step
+    /// counters [`SabotageLr`] indices refer to (test-only).
+    #[doc(hidden)]
+    pub fn step_counts(&self) -> (usize, usize) {
+        self.machine.step_counts()
+    }
+
+    /// Ends the stream: runs the remaining reductions. On the
+    /// incremental path the resulting tree is already certified — the
+    /// per-step checks compose to the whole-tree contract; on the
+    /// `full_validate` path the tree is re-validated here.
     ///
     /// # Errors
     ///
     /// [`CertifyError`] under the same (driver-bug) conditions as
     /// [`CertifiedLrParser::parse`].
     pub fn finish(mut self) -> Result<LrOutcome, CertifyError> {
+        if let Some(fault) = self.fault {
+            return Err(fault);
+        }
         if let Some(reject) = self.dead {
             return Ok(LrOutcome::Reject(reject));
         }
-        match self.machine.feed(&self.core.table, &self.core.cfg, None) {
+        let cert = (!self.full_validate).then_some(&self.core.cert);
+        match self.machine.feed(&self.core.table, cert, None) {
             Step::Accepted(tree) => {
-                validate(&tree, &self.core.grammar, &self.input)
-                    .map_err(|cause| CertifyError { cause })?;
+                if self.full_validate {
+                    validate(&tree, &self.core.grammar, &self.input)
+                        .map_err(|cause| CertifyError { cause })?;
+                }
                 Ok(LrOutcome::Accept(tree))
             }
             Step::Rejected { state } => Ok(LrOutcome::Reject(crate::driver::LrReject {
@@ -284,6 +416,7 @@ impl LrStream {
                 state,
                 expected: self.core.table.expected_in(&self.core.cfg, state),
             })),
+            Step::Faulted(cause) => Err(CertifyError { cause }),
             Step::Shifted => unreachable!("the EOF column never shifts"),
         }
     }

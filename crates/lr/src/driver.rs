@@ -17,11 +17,110 @@
 
 use std::fmt;
 
-use lambek_cfg::grammar::Cfg;
+use lambek_cfg::grammar::{Cfg, GSym};
 use lambek_core::alphabet::{GString, Symbol};
-use lambek_core::grammar::parse_tree::ParseTree;
+use lambek_core::grammar::expr::{chr, var};
+use lambek_core::grammar::parse_tree::{ParseTree, ValidateError};
+use lambek_core::intern::{self, GrammarId};
 
 use crate::table::{Action, LrTable};
+
+/// Precomputed interned-id tables for incremental certification: one
+/// grammar id per terminal (`'c'`), one per nonterminal (`var n`), and
+/// the expected child-id sequence of every table production. All built
+/// once at compile time through the interner, so the per-step checks are
+/// integer comparisons — no interner lock, no grammar traversal.
+#[derive(Debug)]
+pub(crate) struct CertTables {
+    /// `grammar_id(chr(c))` per alphabet symbol.
+    chr_ids: Vec<GrammarId>,
+    /// `grammar_id(var(n))` per nonterminal.
+    var_ids: Vec<GrammarId>,
+    /// Per table production `p`, the ids its RHS symbols must claim
+    /// (index 0, the synthetic `S' → S`, is unused).
+    rhs_ids: Vec<Vec<GrammarId>>,
+    /// The claim of a completed start symbol.
+    start_id: GrammarId,
+}
+
+impl CertTables {
+    pub(crate) fn build(table: &LrTable, cfg: &Cfg) -> CertTables {
+        let chr_ids: Vec<GrammarId> = cfg
+            .alphabet()
+            .symbols()
+            .map(|s| intern::grammar_id(&chr(s)))
+            .collect();
+        let var_ids: Vec<GrammarId> = (0..cfg.num_nonterminals())
+            .map(|n| intern::grammar_id(&var(n)))
+            .collect();
+        let mut rhs_ids = vec![Vec::new()];
+        for p in 1..table.num_productions() {
+            let pr = table.production(p);
+            let rhs = &cfg.alternatives(pr.nt)[pr.alt].rhs;
+            rhs_ids.push(
+                rhs.iter()
+                    .map(|g| match g {
+                        GSym::T(c) => chr_ids[c.index()],
+                        GSym::N(n) => var_ids[*n],
+                    })
+                    .collect(),
+            );
+        }
+        let start_id = var_ids[cfg.start()];
+        CertTables {
+            chr_ids,
+            var_ids,
+            rhs_ids,
+            start_id,
+        }
+    }
+}
+
+/// Renders a claim sequence for fault reports.
+fn render_claims(ids: &[GrammarId]) -> String {
+    let parts: Vec<String> = ids
+        .iter()
+        .map(|id| intern::grammar(*id).to_string())
+        .collect();
+    if parts.is_empty() {
+        "ε".to_owned()
+    } else {
+        parts.join(" ⊗ ")
+    }
+}
+
+/// Test-only fault injection for the LR machine: corrupts exactly one
+/// step of the run so the adversarial suites can prove the incremental
+/// certifier notices *at that step*. Hidden from docs; never constructed
+/// by production code.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SabotageLr {
+    /// At the `shift`th shift (0-based), push a leaf carrying `sym`
+    /// instead of the input symbol.
+    ShiftLeaf {
+        /// Which shift to corrupt.
+        shift: usize,
+        /// The bogus leaf symbol.
+        sym: Symbol,
+    },
+    /// At the `reduce`th reduction, behave as if the table had said
+    /// `production` (pop its RHS length, build its derivation).
+    ReduceAs {
+        /// Which reduction to corrupt.
+        reduce: usize,
+        /// The table production to substitute.
+        production: usize,
+    },
+    /// At the `reduce`th reduction, corrupt the emitted tree's injection
+    /// tag to `tag` after building it.
+    ReduceTag {
+        /// Which reduction to corrupt.
+        reduce: usize,
+        /// The bogus alternative index.
+        tag: usize,
+    },
+}
 
 /// Why the driver rejected an input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,6 +247,13 @@ pub(crate) fn recognize_states(table: &LrTable, w: &GString) -> bool {
 pub(crate) struct Machine {
     states: Vec<u32>,
     trees: Vec<ParseTree>,
+    /// One interned grammar id per tree on the stack: the grammar that
+    /// tree is claimed (and, inductively, checked) to parse. Maintained
+    /// only when `feed` runs with certification tables.
+    claims: Vec<GrammarId>,
+    sabotage: Option<SabotageLr>,
+    shifts_done: usize,
+    reduces_done: usize,
 }
 
 /// What one [`Machine::feed`] call ended with.
@@ -158,6 +264,10 @@ pub(crate) enum Step {
     Accepted(ParseTree),
     /// No action: the state had nothing for this terminal.
     Rejected { state: usize },
+    /// The incremental certifier caught the driver emitting a tree step
+    /// that does not match the grammar — the certification analogue of
+    /// a failed whole-tree `validate`.
+    Faulted(ValidateError),
 }
 
 impl Machine {
@@ -172,7 +282,22 @@ impl Machine {
         Machine {
             states,
             trees: Vec::with_capacity(n + 1),
+            claims: Vec::new(),
+            sabotage: None,
+            shifts_done: 0,
+            reduces_done: 0,
         }
+    }
+
+    /// Installs a fault injection (test-only; see [`SabotageLr`]).
+    pub(crate) fn set_sabotage(&mut self, s: SabotageLr) {
+        self.sabotage = Some(s);
+    }
+
+    /// `(shifts, reduces)` performed so far — the step counters the
+    /// sabotage indices refer to.
+    pub(crate) fn step_counts(&self) -> (usize, usize) {
+        (self.shifts_done, self.reduces_done)
     }
 
     /// Current parse-stack depth (states minus the bottom marker) — the
@@ -194,7 +319,22 @@ impl Machine {
     /// Feeds one input symbol (`None` = end of input): reduces until the
     /// table shifts, accepts or errors. Symbols outside the grammar's
     /// alphabet are rejected up front (see [`term_column`]).
-    pub(crate) fn feed(&mut self, table: &LrTable, cfg: &Cfg, sym: Option<Symbol>) -> Step {
+    ///
+    /// With `cert` tables, every step is certified as it happens: a
+    /// shifted leaf must be the input symbol, a reduction's popped
+    /// children must claim exactly the production's RHS ids, the emitted
+    /// node must carry the production's injection tag, and the accepted
+    /// stack must be a lone start-symbol claim. Each check is O(1) in
+    /// interned-id comparisons, and together they maintain the invariant
+    /// that every stack tree `check_shape`s against its claim and yields
+    /// the input slice it covers — so an `Accepted` tree needs no
+    /// whole-tree `validate`.
+    pub(crate) fn feed(
+        &mut self,
+        table: &LrTable,
+        cert: Option<&CertTables>,
+        sym: Option<Symbol>,
+    ) -> Step {
         let term = match sym {
             Some(s) => match term_column(table, s) {
                 Some(t) => t,
@@ -211,20 +351,56 @@ impl Machine {
             let s = *self.states.last().expect("state stack is never empty") as usize;
             match table.action(s, term) {
                 Action::Shift(t) => {
-                    self.trees
-                        .push(ParseTree::Char(sym.expect("EOF is never shifted")));
+                    let sym = sym.expect("EOF is never shifted");
+                    let mut leaf = ParseTree::Char(sym);
+                    if let Some(SabotageLr::ShiftLeaf { shift, sym: bogus }) = self.sabotage {
+                        if shift == self.shifts_done {
+                            leaf = ParseTree::Char(bogus);
+                        }
+                    }
+                    self.shifts_done += 1;
+                    if let Some(ct) = cert {
+                        if !matches!(leaf, ParseTree::Char(c) if c == sym) {
+                            return Step::Faulted(ValidateError::ShapeMismatch {
+                                expected: intern::grammar(ct.chr_ids[sym.index()]).to_string(),
+                                found: leaf.to_string(),
+                            });
+                        }
+                        self.claims.push(ct.chr_ids[sym.index()]);
+                    }
+                    self.trees.push(leaf);
                     self.states.push(t as u32);
                     return Step::Shifted;
                 }
                 Action::Reduce(p) => {
-                    let prod = table.production(p);
+                    let (p, prod) = match self.sabotage {
+                        Some(SabotageLr::ReduceAs { reduce, production })
+                            if reduce == self.reduces_done =>
+                        {
+                            (production, table.production(production))
+                        }
+                        _ => (p, table.production(p)),
+                    };
                     if prod.rhs_len > self.trees.len() {
                         // An inconsistent table popping past the bottom
                         // marker: degrade to a rejection, not a panic
                         // (same defense as `would_accept_states`).
                         return Step::Rejected { state: s };
                     }
-                    let children = self.trees.split_off(self.trees.len() - prod.rhs_len);
+                    // Build the derivation node in place (right-nested
+                    // tensor, `Unit` for an empty RHS — exactly
+                    // `Cfg::derivation`, minus its temporary children
+                    // vector: reductions are the hot loop).
+                    let body = if prod.rhs_len == 0 {
+                        ParseTree::Unit
+                    } else {
+                        let mut acc = self.trees.pop().expect("rhs_len checked");
+                        for _ in 1..prod.rhs_len {
+                            let t = self.trees.pop().expect("rhs_len checked");
+                            acc = ParseTree::pair(t, acc);
+                        }
+                        acc
+                    };
                     self.states.truncate(self.states.len() - prod.rhs_len);
                     let top = *self
                         .states
@@ -234,7 +410,44 @@ impl Machine {
                     let Some(g) = table.goto(top, prod.nt) else {
                         return Step::Rejected { state: top };
                     };
-                    self.trees.push(cfg.derivation(prod.nt, prod.alt, children));
+                    let mut node = ParseTree::roll(ParseTree::inj(prod.alt, body));
+                    if let Some(SabotageLr::ReduceTag { reduce, tag }) = self.sabotage {
+                        if reduce == self.reduces_done {
+                            if let ParseTree::Roll(inner) = &mut node {
+                                if let ParseTree::Inj { index, .. } = &mut **inner {
+                                    *index = tag;
+                                }
+                            }
+                        }
+                    }
+                    self.reduces_done += 1;
+                    if let Some(ct) = cert {
+                        let expected = &ct.rhs_ids[p];
+                        let popped_from = self.claims.len().checked_sub(expected.len());
+                        let matches_rhs =
+                            popped_from.is_some_and(|k| self.claims[k..] == expected[..]);
+                        if !matches_rhs {
+                            return Step::Faulted(ValidateError::ShapeMismatch {
+                                expected: render_claims(expected),
+                                found: render_claims(&self.claims[popped_from.unwrap_or(0)..]),
+                            });
+                        }
+                        let tag_ok = matches!(
+                            &node,
+                            ParseTree::Roll(inner)
+                                if matches!(&**inner,
+                                    ParseTree::Inj { index, .. } if *index == prod.alt)
+                        );
+                        if !tag_ok {
+                            return Step::Faulted(ValidateError::ShapeMismatch {
+                                expected: intern::grammar(ct.var_ids[prod.nt]).to_string(),
+                                found: node.to_string(),
+                            });
+                        }
+                        self.claims.truncate(popped_from.expect("checked above"));
+                        self.claims.push(ct.var_ids[prod.nt]);
+                    }
+                    self.trees.push(node);
                     self.states.push(g as u32);
                     if fuel == 0 {
                         return Step::Rejected { state: g };
@@ -242,11 +455,22 @@ impl Machine {
                     fuel -= 1;
                 }
                 Action::Accept => {
-                    return Step::Accepted(
-                        self.trees
-                            .pop()
-                            .expect("accept with the start tree on the stack"),
-                    )
+                    let tree = self
+                        .trees
+                        .pop()
+                        .expect("accept with the start tree on the stack");
+                    if let Some(ct) = cert {
+                        let lone_start = self.trees.is_empty()
+                            && self.claims.len() == 1
+                            && self.claims[0] == ct.start_id;
+                        if !lone_start {
+                            return Step::Faulted(ValidateError::ShapeMismatch {
+                                expected: intern::grammar(ct.start_id).to_string(),
+                                found: render_claims(&self.claims),
+                            });
+                        }
+                    }
+                    return Step::Accepted(tree);
                 }
                 Action::Error => return Step::Rejected { state: s },
             }
@@ -255,15 +479,23 @@ impl Machine {
 }
 
 /// Parses `w` end to end, returning the derivation tree (in
-/// [`Cfg::to_lambek`] shape) or a structured rejection.
-pub(crate) fn parse_tree(table: &LrTable, cfg: &Cfg, w: &GString) -> Result<ParseTree, LrReject> {
+/// [`Cfg::to_lambek`] shape) or a structured rejection. With `cert`
+/// tables the run is incrementally certified; the outer `Err` is a
+/// certification fault (never a plain rejection).
+pub(crate) fn parse_tree(
+    table: &LrTable,
+    cfg: &Cfg,
+    cert: Option<&CertTables>,
+    w: &GString,
+) -> Result<Result<ParseTree, LrReject>, ValidateError> {
     let mut m = Machine::with_capacity(w.len());
     for pos in 0..=w.len() {
         let sym = (pos < w.len()).then(|| w[pos]);
-        match m.feed(table, cfg, sym) {
+        match m.feed(table, cert, sym) {
             Step::Shifted => {}
-            Step::Accepted(tree) => return Ok(tree),
-            Step::Rejected { state } => return Err(reject(table, cfg, pos, state)),
+            Step::Accepted(tree) => return Ok(Ok(tree)),
+            Step::Rejected { state } => return Ok(Err(reject(table, cfg, pos, state))),
+            Step::Faulted(cause) => return Err(cause),
         }
     }
     unreachable!("the EOF column only ever accepts or errors")
@@ -273,41 +505,75 @@ pub(crate) fn parse_tree(table: &LrTable, cfg: &Cfg, w: &GString) -> Result<Pars
 /// accept: simulates the EOF reductions over a scratch copy of the state
 /// stack (no trees are built, nothing is mutated).
 pub(crate) fn would_accept_states(table: &LrTable, states: &[u32]) -> bool {
+    would_accept_after_states(table, states, &[]).0
+}
+
+/// Probes whether consuming `extra` pending terminals and then ending
+/// the input would accept, without touching the real stacks. Returns the
+/// verdict plus the number of table actions simulated — the probe's
+/// work, which is O(stack depth + pending) per call, not O(input).
+pub(crate) fn would_accept_after_states(
+    table: &LrTable,
+    states: &[u32],
+    extra: &[Symbol],
+) -> (bool, usize) {
     // Virtual stack over the borrowed slice: `base_len` live entries of
     // `states`, then the `overlay` of states pushed by the simulated
-    // reductions. The probe-per-symbol streaming pattern would otherwise
-    // clone the whole stack on every probe — O(n²) over a stream.
+    // reductions and shifts. The probe-per-symbol streaming pattern
+    // would otherwise clone the whole stack on every probe — O(n²) over
+    // a stream.
     let mut base_len = states.len();
     let mut overlay: Vec<u32> = Vec::new();
     let top = |base_len: usize, overlay: &[u32]| -> usize {
         *overlay.last().unwrap_or(&states[base_len - 1]) as usize
     };
-    let term = table.eof_column();
-    let mut fuel = reduce_fuel(table, states.len());
-    loop {
-        match table.action(top(base_len, &overlay), term) {
-            Action::Accept => return true,
-            Action::Reduce(p) => {
-                let prod = table.production(p);
-                let from_overlay = prod.rhs_len.min(overlay.len());
-                overlay.truncate(overlay.len() - from_overlay);
-                match base_len.checked_sub(prod.rhs_len - from_overlay) {
-                    // Popping the bottom marker (or past it) is
-                    // impossible for a consistent table; answered
-                    // defensively.
-                    None | Some(0) => return false,
-                    Some(nb) => base_len = nb,
-                }
-                let Some(g) = table.goto(top(base_len, &overlay), prod.nt) else {
-                    return false;
-                };
-                overlay.push(g as u32);
-                if fuel == 0 {
-                    return false;
-                }
-                fuel -= 1;
+    let mut steps = 0usize;
+    let mut fuel = reduce_fuel(table, states.len() + extra.len());
+    for k in 0..=extra.len() {
+        let term = if k < extra.len() {
+            match term_column(table, extra[k]) {
+                Some(t) => t,
+                None => return (false, steps),
             }
-            Action::Shift(_) | Action::Error => return false,
+        } else {
+            table.eof_column()
+        };
+        loop {
+            steps += 1;
+            match table.action(top(base_len, &overlay), term) {
+                // Accept lives only in the `$` column, which is only
+                // probed after the pending symbols are consumed.
+                Action::Accept => return (true, steps),
+                Action::Shift(t) => {
+                    if k == extra.len() {
+                        return (false, steps);
+                    }
+                    overlay.push(t as u32);
+                    break;
+                }
+                Action::Reduce(p) => {
+                    let prod = table.production(p);
+                    let from_overlay = prod.rhs_len.min(overlay.len());
+                    overlay.truncate(overlay.len() - from_overlay);
+                    match base_len.checked_sub(prod.rhs_len - from_overlay) {
+                        // Popping the bottom marker (or past it) is
+                        // impossible for a consistent table; answered
+                        // defensively.
+                        None | Some(0) => return (false, steps),
+                        Some(nb) => base_len = nb,
+                    }
+                    let Some(g) = table.goto(top(base_len, &overlay), prod.nt) else {
+                        return (false, steps);
+                    };
+                    overlay.push(g as u32);
+                    if fuel == 0 {
+                        return (false, steps);
+                    }
+                    fuel -= 1;
+                }
+                Action::Error => return (false, steps),
+            }
         }
     }
+    unreachable!("the EOF column only ever accepts or errors")
 }

@@ -16,10 +16,14 @@
 //!   offending item sets (the same notion of "deterministic" the Earley
 //!   baseline's ambiguity reporting uses);
 //! * every tree a [`CertifiedLrParser`] emits — one-shot or via the
-//!   push-mode [`LrStream`] — is re-validated against the grammar's
-//!   μ-regular encoding and the actual input by the core derivation
-//!   checker before it leaves the subsystem, so intrinsic verification
-//!   is preserved end to end.
+//!   push-mode [`LrStream`] — is certified against the grammar's
+//!   μ-regular encoding *incrementally*: each shift and each reduction
+//!   is checked as it happens via interned grammar-id comparisons, and
+//!   the per-step checks compose to the whole-tree `validate` contract
+//!   (kept verbatim behind [`CertifiedLrParser::parse_full`] /
+//!   [`CertifiedLrParser::stream_full`] for the differential suites),
+//!   so intrinsic verification is preserved end to end at O(1) cost per
+//!   step.
 //!
 //! ```
 //! use lambek_automata::lookahead::ArithTokens;
@@ -46,7 +50,7 @@ mod items;
 mod table;
 
 pub use certified::{CertifiedLrParser, CertifyError, LrOutcome, LrStream};
-pub use driver::LrReject;
+pub use driver::{LrReject, SabotageLr};
 pub use table::{Action, ConflictKind, LrConflict, LrConflictReport, LrTable, ProductionRef};
 
 #[cfg(test)]

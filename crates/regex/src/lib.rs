@@ -6,6 +6,8 @@
 //!   concrete-syntax parser;
 //! * [`derivative`] — Brzozowski derivatives, the unverified baseline the
 //!   benchmarks compare against;
+//! * [`lazy`] — the same derivatives with memoized states and
+//!   transitions, fast enough to re-match every lexeme incrementally;
 //! * [`thompson`] — Construction 4.11: regex → NFA with a *strong*
 //!   equivalence between regex parses and accepting traces;
 //! * [`pipeline`] — Corollary 4.12: the composed verified parser
@@ -37,5 +39,6 @@
 pub mod ast;
 pub mod derivative;
 pub mod gen;
+pub mod lazy;
 pub mod pipeline;
 pub mod thompson;
