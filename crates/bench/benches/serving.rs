@@ -1,0 +1,146 @@
+//! Serving-tier headline numbers, emitted as machine-readable JSON
+//! (`BENCH_serving.json` at the repo root):
+//!
+//! * batch throughput on a 4 KiB arith workload, persistent worker
+//!   pool ([`Engine::parse_many_str`]) vs the per-call scoped-thread
+//!   baseline ([`parse_batch_str`]) it replaced — the pool amortizes
+//!   thread spawn/join across batches, so its per-batch time should be
+//!   at or below the baseline;
+//! * cache latency asymmetry: a hit on a resident pipeline vs the
+//!   evict-and-recompile path a thrashing working set pays, plus the
+//!   single-lookup hit latency the cost-weighted policy protects.
+//!
+//! Timing is hand-rolled (median of five samples) like `certify.rs`, so
+//! the binary writes one flat JSON file. `SERVING_SAMPLE_MS` overrides
+//! the per-sample budget (default 20 ms).
+
+use std::time::Instant;
+
+use lambek_engine::{parse_batch_str, CacheConfig, Engine, PipelineSpec};
+use lambek_lex::demo::arith_text;
+
+/// Median seconds-per-iteration over five samples; each sample runs
+/// iterations until the budget elapses.
+fn time<R>(mut f: impl FnMut() -> R) -> f64 {
+    let budget_ms: u128 = std::env::var("SERVING_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    std::hint::black_box(f()); // warm-up
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if start.elapsed().as_millis() >= budget_ms {
+                break;
+            }
+        }
+        samples.push(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn row(pairs: &[(&str, f64)]) -> String {
+    let fields: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v:.9}"))
+        .collect();
+    format!("    {{ {} }}", fields.join(", "))
+}
+
+/// Pool vs scoped-thread batch throughput on 4 KiB arith documents.
+fn pool_section() -> Vec<String> {
+    let engine = Engine::new();
+    let spec = PipelineSpec::arith_lexed();
+    let pipeline = engine.get_or_compile(&spec).expect("arith compiles");
+    let doc = arith_text(4096);
+    let mut rows = Vec::new();
+    for (batch, workers) in [(8usize, 4usize), (32, 4), (32, 8)] {
+        let inputs: Vec<&str> = (0..batch).map(|_| doc.as_str()).collect();
+        let scoped = time(|| parse_batch_str(&pipeline, &inputs, workers).len());
+        let pool = time(|| {
+            engine
+                .parse_many_str(&spec, &inputs, workers)
+                .expect("cached")
+                .len()
+        });
+        let bytes = (batch * doc.len()) as f64;
+        eprintln!(
+            "batch {batch:>3} x 4 KiB, {workers} workers: scoped {scoped:.3e}s  \
+             pool {pool:.3e}s  ({:.2}x, pool {:.1} MiB/s)",
+            pool / scoped,
+            bytes / pool / (1024.0 * 1024.0),
+        );
+        rows.push(row(&[
+            ("batch", batch as f64),
+            ("workers", workers as f64),
+            ("bytes_per_input", doc.len() as f64),
+            ("scoped_s", scoped),
+            ("pool_s", pool),
+            ("pool_over_scoped", pool / scoped),
+            ("pool_bytes_per_s", bytes / pool),
+            ("scoped_bytes_per_s", bytes / scoped),
+        ]));
+    }
+    rows
+}
+
+/// Cache hit latency vs the evict-and-recompile path, under a capacity
+/// deliberately below the working set.
+fn cache_section() -> Vec<String> {
+    // Capacity 2, working set 3: every round-robin lookup beyond the
+    // second evicts the least-credited entry and recompiles.
+    let thrashing = Engine::with_config(CacheConfig {
+        max_entries: 2,
+        max_weight: std::time::Duration::from_secs(3600),
+    });
+    let specs = [
+        PipelineSpec::arith_lexed(),
+        PipelineSpec::json_lexed(),
+        PipelineSpec::expr_cfg(),
+    ];
+    let mut next = 0usize;
+    let recompile = time(|| {
+        let p = thrashing
+            .get_or_compile(&specs[next % 3])
+            .expect("compiles");
+        next += 1;
+        std::sync::Arc::strong_count(&p)
+    });
+
+    let resident = Engine::new();
+    resident.get_or_compile(&specs[0]).expect("compiles");
+    let hit =
+        time(|| std::sync::Arc::strong_count(&resident.get_or_compile(&specs[0]).expect("cached")));
+
+    let stats = thrashing.engine_stats();
+    eprintln!(
+        "cache: hit {hit:.3e}s  evict+recompile {recompile:.3e}s ({:.0}x); \
+         {} evictions, slowest compile {:.3e}s",
+        recompile / hit,
+        stats.evictions,
+        stats.compile_max.as_secs_f64(),
+    );
+    vec![row(&[
+        ("hit_s", hit),
+        ("evict_recompile_s", recompile),
+        ("recompile_over_hit", recompile / hit),
+        ("evictions", stats.evictions as f64),
+        ("compile_max_s", stats.compile_max.as_secs_f64()),
+        ("compile_total_s", stats.compile_total.as_secs_f64()),
+    ])]
+}
+
+fn main() {
+    let pool = pool_section().join(",\n");
+    let cache = cache_section().join(",\n");
+    let json =
+        format!("{{\n  \"pool_vs_scoped\": [\n{pool}\n  ],\n  \"cache\": [\n{cache}\n  ]\n}}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(path, json).expect("write BENCH_serving.json");
+    println!("wrote {path}");
+}

@@ -31,12 +31,80 @@ pub enum ReportOutcome {
     /// The pipeline failed on this input (e.g. it exceeds a truncation
     /// bound); the message is the transformer error.
     Failed(String),
+    /// The input was over the batch's per-request token budget
+    /// ([`RequestLimits::token_budget`]) and was never parsed.
+    BudgetExceeded {
+        /// The budget the request was admitted under.
+        budget: usize,
+        /// The input's actual size (symbols, or bytes for raw text).
+        required: usize,
+    },
+    /// The request's wall-clock deadline ([`RequestLimits::deadline`])
+    /// had already passed when a worker picked it up; it was never
+    /// parsed. Deadlines are checked at request granularity — an
+    /// in-flight parse is not interrupted.
+    DeadlineExceeded,
 }
 
 impl ReportOutcome {
     /// `true` on acceptance.
     pub fn is_accept(&self) -> bool {
         matches!(self, ReportOutcome::Accepted { .. })
+    }
+
+    /// `true` when the request was shed by an admission limit
+    /// (budget or deadline) rather than parsed.
+    pub fn is_shed(&self) -> bool {
+        matches!(
+            self,
+            ReportOutcome::BudgetExceeded { .. } | ReportOutcome::DeadlineExceeded
+        )
+    }
+}
+
+/// Per-request admission limits for a batch (see
+/// [`crate::Engine::parse_many_with`]). Both default to "unlimited";
+/// violations surface as structured report outcomes
+/// ([`ReportOutcome::BudgetExceeded`] /
+/// [`ReportOutcome::DeadlineExceeded`]), never as panics or `Err`s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestLimits {
+    /// Maximum admissible input size per request: symbols for
+    /// [`crate::Engine::parse_many`] batches, raw bytes for
+    /// [`crate::Engine::parse_many_str`] batches (for lexed pipelines
+    /// the byte length bounds the token count from above, so this is a
+    /// sound pre-lex admission check).
+    pub token_budget: Option<usize>,
+    /// Latest instant at which a request may still *start* parsing.
+    /// Checked when a worker picks the request up; a parse already in
+    /// flight runs to completion (the drivers are not interruptible —
+    /// that is what keeps their certification obligations simple).
+    pub deadline: Option<Instant>,
+}
+
+impl RequestLimits {
+    /// No limits (the default).
+    pub fn none() -> RequestLimits {
+        RequestLimits::default()
+    }
+
+    /// Checks admission for an input of `size` units; `None` means
+    /// admitted, `Some` is the shed outcome to report.
+    fn admit(&self, size: usize) -> Option<ReportOutcome> {
+        if let Some(budget) = self.token_budget {
+            if size > budget {
+                return Some(ReportOutcome::BudgetExceeded {
+                    budget,
+                    required: size,
+                });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(ReportOutcome::DeadlineExceeded);
+            }
+        }
+        None
     }
 }
 
@@ -84,12 +152,31 @@ pub enum StrReportOutcome {
     },
     /// The pipeline failed on this input (transformer contract error).
     Failed(String),
+    /// Over the per-request token budget (bytes of raw text); never
+    /// parsed. See [`ReportOutcome::BudgetExceeded`].
+    BudgetExceeded {
+        /// The budget the request was admitted under.
+        budget: usize,
+        /// The input's byte length.
+        required: usize,
+    },
+    /// The deadline had passed at pickup; never parsed. See
+    /// [`ReportOutcome::DeadlineExceeded`].
+    DeadlineExceeded,
 }
 
 impl StrReportOutcome {
     /// `true` on acceptance.
     pub fn is_accept(&self) -> bool {
         matches!(self, StrReportOutcome::Accepted { .. })
+    }
+
+    /// `true` when the request was shed by an admission limit.
+    pub fn is_shed(&self) -> bool {
+        matches!(
+            self,
+            StrReportOutcome::BudgetExceeded { .. } | StrReportOutcome::DeadlineExceeded
+        )
     }
 }
 
@@ -104,6 +191,31 @@ pub struct StrParseReport {
     pub outcome: StrReportOutcome,
     /// Wall-clock time spent on this input.
     pub duration: Duration,
+}
+
+/// [`parse_one_str`] behind an admission check: shed requests carry a
+/// structured outcome and a near-zero duration.
+pub(crate) fn parse_one_str_limited(
+    pipeline: &CompiledPipeline,
+    index: usize,
+    input: &str,
+    limits: &RequestLimits,
+) -> StrParseReport {
+    if let Some(shed) = limits.admit(input.len()) {
+        let outcome = match shed {
+            ReportOutcome::BudgetExceeded { budget, required } => {
+                StrReportOutcome::BudgetExceeded { budget, required }
+            }
+            _ => StrReportOutcome::DeadlineExceeded,
+        };
+        return StrParseReport {
+            index,
+            input_bytes: input.len(),
+            outcome,
+            duration: Duration::ZERO,
+        };
+    }
+    parse_one_str(pipeline, index, input)
 }
 
 fn parse_one_str(pipeline: &CompiledPipeline, index: usize, input: &str) -> StrParseReport {
@@ -185,6 +297,27 @@ pub fn parse_batch_str(
     workers: usize,
 ) -> Vec<StrParseReport> {
     fan_out(inputs, workers, |i, s| parse_one_str(pipeline, i, s))
+}
+
+/// [`parse_one`] behind an admission check. A shed request's
+/// `yield_ok` is vacuously `true`: no tree was produced, so no yield
+/// obligation was violated.
+pub(crate) fn parse_one_limited(
+    pipeline: &CompiledPipeline,
+    index: usize,
+    w: &GString,
+    limits: &RequestLimits,
+) -> ParseReport {
+    if let Some(outcome) = limits.admit(w.len()) {
+        return ParseReport {
+            index,
+            input_len: w.len(),
+            outcome,
+            yield_ok: true,
+            duration: Duration::ZERO,
+        };
+    }
+    parse_one(pipeline, index, w)
 }
 
 fn parse_one(pipeline: &CompiledPipeline, index: usize, w: &GString) -> ParseReport {
@@ -318,6 +451,60 @@ mod tests {
             reports[2].outcome,
             StrReportOutcome::RejectedLex { at: 1, .. }
         ));
+    }
+
+    #[test]
+    fn limits_shed_structured_outcomes_not_panics() {
+        let p = PipelineSpec::dyck(12).compile().unwrap();
+        let sigma = p.alphabet().clone();
+        let w = sigma.parse_str("(())()").unwrap();
+        let over = RequestLimits {
+            token_budget: Some(3),
+            deadline: None,
+        };
+        let r = parse_one_limited(&p, 0, &w, &over);
+        assert_eq!(
+            r.outcome,
+            ReportOutcome::BudgetExceeded {
+                budget: 3,
+                required: 6
+            }
+        );
+        assert!(r.outcome.is_shed() && !r.outcome.is_accept());
+        assert!(r.yield_ok, "shed requests carry no yield obligation");
+
+        let expired = RequestLimits {
+            token_budget: None,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+        };
+        let r = parse_one_limited(&p, 1, &w, &expired);
+        assert_eq!(r.outcome, ReportOutcome::DeadlineExceeded);
+
+        let roomy = RequestLimits {
+            token_budget: Some(6),
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+        };
+        let r = parse_one_limited(&p, 2, &w, &roomy);
+        assert!(r.outcome.is_accept(), "in-budget requests parse normally");
+    }
+
+    #[test]
+    fn str_limits_shed_on_byte_length() {
+        let p = PipelineSpec::json_lexed().compile().unwrap();
+        let limits = RequestLimits {
+            token_budget: Some(4),
+            deadline: None,
+        };
+        let r = parse_one_str_limited(&p, 0, "[1, 2, 3]", &limits);
+        assert_eq!(
+            r.outcome,
+            StrReportOutcome::BudgetExceeded {
+                budget: 4,
+                required: 9
+            }
+        );
+        let r = parse_one_str_limited(&p, 1, "[1]", &limits);
+        assert!(r.outcome.is_accept());
     }
 
     #[test]

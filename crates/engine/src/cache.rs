@@ -1,0 +1,279 @@
+//! The cost-weighted evicting pipeline cache behind [`crate::Engine`].
+//!
+//! Compilation cost in this workspace is wildly asymmetric: a small
+//! regex pipeline compiles in ~5 µs, a lexed-CFG pipeline (tagged lexer
+//! DFA + LALR tables + certification id-tables) in hundreds of
+//! microseconds — while a cache hit is an id-keyed probe of ~50 ns.
+//! A plain LRU treats those the same and will happily evict the one
+//! pipeline that is expensive to rebuild to keep fifty that are nearly
+//! free. The cache here is therefore *cost-weighted*: each entry's
+//! weight is its **measured** compile time
+//! ([`crate::CompiledPipeline::compile_time`]), and eviction runs the
+//! classic GreedyDual policy — an entry's credit is
+//! `clock + compile_cost`, refreshed on every hit; eviction removes the
+//! minimum-credit entry and advances the clock to that credit. Recency
+//! and rebuild cost trade off against each other: a 537 µs lexed-CFG
+//! pipeline survives ~100 touches of a 5 µs regex pipeline before its
+//! credit is overtaken, instead of being evicted by the first fifty.
+//!
+//! The cache is deliberately a plain map + linear eviction scan rather
+//! than an intrusive LRU list: the population is *pipelines* (tens, not
+//! millions), hits never scan, and the scan runs only when a bound in
+//! [`CacheConfig`] is actually exceeded.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::pipeline::{CompiledPipeline, PipelineSpec};
+
+/// Capacity bounds for the engine's pipeline cache.
+///
+/// Both bounds are enforced together: an insert evicts minimum-credit
+/// entries until the entry count is ≤ `max_entries` **and** the total
+/// resident weight (sum of measured compile times) is ≤ `max_weight`.
+/// The defaults (1024 entries, 60 s of aggregate compile time) are
+/// generous enough that a process serving a handful of grammars never
+/// evicts; serving fleets that churn through ad-hoc specs set tighter
+/// bounds via [`crate::Engine::with_config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of resident pipelines (0 degenerates to
+    /// compile-every-time: entries are evicted as soon as they land,
+    /// but `get_or_compile` still returns the freshly built `Arc`).
+    pub max_entries: usize,
+    /// Maximum total resident weight, measured in compile time.
+    pub max_weight: Duration,
+}
+
+impl CacheConfig {
+    /// A cache with no practical bounds (the pre-eviction behaviour).
+    pub fn unbounded() -> CacheConfig {
+        CacheConfig {
+            max_entries: usize::MAX,
+            max_weight: Duration::MAX,
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            max_entries: 1024,
+            max_weight: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One resident pipeline plus its eviction bookkeeping.
+#[derive(Debug)]
+struct Entry {
+    pipeline: Arc<CompiledPipeline>,
+    /// GreedyDual credit: `clock at last touch + cost_us`. The entry
+    /// with the minimum credit is the eviction victim.
+    credit: u128,
+    /// Measured compile time in µs, floored at 1 so that even a
+    /// sub-microsecond compile still ages.
+    cost_us: u64,
+    /// Monotone touch counter, tie-breaking equal credits: among
+    /// entries whose credits tie (common when many sub-µs compiles all
+    /// floor to the same cost), the least recently touched one is the
+    /// victim — never the entry whose own insert triggered the scan.
+    touched: u64,
+}
+
+/// The engine's pipeline cache. Not internally synchronized — the
+/// [`crate::Engine`] wraps it in a `Mutex` (hits mutate credits, so a
+/// read-write split buys nothing).
+#[derive(Debug)]
+pub(crate) struct PipelineCache {
+    config: CacheConfig,
+    map: HashMap<PipelineSpec, Entry>,
+    /// GreedyDual clock: the credit of the last evicted entry. Starts
+    /// at 0 and only ever advances, so credits are monotone per touch.
+    clock: u128,
+    /// Source of [`Entry::touched`] stamps.
+    touches: u64,
+    /// Sum of resident `cost_us` (the weight bound, in µs).
+    weight_us: u128,
+    evictions: u64,
+    compile_total: Duration,
+    compile_max: Duration,
+}
+
+impl PipelineCache {
+    pub(crate) fn new(config: CacheConfig) -> PipelineCache {
+        PipelineCache {
+            config,
+            map: HashMap::new(),
+            clock: 0,
+            touches: 0,
+            weight_us: 0,
+            evictions: 0,
+            compile_total: Duration::ZERO,
+            compile_max: Duration::ZERO,
+        }
+    }
+
+    /// Cache probe; a hit refreshes the entry's credit.
+    pub(crate) fn get(&mut self, spec: &PipelineSpec) -> Option<Arc<CompiledPipeline>> {
+        let clock = self.clock;
+        self.touches += 1;
+        let touched = self.touches;
+        let entry = self.map.get_mut(spec)?;
+        entry.credit = clock + u128::from(entry.cost_us);
+        entry.touched = touched;
+        Some(entry.pipeline.clone())
+    }
+
+    /// Inserts a freshly compiled pipeline, records its compile latency,
+    /// and evicts minimum-credit entries until both bounds hold.
+    pub(crate) fn insert(&mut self, spec: PipelineSpec, pipeline: Arc<CompiledPipeline>) {
+        let cost = pipeline.compile_time();
+        self.compile_total += cost;
+        self.compile_max = self.compile_max.max(cost);
+        let cost_us = (cost.as_micros() as u64).max(1);
+        self.weight_us += u128::from(cost_us);
+        self.touches += 1;
+        self.map.insert(
+            spec.clone(),
+            Entry {
+                pipeline,
+                credit: self.clock + u128::from(cost_us),
+                cost_us,
+                touched: self.touches,
+            },
+        );
+        self.evict_to_bounds(Some(&spec));
+    }
+
+    fn over_bounds(&self) -> bool {
+        self.map.len() > self.config.max_entries
+            || self.weight_us > self.config.max_weight.as_micros()
+    }
+
+    /// Evicts minimum-credit entries until both bounds hold. `protect`
+    /// is the key whose insert triggered the scan: it is never chosen
+    /// as a victim while other entries remain (being the cheapest must
+    /// not mean being evicted by your own insert before first use),
+    /// but it does go once it is the sole survivor and the bounds are
+    /// still exceeded (e.g. `max_entries == 0`).
+    fn evict_to_bounds(&mut self, protect: Option<&PipelineSpec>) {
+        while self.over_bounds() {
+            // Linear scan for the minimum credit: eviction is off the
+            // hot path and the population is small by construction.
+            let last_one = self.map.len() == 1;
+            let victim = self
+                .map
+                .iter()
+                .filter(|(k, _)| last_one || protect != Some(*k))
+                .min_by_key(|(_, e)| (e.credit, e.touched))
+                .map(|(k, e)| (k.clone(), e.credit, e.cost_us));
+            let Some((key, credit, cost_us)) = victim else {
+                return; // bounds can only be exceeded by a resident entry
+            };
+            self.map.remove(&key);
+            self.weight_us -= u128::from(cost_us);
+            self.clock = self.clock.max(credit);
+            self.evictions += 1;
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Drops every entry without touching the eviction counter or the
+    /// clock ([`crate::Engine::clear`] is an operator action, not a
+    /// capacity event).
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.weight_us = 0;
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    pub(crate) fn resident_weight(&self) -> Duration {
+        Duration::from_micros(self.weight_us.min(u128::from(u64::MAX)) as u64)
+    }
+
+    pub(crate) fn compile_total(&self) -> Duration {
+        self.compile_total
+    }
+
+    pub(crate) fn compile_max(&self) -> Duration {
+        self.compile_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compiled(spec: &PipelineSpec) -> Arc<CompiledPipeline> {
+        Arc::new(spec.compile().expect("test specs compile"))
+    }
+
+    #[test]
+    fn entry_bound_evicts_minimum_credit() {
+        let mut cache = PipelineCache::new(CacheConfig {
+            max_entries: 2,
+            max_weight: Duration::MAX,
+        });
+        let a = PipelineSpec::dyck(4);
+        let b = PipelineSpec::dyck(5);
+        let c = PipelineSpec::dyck(6);
+        cache.insert(a.clone(), compiled(&a));
+        cache.insert(b.clone(), compiled(&b));
+        assert_eq!(cache.len(), 2);
+        cache.insert(c.clone(), compiled(&c));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // The newest entry is never the victim of its own insert.
+        assert!(cache.get(&c).is_some());
+    }
+
+    #[test]
+    fn expensive_entries_outlive_cheap_ones() {
+        // Two synthetic entries with a 100:1 cost ratio: after evicting
+        // down to one, the survivor must be the expensive pipeline even
+        // though the cheap one was touched more recently.
+        let mut cache = PipelineCache::new(CacheConfig::unbounded());
+        let costly = PipelineSpec::arith_lexed();
+        let cheap = PipelineSpec::dyck(3);
+        cache.insert(costly.clone(), compiled(&costly));
+        cache.insert(cheap.clone(), compiled(&cheap));
+        let ratio = {
+            let c = cache.map.get(&costly).unwrap().cost_us;
+            let d = cache.map.get(&cheap).unwrap().cost_us;
+            c as f64 / d as f64
+        };
+        assert!(
+            ratio > 1.0,
+            "lexed-CFG compile must outweigh a tiny Dyck compile (ratio {ratio})"
+        );
+        // Touch the cheap one last, then force one eviction.
+        cache.get(&cheap);
+        cache.config.max_entries = 1;
+        cache.evict_to_bounds(None);
+        assert!(cache.get(&costly).is_some(), "the heavy pipeline survives");
+        assert!(cache.get(&cheap).is_none());
+    }
+
+    #[test]
+    fn weight_bound_is_enforced() {
+        let mut cache = PipelineCache::new(CacheConfig {
+            max_entries: usize::MAX,
+            max_weight: Duration::from_micros(1),
+        });
+        let a = PipelineSpec::dyck(4);
+        let b = PipelineSpec::dyck(5);
+        cache.insert(a.clone(), compiled(&a));
+        cache.insert(b.clone(), compiled(&b));
+        // Each insert blew the 1 µs budget and evicted down to it.
+        assert!(cache.evictions() >= 1);
+        assert!(cache.resident_weight() <= Duration::from_micros(1));
+    }
+}

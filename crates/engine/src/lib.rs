@@ -13,9 +13,11 @@
 //!   and hash by an interned id-based [`SpecKey`] (computed once at
 //!   construction via [`lambek_core::intern`]), so cache lookups never
 //!   deep-compare alphabets or patterns;
-//! * [`Engine::parse_many`] — batch parsing fanned out over
-//!   [`std::thread::scope`] workers, returning one structured
+//! * [`Engine::parse_many`] — batch parsing sharded over the engine's
+//!   persistent work-stealing worker pool, returning one structured
 //!   [`ParseReport`] per input (outcome, intrinsic yield check, timing);
+//!   the per-call [`std::thread::scope`] baseline survives as
+//!   [`parse_batch`];
 //! * [`StreamParser`] — push-style incremental input for DFA-backed and
 //!   LR-backed pipelines: each pushed symbol is one dense-table
 //!   transition (or one LR shift plus its pending reductions), and
@@ -31,11 +33,26 @@
 //! (grammars and transformers are `Arc`-shared) and on the dense
 //! flat transition tables of
 //! [`lambek_automata::dfa::Dfa`] — the engine holds no locks while
-//! parsing, only while touching the pipeline cache (cache hits take a
-//! read lock; a miss holds the write lock for the duration of the one
-//! compilation, serializing lookups until the pipeline is cached —
-//! compiles happen once per spec per process, so this is a startup
-//! cost, not a steady-state one).
+//! parsing, only while touching the pipeline cache (a hit is one
+//! id-keyed map probe plus a credit refresh under a mutex; a miss holds
+//! the mutex for the duration of the one compilation, serializing
+//! lookups until the pipeline is cached — the strict compile-once
+//! contract).
+//!
+//! The serving tier on top of the pipelines:
+//!
+//! * a persistent work-stealing worker pool (created once per engine,
+//!   lazily) that [`Engine::parse_many`]/[`Engine::parse_many_str`]
+//!   submit request shards to, with per-request admission limits
+//!   ([`RequestLimits`]) surfaced as structured report outcomes;
+//! * a cost-weighted evicting pipeline cache ([`CacheConfig`]): entry
+//!   weight is the *measured* compile time, so expensive lexed-CFG
+//!   pipelines outlive swarms of cheap regex ones;
+//! * serializable stream sessions: [`StreamParser::snapshot`] parks a
+//!   push-mode session as a versioned, checksummed byte blob
+//!   ([`SessionState`]) and [`Engine::resume`] re-validates and revives
+//!   it — on this or any other engine — with the certification
+//!   contract intact.
 //!
 //! ```
 //! use lambek_core::alphabet::Alphabet;
@@ -58,24 +75,34 @@
 #![warn(missing_debug_implementations)]
 
 mod batch;
+mod cache;
 mod pipeline;
+mod pool;
+mod session;
 mod stream;
 
 pub use batch::{
-    parse_batch, parse_batch_str, ParseReport, ReportOutcome, StrParseReport, StrReportOutcome,
+    parse_batch, parse_batch_str, ParseReport, ReportOutcome, RequestLimits, StrParseReport,
+    StrReportOutcome,
 };
+pub use cache::CacheConfig;
 pub use pipeline::{
     CfgBackend, CfgMode, CompiledPipeline, DfaBackend, LexedCfgBackend, PipelineSpec, SpecKey,
     StrOutcome,
 };
+pub use pool::PoolStats;
+pub use session::{SessionError, SessionState, SESSION_VERSION};
 pub use stream::StreamParser;
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 use lambek_core::alphabet::GString;
+
+use cache::PipelineCache;
+use pool::WorkerPool;
 
 /// Errors surfaced by the engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,28 +147,83 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// Full serving-tier observability (see [`Engine::engine_stats`]):
+/// the cache counters of [`CacheStats`] plus eviction, compile-latency
+/// and worker-pool counters.
+///
+/// Counter algebra a healthy engine maintains (asserted by the stress
+/// suite): `hits + misses == get_or_compile calls`,
+/// `compiles == misses` (the mutex leaves no race window),
+/// `evictions ≤ compiles`, and
+/// `cache.entries == compiles − evictions − cleared`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// The hit/miss/compile counters.
+    pub cache: CacheStats,
+    /// Entries evicted by the cost-weighted policy (operator
+    /// [`Engine::clear`]s are not counted).
+    pub evictions: u64,
+    /// Sum of the compile times of the currently resident pipelines —
+    /// the quantity [`CacheConfig::max_weight`] bounds.
+    pub resident_weight: Duration,
+    /// Total wall-clock compile time across all compilations.
+    pub compile_total: Duration,
+    /// The single slowest compilation.
+    pub compile_max: Duration,
+    /// Worker-pool counters (all zero until the first pooled batch).
+    pub pool: PoolStats,
+}
+
 /// A serving engine: a thread-safe compile-once cache of verified parser
-/// pipelines.
+/// pipelines, a persistent worker pool for batches, and the park/resume
+/// endpoint for stream sessions.
 ///
 /// `Engine` is cheap to share (`&Engine` is all the batch workers need)
 /// and holds its lock only around cache probes — parsing itself runs on
 /// lock-free shared [`CompiledPipeline`]s.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Engine {
-    cache: RwLock<HashMap<PipelineSpec, Arc<CompiledPipeline>>>,
+    cache: Mutex<PipelineCache>,
+    /// The persistent worker pool, spawned lazily on the first batch
+    /// that wants parallelism and kept alive for the engine's lifetime.
+    pool: OnceLock<WorkerPool>,
     hits: AtomicU64,
     misses: AtomicU64,
     compiles: AtomicU64,
 }
 
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
 impl Engine {
-    /// Creates an empty engine.
+    /// Creates an empty engine with the default (generous) cache
+    /// bounds; see [`Engine::with_config`] for tight ones.
     pub fn new() -> Engine {
-        Engine::default()
+        Engine::with_config(CacheConfig::default())
+    }
+
+    /// Creates an empty engine whose pipeline cache enforces `config`.
+    pub fn with_config(config: CacheConfig) -> Engine {
+        Engine {
+            cache: Mutex::new(PipelineCache::new(config)),
+            pool: OnceLock::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+        }
+    }
+
+    fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::new(0))
     }
 
     /// Returns the compiled pipeline for `spec`, compiling it on first
-    /// use and serving the shared `Arc` afterwards.
+    /// use and serving the shared `Arc` afterwards. A hit refreshes the
+    /// entry's eviction credit; a miss may evict other entries to stay
+    /// within the engine's [`CacheConfig`].
     ///
     /// # Errors
     ///
@@ -151,28 +233,26 @@ impl Engine {
         &self,
         spec: &PipelineSpec,
     ) -> Result<Arc<CompiledPipeline>, EngineError> {
-        if let Some(hit) = self.cache.read().expect("engine cache poisoned").get(spec) {
+        // One mutex for the whole probe-or-compile: concurrent misses
+        // on the same spec compile exactly once, which keeps the
+        // compile-once contract strict (not merely eventual).
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        if let Some(hit) = cache.get(spec) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit.clone());
+            return Ok(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        // Take the write lock for the whole miss path: concurrent misses
-        // on the same spec then compile exactly once, which keeps the
-        // compile-once contract strict (not merely eventual).
-        let mut cache = self.cache.write().expect("engine cache poisoned");
-        if let Some(raced) = cache.get(spec) {
-            return Ok(raced.clone());
-        }
         self.compiles.fetch_add(1, Ordering::Relaxed);
         let compiled = Arc::new(spec.compile()?);
         cache.insert(spec.clone(), compiled.clone());
         Ok(compiled)
     }
 
-    /// Parses every input against the pipeline for `spec`, fanning the
-    /// batch out over `workers` scoped threads (1 = sequential in the
-    /// calling thread, 0 = one worker per available core). Reports come
-    /// back in input order.
+    /// Parses every input against the pipeline for `spec`, sharding the
+    /// batch over the engine's persistent worker pool (`workers` caps
+    /// the shard count; 1 = sequential in the calling thread, 0 = one
+    /// shard per pool worker). Reports come back in input order. An
+    /// empty batch short-circuits: no pool submission, no shards.
     ///
     /// # Errors
     ///
@@ -185,8 +265,42 @@ impl Engine {
         inputs: &[GString],
         workers: usize,
     ) -> Result<Vec<ParseReport>, EngineError> {
+        self.parse_many_with(spec, inputs, workers, RequestLimits::none())
+    }
+
+    /// [`Engine::parse_many`] with per-request admission limits: inputs
+    /// over the token budget, or picked up after the deadline, come
+    /// back as [`ReportOutcome::BudgetExceeded`] /
+    /// [`ReportOutcome::DeadlineExceeded`] instead of being parsed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::parse_many`].
+    pub fn parse_many_with(
+        &self,
+        spec: &PipelineSpec,
+        inputs: &[GString],
+        workers: usize,
+        limits: RequestLimits,
+    ) -> Result<Vec<ParseReport>, EngineError> {
         let pipeline = self.get_or_compile(spec)?;
-        Ok(parse_batch(&pipeline, inputs, workers))
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if workers == 1 {
+            return Ok(inputs
+                .iter()
+                .enumerate()
+                .map(|(i, w)| batch::parse_one_limited(&pipeline, i, w, &limits))
+                .collect());
+        }
+        // The pool's workers are long-lived ('static), so shards own
+        // their inputs: one GString clone per request, paid against the
+        // per-call thread spawn/join the pool amortizes away.
+        let items: Vec<GString> = inputs.to_vec();
+        Ok(self.pool().run_batch(items, workers, move |i, w| {
+            batch::parse_one_limited(&pipeline, i, w, &limits)
+        }))
     }
 
     /// Parses every *raw-text* input against the pipeline for `spec`
@@ -206,8 +320,37 @@ impl Engine {
         inputs: &[&str],
         workers: usize,
     ) -> Result<Vec<StrParseReport>, EngineError> {
+        self.parse_many_str_with(spec, inputs, workers, RequestLimits::none())
+    }
+
+    /// [`Engine::parse_many_str`] with per-request admission limits
+    /// (the budget counts raw bytes).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::parse_many_str`].
+    pub fn parse_many_str_with(
+        &self,
+        spec: &PipelineSpec,
+        inputs: &[&str],
+        workers: usize,
+        limits: RequestLimits,
+    ) -> Result<Vec<StrParseReport>, EngineError> {
         let pipeline = self.get_or_compile(spec)?;
-        Ok(parse_batch_str(&pipeline, inputs, workers))
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if workers == 1 {
+            return Ok(inputs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| batch::parse_one_str_limited(&pipeline, i, s, &limits))
+                .collect());
+        }
+        let items: Vec<String> = inputs.iter().map(|s| (*s).to_owned()).collect();
+        Ok(self.pool().run_batch(items, workers, move |i, s| {
+            batch::parse_one_str_limited(&pipeline, i, s, &limits)
+        }))
     }
 
     /// Opens a push-mode streaming parser for `spec`.
@@ -220,19 +363,75 @@ impl Engine {
         StreamParser::open(self.get_or_compile(spec)?)
     }
 
+    /// Revives a parked stream session (see [`StreamParser::snapshot`])
+    /// against the pipeline for `spec` — on this engine or any other,
+    /// in this process or another. The blob's checksum, version and
+    /// structural spec fingerprint are verified, and every piece of
+    /// restored parser state is re-validated against the compiled
+    /// pipeline (partial derivations re-certified against their claims,
+    /// lexemes re-certified against the raw text), so a resumed session
+    /// certifies exactly what an uninterrupted one would — a corrupt or
+    /// mismatched blob is a structured [`SessionError`], never a
+    /// mis-certification.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Corrupt`] for damaged blobs,
+    /// [`SessionError::Version`] / [`SessionError::SpecMismatch`] for
+    /// incompatible ones, [`SessionError::Invalid`] for well-formed
+    /// blobs whose state fails re-validation, and
+    /// [`SessionError::Engine`] if the pipeline itself cannot be built.
+    pub fn resume(
+        &self,
+        spec: &PipelineSpec,
+        state: &SessionState,
+    ) -> Result<StreamParser, SessionError> {
+        let pipeline = self.get_or_compile(spec).map_err(SessionError::Engine)?;
+        StreamParser::resume(pipeline, state)
+    }
+
     /// A snapshot of the cache counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
-            entries: self.cache.read().expect("engine cache poisoned").len(),
+            entries: self.cache.lock().expect("engine cache poisoned").len(),
         }
     }
 
-    /// Drops every cached pipeline (counters are kept).
+    /// The full serving-tier counters: cache, eviction, compile-latency
+    /// and worker-pool observability in one structure.
+    pub fn engine_stats(&self) -> EngineStats {
+        let (evictions, resident_weight, compile_total, compile_max, entries) = {
+            let cache = self.cache.lock().expect("engine cache poisoned");
+            (
+                cache.evictions(),
+                cache.resident_weight(),
+                cache.compile_total(),
+                cache.compile_max(),
+                cache.len(),
+            )
+        };
+        EngineStats {
+            cache: CacheStats {
+                hits: self.hits.load(Ordering::Relaxed),
+                misses: self.misses.load(Ordering::Relaxed),
+                compiles: self.compiles.load(Ordering::Relaxed),
+                entries,
+            },
+            evictions,
+            resident_weight,
+            compile_total,
+            compile_max,
+            pool: self.pool.get().map(WorkerPool::stats).unwrap_or_default(),
+        }
+    }
+
+    /// Drops every cached pipeline (counters are kept; operator clears
+    /// do not count as evictions).
     pub fn clear(&self) {
-        self.cache.write().expect("engine cache poisoned").clear();
+        self.cache.lock().expect("engine cache poisoned").clear();
     }
 }
 

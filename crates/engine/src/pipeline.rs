@@ -275,6 +275,60 @@ impl PipelineSpec {
         }
     }
 
+    /// A process-independent 64-bit fingerprint of the spec's
+    /// *structure*, stamped into serialized session blobs
+    /// ([`crate::SessionState`]) so a resume against the wrong pipeline
+    /// is rejected up front. Unlike [`PipelineSpec::key`], whose
+    /// interned ids are only meaningful within one process, this hashes
+    /// structural renderings (alphabet name tables, the pattern / spec
+    /// fingerprint / grammar display form) — equal across processes for
+    /// structurally equal specs. Display labels are excluded, matching
+    /// the cache identity.
+    pub fn session_fingerprint(&self) -> u64 {
+        let mut h = crate::session::Fnv64::new();
+        match &self.kind {
+            SpecKind::Regex { alphabet, pattern } => {
+                h.update(b"regex");
+                for name in alphabet.names() {
+                    h.update(name.as_bytes());
+                    h.update(&[0]);
+                }
+                h.update(pattern.as_bytes());
+            }
+            SpecKind::Dyck { max_len } => {
+                h.update(b"dyck");
+                h.update(&(*max_len as u64).to_le_bytes());
+            }
+            SpecKind::Expr { max_len } => {
+                h.update(b"expr");
+                h.update(&(*max_len as u64).to_le_bytes());
+            }
+            SpecKind::Cfg { cfg, .. } => {
+                h.update(b"cfg");
+                for name in cfg.alphabet().names() {
+                    h.update(name.as_bytes());
+                    h.update(&[0]);
+                }
+                h.update(cfg.to_string().as_bytes());
+            }
+            SpecKind::LexedCfg { spec, cfg, .. } => {
+                h.update(b"lexed");
+                for name in spec.alphabet().names() {
+                    h.update(name.as_bytes());
+                    h.update(&[0]);
+                }
+                h.update(spec.fingerprint().as_bytes());
+                h.update(&[0]);
+                for name in cfg.alphabet().names() {
+                    h.update(name.as_bytes());
+                    h.update(&[0]);
+                }
+                h.update(cfg.to_string().as_bytes());
+            }
+        }
+        h.finish()
+    }
+
     /// Runs the construction for this spec.
     ///
     /// # Errors

@@ -181,6 +181,73 @@ impl LexAutomaton {
             emitted: 0,
         }
     }
+
+    /// Re-injects extracted stream state (see
+    /// [`LexStream::export_state`]). The blob is untrusted: the
+    /// in-flight munch state is not taken from it but *re-derived* by
+    /// replaying the unresolved suffix (`input[resume_from..]`) through
+    /// this automaton — for an honest snapshot the replay resolves no
+    /// token boundary (by definition of `resume_from`), so a replay
+    /// that emits a token or hits a lexical error exposes the blob as
+    /// inconsistent. Dead streams skip the replay: their munch state is
+    /// unreachable by construction (every later push just re-reports
+    /// the recorded error).
+    ///
+    /// # Errors
+    ///
+    /// [`LexResumeError`] on any inconsistency; the error path returns
+    /// no stream.
+    pub fn resume_stream(&self, st: LexStreamState) -> Result<LexStream, LexResumeError> {
+        let err = |reason: String| LexResumeError { reason };
+        if let Some((at, found)) = st.dead {
+            if at > st.input.len() {
+                return Err(err(format!(
+                    "lexical error at byte {at} beyond the {}-byte input",
+                    st.input.len()
+                )));
+            }
+            return Ok(LexStream {
+                core: self.core().clone(),
+                munch: Munch::new(self.dfa().init()),
+                input: st.input,
+                dead: Some(LexError { at, found }),
+                sabotage: None,
+                emitted: st.emitted,
+            });
+        }
+        if st.resume_from > st.input.len() || !st.input.is_char_boundary(st.resume_from) {
+            return Err(err(format!(
+                "resume offset {} is not a character boundary of the input",
+                st.resume_from
+            )));
+        }
+        let mut munch = Munch::new(self.dfa().init());
+        // The replayed munch lexes only the unresolved suffix, so its
+        // in-progress token starts at the resolved boundary — not at
+        // byte 0 (spans of tokens cut after resume hang off this).
+        munch.token_start = st.resume_from;
+        let mut stream = LexStream {
+            core: self.core().clone(),
+            munch,
+            input: st.input[..st.resume_from].to_owned(),
+            dead: None,
+            sabotage: None,
+            emitted: st.emitted,
+        };
+        let tail = st.input[st.resume_from..].to_owned();
+        match stream.push_str(&tail) {
+            Ok(replayed) if replayed.is_empty() => Ok(stream),
+            Ok(replayed) => Err(err(format!(
+                "replaying the unresolved suffix emitted {} token(s): the resume \
+                 offset was not the last resolved boundary",
+                replayed.len()
+            ))),
+            Err(e) => Err(err(format!(
+                "replaying the unresolved suffix hit a lexical error ({e}) on a \
+                 stream recorded as alive"
+            ))),
+        }
+    }
 }
 
 /// A lazy maximal-munch pass over a borrowed input: each `next` runs the
@@ -559,7 +626,59 @@ impl LexStream {
         probe.flush(&self.core, &mut out)?;
         Ok(out)
     }
+
+    /// Extracts the stream's state for serialization (session
+    /// park/resume; sabotage injections are deliberately not exported).
+    ///
+    /// The munch automaton's in-flight state (`state`, buffered chars,
+    /// last-accept marker) is *not* part of the export: it is a
+    /// deterministic function of the raw input since the last resolved
+    /// token boundary, and [`LexAutomaton::resume_stream`] re-derives
+    /// it by replaying that unresolved suffix — which both shrinks the
+    /// wire format and turns a corrupted boundary offset into a
+    /// detected inconsistency instead of a trusted lie.
+    pub fn export_state(&self) -> LexStreamState {
+        LexStreamState {
+            input: self.input.clone(),
+            resume_from: self.munch.token_start,
+            emitted: self.emitted,
+            dead: self.dead.as_ref().map(|e| (e.at, e.found)),
+        }
+    }
 }
+
+/// The extracted, process-independent state of a [`LexStream`] (see
+/// [`LexStream::export_state`] / [`LexAutomaton::resume_stream`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexStreamState {
+    /// Every character pushed so far, unlexable suffix included.
+    pub input: String,
+    /// Byte offset of the last resolved token boundary: everything
+    /// before it has been emitted as tokens, everything after it is the
+    /// in-flight munch the resumed stream re-derives.
+    pub resume_from: usize,
+    /// How many tokens the stream had emitted.
+    pub emitted: usize,
+    /// `Some((at, found))` if the stream is dead: the byte offset where
+    /// the unmatchable token begins and its first character.
+    pub dead: Option<(usize, char)>,
+}
+
+/// A lexer session blob failed re-validation against the automaton it
+/// was resumed into (see [`LexAutomaton::resume_stream`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexResumeError {
+    /// What was inconsistent.
+    pub reason: String,
+}
+
+impl fmt::Display for LexResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex stream state failed re-validation: {}", self.reason)
+    }
+}
+
+impl std::error::Error for LexResumeError {}
 
 #[cfg(test)]
 mod tests {

@@ -60,5 +60,8 @@ pub mod spec;
 
 pub use certified::{CertifiedLexer, LexCertifier, LexCertifyError, LexedOutcome};
 pub use compile::LexAutomaton;
-pub use driver::{LexError, LexStream, Lexemes, SabotageLex, Span, Token, TokenStream};
+pub use driver::{
+    LexError, LexResumeError, LexStream, LexStreamState, Lexemes, SabotageLex, Span, Token,
+    TokenStream,
+};
 pub use spec::{LexRule, LexSpec, LexSpecBuilder, SpecError};

@@ -32,7 +32,7 @@ use lambek_core::grammar::parse_tree::{validate, ParseTree, ValidateError};
 
 use crate::driver::{
     parse_tree, recognize_states, would_accept_after_states, would_accept_states, CertTables,
-    Machine, SabotageLr, Step,
+    ClaimRef, Machine, SabotageLr, Step,
 };
 use crate::table::{LrConflictReport, LrTable};
 
@@ -419,5 +419,232 @@ impl LrStream {
             Step::Faulted(cause) => Err(CertifyError { cause }),
             Step::Shifted => unreachable!("the EOF column never shifts"),
         }
+    }
+}
+
+/// The extracted, process-independent state of an [`LrStream`] — the
+/// state-extraction half of session park/resume (the serving engine's
+/// snapshot format serializes exactly this).
+///
+/// Interned [`lambek_core::intern::GrammarId`]s are process-local, so
+/// the claim stack is exported as [`ClaimRef`]s (terminal/nonterminal
+/// *numbers*) and mapped back through the resuming parser's id tables.
+/// Everything here is data; all trust is re-established by
+/// [`CertifiedLrParser::resume_stream`], which re-validates the parts
+/// against the table and the grammar before any of them touch a live
+/// machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LrStreamState {
+    /// The LR state stack, bottom marker (state 0) first.
+    pub states: Vec<u32>,
+    /// The partial-derivation stack, one tree per non-bottom state.
+    pub trees: Vec<ParseTree>,
+    /// The certification claims, parallel to `trees`.
+    pub claims: Vec<ClaimRef>,
+    /// Shifts performed so far (equals the consumed-symbol count).
+    pub shifts: usize,
+    /// Reductions performed so far.
+    pub reduces: usize,
+    /// Every symbol pushed so far, rejected suffix included.
+    pub input: GString,
+    /// `Some((at, state))` if the stream is dead: the input position of
+    /// the first rejected symbol and the state that had no action for
+    /// it. The human-readable expected set is recomputed on resume.
+    pub dead: Option<(usize, usize)>,
+}
+
+/// A session blob failed re-validation against the parser it was
+/// resumed into (see [`CertifiedLrParser::resume_stream`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LrResumeError {
+    /// What was inconsistent.
+    pub reason: String,
+}
+
+impl fmt::Display for LrResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LR stream state failed re-validation: {}", self.reason)
+    }
+}
+
+impl std::error::Error for LrResumeError {}
+
+impl LrStream {
+    /// Extracts the stream's state for serialization. Returns `None`
+    /// for faulted streams (a certification fault is a driver bug; the
+    /// faulted configuration is not a parse state worth parking) and
+    /// for `full_validate` streams (they carry no claim stack to
+    /// re-establish on resume).
+    pub fn export_state(&self) -> Option<LrStreamState> {
+        if self.fault.is_some() || self.full_validate {
+            return None;
+        }
+        let claims: Option<Vec<ClaimRef>> = self
+            .machine
+            .claims()
+            .iter()
+            .map(|&id| self.core.cert.claim_ref(id))
+            .collect();
+        Some(LrStreamState {
+            states: self.machine.states().to_vec(),
+            trees: self.machine.trees().to_vec(),
+            claims: claims?,
+            shifts: self.machine.step_counts().0,
+            reduces: self.machine.step_counts().1,
+            input: self.input.clone(),
+            dead: self.dead.as_ref().map(|r| (r.at, r.state)),
+        })
+    }
+}
+
+impl CertifiedLrParser {
+    /// Re-injects extracted stream state — the other half of session
+    /// park/resume. The blob is *untrusted*: before anything touches a
+    /// live machine, every part is re-validated against this parser:
+    ///
+    /// * the state stack must start at the bottom marker and every
+    ///   transition must be one this parser's table actually performs
+    ///   for the claimed symbol (shift target for a terminal claim,
+    ///   goto target for a nonterminal claim) — so the restored
+    ///   configuration is reachable, and future behaviour is exactly
+    ///   that of an uninterrupted run;
+    /// * every partial tree is re-checked against its claimed grammar
+    ///   (`check_shape` against the μ-system for nonterminals, a leaf
+    ///   comparison for terminals), and the tree yields must tile the
+    ///   consumed input prefix exactly — re-establishing the
+    ///   incremental certifier's stack invariant, so everything the
+    ///   resumed stream ever emits is as certified as if the session
+    ///   had never been interrupted.
+    ///
+    /// # Errors
+    ///
+    /// [`LrResumeError`] describing the first inconsistency; the error
+    /// path constructs no stream (a bogus blob can be *rejected*, never
+    /// mis-certified).
+    pub fn resume_stream(&self, st: LrStreamState) -> Result<LrStream, LrResumeError> {
+        let err = |reason: String| LrResumeError { reason };
+        let table = &self.core.table;
+        let n_states = table.num_states();
+        if st.states.first() != Some(&0) {
+            return Err(err("state stack must start at the bottom marker".into()));
+        }
+        if let Some(&s) = st.states.iter().find(|&&s| s as usize >= n_states) {
+            return Err(err(format!("state {s} out of range (< {n_states})")));
+        }
+        if st.trees.len() != st.claims.len() || st.states.len() != st.trees.len() + 1 {
+            return Err(err(format!(
+                "stack arity mismatch: {} states, {} trees, {} claims",
+                st.states.len(),
+                st.trees.len(),
+                st.claims.len()
+            )));
+        }
+        // Transition consistency: each stack slot must be the table's
+        // own answer for its claim.
+        for (i, &claim) in st.claims.iter().enumerate() {
+            let from = st.states[i] as usize;
+            let to = st.states[i + 1] as usize;
+            let ok = match claim {
+                ClaimRef::Term(t) => {
+                    t < table.eof_column()
+                        && matches!(table.action(from, t), crate::table::Action::Shift(s) if s == to)
+                }
+                ClaimRef::Var(n) => n < table.num_nonterminals() && table.goto(from, n) == Some(to),
+            };
+            if !ok {
+                return Err(err(format!(
+                    "stack slot {i}: no {claim:?} transition {from} -> {to} in this table"
+                )));
+            }
+        }
+        // Claim-by-claim re-certification: shapes against the μ-system,
+        // yields tiling the consumed prefix.
+        let system = self.core.cfg.to_lambek_system();
+        let mut cursor = 0usize;
+        let mut claim_ids = Vec::with_capacity(st.claims.len());
+        for (i, (tree, &claim)) in st.trees.iter().zip(&st.claims).enumerate() {
+            let id = self
+                .core
+                .cert
+                .claim_id(claim)
+                .ok_or_else(|| err(format!("stack slot {i}: claim {claim:?} out of range")))?;
+            let flat = tree.flatten();
+            let window = st.input.as_slice().get(cursor..cursor + flat.len());
+            if window != Some(flat.as_slice()) {
+                return Err(err(format!(
+                    "stack slot {i}: tree yield does not tile the input at symbol {cursor}"
+                )));
+            }
+            match claim {
+                ClaimRef::Term(t) => {
+                    if !matches!(tree, ParseTree::Char(c) if c.index() == t) {
+                        return Err(err(format!(
+                            "stack slot {i}: terminal claim {t} over a non-leaf tree"
+                        )));
+                    }
+                }
+                ClaimRef::Var(n) => {
+                    if n >= system.len() {
+                        return Err(err(format!("stack slot {i}: nonterminal {n} out of range")));
+                    }
+                    let ParseTree::Roll(inner) = tree else {
+                        return Err(err(format!(
+                            "stack slot {i}: nonterminal claim over a non-Roll tree"
+                        )));
+                    };
+                    lambek_core::grammar::parse_tree::check_shape(
+                        inner,
+                        system.def(n),
+                        Some(&system),
+                    )
+                    .map_err(|e| err(format!("stack slot {i}: claim re-validation failed: {e}")))?;
+                }
+            }
+            cursor += flat.len();
+            claim_ids.push(id);
+        }
+        // The consumed prefix must be exactly the tiled symbols; the
+        // suffix beyond it exists only for dead streams.
+        let consumed = cursor;
+        let dead = match st.dead {
+            None => {
+                if consumed != st.input.len() {
+                    return Err(err(format!(
+                        "live stream consumed {consumed} of {} symbols",
+                        st.input.len()
+                    )));
+                }
+                None
+            }
+            Some((at, state)) => {
+                if at != consumed || at > st.input.len() {
+                    return Err(err(format!(
+                        "dead stream rejected at {at} but tiled {consumed} symbols"
+                    )));
+                }
+                if state >= n_states {
+                    return Err(err(format!("rejecting state {state} out of range")));
+                }
+                Some(crate::driver::LrReject {
+                    at,
+                    state,
+                    expected: table.expected_in(&self.core.cfg, state),
+                })
+            }
+        };
+        if st.shifts != consumed {
+            return Err(err(format!(
+                "shift counter {} disagrees with {consumed} consumed symbols",
+                st.shifts
+            )));
+        }
+        Ok(LrStream {
+            core: self.core.clone(),
+            machine: Machine::from_parts(st.states, st.trees, claim_ids, st.shifts, st.reduces),
+            input: st.input,
+            dead,
+            fault: None,
+            full_validate: false,
+        })
     }
 }

@@ -74,6 +74,41 @@ impl CertTables {
             start_id,
         }
     }
+
+    /// The interned id a [`ClaimRef`] denotes, `None` if the index is
+    /// out of range for this grammar.
+    pub(crate) fn claim_id(&self, claim: ClaimRef) -> Option<GrammarId> {
+        match claim {
+            ClaimRef::Term(i) => self.chr_ids.get(i).copied(),
+            ClaimRef::Var(n) => self.var_ids.get(n).copied(),
+        }
+    }
+
+    /// The stable [`ClaimRef`] of an interned claim id (a linear scan:
+    /// this runs once per stack entry at snapshot time, over alphabets
+    /// and nonterminal sets that are small by construction).
+    pub(crate) fn claim_ref(&self, id: GrammarId) -> Option<ClaimRef> {
+        if let Some(i) = self.chr_ids.iter().position(|&c| c == id) {
+            return Some(ClaimRef::Term(i));
+        }
+        self.var_ids
+            .iter()
+            .position(|&v| v == id)
+            .map(ClaimRef::Var)
+    }
+}
+
+/// A process-independent reference to a claim on the LR machine's
+/// certification stack: interned [`GrammarId`]s are stable only within
+/// one process, so session snapshots record each claim as *terminal
+/// number `i`* or *nonterminal number `n`* and map it back through the
+/// resuming parser's certification tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimRef {
+    /// The claim `chr(c)` for the alphabet's `i`th symbol.
+    Term(usize),
+    /// The claim `var(n)` for the grammar's `n`th nonterminal.
+    Var(usize),
 }
 
 /// Renders a claim sequence for fault reports.
@@ -314,6 +349,40 @@ impl Machine {
     /// The current (top-of-stack) state.
     pub(crate) fn current_state(&self) -> usize {
         *self.states.last().expect("state stack is never empty") as usize
+    }
+
+    /// The partial-derivation stack (one tree per shifted-or-reduced
+    /// stack slot), for state extraction.
+    pub(crate) fn trees(&self) -> &[ParseTree] {
+        &self.trees
+    }
+
+    /// The claim stack parallel to [`Machine::trees`] (empty when the
+    /// machine runs without certification tables).
+    pub(crate) fn claims(&self) -> &[GrammarId] {
+        &self.claims
+    }
+
+    /// Reassembles a machine from extracted state — the re-injection
+    /// half of session resume. The caller (see
+    /// [`crate::CertifiedLrParser::resume_stream`]) is responsible for
+    /// having *validated* the parts against the table and grammar; this
+    /// constructor only glues them back together.
+    pub(crate) fn from_parts(
+        states: Vec<u32>,
+        trees: Vec<ParseTree>,
+        claims: Vec<GrammarId>,
+        shifts_done: usize,
+        reduces_done: usize,
+    ) -> Machine {
+        Machine {
+            states,
+            trees,
+            claims,
+            sabotage: None,
+            shifts_done,
+            reduces_done,
+        }
     }
 
     /// Feeds one input symbol (`None` = end of input): reduces until the

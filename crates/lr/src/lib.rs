@@ -49,8 +49,10 @@ mod driver;
 mod items;
 mod table;
 
-pub use certified::{CertifiedLrParser, CertifyError, LrOutcome, LrStream};
-pub use driver::{LrReject, SabotageLr};
+pub use certified::{
+    CertifiedLrParser, CertifyError, LrOutcome, LrResumeError, LrStream, LrStreamState,
+};
+pub use driver::{ClaimRef, LrReject, SabotageLr};
 pub use table::{Action, ConflictKind, LrConflict, LrConflictReport, LrTable, ProductionRef};
 
 #[cfg(test)]

@@ -272,6 +272,11 @@ impl LrTable {
         self.n_terms - 1
     }
 
+    /// Number of GOTO columns (one per nonterminal).
+    pub fn num_nonterminals(&self) -> usize {
+        self.n_nts
+    }
+
     /// The ACTION cell for `state` under terminal column `term`
     /// (a symbol index, or [`LrTable::eof_column`]).
     #[inline]

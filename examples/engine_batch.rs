@@ -60,6 +60,10 @@ fn main() {
                     format!("reject (witness size {witness_size})")
                 }
                 ReportOutcome::Failed(e) => format!("failed: {e}"),
+                ReportOutcome::BudgetExceeded { budget, required } => {
+                    format!("shed: {required} symbols over the {budget}-symbol budget")
+                }
+                ReportOutcome::DeadlineExceeded => "shed: deadline passed".to_owned(),
             };
             println!("  input #{} (len {}): {verdict}", r.index, r.input_len);
         }

@@ -53,6 +53,10 @@ fn main() {
                 println!("  lex✗    {input}  {message} (byte {at})");
             }
             StrReportOutcome::Failed(m) => println!("  failed  {input}  {m}"),
+            StrReportOutcome::BudgetExceeded { budget, required } => {
+                println!("  shed    {input}  ({required} bytes over the {budget}-byte budget)");
+            }
+            StrReportOutcome::DeadlineExceeded => println!("  shed    {input}  (deadline passed)"),
         }
     }
 

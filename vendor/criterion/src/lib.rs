@@ -100,7 +100,10 @@ impl Bencher {
             }
             let elapsed = start.elapsed();
             if elapsed >= self.sample_budget || iters >= 1 << 20 {
-                let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+                // A sub-nanosecond routine (or an optimized-away loop)
+                // would make the quotient 0 — clamp after dividing, or
+                // the budget division below divides by zero.
+                let per_iter = (elapsed.as_nanos() / iters as u128).max(1);
                 let target = self.sample_budget.as_nanos();
                 iters = ((target / per_iter).max(1) as u64).min(1 << 20);
                 break;
