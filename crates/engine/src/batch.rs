@@ -223,7 +223,15 @@ fn parse_one_str(pipeline: &CompiledPipeline, index: usize, input: &str) -> StrP
     let outcome = match pipeline.parse_str(input) {
         Ok(StrOutcome::Accept { tree, tokens }) => StrReportOutcome::Accepted {
             tree_size: tree.size(),
-            tokens: tokens.map_or(0, |t| t.yield_string().len()),
+            // The fused lexed path never materializes the token
+            // stream; its yield count is the tree's yield length
+            // (identical by the intrinsic contract — the tree's yield
+            // *is* the token string). Non-lexed pipelines stay at 0.
+            tokens: match tokens {
+                Some(t) => t.yield_string().len(),
+                None if pipeline.lexed_backend().is_some() => tree.flatten().len(),
+                None => 0,
+            },
         },
         Ok(StrOutcome::RejectParse { span, message, .. }) => {
             StrReportOutcome::RejectedParse { span, message }

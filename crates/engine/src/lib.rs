@@ -100,6 +100,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use lambek_core::alphabet::GString;
+use lambek_lex::{LexChunk, LexedOutcome, TokenStream};
 
 use cache::PipelineCache;
 use pool::WorkerPool;
@@ -113,6 +114,14 @@ pub enum EngineError {
     /// A streaming parser was requested for a pipeline with no DFA
     /// backend (e.g. the lookahead-automaton expression pipeline).
     NoStreamingBackend(String),
+    /// Parallel lexing ([`Engine::lex_str_parallel`]) was requested for
+    /// a pipeline that is not a lexed CFG pipeline.
+    NotLexed(String),
+    /// A certified component violated its own contract at serve time
+    /// (e.g. the lexer emitted a lexeme the derivative checker rejects).
+    /// This signals a bug in the serving layer, never an input error —
+    /// malformed inputs come back as structured rejections.
+    Contract(String),
 }
 
 impl fmt::Display for EngineError {
@@ -122,11 +131,68 @@ impl fmt::Display for EngineError {
             EngineError::NoStreamingBackend(m) => {
                 write!(f, "pipeline {m} has no DFA backend for streaming")
             }
+            EngineError::NotLexed(m) => {
+                write!(f, "pipeline {m} has no certified lexer for parallel lexing")
+            }
+            EngineError::Contract(m) => write!(f, "certification contract violated: {m}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// Number of log₂ buckets in a [`LatencyHistogram`]: bucket `i` counts
+/// observations in `[2^i, 2^{i+1})` nanoseconds (bucket 0 also absorbs
+/// sub-nanosecond readings, the last bucket is open-ended at ~4.3 s).
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// A log₂-bucketed latency histogram snapshot (see
+/// [`CacheStats::hit_latency`] / [`CacheStats::miss_latency`]).
+///
+/// The live counters are lock-free relaxed atomics — recording a sample
+/// is one `leading_zeros` and one `fetch_add` — so the histograms cost
+/// nothing measurable on the lookup path; a snapshot is a plain `Copy`
+/// array of the counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` = samples observed in `[2^i, 2^{i+1})` ns.
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The inclusive lower bound of bucket `i`, in nanoseconds.
+    pub fn bucket_floor_nanos(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// An upper bound (in nanoseconds, bucket granularity) on the `q`
+    /// quantile of the recorded samples — e.g. `quantile_nanos(0.99)`
+    /// bounds the p99. Returns `None` for an empty histogram.
+    pub fn quantile_nanos(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        None
+    }
+}
 
 /// Cache observability counters (see [`Engine::stats`]).
 ///
@@ -145,6 +211,12 @@ pub struct CacheStats {
     pub compiles: u64,
     /// Pipelines currently resident.
     pub entries: usize,
+    /// End-to-end latency of cache hits (mutex wait + probe). Only
+    /// successful lookups are recorded.
+    pub hit_latency: LatencyHistogram,
+    /// End-to-end latency of cache misses — mutex wait plus the full
+    /// pipeline compilation. Failed compilations are not recorded.
+    pub miss_latency: LatencyHistogram,
 }
 
 /// Full serving-tier observability (see [`Engine::engine_stats`]):
@@ -190,6 +262,8 @@ pub struct Engine {
     hits: AtomicU64,
     misses: AtomicU64,
     compiles: AtomicU64,
+    hit_lat: [AtomicU64; LATENCY_BUCKETS],
+    miss_lat: [AtomicU64; LATENCY_BUCKETS],
 }
 
 impl Default for Engine {
@@ -213,11 +287,28 @@ impl Engine {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             compiles: AtomicU64::new(0),
+            hit_lat: std::array::from_fn(|_| AtomicU64::new(0)),
+            miss_lat: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
     fn pool(&self) -> &WorkerPool {
         self.pool.get_or_init(|| WorkerPool::new(0))
+    }
+
+    /// Records one latency sample into a log₂ histogram: bucket
+    /// `floor(log2(ns))`, clamped into range. Relaxed atomics — the
+    /// counters are monotone and read only by snapshots.
+    fn record_latency(hist: &[AtomicU64; LATENCY_BUCKETS], elapsed: Duration) {
+        let n = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX).max(1);
+        let idx = (63 - n.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        hist[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot_latency(hist: &[AtomicU64; LATENCY_BUCKETS]) -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|i| hist[i].load(Ordering::Relaxed)),
+        }
     }
 
     /// Returns the compiled pipeline for `spec`, compiling it on first
@@ -235,16 +326,23 @@ impl Engine {
     ) -> Result<Arc<CompiledPipeline>, EngineError> {
         // One mutex for the whole probe-or-compile: concurrent misses
         // on the same spec compile exactly once, which keeps the
-        // compile-once contract strict (not merely eventual).
+        // compile-once contract strict (not merely eventual). The
+        // latency clock starts before the lock, so the histograms see
+        // what callers see: a hit stuck behind a long compile lands in
+        // a high hit bucket, which is exactly the signal an operator
+        // wants from these counters.
+        let t0 = std::time::Instant::now();
         let mut cache = self.cache.lock().expect("engine cache poisoned");
         if let Some(hit) = cache.get(spec) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            Self::record_latency(&self.hit_lat, t0.elapsed());
             return Ok(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.compiles.fetch_add(1, Ordering::Relaxed);
         let compiled = Arc::new(spec.compile()?);
         cache.insert(spec.clone(), compiled.clone());
+        Self::record_latency(&self.miss_lat, t0.elapsed());
         Ok(compiled)
     }
 
@@ -353,6 +451,78 @@ impl Engine {
         }))
     }
 
+    /// Certified lexing with speculative parallel chunked scanning:
+    /// splits `input` at guessed char-boundary seams, fans the
+    /// byte-sliced chunk scans ([`lambek_lex::LexAutomaton::lex_chunk`])
+    /// across the engine's persistent worker pool, joins them by
+    /// memoized replay ([`lambek_lex::LexAutomaton::join_chunks`] —
+    /// re-munching only seam-straddling lexemes), and feeds the joined
+    /// chain through the incremental span-based certifier. The outcome
+    /// is observationally identical to the sequential
+    /// [`lambek_lex::CertifiedLexer::lex`]: same tokens, same spans,
+    /// same lex error — only the wall-clock differs.
+    ///
+    /// `chunks` caps the split (1 = sequential on the calling thread;
+    /// tiny inputs collapse to fewer chunks). The pool is not
+    /// reentrant, so do not call this from inside a pooled batch job.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Compile`] if the pipeline cannot be built,
+    /// [`EngineError::NotLexed`] if `spec` is not a lexed CFG pipeline,
+    /// and [`EngineError::Contract`] if certification of the joined
+    /// chain fails (a serving-layer bug, never an input error — inputs
+    /// that do not lex come back as [`LexedOutcome::Reject`]).
+    pub fn lex_str_parallel(
+        &self,
+        spec: &PipelineSpec,
+        input: &str,
+        chunks: usize,
+    ) -> Result<LexedOutcome, EngineError> {
+        let pipeline = self.get_or_compile(spec)?;
+        let Some(backend) = pipeline.lexed_backend() else {
+            return Err(EngineError::NotLexed(spec.label()));
+        };
+        let lexer = backend.lexer();
+        let starts = lambek_lex::chunk_starts(input, chunks);
+        let scanned: Vec<LexChunk> = if starts.len() <= 1 {
+            // Nothing to fan out: one chunk covering the whole input is
+            // exactly the sequential scan.
+            vec![lexer.automaton().lex_chunk(input, 0, input.len())]
+        } else {
+            // Pool jobs are 'static: share the text via Arc and clone
+            // the (Arc-backed) automaton into the closure. One shard
+            // per chunk so distinct workers can steal distinct seams.
+            let text: Arc<str> = Arc::from(input);
+            let auto = lexer.automaton().clone();
+            let ranges: Vec<(usize, usize)> = starts
+                .iter()
+                .enumerate()
+                .map(|(k, &s)| (s, starts.get(k + 1).copied().unwrap_or(input.len())))
+                .collect();
+            let shards = ranges.len();
+            self.pool().run_batch(ranges, shards, move |_, &(s, e)| {
+                auto.lex_chunk(&text, s, e)
+            })
+        };
+        let joined = match lexer.automaton().join_chunks(input, &scanned) {
+            Ok(lexemes) => lexemes,
+            Err(e) => return Ok(LexedOutcome::Reject(e)),
+        };
+        // Certify the joined chain exactly as the sequential lexer
+        // would: span tiling plus per-lexeme derivative membership,
+        // then materialize the certified token stream.
+        let mut cert = lexer.certifier();
+        for l in &joined {
+            cert.check_raw(input, l)
+                .map_err(|e| EngineError::Contract(e.to_string()))?;
+        }
+        cert.finish(input)
+            .map_err(|e| EngineError::Contract(e.to_string()))?;
+        let tokens: Vec<_> = joined.into_iter().map(|l| l.to_token(input)).collect();
+        Ok(LexedOutcome::Tokens(TokenStream::from_tokens(tokens)))
+    }
+
     /// Opens a push-mode streaming parser for `spec`.
     ///
     /// # Errors
@@ -397,6 +567,8 @@ impl Engine {
             misses: self.misses.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
             entries: self.cache.lock().expect("engine cache poisoned").len(),
+            hit_latency: Self::snapshot_latency(&self.hit_lat),
+            miss_latency: Self::snapshot_latency(&self.miss_lat),
         }
     }
 
@@ -419,6 +591,8 @@ impl Engine {
                 misses: self.misses.load(Ordering::Relaxed),
                 compiles: self.compiles.load(Ordering::Relaxed),
                 entries,
+                hit_latency: Self::snapshot_latency(&self.hit_lat),
+                miss_latency: Self::snapshot_latency(&self.miss_lat),
             },
             evictions,
             resident_weight,
@@ -460,6 +634,70 @@ mod tests {
         // The failure is re-attempted (and re-fails) on the next call.
         assert!(engine.get_or_compile(&spec).is_err());
         assert_eq!(engine.stats().misses, 2);
+    }
+
+    #[test]
+    fn lex_str_parallel_matches_the_sequential_lexer() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::arith_lexed();
+        let pipeline = engine.get_or_compile(&spec).unwrap();
+        let lexer = pipeline.lexed_backend().unwrap().lexer();
+        let good = "12 + (345 + 6) + 78";
+        let bad = "12 + X + 34";
+        for chunks in [1, 2, 3, 4, 8, 64] {
+            assert_eq!(
+                engine.lex_str_parallel(&spec, good, chunks).unwrap(),
+                lexer.lex(good).unwrap(),
+                "{chunks} chunks on accepting input"
+            );
+            assert_eq!(
+                engine.lex_str_parallel(&spec, bad, chunks).unwrap(),
+                lexer.lex(bad).unwrap(),
+                "{chunks} chunks on rejecting input"
+            );
+            assert_eq!(
+                engine.lex_str_parallel(&spec, "", chunks).unwrap(),
+                lexer.lex("").unwrap(),
+                "{chunks} chunks on empty input"
+            );
+        }
+    }
+
+    #[test]
+    fn lex_str_parallel_rejects_unlexed_pipelines() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::regex(Alphabet::abc(), "a*b");
+        assert!(matches!(
+            engine.lex_str_parallel(&spec, "aab", 4),
+            Err(EngineError::NotLexed(_))
+        ));
+    }
+
+    #[test]
+    fn cache_latency_histograms_count_hits_and_misses() {
+        let engine = Engine::new();
+        let spec = PipelineSpec::dyck(4);
+        assert_eq!(engine.stats().hit_latency.count(), 0);
+        assert_eq!(engine.stats().miss_latency.count(), 0);
+        engine.get_or_compile(&spec).unwrap();
+        engine.get_or_compile(&spec).unwrap();
+        engine.get_or_compile(&spec).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.miss_latency.count(), 1);
+        assert_eq!(stats.hit_latency.count(), 2);
+        // The quantile bound is monotone and sane: a compile takes at
+        // least a microsecond on any hardware.
+        let p100 = stats.miss_latency.quantile_nanos(1.0).unwrap();
+        assert!(p100 >= stats.miss_latency.quantile_nanos(0.5).unwrap());
+        assert!(p100 >= 1_000, "compile latency bound {p100}ns");
+        // Failed compilations record no sample.
+        let bad = PipelineSpec::regex(Alphabet::abc(), "(((");
+        assert!(engine.get_or_compile(&bad).is_err());
+        assert_eq!(engine.stats().miss_latency.count(), 1);
+        assert!(engine.stats().hit_latency.quantile_nanos(0.99).is_some());
+        assert_eq!(LatencyHistogram::default().quantile_nanos(0.5), None);
+        assert_eq!(LatencyHistogram::bucket_floor_nanos(0), 0);
+        assert_eq!(LatencyHistogram::bucket_floor_nanos(10), 1024);
     }
 
     #[test]

@@ -35,8 +35,10 @@ use lambek_core::grammar::expr::Grammar;
 use lambek_core::grammar::parse_tree::{validate, ParseTree};
 use lambek_core::theory::parser::{ParseOutcome, VerifiedParser};
 use lambek_core::transform::TransformError;
-use lambek_lex::{CertifiedLexer, LexError, LexSpec, Span, TokenStream};
-use lambek_lr::{CertifiedLrParser, LrConflictReport, LrOutcome};
+use lambek_lex::{
+    CertifiedLexer, LexCertifier, LexError, LexSpec, RawLexeme, Span, TokenSink, TokenStream,
+};
+use lambek_lr::{CertifiedLrParser, LrConflictReport, LrOutcome, LrSink};
 use regex_grammars::ast::parse_regex;
 use regex_grammars::pipeline::RegexParser;
 
@@ -523,14 +525,17 @@ impl CfgBackend {
 pub enum StrOutcome {
     /// The text lexed and the token string parsed. The tree has been
     /// re-validated against the token-level grammar and the token
-    /// string; the token stream has been re-validated against the raw
-    /// text (span tiling + independent derivative re-matching). For
-    /// non-lexed pipelines [`tokens`](StrOutcome::Accept::tokens) is
+    /// string; the lexemes have been re-validated against the raw text
+    /// (span tiling + independent derivative re-matching). The fused
+    /// path ([`LexedCfgBackend::parse_str`]) never materializes the
+    /// token stream, so [`tokens`](StrOutcome::Accept::tokens) is
+    /// `None` there — use [`LexedCfgBackend::parse_str_tokens`] when
+    /// the stream itself is wanted. Non-lexed pipelines always report
     /// `None` (the "lexer" was the trivial char-per-symbol reading).
     Accept {
         /// The certified parse tree over the pipeline's grammar.
         tree: ParseTree,
-        /// The certified token stream (lexed pipelines only).
+        /// The certified token stream (materializing lexed paths only).
         tokens: Option<TokenStream>,
     },
     /// The text lexed but the token string is not in the grammar.
@@ -574,6 +579,40 @@ pub struct LexedCfgBackend {
     inner: CfgBackend,
 }
 
+/// The fused lex→certify→LR consumer: the byte-sliced scanner's
+/// [`TokenSink`] for [`LexedCfgBackend::parse_str`]. Each lexeme is
+/// certified *by span* (no text materialized) and its symbol shifted
+/// straight into the LR machine; skip lexemes certify and vanish.
+///
+/// A certification failure aborts the lex (the sink's error plane); an
+/// LR rejection does *not* — the LR side goes dead, lexing continues
+/// to its own verdict so a later unlexable byte keeps priority, and
+/// the span of the first refused shift is kept for the rejection
+/// report.
+struct FusedSink {
+    cert: LexCertifier,
+    lrs: LrSink,
+    /// Span (in the raw input) of the yield token whose shift the LR
+    /// machine first refused, if any.
+    reject_span: Option<Span>,
+}
+
+impl TokenSink for FusedSink {
+    type Err = TransformError;
+
+    fn lexeme(&mut self, input: &str, lexeme: RawLexeme) -> Result<(), TransformError> {
+        self.cert.check_raw(input, &lexeme).map_err(|e| {
+            TransformError::Custom(format!("certified-lexer contract violation: {e}"))
+        })?;
+        if let Some(sym) = lexeme.sym {
+            if !self.lrs.push(sym) && self.reject_span.is_none() {
+                self.reject_span = Some(lexeme.span);
+            }
+        }
+        Ok(())
+    }
+}
+
 impl LexedCfgBackend {
     /// The certified lexer.
     pub fn lexer(&self) -> &CertifiedLexer {
@@ -588,13 +627,18 @@ impl LexedCfgBackend {
     /// Lexes `input` and parses the token string, certifying both
     /// layers. Rejections carry byte offsets into `input`.
     ///
-    /// On LR-backed grammars this is the *fused* incremental path: each
-    /// lexeme is certified at its munch boundary (running tiling cursor
-    /// plus memoized derivative re-match) and shifted straight into the
-    /// LR stack — whose reductions are themselves certified as
-    /// performed — so neither layer re-walks its output at the end. The
-    /// Earley fallback (and [`LexedCfgBackend::parse_str_full`]) still
-    /// runs the original two-pass form.
+    /// On LR-backed grammars this is the *fused* hot path: the
+    /// byte-sliced scanner pushes each lexeme through span-based
+    /// certification (running tiling cursor plus memoized derivative
+    /// re-match, no text copied) and shifts its symbol straight into
+    /// the LR stack — whose reductions are themselves certified as
+    /// performed — with no `Vec<Token>`, no [`TokenStream`] and no
+    /// per-token `String` ever allocated; accordingly the outcome's
+    /// `tokens` field is `None`. Use
+    /// [`LexedCfgBackend::parse_str_tokens`] when the caller wants the
+    /// certified stream itself. The Earley fallback (and
+    /// [`LexedCfgBackend::parse_str_full`]) still runs the original
+    /// two-pass form.
     ///
     /// # Errors
     ///
@@ -606,16 +650,65 @@ impl LexedCfgBackend {
             // Earley needs the whole token string anyway.
             return self.parse_str_full(input);
         };
+        let mut sink = FusedSink {
+            cert: self.lexer.certifier(),
+            // A loose lower bound on the yield length: arithmetic-style
+            // inputs average a handful of bytes per yield token, so the
+            // LR machine's stacks mostly avoid regrowth without
+            // over-reserving on token-sparse inputs.
+            lrs: lr.sink_with_capacity(input.len() / 8),
+            reject_span: None,
+        };
+        // Lex errors keep priority over LR rejections, exactly as in
+        // the two-pass form (where lexing ran to completion first) — a
+        // doomed LR stack never masks a later unlexable byte, because
+        // the sink's LR side just goes (and stays) dead while lexing
+        // continues.
+        if let Err(e) = self.lexer.automaton().lex_into(input, &mut sink)? {
+            return Ok(StrOutcome::RejectLex(e));
+        }
+        sink.cert.finish(input).map_err(|e| {
+            TransformError::Custom(format!("certified-lexer contract violation: {e}"))
+        })?;
+        match sink.lrs.finish().map_err(|e| TransformError::OutputShape {
+            transformer: "certified-lr".to_owned(),
+            cause: e.cause,
+        })? {
+            LrOutcome::Accept(tree) => Ok(StrOutcome::Accept { tree, tokens: None }),
+            LrOutcome::Reject(r) => Ok(StrOutcome::RejectParse {
+                // The span of the yield token whose shift the LR stack
+                // first refused — the same token `span_of_yield` finds
+                // on the materializing paths — or the empty span at the
+                // end of input when every shift succeeded and only the
+                // final accept was refused.
+                span: sink.reject_span.unwrap_or_else(|| Span::empty(input.len())),
+                message: r.to_string(),
+                tokens: None,
+            }),
+        }
+    }
+
+    /// [`LexedCfgBackend::parse_str`] materializing the certified
+    /// [`TokenStream`] alongside the outcome — the original incremental
+    /// two-layer path: each token is certified at its munch boundary
+    /// and shifted into the LR stream, and the collected tokens ride
+    /// along in the outcome's `tokens` field. Callers that only need
+    /// the verdict and tree should prefer the fused
+    /// [`LexedCfgBackend::parse_str`].
+    ///
+    /// # Errors
+    ///
+    /// As [`LexedCfgBackend::parse_str`].
+    pub fn parse_str_tokens(&self, input: &str) -> Result<StrOutcome, TransformError> {
+        let CfgMode::Lr(lr) = &self.inner.mode else {
+            // Earley needs the whole token string anyway.
+            return self.parse_str_full(input);
+        };
         let mut cert = self.lexer.certifier();
         let mut lrs = lr.stream();
         let mut tokens = Vec::new();
         for item in self.lexer.automaton().lexemes(input) {
             match item {
-                // Lex errors keep priority over LR rejections, exactly
-                // as in the two-pass form (where lexing ran to
-                // completion first) — a doomed LR stack never masks a
-                // later unlexable byte, because the LR stream just goes
-                // (and stays) dead while lexing continues.
                 Err(e) => return Ok(StrOutcome::RejectLex(e)),
                 Ok(t) => {
                     cert.check(input, &t).map_err(|e| {
@@ -1038,11 +1131,24 @@ mod tests {
         assert!(p.parser().is_none() && p.backend().is_none());
 
         let input = "{\"k\": [1, 2, {\"deep\": null}], \"ok\": true}";
+        // The fused hot path: no token stream materialized.
         let out = p.parse_str(input).unwrap();
         let StrOutcome::Accept { tree, tokens } = out else {
             panic!("valid JSON subset must parse: {out:?}");
         };
-        let tokens = tokens.expect("lexed pipelines report their tokens");
+        assert!(tokens.is_none(), "the fused path never materializes");
+        // The materializing variant agrees on the tree and yields the
+        // certified stream.
+        let out = b.parse_str_tokens(input).unwrap();
+        let StrOutcome::Accept {
+            tree: tree2,
+            tokens,
+        } = out
+        else {
+            panic!("valid JSON subset must parse: {out:?}");
+        };
+        assert_eq!(tree, tree2, "fused and materializing paths agree");
+        let tokens = tokens.expect("the materializing path reports tokens");
         // Double certification is re-checkable from the outside too:
         // the tree's yield is the token string…
         assert_eq!(&tree.flatten(), tokens.yield_string());

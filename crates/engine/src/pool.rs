@@ -119,7 +119,6 @@ impl Shared {
                 Some(job) => {
                     self.park.lock().expect("pool park poisoned").queued -= 1;
                     job();
-                    self.executed.fetch_add(1, Ordering::Relaxed);
                 }
                 None => {
                     let park = self.park.lock().expect("pool park poisoned");
@@ -238,12 +237,18 @@ impl WorkerPool {
         for (shard_idx, (base, chunk)) in chunks.into_iter().enumerate() {
             let f = f.clone();
             let tx = tx.clone();
+            let shared = self.shared.clone();
             let job: Job = Box::new(move || {
                 let out: Vec<R> = chunk
                     .iter()
                     .enumerate()
                     .map(|(i, item)| f(base + i, item))
                     .collect();
+                // Count completion *before* the send: the caller reads
+                // `executed` as soon as every shard has been received,
+                // so an increment after the send could still be in
+                // flight and make `submitted == executed` flicker.
+                shared.executed.fetch_add(1, Ordering::Relaxed);
                 // The receiver only disappears if the caller panicked;
                 // a dead letter is then irrelevant.
                 let _unused = tx.send((shard_idx, out));

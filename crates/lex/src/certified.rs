@@ -37,7 +37,7 @@ use regex_grammars::derivative::matches;
 use regex_grammars::lazy::LazyDerivMatcher;
 
 use crate::compile::LexAutomaton;
-use crate::driver::{LexError, Token, TokenStream};
+use crate::driver::{LexError, RawLexeme, Token, TokenStream};
 use crate::fnv::FnvMap;
 use crate::spec::LexSpec;
 
@@ -337,7 +337,6 @@ impl LexCertifier {
     /// [`LexCertifyError`] describing the first violated obligation;
     /// the messages match [`CertifiedLexer::certify`]'s.
     pub fn check(&mut self, input: &str, t: &Token) -> Result<(), LexCertifyError> {
-        let spec = self.auto.spec();
         let i = self.index;
         let err = |message: String| Err(LexCertifyError { message });
         if t.span.start != self.cursor {
@@ -355,42 +354,96 @@ impl LexCertifier {
                 ))
             }
         }
-        let Some(rule) = spec.rules().get(t.rule) else {
-            return err(format!("token {i} references unknown rule {}", t.rule));
+        self.check_membership(i, t.rule, t.sym, &t.text)?;
+        self.cursor = t.span.end;
+        self.index += 1;
+        Ok(())
+    }
+
+    /// Certifies the next emitted lexeme by *span*, reading the lexeme
+    /// text straight out of `input`: the allocation-free form of
+    /// [`LexCertifier::check`] the fused pipelines use, where no
+    /// [`Token`] (and no owned text) ever exists. The obligations are
+    /// identical — the span must start at the tiling cursor and denote
+    /// a real slice of `input`, and that slice must independently
+    /// re-match the rule's regex — only the "claimed text equals the
+    /// slice" clause is vacuous, since the text *is* the slice.
+    ///
+    /// # Errors
+    ///
+    /// As [`LexCertifier::check`], with matching messages.
+    pub fn check_raw(&mut self, input: &str, l: &RawLexeme) -> Result<(), LexCertifyError> {
+        let i = self.index;
+        if l.span.start != self.cursor {
+            return Err(LexCertifyError {
+                message: format!(
+                    "token {i} starts at byte {} but the previous lexeme ended at {}",
+                    l.span.start, self.cursor
+                ),
+            });
+        }
+        let Some(slice) = input.get(l.span.start..l.span.end) else {
+            return Err(LexCertifyError {
+                message: format!(
+                    "token {i} claims span {} but the input has no such slice",
+                    l.span
+                ),
+            });
         };
-        if t.sym != spec.token_symbol(t.rule) {
+        self.check_membership(i, l.rule, l.sym, slice)?;
+        self.cursor = l.span.end;
+        self.index += 1;
+        Ok(())
+    }
+
+    /// The membership half shared by [`LexCertifier::check`] and
+    /// [`LexCertifier::check_raw`]: rule/symbol bookkeeping plus the
+    /// independent derivative re-match, memoized per `(rule, text)`.
+    /// The cache probe borrows `text` — a miss is the only path that
+    /// allocates (to own the cache key).
+    fn check_membership(
+        &self,
+        i: usize,
+        rule_idx: usize,
+        sym: Option<lambek_core::alphabet::Symbol>,
+        text: &str,
+    ) -> Result<(), LexCertifyError> {
+        let spec = self.auto.spec();
+        let err = |message: String| Err(LexCertifyError { message });
+        let Some(rule) = spec.rules().get(rule_idx) else {
+            return err(format!("token {i} references unknown rule {rule_idx}"));
+        };
+        if sym != spec.token_symbol(rule_idx) {
             return err(format!(
                 "token {i} carries the wrong token-alphabet symbol for rule {:?}",
                 rule.name
             ));
         }
         let cached = {
-            let verdicts = self.verdicts[t.rule]
+            let verdicts = self.verdicts[rule_idx]
                 .lock()
                 .expect("verdict cache poisoned");
-            verdicts.get(t.text.as_str()).copied()
+            verdicts.get(text).copied()
         };
         let ok = cached.unwrap_or_else(|| {
             // Compute outside the lock: the matcher memoizes its own
             // derivative states behind its own lock.
             let ok = spec
                 .alphabet()
-                .parse_str(&t.text)
-                .is_some_and(|w| self.matchers[t.rule].matches(&w));
-            self.verdicts[t.rule]
+                .parse_str(text)
+                .is_some_and(|w| self.matchers[rule_idx].matches(&w));
+            self.verdicts[rule_idx]
                 .lock()
                 .expect("verdict cache poisoned")
-                .insert(t.text.clone(), ok);
+                .insert(text.to_owned(), ok);
             ok
         });
         if !ok {
             return err(format!(
-                "token {i} lexeme {:?} is not in rule {:?} (derivative re-match failed)",
-                t.text, rule.name
+                "token {i} lexeme {text:?} is not in rule {:?} (derivative re-match failed)",
+                rule.name
             ));
         }
-        self.cursor = t.span.end;
-        self.index += 1;
         Ok(())
     }
 

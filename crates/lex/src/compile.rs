@@ -11,7 +11,18 @@
 //! a dense flat-table [`Dfa`] where one load answers both "does this
 //! state accept?" and "for which rule?" — exactly what the
 //! maximal-munch driver probes per character.
+//!
+//! Compilation additionally lowers the char-level DFA to **byte-sliced
+//! execution tables** (`ByteDfa`): ASCII byte values are partitioned
+//! into *byte-equivalence classes* (two bytes share a class iff their
+//! symbols have identical transition columns), and the driver's hot loop
+//! steps through a flat `[state × class] → state` table via a 256-entry
+//! class map — no char decoding, no `Alphabet` hash probe, and the
+//! co-reachability check folded into a DEAD sentinel row. Bytes ≥ 0x80
+//! (and ASCII bytes outside the alphabet) fall back to char-at-a-time
+//! stepping, so non-ASCII alphabets keep exact char-level semantics.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use lambek_automata::determinize::determinize_tagged;
@@ -40,6 +51,99 @@ pub(crate) struct LexCore {
     /// driver treats a step into a non-live state as "the current token
     /// just ended" (or a lexical error if nothing has been accepted).
     pub(crate) live: Vec<bool>,
+    /// The byte-sliced execution tables the hot scan loop runs on.
+    pub(crate) bytes: ByteDfa,
+}
+
+/// Byte-sliced execution tables for the maximal-munch hot loop, built
+/// once at compile time from the tagged DFA.
+///
+/// ASCII byte values are partitioned into equivalence classes: two bytes
+/// land in the same class iff their alphabet symbols have identical
+/// transition columns (`δ(·, a) = δ(·, b)` pointwise). The scanner then
+/// steps `state → next[state · nclasses + class_of[byte]]` — one shift,
+/// one add, two loads per byte. Three more tricks are folded in:
+///
+/// * **Class 0 is the dead class**: ASCII bytes outside the alphabet
+///   (and all bytes ≥ 0x80, which never take this path) map to it, and
+///   every `next` entry for it is `DEAD` — so "character not in Σ" and
+///   "transition died" are the same table lookup.
+/// * **Co-reachability is pre-applied**: an entry whose true successor
+///   is not live (`!live[t]`) is stored as `DEAD`, so the per-step
+///   `live[]` probe of the char-level loop disappears.
+/// * **Accepts are packed**: `accept[s]` is `tag + 1` (0 = not
+///   accepting), so the last-accept update is one load and one compare
+///   instead of an `Option<usize>` table probe.
+///
+/// `DEAD` is the sentinel state `num_states`; it has its own all-`DEAD`
+/// row so a scan that died stays dead without branching.
+#[derive(Debug)]
+pub(crate) struct ByteDfa {
+    /// Byte value → equivalence class. Class 0 is the dead class; bytes
+    /// ≥ 0x80 are mapped to it but the scanner never consults them here
+    /// (they take the char-decoding fallback).
+    pub(crate) class_of: [u8; 256],
+    /// Number of classes, dead class included (row stride of `next`).
+    pub(crate) nclasses: usize,
+    /// Flat `[state × class] → state` table, `(num_states + 1)` rows —
+    /// the last row is the DEAD sentinel's.
+    pub(crate) next: Vec<u32>,
+    /// `tag + 1` of each state's accept tag, 0 when not accepting
+    /// (entry `num_states` — DEAD — is 0).
+    pub(crate) accept: Vec<u32>,
+    /// The DFA's initial state.
+    pub(crate) init: u32,
+    /// The DEAD sentinel (`num_states`).
+    pub(crate) dead: u32,
+}
+
+impl ByteDfa {
+    fn build(spec: &LexSpec, dfa: &Dfa, live: &[bool]) -> ByteDfa {
+        let n = dfa.num_states();
+        let sigma = spec.alphabet();
+        // Discover the classes: group single-byte (ASCII) alphabet
+        // symbols by their full transition column.
+        let mut class_of = [0u8; 256];
+        let mut col_class: HashMap<Vec<usize>, u8> = HashMap::new();
+        let mut class_sym = Vec::new(); // representative symbol per class (class 0 has none)
+        for b in 0u8..0x80 {
+            let Some(sym) = sigma.symbol_of_char(b as char) else {
+                continue;
+            };
+            let col: Vec<usize> = (0..n).map(|s| dfa.delta(s, sym)).collect();
+            let fresh = (col_class.len() + 1) as u8;
+            let cls = *col_class.entry(col).or_insert_with(|| {
+                class_sym.push(sym);
+                fresh
+            });
+            class_of[b as usize] = cls;
+        }
+        let nclasses = class_sym.len() + 1;
+        let dead = n as u32;
+        // The table, DEAD row included. Class-0 columns stay DEAD; real
+        // classes pre-apply the co-reachability filter.
+        let mut next = vec![dead; (n + 1) * nclasses];
+        for s in 0..n {
+            for (k, &sym) in class_sym.iter().enumerate() {
+                let t = dfa.delta(s, sym);
+                next[s * nclasses + (k + 1)] = if live[t] { t as u32 } else { dead };
+            }
+        }
+        let mut accept = vec![0u32; n + 1];
+        for (s, a) in accept.iter_mut().take(n).enumerate() {
+            if let Some(tag) = dfa.accept_tag(s) {
+                *a = tag as u32 + 1;
+            }
+        }
+        ByteDfa {
+            class_of,
+            nclasses,
+            next,
+            accept,
+            init: dfa.init() as u32,
+            dead,
+        }
+    }
 }
 
 /// Builds the union NFA: a fresh start state with an ε-edge into each
@@ -81,9 +185,21 @@ impl LexAutomaton {
         let det = determinize_tagged(&nfa, &tags);
         let dfa = minimize(&det.dfa);
         let live = dfa.live_states();
+        let bytes = ByteDfa::build(&spec, &dfa, &live);
         LexAutomaton {
-            core: Arc::new(LexCore { spec, dfa, live }),
+            core: Arc::new(LexCore {
+                spec,
+                dfa,
+                live,
+                bytes,
+            }),
         }
+    }
+
+    /// How many byte-equivalence classes the byte-sliced tables use
+    /// (dead class included) — introspection for tests and benchmarks.
+    pub fn num_byte_classes(&self) -> usize {
+        self.core.bytes.nclasses
     }
 
     /// The spec this automaton was compiled from.

@@ -143,6 +143,173 @@ impl TokenStream {
     }
 }
 
+/// A lexeme without its materialized text: rule, byte span, and the
+/// token-alphabet symbol (`None` for skip rules). This is what the
+/// byte-sliced scanner produces natively — the fused and parallel paths
+/// consume it directly, and [`Token`] is just a `RawLexeme` plus the
+/// `String` copy of its span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawLexeme {
+    /// Index of the matching rule in the spec (priority order).
+    pub rule: usize,
+    /// Where the lexeme sits in the raw input.
+    pub span: Span,
+    /// The rule's symbol in the token alphabet; `None` for skip rules.
+    pub sym: Option<Symbol>,
+}
+
+impl RawLexeme {
+    /// Materializes the [`Token`] this lexeme denotes (copies the span's
+    /// bytes out of `input`).
+    pub fn to_token(self, input: &str) -> Token {
+        Token {
+            rule: self.rule,
+            text: input[self.span.start..self.span.end].to_owned(),
+            span: self.span,
+            sym: self.sym,
+        }
+    }
+}
+
+/// A consumer of lexemes for the fused paths: [`LexAutomaton::lex_into`]
+/// hands each maximal-munch lexeme to the sink as it is produced, in
+/// input order, without materializing a token list in between. The
+/// engine's fused text→tree pipeline implements this to certify each
+/// lexeme and shift its symbol into the LR machine directly from the
+/// scanner's hot loop.
+pub trait TokenSink {
+    /// The sink's own failure type. Returning `Err` aborts the lex
+    /// immediately — the fused pipeline uses this for certification
+    /// faults, which invalidate everything downstream. Recoverable
+    /// conditions (e.g. the parser rejecting a prefix while later input
+    /// could still fail to lex) should be recorded inside the sink
+    /// instead, so lexing runs to its own verdict.
+    type Err;
+
+    /// Consumes the next lexeme. `input` is the full text being lexed —
+    /// the lexeme's text is `&input[lexeme.span.start..lexeme.span.end]`.
+    fn lexeme(&mut self, input: &str, lexeme: RawLexeme) -> Result<(), Self::Err>;
+}
+
+/// Why a `scan_token` stopped consuming input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScanStop {
+    /// The automaton died at the byte offset: the character there is
+    /// outside the alphabet, or stepping on it reaches a non-live
+    /// state. The character was *not* consumed.
+    Dead(usize),
+    /// The input ran out while the automaton was still live — the munch
+    /// is unresolved (push-mode callers keep it pending; one-shot
+    /// callers cut at the last accept).
+    EndOfInput,
+}
+
+/// The result of one maximal-munch scan: the most recent accept seen
+/// (`(rule, end byte)`), and why the scan stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Scan {
+    pub(crate) last: Option<(usize, usize)>,
+    pub(crate) stop: ScanStop,
+}
+
+/// One maximal-munch scan from byte offset `start`: steps the
+/// byte-sliced tables until the automaton dies or the input ends,
+/// tracking the last accept. This is THE hot loop — everything else
+/// (one-shot lexing, the push stream's bulk path, parallel chunk
+/// workers, the fused lex→LR feed) is a driver around it.
+///
+/// The fast lane dispatches 8 bytes per lap entirely inside the flat
+/// `[state × class]` table (one `u64` load decides the whole lap is
+/// ASCII; class 0 folds "not in Σ" and "died" into the DEAD sentinel).
+/// Bytes ≥ 0x80 drop to char-at-a-time stepping through the char-level
+/// DFA — identical semantics, only at token-interior non-ASCII — and
+/// re-enter the fast lane on the next lap. UTF-8 boundaries therefore
+/// only ever matter at the bytes the slow lane actually decodes; spans
+/// land on char boundaries by construction.
+pub(crate) fn scan_token(core: &LexCore, input: &str, start: usize) -> Scan {
+    let bt = &core.bytes;
+    let tab = &bt.next[..];
+    let acc = &bt.accept[..];
+    let cls = &bt.class_of;
+    let nc = bt.nclasses;
+    let dead = bt.dead;
+    let bytes = input.as_bytes();
+    let n = bytes.len();
+    let mut state = bt.init;
+    let mut last: Option<(usize, usize)> = None;
+    let mut i = start;
+    loop {
+        // Fast lane: 8-byte unrolled ASCII dispatch. The `[u8; 8]` view
+        // removes the per-byte bounds checks and lets the inner loop
+        // unroll; the single u64 mask test bails to the slow lane when
+        // any of the 8 bytes is non-ASCII.
+        while i + 8 <= n {
+            let chunk: &[u8; 8] = bytes[i..i + 8].try_into().expect("8-byte window");
+            if u64::from_ne_bytes(*chunk) & 0x8080_8080_8080_8080 != 0 {
+                break;
+            }
+            for (k, &b) in chunk.iter().enumerate() {
+                let next = tab[state as usize * nc + cls[b as usize] as usize];
+                if next == dead {
+                    return Scan {
+                        last,
+                        stop: ScanStop::Dead(i + k),
+                    };
+                }
+                state = next;
+                let a = acc[state as usize];
+                if a != 0 {
+                    last = Some(((a - 1) as usize, i + k + 1));
+                }
+            }
+            i += 8;
+        }
+        // Slow lane: one step (tail byte, or a non-ASCII char through
+        // the char-level DFA), then retry the fast lane.
+        if i >= n {
+            return Scan {
+                last,
+                stop: ScanStop::EndOfInput,
+            };
+        }
+        let b = bytes[i];
+        if b < 0x80 {
+            let next = tab[state as usize * nc + cls[b as usize] as usize];
+            if next == dead {
+                return Scan {
+                    last,
+                    stop: ScanStop::Dead(i),
+                };
+            }
+            state = next;
+            i += 1;
+        } else {
+            let ch = input[i..]
+                .chars()
+                .next()
+                .expect("scan positions are char boundaries");
+            let step = core
+                .spec
+                .alphabet()
+                .symbol_of_char(ch)
+                .map(|sym| core.dfa.delta(state as usize, sym))
+                .filter(|&s| core.live[s]);
+            let Some(s) = step else {
+                return Scan {
+                    last,
+                    stop: ScanStop::Dead(i),
+                };
+            };
+            state = s as u32;
+            i += ch.len_utf8();
+        }
+        let a = acc[state as usize];
+        if a != 0 {
+            last = Some(((a - 1) as usize, i));
+        }
+    }
+}
+
 impl LexAutomaton {
     /// One-shot maximal-munch lexing of `input`. The returned tokens
     /// tile the input exactly (skip-rule matches included); this is the
@@ -156,6 +323,43 @@ impl LexAutomaton {
         self.lexemes(input).collect()
     }
 
+    /// [`LexAutomaton::lex_raw`] on the original char-at-a-time loop
+    /// (per-char `Alphabet` probe, explicit `live[]` check, no byte
+    /// tables). Kept as the differential reference the property suites
+    /// compare the byte-sliced scanner against, and as the benchmark
+    /// baseline.
+    ///
+    /// # Errors
+    ///
+    /// As [`LexAutomaton::lex_raw`].
+    pub fn lex_raw_charwise(&self, input: &str) -> Result<Vec<Token>, LexError> {
+        self.lexemes_charwise(input).collect()
+    }
+
+    /// The char-at-a-time form of [`LexAutomaton::lexemes`] (see
+    /// [`LexAutomaton::lex_raw_charwise`]).
+    pub fn lexemes_charwise<'a>(&'a self, input: &'a str) -> CharwiseLexemes<'a> {
+        CharwiseLexemes {
+            core: self.core(),
+            input,
+            pos: 0,
+            dead: false,
+        }
+    }
+
+    /// Lexes `input` lazily into [`RawLexeme`]s — the allocation-free
+    /// form of [`LexAutomaton::lexemes`] (no `String` per token). The
+    /// fused lex→LR path and the parallel chunk workers run on this.
+    /// After the first `Err` the iterator is exhausted.
+    pub fn raw_lexemes<'a>(&'a self, input: &'a str) -> RawLexemes<'a> {
+        RawLexemes {
+            core: self.core(),
+            input,
+            pos: 0,
+            dead: false,
+        }
+    }
+
     /// Lexes `input` lazily, one maximal-munch lexeme per `next` call —
     /// the pull-mode form of [`LexAutomaton::lex_raw`]. The fused
     /// engine paths consume this to certify and parse each token as it
@@ -163,11 +367,52 @@ impl LexAutomaton {
     /// After the first `Err` the iterator is exhausted.
     pub fn lexemes<'a>(&'a self, input: &'a str) -> Lexemes<'a> {
         Lexemes {
-            core: self.core(),
-            input,
-            pos: 0,
-            dead: false,
+            raw: self.raw_lexemes(input),
         }
+    }
+
+    /// Lexes `input` straight into `sink`, one [`TokenSink::lexeme`]
+    /// call per maximal-munch lexeme — the push-based spine of the
+    /// fused lex→certify→LR pipeline: no `Vec<Token>`, no
+    /// [`TokenStream`], no per-token `String`.
+    ///
+    /// The nested result separates the two failure planes: the outer
+    /// `Err` is the sink's (certification faults — lexing aborted), the
+    /// inner one is the lexer's own verdict on the input. When the sink
+    /// never fails, `Ok(Ok(()))` means every lexeme was delivered and
+    /// the lexemes tile the input; `Ok(Err(e))` means the input stopped
+    /// lexing at `e.at` *after* the delivered lexemes.
+    ///
+    /// # Errors
+    ///
+    /// Outer: whatever `sink.lexeme` returns. Inner: [`LexError`] at
+    /// the byte offset where no rule matches, exactly as
+    /// [`LexAutomaton::lex_raw`].
+    pub fn lex_into<S: TokenSink>(
+        &self,
+        input: &str,
+        sink: &mut S,
+    ) -> Result<Result<(), LexError>, S::Err> {
+        let core = self.core();
+        let mut pos = 0usize;
+        while pos < input.len() {
+            let scan = scan_token(core, input, pos);
+            let Some((rule, end)) = scan.last else {
+                let found = input[pos..]
+                    .chars()
+                    .next()
+                    .expect("lexeme starts are char boundaries");
+                return Ok(Err(LexError { at: pos, found }));
+            };
+            let lexeme = RawLexeme {
+                rule,
+                span: Span { start: pos, end },
+                sym: core.spec.token_symbol(rule),
+            };
+            sink.lexeme(input, lexeme)?;
+            pos = end;
+        }
+        Ok(Ok(()))
     }
 
     /// Opens a push-mode lexer stream over this automaton.
@@ -251,10 +496,11 @@ impl LexAutomaton {
 }
 
 /// A lazy maximal-munch pass over a borrowed input: each `next` runs the
-/// tagged DFA from the current byte cursor to the next last-accept
-/// boundary and yields that lexeme (see [`LexAutomaton::lexemes`]).
+/// byte-sliced scanner from the current byte cursor to the next
+/// last-accept boundary and yields that lexeme as a [`RawLexeme`]
+/// (see [`LexAutomaton::raw_lexemes`]).
 #[derive(Debug)]
-pub struct Lexemes<'a> {
+pub struct RawLexemes<'a> {
     core: &'a LexCore,
     input: &'a str,
     /// Byte offset of the next token start.
@@ -262,7 +508,70 @@ pub struct Lexemes<'a> {
     dead: bool,
 }
 
+impl Iterator for RawLexemes<'_> {
+    type Item = Result<RawLexeme, LexError>;
+
+    fn next(&mut self) -> Option<Result<RawLexeme, LexError>> {
+        if self.dead || self.pos >= self.input.len() {
+            return None;
+        }
+        let scan = scan_token(self.core, self.input, self.pos);
+        match scan.last {
+            None => {
+                self.dead = true;
+                Some(Err(LexError {
+                    at: self.pos,
+                    found: self.input[self.pos..]
+                        .chars()
+                        .next()
+                        .expect("a non-empty remainder has a first char"),
+                }))
+            }
+            Some((rule, end)) => {
+                let span = Span {
+                    start: self.pos,
+                    end,
+                };
+                self.pos = end;
+                Some(Ok(RawLexeme {
+                    rule,
+                    span,
+                    sym: self.core.spec.token_symbol(rule),
+                }))
+            }
+        }
+    }
+}
+
+/// The [`Token`]-materializing form of [`RawLexemes`] (see
+/// [`LexAutomaton::lexemes`]).
+#[derive(Debug)]
+pub struct Lexemes<'a> {
+    raw: RawLexemes<'a>,
+}
+
 impl Iterator for Lexemes<'_> {
+    type Item = Result<Token, LexError>;
+
+    fn next(&mut self) -> Option<Result<Token, LexError>> {
+        let input = self.raw.input;
+        Some(self.raw.next()?.map(|l| l.to_token(input)))
+    }
+}
+
+/// The original char-at-a-time maximal-munch pass, kept verbatim as the
+/// differential reference for the byte-sliced scanner (see
+/// [`LexAutomaton::lexemes_charwise`]).
+#[derive(Debug)]
+pub struct CharwiseLexemes<'a> {
+    core: &'a LexCore,
+    input: &'a str,
+    /// Byte offset of the next token start.
+    pos: usize,
+    dead: bool,
+}
+
+impl Iterator for CharwiseLexemes<'_> {
     type Item = Result<Token, LexError>;
 
     fn next(&mut self) -> Option<Result<Token, LexError>> {
@@ -571,7 +880,15 @@ impl LexStream {
         }
     }
 
-    /// Pushes a whole string.
+    /// Pushes a whole string through the bulk byte-sliced path:
+    /// instead of stepping the char-at-a-time munch automaton, the
+    /// unresolved suffix is re-scanned with `scan_token` (the same
+    /// 8-byte-unrolled hot loop behind one-shot lexing), settled tokens
+    /// are emitted in one pass, and only the still-pending tail is
+    /// replayed into the incremental munch state. Observationally
+    /// identical to `for c in s.chars() { self.push(c)?; }` — same
+    /// tokens, same errors, same retained state — the per-char loop
+    /// survives as the error path and as the differential reference.
     ///
     /// # Errors
     ///
@@ -579,10 +896,100 @@ impl LexStream {
     /// lost to the caller (the stream itself is dead anyway).
     pub fn push_str(&mut self, s: &str) -> Result<Vec<Token>, LexError> {
         let mut out = Vec::new();
-        for c in s.chars() {
-            out.extend(self.push(c)?);
-        }
+        self.push_str_into(s, &mut out)?;
         Ok(out)
+    }
+
+    /// [`LexStream::push_str`] appending into a caller-provided buffer,
+    /// so a loop feeding many slices can reuse one allocation. On
+    /// `Err`, tokens resolved by earlier slices of `s` before the
+    /// stream died may already have been appended; the stream is dead
+    /// either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`LexStream::push`].
+    pub fn push_str_into(&mut self, s: &str, out: &mut Vec<Token>) -> Result<(), LexError> {
+        if self.dead.is_some() || s.is_empty() {
+            // Degenerate cases take the per-char loop verbatim: an
+            // empty push is a no-op even on a dead stream; a dead
+            // stream records exactly one more char and re-reports.
+            for c in s.chars() {
+                out.extend(self.push(c)?);
+            }
+            return Ok(());
+        }
+        let core = self.core.clone();
+        let old_len = self.input.len();
+        self.input.push_str(s);
+        // Speculatively re-scan the whole unresolved region (pending
+        // token start to new end) with the byte-sliced scanner. Each
+        // scan that *dies* before the end settles one token boundary;
+        // the scan that runs out of input is the new pending tail.
+        let start = self.munch.token_start;
+        let mut pos = start;
+        let mut settled: Vec<(usize, usize, usize)> = Vec::new(); // (rule, start, end)
+        loop {
+            let scan = scan_token(&core, &self.input, pos);
+            match scan.stop {
+                ScanStop::EndOfInput => break,
+                ScanStop::Dead(_) => match scan.last {
+                    Some((rule, end)) => {
+                        settled.push((rule, pos, end));
+                        pos = end;
+                    }
+                    None => {
+                        // The chain errors somewhere in `s`. Roll the
+                        // bulk append back and replay per-char: which
+                        // chars the stream retains and what the munch
+                        // holds at death are per-char semantics, and
+                        // errors are not the hot path.
+                        self.input.truncate(old_len);
+                        for c in s.chars() {
+                            out.extend(self.push(c)?);
+                        }
+                        return Ok(());
+                    }
+                },
+            }
+        }
+        let emit_from = out.len();
+        for &(rule, tstart, end) in &settled {
+            out.push(Token {
+                rule,
+                text: self.input[tstart..end].to_owned(),
+                span: Span { start: tstart, end },
+                sym: core.spec.token_symbol(rule),
+            });
+        }
+        if settled.is_empty() {
+            // `s` only extends the pending token: feed the new chars
+            // into the live munch so repeated bulk pushes stay
+            // incremental.
+            let mut queue: VecDeque<char> = s.chars().collect();
+            self.munch
+                .drain(&core, &mut queue, out)
+                .expect("scan reached end of input alive; the replay cannot die");
+            debug_assert_eq!(out.len(), emit_from, "no death ⇒ no resolved boundary");
+        } else {
+            // Re-derive the pending munch from the last settled
+            // boundary — exactly the state the per-char path keeps: a
+            // fresh automaton fed the unresolved suffix (bounded by
+            // the longest lexeme plus its overrun).
+            self.munch.state = core.dfa.init();
+            self.munch.buf.clear();
+            self.munch.buf_bytes = 0;
+            self.munch.token_start = pos;
+            self.munch.last = None;
+            let mut queue: VecDeque<char> = self.input[pos..].chars().collect();
+            let before = out.len();
+            self.munch
+                .drain(&core, &mut queue, out)
+                .expect("scan reached end of input alive; the replay cannot die");
+            debug_assert_eq!(out.len(), before, "no death ⇒ no resolved boundary");
+        }
+        SabotageLex::apply(&self.sabotage, &mut self.emitted, &mut out[emit_from..]);
+        Ok(())
     }
 
     /// Ends the input, flushing the buffered token boundary.
@@ -764,6 +1171,95 @@ mod tests {
             streamed.extend(stream.finish().unwrap());
             assert_eq!(streamed, oneshot, "{input:?}");
         }
+    }
+
+    #[test]
+    fn bulk_push_str_agrees_with_per_char_pushes() {
+        let auto = arith_auto();
+        for input in [
+            "12+(345)",
+            "1 + 2",
+            "",
+            "((7))",
+            "99 ",
+            " 5",
+            "12+x3",
+            "×",
+            "1+",
+            "12345678901234567890",
+        ] {
+            for chunk in [1usize, 2, 3, 5, input.len().max(1)] {
+                let mut bulk = auto.stream();
+                let mut charwise = auto.stream();
+                let mut bulk_out = Vec::new();
+                let mut char_out = Vec::new();
+                let mut bulk_err = None;
+                let mut char_err = None;
+                let slices: Vec<&str> = {
+                    let mut v = Vec::new();
+                    let mut rest = input;
+                    while !rest.is_empty() {
+                        let mut cut = chunk.min(rest.len());
+                        while !rest.is_char_boundary(cut) {
+                            cut += 1;
+                        }
+                        v.push(&rest[..cut]);
+                        rest = &rest[cut..];
+                    }
+                    v
+                };
+                for s in &slices {
+                    if bulk_err.is_none() {
+                        match bulk.push_str_into(s, &mut bulk_out) {
+                            Ok(()) => {}
+                            Err(e) => bulk_err = Some(e),
+                        }
+                    }
+                    if char_err.is_none() {
+                        for c in s.chars() {
+                            match charwise.push(c) {
+                                Ok(t) => char_out.extend(t),
+                                Err(e) => {
+                                    char_err = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                assert_eq!(bulk_err, char_err, "{input:?} chunk {chunk}");
+                if bulk_err.is_none() {
+                    assert_eq!(bulk_out, char_out, "{input:?} chunk {chunk}");
+                    assert_eq!(
+                        bulk.export_state(),
+                        charwise.export_state(),
+                        "{input:?} chunk {chunk}"
+                    );
+                    assert_eq!(
+                        bulk.finish().unwrap(),
+                        charwise.finish().unwrap(),
+                        "{input:?} chunk {chunk}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_push_str_on_a_dead_stream_reports_and_records_one_char() {
+        let auto = arith_auto();
+        let mut stream = auto.stream();
+        let err = stream.push_str("1+x").unwrap_err();
+        assert_eq!(err, LexError { at: 2, found: 'x' });
+        assert!(!stream.is_alive());
+        let before = stream.raw_input().to_owned();
+        assert_eq!(stream.push_str("99").unwrap_err(), err);
+        assert_eq!(
+            stream.raw_input().len(),
+            before.len() + 1,
+            "a dead stream records exactly one char per failed push_str"
+        );
+        assert!(stream.push_str("").is_ok(), "empty pushes stay no-ops");
     }
 
     #[test]

@@ -56,12 +56,14 @@ pub mod compile;
 pub mod demo;
 pub mod driver;
 mod fnv;
+pub mod parallel;
 pub mod spec;
 
 pub use certified::{CertifiedLexer, LexCertifier, LexCertifyError, LexedOutcome};
 pub use compile::LexAutomaton;
 pub use driver::{
-    LexError, LexResumeError, LexStream, LexStreamState, Lexemes, SabotageLex, Span, Token,
-    TokenStream,
+    CharwiseLexemes, LexError, LexResumeError, LexStream, LexStreamState, Lexemes, RawLexeme,
+    RawLexemes, SabotageLex, Span, Token, TokenSink, TokenStream,
 };
+pub use parallel::{chunk_starts, LexChunk};
 pub use spec::{LexRule, LexSpec, LexSpecBuilder, SpecError};

@@ -238,6 +238,125 @@ impl CertifiedLrParser {
             ..self.stream()
         }
     }
+
+    /// Opens a fused-path sink over this parser: the incremental-
+    /// certification machine and nothing else. Unlike [`LrStream`], a
+    /// sink does not retain the pushed input (no per-push `GString`
+    /// growth) and supports no snapshot/resume or acceptance probes —
+    /// it exists so a lexer can feed shifts straight into the LR stack
+    /// with zero bookkeeping beyond the parse itself. Rejections carry
+    /// the *index* of the offending pushed symbol; the caller (which
+    /// knows each symbol's provenance) maps that back to source spans.
+    pub fn sink(&self) -> LrSink {
+        self.sink_with_capacity(0)
+    }
+
+    /// [`CertifiedLrParser::sink`] with both machine stacks pre-sized
+    /// for roughly `n` pushes (a hint, not a bound).
+    pub fn sink_with_capacity(&self, n: usize) -> LrSink {
+        LrSink {
+            core: self.core.clone(),
+            machine: Machine::with_capacity(n),
+            pushed: 0,
+            dead: None,
+            fault: None,
+        }
+    }
+}
+
+/// The fused lex→LR feed (see [`CertifiedLrParser::sink`]): every push
+/// is a certified shift (plus its pending certified reductions) into
+/// the machine, with no input retention and no other state. Once a
+/// rejection or fault is recorded, later pushes only advance the index.
+#[derive(Debug)]
+pub struct LrSink {
+    core: Arc<LrCore>,
+    machine: Machine,
+    /// How many symbols have been pushed (the index space rejections
+    /// are reported in).
+    pushed: usize,
+    /// Set at the first rejected symbol; later pushes are ignored.
+    dead: Option<crate::driver::LrReject>,
+    /// Set at the first certification fault; later pushes are ignored.
+    fault: Option<CertifyError>,
+}
+
+impl LrSink {
+    /// Consumes one symbol. Returns `false` once the pushed sequence has
+    /// stopped being a viable prefix (the sink stays usable; it just
+    /// remembers the first rejection for [`LrSink::finish`]).
+    #[inline]
+    pub fn push(&mut self, sym: Symbol) -> bool {
+        if self.dead.is_some() || self.fault.is_some() {
+            self.pushed += 1;
+            return false;
+        }
+        match self
+            .machine
+            .feed(&self.core.table, Some(&self.core.cert), Some(sym))
+        {
+            Step::Shifted => {
+                self.pushed += 1;
+                true
+            }
+            Step::Rejected { state } => {
+                self.dead = Some(crate::driver::LrReject {
+                    at: self.pushed,
+                    state,
+                    expected: self.core.table.expected_in(&self.core.cfg, state),
+                });
+                self.pushed += 1;
+                false
+            }
+            Step::Faulted(cause) => {
+                self.fault = Some(CertifyError { cause });
+                self.pushed += 1;
+                false
+            }
+            Step::Accepted(_) => unreachable!("accept lives in the EOF column only"),
+        }
+    }
+
+    /// Number of symbols pushed so far (rejected ones included).
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// `true` while the pushed sequence is still a viable prefix (and no
+    /// certification fault has been recorded).
+    pub fn is_viable(&self) -> bool {
+        self.dead.is_none() && self.fault.is_none()
+    }
+
+    /// Ends the input: runs the remaining certified reductions.
+    /// Rejections report `at` as a pushed-symbol index (`pushed()` for
+    /// "the input ended while more was expected").
+    ///
+    /// # Errors
+    ///
+    /// [`CertifyError`] under the same (driver-bug) conditions as
+    /// [`CertifiedLrParser::parse`].
+    pub fn finish(mut self) -> Result<LrOutcome, CertifyError> {
+        if let Some(fault) = self.fault {
+            return Err(fault);
+        }
+        if let Some(reject) = self.dead {
+            return Ok(LrOutcome::Reject(reject));
+        }
+        match self
+            .machine
+            .feed(&self.core.table, Some(&self.core.cert), None)
+        {
+            Step::Accepted(tree) => Ok(LrOutcome::Accept(tree)),
+            Step::Rejected { state } => Ok(LrOutcome::Reject(crate::driver::LrReject {
+                at: self.pushed,
+                state,
+                expected: self.core.table.expected_in(&self.core.cfg, state),
+            })),
+            Step::Faulted(cause) => Err(CertifyError { cause }),
+            Step::Shifted => unreachable!("the EOF column never shifts"),
+        }
+    }
 }
 
 /// A push-mode incremental LR parse: one shift (plus any pending

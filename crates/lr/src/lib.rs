@@ -50,7 +50,7 @@ mod items;
 mod table;
 
 pub use certified::{
-    CertifiedLrParser, CertifyError, LrOutcome, LrResumeError, LrStream, LrStreamState,
+    CertifiedLrParser, CertifyError, LrOutcome, LrResumeError, LrSink, LrStream, LrStreamState,
 };
 pub use driver::{ClaimRef, LrReject, SabotageLr};
 pub use table::{Action, ConflictKind, LrConflict, LrConflictReport, LrTable, ProductionRef};

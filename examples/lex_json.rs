@@ -61,9 +61,11 @@ fn main() {
     }
 
     // The accepted trees are certified twice over — re-check the first
-    // one by hand: tree vs token string, spans vs raw text.
-    let parsed = pipeline
-        .parse_str(inputs[0])
+    // one by hand: tree vs token string, spans vs raw text. The fused
+    // `parse_str` never materializes the stream, so ask the
+    // token-materializing variant for it.
+    let parsed = backend
+        .parse_str_tokens(inputs[0])
         .expect("no contract violation");
     let StrOutcome::Accept { tree, tokens } = parsed else {
         panic!("input 0 is valid");
