@@ -1,0 +1,229 @@
+//! Observability overhead, emitted as machine-readable JSON
+//! (`BENCH_obs.json` at the repo root): the same workloads driven
+//! through an engine with observability fully enabled (`ObsConfig {
+//! tracing: true, .. }` — staged per-stage spans, trace ring, exact
+//! request/token counters) and through a default engine with tracing
+//! off, so the delta *is* the price of watching.
+//!
+//! Three serving paths, at 64 KiB and 1 MiB of arith text:
+//!
+//! * **scan** — certified lexing only (`Engine::lex_str_parallel`,
+//!   one chunk): tracing never touches this path, so the delta bounds
+//!   the noise floor plus the always-on process-wide probe cost;
+//! * **fused** — a one-request `parse_many_str` batch: tracing swaps
+//!   the fused lex→certify→LR pass for the staged form that times
+//!   each stage (the differentially-proven-equal `parse_str_staged`),
+//!   the headline ≤ 3% acceptance row at 1 MiB;
+//! * **parse_many** — a pooled batch of ~1 KiB requests over four
+//!   workers: per-request traces, queue spans and counter updates all
+//!   enabled at once.
+//!
+//! Timing is hand-rolled (median of five samples, `CERTIFY_SAMPLE_MS`
+//! per-sample budget) like the other JSON harnesses; sections run in
+//! child processes (`OBS_SECTION`) so each path measures on a fresh
+//! heap, and the JSON carries a `cores` field because queue effects
+//! depend on it.
+
+use std::time::Instant;
+
+use lambek_engine::{CacheConfig, Engine, ObsConfig, PipelineSpec};
+use lambek_lex::demo::arith_text;
+
+/// One timed sample: runs `f` repeatedly until the budget (default
+/// 20 ms, `CERTIFY_SAMPLE_MS`) elapses, returns seconds-per-iteration.
+fn sample<R>(f: &mut impl FnMut() -> R) -> f64 {
+    let budget_ms: u128 = std::env::var("CERTIFY_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        std::hint::black_box(f());
+        iters += 1;
+        if start.elapsed().as_millis() >= budget_ms {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Times the disabled and enabled variants *interleaved* (eight sample
+/// rounds, alternating which variant goes first) and returns each
+/// variant's **minimum** sample. Two deliberate choices, both about
+/// measuring a few-percent delta on a noisy shared host:
+///
+/// * interleaving — measuring one variant wholly after the other
+///   systematically favors the second (warmed heap, hot pages), which
+///   on the tracing-independent scan path showed up as a fictitious
+///   double-digit "speedup";
+/// * min, not median — scheduler preemption and VM steal time are
+///   strictly one-sided (they only ever slow a sample down), so each
+///   variant's fastest observed run is its least-contaminated one, and
+///   comparing minima compares the code paths rather than the noise.
+fn time_pair<A, B>(mut off: impl FnMut() -> A, mut on: impl FnMut() -> B) -> (f64, f64) {
+    std::hint::black_box(off()); // warm-up, both variants
+    std::hint::black_box(on());
+    let (mut off_best, mut on_best) = (f64::INFINITY, f64::INFINITY);
+    for round in 0..8 {
+        if round % 2 == 0 {
+            off_best = off_best.min(sample(&mut off));
+            on_best = on_best.min(sample(&mut on));
+        } else {
+            on_best = on_best.min(sample(&mut on));
+            off_best = off_best.min(sample(&mut off));
+        }
+    }
+    (off_best, on_best)
+}
+
+fn row(pairs: &[(&str, f64)]) -> String {
+    let fields: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v:.9}"))
+        .collect();
+    format!("    {{ {} }}", fields.join(", "))
+}
+
+/// A default engine (tracing off) and a fully-enabled one, both with
+/// the spec pre-compiled so the rows measure serving, not compiling.
+fn engine_pair(spec: &PipelineSpec) -> (Engine, Engine) {
+    let off = Engine::new();
+    let on = Engine::with_obs(
+        CacheConfig::default(),
+        ObsConfig {
+            tracing: true,
+            trace_ring: 32,
+        },
+    );
+    off.get_or_compile(spec).expect("arith compiles");
+    on.get_or_compile(spec).expect("arith compiles");
+    (off, on)
+}
+
+fn delta_row(kib: usize, off_s: f64, on_s: f64, name: &str) -> String {
+    let overhead = on_s / off_s - 1.0;
+    eprintln!(
+        "{name} {kib:>5} KiB: off {off_s:.3e}s  on {on_s:.3e}s  \
+         overhead {:+.2}%",
+        overhead * 100.0
+    );
+    row(&[
+        ("bytes", (kib * 1024) as f64),
+        ("off_s", off_s),
+        ("on_s", on_s),
+        ("overhead", overhead),
+    ])
+}
+
+fn scan_section() -> Vec<String> {
+    let spec = PipelineSpec::arith_lexed();
+    let (off, on) = engine_pair(&spec);
+    let mut rows = Vec::new();
+    for kib in [64usize, 1024] {
+        let text = arith_text(kib * 1024);
+        let (off_s, on_s) = time_pair(
+            || {
+                off.lex_str_parallel(&spec, &text, 1)
+                    .unwrap()
+                    .tokens()
+                    .is_some()
+            },
+            || {
+                on.lex_str_parallel(&spec, &text, 1)
+                    .unwrap()
+                    .tokens()
+                    .is_some()
+            },
+        );
+        rows.push(delta_row(kib, off_s, on_s, "scan      "));
+    }
+    rows
+}
+
+fn fused_section() -> Vec<String> {
+    let spec = PipelineSpec::arith_lexed();
+    let (off, on) = engine_pair(&spec);
+    let mut rows = Vec::new();
+    for kib in [64usize, 1024] {
+        let text = arith_text(kib * 1024);
+        let inputs = [text.as_str()];
+        let (off_s, on_s) = time_pair(
+            || {
+                off.parse_many_str(&spec, &inputs, 1).unwrap()[0]
+                    .outcome
+                    .is_accept()
+            },
+            || {
+                on.parse_many_str(&spec, &inputs, 1).unwrap()[0]
+                    .outcome
+                    .is_accept()
+            },
+        );
+        rows.push(delta_row(kib, off_s, on_s, "fused     "));
+    }
+    rows
+}
+
+fn parse_many_section() -> Vec<String> {
+    let spec = PipelineSpec::arith_lexed();
+    let (off, on) = engine_pair(&spec);
+    let mut rows = Vec::new();
+    for kib in [64usize, 1024] {
+        // kib requests of ~1 KiB each, so the batch totals the same
+        // bytes as the single-request rows above.
+        let docs: Vec<String> = (0..kib).map(|_| arith_text(1024)).collect();
+        let inputs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let (off_s, on_s) = time_pair(
+            || {
+                off.parse_many_str(&spec, &inputs, 4)
+                    .unwrap()
+                    .iter()
+                    .filter(|r| r.outcome.is_accept())
+                    .count()
+            },
+            || {
+                on.parse_many_str(&spec, &inputs, 4)
+                    .unwrap()
+                    .iter()
+                    .filter(|r| r.outcome.is_accept())
+                    .count()
+            },
+        );
+        rows.push(delta_row(kib, off_s, on_s, "parse_many"));
+    }
+    rows
+}
+
+fn main() {
+    match std::env::var("OBS_SECTION").as_deref() {
+        Ok("scan") => print!("{}", scan_section().join(",\n")),
+        Ok("fused") => print!("{}", fused_section().join(",\n")),
+        Ok("parse_many") => print!("{}", parse_many_section().join(",\n")),
+        _ => {
+            let exe = std::env::current_exe().expect("own executable path");
+            let section = |name: &str| {
+                let out = std::process::Command::new(&exe)
+                    .env("OBS_SECTION", name)
+                    .stderr(std::process::Stdio::inherit())
+                    .output()
+                    .unwrap_or_else(|e| panic!("spawn {name} section: {e}"));
+                assert!(out.status.success(), "{name} section failed");
+                String::from_utf8(out.stdout).expect("section rows are UTF-8")
+            };
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let scan = section("scan");
+            let fused = section("fused");
+            let parse_many = section("parse_many");
+            let json = format!(
+                "{{\n  \"cores\": {cores},\n  \"scan\": [\n{scan}\n  ],\n  \
+                 \"fused\": [\n{fused}\n  ],\n  \"parse_many\": [\n{parse_many}\n  ]\n}}\n"
+            );
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+            std::fs::write(path, json).expect("write BENCH_obs.json");
+            println!("wrote {path}");
+        }
+    }
+}

@@ -5,13 +5,64 @@
 //! into contiguous chunks (one per worker) so reports reassemble in input
 //! order without any synchronization beyond the scope join.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lambek_core::alphabet::GString;
 use lambek_core::theory::parser::ParseOutcome;
+use lambek_core::transform::TransformError;
 use lambek_lex::Span;
+use lambek_obs::{Recorder, Stage, Trace};
 
 use crate::pipeline::{CompiledPipeline, StrOutcome};
+
+/// Per-batch observability context the engine threads into each
+/// request: the engine's metrics to count into, the batch epoch every
+/// trace span is measured against, and the batch-level cache-lookup /
+/// compile spans stamped into each request's trace. The engine-less
+/// [`parse_batch`] / [`parse_batch_str`] baselines pass `None`.
+#[derive(Debug, Clone)]
+pub(crate) struct ObsCtx {
+    pub(crate) metrics: Arc<crate::Metrics>,
+    pub(crate) label: String,
+    /// The instant the batch entrance was called — every span offset
+    /// and trace total is measured from here.
+    pub(crate) epoch: Instant,
+    /// Duration of the (batch-shared) pipeline-cache probe.
+    pub(crate) cache_lookup: Duration,
+    /// Duration of the compilation, when the probe missed.
+    pub(crate) compile: Option<Duration>,
+    /// Offset from the epoch at which the requests were enqueued — the
+    /// start of each request's queue-wait span.
+    pub(crate) enqueue: Duration,
+}
+
+impl ObsCtx {
+    /// Opens a request's trace with the spans known before parsing:
+    /// the shared cache probe, the compile (if one ran), and this
+    /// request's queue wait ending at `pickup`.
+    fn begin_trace(&self, index: usize, input_bytes: usize, pickup: Duration) -> Trace {
+        let mut t = Trace::new(&self.label, index, input_bytes);
+        t.record(Stage::Cache, Duration::ZERO, self.cache_lookup);
+        if let Some(c) = self.compile {
+            t.record(Stage::Compile, self.cache_lookup, c);
+        }
+        t.record(
+            Stage::Queue,
+            self.enqueue,
+            pickup.saturating_sub(self.enqueue),
+        );
+        t
+    }
+
+    /// Completes a trace (stamps the total, retains it in the engine's
+    /// ring) and hands it back for the report.
+    fn finish_trace(&self, mut t: Trace) -> Trace {
+        t.total = self.epoch.elapsed();
+        self.metrics.traces.push(t.clone());
+        t
+    }
+}
 
 /// What happened to one input of a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,6 +174,11 @@ pub struct ParseReport {
     pub yield_ok: bool,
     /// Wall-clock time spent parsing this input.
     pub duration: Duration,
+    /// Per-request stage trace, when the serving engine was built with
+    /// [`crate::ObsConfig::tracing`]; `None` otherwise (including on
+    /// the engine-less [`parse_batch`] baseline). For symbolic inputs
+    /// the trace's `input_bytes` counts symbols.
+    pub trace: Option<Trace>,
 }
 
 /// What happened to one raw-text input of a [`parse_batch_str`] batch.
@@ -191,16 +247,26 @@ pub struct StrParseReport {
     pub outcome: StrReportOutcome,
     /// Wall-clock time spent on this input.
     pub duration: Duration,
+    /// Per-request stage trace, when the serving engine was built with
+    /// [`crate::ObsConfig::tracing`]; `None` otherwise (including on
+    /// the engine-less [`parse_batch_str`] baseline).
+    pub trace: Option<Trace>,
 }
 
 /// [`parse_one_str`] behind an admission check: shed requests carry a
-/// structured outcome and a near-zero duration.
+/// structured outcome and a near-zero duration. `obs` is the engine's
+/// per-batch context (`None` from the engine-less baselines).
 pub(crate) fn parse_one_str_limited(
     pipeline: &CompiledPipeline,
     index: usize,
     input: &str,
     limits: &RequestLimits,
+    obs: Option<&ObsCtx>,
 ) -> StrParseReport {
+    let pickup = obs.map(|o| o.epoch.elapsed());
+    if let Some(o) = obs {
+        o.metrics.requests.inc();
+    }
     if let Some(shed) = limits.admit(input.len()) {
         let outcome = match shed {
             ReportOutcome::BudgetExceeded { budget, required } => {
@@ -208,19 +274,45 @@ pub(crate) fn parse_one_str_limited(
             }
             _ => StrReportOutcome::DeadlineExceeded,
         };
+        // A shed request's trace is just its queue wait: it was never
+        // parsed, so there are no pipeline stages to time.
+        let trace = match obs {
+            Some(o) if o.metrics.tracing => {
+                let t = o.begin_trace(index, input.len(), pickup.unwrap_or_default());
+                Some(o.finish_trace(t))
+            }
+            _ => None,
+        };
         return StrParseReport {
             index,
             input_bytes: input.len(),
             outcome,
             duration: Duration::ZERO,
+            trace,
         };
     }
-    parse_one_str(pipeline, index, input)
+    let report = match obs {
+        Some(o) if o.metrics.tracing => {
+            parse_one_str_traced(pipeline, index, input, o, pickup.unwrap_or_default())
+        }
+        _ => parse_one_str(pipeline, index, input),
+    };
+    if let Some(o) = obs {
+        if let StrReportOutcome::Accepted { tokens, .. } = report.outcome {
+            o.metrics.tokens.add(tokens as u64);
+        }
+    }
+    report
 }
 
-fn parse_one_str(pipeline: &CompiledPipeline, index: usize, input: &str) -> StrParseReport {
-    let start = Instant::now();
-    let outcome = match pipeline.parse_str(input) {
+/// Maps a pipeline's raw-text result to the report outcome. Shared by
+/// the fused and the traced (staged) request paths, which by
+/// construction produce the same [`StrOutcome`] on every input.
+fn str_outcome(
+    pipeline: &CompiledPipeline,
+    result: Result<StrOutcome, TransformError>,
+) -> StrReportOutcome {
+    match result {
         Ok(StrOutcome::Accept { tree, tokens }) => StrReportOutcome::Accepted {
             tree_size: tree.size(),
             // The fused lexed path never materializes the token
@@ -241,12 +333,45 @@ fn parse_one_str(pipeline: &CompiledPipeline, index: usize, input: &str) -> StrP
             message: e.to_string(),
         },
         Err(e) => StrReportOutcome::Failed(format!("{e}")),
-    };
+    }
+}
+
+fn parse_one_str(pipeline: &CompiledPipeline, index: usize, input: &str) -> StrParseReport {
+    let start = Instant::now();
+    let outcome = str_outcome(pipeline, pipeline.parse_str(input));
     StrParseReport {
         index,
         input_bytes: input.len(),
         outcome,
         duration: start.elapsed(),
+        trace: None,
+    }
+}
+
+/// [`parse_one_str`] with stage tracing: runs the pipeline's staged
+/// traced path (scan / certify / parse timed separately) and attaches
+/// the completed trace to the report.
+fn parse_one_str_traced(
+    pipeline: &CompiledPipeline,
+    index: usize,
+    input: &str,
+    obs: &ObsCtx,
+    pickup: Duration,
+) -> StrParseReport {
+    let mut trace = obs.begin_trace(index, input.len(), pickup);
+    let start = Instant::now();
+    let result = pipeline.parse_str_traced(input, obs.epoch, &mut trace);
+    let duration = start.elapsed();
+    let f0 = obs.epoch.elapsed();
+    let outcome = str_outcome(pipeline, result);
+    trace.record(Stage::Finish, f0, obs.epoch.elapsed().saturating_sub(f0));
+    let trace = obs.finish_trace(trace);
+    StrParseReport {
+        index,
+        input_bytes: input.len(),
+        outcome,
+        duration,
+        trace: Some(trace),
     }
 }
 
@@ -309,28 +434,47 @@ pub fn parse_batch_str(
 
 /// [`parse_one`] behind an admission check. A shed request's
 /// `yield_ok` is vacuously `true`: no tree was produced, so no yield
-/// obligation was violated.
+/// obligation was violated. `obs` is the engine's per-batch context
+/// (`None` from the engine-less baselines).
 pub(crate) fn parse_one_limited(
     pipeline: &CompiledPipeline,
     index: usize,
     w: &GString,
     limits: &RequestLimits,
+    obs: Option<&ObsCtx>,
 ) -> ParseReport {
+    let pickup = obs.map(|o| o.epoch.elapsed());
+    if let Some(o) = obs {
+        o.metrics.requests.inc();
+    }
     if let Some(outcome) = limits.admit(w.len()) {
+        let trace = match obs {
+            Some(o) if o.metrics.tracing => {
+                let t = o.begin_trace(index, w.len(), pickup.unwrap_or_default());
+                Some(o.finish_trace(t))
+            }
+            _ => None,
+        };
         return ParseReport {
             index,
             input_len: w.len(),
             outcome,
             yield_ok: true,
             duration: Duration::ZERO,
+            trace,
         };
     }
-    parse_one(pipeline, index, w)
+    match obs {
+        Some(o) if o.metrics.tracing => {
+            parse_one_traced(pipeline, index, w, o, pickup.unwrap_or_default())
+        }
+        _ => parse_one(pipeline, index, w),
+    }
 }
 
-fn parse_one(pipeline: &CompiledPipeline, index: usize, w: &GString) -> ParseReport {
-    let start = Instant::now();
-    let (outcome, yield_ok) = match pipeline.parse(w) {
+/// Maps a pipeline's symbolic parse result to (outcome, yield check).
+fn sym_outcome(w: &GString, result: Result<ParseOutcome, TransformError>) -> (ReportOutcome, bool) {
+    match result {
         Ok(ParseOutcome::Accept(t)) => (
             ReportOutcome::Accepted {
                 tree_size: t.size(),
@@ -344,13 +488,49 @@ fn parse_one(pipeline: &CompiledPipeline, index: usize, w: &GString) -> ParseRep
             &t.flatten() == w,
         ),
         Err(e) => (ReportOutcome::Failed(format!("{e}")), false),
-    };
+    }
+}
+
+fn parse_one(pipeline: &CompiledPipeline, index: usize, w: &GString) -> ParseReport {
+    let start = Instant::now();
+    let (outcome, yield_ok) = sym_outcome(w, pipeline.parse(w));
     ParseReport {
         index,
         input_len: w.len(),
         outcome,
         yield_ok,
         duration: start.elapsed(),
+        trace: None,
+    }
+}
+
+/// [`parse_one`] with stage tracing: symbolic inputs have no lex
+/// stages, so the trace is queue/cache(/compile) plus one parse span
+/// and the finish span.
+fn parse_one_traced(
+    pipeline: &CompiledPipeline,
+    index: usize,
+    w: &GString,
+    obs: &ObsCtx,
+    pickup: Duration,
+) -> ParseReport {
+    let mut trace = obs.begin_trace(index, w.len(), pickup);
+    let start = Instant::now();
+    let p0 = obs.epoch.elapsed();
+    let result = pipeline.parse(w);
+    trace.record(Stage::Parse, p0, obs.epoch.elapsed().saturating_sub(p0));
+    let duration = start.elapsed();
+    let f0 = obs.epoch.elapsed();
+    let (outcome, yield_ok) = sym_outcome(w, result);
+    trace.record(Stage::Finish, f0, obs.epoch.elapsed().saturating_sub(f0));
+    let trace = obs.finish_trace(trace);
+    ParseReport {
+        index,
+        input_len: w.len(),
+        outcome,
+        yield_ok,
+        duration,
+        trace: Some(trace),
     }
 }
 
@@ -470,7 +650,7 @@ mod tests {
             token_budget: Some(3),
             deadline: None,
         };
-        let r = parse_one_limited(&p, 0, &w, &over);
+        let r = parse_one_limited(&p, 0, &w, &over, None);
         assert_eq!(
             r.outcome,
             ReportOutcome::BudgetExceeded {
@@ -485,14 +665,14 @@ mod tests {
             token_budget: None,
             deadline: Some(Instant::now() - Duration::from_millis(1)),
         };
-        let r = parse_one_limited(&p, 1, &w, &expired);
+        let r = parse_one_limited(&p, 1, &w, &expired, None);
         assert_eq!(r.outcome, ReportOutcome::DeadlineExceeded);
 
         let roomy = RequestLimits {
             token_budget: Some(6),
             deadline: Some(Instant::now() + Duration::from_secs(3600)),
         };
-        let r = parse_one_limited(&p, 2, &w, &roomy);
+        let r = parse_one_limited(&p, 2, &w, &roomy, None);
         assert!(r.outcome.is_accept(), "in-budget requests parse normally");
     }
 
@@ -503,7 +683,7 @@ mod tests {
             token_budget: Some(4),
             deadline: None,
         };
-        let r = parse_one_str_limited(&p, 0, "[1, 2, 3]", &limits);
+        let r = parse_one_str_limited(&p, 0, "[1, 2, 3]", &limits, None);
         assert_eq!(
             r.outcome,
             StrReportOutcome::BudgetExceeded {
@@ -511,7 +691,7 @@ mod tests {
                 required: 9
             }
         );
-        let r = parse_one_str_limited(&p, 1, "[1]", &limits);
+        let r = parse_one_str_limited(&p, 1, "[1]", &limits, None);
         assert!(r.outcome.is_accept());
     }
 

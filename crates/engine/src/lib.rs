@@ -92,12 +92,11 @@ pub use pipeline::{
 };
 pub use pool::PoolStats;
 pub use session::{SessionError, SessionState, SESSION_VERSION};
-pub use stream::StreamParser;
+pub use stream::{StreamParser, StreamProgress};
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lambek_core::alphabet::GString;
 use lambek_lex::{LexChunk, LexedOutcome, TokenStream};
@@ -141,56 +140,101 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// Number of log₂ buckets in a [`LatencyHistogram`]: bucket `i` counts
-/// observations in `[2^i, 2^{i+1})` nanoseconds (bucket 0 also absorbs
-/// sub-nanosecond readings, the last bucket is open-ended at ~4.3 s).
-pub const LATENCY_BUCKETS: usize = 32;
+pub use lambek_obs::Histogram as LatencyHistogram;
+pub use lambek_obs::HISTOGRAM_BUCKETS as LATENCY_BUCKETS;
 
-/// A log₂-bucketed latency histogram snapshot (see
-/// [`CacheStats::hit_latency`] / [`CacheStats::miss_latency`]).
+/// Observability configuration for an engine (see
+/// [`Engine::with_obs`]).
 ///
-/// The live counters are lock-free relaxed atomics — recording a sample
-/// is one `leading_zeros` and one `fetch_add` — so the histograms cost
-/// nothing measurable on the lookup path; a snapshot is a plain `Copy`
-/// array of the counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct LatencyHistogram {
-    /// `buckets[i]` = samples observed in `[2^i, 2^{i+1})` ns.
-    pub buckets: [u64; LATENCY_BUCKETS],
+/// The metrics registry ([`Engine::metrics_text`] /
+/// [`Engine::metrics_json`]) is always on — its instruments are relaxed
+/// atomics whose cost is unmeasurable. Per-request *stage tracing* is
+/// opt-in: when `tracing` is set, every request served through
+/// [`Engine::parse_many`] / [`Engine::parse_many_str`] carries a
+/// [`lambek_obs::Trace`] of timestamped stage spans in its report, and
+/// the engine retains the last `trace_ring` completed traces for
+/// [`Engine::recent_traces`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record per-request stage traces (default `false`). Tracing runs
+    /// the lexed str path in staged form (scan, certify, then parse as
+    /// separate passes) so the stages can be timed individually — the
+    /// staged path is observationally identical to the fused one and
+    /// within a few percent of its throughput.
+    pub tracing: bool,
+    /// How many completed traces [`Engine::recent_traces`] retains
+    /// (default 32; minimum 1).
+    pub trace_ring: usize,
 }
 
-impl LatencyHistogram {
-    /// Total number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// The inclusive lower bound of bucket `i`, in nanoseconds.
-    pub fn bucket_floor_nanos(i: usize) -> u64 {
-        if i == 0 {
-            0
-        } else {
-            1u64 << i
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig {
+            tracing: false,
+            trace_ring: 32,
         }
     }
+}
 
-    /// An upper bound (in nanoseconds, bucket granularity) on the `q`
-    /// quantile of the recorded samples — e.g. `quantile_nanos(0.99)`
-    /// bounds the p99. Returns `None` for an empty histogram.
-    pub fn quantile_nanos(&self, q: f64) -> Option<u64> {
-        let total = self.count();
-        if total == 0 {
-            return None;
+/// The engine's registered instruments plus the trace ring — built once
+/// per engine, shared (`Arc`) into every pooled batch closure.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    registry: lambek_obs::Registry,
+    pub(crate) hits: Arc<lambek_obs::Counter>,
+    pub(crate) misses: Arc<lambek_obs::Counter>,
+    pub(crate) compiles: Arc<lambek_obs::Counter>,
+    pub(crate) hit_lat: Arc<lambek_obs::AtomicHistogram>,
+    pub(crate) miss_lat: Arc<lambek_obs::AtomicHistogram>,
+    pub(crate) requests: Arc<lambek_obs::Counter>,
+    pub(crate) tokens: Arc<lambek_obs::Counter>,
+    pub(crate) traces: lambek_obs::TraceRing,
+    pub(crate) tracing: bool,
+}
+
+impl Metrics {
+    fn new(config: &ObsConfig) -> Metrics {
+        let registry = lambek_obs::Registry::new();
+        let hits = registry.counter(
+            "lambekd_cache_hits_total",
+            "Pipeline-cache lookups answered from the cache",
+        );
+        let misses = registry.counter(
+            "lambekd_cache_misses_total",
+            "Pipeline-cache lookups that required compilation",
+        );
+        let compiles = registry.counter(
+            "lambekd_cache_compiles_total",
+            "Pipelines actually compiled",
+        );
+        let hit_lat = registry.histogram(
+            "lambekd_cache_hit_latency_seconds",
+            "End-to-end latency of cache hits (mutex wait + probe)",
+        );
+        let miss_lat = registry.histogram(
+            "lambekd_cache_miss_latency_seconds",
+            "End-to-end latency of cache misses (mutex wait + compilation)",
+        );
+        let requests = registry.counter(
+            "lambekd_requests_total",
+            "Requests served through the engine's batch entrances",
+        );
+        let tokens = registry.counter(
+            "lambekd_tokens_total",
+            "Yield tokens across accepted raw-text batch parses",
+        );
+        Metrics {
+            registry,
+            hits,
+            misses,
+            compiles,
+            hit_lat,
+            miss_lat,
+            requests,
+            tokens,
+            traces: lambek_obs::TraceRing::new(config.trace_ring),
+            tracing: config.tracing,
         }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return Some(1u64 << (i + 1).min(63));
-            }
-        }
-        None
     }
 }
 
@@ -259,11 +303,7 @@ pub struct Engine {
     /// The persistent worker pool, spawned lazily on the first batch
     /// that wants parallelism and kept alive for the engine's lifetime.
     pool: OnceLock<WorkerPool>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    compiles: AtomicU64,
-    hit_lat: [AtomicU64; LATENCY_BUCKETS],
-    miss_lat: [AtomicU64; LATENCY_BUCKETS],
+    metrics: Arc<Metrics>,
 }
 
 impl Default for Engine {
@@ -279,36 +319,25 @@ impl Engine {
         Engine::with_config(CacheConfig::default())
     }
 
-    /// Creates an empty engine whose pipeline cache enforces `config`.
+    /// Creates an empty engine whose pipeline cache enforces `config`
+    /// (tracing off; see [`Engine::with_obs`]).
     pub fn with_config(config: CacheConfig) -> Engine {
+        Engine::with_obs(config, ObsConfig::default())
+    }
+
+    /// Creates an empty engine with explicit cache *and* observability
+    /// configuration — the constructor to use when per-request stage
+    /// tracing ([`ObsConfig::tracing`]) is wanted.
+    pub fn with_obs(config: CacheConfig, obs: ObsConfig) -> Engine {
         Engine {
             cache: Mutex::new(PipelineCache::new(config)),
             pool: OnceLock::new(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            compiles: AtomicU64::new(0),
-            hit_lat: std::array::from_fn(|_| AtomicU64::new(0)),
-            miss_lat: std::array::from_fn(|_| AtomicU64::new(0)),
+            metrics: Arc::new(Metrics::new(&obs)),
         }
     }
 
     fn pool(&self) -> &WorkerPool {
         self.pool.get_or_init(|| WorkerPool::new(0))
-    }
-
-    /// Records one latency sample into a log₂ histogram: bucket
-    /// `floor(log2(ns))`, clamped into range. Relaxed atomics — the
-    /// counters are monotone and read only by snapshots.
-    fn record_latency(hist: &[AtomicU64; LATENCY_BUCKETS], elapsed: Duration) {
-        let n = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX).max(1);
-        let idx = (63 - n.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        hist[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn snapshot_latency(hist: &[AtomicU64; LATENCY_BUCKETS]) -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|i| hist[i].load(Ordering::Relaxed)),
-        }
     }
 
     /// Returns the compiled pipeline for `spec`, compiling it on first
@@ -324,6 +353,17 @@ impl Engine {
         &self,
         spec: &PipelineSpec,
     ) -> Result<Arc<CompiledPipeline>, EngineError> {
+        self.get_or_compile_timed(spec).map(|(p, _, _)| p)
+    }
+
+    /// [`Engine::get_or_compile`] reporting how the time was spent:
+    /// the probe duration (mutex wait + cache lookup) and, on a miss,
+    /// the compile duration — the batch entrances stamp these into each
+    /// request's trace as the `cache` and `compile` spans.
+    fn get_or_compile_timed(
+        &self,
+        spec: &PipelineSpec,
+    ) -> Result<(Arc<CompiledPipeline>, Duration, Option<Duration>), EngineError> {
         // One mutex for the whole probe-or-compile: concurrent misses
         // on the same spec compile exactly once, which keeps the
         // compile-once contract strict (not merely eventual). The
@@ -334,16 +374,20 @@ impl Engine {
         let t0 = std::time::Instant::now();
         let mut cache = self.cache.lock().expect("engine cache poisoned");
         if let Some(hit) = cache.get(spec) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            Self::record_latency(&self.hit_lat, t0.elapsed());
-            return Ok(hit);
+            self.metrics.hits.inc();
+            let lookup = t0.elapsed();
+            self.metrics.hit_lat.record(lookup);
+            return Ok((hit, lookup, None));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.inc();
+        self.metrics.compiles.inc();
+        let lookup = t0.elapsed();
+        let tc = std::time::Instant::now();
         let compiled = Arc::new(spec.compile()?);
+        let compile = tc.elapsed();
         cache.insert(spec.clone(), compiled.clone());
-        Self::record_latency(&self.miss_lat, t0.elapsed());
-        Ok(compiled)
+        self.metrics.miss_lat.record(t0.elapsed());
+        Ok((compiled, lookup, Some(compile)))
     }
 
     /// Parses every input against the pipeline for `spec`, sharding the
@@ -381,23 +425,33 @@ impl Engine {
         workers: usize,
         limits: RequestLimits,
     ) -> Result<Vec<ParseReport>, EngineError> {
-        let pipeline = self.get_or_compile(spec)?;
+        let epoch = Instant::now();
+        let (pipeline, lookup, compile) = self.get_or_compile_timed(spec)?;
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
+        let mut ctx = batch::ObsCtx {
+            metrics: self.metrics.clone(),
+            label: spec.label(),
+            epoch,
+            cache_lookup: lookup,
+            compile,
+            enqueue: epoch.elapsed(),
+        };
         if workers == 1 {
             return Ok(inputs
                 .iter()
                 .enumerate()
-                .map(|(i, w)| batch::parse_one_limited(&pipeline, i, w, &limits))
+                .map(|(i, w)| batch::parse_one_limited(&pipeline, i, w, &limits, Some(&ctx)))
                 .collect());
         }
         // The pool's workers are long-lived ('static), so shards own
         // their inputs: one GString clone per request, paid against the
         // per-call thread spawn/join the pool amortizes away.
         let items: Vec<GString> = inputs.to_vec();
+        ctx.enqueue = epoch.elapsed();
         Ok(self.pool().run_batch(items, workers, move |i, w| {
-            batch::parse_one_limited(&pipeline, i, w, &limits)
+            batch::parse_one_limited(&pipeline, i, w, &limits, Some(&ctx))
         }))
     }
 
@@ -434,20 +488,30 @@ impl Engine {
         workers: usize,
         limits: RequestLimits,
     ) -> Result<Vec<StrParseReport>, EngineError> {
-        let pipeline = self.get_or_compile(spec)?;
+        let epoch = Instant::now();
+        let (pipeline, lookup, compile) = self.get_or_compile_timed(spec)?;
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
+        let mut ctx = batch::ObsCtx {
+            metrics: self.metrics.clone(),
+            label: spec.label(),
+            epoch,
+            cache_lookup: lookup,
+            compile,
+            enqueue: epoch.elapsed(),
+        };
         if workers == 1 {
             return Ok(inputs
                 .iter()
                 .enumerate()
-                .map(|(i, s)| batch::parse_one_str_limited(&pipeline, i, s, &limits))
+                .map(|(i, s)| batch::parse_one_str_limited(&pipeline, i, s, &limits, Some(&ctx)))
                 .collect());
         }
         let items: Vec<String> = inputs.iter().map(|s| (*s).to_owned()).collect();
+        ctx.enqueue = epoch.elapsed();
         Ok(self.pool().run_batch(items, workers, move |i, s| {
-            batch::parse_one_str_limited(&pipeline, i, s, &limits)
+            batch::parse_one_str_limited(&pipeline, i, s, &limits, Some(&ctx))
         }))
     }
 
@@ -563,12 +627,12 @@ impl Engine {
     /// A snapshot of the cache counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            compiles: self.compiles.load(Ordering::Relaxed),
+            hits: self.metrics.hits.get(),
+            misses: self.metrics.misses.get(),
+            compiles: self.metrics.compiles.get(),
             entries: self.cache.lock().expect("engine cache poisoned").len(),
-            hit_latency: Self::snapshot_latency(&self.hit_lat),
-            miss_latency: Self::snapshot_latency(&self.miss_lat),
+            hit_latency: self.metrics.hit_lat.snapshot(),
+            miss_latency: self.metrics.miss_lat.snapshot(),
         }
     }
 
@@ -587,12 +651,12 @@ impl Engine {
         };
         EngineStats {
             cache: CacheStats {
-                hits: self.hits.load(Ordering::Relaxed),
-                misses: self.misses.load(Ordering::Relaxed),
-                compiles: self.compiles.load(Ordering::Relaxed),
+                hits: self.metrics.hits.get(),
+                misses: self.metrics.misses.get(),
+                compiles: self.metrics.compiles.get(),
                 entries,
-                hit_latency: Self::snapshot_latency(&self.hit_lat),
-                miss_latency: Self::snapshot_latency(&self.miss_lat),
+                hit_latency: self.metrics.hit_lat.snapshot(),
+                miss_latency: self.metrics.miss_lat.snapshot(),
             },
             evictions,
             resident_weight,
@@ -600,6 +664,185 @@ impl Engine {
             compile_max,
             pool: self.pool.get().map(WorkerPool::stats).unwrap_or_default(),
         }
+    }
+
+    /// Assembles every instrument the engine knows about into encoder
+    /// input: the registered per-engine instruments, the dynamic cache
+    /// and pool gauges, and the process-wide lex/LR/certifier hot-path
+    /// probes.
+    fn gather_metrics(&self) -> Vec<lambek_obs::Metric> {
+        use lambek_obs::{Metric, MetricValue, Sample};
+        let mut out = self.metrics.registry.gather();
+        let (evictions, resident_weight, compile_total, compile_max, entries) = {
+            let cache = self.cache.lock().expect("engine cache poisoned");
+            (
+                cache.evictions(),
+                cache.resident_weight(),
+                cache.compile_total(),
+                cache.compile_max(),
+                cache.len(),
+            )
+        };
+        out.push(Metric::single(
+            "lambekd_cache_entries",
+            "Pipelines currently resident in the cache",
+            MetricValue::Gauge(entries as f64),
+        ));
+        out.push(Metric::single(
+            "lambekd_cache_evictions_total",
+            "Entries evicted by the cost-weighted policy",
+            MetricValue::Counter(evictions),
+        ));
+        out.push(Metric::single(
+            "lambekd_cache_resident_weight_seconds",
+            "Sum of resident pipelines' compile times (the evictor's weight)",
+            MetricValue::Gauge(resident_weight.as_secs_f64()),
+        ));
+        out.push(Metric::single(
+            "lambekd_compile_seconds_total",
+            "Total wall-clock compile time across all compilations",
+            MetricValue::Gauge(compile_total.as_secs_f64()),
+        ));
+        out.push(Metric::single(
+            "lambekd_compile_max_seconds",
+            "The single slowest compilation",
+            MetricValue::Gauge(compile_max.as_secs_f64()),
+        ));
+        let pool = self.pool.get().map(WorkerPool::stats).unwrap_or_default();
+        out.push(Metric::single(
+            "lambekd_pool_workers",
+            "Worker threads in the persistent pool (0 until first use)",
+            MetricValue::Gauge(pool.workers as f64),
+        ));
+        out.push(Metric::single(
+            "lambekd_pool_submitted_total",
+            "Jobs submitted to the pool",
+            MetricValue::Counter(pool.submitted),
+        ));
+        out.push(Metric::single(
+            "lambekd_pool_executed_total",
+            "Jobs executed by pool workers",
+            MetricValue::Counter(pool.executed),
+        ));
+        out.push(Metric::single(
+            "lambekd_pool_steals_total",
+            "Jobs a worker stole from a sibling's queue",
+            MetricValue::Counter(pool.steals),
+        ));
+        out.push(Metric::single(
+            "lambekd_pool_batches_total",
+            "Batches run on the pool",
+            MetricValue::Counter(pool.batches),
+        ));
+        if let Some(p) = self.pool.get() {
+            out.push(Metric {
+                name: "lambekd_pool_queue_depth".to_string(),
+                help: "Jobs currently waiting in each worker's queue".to_string(),
+                samples: p
+                    .queue_depths()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(shard, depth)| Sample {
+                        labels: vec![("shard".to_string(), shard.to_string())],
+                        value: MetricValue::Gauge(depth as f64),
+                    })
+                    .collect(),
+            });
+        }
+        out.push(Metric::single(
+            "lambekd_traces_total",
+            "Per-request traces completed (tracing engines only)",
+            MetricValue::Counter(self.metrics.traces.pushed()),
+        ));
+        // The hot-path probes are process-wide statics (the lex and LR
+        // drivers are engine-agnostic), so under several engines these
+        // report the process total, not this engine's share.
+        let lex = lambek_lex::probes::snapshot();
+        out.push(Metric::single(
+            "lambekd_lex_scan_bytes_total",
+            "Bytes walked by the maximal-munch scanner (process-wide)",
+            MetricValue::Counter(lex.scan_bytes),
+        ));
+        out.push(Metric {
+            name: "lambekd_lex_tokens_total".to_string(),
+            help: "Lexemes settled by the scanner, by scan lane (process-wide)".to_string(),
+            samples: vec![
+                Sample {
+                    labels: vec![("lane".to_string(), "fast".to_string())],
+                    value: MetricValue::Counter(lex.fast_lane_tokens),
+                },
+                Sample {
+                    labels: vec![("lane".to_string(), "fallback".to_string())],
+                    value: MetricValue::Counter(lex.fallback_tokens),
+                },
+            ],
+        });
+        out.push(Metric::single(
+            "lambekd_lex_backtracks_total",
+            "Maximal-munch backtracks (scans read past the accepted end; process-wide)",
+            MetricValue::Counter(lex.backtracks),
+        ));
+        out.push(Metric {
+            name: "lambekd_certifier_verdict_lookups_total".to_string(),
+            help: "Certifier derivative-cache lookups, by result (process-wide)".to_string(),
+            samples: vec![
+                Sample {
+                    labels: vec![("result".to_string(), "hit".to_string())],
+                    value: MetricValue::Counter(lex.verdict_cache_hits),
+                },
+                Sample {
+                    labels: vec![("result".to_string(), "miss".to_string())],
+                    value: MetricValue::Counter(lex.verdict_cache_misses),
+                },
+            ],
+        });
+        let lr = lambek_lr::probes::snapshot();
+        out.push(Metric::single(
+            "lambekd_lr_shifts_total",
+            "Terminals shifted by completed LR drives (process-wide)",
+            MetricValue::Counter(lr.shifts),
+        ));
+        out.push(Metric::single(
+            "lambekd_lr_reduces_total",
+            "Reductions performed by completed LR drives (process-wide)",
+            MetricValue::Counter(lr.reduces),
+        ));
+        out.push(Metric::single(
+            "lambekd_lr_claims_checked_total",
+            "Certification claims discharged by the LR driver (process-wide)",
+            MetricValue::Counter(lr.claims_checked),
+        ));
+        out
+    }
+
+    /// Every engine metric in the Prometheus text exposition format
+    /// (version 0.0.4) — cache, pool, trace, lex, LR and certifier
+    /// instruments, ready to serve from a `/metrics` endpoint.
+    pub fn metrics_text(&self) -> String {
+        lambek_obs::prometheus_text(&self.gather_metrics())
+    }
+
+    /// Every engine metric as a stable JSON snapshot (metrics sorted by
+    /// name, labels sorted by key, histograms lossless in nanoseconds).
+    pub fn metrics_json(&self) -> String {
+        lambek_obs::json_text(&self.gather_metrics())
+    }
+
+    /// The most recently completed per-request traces, newest first —
+    /// empty unless the engine was built with [`ObsConfig::tracing`].
+    /// The ring retains at most [`ObsConfig::trace_ring`] traces.
+    pub fn recent_traces(&self) -> Vec<lambek_obs::Trace> {
+        self.metrics.traces.recent()
+    }
+
+    /// The current depth of each pool worker's queue (empty until the
+    /// pool first runs a batch). Each depth is exact per queue; the
+    /// vector is not a cross-queue atomic snapshot.
+    pub fn pool_queue_depths(&self) -> Vec<usize> {
+        self.pool
+            .get()
+            .map(WorkerPool::queue_depths)
+            .unwrap_or_default()
     }
 
     /// Drops every cached pipeline (counters are kept; operator clears

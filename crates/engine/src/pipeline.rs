@@ -688,6 +688,115 @@ impl LexedCfgBackend {
         }
     }
 
+    /// [`LexedCfgBackend::parse_str`] in *staged* form with per-stage
+    /// spans recorded into `rec` (offsets measured from `epoch`): the
+    /// scan collects the whole lexeme chain, certification re-validates
+    /// it in a second pass, and the parse drives the LR machine (or the
+    /// Earley fallback) in a third — so the scan / certify / parse
+    /// stages can be timed separately, which the fused single-pass form
+    /// cannot do. Observationally identical to
+    /// [`LexedCfgBackend::parse_str`]: same outcome — verdict, tree,
+    /// spans, token reporting — on every input (asserted by the
+    /// `prop_obs` differential suite).
+    ///
+    /// # Errors
+    ///
+    /// As [`LexedCfgBackend::parse_str`].
+    pub(crate) fn parse_str_staged<R: lambek_obs::Recorder>(
+        &self,
+        input: &str,
+        epoch: Instant,
+        rec: &mut R,
+    ) -> Result<StrOutcome, TransformError> {
+        use lambek_obs::Stage;
+        let s0 = epoch.elapsed();
+        let scanned: Result<Vec<RawLexeme>, LexError> =
+            self.lexer.automaton().raw_lexemes(input).collect();
+        rec.record(Stage::Scan, s0, epoch.elapsed().saturating_sub(s0));
+        let lexemes = match scanned {
+            Ok(ls) => ls,
+            Err(e) => return Ok(StrOutcome::RejectLex(e)),
+        };
+        let c0 = epoch.elapsed();
+        let mut cert = self.lexer.certifier();
+        for l in &lexemes {
+            cert.check_raw(input, l).map_err(|e| {
+                TransformError::Custom(format!("certified-lexer contract violation: {e}"))
+            })?;
+        }
+        cert.finish(input).map_err(|e| {
+            TransformError::Custom(format!("certified-lexer contract violation: {e}"))
+        })?;
+        rec.record(Stage::Certify, c0, epoch.elapsed().saturating_sub(c0));
+        let p0 = epoch.elapsed();
+        let out = self.parse_lexeme_chain(input, &lexemes);
+        rec.record(Stage::Parse, p0, epoch.elapsed().saturating_sub(p0));
+        out
+    }
+
+    /// The parse stage of [`LexedCfgBackend::parse_str_staged`]: drives
+    /// an already-certified lexeme chain through the CFG backend,
+    /// reproducing [`LexedCfgBackend::parse_str`]'s outcomes exactly
+    /// (LR: token stream never materialized, rejection span = first
+    /// refused shift; Earley: materializing, as `parse_str_full`).
+    fn parse_lexeme_chain(
+        &self,
+        input: &str,
+        lexemes: &[RawLexeme],
+    ) -> Result<StrOutcome, TransformError> {
+        match &self.inner.mode {
+            CfgMode::Lr(lr) => {
+                let mut lrs = lr.sink_with_capacity(lexemes.len());
+                let mut reject_span = None;
+                for l in lexemes {
+                    if let Some(sym) = l.sym {
+                        if !lrs.push(sym) && reject_span.is_none() {
+                            reject_span = Some(l.span);
+                        }
+                    }
+                }
+                match lrs.finish().map_err(|e| TransformError::OutputShape {
+                    transformer: "certified-lr".to_owned(),
+                    cause: e.cause,
+                })? {
+                    LrOutcome::Accept(tree) => Ok(StrOutcome::Accept { tree, tokens: None }),
+                    LrOutcome::Reject(r) => Ok(StrOutcome::RejectParse {
+                        span: reject_span.unwrap_or_else(|| Span::empty(input.len())),
+                        message: r.to_string(),
+                        tokens: None,
+                    }),
+                }
+            }
+            CfgMode::Earley { cfg, grammar, .. } => {
+                let tokens =
+                    TokenStream::from_tokens(lexemes.iter().map(|l| l.to_token(input)).collect());
+                let w = tokens.yield_string();
+                match earley_parse(cfg, w) {
+                    EarleyParse::Unique(tree) | EarleyParse::Ambiguous { tree, .. } => {
+                        validate(&tree, grammar, w).map_err(|cause| {
+                            TransformError::OutputShape {
+                                transformer: "earley-fallback".to_owned(),
+                                cause,
+                            }
+                        })?;
+                        Ok(StrOutcome::Accept {
+                            tree,
+                            tokens: Some(tokens),
+                        })
+                    }
+                    EarleyParse::NoParse => Ok(StrOutcome::RejectParse {
+                        span: Span {
+                            start: 0,
+                            end: input.len(),
+                        },
+                        message: "token string is not in the grammar (Earley fallback)".to_owned(),
+                        tokens: Some(tokens),
+                    }),
+                }
+            }
+        }
+    }
+
     /// [`LexedCfgBackend::parse_str`] materializing the certified
     /// [`TokenStream`] alongside the outcome — the original incremental
     /// two-layer path: each token is certified at its munch boundary
@@ -944,6 +1053,56 @@ impl CompiledPipeline {
             }
         }
         Ok(match self.parse(&w)? {
+            ParseOutcome::Accept(tree) => StrOutcome::Accept { tree, tokens: None },
+            ParseOutcome::Reject(_) => StrOutcome::RejectParse {
+                span: Span {
+                    start: 0,
+                    end: input.len(),
+                },
+                message: "input is not in the grammar".to_owned(),
+                tokens: None,
+            },
+        })
+    }
+
+    /// [`CompiledPipeline::parse_str`] with per-stage spans recorded
+    /// into `rec` (offsets measured from `epoch`). Observationally
+    /// identical — same outcome on every input — but lexed LR
+    /// pipelines run in staged form
+    /// ([`LexedCfgBackend::parse_str_staged`]) so scan, certify and
+    /// parse are timed as separate spans; other pipelines record a
+    /// scan span (char-per-symbol reading) and a parse span.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledPipeline::parse_str`].
+    pub(crate) fn parse_str_traced<R: lambek_obs::Recorder>(
+        &self,
+        input: &str,
+        epoch: Instant,
+        rec: &mut R,
+    ) -> Result<StrOutcome, TransformError> {
+        use lambek_obs::Stage;
+        if let ParserImpl::LexedCfg(b) = &self.imp {
+            return b.parse_str_staged(input, epoch, rec);
+        }
+        let s0 = epoch.elapsed();
+        let sigma = self.alphabet();
+        let mut w = GString::new();
+        for (at, c) in input.char_indices() {
+            match sigma.symbol_of_char(c) {
+                Some(sym) => w.push(sym),
+                None => {
+                    rec.record(Stage::Scan, s0, epoch.elapsed().saturating_sub(s0));
+                    return Ok(StrOutcome::RejectLex(LexError { at, found: c }));
+                }
+            }
+        }
+        rec.record(Stage::Scan, s0, epoch.elapsed().saturating_sub(s0));
+        let p0 = epoch.elapsed();
+        let parsed = self.parse(&w)?;
+        rec.record(Stage::Parse, p0, epoch.elapsed().saturating_sub(p0));
+        Ok(match parsed {
             ParseOutcome::Accept(tree) => StrOutcome::Accept { tree, tokens: None },
             ParseOutcome::Reject(_) => StrOutcome::RejectParse {
                 span: Span {

@@ -194,6 +194,18 @@ impl WorkerPool {
         }
     }
 
+    /// Instantaneous per-shard queue depths (jobs pushed but not yet
+    /// grabbed), one entry per worker. Each queue is locked briefly in
+    /// turn, so the vector is per-queue exact but not a cross-queue
+    /// atomic snapshot — the gauge semantics exporters expect.
+    pub(crate) fn queue_depths(&self) -> Vec<usize> {
+        self.shared
+            .queues
+            .iter()
+            .map(|q| q.lock().expect("pool queue poisoned").len())
+            .collect()
+    }
+
     /// Runs `f` over every item, sharded across the pool, and returns
     /// the results in item order. `shards_hint` bounds the shard count
     /// (0 = one per worker); an empty item list submits nothing.
@@ -349,5 +361,16 @@ mod tests {
         let out = pool.run_batch((0..50u64).collect(), 8, |_, x| x * x);
         assert_eq!(out[49], 49 * 49);
         assert_eq!(pool.stats().steals, 0);
+    }
+
+    #[test]
+    fn queue_depths_are_per_worker_and_drain_to_zero() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.queue_depths(), vec![0, 0, 0]);
+        let out = pool.run_batch((0..40u64).collect(), 0, |_, x| x + 1);
+        assert_eq!(out.len(), 40);
+        // run_batch returns only after every shard was received, and
+        // executed shards were grabbed off their queues first.
+        assert_eq!(pool.queue_depths(), vec![0, 0, 0]);
     }
 }

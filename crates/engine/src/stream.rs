@@ -95,6 +95,21 @@ enum Mode {
     },
 }
 
+/// A mode-independent progress snapshot of a [`StreamParser`],
+/// returned by [`StreamParser::progress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamProgress {
+    /// Units of input consumed so far: symbols for DFA and LR streams,
+    /// raw bytes for lexed streams.
+    pub pushed: usize,
+    /// Tokens whose boundaries have been resolved (lexed streams;
+    /// zero elsewhere).
+    pub tokens_emitted: usize,
+    /// Partial parse trees currently open on the LR stack (LR-backed
+    /// streams; zero for DFA streams).
+    pub stack_depth: usize,
+}
+
 /// An incremental parser over a shared compiled pipeline.
 #[derive(Debug, Clone)]
 pub struct StreamParser {
@@ -392,11 +407,45 @@ impl StreamParser {
         }
     }
 
+    /// A cheap, always-available progress snapshot, regardless of
+    /// backend mode. Unlike [`StreamParser::trace`] (DFA streams only)
+    /// this works for all three modes and costs a few field reads.
+    ///
+    /// What `pushed` counts is mode-dependent: symbols for DFA and LR
+    /// streams, raw *bytes* for lexed streams (the natural unit of
+    /// their input). `tokens_emitted` and `stack_depth` are zero where
+    /// the mode has no lexer or no LR stack.
+    pub fn progress(&self) -> StreamProgress {
+        match &self.mode {
+            Mode::Dfa { input, .. } => StreamProgress {
+                pushed: input.len(),
+                tokens_emitted: 0,
+                stack_depth: 0,
+            },
+            Mode::Lr(stream) => StreamProgress {
+                pushed: stream.input().len(),
+                tokens_emitted: 0,
+                stack_depth: stream.pending(),
+            },
+            Mode::LexedLr {
+                lex, lr, tokens, ..
+            } => StreamProgress {
+                pushed: lex.raw_input().len(),
+                tokens_emitted: tokens.len(),
+                stack_depth: lr.pending(),
+            },
+        }
+    }
+
     /// The accept bit and the raw DFA trace of the input so far, built
     /// backwards from the recorded state sequence (Fig. 12's `parseD`,
-    /// without re-running the automaton). `None` for LR streams — their
+    /// without re-running the automaton).
+    ///
+    /// Returns `None` for **both** LR streams and lexed streams — their
     /// incremental artifact is the partial derivation stack, not a
-    /// trace.
+    /// trace, so there is nothing trace-shaped to hand back. Use
+    /// [`StreamParser::progress`] for a mode-independent view of how
+    /// far a stream has advanced.
     pub fn trace(&self) -> Option<(bool, ParseTree)> {
         let Mode::Dfa { states, input, .. } = &self.mode else {
             return None; // LR and lexed streams carry stacks, not traces

@@ -425,6 +425,15 @@ impl LexCertifier {
                 .expect("verdict cache poisoned");
             verdicts.get(text).copied()
         };
+        {
+            use std::sync::atomic::Ordering;
+            let probe = if cached.is_some() {
+                &crate::probes::VERDICT_HITS
+            } else {
+                &crate::probes::VERDICT_MISSES
+            };
+            probe.fetch_add(1, Ordering::Relaxed);
+        }
         let ok = cached.unwrap_or_else(|| {
             // Compute outside the lock: the matcher memoizes its own
             // derivative states behind its own lock.

@@ -210,6 +210,10 @@ pub(crate) enum ScanStop {
 pub(crate) struct Scan {
     pub(crate) last: Option<(usize, usize)>,
     pub(crate) stop: ScanStop,
+    /// Whether the scan dropped to the char-level non-ASCII fallback at
+    /// least once (feeds the fast-lane/fallback probes; no semantic
+    /// meaning).
+    pub(crate) fell_back: bool,
 }
 
 /// One maximal-munch scan from byte offset `start`: steps the
@@ -237,6 +241,7 @@ pub(crate) fn scan_token(core: &LexCore, input: &str, start: usize) -> Scan {
     let n = bytes.len();
     let mut state = bt.init;
     let mut last: Option<(usize, usize)> = None;
+    let mut fell_back = false;
     let mut i = start;
     loop {
         // Fast lane: 8-byte unrolled ASCII dispatch. The `[u8; 8]` view
@@ -254,6 +259,7 @@ pub(crate) fn scan_token(core: &LexCore, input: &str, start: usize) -> Scan {
                     return Scan {
                         last,
                         stop: ScanStop::Dead(i + k),
+                        fell_back,
                     };
                 }
                 state = next;
@@ -270,6 +276,7 @@ pub(crate) fn scan_token(core: &LexCore, input: &str, start: usize) -> Scan {
             return Scan {
                 last,
                 stop: ScanStop::EndOfInput,
+                fell_back,
             };
         }
         let b = bytes[i];
@@ -279,11 +286,13 @@ pub(crate) fn scan_token(core: &LexCore, input: &str, start: usize) -> Scan {
                 return Scan {
                     last,
                     stop: ScanStop::Dead(i),
+                    fell_back,
                 };
             }
             state = next;
             i += 1;
         } else {
+            fell_back = true;
             let ch = input[i..]
                 .chars()
                 .next()
@@ -298,6 +307,7 @@ pub(crate) fn scan_token(core: &LexCore, input: &str, start: usize) -> Scan {
                 return Scan {
                     last,
                     stop: ScanStop::Dead(i),
+                    fell_back,
                 };
             };
             state = s as u32;
@@ -357,6 +367,7 @@ impl LexAutomaton {
             input,
             pos: 0,
             dead: false,
+            tally: crate::probes::ScanTally::default(),
         }
     }
 
@@ -394,9 +405,14 @@ impl LexAutomaton {
         sink: &mut S,
     ) -> Result<Result<(), LexError>, S::Err> {
         let core = self.core();
+        // Probe accounting is batched in a stack tally and flushed (by
+        // its Drop) once per lex run — every exit path, including the
+        // sink's `?`, publishes without touching the scan loop.
+        let mut tally = crate::probes::ScanTally::default();
         let mut pos = 0usize;
         while pos < input.len() {
             let scan = scan_token(core, input, pos);
+            tally.scan(&scan, pos, input.len());
             let Some((rule, end)) = scan.last else {
                 let found = input[pos..]
                     .chars()
@@ -404,6 +420,7 @@ impl LexAutomaton {
                     .expect("lexeme starts are char boundaries");
                 return Ok(Err(LexError { at: pos, found }));
             };
+            tally.settled(&scan, input.len());
             let lexeme = RawLexeme {
                 rule,
                 span: Span { start: pos, end },
@@ -506,6 +523,9 @@ pub struct RawLexemes<'a> {
     /// Byte offset of the next token start.
     pos: usize,
     dead: bool,
+    /// Scan-probe accumulator, flushed to the process-wide probes when
+    /// the iterator is dropped.
+    tally: crate::probes::ScanTally,
 }
 
 impl Iterator for RawLexemes<'_> {
@@ -516,6 +536,7 @@ impl Iterator for RawLexemes<'_> {
             return None;
         }
         let scan = scan_token(self.core, self.input, self.pos);
+        self.tally.scan(&scan, self.pos, self.input.len());
         match scan.last {
             None => {
                 self.dead = true;
@@ -528,6 +549,7 @@ impl Iterator for RawLexemes<'_> {
                 }))
             }
             Some((rule, end)) => {
+                self.tally.settled(&scan, self.input.len());
                 let span = Span {
                     start: self.pos,
                     end,
@@ -723,6 +745,11 @@ impl Munch {
                 found: self.buf[0],
             });
         };
+        if self.buf.len() > nchars {
+            // The munch overran the boundary it is now cutting at:
+            // a last-accept backtrack (the overrun chars get re-fed).
+            crate::probes::BACKTRACKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
         let text: String = self.buf[..nchars].iter().collect();
         let leftovers: VecDeque<char> = self.buf[nchars..].iter().copied().collect();
         out.push(Token {
@@ -928,13 +955,16 @@ impl LexStream {
         // the scan that runs out of input is the new pending tail.
         let start = self.munch.token_start;
         let mut pos = start;
+        let mut tally = crate::probes::ScanTally::default();
         let mut settled: Vec<(usize, usize, usize)> = Vec::new(); // (rule, start, end)
         loop {
             let scan = scan_token(&core, &self.input, pos);
+            tally.scan(&scan, pos, self.input.len());
             match scan.stop {
                 ScanStop::EndOfInput => break,
                 ScanStop::Dead(_) => match scan.last {
                     Some((rule, end)) => {
+                        tally.settled(&scan, self.input.len());
                         settled.push((rule, pos, end));
                         pos = end;
                     }

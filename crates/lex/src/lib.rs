@@ -57,6 +57,7 @@ pub mod demo;
 pub mod driver;
 mod fnv;
 pub mod parallel;
+pub mod probes;
 pub mod spec;
 
 pub use certified::{CertifiedLexer, LexCertifier, LexCertifyError, LexedOutcome};
@@ -66,4 +67,5 @@ pub use driver::{
     RawLexemes, SabotageLex, Span, Token, TokenSink, TokenStream,
 };
 pub use parallel::{chunk_starts, LexChunk};
+pub use probes::LexProbes;
 pub use spec::{LexRule, LexSpec, LexSpecBuilder, SpecError};

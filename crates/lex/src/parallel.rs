@@ -100,9 +100,11 @@ impl LexAutomaton {
         let core = self.core();
         let mut lexemes = Vec::new();
         let mut err = None;
+        let mut tally = crate::probes::ScanTally::default();
         let mut pos = start;
         while pos < end {
             let scan = scan_token(core, input, pos);
+            tally.scan(&scan, pos, input.len());
             let Some((rule, end_at)) = scan.last else {
                 err = Some(LexError {
                     at: pos,
@@ -113,6 +115,7 @@ impl LexAutomaton {
                 });
                 break;
             };
+            tally.settled(&scan, input.len());
             lexemes.push(RawLexeme {
                 rule,
                 span: Span {
@@ -153,6 +156,7 @@ impl LexAutomaton {
         let core = self.core();
         let mut out: Vec<RawLexeme> =
             Vec::with_capacity(chunks.iter().map(|c| c.lexemes.len()).sum());
+        let mut tally = crate::probes::ScanTally::default();
         let mut p = 0usize;
         for c in chunks {
             debug_assert!(p >= c.start, "replay can never lag a chunk's start");
@@ -174,6 +178,7 @@ impl LexAutomaton {
                 }
                 // Seam miss: re-munch one lexeme from the true position.
                 let scan = scan_token(core, input, p);
+                tally.scan(&scan, p, input.len());
                 let Some((rule, end)) = scan.last else {
                     return Err(LexError {
                         at: p,
@@ -183,6 +188,7 @@ impl LexAutomaton {
                             .expect("a non-empty remainder has a first char"),
                     });
                 };
+                tally.settled(&scan, input.len());
                 out.push(RawLexeme {
                     rule,
                     span: Span { start: p, end },

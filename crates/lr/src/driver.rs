@@ -289,6 +289,12 @@ pub(crate) struct Machine {
     sabotage: Option<SabotageLr>,
     shifts_done: usize,
     reduces_done: usize,
+    /// Certification checks discharged so far (see
+    /// [`crate::probes::LrProbes::claims_checked`]).
+    claims_checked: u64,
+    /// `(shifts, reduces, claims)` already published to the process
+    /// probes — the flush marker, advanced on every terminal step.
+    flushed: (usize, usize, u64),
 }
 
 /// What one [`Machine::feed`] call ended with.
@@ -321,6 +327,8 @@ impl Machine {
             sabotage: None,
             shifts_done: 0,
             reduces_done: 0,
+            claims_checked: 0,
+            flushed: (0, 0, 0),
         }
     }
 
@@ -382,7 +390,29 @@ impl Machine {
             sabotage: None,
             shifts_done,
             reduces_done,
+            // Resumed steps were (or will be) published by the process
+            // that ran them; this machine publishes only its own.
+            claims_checked: 0,
+            flushed: (shifts_done, reduces_done, 0),
         }
+    }
+
+    /// Publishes the step-count deltas since the last flush to the
+    /// process-wide probes — called on terminal steps only, so the
+    /// shift/reduce loop stays free of shared-memory traffic.
+    fn flush_probes(&mut self) {
+        use std::sync::atomic::Ordering;
+        let (fs, fr, fc) = self.flushed;
+        if self.shifts_done > fs {
+            crate::probes::SHIFTS.fetch_add((self.shifts_done - fs) as u64, Ordering::Relaxed);
+        }
+        if self.reduces_done > fr {
+            crate::probes::REDUCES.fetch_add((self.reduces_done - fr) as u64, Ordering::Relaxed);
+        }
+        if self.claims_checked > fc {
+            crate::probes::CLAIMS_CHECKED.fetch_add(self.claims_checked - fc, Ordering::Relaxed);
+        }
+        self.flushed = (self.shifts_done, self.reduces_done, self.claims_checked);
     }
 
     /// Feeds one input symbol (`None` = end of input): reduces until the
@@ -399,6 +429,19 @@ impl Machine {
     /// the input slice it covers — so an `Accepted` tree needs no
     /// whole-tree `validate`.
     pub(crate) fn feed(
+        &mut self,
+        table: &LrTable,
+        cert: Option<&CertTables>,
+        sym: Option<Symbol>,
+    ) -> Step {
+        let step = self.feed_inner(table, cert, sym);
+        if !matches!(step, Step::Shifted) {
+            self.flush_probes();
+        }
+        step
+    }
+
+    fn feed_inner(
         &mut self,
         table: &LrTable,
         cert: Option<&CertTables>,
@@ -429,6 +472,7 @@ impl Machine {
                     }
                     self.shifts_done += 1;
                     if let Some(ct) = cert {
+                        self.claims_checked += 1;
                         if !matches!(leaf, ParseTree::Char(c) if c == sym) {
                             return Step::Faulted(ValidateError::ShapeMismatch {
                                 expected: intern::grammar(ct.chr_ids[sym.index()]).to_string(),
@@ -492,6 +536,8 @@ impl Machine {
                     self.reduces_done += 1;
                     if let Some(ct) = cert {
                         let expected = &ct.rhs_ids[p];
+                        // RHS claim sequence + injection tag.
+                        self.claims_checked += expected.len() as u64 + 1;
                         let popped_from = self.claims.len().checked_sub(expected.len());
                         let matches_rhs =
                             popped_from.is_some_and(|k| self.claims[k..] == expected[..]);
@@ -529,6 +575,7 @@ impl Machine {
                         .pop()
                         .expect("accept with the start tree on the stack");
                     if let Some(ct) = cert {
+                        self.claims_checked += 1;
                         let lone_start = self.trees.is_empty()
                             && self.claims.len() == 1
                             && self.claims[0] == ct.start_id;

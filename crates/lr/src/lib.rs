@@ -47,12 +47,14 @@
 mod certified;
 mod driver;
 mod items;
+pub mod probes;
 mod table;
 
 pub use certified::{
     CertifiedLrParser, CertifyError, LrOutcome, LrResumeError, LrSink, LrStream, LrStreamState,
 };
 pub use driver::{ClaimRef, LrReject, SabotageLr};
+pub use probes::LrProbes;
 pub use table::{Action, ConflictKind, LrConflict, LrConflictReport, LrTable, ProductionRef};
 
 #[cfg(test)]

@@ -24,9 +24,13 @@
 //!   tiling + independent derivative re-matching) at the boundary;
 //! * [`turing`] (`lambek-turing`) — unrestricted grammars via `Reify`
 //!   (Construction 4.15);
+//! * [`obs`] (`lambek-obs`) — observability primitives: mergeable
+//!   latency histograms, atomic counters/gauges, a metrics registry
+//!   with Prometheus/JSON encoders, and per-request stage traces;
 //! * [`engine`] (`lambek-engine`) — the serving layer: a compile-once
-//!   pipeline cache, batch parsing over scoped threads, and push-mode
-//!   streaming for DFA-backed parsers.
+//!   pipeline cache, batch parsing over scoped threads, push-mode
+//!   streaming for DFA-backed parsers, and the metrics/tracing surface
+//!   (`Engine::metrics_text`, `Engine::recent_traces`).
 //!
 //! See `ARCHITECTURE.md` at the workspace root for the pipeline diagram
 //! and the complete theorem ↔ module map.
@@ -63,5 +67,6 @@ pub use lambek_core as core;
 pub use lambek_engine as engine;
 pub use lambek_lex as lex;
 pub use lambek_lr as lr;
+pub use lambek_obs as obs;
 pub use lambek_turing as turing;
 pub use regex_grammars as regex;

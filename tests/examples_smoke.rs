@@ -41,6 +41,7 @@ fn examples_run_and_print_their_sentinels() {
         ("engine_batch", "pipelines compiled"),
         ("lr_stream", "LR stream finished"),
         ("lex_json", "lexed JSON stream finished"),
+        ("obs_dashboard", "obs dashboard done"),
     ] {
         let stdout = run_example(example);
         assert!(

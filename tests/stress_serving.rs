@@ -142,6 +142,34 @@ fn concurrent_batches_lose_nothing_and_counters_balance() {
         "each parse_many call is exactly one pooled batch"
     );
     assert!(stats.pool.workers > 0, "the pool was never spun up");
+    assert!(
+        stats.pool.steals <= stats.pool.executed,
+        "a steal is one execution; steals cannot exceed executed work"
+    );
+    let depths = engine.pool_queue_depths();
+    assert_eq!(depths.len(), stats.pool.workers);
+    assert!(
+        depths.iter().all(|&d| d == 0),
+        "drained pool must report empty queues, got {depths:?}"
+    );
+    // The exporter must stay coherent under the same load: every
+    // serving-tier instrument present, and the cache counters in the
+    // text identical to the typed snapshot we just checked.
+    let text = engine.metrics_text();
+    for name in [
+        "lambekd_cache_hits_total",
+        "lambekd_cache_misses_total",
+        "lambekd_pool_submitted_total",
+        "lambekd_pool_steals_total",
+        "lambekd_pool_queue_depth",
+        "lambekd_requests_total",
+    ] {
+        assert!(text.contains(name), "metrics_text lost instrument {name}");
+    }
+    assert!(
+        text.contains(&format!("lambekd_cache_hits_total {}", cache.hits)),
+        "exported hit counter disagrees with the typed snapshot"
+    );
 }
 
 #[test]
