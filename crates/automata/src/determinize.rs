@@ -65,21 +65,84 @@ pub fn determinize_tagged(nfa: &Nfa, tags: &[Option<usize>]) -> Determinized {
 
 fn determinize_core(nfa: &Nfa, tags: Option<&[Option<usize>]>) -> Determinized {
     let alphabet = nfa.alphabet().clone();
-    let start = nfa.eps_closure(&BTreeSet::from([nfa.init()]));
-    let mut subsets: Vec<BTreeSet<StateId>> = vec![start.clone()];
-    let mut index: HashMap<BTreeSet<StateId>, StateId> = HashMap::from([(start, 0)]);
+    // Adjacency indexes, built once. `Nfa::step`/`eps_closure` scan the
+    // whole transition lists per call, which is fine for one simulation
+    // step but ruinous inside the subset construction — character
+    // classes expand to |class| labeled edges each, so a lexer-union
+    // NFA over a ~100-symbol alphabet has tens of thousands of
+    // transitions and the naive loop took minutes in debug builds.
+    let mut eps_adj: Vec<Vec<StateId>> = vec![Vec::new(); nfa.num_states()];
+    for e in nfa.eps_transitions() {
+        eps_adj[e.src].push(e.dst);
+    }
+    let mut moves: Vec<Vec<Vec<StateId>>> =
+        vec![vec![Vec::new(); alphabet.len()]; nfa.num_states()];
+    for t in nfa.transitions() {
+        moves[t.src][t.label.index()].push(t.dst);
+    }
+    // Subsets live as fixed-width u64 bitsets during the construction:
+    // membership set/test is one shift+or, the interning key hashes
+    // `words` machine words instead of a tree, and the member list is
+    // recovered by bit iteration only once per *discovered* state.
+    let n = nfa.num_states();
+    let words = n.div_ceil(64);
+    let set = |bits: &mut [u64], s: StateId| -> bool {
+        let mask = 1u64 << (s % 64);
+        let fresh = bits[s / 64] & mask == 0;
+        bits[s / 64] |= mask;
+        fresh
+    };
+    let close = |bits: &mut [u64], stack: &mut Vec<StateId>| {
+        while let Some(s) = stack.pop() {
+            for &d in &eps_adj[s] {
+                if set(bits, d) {
+                    stack.push(d);
+                }
+            }
+        }
+    };
+    let members = |bits: &[u64]| -> Vec<StateId> {
+        let mut out = Vec::new();
+        for (w, &word) in bits.iter().enumerate() {
+            let mut rest = word;
+            while rest != 0 {
+                out.push(w * 64 + rest.trailing_zeros() as usize);
+                rest &= rest - 1;
+            }
+        }
+        out
+    };
+
+    let start = {
+        let mut bits = vec![0u64; words];
+        let mut stack = vec![nfa.init()];
+        set(&mut bits, nfa.init());
+        close(&mut bits, &mut stack);
+        bits
+    };
+    let mut subset_members: Vec<Vec<StateId>> = vec![members(&start)];
+    let mut index: HashMap<Vec<u64>, StateId> = HashMap::from([(start, 0)]);
     let mut delta: Vec<Vec<StateId>> = Vec::new();
     let mut queue: VecDeque<StateId> = VecDeque::from([0]);
     while let Some(d) = queue.pop_front() {
         let mut row = Vec::with_capacity(alphabet.len());
         for c in alphabet.symbols() {
-            let next = nfa.step(&subsets[d], c);
+            let mut next = vec![0u64; words];
+            let mut stack: Vec<StateId> = Vec::new();
+            for &s in &subset_members[d] {
+                for &dst in &moves[s][c.index()] {
+                    if set(&mut next, dst) {
+                        stack.push(dst);
+                    }
+                }
+            }
+            close(&mut next, &mut stack);
             let id = match index.get(&next) {
                 Some(&id) => id,
                 None => {
-                    let id = subsets.len();
-                    index.insert(next.clone(), id);
-                    subsets.push(next);
+                    let id = subset_members.len();
+                    subset_members.push(members(&next));
+                    index.insert(next, id);
                     queue.push_back(id);
                     id
                 }
@@ -89,18 +152,22 @@ fn determinize_core(nfa: &Nfa, tags: Option<&[Option<usize>]>) -> Determinized {
         delta.push(row);
         debug_assert_eq!(delta.len() - 1, d, "rows are filled in BFS order");
     }
-    let accepting: Vec<bool> = subsets
+    let accepting: Vec<bool> = subset_members
         .iter()
         .map(|set| set.iter().any(|&s| nfa.is_accepting(s)))
         .collect();
     let mut dfa = Dfa::new(alphabet, 0, accepting, delta);
     if let Some(tags) = tags {
-        let dfa_tags: Vec<Option<usize>> = subsets
+        let dfa_tags: Vec<Option<usize>> = subset_members
             .iter()
             .map(|set| set.iter().filter_map(|&s| tags[s]).min())
             .collect();
         dfa = dfa.with_tags(dfa_tags);
     }
+    let subsets = subset_members
+        .into_iter()
+        .map(|m| m.into_iter().collect())
+        .collect();
     Determinized { dfa, subsets }
 }
 

@@ -1,0 +1,152 @@
+//! Grammar-frontend corpus numbers, emitted as machine-readable JSON
+//! (`BENCH_frontend.json` at the repo root), one row per shipped preset
+//! (`lambek_frontend::presets`):
+//!
+//! * `text_compile_s` — the full cold cost of a text submission:
+//!   self-hosted parse, elaboration, LALR table construction and
+//!   certification ([`lambek_frontend::compile_text`]);
+//! * `engine_resubmit_s` — what a *repeat* submission of the same text
+//!   pays through [`Engine::compile_text`]: the meta parse and
+//!   elaboration still run, but the interned `SpecKey` turns the table
+//!   build into a cache hit. For the small preset grammars the meta
+//!   parse dominates both paths, so the ratio hovers near 1 — the
+//!   cache's real win is sharing the *compiled pipeline* (and its
+//!   sessions) across submitters, not shaving the compile;
+//! * parse throughput of the compiled pipeline over a corpus document
+//!   in the preset's own format.
+//!
+//! Timing is hand-rolled (median of five samples) like `serving.rs`.
+//! `FRONTEND_SAMPLE_MS` overrides the per-sample budget (default 20 ms).
+
+use std::time::Instant;
+
+use lambek_engine::Engine;
+use lambek_frontend::{compile_text, presets, Budgets};
+
+/// Median seconds-per-iteration over five samples; each sample runs
+/// iterations until the budget elapses.
+fn time<R>(mut f: impl FnMut() -> R) -> f64 {
+    let budget_ms: u128 = std::env::var("FRONTEND_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    std::hint::black_box(f()); // warm-up
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if start.elapsed().as_millis() >= budget_ms {
+                break;
+            }
+        }
+        samples.push(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn row(name: &str, pairs: &[(&str, f64)]) -> String {
+    let mut fields = vec![format!("\"preset\": \"{name}\"")];
+    fields.extend(pairs.iter().map(|(k, v)| format!("\"{k}\": {v:.9}")));
+    format!("    {{ {} }}", fields.join(", "))
+}
+
+/// A corpus document in each preset's own format, sized to make parse
+/// throughput a steady-state number rather than a startup one.
+fn corpus_doc(name: &str) -> String {
+    match name {
+        "json" => {
+            let item = r#"{"id": 17, "name": "widget", "tags": ["a", "b"], "price": 2.5e1, "ok": true, "note": null}"#;
+            let items: Vec<&str> = (0..64).map(|_| item).collect();
+            format!("[{}]", items.join(", "))
+        }
+        "csv" => {
+            let mut doc = String::from("id,name,comment");
+            for _ in 0..128 {
+                doc.push_str("\n17,widget,\"he said \"\"hi\"\", twice\"");
+            }
+            doc
+        }
+        "ini" => {
+            let mut doc = String::new();
+            for _ in 0..64 {
+                doc.push_str("[core]\nname = lambekd\nversion = \"0.1\"\n; a comment line\n");
+            }
+            doc
+        }
+        "http" => "GET /index.html?q=1&r=2 HTTP/1.1\r\n".repeat(128),
+        "clf" => {
+            "127.0.0.1 - frank [10/Oct/2000:13:55:36 -0700] \"GET /a.gif HTTP/1.0\" 200 2326\n"
+                .repeat(64)
+        }
+        other => panic!("no corpus for preset {other}"),
+    }
+}
+
+fn main() {
+    let engine = Engine::new();
+    let budgets = Budgets::default();
+    let mut compile_rows = Vec::new();
+    let mut parse_rows = Vec::new();
+
+    for (name, text) in presets::all() {
+        // Cold: the whole frontend stack, table build included.
+        let cold = time(|| compile_text(text, &budgets).expect("preset compiles"));
+        // Resubmission: meta parse + elaboration, table from the cache.
+        let handle = engine.compile_text(text).expect("preset compiles");
+        let resubmit = time(|| engine.compile_text(text).expect("cached").cache_hit);
+        eprintln!(
+            "{name:>5}: cold {cold:.3e}s  resubmit {resubmit:.3e}s ({:.1}x)",
+            cold / resubmit
+        );
+        compile_rows.push(row(
+            name,
+            &[
+                ("spec_bytes", text.len() as f64),
+                ("text_compile_s", cold),
+                ("engine_resubmit_s", resubmit),
+                ("cold_over_resubmit", cold / resubmit),
+            ],
+        ));
+
+        let doc = corpus_doc(name);
+        let backend = handle.pipeline.lexed_backend().expect("text pipeline");
+        assert!(
+            backend
+                .parse_str(&doc)
+                .expect("certified parse")
+                .is_accept(),
+            "preset {name} rejects its own corpus document"
+        );
+        let parse = time(|| {
+            backend
+                .parse_str(&doc)
+                .expect("certified parse")
+                .is_accept()
+        });
+        let bytes = doc.len() as f64;
+        eprintln!(
+            "{name:>5}: parse {parse:.3e}s over {} B ({:.1} MiB/s)",
+            doc.len(),
+            bytes / parse / (1024.0 * 1024.0),
+        );
+        parse_rows.push(row(
+            name,
+            &[
+                ("doc_bytes", bytes),
+                ("parse_s", parse),
+                ("bytes_per_s", bytes / parse),
+            ],
+        ));
+    }
+
+    let compile = compile_rows.join(",\n");
+    let parse = parse_rows.join(",\n");
+    let json = format!("{{\n  \"compile\": [\n{compile}\n  ],\n  \"parse\": [\n{parse}\n  ]\n}}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontend.json");
+    std::fs::write(path, json).expect("write BENCH_frontend.json");
+    println!("wrote {path}");
+}

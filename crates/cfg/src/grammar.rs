@@ -14,8 +14,12 @@ use lambek_core::alphabet::{Alphabet, GString, Symbol};
 use lambek_core::grammar::expr::{chr, mu, plus, seq, var, Grammar, MuSystem};
 use lambek_core::grammar::parse_tree::ParseTree;
 
-/// A grammar symbol: terminal or nonterminal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// A grammar symbol: terminal or nonterminal. `Ord` so constructions
+/// that group by symbol (the LALR successor fan-out) can iterate in a
+/// deterministic order — state numbering must not depend on hash seeds,
+/// or two compiles of the same grammar would disagree on serialized
+/// parser state (see the session-migration contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum GSym {
     /// A terminal character.
     T(Symbol),

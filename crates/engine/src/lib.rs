@@ -80,6 +80,7 @@ mod pipeline;
 mod pool;
 mod session;
 mod stream;
+mod text;
 
 pub use batch::{
     parse_batch, parse_batch_str, ParseReport, ReportOutcome, RequestLimits, StrParseReport,
@@ -93,6 +94,12 @@ pub use pipeline::{
 pub use pool::PoolStats;
 pub use session::{SessionError, SessionState, SESSION_VERSION};
 pub use stream::{StreamParser, StreamProgress};
+pub use text::{CompileTextOptions, PipelineHandle};
+// The frontend's structured outcomes, re-exported so `compile_text`
+// callers need no direct `lambek-frontend` dependency.
+pub use lambek_frontend::{
+    Budgets, ConflictReport, ConflictSite, FrontendError, FrontendErrorKind, FrontendReport,
+};
 
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -811,6 +818,27 @@ impl Engine {
             "lambekd_lr_claims_checked_total",
             "Certification claims discharged by the LR driver (process-wide)",
             MetricValue::Counter(lr.claims_checked),
+        ));
+        let frontend = lambek_frontend::probes::snapshot();
+        out.push(Metric::single(
+            "lambekd_frontend_texts_total",
+            "Grammar-language texts submitted for compilation (process-wide)",
+            MetricValue::Counter(frontend.texts_compiled),
+        ));
+        out.push(Metric::single(
+            "lambekd_frontend_elab_failures_total",
+            "Text submissions rejected by parse or elaboration (process-wide)",
+            MetricValue::Counter(frontend.elab_failures),
+        ));
+        out.push(Metric::single(
+            "lambekd_frontend_conflict_rejects_total",
+            "Text submissions rejected for LALR conflicts (process-wide)",
+            MetricValue::Counter(frontend.conflict_rejects),
+        ));
+        out.push(Metric::single(
+            "lambekd_frontend_budget_sheds_total",
+            "Text submissions shed by a compile-time budget (process-wide)",
+            MetricValue::Counter(frontend.budget_sheds),
         ));
         out
     }

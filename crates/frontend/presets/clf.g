@@ -1,0 +1,17 @@
+# clf.g -- Apache Common Log Format lines:
+#   host ident authuser [date] "request" status bytes
+# Bracketed and quoted runs are single tokens; everything else is a
+# bare atom (which is why ATOM's class excludes '[' and '"').
+
+alphabet [\t\n\r -~] ;
+
+token BRACKETED = '[' [^\]]* ']' ;
+token QUOTED = '"' [^"]* '"' ;
+token ATOM = [!#-Z\\\]-~]+ ;
+token NL = '\r\n' | '\n' ;
+skip SP = [ \t]+ ;
+
+start File ;
+
+File ::= Line | File Line ;
+Line ::= ATOM ATOM ATOM BRACKETED QUOTED ATOM ATOM NL ;

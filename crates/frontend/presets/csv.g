@@ -1,0 +1,16 @@
+# csv.g -- RFC-4180-style CSV: comma-separated fields, double-quoted
+# fields with "" escapes, empty fields, CRLF or LF record breaks.
+# A trailing newline parses as a final record with one empty field --
+# the RFC's own edge, resolved the way most readers do.
+
+alphabet [\t\n\r -~] ;
+
+token TEXT = [^",\n\r]+ ;
+token QUOTED = '"' ( [^"] | '""' )* '"' ;
+token NL = '\r\n' | '\n' ;
+
+start File ;
+
+File   ::= Record | File NL Record ;
+Record ::= Field | Record ',' Field ;
+Field  ::= | TEXT | QUOTED ;

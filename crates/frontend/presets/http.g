@@ -1,0 +1,19 @@
+# http.g -- HTTP/1.1 request lines. The request target may be any
+# printable-ASCII run, including runs that also look like a method or
+# version -- the grammar-side Target union resolves the overlap a
+# context-free lexer cannot (maximal munch + priority pick METHOD or
+# VERSION for the run; the grammar accepts either in target position).
+
+alphabet [\t\n\r -~] ;
+
+token VERSION = 'HTTP/' [0-9] '.' [0-9] ;
+token METHOD = [A-Z]+ ;
+token TARGET = [!-~]+ ;
+token NL = '\r\n' | '\n' ;
+skip SP = [ \t]+ ;
+
+start File ;
+
+File    ::= Request | File Request ;
+Request ::= METHOD Target VERSION NL ;
+Target  ::= TARGET | METHOD | VERSION ;

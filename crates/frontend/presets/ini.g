@@ -1,0 +1,20 @@
+# ini.g -- Minimal INI: [section] headers, key = value lines,
+# ';' / '#' comments, blank lines. Values are runs of words and quoted
+# strings; a comment eats to end of line.
+
+alphabet [\t\n\r -~] ;
+
+token NL = '\r\n' | '\n' ;
+token NAME = [A-Za-z0-9_.\-]+ ;
+token STR = '"' [^"\n\r]* '"' ;
+skip SP = [ \t]+ ;
+skip COMMENT = [;#] [^\n\r]* ;
+
+start File ;
+
+File    ::= | File Line ;
+Line    ::= NL | Section NL | Pair NL ;
+Section ::= '[' NAME ']' ;
+Pair    ::= NAME '=' Value ;
+Value   ::= | Value Word ;
+Word    ::= NAME | STR ;

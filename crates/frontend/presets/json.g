@@ -1,0 +1,19 @@
+# json.g -- Full JSON (RFC 8259 shape): strings with escapes and
+# \uXXXX, numbers with fractions and exponents, nested containers.
+# The frontend twin of the engine's Rust-built JSON-subset pipeline,
+# extended to the full language.
+
+alphabet [\t\n\r -~] ;
+
+token STR = '"' ( [ !#-[\]-~] | '\\' ( ["\\/bfnrt] | 'u' [0-9a-fA-F] [0-9a-fA-F] [0-9a-fA-F] [0-9a-fA-F] ) )* '"' ;
+token NUM = '-'? ( '0' | [1-9] [0-9]* ) ( '.' [0-9]+ )? ( [eE] [+\-]? [0-9]+ )? ;
+skip WS = [ \t\n\r]+ ;
+
+start Value ;
+
+Value    ::= STR | NUM | 'true' | 'false' | 'null' | Object | Array ;
+Object   ::= '{' '}' | '{' Members '}' ;
+Members  ::= Pair | Members ',' Pair ;
+Pair     ::= STR ':' Value ;
+Array    ::= '[' ']' | '[' Elements ']' ;
+Elements ::= Value | Elements ',' Value ;

@@ -1,0 +1,31 @@
+//! Real-format grammar presets, shipped *as text* (`presets/*.g`) and
+//! compiled through the self-hosted frontend like any user submission
+//! — the frontend's own dogfood. The corpus benches and the frontend
+//! property suite exercise all of them.
+
+/// Full JSON (RFC 8259 shape): escapes, `\uXXXX`, exponents, nested
+/// containers.
+pub const JSON: &str = include_str!("../presets/json.g");
+
+/// RFC-4180-style CSV with quoted fields and `""` escapes.
+pub const CSV: &str = include_str!("../presets/csv.g");
+
+/// Minimal INI: sections, `key = value`, `;`/`#` comments.
+pub const INI: &str = include_str!("../presets/ini.g");
+
+/// HTTP/1.1 request lines.
+pub const HTTP: &str = include_str!("../presets/http.g");
+
+/// Apache Common Log Format lines.
+pub const CLF: &str = include_str!("../presets/clf.g");
+
+/// Every preset, `(name, text)`, in a stable order.
+pub fn all() -> [(&'static str, &'static str); 5] {
+    [
+        ("json", JSON),
+        ("csv", CSV),
+        ("ini", INI),
+        ("http", HTTP),
+        ("clf", CLF),
+    ]
+}

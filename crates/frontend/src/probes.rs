@@ -1,0 +1,56 @@
+//! Process-global frontend probes, in the same mold as
+//! `lambek_lex::probes` / `lambek_lr::probes`: relaxed atomic
+//! counters, monotone, engine-agnostic (every engine in the process
+//! shares them). The engine exports them as `lambekd_frontend_*`
+//! metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TEXTS: AtomicU64 = AtomicU64::new(0);
+static ELAB_FAILURES: AtomicU64 = AtomicU64::new(0);
+static CONFLICT_REJECTS: AtomicU64 = AtomicU64::new(0);
+static BUDGET_SHEDS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the frontend probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrontendProbes {
+    /// Spec texts submitted for compilation (successful or not).
+    pub texts_compiled: u64,
+    /// Texts rejected by the bootstrap parse or elaboration.
+    pub elab_failures: u64,
+    /// Texts rejected because the grammar is not LALR(1).
+    pub conflict_rejects: u64,
+    /// Texts shed by a compile-time budget.
+    pub budget_sheds: u64,
+}
+
+/// Reads all frontend probes (relaxed; counters are individually
+/// exact, mutually unsynchronized).
+pub fn snapshot() -> FrontendProbes {
+    FrontendProbes {
+        texts_compiled: TEXTS.load(Ordering::Relaxed),
+        elab_failures: ELAB_FAILURES.load(Ordering::Relaxed),
+        conflict_rejects: CONFLICT_REJECTS.load(Ordering::Relaxed),
+        budget_sheds: BUDGET_SHEDS.load(Ordering::Relaxed),
+    }
+}
+
+/// Counts one submitted text.
+pub fn note_text() {
+    TEXTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one syntax/elaboration rejection.
+pub fn note_elab_failure() {
+    ELAB_FAILURES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one LALR-conflict rejection.
+pub fn note_conflict_reject() {
+    CONFLICT_REJECTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one budget shed.
+pub fn note_budget_shed() {
+    BUDGET_SHEDS.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,483 @@
+//! The surface abstract syntax of the grammar language.
+//!
+//! Every node carries the byte [`Span`] of the source text it was
+//! parsed from, so elaboration diagnostics and LALR-conflict reports
+//! can point back into the submitted text. The AST is produced by the
+//! self-hosted bootstrap parser ([`crate::bootstrap`]) and consumed by
+//! the elaborator ([`mod@crate::elaborate`]); [`pretty`] renders it back to
+//! canonical source text (the round-trip the property suite pins).
+
+use lambek_lex::Span;
+
+use crate::{FrontendError, FrontendErrorKind};
+
+/// A parsed spec file: the declaration list, in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecAst {
+    /// The declarations, in the order they appear in the text.
+    pub decls: Vec<Decl>,
+}
+
+/// One top-level declaration with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decl {
+    /// What was declared.
+    pub kind: DeclKind,
+    /// The byte span of the whole declaration (keyword through `;`).
+    pub span: Span,
+}
+
+/// The declaration forms of the grammar language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeclKind {
+    /// `token NAME = regex ;` — a prioritized lexer rule that feeds the
+    /// grammar (priority = declaration order, after production
+    /// literals).
+    Token {
+        /// The token's name.
+        name: Ident,
+        /// Its regular expression.
+        regex: RegexAst,
+    },
+    /// `skip NAME = regex ;` — a lexer rule whose matches are dropped
+    /// from the token yield (whitespace, comments).
+    Skip {
+        /// The skip rule's name.
+        name: Ident,
+        /// Its regular expression.
+        regex: RegexAst,
+    },
+    /// `start NAME ;` — selects the start nonterminal (defaults to the
+    /// first rule).
+    Start {
+        /// The named start nonterminal.
+        name: Ident,
+    },
+    /// `alphabet [class] ;` — fixes the character alphabet explicitly
+    /// (required for negated classes; otherwise the alphabet is the
+    /// set of characters the spec mentions).
+    Alphabet {
+        /// The class whose characters form the alphabet.
+        class: ClassAst,
+    },
+    /// `Name ::= seq | seq ;` — a grammar rule; an empty alternative is
+    /// an ε-production.
+    Rule {
+        /// The nonterminal being defined.
+        name: Ident,
+        /// The alternatives, left to right.
+        alts: Vec<SeqAst>,
+    },
+}
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// The identifier text.
+    pub text: String,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+/// One alternative of a grammar rule: a (possibly empty) sequence of
+/// grammar symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqAst {
+    /// The symbols, left to right; empty for an ε-production.
+    pub syms: Vec<SymAst>,
+    /// The span of the alternative (empty span at the `|`/`;` for ε).
+    pub span: Span,
+}
+
+/// A grammar symbol occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymAst {
+    /// Nonterminal/token reference or inline literal.
+    pub kind: SymKind,
+    /// Where the occurrence sits in the source.
+    pub span: Span,
+}
+
+/// The two kinds of grammar-symbol occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymKind {
+    /// A reference to a rule (nonterminal) or a declared token.
+    Ident(String),
+    /// An inline quoted literal (decoded), which becomes an implicit
+    /// high-priority token.
+    Literal(String),
+}
+
+/// A surface regular expression with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexAst {
+    /// The node.
+    pub kind: RegexKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+/// Surface regex node forms. `+` and `?` are surface sugar (the core
+/// [`regex_grammars::ast::Regex`] has only `|`, concatenation and `*`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegexKind {
+    /// A quoted literal, decoded (`'abc'`, escapes resolved).
+    Literal(String),
+    /// A character class `[...]`.
+    Class(ClassAst),
+    /// Alternation `r | s`.
+    Alt(Box<RegexAst>, Box<RegexAst>),
+    /// Concatenation `r s`.
+    Concat(Box<RegexAst>, Box<RegexAst>),
+    /// Kleene star `r*`.
+    Star(Box<RegexAst>),
+    /// One-or-more `r+`.
+    Plus(Box<RegexAst>),
+    /// Zero-or-one `r?`.
+    Opt(Box<RegexAst>),
+}
+
+/// A character class `[...]` / `[^...]`, items in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassAst {
+    /// `true` for `[^...]`: the class denotes the declared alphabet
+    /// minus the listed characters.
+    pub negated: bool,
+    /// The listed characters and ranges.
+    pub items: Vec<ClassItem>,
+    /// The span of the whole bracketed class.
+    pub span: Span,
+}
+
+/// One item of a character class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single character.
+    Char(char),
+    /// An inclusive range `lo-hi`.
+    Range(char, char),
+}
+
+/// Decodes one escape sequence starting at the `\` (which `chars` has
+/// already consumed) and returns the denoted character.
+fn decode_escape(next: Option<char>, at: usize, text: &str) -> Result<char, FrontendError> {
+    let c = next.ok_or_else(|| {
+        FrontendError::new(
+            FrontendErrorKind::BadEscape { escape: '\\' },
+            Span {
+                start: at,
+                end: at + 1,
+            },
+            text,
+        )
+    })?;
+    match c {
+        't' => Ok('\t'),
+        'n' => Ok('\n'),
+        'r' => Ok('\r'),
+        // Everything else escapes to itself: `\'`, `\\`, `\]`, `\-`,
+        // `\^`, `\"`, ... A letter with no escape meaning is an error
+        // so typos like `\d` fail loudly instead of matching `d`.
+        c if c.is_ascii_alphanumeric() => Err(FrontendError::new(
+            FrontendErrorKind::BadEscape { escape: c },
+            Span {
+                start: at,
+                end: at + 1 + c.len_utf8(),
+            },
+            text,
+        )),
+        c => Ok(c),
+    }
+}
+
+/// Decodes the *content* of a quoted literal token (`raw` includes the
+/// surrounding quotes; `span` is its location in `text`).
+pub(crate) fn decode_literal(raw: &str, span: Span, text: &str) -> Result<String, FrontendError> {
+    debug_assert!(raw.len() >= 2 && raw.starts_with('\'') && raw.ends_with('\''));
+    let body = &raw[1..raw.len() - 1];
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c == '\\' {
+            let next = chars.next().map(|(_, c)| c);
+            out.push(decode_escape(next, span.start + 1 + i, text)?);
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Parses the content of a class token (`raw` includes the brackets;
+/// `span` is its location in `text`).
+pub(crate) fn parse_class(raw: &str, span: Span, text: &str) -> Result<ClassAst, FrontendError> {
+    debug_assert!(raw.len() >= 2 && raw.starts_with('[') && raw.ends_with(']'));
+    let mut body = &raw[1..raw.len() - 1];
+    let mut offset = span.start + 1;
+    let negated = body.starts_with('^');
+    if negated {
+        body = &body[1..];
+        offset += 1;
+    }
+    // First pass: the listed characters with their source offsets
+    // (escapes decoded), so the range pass below can point at the
+    // offending `lo-hi`.
+    let mut atoms: Vec<(char, usize)> = Vec::new();
+    let mut chars = body.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c == '\\' {
+            let next = chars.next().map(|(_, c)| c);
+            atoms.push((decode_escape(next, offset + i, text)?, offset + i));
+        } else {
+            atoms.push((c, offset + i));
+        }
+    }
+    // Second pass: fold `lo-hi` ranges. A `-` is literal when it is
+    // first, last, or was written escaped (escaped dashes never parse
+    // as a range operator because the first pass already decoded them —
+    // we re-detect operator dashes against the raw text).
+    let mut items = Vec::new();
+    let mut k = 0;
+    while k < atoms.len() {
+        let (c, at) = atoms[k];
+        let is_operator_dash =
+            c == '-' && text.as_bytes().get(at) == Some(&b'-') && k > 0 && k + 1 < atoms.len();
+        if is_operator_dash {
+            // Re-interpret: previous atom is `lo`, next is `hi`.
+            let (lo, lo_at) = atoms[k - 1];
+            let (hi, hi_at) = atoms[k + 1];
+            items.pop();
+            if lo > hi {
+                return Err(FrontendError::new(
+                    FrontendErrorKind::BadClassRange { lo, hi },
+                    Span {
+                        start: lo_at,
+                        end: hi_at + hi.len_utf8(),
+                    },
+                    text,
+                ));
+            }
+            items.push(ClassItem::Range(lo, hi));
+            k += 2;
+        } else {
+            items.push(ClassItem::Char(c));
+            k += 1;
+        }
+    }
+    if items.is_empty() {
+        return Err(FrontendError::new(
+            FrontendErrorKind::EmptyClass,
+            span,
+            text,
+        ));
+    }
+    Ok(ClassAst {
+        negated,
+        items,
+        span,
+    })
+}
+
+/// Escapes one character for inclusion in a quoted literal.
+fn escape_literal_char(c: char, out: &mut String) {
+    match c {
+        '\'' => out.push_str("\\'"),
+        '\\' => out.push_str("\\\\"),
+        '\t' => out.push_str("\\t"),
+        '\n' => out.push_str("\\n"),
+        '\r' => out.push_str("\\r"),
+        c => out.push(c),
+    }
+}
+
+/// Escapes one character for inclusion in a class body.
+fn escape_class_char(c: char, out: &mut String) {
+    match c {
+        ']' => out.push_str("\\]"),
+        '\\' => out.push_str("\\\\"),
+        '^' => out.push_str("\\^"),
+        '-' => out.push_str("\\-"),
+        '\t' => out.push_str("\\t"),
+        '\n' => out.push_str("\\n"),
+        '\r' => out.push_str("\\r"),
+        c => out.push(c),
+    }
+}
+
+/// Renders a literal body back to its quoted source form.
+pub(crate) fn quote_literal(body: &str) -> String {
+    let mut out = String::with_capacity(body.len() + 2);
+    out.push('\'');
+    for c in body.chars() {
+        escape_literal_char(c, &mut out);
+    }
+    out.push('\'');
+    out
+}
+
+/// Renders a class back to its bracketed source form.
+pub(crate) fn render_class(class: &ClassAst) -> String {
+    let mut out = String::new();
+    out.push('[');
+    if class.negated {
+        out.push('^');
+    }
+    for item in &class.items {
+        match *item {
+            ClassItem::Char(c) => escape_class_char(c, &mut out),
+            ClassItem::Range(lo, hi) => {
+                escape_class_char(lo, &mut out);
+                out.push('-');
+                escape_class_char(hi, &mut out);
+            }
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// Binding strength of a regex node, for minimal parenthesization.
+fn precedence(kind: &RegexKind) -> u8 {
+    match kind {
+        RegexKind::Alt(_, _) => 0,
+        RegexKind::Concat(_, _) => 1,
+        RegexKind::Star(_) | RegexKind::Plus(_) | RegexKind::Opt(_) => 2,
+        RegexKind::Literal(_) | RegexKind::Class(_) => 3,
+    }
+}
+
+fn render_regex(re: &RegexAst, min_prec: u8, out: &mut String) {
+    let prec = precedence(&re.kind);
+    if prec < min_prec {
+        out.push('(');
+    }
+    match &re.kind {
+        RegexKind::Literal(body) => out.push_str(&quote_literal(body)),
+        RegexKind::Class(class) => out.push_str(&render_class(class)),
+        RegexKind::Alt(l, r) => {
+            render_regex(l, 0, out);
+            out.push_str(" | ");
+            render_regex(r, 1, out);
+        }
+        RegexKind::Concat(l, r) => {
+            render_regex(l, 1, out);
+            out.push(' ');
+            render_regex(r, 2, out);
+        }
+        RegexKind::Star(inner) => {
+            render_regex(inner, 3, out);
+            out.push('*');
+        }
+        RegexKind::Plus(inner) => {
+            render_regex(inner, 3, out);
+            out.push('+');
+        }
+        RegexKind::Opt(inner) => {
+            render_regex(inner, 3, out);
+            out.push('?');
+        }
+    }
+    if prec < min_prec {
+        out.push(')');
+    }
+}
+
+/// Pretty-prints a spec back to canonical source text.
+///
+/// The output reparses to an AST equal to the input modulo spans, and
+/// pretty-printing is a fixed point (`pretty ∘ parse ∘ pretty =
+/// pretty`) — both properties are pinned by the property suite.
+pub fn pretty(ast: &SpecAst) -> String {
+    let mut out = String::new();
+    for decl in &ast.decls {
+        match &decl.kind {
+            DeclKind::Token { name, regex } => {
+                out.push_str("token ");
+                out.push_str(&name.text);
+                out.push_str(" = ");
+                render_regex(regex, 0, &mut out);
+                out.push_str(" ;\n");
+            }
+            DeclKind::Skip { name, regex } => {
+                out.push_str("skip ");
+                out.push_str(&name.text);
+                out.push_str(" = ");
+                render_regex(regex, 0, &mut out);
+                out.push_str(" ;\n");
+            }
+            DeclKind::Start { name } => {
+                out.push_str("start ");
+                out.push_str(&name.text);
+                out.push_str(" ;\n");
+            }
+            DeclKind::Alphabet { class } => {
+                out.push_str("alphabet ");
+                out.push_str(&render_class(class));
+                out.push_str(" ;\n");
+            }
+            DeclKind::Rule { name, alts } => {
+                out.push_str(&name.text);
+                out.push_str(" ::= ");
+                for (i, alt) in alts.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str("| ");
+                    }
+                    for sym in &alt.syms {
+                        match &sym.kind {
+                            SymKind::Ident(name) => out.push_str(name),
+                            SymKind::Literal(body) => out.push_str(&quote_literal(body)),
+                        }
+                        out.push(' ');
+                    }
+                }
+                out.push_str(";\n");
+            }
+        }
+    }
+    out
+}
+
+/// Structural equality modulo spans: the comparison the round-trip
+/// property uses (reparsing moves every span).
+pub fn ast_eq_modulo_spans(a: &SpecAst, b: &SpecAst) -> bool {
+    fn strip(ast: &SpecAst) -> SpecAst {
+        let mut ast = ast.clone();
+        let zero = Span { start: 0, end: 0 };
+        for decl in &mut ast.decls {
+            decl.span = zero;
+            match &mut decl.kind {
+                DeclKind::Token { name, regex } | DeclKind::Skip { name, regex } => {
+                    name.span = zero;
+                    strip_regex(regex, zero);
+                }
+                DeclKind::Start { name } => name.span = zero,
+                DeclKind::Alphabet { class } => class.span = zero,
+                DeclKind::Rule { name, alts } => {
+                    name.span = zero;
+                    for alt in alts {
+                        alt.span = zero;
+                        for sym in &mut alt.syms {
+                            sym.span = zero;
+                        }
+                    }
+                }
+            }
+        }
+        ast
+    }
+    fn strip_regex(re: &mut RegexAst, zero: Span) {
+        re.span = zero;
+        match &mut re.kind {
+            RegexKind::Literal(_) => {}
+            RegexKind::Class(class) => class.span = zero,
+            RegexKind::Alt(l, r) | RegexKind::Concat(l, r) => {
+                strip_regex(l, zero);
+                strip_regex(r, zero);
+            }
+            RegexKind::Star(inner) | RegexKind::Plus(inner) | RegexKind::Opt(inner) => {
+                strip_regex(inner, zero)
+            }
+        }
+    }
+    strip(a) == strip(b)
+}

@@ -68,4 +68,4 @@ pub use driver::{
 };
 pub use parallel::{chunk_starts, LexChunk};
 pub use probes::LexProbes;
-pub use spec::{LexRule, LexSpec, LexSpecBuilder, SpecError};
+pub use spec::{class, literal, plus, LexRule, LexSpec, LexSpecBuilder, SpecError};

@@ -18,7 +18,7 @@
 //!   keeps the automaton at LR(0) size while retaining one-symbol
 //!   lookahead precision (up to the usual LALR merge of lookaheads).
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use lambek_cfg::analysis::{first_of_seq, first_sets, seq_nullable};
 use lambek_cfg::earley::nullable_set;
@@ -189,8 +189,12 @@ pub(crate) fn build_lalr(cfg: &Cfg, gi: &GrammarIndex) -> LalrAutomaton {
     while let Some(idx) = work.pop_front() {
         queued[idx] = false;
         let closed = closure(cfg, gi, &kernels[idx]);
-        // Group advanceable items by the symbol after the dot.
-        let mut successors: HashMap<GSym, BTreeSet<Item>> = HashMap::new();
+        // Group advanceable items by the symbol after the dot. A
+        // BTreeMap, not a HashMap: the iteration order below numbers
+        // newly discovered states, and state numbering must be a
+        // function of the grammar alone — sessions serialized from one
+        // compile re-validate against tables from another.
+        let mut successors: BTreeMap<GSym, BTreeSet<Item>> = BTreeMap::new();
         for item in &closed {
             if let Some(sym) = gi.rhs(cfg, item.prod).get(item.dot as usize) {
                 successors.entry(*sym).or_default().insert(Item {

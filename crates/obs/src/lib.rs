@@ -615,6 +615,10 @@ pub enum Stage {
     Parse,
     /// Report assembly after the drive returns.
     Finish,
+    /// Self-hosted parse of a grammar-language text submission.
+    Frontend,
+    /// Elaboration of a parsed spec AST into a lexer + grammar pair.
+    Elaborate,
 }
 
 impl Stage {
@@ -629,6 +633,8 @@ impl Stage {
             Stage::Certify => "certify",
             Stage::Parse => "parse",
             Stage::Finish => "finish",
+            Stage::Frontend => "frontend",
+            Stage::Elaborate => "elaborate",
         }
     }
 }

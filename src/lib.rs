@@ -30,7 +30,13 @@
 //! * [`engine`] (`lambek-engine`) — the serving layer: a compile-once
 //!   pipeline cache, batch parsing over scoped threads, push-mode
 //!   streaming for DFA-backed parsers, and the metrics/tracing surface
-//!   (`Engine::metrics_text`, `Engine::recent_traces`).
+//!   (`Engine::metrics_text`, `Engine::recent_traces`);
+//! * [`frontend`] (`lambek-frontend`) — the grammar language: BNF-style
+//!   productions plus prioritized token rules as *text*, parsed by a
+//!   self-hosted bootstrap pipeline (the meta grammar is itself served
+//!   through the certified lex + LALR machinery), elaborated into a
+//!   validated lexer/grammar pair with span-carrying diagnostics, and
+//!   compiled into the engine cache via `Engine::compile_text`.
 //!
 //! See `ARCHITECTURE.md` at the workspace root for the pipeline diagram
 //! and the complete theorem ↔ module map.
@@ -65,6 +71,7 @@ pub use lambek_automata as automata;
 pub use lambek_cfg as cfg;
 pub use lambek_core as core;
 pub use lambek_engine as engine;
+pub use lambek_frontend as frontend;
 pub use lambek_lex as lex;
 pub use lambek_lr as lr;
 pub use lambek_obs as obs;

@@ -42,6 +42,8 @@ fn examples_run_and_print_their_sentinels() {
         ("lr_stream", "LR stream finished"),
         ("lex_json", "lexed JSON stream finished"),
         ("obs_dashboard", "obs dashboard done"),
+        ("grammarc", "grammarc done"),
+        ("migrate_session", "migration done"),
     ] {
         let stdout = run_example(example);
         assert!(
